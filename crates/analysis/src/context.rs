@@ -1,0 +1,256 @@
+//! Shared analysis context: a generated city dataset plus fitted BST
+//! assignments for every measurement.
+//!
+//! The paper fits BST separately per platform dataset (Table 3 reports
+//! per-platform cluster means), so [`CityAnalysis`] fits one model per
+//! Ookla platform, one for the M-Lab campaign, and one for the MBA panel,
+//! then scatters tier assignments back onto the measurement vectors.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use st_bst::{BstConfig, BstModel};
+use st_datagen::CityDataset;
+use st_netsim::Mbps;
+use st_speedtest::{Measurement, PlanCatalog, Platform};
+use st_stats::Ecdf;
+
+use crate::results::SeriesData;
+
+/// A city dataset with BST fitted to each sub-campaign.
+pub struct CityAnalysis {
+    /// The underlying dataset.
+    pub dataset: CityDataset,
+    /// Fitted per-platform Ookla models with the measurement indices
+    /// (into `dataset.ookla`) each model was fitted on.
+    pub ookla_models: Vec<(Platform, BstModel, Vec<usize>)>,
+    /// BST tier per Ookla measurement (parallel to `dataset.ookla`).
+    pub ookla_tiers: Vec<Option<usize>>,
+    /// The M-Lab model.
+    pub mlab_model: Option<BstModel>,
+    /// BST tier per M-Lab measurement (parallel to `dataset.mlab`).
+    pub mlab_tiers: Vec<Option<usize>>,
+    /// The MBA model.
+    pub mba_model: Option<BstModel>,
+    /// BST tier per MBA measurement (parallel to `dataset.mba`).
+    pub mba_tiers: Vec<Option<usize>>,
+}
+
+impl CityAnalysis {
+    /// Fit BST to every sub-campaign of `dataset`.
+    pub fn new(dataset: CityDataset, seed: u64) -> Self {
+        let cfg = BstConfig::default();
+        let catalog = dataset.config.catalog.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let mut ookla_models = Vec::new();
+        let mut ookla_tiers = vec![None; dataset.ookla.len()];
+        for platform in Platform::all() {
+            if platform == Platform::NdtWeb {
+                continue;
+            }
+            let indices: Vec<usize> = dataset
+                .ookla
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.platform == platform)
+                .map(|(i, _)| i)
+                .collect();
+            if indices.len() < 30 {
+                continue; // too thin to cluster meaningfully
+            }
+            let down: Vec<f64> = indices.iter().map(|&i| dataset.ookla[i].down_mbps).collect();
+            let up: Vec<f64> = indices.iter().map(|&i| dataset.ookla[i].up_mbps).collect();
+            if let Ok(model) = BstModel::fit(&down, &up, &catalog, &cfg, &mut rng) {
+                for (j, &i) in indices.iter().enumerate() {
+                    ookla_tiers[i] = model.assignments[j].tier;
+                }
+                ookla_models.push((platform, model, indices));
+            }
+        }
+
+        let (mlab_model, mlab_tiers) = fit_campaign(&dataset.mlab, &catalog, &cfg, &mut rng);
+        let (mba_model, mba_tiers) = fit_campaign(&dataset.mba, &catalog, &cfg, &mut rng);
+
+        CityAnalysis {
+            dataset,
+            ookla_models,
+            ookla_tiers,
+            mlab_model,
+            mlab_tiers,
+            mba_model,
+            mba_tiers,
+        }
+    }
+
+    /// The city's plan catalog.
+    pub fn catalog(&self) -> &PlanCatalog {
+        &self.dataset.config.catalog
+    }
+
+    /// Advertised download speed of a tier.
+    pub fn plan_down(&self, tier: usize) -> Option<Mbps> {
+        self.catalog().plan(tier).map(|p| p.down)
+    }
+
+    /// Download speed normalized by the assigned tier's plan speed,
+    /// clamped to `[0, 1]` as in the paper's figures.
+    pub fn normalized_down(&self, m: &Measurement, tier: Option<usize>) -> Option<f64> {
+        let tier = tier?;
+        let plan = self.plan_down(tier)?;
+        Some((m.down_mbps / plan.0).clamp(0.0, 1.0))
+    }
+
+    /// Tier-group index (0-based, ascending upload cap) containing `tier`.
+    pub fn group_index(&self, tier: usize) -> Option<usize> {
+        self.catalog()
+            .tier_groups()
+            .iter()
+            .position(|g| g.tiers.contains(&tier))
+    }
+
+    /// The Ookla model fitted for `platform`.
+    pub fn ookla_model(&self, platform: Platform) -> Option<&BstModel> {
+        self.ookla_models
+            .iter()
+            .find(|(p, ..)| *p == platform)
+            .map(|(_, m, _)| m)
+    }
+
+    /// Ookla measurements of one platform with their assigned tiers.
+    pub fn ookla_platform(&self, platform: Platform) -> Vec<(&Measurement, Option<usize>)> {
+        self.dataset
+            .ookla
+            .iter()
+            .zip(&self.ookla_tiers)
+            .filter(|(m, _)| m.platform == platform)
+            .map(|(m, t)| (m, *t))
+            .collect()
+    }
+
+    /// Ookla native-app measurements (everything but the web portal).
+    pub fn ookla_native(&self) -> Vec<(&Measurement, Option<usize>)> {
+        self.dataset
+            .ookla
+            .iter()
+            .zip(&self.ookla_tiers)
+            .filter(|(m, _)| m.platform.has_device_metadata())
+            .map(|(m, t)| (m, *t))
+            .collect()
+    }
+}
+
+fn fit_campaign(
+    ms: &[Measurement],
+    catalog: &PlanCatalog,
+    cfg: &BstConfig,
+    rng: &mut StdRng,
+) -> (Option<BstModel>, Vec<Option<usize>>) {
+    if ms.len() < 30 {
+        return (None, vec![None; ms.len()]);
+    }
+    let down: Vec<f64> = ms.iter().map(|m| m.down_mbps).collect();
+    let up: Vec<f64> = ms.iter().map(|m| m.up_mbps).collect();
+    match BstModel::fit(&down, &up, catalog, cfg, rng) {
+        Ok(model) => {
+            let tiers = model.tiers();
+            (Some(model), tiers)
+        }
+        Err(_) => (None, vec![None; ms.len()]),
+    }
+}
+
+/// Build a CDF series (capped at 200 plot points) from raw values.
+/// Returns `None` for an empty sample.
+pub fn ecdf_series(label: &str, values: &[f64]) -> Option<(SeriesData, f64)> {
+    let clean: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let e = Ecdf::new(&clean).ok()?;
+    Some((SeriesData::new(label, e.plot_points(200)), e.median()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_datagen::City;
+
+    fn analysis() -> CityAnalysis {
+        let ds = CityDataset::generate(City::A, 0.004, 99);
+        CityAnalysis::new(ds, 7)
+    }
+
+    #[test]
+    fn fits_models_for_major_platforms() {
+        let a = analysis();
+        // Web and iOS are the two biggest platforms; both must fit.
+        assert!(a.ookla_model(Platform::Web).is_some());
+        assert!(a.ookla_model(Platform::IosApp).is_some());
+        assert!(a.mlab_model.is_some());
+        assert!(a.mba_model.is_some());
+    }
+
+    #[test]
+    fn assignments_cover_most_measurements() {
+        let a = analysis();
+        let assigned = a.ookla_tiers.iter().filter(|t| t.is_some()).count();
+        assert!(
+            assigned as f64 / a.ookla_tiers.len() as f64 > 0.7,
+            "only {assigned}/{} Ookla tests assigned",
+            a.ookla_tiers.len()
+        );
+        let mba_assigned = a.mba_tiers.iter().filter(|t| t.is_some()).count();
+        assert!(mba_assigned as f64 / a.mba_tiers.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn assigned_tiers_mostly_match_truth_on_mba() {
+        let a = analysis();
+        let (mut ok, mut n) = (0usize, 0usize);
+        for (m, t) in a.dataset.mba.iter().zip(&a.mba_tiers) {
+            if let (Some(truth), Some(got)) = (m.truth_tier, t) {
+                n += 1;
+                // Score the upload *group*, the Table 2 criterion.
+                let truth_group = a.group_index(truth);
+                let got_group = a.group_index(*got);
+                if truth_group == got_group {
+                    ok += 1;
+                }
+            }
+        }
+        assert!(n > 0);
+        assert!(ok as f64 / n as f64 > 0.9, "MBA group accuracy {}", ok as f64 / n as f64);
+    }
+
+    #[test]
+    fn normalized_download_is_in_unit_interval() {
+        let a = analysis();
+        for (m, t) in a.dataset.ookla.iter().zip(&a.ookla_tiers) {
+            if let Some(nd) = a.normalized_down(m, *t) {
+                assert!((0.0..=1.0).contains(&nd));
+            }
+        }
+    }
+
+    #[test]
+    fn group_index_follows_catalog() {
+        let a = analysis();
+        assert_eq!(a.group_index(1), Some(0));
+        assert_eq!(a.group_index(6), Some(3));
+        assert_eq!(a.group_index(99), None);
+    }
+
+    #[test]
+    fn ecdf_series_helper() {
+        let (s, median) = ecdf_series("x", &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.label, "x");
+        assert_eq!(median, 2.0);
+        assert!(ecdf_series("e", &[]).is_none());
+        assert!(ecdf_series("nan", &[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn platform_filters() {
+        let a = analysis();
+        let native = a.ookla_native();
+        let web = a.ookla_platform(Platform::Web);
+        assert_eq!(native.len() + web.len(), a.dataset.ookla.len());
+    }
+}

@@ -1,0 +1,138 @@
+//! Extension experiment — latency under load ("working latency").
+//!
+//! Not a paper figure: the paper's recommendations (§8) call for richer
+//! context on every measurement, and since its publication the FCC and
+//! the IETF (RPM / "responsiveness") have pushed latency-under-load as
+//! the next headline metric. The simulator tracks bufferbloat at the
+//! bottleneck, so this module reports what the paper's pipeline *would*
+//! have shown: working latency by tier group, access medium, and vendor.
+
+use crate::context::{ecdf_series, CityAnalysis};
+use crate::results::CdfResult;
+use serde::Serialize;
+
+/// Summary rows for the latency extension.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencySummary {
+    /// Median idle RTT across the Ookla campaign, ms.
+    pub idle_median_ms: f64,
+    /// Median loaded RTT, ms.
+    pub loaded_median_ms: f64,
+    /// Per tier group: `(label, median bufferbloat in ms)` — the added
+    /// delay while the download saturates the path.
+    pub bloat_by_group: Vec<(String, f64)>,
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v[v.len() / 2]
+}
+
+/// Compute loaded-latency CDFs (idle vs loaded) and per-group bufferbloat.
+pub fn run(a: &CityAnalysis) -> (CdfResult, LatencySummary) {
+    let idle: Vec<f64> = a.dataset.ookla.iter().map(|m| m.rtt_ms).collect();
+    let loaded: Vec<f64> = a.dataset.ookla.iter().map(|m| m.loaded_rtt_ms).collect();
+
+    let mut series = Vec::new();
+    let mut medians = Vec::new();
+    for (label, vals) in [("Idle RTT", &idle), ("Loaded RTT", &loaded)] {
+        if let Some((s, m)) = ecdf_series(label, vals) {
+            series.push(s);
+            medians.push(m);
+        }
+    }
+
+    let groups = a.catalog().tier_groups();
+    let bloat_by_group = groups
+        .iter()
+        .enumerate()
+        .map(|(gi, g)| {
+            let bloat: Vec<f64> = a
+                .dataset
+                .ookla
+                .iter()
+                .zip(&a.ookla_tiers)
+                .filter(|(_, t)| t.map(|t| a.group_index(t)) == Some(Some(gi)))
+                .map(|(m, _)| (m.loaded_rtt_ms - m.rtt_ms).max(0.0))
+                .collect();
+            (g.label(), median(bloat))
+        })
+        .collect();
+
+    (
+        CdfResult {
+            id: "ext_latency".into(),
+            title: format!(
+                "{}: idle vs loaded RTT (extension)",
+                a.dataset.config.city.label()
+            ),
+            x_label: "RTT (ms)".into(),
+            series,
+            medians: medians.clone(),
+        },
+        LatencySummary {
+            idle_median_ms: medians.first().copied().unwrap_or(f64::NAN),
+            loaded_median_ms: medians.get(1).copied().unwrap_or(f64::NAN),
+            bloat_by_group,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_datagen::{City, CityDataset};
+
+    fn analysis() -> CityAnalysis {
+        CityAnalysis::new(CityDataset::generate(City::A, 0.015, 97), 71)
+    }
+
+    #[test]
+    fn loaded_rtt_exceeds_idle_rtt() {
+        let (r, s) = run(&analysis());
+        assert_eq!(r.series.len(), 2);
+        assert!(
+            s.loaded_median_ms > s.idle_median_ms,
+            "loaded {} vs idle {}",
+            s.loaded_median_ms,
+            s.idle_median_ms
+        );
+        // The model's bottleneck buffer is one BDP, so working latency is
+        // bounded by ~2x the idle RTT.
+        assert!(s.loaded_median_ms < s.idle_median_ms * 2.5);
+    }
+
+    #[test]
+    fn every_tier_group_reports_bloat() {
+        let (_, s) = run(&analysis());
+        assert_eq!(s.bloat_by_group.len(), 4);
+        for (label, bloat) in &s.bloat_by_group {
+            assert!(
+                bloat.is_nan() || (0.0..=100.0).contains(bloat),
+                "{label}: bufferbloat {bloat} ms"
+            );
+        }
+        // At least one group has measurable bloat.
+        assert!(
+            s.bloat_by_group.iter().any(|(_, b)| *b > 0.5),
+            "{:?}",
+            s.bloat_by_group
+        );
+    }
+
+    #[test]
+    fn bloat_is_nonnegative_per_measurement() {
+        let a = analysis();
+        for m in &a.dataset.ookla {
+            assert!(
+                m.loaded_rtt_ms >= m.rtt_ms - 1e-9,
+                "loaded {} < idle {}",
+                m.loaded_rtt_ms,
+                m.rtt_ms
+            );
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Figure 1 — the motivating example (§2).
+//!
+//! Raw download-speed CDFs for City-A's Ookla campaign, disaggregated by
+//! context: the uncontextualized distribution, the lowest tier, the top
+//! tier, the top tier on Android without local bottlenecks, and the top
+//! tier on Ethernet. The paper's point: the same dataset supports medians
+//! from ~19 Mbps to ~800 Mbps depending on context.
+
+use crate::context::{ecdf_series, CityAnalysis};
+use crate::results::CdfResult;
+use st_netsim::{Band, MemoryClass};
+use st_speedtest::{Access, Platform};
+
+/// Compute the Figure 1 series for a city.
+pub fn run(a: &CityAnalysis) -> CdfResult {
+    let top = a.catalog().len();
+    let mut series = Vec::new();
+    let mut medians = Vec::new();
+
+    let mut push = |label: &str, values: Vec<f64>| {
+        if let Some((s, m)) = ecdf_series(label, &values) {
+            series.push(s);
+            medians.push(m);
+        }
+    };
+
+    // Uncontextualized: every Ookla test.
+    push(
+        "Uncontextualized",
+        a.dataset.ookla.iter().map(|m| m.down_mbps).collect(),
+    );
+
+    // Lowest tier (Tier 1).
+    push(
+        &format!("Tier 1: {:.0} Mbps", a.plan_down(1).map(|p| p.0).unwrap_or(0.0)),
+        a.dataset
+            .ookla
+            .iter()
+            .zip(&a.ookla_tiers)
+            .filter(|(_, t)| **t == Some(1))
+            .map(|(m, _)| m.down_mbps)
+            .collect(),
+    );
+
+    // Top tier.
+    push(
+        &format!("Tier {top}: {:.0} Mbps", a.plan_down(top).map(|p| p.0).unwrap_or(0.0)),
+        a.dataset
+            .ookla
+            .iter()
+            .zip(&a.ookla_tiers)
+            .filter(|(_, t)| **t == Some(top))
+            .map(|(m, _)| m.down_mbps)
+            .collect(),
+    );
+
+    // Top tier, Android, no local bottleneck (5 GHz, ≥ -50 dBm, > 2 GB).
+    push(
+        &format!("Tier {top}-Android"),
+        a.dataset
+            .ookla
+            .iter()
+            .zip(&a.ookla_tiers)
+            .filter(|(m, t)| {
+                **t == Some(top)
+                    && m.platform == Platform::AndroidApp
+                    && matches!(
+                        m.access,
+                        Access::Wifi { band: Band::G5, rssi_dbm } if rssi_dbm >= -50.0
+                    )
+                    && m.memory_class().map_or(false, |c| c != MemoryClass::Under2G)
+            })
+            .map(|(m, _)| m.down_mbps)
+            .collect(),
+    );
+
+    // Top tier on Ethernet.
+    push(
+        &format!("Tier {top}-Ethernet"),
+        a.dataset
+            .ookla
+            .iter()
+            .zip(&a.ookla_tiers)
+            .filter(|(m, t)| {
+                **t == Some(top) && m.platform == Platform::DesktopEthernetApp
+            })
+            .map(|(m, _)| m.down_mbps)
+            .collect(),
+    );
+
+    CdfResult {
+        id: "fig01".into(),
+        title: format!("{}: download CDFs by context", a.dataset.config.city.label()),
+        x_label: "Download Speed (Mbps)".into(),
+        series,
+        medians,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_datagen::{City, CityDataset};
+
+    fn analysis() -> CityAnalysis {
+        CityAnalysis::new(CityDataset::generate(City::A, 0.01, 11), 3)
+    }
+
+    #[test]
+    fn produces_the_five_contexts() {
+        let r = run(&analysis());
+        assert!(r.series.len() >= 4, "labels: {:?}",
+            r.series.iter().map(|s| &s.label).collect::<Vec<_>>());
+        assert_eq!(r.series[0].label, "Uncontextualized");
+    }
+
+    #[test]
+    fn tier1_median_is_far_below_uncontextualized() {
+        let r = run(&analysis());
+        let overall = r.medians[0];
+        let tier1 = r.medians[1];
+        // The paper's six-fold gap; require a clear factor of 2.
+        assert!(tier1 * 2.0 < overall, "tier1 {tier1} vs overall {overall}");
+    }
+
+    #[test]
+    fn top_tier_median_exceeds_uncontextualized() {
+        let r = run(&analysis());
+        let overall = r.medians[0];
+        let top = r.medians[2];
+        assert!(top > overall * 1.5, "top {top} vs overall {overall}");
+    }
+
+    #[test]
+    fn ethernet_is_the_fastest_context() {
+        let r = run(&analysis());
+        let eth = r.medians.last().unwrap();
+        for m in &r.medians[..r.medians.len() - 1] {
+            assert!(eth >= m, "ethernet {eth} vs other {m}");
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Figure 2 — per-user consistency factor CDFs (§4.1).
+//!
+//! For every iOS native-app user with at least five tests, the consistency
+//! factor (mean / p95) of their download speeds and of their upload
+//! speeds. Uploads must come out far more consistent (paper medians: 0.87
+//! upload vs 0.58 download) — the observation that justifies clustering on
+//! upload speed first.
+
+use crate::context::{ecdf_series, CityAnalysis};
+use crate::results::CdfResult;
+use st_speedtest::Platform;
+use st_stats::consistency_factor;
+use std::collections::HashMap;
+
+/// Minimum tests per user, per the paper.
+pub const MIN_TESTS: usize = 5;
+
+/// Compute the Figure 2 series for a city.
+pub fn run(a: &CityAnalysis) -> CdfResult {
+    let mut per_user: HashMap<u64, (Vec<f64>, Vec<f64>)> = HashMap::new();
+    for m in &a.dataset.ookla {
+        if m.platform == Platform::IosApp {
+            let entry = per_user.entry(m.user_id).or_default();
+            entry.0.push(m.down_mbps);
+            entry.1.push(m.up_mbps);
+        }
+    }
+
+    let mut down_factors = Vec::new();
+    let mut up_factors = Vec::new();
+    for (downs, ups) in per_user.into_values() {
+        if downs.len() < MIN_TESTS {
+            continue;
+        }
+        if let Ok(f) = consistency_factor(&downs) {
+            down_factors.push(f);
+        }
+        if let Ok(f) = consistency_factor(&ups) {
+            up_factors.push(f);
+        }
+    }
+
+    let mut series = Vec::new();
+    let mut medians = Vec::new();
+    for (label, vals) in [("Download", down_factors), ("Upload", up_factors)] {
+        if let Some((s, m)) = ecdf_series(label, &vals) {
+            series.push(s);
+            medians.push(m);
+        }
+    }
+
+    CdfResult {
+        id: "fig02".into(),
+        title: format!(
+            "{}: consistency factor, iOS users with >= {MIN_TESTS} tests",
+            a.dataset.config.city.label()
+        ),
+        x_label: "Consistency Factor".into(),
+        series,
+        medians,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_datagen::{City, CityDataset};
+
+    fn analysis() -> CityAnalysis {
+        CityAnalysis::new(CityDataset::generate(City::A, 0.012, 23), 5)
+    }
+
+    #[test]
+    fn produces_download_and_upload_series() {
+        let r = run(&analysis());
+        assert_eq!(r.series.len(), 2);
+        assert_eq!(r.series[0].label, "Download");
+        assert_eq!(r.series[1].label, "Upload");
+        assert!(!r.series[0].points.is_empty());
+    }
+
+    #[test]
+    fn upload_is_more_consistent_than_download() {
+        let r = run(&analysis());
+        let (down_med, up_med) = (r.medians[0], r.medians[1]);
+        assert!(
+            up_med > down_med + 0.05,
+            "upload median {up_med} should clearly exceed download {down_med}"
+        );
+        assert!(up_med > 0.7, "upload factor should be near 1: {up_med}");
+    }
+}

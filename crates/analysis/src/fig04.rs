@@ -1,0 +1,89 @@
+//! Figure 4 (and appendix Fig. 14) — upload-speed density of an MBA panel.
+//!
+//! KDE over the state's MBA upload speeds; the density must peak at the
+//! ISP's offered upload speeds (the vertical lines of the paper's figure).
+
+use crate::context::CityAnalysis;
+use crate::results::{DensityResult, SeriesData};
+use st_stats::{Bandwidth, KernelDensity};
+
+/// Compute the MBA upload-density figure for a state.
+pub fn run(a: &CityAnalysis) -> DensityResult {
+    let uploads: Vec<f64> = a.dataset.mba.iter().map(|m| m.up_mbps).collect();
+    let caps: Vec<f64> = a.catalog().upload_caps().iter().map(|c| c.0).collect();
+
+    let mut series = Vec::new();
+    // Halved Silverman bandwidth, as in BST's peak counting: the upload
+    // distribution is multi-scale and the global rule over-smooths.
+    let bw = st_stats::kde::silverman_bandwidth(&uploads) * 0.5;
+    let rule = if bw > 0.0 { Bandwidth::Fixed(bw) } else { Bandwidth::Silverman };
+    if let Ok(kde) = KernelDensity::fit(&uploads, rule) {
+        if let Ok(grid) = kde.auto_grid(400) {
+            series.push(SeriesData::new("MBA uploads", grid));
+        }
+    }
+    let cluster_means = a
+        .mba_model
+        .as_ref()
+        .map(|m| {
+            m.uploads
+                .gmm
+                .components()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| m.uploads.component_caps[*i].is_some())
+                .map(|(_, c)| c.mean)
+                .collect()
+        })
+        .unwrap_or_default();
+
+    DensityResult {
+        id: "fig04".into(),
+        title: format!("{}: MBA upload speed density", a.dataset.config.city.state_label()),
+        x_label: "Upload Speed (Mbps)".into(),
+        series,
+        plan_lines: caps,
+        cluster_means,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_datagen::{City, CityDataset};
+    use st_stats::kde::find_peaks_on_grid;
+
+    fn analysis() -> CityAnalysis {
+        CityAnalysis::new(CityDataset::generate(City::A, 0.015, 41), 17)
+    }
+
+    #[test]
+    fn density_peaks_near_offered_caps() {
+        let r = run(&analysis());
+        assert_eq!(r.series.len(), 1);
+        let peaks = find_peaks_on_grid(&r.series[0].points, 0.03);
+        // Every prominent peak is near some cap.
+        for p in &peaks {
+            let near = r.plan_lines.iter().any(|c| (p.x - c).abs() < c * 0.4 + 1.0);
+            assert!(near, "peak at {} not near any cap {:?}", p.x, r.plan_lines);
+        }
+        assert!(peaks.len() >= 3, "expected several peaks, got {}", peaks.len());
+    }
+
+    #[test]
+    fn cluster_means_sit_near_caps() {
+        let r = run(&analysis());
+        assert!(!r.cluster_means.is_empty());
+        for m in &r.cluster_means {
+            let near = r.plan_lines.iter().any(|c| (m - c).abs() <= c * 0.4 + 1.0);
+            assert!(near, "cluster mean {m} far from caps {:?}", r.plan_lines);
+        }
+    }
+
+    #[test]
+    fn renders() {
+        let r = run(&analysis());
+        assert!(r.to_svg().contains("<svg"));
+        assert!(r.render().contains("fig04"));
+    }
+}

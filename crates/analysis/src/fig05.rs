@@ -1,0 +1,117 @@
+//! Figure 5 (and appendix Figs. 16–18) — download density within each
+//! upload cluster of an MBA panel.
+//!
+//! One sub-figure per tier group: the KDE of download speeds whose
+//! stage-1 upload cluster matched the group's cap, with the offered
+//! download plans as reference lines and the stage-2 component means as
+//! the recovered clusters.
+
+use crate::context::CityAnalysis;
+use crate::results::{DensityResult, SeriesData};
+use st_stats::{Bandwidth, KernelDensity};
+
+/// One density figure per tier group of the state's catalog.
+pub fn run(a: &CityAnalysis) -> Vec<DensityResult> {
+    let Some(model) = &a.mba_model else { return Vec::new() };
+    let downs: Vec<f64> = a.dataset.mba.iter().map(|m| m.down_mbps).collect();
+
+    let mut out = Vec::new();
+    for group in a.catalog().tier_groups() {
+        let members = model.uploads.members_of(group.up);
+        if members.len() < 10 {
+            continue;
+        }
+        let values: Vec<f64> = members.iter().map(|&i| downs[i]).collect();
+        let mut series = Vec::new();
+        if let Ok(kde) = KernelDensity::fit(&values, Bandwidth::Silverman) {
+            if let Ok(grid) = kde.auto_grid(400) {
+                series.push(SeriesData::new(group.label(), grid));
+            }
+        }
+        let plan_lines: Vec<f64> = a
+            .catalog()
+            .plans_with_upload(group.up)
+            .iter()
+            .map(|p| p.down.0)
+            .collect();
+        // Report only components carrying real mass (≥ 2%), as the paper
+        // lists the major clusters.
+        let cluster_means: Vec<f64> = model
+            .downloads_for(group.up)
+            .map(|d| {
+                d.gmm
+                    .components()
+                    .iter()
+                    .filter(|c| c.weight >= 0.02)
+                    .map(|c| c.mean)
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.push(DensityResult {
+            id: format!("fig05_{}", group.label().replace(' ', "").to_lowercase()),
+            title: format!(
+                "{}: MBA download density, {}",
+                a.dataset.config.city.state_label(),
+                group.label()
+            ),
+            x_label: "Download Speed (Mbps)".into(),
+            series,
+            plan_lines,
+            cluster_means,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_datagen::{City, CityDataset};
+
+    fn analysis() -> CityAnalysis {
+        CityAnalysis::new(CityDataset::generate(City::A, 0.015, 43), 19)
+    }
+
+    #[test]
+    fn produces_one_figure_per_populated_group() {
+        let figs = run(&analysis());
+        assert!(figs.len() >= 3, "got {} group figures", figs.len());
+        for f in &figs {
+            assert!(!f.series.is_empty());
+            assert!(!f.plan_lines.is_empty());
+        }
+    }
+
+    #[test]
+    fn recovered_means_bracket_the_plans() {
+        // MBA is wired: every component mean should lie within a plausible
+        // band of the group's plan range (§4.3 found means from ~0.74x to
+        // ~1.16x of plan).
+        let figs = run(&analysis());
+        for f in &figs {
+            let lo = f.plan_lines.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = f.plan_lines.iter().cloned().fold(0.0f64, f64::max);
+            for m in &f.cluster_means {
+                assert!(
+                    *m > lo * 0.5 && *m < hi * 1.25,
+                    "mean {m} outside [{}, {}] for {}",
+                    lo * 0.5,
+                    hi * 1.25,
+                    f.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tier6_mean_undershoots_gigabit_plan() {
+        // §4.3: the 1200 Mbps tier's recovered mean was 892 Mbps.
+        let figs = run(&analysis());
+        let tier6 = figs.iter().find(|f| f.plan_lines.contains(&1200.0)).unwrap();
+        let top_mean = tier6.cluster_means.iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            top_mean < 1150.0 && top_mean > 700.0,
+            "gigabit cluster mean {top_mean}"
+        );
+    }
+}

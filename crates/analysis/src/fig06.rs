@@ -1,0 +1,107 @@
+//! Figure 6 (and appendix Fig. 15) — crowdsourced upload densities.
+//!
+//! Upload-speed KDEs for Ookla Android, Ookla web, and M-Lab web tests in
+//! one city. Despite the WiFi hop, densities must still peak near the
+//! offered upload caps; the M-Lab curve additionally shows the ~1 Mbps
+//! browser-limited cluster.
+
+use crate::context::CityAnalysis;
+use crate::results::{DensityResult, SeriesData};
+use st_speedtest::Platform;
+use st_stats::{Bandwidth, KernelDensity};
+
+/// Compute the crowdsourced upload-density figure for a city.
+pub fn run(a: &CityAnalysis) -> DensityResult {
+    let caps: Vec<f64> = a.catalog().upload_caps().iter().map(|c| c.0).collect();
+    let max_cap = caps.iter().cloned().fold(0.0f64, f64::max);
+
+    let mut series = Vec::new();
+    let mut add = |label: &str, values: Vec<f64>| {
+        // Clip to the plot range of the paper's figure (0..~1.4x top cap).
+        let clipped: Vec<f64> =
+            values.into_iter().filter(|v| *v <= max_cap * 1.4).collect();
+        if clipped.len() < 20 {
+            return;
+        }
+        if let Ok(kde) = KernelDensity::fit(&clipped, Bandwidth::Silverman) {
+            if let Ok(grid) = kde.grid(0.0, max_cap * 1.4, 400) {
+                series.push(SeriesData::new(label, grid));
+            }
+        }
+    };
+
+    add(
+        "Ookla-Android",
+        a.dataset
+            .ookla
+            .iter()
+            .filter(|m| m.platform == Platform::AndroidApp)
+            .map(|m| m.up_mbps)
+            .collect(),
+    );
+    add(
+        "Ookla-Web",
+        a.dataset
+            .ookla
+            .iter()
+            .filter(|m| m.platform == Platform::Web)
+            .map(|m| m.up_mbps)
+            .collect(),
+    );
+    add("MLab-Web", a.dataset.mlab.iter().map(|m| m.up_mbps).collect());
+
+    DensityResult {
+        id: "fig06".into(),
+        title: format!(
+            "{}: crowdsourced upload speed density",
+            a.dataset.config.city.label()
+        ),
+        x_label: "Upload Speed (Mbps)".into(),
+        series,
+        plan_lines: caps,
+        cluster_means: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_datagen::{City, CityDataset};
+    use st_stats::kde::find_peaks_on_grid;
+
+    fn analysis() -> CityAnalysis {
+        CityAnalysis::new(CityDataset::generate(City::A, 0.012, 47), 23)
+    }
+
+    #[test]
+    fn three_vendor_series() {
+        let r = run(&analysis());
+        let labels: Vec<&str> = r.series.iter().map(|s| s.label.as_str()).collect();
+        assert!(labels.contains(&"Ookla-Android"), "{labels:?}");
+        assert!(labels.contains(&"Ookla-Web"));
+        assert!(labels.contains(&"MLab-Web"));
+    }
+
+    #[test]
+    fn crowd_uploads_still_peak_near_caps() {
+        let r = run(&analysis());
+        for s in &r.series {
+            let peaks = find_peaks_on_grid(&s.points, 0.05);
+            assert!(!peaks.is_empty(), "{} has no peaks", s.label);
+            let biggest = peaks
+                .iter()
+                .max_by(|a, b| a.density.partial_cmp(&b.density).unwrap())
+                .unwrap();
+            let near_cap_or_low = r
+                .plan_lines
+                .iter()
+                .any(|c| (biggest.x - c).abs() < c * 0.5 + 1.0)
+                || biggest.x < 2.5; // the M-Lab browser-limited cluster
+            assert!(
+                near_cap_or_low,
+                "{}: dominant peak at {} vs caps {:?}",
+                s.label, biggest.x, r.plan_lines
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Figure 7 — download density within each upload cluster, Ookla Android.
+//!
+//! Same construction as Fig. 5 but over crowdsourced Android tests: the
+//! WiFi hop multiplies the download modes, so each group shows several
+//! degradation clusters below the plan speeds.
+
+use crate::context::CityAnalysis;
+use crate::results::{DensityResult, SeriesData};
+use st_speedtest::Platform;
+use st_stats::{Bandwidth, KernelDensity};
+
+/// One density figure per tier group, over Android tests.
+pub fn run(a: &CityAnalysis) -> Vec<DensityResult> {
+    let Some((_, model, indices)) = a
+        .ookla_models
+        .iter()
+        .find(|(p, ..)| *p == Platform::AndroidApp)
+    else {
+        return Vec::new();
+    };
+    let downs: Vec<f64> =
+        indices.iter().map(|&i| a.dataset.ookla[i].down_mbps).collect();
+
+    let mut out = Vec::new();
+    for group in a.catalog().tier_groups() {
+        let members = model.uploads.members_of(group.up);
+        if members.len() < 10 {
+            continue;
+        }
+        let values: Vec<f64> = members.iter().map(|&i| downs[i]).collect();
+        let mut series = Vec::new();
+        if let Ok(kde) = KernelDensity::fit(&values, Bandwidth::Silverman) {
+            if let Ok(grid) = kde.auto_grid(400) {
+                series.push(SeriesData::new(group.label(), grid));
+            }
+        }
+        out.push(DensityResult {
+            id: format!("fig07_{}", group.label().replace(' ', "").to_lowercase()),
+            title: format!(
+                "{}: Android download density, {}",
+                a.dataset.config.city.label(),
+                group.label()
+            ),
+            x_label: "Download Speed (Mbps)".into(),
+            series,
+            plan_lines: a
+                .catalog()
+                .plans_with_upload(group.up)
+                .iter()
+                .map(|p| p.down.0)
+                .collect(),
+            cluster_means: model
+                .downloads_for(group.up)
+                .map(|d| d.component_means())
+                .unwrap_or_default(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_datagen::{City, CityDataset};
+
+    fn analysis() -> CityAnalysis {
+        CityAnalysis::new(CityDataset::generate(City::A, 0.02, 59), 31)
+    }
+
+    #[test]
+    fn produces_group_figures_with_multiple_clusters() {
+        let figs = run(&analysis());
+        assert!(figs.len() >= 3, "got {}", figs.len());
+        // Crowdsourced downloads are multi-modal: the single-plan groups
+        // should recover more components than plans (§5.1).
+        let multi = figs
+            .iter()
+            .filter(|f| f.plan_lines.len() == 1 && f.cluster_means.len() > 1)
+            .count();
+        assert!(multi >= 1, "no single-plan group showed degradation modes");
+    }
+
+    #[test]
+    fn degraded_clusters_sit_below_plan() {
+        let figs = run(&analysis());
+        for f in &figs {
+            let top_plan = f.plan_lines.iter().cloned().fold(0.0f64, f64::max);
+            let below = f.cluster_means.iter().filter(|m| **m < top_plan * 0.8).count();
+            if f.plan_lines.len() == 1 && f.cluster_means.len() >= 3 {
+                assert!(
+                    below >= 1,
+                    "{}: no degradation cluster below plan {top_plan}",
+                    f.id
+                );
+            }
+        }
+    }
+}

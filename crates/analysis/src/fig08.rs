@@ -1,0 +1,53 @@
+//! Figure 8 — per-user-month assignment consistency (α, §5.2).
+//!
+//! For every Ookla user with ≥5 assigned tests in a month, α is the
+//! largest share of that month's tests assigned to one tier. The paper's
+//! distribution skews hard toward 1 (median 1).
+
+use crate::context::{ecdf_series, CityAnalysis};
+use crate::results::CdfResult;
+use st_bst::{alpha_values, AlphaConfig};
+
+/// Compute the α CDF for a city's Ookla campaign.
+pub fn run(a: &CityAnalysis) -> CdfResult {
+    let user_ids: Vec<u64> = a.dataset.ookla.iter().map(|m| m.user_id).collect();
+    let months: Vec<usize> = a.dataset.ookla.iter().map(|m| m.month()).collect();
+    let alphas = alpha_values(&user_ids, &months, &a.ookla_tiers, &AlphaConfig::default());
+
+    let mut series = Vec::new();
+    let mut medians = Vec::new();
+    if let Some((s, m)) = ecdf_series("alpha", &alphas) {
+        series.push(s);
+        medians.push(m);
+    }
+
+    CdfResult {
+        id: "fig08".into(),
+        title: format!(
+            "{}: per-user-month BST assignment consistency",
+            a.dataset.config.city.label()
+        ),
+        x_label: "alpha".into(),
+        series,
+        medians,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_datagen::{City, CityDataset};
+
+    #[test]
+    fn alpha_skews_toward_one() {
+        let a = CityAnalysis::new(CityDataset::generate(City::A, 0.03, 67), 41);
+        let r = run(&a);
+        assert_eq!(r.series.len(), 1, "some user-months must qualify");
+        let median = r.medians[0];
+        assert!(median >= 0.75, "alpha median {median} (paper: 1.0)");
+        // All α values are valid shares.
+        for (x, _) in &r.series[0].points {
+            assert!((0.0..=1.0).contains(x));
+        }
+    }
+}

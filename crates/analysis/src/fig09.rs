@@ -1,0 +1,208 @@
+//! Figure 9 — the local-factor panels (§6.1).
+//!
+//! Four CDFs of *normalized* download speed (measured / subscribed):
+//!
+//! * **(a)** WiFi vs Ethernet, all native-app tests;
+//! * **(b)** 2.4 GHz vs 5 GHz, Android tests;
+//! * **(c)** four RSSI bins, 5 GHz Android tests;
+//! * **(d)** four kernel-memory bins, 5 GHz / ≥ −50 dBm Android tests.
+
+use crate::context::{ecdf_series, CityAnalysis};
+use crate::results::CdfResult;
+use st_netsim::{Band, MemoryClass};
+use st_speedtest::{Access, Measurement, Platform};
+
+/// The four panels in order (a, b, c, d).
+pub fn run(a: &CityAnalysis) -> Vec<CdfResult> {
+    vec![panel_a(a), panel_b(a), panel_c(a), panel_d(a)]
+}
+
+fn build(
+    a: &CityAnalysis,
+    id: &str,
+    title: &str,
+    groups: Vec<(String, Vec<f64>)>,
+) -> CdfResult {
+    let mut series = Vec::new();
+    let mut medians = Vec::new();
+    for (label, values) in groups {
+        if let Some((s, m)) = ecdf_series(&label, &values) {
+            series.push(s);
+            medians.push(m);
+        }
+    }
+    CdfResult {
+        id: id.into(),
+        title: format!("{}: {title}", a.dataset.config.city.label()),
+        x_label: "Normalized Download Speed".into(),
+        series,
+        medians,
+    }
+}
+
+/// Normalized downloads for native tests matching `pred`.
+fn normalized<'a>(
+    a: &'a CityAnalysis,
+    pred: impl Fn(&Measurement) -> bool + 'a,
+) -> impl Iterator<Item = f64> + 'a {
+    a.ookla_native()
+        .into_iter()
+        .filter(move |(m, _)| pred(m))
+        .filter_map(|(m, t)| a.normalized_down(m, t))
+}
+
+/// Panel (a): access type.
+pub fn panel_a(a: &CityAnalysis) -> CdfResult {
+    let wifi: Vec<f64> = normalized(a, |m| m.access.is_wifi()).collect();
+    let eth: Vec<f64> = normalized(a, |m| m.access == Access::Ethernet).collect();
+    build(
+        a,
+        "fig09a",
+        "normalized download by access type",
+        vec![("WiFi".into(), wifi), ("Ethernet".into(), eth)],
+    )
+}
+
+/// Panel (b): WiFi band (Android only — the platform that reports it).
+pub fn panel_b(a: &CityAnalysis) -> CdfResult {
+    let band_of = |m: &Measurement| match m.access {
+        Access::Wifi { band, .. } => Some(band),
+        _ => None,
+    };
+    let g24: Vec<f64> = normalized(a, move |m| {
+        m.platform == Platform::AndroidApp && band_of(m) == Some(Band::G2_4)
+    })
+    .collect();
+    let g5: Vec<f64> = normalized(a, move |m| {
+        m.platform == Platform::AndroidApp && band_of(m) == Some(Band::G5)
+    })
+    .collect();
+    build(
+        a,
+        "fig09b",
+        "normalized download by WiFi band (Android)",
+        vec![("2.4 GHz".into(), g24), ("5 GHz".into(), g5)],
+    )
+}
+
+/// The paper's RSSI bins, best first.
+pub const RSSI_BINS: [(&str, f64, f64); 4] = [
+    (">= -30 dBm", -30.0, 0.0),
+    ("-50 dBm - -30 dBm", -50.0, -30.0),
+    ("-70 dBm - -50 dBm", -70.0, -50.0),
+    ("< -70 dBm", -95.0, -70.0),
+];
+
+/// Panel (c): RSSI bins over 5 GHz Android tests.
+pub fn panel_c(a: &CityAnalysis) -> CdfResult {
+    let groups = RSSI_BINS
+        .iter()
+        .map(|&(label, lo, hi)| {
+            let vals: Vec<f64> = normalized(a, move |m| {
+                m.platform == Platform::AndroidApp
+                    && matches!(
+                        m.access,
+                        Access::Wifi { band: Band::G5, rssi_dbm }
+                            if rssi_dbm >= lo && rssi_dbm < hi
+                    )
+            })
+            .collect();
+            (label.to_string(), vals)
+        })
+        .collect();
+    build(a, "fig09c", "normalized download by RSSI (5 GHz Android)", groups)
+}
+
+/// Panel (d): memory bins over 5 GHz, ≥ −50 dBm Android tests.
+pub fn panel_d(a: &CityAnalysis) -> CdfResult {
+    let groups = MemoryClass::all()
+        .iter()
+        .map(|&class| {
+            let vals: Vec<f64> = normalized(a, move |m| {
+                m.platform == Platform::AndroidApp
+                    && matches!(
+                        m.access,
+                        Access::Wifi { band: Band::G5, rssi_dbm } if rssi_dbm >= -50.0
+                    )
+                    && m.memory_class() == Some(class)
+            })
+            .collect();
+            (class.label().to_string(), vals)
+        })
+        .collect();
+    build(
+        a,
+        "fig09d",
+        "normalized download by kernel memory (5 GHz, >= -50 dBm Android)",
+        groups,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_datagen::{City, CityDataset};
+
+    fn analysis() -> CityAnalysis {
+        CityAnalysis::new(CityDataset::generate(City::A, 0.05, 71), 43)
+    }
+
+    #[test]
+    fn ethernet_clearly_beats_wifi() {
+        let r = panel_a(&analysis());
+        assert_eq!(r.series.len(), 2);
+        let (wifi, eth) = (r.medians[0], r.medians[1]);
+        assert!(
+            eth > wifi * 1.5,
+            "Ethernet median {eth} should dwarf WiFi {wifi} (paper: 0.71 vs 0.28)"
+        );
+    }
+
+    #[test]
+    fn five_ghz_beats_two_four() {
+        let r = panel_b(&analysis());
+        assert_eq!(r.series.len(), 2);
+        let (g24, g5) = (r.medians[0], r.medians[1]);
+        assert!(
+            g5 > g24 * 1.5,
+            "5 GHz median {g5} should dwarf 2.4 GHz {g24} (paper: 0.4 vs 0.11)"
+        );
+    }
+
+    #[test]
+    fn rssi_effect_is_monotone() {
+        let r = panel_c(&analysis());
+        // Bins are ordered best-signal first; medians must not increase
+        // as signal degrades (allow slack on the sparse best bin).
+        assert!(r.medians.len() >= 3, "bins: {}", r.medians.len());
+        let worst = *r.medians.last().unwrap();
+        let best_two = r.medians[..r.medians.len() - 1]
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        assert!(
+            best_two > worst,
+            "best bins {best_two} should beat worst bin {worst}"
+        );
+    }
+
+    #[test]
+    fn memory_effect_is_large_for_low_memory() {
+        let r = panel_d(&analysis());
+        assert!(r.series.len() >= 3);
+        // First series is "< 2 GB"; last is "> 6 GB".
+        let low = r.medians[0];
+        let high = *r.medians.last().unwrap();
+        assert!(
+            high > low * 1.5,
+            "high-memory median {high} vs low-memory {low} (paper: 0.53 vs 0.16)"
+        );
+    }
+
+    #[test]
+    fn run_returns_all_four_panels() {
+        let rs = run(&analysis());
+        let ids: Vec<&str> = rs.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, vec!["fig09a", "fig09b", "fig09c", "fig09d"]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Figure 10 — "Best" vs "Local-bottleneck" tests (§6.1).
+//!
+//! Android tests on 5 GHz with RSSI better than −50 dBm and more than 2 GB
+//! of kernel memory form the "Best" group; everything else is
+//! "Local-bottleneck". The paper: 61% of tests are Local-bottleneck and
+//! their median normalized download (0.22) is less than half of Best's
+//! (0.52).
+
+use crate::context::{ecdf_series, CityAnalysis};
+use crate::results::CdfResult;
+use serde::Serialize;
+use st_netsim::{Band, MemoryClass};
+use st_speedtest::{Access, Measurement, Platform};
+
+/// Group shares alongside the CDFs.
+#[derive(Debug, Clone, Serialize)]
+pub struct BottleneckShares {
+    /// Fraction of Android tests in the Local-bottleneck group.
+    pub local_bottleneck_share: f64,
+    /// Android tests considered.
+    pub n: usize,
+}
+
+/// Whether a measurement qualifies for the "Best" group.
+pub fn is_best(m: &Measurement) -> bool {
+    matches!(
+        m.access,
+        Access::Wifi { band: Band::G5, rssi_dbm } if rssi_dbm >= -50.0
+    ) && m.memory_class().map_or(false, |c| c != MemoryClass::Under2G)
+}
+
+/// Compute the Best vs Local-bottleneck comparison.
+pub fn run(a: &CityAnalysis) -> (CdfResult, BottleneckShares) {
+    let android: Vec<(&Measurement, Option<usize>)> =
+        a.ookla_platform(Platform::AndroidApp);
+    let mut best = Vec::new();
+    let mut bottleneck = Vec::new();
+    let mut n_bottleneck = 0usize;
+    for (m, t) in &android {
+        let nd = a.normalized_down(m, *t);
+        if is_best(m) {
+            best.extend(nd);
+        } else {
+            n_bottleneck += 1;
+            bottleneck.extend(nd);
+        }
+    }
+
+    let mut series = Vec::new();
+    let mut medians = Vec::new();
+    for (label, vals) in [("Best", best), ("Local-bottleneck", bottleneck)] {
+        if let Some((s, m)) = ecdf_series(label, &vals) {
+            series.push(s);
+            medians.push(m);
+        }
+    }
+
+    (
+        CdfResult {
+            id: "fig10".into(),
+            title: format!(
+                "{}: Best vs Local-bottleneck (Android)",
+                a.dataset.config.city.label()
+            ),
+            x_label: "Normalized Download Speed".into(),
+            series,
+            medians,
+        },
+        BottleneckShares {
+            local_bottleneck_share: if android.is_empty() {
+                0.0
+            } else {
+                n_bottleneck as f64 / android.len() as f64
+            },
+            n: android.len(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_datagen::{City, CityDataset};
+
+    fn analysis() -> CityAnalysis {
+        CityAnalysis::new(CityDataset::generate(City::A, 0.05, 73), 47)
+    }
+
+    #[test]
+    fn best_group_clearly_outperforms() {
+        let (r, _) = run(&analysis());
+        assert_eq!(r.series.len(), 2);
+        let (best, bottleneck) = (r.medians[0], r.medians[1]);
+        assert!(
+            best > bottleneck * 1.6,
+            "Best {best} vs Local-bottleneck {bottleneck} (paper: 0.52 vs 0.22)"
+        );
+    }
+
+    #[test]
+    fn majority_of_tests_are_bottlenecked() {
+        let (_, shares) = run(&analysis());
+        assert!(shares.n > 100);
+        assert!(
+            (0.4..0.9).contains(&shares.local_bottleneck_share),
+            "local-bottleneck share {} (paper: 0.61)",
+            shares.local_bottleneck_share
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Figure 11 — test volume per six-hour bin, per tier group (§6.2).
+//!
+//! The percentage of each tier group's Ookla tests that start in each
+//! quarter of the day. The paper's finding: the profile is similar across
+//! tiers — night is the quietest, afternoon/evening the busiest.
+
+use crate::context::CityAnalysis;
+use crate::results::SeriesData;
+use crate::TableResult;
+use serde::Serialize;
+use st_speedtest::Measurement;
+
+/// The per-group time-of-day volume profile.
+#[derive(Debug, Clone, Serialize)]
+pub struct TimeOfDayVolume {
+    /// Bin labels ("00-06" ...).
+    pub bins: Vec<String>,
+    /// Per tier group: label plus percentage per bin.
+    pub groups: Vec<SeriesData>,
+}
+
+/// Compute the Figure 11 volumes for a city.
+pub fn run(a: &CityAnalysis) -> (TimeOfDayVolume, TableResult) {
+    let tier_groups = a.catalog().tier_groups();
+    let mut counts = vec![[0usize; 4]; tier_groups.len()];
+    for (m, t) in a.dataset.ookla.iter().zip(&a.ookla_tiers) {
+        let Some(t) = t else { continue };
+        if let Some(g) = a.group_index(*t) {
+            counts[g][m.time_bin()] += 1;
+        }
+    }
+
+    let bins: Vec<String> =
+        (0..4).map(|b| Measurement::time_bin_label(b).to_string()).collect();
+    let groups: Vec<SeriesData> = tier_groups
+        .iter()
+        .zip(&counts)
+        .map(|(g, c)| {
+            let total: usize = c.iter().sum();
+            let pct: Vec<(f64, f64)> = c
+                .iter()
+                .enumerate()
+                .map(|(b, &n)| {
+                    (b as f64, if total == 0 { 0.0 } else { 100.0 * n as f64 / total as f64 })
+                })
+                .collect();
+            SeriesData::new(g.label(), pct)
+        })
+        .collect();
+
+    let rows = groups
+        .iter()
+        .map(|g| {
+            let mut row = vec![g.label.clone()];
+            row.extend(g.points.iter().map(|(_, p)| format!("{p:.1}%")));
+            row
+        })
+        .collect();
+    let mut headers = vec!["Tier group".to_string()];
+    headers.extend(bins.clone());
+
+    (
+        TimeOfDayVolume { bins, groups },
+        TableResult {
+            id: "fig11".into(),
+            title: format!(
+                "{}: share of tests per six-hour bin",
+                a.dataset.config.city.label()
+            ),
+            headers,
+            rows,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_datagen::{City, CityDataset};
+
+    fn analysis() -> CityAnalysis {
+        CityAnalysis::new(CityDataset::generate(City::A, 0.03, 79), 53)
+    }
+
+    #[test]
+    fn percentages_sum_to_100_per_group() {
+        let (vol, _) = run(&analysis());
+        for g in &vol.groups {
+            let total: f64 = g.points.iter().map(|(_, p)| p).sum();
+            if total > 0.0 {
+                assert!((total - 100.0).abs() < 1e-9, "{}: {total}", g.label);
+            }
+        }
+    }
+
+    #[test]
+    fn night_is_quietest_afternoon_evening_busiest() {
+        let (vol, _) = run(&analysis());
+        for g in &vol.groups {
+            let p: Vec<f64> = g.points.iter().map(|(_, v)| *v).collect();
+            if p.iter().sum::<f64>() == 0.0 {
+                continue;
+            }
+            assert!(p[0] < p[2] && p[0] < p[3], "{}: night not quietest {p:?}", g.label);
+        }
+    }
+
+    #[test]
+    fn profile_is_similar_across_tiers() {
+        // §6.2: "not a significant difference in the percentage of speed
+        // tests in each time bin by subscription tier".
+        let (vol, _) = run(&analysis());
+        let populous: Vec<&SeriesData> = vol
+            .groups
+            .iter()
+            .filter(|g| g.points.iter().map(|(_, p)| p).sum::<f64>() > 0.0)
+            .collect();
+        assert!(populous.len() >= 3);
+        for b in 0..4 {
+            let shares: Vec<f64> = populous.iter().map(|g| g.points[b].1).collect();
+            let lo = shares.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = shares.iter().cloned().fold(0.0f64, f64::max);
+            assert!(hi - lo < 15.0, "bin {b} spread too wide: {shares:?}");
+        }
+    }
+
+    #[test]
+    fn table_rows_match_groups() {
+        let (vol, table) = run(&analysis());
+        assert_eq!(table.rows.len(), vol.groups.len());
+        assert_eq!(table.headers.len(), 5);
+    }
+}

@@ -1,0 +1,156 @@
+//! Figure 13 — Ookla vs M-Lab per subscription tier (§6.3).
+//!
+//! Normalized download CDFs for both vendors within the same tier group,
+//! city, and ISP. M-Lab's single-connection NDT must lag Ookla in every
+//! group, by up to ~2× at the median.
+
+use crate::context::{ecdf_series, CityAnalysis};
+use crate::results::CdfResult;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use st_stats::median_ratio_ci;
+
+/// Median comparison per tier group.
+#[derive(Debug, Clone, Serialize)]
+pub struct VendorGap {
+    /// Tier-group label.
+    pub group: String,
+    /// Ookla median normalized download.
+    pub ookla_median: f64,
+    /// M-Lab median normalized download.
+    pub mlab_median: f64,
+    /// `ookla_median / mlab_median` — the paper reports 1.2–2.0.
+    pub ratio: f64,
+    /// 95% bootstrap CI for the ratio, when both samples are big enough.
+    pub ratio_ci: Option<(f64, f64)>,
+}
+
+/// One CDF panel per tier group, plus the per-group median gaps.
+pub fn run(a: &CityAnalysis) -> (Vec<CdfResult>, Vec<VendorGap>) {
+    let tier_groups = a.catalog().tier_groups();
+    let mut panels = Vec::new();
+    let mut gaps = Vec::new();
+
+    for (gi, group) in tier_groups.iter().enumerate() {
+        let ookla: Vec<f64> = a
+            .dataset
+            .ookla
+            .iter()
+            .zip(&a.ookla_tiers)
+            .filter(|(_, t)| t.map(|t| a.group_index(t)) == Some(Some(gi)))
+            .filter_map(|(m, t)| a.normalized_down(m, *t))
+            .collect();
+        let mlab: Vec<f64> = a
+            .dataset
+            .mlab
+            .iter()
+            .zip(&a.mlab_tiers)
+            .filter(|(_, t)| t.map(|t| a.group_index(t)) == Some(Some(gi)))
+            .filter_map(|(m, t)| a.normalized_down(m, *t))
+            .collect();
+
+        let mut series = Vec::new();
+        let mut medians = Vec::new();
+        for (label, vals) in [("Ookla", &ookla), ("M-Lab", &mlab)] {
+            if let Some((s, m)) = ecdf_series(label, vals) {
+                series.push(s);
+                medians.push(m);
+            }
+        }
+        if medians.len() == 2 {
+            // Percentile-bootstrap CI on the median ratio; deterministic
+            // seed so repro runs are reproducible.
+            let ratio_ci = if ookla.len() >= 30 && mlab.len() >= 30 {
+                let mut rng = StdRng::seed_from_u64(0xf13 + gi as u64);
+                median_ratio_ci(&ookla, &mlab, 300, 0.95, &mut rng)
+                    .ok()
+                    .map(|ci| (ci.lo, ci.hi))
+            } else {
+                None
+            };
+            gaps.push(VendorGap {
+                group: group.label(),
+                ookla_median: medians[0],
+                mlab_median: medians[1],
+                ratio: if medians[1] > 0.0 { medians[0] / medians[1] } else { f64::NAN },
+                ratio_ci,
+            });
+        }
+        panels.push(CdfResult {
+            id: format!("fig13_{}", group.label().replace(' ', "").to_lowercase()),
+            title: format!(
+                "{}: Ookla vs M-Lab, {}",
+                a.dataset.config.city.label(),
+                group.label()
+            ),
+            x_label: "Normalized Download Speed".into(),
+            series,
+            medians,
+        });
+    }
+    (panels, gaps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_datagen::{City, CityDataset};
+
+    fn analysis() -> CityAnalysis {
+        CityAnalysis::new(CityDataset::generate(City::A, 0.03, 89), 61)
+    }
+
+    #[test]
+    fn one_panel_per_tier_group() {
+        let (panels, _) = run(&analysis());
+        assert_eq!(panels.len(), 4);
+    }
+
+    #[test]
+    fn mlab_lags_ookla_in_every_group() {
+        let (_, gaps) = run(&analysis());
+        assert!(gaps.len() >= 3, "groups compared: {}", gaps.len());
+        for g in &gaps {
+            assert!(
+                g.ookla_median >= g.mlab_median * 0.95,
+                "{}: Ookla {} vs M-Lab {}",
+                g.group,
+                g.ookla_median,
+                g.mlab_median
+            );
+        }
+        // Somewhere the gap approaches the paper's 2x.
+        let max_ratio = gaps.iter().map(|g| g.ratio).fold(0.0f64, f64::max);
+        assert!(max_ratio > 1.2, "max vendor gap ratio {max_ratio} (paper: up to 2)");
+    }
+
+    #[test]
+    fn ratio_confidence_intervals_bracket_the_point_estimate() {
+        let (_, gaps) = run(&analysis());
+        let with_ci = gaps.iter().filter(|g| g.ratio_ci.is_some()).count();
+        assert!(with_ci >= 3, "CIs computed for {with_ci} groups");
+        for g in &gaps {
+            if let Some((lo, hi)) = g.ratio_ci {
+                assert!(lo <= g.ratio && g.ratio <= hi, "{g:?}");
+                assert!(hi - lo < g.ratio, "CI implausibly wide: {g:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn gap_widens_on_faster_tiers() {
+        // The Mathis ceiling binds harder at higher plan rates, so the
+        // top groups should show a larger ratio than the lowest group.
+        let (_, gaps) = run(&analysis());
+        if gaps.len() >= 2 {
+            let first = gaps.first().unwrap().ratio;
+            let later_max =
+                gaps[1..].iter().map(|g| g.ratio).fold(0.0f64, f64::max);
+            assert!(
+                later_max >= first * 0.9,
+                "higher tiers should not close the gap: first {first}, later {later_max}"
+            );
+        }
+    }
+}

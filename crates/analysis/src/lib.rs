@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+//! The paper's experiments, one module per table/figure.
+//!
+//! Each module consumes a generated [`st_datagen::CityDataset`] (wrapped in
+//! a [`CityAnalysis`] that carries the fitted BST assignments) and returns
+//! a serializable result struct holding exactly the rows/series the paper
+//! reports, plus a text rendering. The `st-bench` crate's `repro` binary
+//! drives every module and writes SVG/JSON/markdown artifacts.
+//!
+//! Experiment index (see DESIGN.md §4 for the full mapping):
+//!
+//! | Module      | Paper artifact                                        |
+//! |-------------|-------------------------------------------------------|
+//! | [`fig01`]   | Fig. 1 — motivating contextualized CDFs               |
+//! | [`fig02`]   | Fig. 2 — consistency factor CDF                       |
+//! | [`table1`]  | Table 1 — dataset sizes                               |
+//! | [`table2`]  | Table 2 — BST upload accuracy on MBA                  |
+//! | [`fig04`]   | Fig. 4 (+14) — MBA upload KDE                         |
+//! | [`fig05`]   | Fig. 5 (+16–18) — MBA download KDE per upload cluster |
+//! | [`fig06`]   | Fig. 6 (+15) — crowdsourced upload KDE                |
+//! | [`table3`]  | Tables 3, 5–7 — upload clusters per platform          |
+//! | [`fig07`]   | Fig. 7 — Android download KDE per upload cluster      |
+//! | [`table4`]  | Table 4 — download cluster means per platform         |
+//! | [`fig08`]   | Fig. 8 — per-user-month α CDF                         |
+//! | [`fig09`]   | Fig. 9 — access type / band / RSSI / memory CDFs      |
+//! | [`fig10`]   | Fig. 10 — Best vs Local-bottleneck                    |
+//! | [`fig11`]   | Fig. 11 — test volume per 6-hour bin                  |
+//! | [`fig12`]   | Fig. 12 — normalized download by time of day          |
+//! | [`fig13`]   | Fig. 13 — Ookla vs M-Lab per tier                     |
+//! | [`ext_latency`] | extension: latency under load (not in the paper)  |
+//! | [`cities`]  | §2 cross-city comparison (aggregate vs structure)     |
+
+pub mod cities;
+pub mod context;
+pub mod ext_latency;
+pub mod fig01;
+pub mod fig02;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod results;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+pub use context::CityAnalysis;
+pub use results::{CdfResult, SeriesData, TableResult};

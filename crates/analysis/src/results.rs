@@ -1,0 +1,190 @@
+//! Serializable result containers shared by the experiment modules.
+
+use serde::Serialize;
+use st_viz::Series;
+
+/// A labelled series of points, serializable for the repro binary's JSON
+/// output and convertible to a `st_viz::Series` for rendering.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SeriesData {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in plot order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl SeriesData {
+    /// Create a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        SeriesData { label: label.into(), points }
+    }
+
+    /// Convert for rendering.
+    pub fn to_series(&self) -> Series {
+        Series::new(self.label.clone(), self.points.clone())
+    }
+}
+
+/// A CDF-style figure: several series plus their medians.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CdfResult {
+    /// Figure identifier ("fig09a" etc.).
+    pub id: String,
+    /// Title for rendering.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// The CDF series.
+    pub series: Vec<SeriesData>,
+    /// Median of each series, parallel to `series`.
+    pub medians: Vec<f64>,
+}
+
+impl CdfResult {
+    /// Render all series as an ASCII plot plus a median list.
+    pub fn render(&self) -> String {
+        let series: Vec<Series> = self.series.iter().map(|s| s.to_series()).collect();
+        let mut out = format!("== {} — {} ==\n", self.id, self.title);
+        out.push_str(&st_viz::ascii_cdf(&series, 64, 16));
+        for (s, m) in self.series.iter().zip(&self.medians) {
+            out.push_str(&format!("  median[{}] = {:.3}\n", s.label, m));
+        }
+        out
+    }
+
+    /// Render as an SVG document.
+    pub fn to_svg(&self) -> String {
+        let series: Vec<Series> = self.series.iter().map(|s| s.to_series()).collect();
+        let cfg = st_viz::SvgConfig::titled(&self.title, &self.x_label, "Cum. Fraction of Tests");
+        st_viz::svg_lines(&series, &cfg)
+    }
+}
+
+/// A density-style figure: KDE curves plus reference verticals (plan
+/// speeds) and recovered cluster means.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DensityResult {
+    /// Figure identifier ("fig04" etc.).
+    pub id: String,
+    /// Title for rendering.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// The density series.
+    pub series: Vec<SeriesData>,
+    /// Reference x positions (offered plan speeds).
+    pub plan_lines: Vec<f64>,
+    /// Cluster means recovered by BST.
+    pub cluster_means: Vec<f64>,
+}
+
+impl DensityResult {
+    /// Render the densities as SVG (plan lines become thin vertical
+    /// series so they ride through the same pipeline).
+    pub fn to_svg(&self) -> String {
+        let mut series: Vec<Series> = self.series.iter().map(|s| s.to_series()).collect();
+        let max_y = series
+            .iter()
+            .filter_map(|s| s.bounds().map(|b| b.3))
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        for &x in &self.plan_lines {
+            series.push(Series::new("plan", vec![(x, 0.0), (x, max_y)]));
+        }
+        let cfg = st_viz::SvgConfig::titled(&self.title, &self.x_label, "Density");
+        st_viz::svg_lines(&series, &cfg)
+    }
+
+    /// Text rendering: an ASCII density plot plus the plan lines and the
+    /// recovered cluster means.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} — {} ==\n", self.id, self.title);
+        let series: Vec<Series> = self.series.iter().map(|s| s.to_series()).collect();
+        out.push_str(&st_viz::ascii_lines(&series, 64, 12));
+        out.push_str(&format!("  plan speeds: {:?}\n", self.plan_lines));
+        out.push_str(&format!(
+            "  recovered cluster means: {:?}\n",
+            self.cluster_means.iter().map(|m| (m * 100.0).round() / 100.0).collect::<Vec<_>>()
+        ));
+        out
+    }
+}
+
+/// A table-style result: headers plus string rows.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TableResult {
+    /// Table identifier ("table2" etc.).
+    pub id: String,
+    /// Title for rendering.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (each as wide as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TableResult {
+    /// Render as an ASCII table.
+    pub fn render(&self) -> String {
+        let headers: Vec<&str> = self.headers.iter().map(String::as_str).collect();
+        format!(
+            "== {} — {} ==\n{}",
+            self.id,
+            self.title,
+            st_viz::ascii_table(&headers, &self.rows)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_round_trip() {
+        let d = SeriesData::new("x", vec![(0.0, 0.5)]);
+        let s = d.to_series();
+        assert_eq!(s.label, "x");
+        assert_eq!(s.points, vec![(0.0, 0.5)]);
+    }
+
+    #[test]
+    fn cdf_result_renders_medians() {
+        let r = CdfResult {
+            id: "figX".into(),
+            title: "demo".into(),
+            x_label: "Mbps".into(),
+            series: vec![SeriesData::new("a", vec![(0.0, 0.0), (1.0, 1.0)])],
+            medians: vec![0.5],
+        };
+        let text = r.render();
+        assert!(text.contains("figX") && text.contains("median[a] = 0.500"));
+        let svg = r.to_svg();
+        assert!(svg.contains("<svg") && svg.contains("demo"));
+    }
+
+    #[test]
+    fn table_result_renders() {
+        let t = TableResult {
+            id: "tableX".into(),
+            title: "demo".into(),
+            headers: vec!["a".into(), "b".into()],
+            rows: vec![vec!["1".into(), "2".into()]],
+        };
+        let text = t.render();
+        assert!(text.contains("tableX") && text.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn results_serialize_to_json() {
+        let r = CdfResult {
+            id: "f".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            series: vec![],
+            medians: vec![],
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"id\":\"f\""));
+    }
+}

@@ -1,0 +1,65 @@
+//! Table 1 — dataset sizes per city.
+
+use crate::results::TableResult;
+use st_datagen::CityDataset;
+
+/// Render the Table 1 rows for a set of generated city datasets.
+pub fn run(datasets: &[&CityDataset]) -> TableResult {
+    let rows = datasets
+        .iter()
+        .map(|ds| {
+            vec![
+                ds.config.city.label().to_string(),
+                ds.config.catalog.isp.clone(),
+                format!("{}", ds.ookla.len()),
+                format!("{}", ds.mlab.len()),
+                format!("{}", ds.mba.len()),
+            ]
+        })
+        .collect();
+    TableResult {
+        id: "table1".into(),
+        title: format!(
+            "Dataset sizes (scale {} of the paper's campaigns)",
+            datasets.first().map(|d| d.config.scale).unwrap_or(0.0)
+        ),
+        headers: vec![
+            "City/State".into(),
+            "ISP".into(),
+            "Ookla".into(),
+            "M-Lab".into(),
+            "MBA".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_datagen::City;
+
+    #[test]
+    fn one_row_per_city_with_counts() {
+        let a = CityDataset::generate(City::A, 0.002, 1);
+        let b = CityDataset::generate(City::B, 0.002, 1);
+        let t = run(&[&a, &b]);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0][0], "City-A");
+        assert_eq!(t.rows[0][1], "ISP-A");
+        assert_eq!(t.rows[0][2], a.ookla.len().to_string());
+        assert_eq!(t.rows[1][4], b.mba.len().to_string());
+    }
+
+    #[test]
+    fn relative_sizes_follow_the_paper() {
+        // Table 1: City-B has the largest M-Lab campaign; City-A the
+        // largest MBA panel.
+        let ds: Vec<CityDataset> = [City::A, City::B, City::C, City::D]
+            .iter()
+            .map(|&c| CityDataset::generate(c, 0.002, 2))
+            .collect();
+        assert!(ds[1].mlab.len() > ds[0].mlab.len());
+        assert!(ds[0].mba.len() >= ds[1].mba.len());
+    }
+}

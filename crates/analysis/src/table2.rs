@@ -1,0 +1,111 @@
+//! Table 2 — BST upload-tier accuracy on the MBA panels.
+//!
+//! For each state, fit BST to the MBA measurements and score the assigned
+//! upload caps against the panel's ground-truth plans. The paper reports
+//! >96% for all four states.
+
+use crate::context::CityAnalysis;
+use crate::results::TableResult;
+use st_bst::evaluate;
+use serde::Serialize;
+
+/// One state's evaluation, serializable for EXPERIMENTS.md tooling.
+#[derive(Debug, Clone, Serialize)]
+pub struct StateAccuracy {
+    /// State label ("State-A").
+    pub state: String,
+    /// Whitebox units in the panel.
+    pub units: usize,
+    /// Measurements evaluated.
+    pub n: usize,
+    /// Upload-cap accuracy (the Table 2 metric).
+    pub upload_accuracy: f64,
+    /// Exact plan accuracy.
+    pub plan_accuracy: f64,
+}
+
+/// Evaluate BST on each city's MBA panel.
+pub fn run(analyses: &[&CityAnalysis]) -> (TableResult, Vec<StateAccuracy>) {
+    let mut stats = Vec::new();
+    for a in analyses {
+        let Some(model) = &a.mba_model else { continue };
+        let truth: Vec<Option<usize>> =
+            a.dataset.mba.iter().map(|m| m.truth_tier).collect();
+        let ev = evaluate(model, &truth, a.catalog());
+        stats.push(StateAccuracy {
+            state: a.dataset.config.city.state_label().to_string(),
+            units: a.dataset.config.mba_units,
+            n: ev.n,
+            upload_accuracy: ev.upload_accuracy,
+            plan_accuracy: ev.plan_accuracy,
+        });
+    }
+
+    let rows = stats
+        .iter()
+        .map(|s| {
+            vec![
+                s.state.clone(),
+                format!("{}", s.units),
+                format!("{}", s.n),
+                format!("{:.2}%", s.upload_accuracy * 100.0),
+                format!("{:.2}%", s.plan_accuracy * 100.0),
+            ]
+        })
+        .collect();
+    (
+        TableResult {
+            id: "table2".into(),
+            title: "BST upload-tier accuracy on the MBA panels".into(),
+            headers: vec![
+                "State".into(),
+                "#Units".into(),
+                "#Tests".into(),
+                "Upload Accuracy".into(),
+                "Plan Accuracy".into(),
+            ],
+            rows,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_datagen::{City, CityDataset};
+
+    #[test]
+    fn state_a_exceeds_96_percent() {
+        let a = CityAnalysis::new(CityDataset::generate(City::A, 0.02, 31), 9);
+        let (table, stats) = run(&[&a]);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].state, "State-A");
+        assert_eq!(stats[0].units, 20);
+        assert!(
+            stats[0].upload_accuracy > 0.96,
+            "upload accuracy {} (paper: >96%)",
+            stats[0].upload_accuracy
+        );
+        assert!(table.rows[0][3].ends_with('%'));
+    }
+
+    #[test]
+    fn all_four_states_score_high() {
+        let analyses: Vec<CityAnalysis> = [City::A, City::B, City::C, City::D]
+            .iter()
+            .map(|&c| CityAnalysis::new(CityDataset::generate(c, 0.012, 37), 13))
+            .collect();
+        let refs: Vec<&CityAnalysis> = analyses.iter().collect();
+        let (_, stats) = run(&refs);
+        assert_eq!(stats.len(), 4);
+        for s in &stats {
+            assert!(
+                s.upload_accuracy > 0.90,
+                "{}: upload accuracy {}",
+                s.state,
+                s.upload_accuracy
+            );
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Tables 3, 5, 6, 7 — upload-cluster counts and means per platform.
+//!
+//! For each platform's fitted BST model: the number of measurements whose
+//! stage-1 component matched each upload cap, and the (weight-averaged)
+//! component mean — the per-cell values of the paper's Table 3.
+
+use crate::context::CityAnalysis;
+use crate::results::TableResult;
+use serde::Serialize;
+use st_speedtest::Platform;
+
+/// One platform row of the table.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlatformClusters {
+    /// Platform label.
+    pub platform: String,
+    /// Per tier group: `(label, count, mean_mbps)`.
+    pub groups: Vec<(String, usize, f64)>,
+}
+
+/// Compute the upload-cluster table for a city.
+pub fn run(a: &CityAnalysis) -> (TableResult, Vec<PlatformClusters>) {
+    let groups = a.catalog().tier_groups();
+    let mut stats: Vec<PlatformClusters> = Vec::new();
+
+    // Ookla per-platform models, in the paper's platform order.
+    for platform in Platform::all() {
+        let model = if platform == Platform::NdtWeb {
+            a.mlab_model.as_ref()
+        } else {
+            a.ookla_model(platform)
+        };
+        let Some(model) = model else { continue };
+        let row = PlatformClusters {
+            platform: platform.label().to_string(),
+            groups: groups
+                .iter()
+                .map(|g| {
+                    let count = model.uploads.members_of(g.up).len();
+                    let mean = model.uploads.matched_mean(g.up).unwrap_or(f64::NAN);
+                    (g.label(), count, mean)
+                })
+                .collect(),
+        };
+        stats.push(row);
+    }
+
+    let mut headers = vec!["Platform".to_string()];
+    for g in &groups {
+        headers.push(format!("{} #", g.label()));
+        headers.push(format!("{} mean", g.label()));
+    }
+    let rows = stats
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.platform.clone()];
+            for (_, count, mean) in &s.groups {
+                row.push(count.to_string());
+                row.push(if mean.is_nan() {
+                    "-".to_string()
+                } else {
+                    format!("{mean:.2}")
+                });
+            }
+            row
+        })
+        .collect();
+
+    (
+        TableResult {
+            id: "table3".into(),
+            title: format!(
+                "{}: upload clusters per platform (counts and means, Mbps)",
+                a.dataset.config.city.label()
+            ),
+            headers,
+            rows,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_datagen::{City, CityDataset};
+
+    fn analysis(city: City) -> CityAnalysis {
+        CityAnalysis::new(CityDataset::generate(city, 0.012, 53), 29)
+    }
+
+    #[test]
+    fn covers_major_platforms_and_groups() {
+        let a = analysis(City::A);
+        let (table, stats) = run(&a);
+        assert!(stats.len() >= 3, "platforms: {:?}",
+            stats.iter().map(|s| &s.platform).collect::<Vec<_>>());
+        // 4 tier groups for ISP-A → 1 + 8 columns.
+        assert_eq!(table.headers.len(), 9);
+        let labels: Vec<&str> = stats.iter().map(|s| s.platform.as_str()).collect();
+        assert!(labels.contains(&"iOS-App"));
+        assert!(labels.contains(&"Net-Web"));
+        assert!(labels.contains(&"NDT-Web"));
+    }
+
+    #[test]
+    fn means_sit_near_their_caps() {
+        let a = analysis(City::A);
+        let (_, stats) = run(&a);
+        let caps = [5.0, 10.0, 15.0, 35.0];
+        for s in &stats {
+            for ((_, count, mean), cap) in s.groups.iter().zip(caps) {
+                if *count >= 30 && !mean.is_nan() {
+                    assert!(
+                        (mean - cap).abs() < cap * 0.35 + 1.0,
+                        "{}: group mean {mean} vs cap {cap}",
+                        s.platform
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lower_tiers_dominate_test_volume() {
+        // §5.1: "roughly half of these tests originate from the lowest
+        // subscription tier" — the lowest group must hold the plurality.
+        let a = analysis(City::A);
+        let (_, stats) = run(&a);
+        let ios = stats.iter().find(|s| s.platform == "iOS-App").unwrap();
+        let counts: Vec<usize> = ios.groups.iter().map(|g| g.1).collect();
+        let total: usize = counts.iter().sum();
+        assert!(
+            counts[0] as f64 / total as f64 > 0.3,
+            "lowest group share {counts:?}"
+        );
+    }
+
+    #[test]
+    fn works_for_other_cities_catalogs() {
+        let a = analysis(City::D);
+        let (table, stats) = run(&a);
+        // ISP-D has 3 tier groups → 1 + 6 columns.
+        assert_eq!(table.headers.len(), 7);
+        assert!(!stats.is_empty());
+    }
+}

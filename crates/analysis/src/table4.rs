@@ -1,0 +1,133 @@
+//! Table 4 — download cluster means per platform and tier group.
+//!
+//! For each platform model and each upload group: the stage-2 component
+//! means, comma-separated, exactly like the paper's appendix table. The
+//! structural claim reproduced here: wired platforms need *fewer*
+//! components than wireless ones ("The number of components detected for
+//! wired measurements in each of these tiers is less than in wireless
+//! ones", §5.1).
+
+use crate::context::CityAnalysis;
+use crate::results::TableResult;
+use serde::Serialize;
+use st_speedtest::Platform;
+
+/// One platform's download-cluster means per group.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlatformDownloadClusters {
+    /// Platform label.
+    pub platform: String,
+    /// Per tier group: `(label, component_means)`.
+    pub groups: Vec<(String, Vec<f64>)>,
+}
+
+/// Compute the download-cluster table for a city.
+pub fn run(a: &CityAnalysis) -> (TableResult, Vec<PlatformDownloadClusters>) {
+    let groups = a.catalog().tier_groups();
+    let mut stats = Vec::new();
+
+    for platform in Platform::all() {
+        let model = if platform == Platform::NdtWeb {
+            a.mlab_model.as_ref()
+        } else {
+            a.ookla_model(platform)
+        };
+        let Some(model) = model else { continue };
+        stats.push(PlatformDownloadClusters {
+            platform: platform.label().to_string(),
+            groups: groups
+                .iter()
+                .map(|g| {
+                    let means = model
+                        .downloads_for(g.up)
+                        .map(|d| d.component_means())
+                        .unwrap_or_default();
+                    (g.label(), means)
+                })
+                .collect(),
+        });
+    }
+
+    let mut headers = vec!["Platform".to_string()];
+    headers.extend(groups.iter().map(|g| g.label()));
+    let rows = stats
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.platform.clone()];
+            for (_, means) in &s.groups {
+                row.push(
+                    means
+                        .iter()
+                        .map(|m| format!("{m:.0}"))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                );
+            }
+            row
+        })
+        .collect();
+
+    (
+        TableResult {
+            id: "table4".into(),
+            title: format!(
+                "{}: download cluster means (Mbps) per platform and tier group",
+                a.dataset.config.city.label()
+            ),
+            headers,
+            rows,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_datagen::{City, CityDataset};
+
+    fn analysis() -> CityAnalysis {
+        CityAnalysis::new(CityDataset::generate(City::A, 0.02, 61), 37)
+    }
+
+    #[test]
+    fn table_has_platform_rows_and_group_columns() {
+        let (table, stats) = run(&analysis());
+        assert_eq!(table.headers.len(), 5); // Platform + 4 groups
+        assert!(stats.len() >= 3);
+        for row in &table.rows {
+            assert_eq!(row.len(), 5);
+        }
+    }
+
+    #[test]
+    fn wired_platforms_need_fewer_components_than_wifi() {
+        let (_, stats) = run(&analysis());
+        let count = |name: &str| -> Option<usize> {
+            stats
+                .iter()
+                .find(|s| s.platform == name)
+                .map(|s| s.groups.iter().map(|(_, m)| m.len()).sum())
+        };
+        if let (Some(eth), Some(ios)) = (count("Desktop Ethernet-App"), count("iOS-App")) {
+            assert!(
+                eth <= ios,
+                "Ethernet should need <= components than WiFi: {eth} vs {ios}"
+            );
+        }
+    }
+
+    #[test]
+    fn wifi_groups_show_degradation_spread() {
+        // For WiFi platforms the component means in a single-plan group
+        // span a wide range (Table 4 shows 40..763 for Tier 6 Android).
+        let (_, stats) = run(&analysis());
+        let ios = stats.iter().find(|s| s.platform == "iOS-App").unwrap();
+        let top_group = ios.groups.last().unwrap();
+        if top_group.1.len() >= 3 {
+            let lo = top_group.1.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = top_group.1.iter().cloned().fold(0.0f64, f64::max);
+            assert!(hi > lo * 2.0, "spread {lo}..{hi} too tight for WiFi");
+        }
+    }
+}

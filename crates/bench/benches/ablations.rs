@@ -1,0 +1,175 @@
+//! Ablation benchmarks for the design choices DESIGN.md §8 calls out.
+//!
+//! Each benchmark both times the variant and (once, outside the timing
+//! loop) prints its accuracy on a noisy crowdsourced-style sample, so a
+//! bench run doubles as the ablation accuracy report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use st_bst::ablation::{
+    bic_upload_components, download_first_tiers, kmeans_tiers, tier_accuracy,
+};
+use st_bst::{BstConfig, BstModel};
+use st_datagen::catalog_for;
+use st_datagen::City;
+use st_netsim::tcp::{CongestionControl, FlowConfig, TcpSimulator};
+use st_netsim::Mbps;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+/// A noisy crowdsourced-style sample with truth (WiFi drags half of each
+/// tier's downloads far below plan).
+fn sample() -> &'static (Vec<f64>, Vec<f64>, Vec<usize>) {
+    static CELL: OnceLock<(Vec<f64>, Vec<f64>, Vec<usize>)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let mut r = StdRng::seed_from_u64(99);
+        let spec: [(f64, f64, usize, usize); 4] = [
+            (110.0, 5.4, 1500, 2),
+            (430.0, 10.7, 900, 4),
+            (780.0, 16.0, 700, 5),
+            (1000.0, 37.5, 900, 6),
+        ];
+        let (mut down, mut up, mut truth) = (Vec::new(), Vec::new(), Vec::new());
+        for &(dmu, umu, n, tier) in &spec {
+            for _ in 0..n {
+                let degradation = if r.gen::<f64>() < 0.5 {
+                    0.15 + r.gen::<f64>() * 0.5
+                } else {
+                    0.85 + r.gen::<f64>() * 0.2
+                };
+                let g = |r: &mut StdRng, mu: f64, sd: f64| {
+                    let u1: f64 = r.gen::<f64>().max(1e-12);
+                    let u2: f64 = r.gen();
+                    mu + sd * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+                };
+                down.push((g(&mut r, dmu, dmu * 0.05) * degradation).max(1.0));
+                up.push(g(&mut r, umu, umu * 0.06).max(0.3));
+                truth.push(tier);
+            }
+        }
+        (down, up, truth)
+    })
+}
+
+fn bench_upload_first_vs_download_first(c: &mut Criterion) {
+    let (down, up, truth) = sample();
+    let catalog = catalog_for(City::A);
+    let cfg = BstConfig::default();
+
+    // Accuracy report (once).
+    let mut rng = StdRng::seed_from_u64(1);
+    let bst = BstModel::fit(down, up, &catalog, &cfg, &mut rng).unwrap();
+    let df = download_first_tiers(down, &catalog, &cfg, &mut rng).unwrap();
+    eprintln!(
+        "[ablation] upload-first BST accuracy = {:.3}, download-first = {:.3}",
+        tier_accuracy(&bst.tiers(), truth),
+        tier_accuracy(&df, truth)
+    );
+
+    let mut g = c.benchmark_group("ablation_hierarchy");
+    g.sample_size(10);
+    g.bench_function("upload_first_bst", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            black_box(BstModel::fit(down, up, &catalog, &cfg, &mut rng).unwrap())
+        })
+    });
+    g.bench_function("download_first", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(download_first_tiers(down, &catalog, &cfg, &mut rng).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_gmm_vs_kmeans(c: &mut Criterion) {
+    let (down, up, truth) = sample();
+    let catalog = catalog_for(City::A);
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let km = kmeans_tiers(down, up, &catalog, &mut rng).unwrap();
+    eprintln!("[ablation] k-means hierarchy accuracy = {:.3}", tier_accuracy(&km, truth));
+
+    let mut g = c.benchmark_group("ablation_clusterer");
+    g.sample_size(10);
+    g.bench_function("kmeans_hierarchy", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| black_box(kmeans_tiers(down, up, &catalog, &mut rng).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_peak_count_vs_bic(c: &mut Criterion) {
+    let (_, up, _) = sample();
+    let mut rng = StdRng::seed_from_u64(5);
+    let k = bic_upload_components(up, 8, &mut rng).unwrap();
+    eprintln!("[ablation] BIC selects k = {k} upload components (true caps: 4)");
+
+    let mut g = c.benchmark_group("ablation_model_selection");
+    g.sample_size(10);
+    g.bench_function("bic_sweep_k1to8", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        b.iter(|| black_box(bic_upload_components(up, 8, &mut rng).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_congestion_control_sensitivity(c: &mut Criterion) {
+    // How much of the §6.3 vendor gap survives if NDT's server ran CUBIC
+    // (as 2021 Linux servers did) instead of the Reno the model defaults
+    // to? Report the single-vs-8-flow gap under both algorithms.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut gap = |cc: CongestionControl| {
+        let mut avg = |flows: usize| {
+            let cfg = FlowConfig::new(flows, 15.0, 0.015, Mbps(800.0))
+                .with_loss(1e-4)
+                .with_congestion_control(cc);
+            let sim = TcpSimulator::new(cfg);
+            (0..20).map(|_| sim.run(2.0, &mut rng).mean_steady.0).sum::<f64>() / 20.0
+        };
+        avg(8) / avg(1)
+    };
+    eprintln!(
+        "[ablation] single-flow gap: Reno {:.2}x, CUBIC {:.2}x (gap persists under CUBIC)",
+        gap(CongestionControl::Reno),
+        gap(CongestionControl::Cubic)
+    );
+
+    let mut g = c.benchmark_group("ablation_congestion_control");
+    g.sample_size(10);
+    for (name, cc) in [("reno", CongestionControl::Reno), ("cubic", CongestionControl::Cubic)] {
+        g.bench_function(name, |b| {
+            let cfg = FlowConfig::new(1, 15.0, 0.015, Mbps(800.0))
+                .with_loss(1e-4)
+                .with_congestion_control(cc);
+            let sim = TcpSimulator::new(cfg);
+            let mut rng = StdRng::seed_from_u64(8);
+            b.iter(|| black_box(sim.run(2.0, &mut rng)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_joint_2d(c: &mut Criterion) {
+    let (down, up, truth) = sample();
+    let catalog = catalog_for(City::A);
+    let joint = st_bst::ablation::joint_2d_tiers(down, up, &catalog).unwrap();
+    eprintln!("[ablation] joint 2-D GMM accuracy = {:.3}", tier_accuracy(&joint, truth));
+
+    let mut g = c.benchmark_group("ablation_joint_2d");
+    g.sample_size(10);
+    g.bench_function("joint_2d_gmm", |b| {
+        b.iter(|| black_box(st_bst::ablation::joint_2d_tiers(down, up, &catalog).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_upload_first_vs_download_first,
+    bench_gmm_vs_kmeans,
+    bench_peak_count_vs_bic,
+    bench_congestion_control_sensitivity,
+    bench_joint_2d
+);
+criterion_main!(ablations);

@@ -1,0 +1,113 @@
+//! Benchmarks of the substrate layers: statistical kernels, the TCP
+//! simulator, dataset generation, and BST fitting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use st_bst::{BstConfig, BstModel};
+use st_datagen::{catalog_for, City, CityDataset};
+use st_netsim::tcp::{FlowConfig, TcpSimulator};
+use st_netsim::Mbps;
+use st_stats::{Bandwidth, GaussianMixture, GmmConfig, KernelDensity};
+use std::hint::black_box;
+
+fn gaussians(spec: &[(f64, f64, usize)], seed: u64) -> Vec<f64> {
+    let mut r = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for &(mu, sd, n) in spec {
+        for _ in 0..n {
+            let u1: f64 = r.gen::<f64>().max(1e-12);
+            let u2: f64 = r.gen();
+            out.push(mu + sd * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos());
+        }
+    }
+    out
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let data = gaussians(
+        &[(5.3, 0.5, 4000), (10.7, 0.6, 1500), (16.0, 0.8, 1200), (37.5, 1.5, 1800)],
+        7,
+    );
+
+    let mut g = c.benchmark_group("stats");
+    g.bench_function("kde_fit_and_peaks_8k", |b| {
+        b.iter(|| {
+            let kde = KernelDensity::fit(&data, Bandwidth::Silverman).unwrap();
+            black_box(kde.find_peaks(512, 0.02).unwrap())
+        })
+    });
+    g.bench_function("gmm_em_seeded_8k_k4", |b| {
+        b.iter(|| {
+            black_box(
+                GaussianMixture::fit_with_means(
+                    &data,
+                    &[5.0, 10.0, 15.0, 35.0],
+                    GmmConfig::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.bench_function("gmm_em_kmeanspp_8k_k4", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            black_box(GaussianMixture::fit(&data, GmmConfig::with_k(4), &mut rng).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_tcp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tcp_simulator");
+    for &(flows, label) in &[(1usize, "ndt_1flow"), (8, "ookla_8flows")] {
+        g.bench_function(BenchmarkId::new("transfer_15s_15ms", label), |b| {
+            let cfg = FlowConfig::new(flows, 15.0, 0.015, Mbps(800.0)).with_loss(1e-4);
+            let sim = TcpSimulator::new(cfg);
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(sim.run(3.0, &mut rng)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_datagen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datagen");
+    g.sample_size(10);
+    g.bench_function("city_a_scale_0.002", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(CityDataset::generate(City::A, 0.002, seed))
+        })
+    });
+    g.finish();
+}
+
+fn bench_bst(c: &mut Criterion) {
+    let ds = CityDataset::generate(City::A, 0.01, 11);
+    let down: Vec<f64> = ds.mba.iter().map(|m| m.down_mbps).collect();
+    let up: Vec<f64> = ds.mba.iter().map(|m| m.up_mbps).collect();
+    let catalog = catalog_for(City::A);
+
+    let mut g = c.benchmark_group("bst");
+    g.bench_function("fit_mba_panel", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| {
+            black_box(
+                BstModel::fit(&down, &up, &catalog, &BstConfig::default(), &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("assign_single_point", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let model =
+            BstModel::fit(&down, &up, &catalog, &BstConfig::default(), &mut rng).unwrap();
+        b.iter(|| black_box(model.assign(black_box(117.0), black_box(5.2))))
+    });
+    g.finish();
+}
+
+criterion_group!(substrates, bench_stats, bench_tcp, bench_datagen, bench_bst);
+criterion_main!(substrates);

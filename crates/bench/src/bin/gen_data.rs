@@ -1,0 +1,121 @@
+//! Export synthetic campaigns as CSV for external analysis stacks.
+//!
+//! ```text
+//! gen-data [--city A|B|C|D|all] [--scale S] [--seed N] [--out DIR]
+//!          [--format csv|json]
+//! ```
+//!
+//! Writes `<city>_ookla.{csv,json}`, `<city>_mlab.*`, `<city>_mba.*` with
+//! one row per measurement and the full context schema (platform, vendor,
+//! access, band, RSSI, memory, loaded RTT, ground-truth tier).
+
+use st_datagen::{measurements_to_frame, City, CityDataset};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Csv,
+    Json,
+}
+
+struct Args {
+    cities: Vec<City>,
+    scale: f64,
+    seed: u64,
+    out: PathBuf,
+    format: Format,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cities: City::all().to_vec(),
+        scale: 0.01,
+        seed: 20220707,
+        out: PathBuf::from("data-out"),
+        format: Format::Csv,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--city" => {
+                args.cities = match value("--city")?.as_str() {
+                    "A" => vec![City::A],
+                    "B" => vec![City::B],
+                    "C" => vec![City::C],
+                    "D" => vec![City::D],
+                    "all" => City::all().to_vec(),
+                    other => return Err(format!("unknown city {other}")),
+                }
+            }
+            "--scale" => {
+                args.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+                if !(args.scale > 0.0 && args.scale <= 1.0) {
+                    return Err("--scale must be in (0, 1]".into());
+                }
+            }
+            "--seed" => {
+                args.seed =
+                    value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--format" => {
+                args.format = match value("--format")?.as_str() {
+                    "csv" => Format::Csv,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format {other}")),
+                }
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: gen-data [--city A|B|C|D|all] [--scale S] [--seed N] \
+                     [--out DIR] [--format csv|json]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("cannot create {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+
+    for city in &args.cities {
+        let ds = CityDataset::generate(*city, args.scale, args.seed);
+        let tag = city.label().to_lowercase().replace('-', "_");
+        for (suffix, ms) in [("ookla", &ds.ookla), ("mlab", &ds.mlab), ("mba", &ds.mba)] {
+            let (path, body) = match args.format {
+                Format::Csv => (
+                    args.out.join(format!("{tag}_{suffix}.csv")),
+                    st_dataframe::csv::to_csv(&measurements_to_frame(ms)),
+                ),
+                Format::Json => (
+                    args.out.join(format!("{tag}_{suffix}.json")),
+                    serde_json::to_string_pretty(ms).expect("records serialize"),
+                ),
+            };
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {} ({} rows)", path.display(), ms.len());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,110 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--scale S] [--seed N] [--out DIR]
+//! ```
+//!
+//! Generates the four city datasets at `S` of the paper's campaign sizes
+//! (default 0.02 ≈ 15k Ookla tests for City-A), fits BST, runs every
+//! experiment, and writes:
+//!
+//! * `DIR/report.md` — all tables and figure summaries,
+//! * `DIR/<id>.svg` — one chart per figure,
+//! * `DIR/<id>.json` — machine-readable series/rows.
+
+use st_bench::{build_analyses, render_report, run_all};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    scale: f64,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { scale: 0.05, seed: 20220707, out: PathBuf::from("repro-out") };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--scale" => {
+                args.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+                if !(args.scale > 0.0 && args.scale <= 1.0) {
+                    return Err("--scale must be in (0, 1]".into());
+                }
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--help" | "-h" => {
+                return Err("usage: repro [--scale S] [--seed N] [--out DIR]".into())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "generating 4 cities at scale {} (seed {}) ...",
+        args.scale, args.seed
+    );
+    let t0 = std::time::Instant::now();
+    let analyses = build_analyses(args.scale, args.seed);
+    eprintln!("datasets + BST fits done in {:.1?}s; running experiments ...", t0.elapsed());
+
+    let report = run_all(&analyses, args.scale, args.seed);
+    let claims = st_bench::claims::check_all(&analyses);
+
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("cannot create {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    let mut written = 0usize;
+    for a in &report.artifacts {
+        if let Some(svg) = &a.svg {
+            if std::fs::write(args.out.join(format!("{}.svg", a.id)), svg).is_ok() {
+                written += 1;
+            }
+        }
+        if std::fs::write(args.out.join(format!("{}.json", a.id)), &a.json).is_ok() {
+            written += 1;
+        }
+    }
+    let mut md = render_report(&report);
+    md.push_str("\n## Shape claims (paper vs this run)\n\n");
+    md.push_str(&st_bench::claims::render_claims(&claims));
+    let holds = claims.iter().filter(|c| c.holds).count();
+    md.push_str(&format!("\n{holds}/{} claims hold\n", claims.len()));
+    if let Err(e) = std::fs::write(args.out.join("report.md"), &md) {
+        eprintln!("cannot write report: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    println!("{md}");
+    eprintln!(
+        "wrote {} files to {} in {:.1?}",
+        written + 1,
+        args.out.display(),
+        t0.elapsed()
+    );
+    ExitCode::SUCCESS
+}

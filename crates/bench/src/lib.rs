@@ -1,0 +1,251 @@
+//! Shared driver used by the `repro` binary and the Criterion benches.
+//!
+//! [`run_all`] regenerates every table and figure of the paper at a chosen
+//! scale and returns the artifacts; the binary writes them to disk, the
+//! benches time individual pieces.
+
+pub mod claims;
+
+use st_analysis::{
+    cities, ext_latency, fig01, fig02, fig04, fig05, fig06, fig07, fig08, fig09, fig10,
+    fig11, fig12, fig13, table1, table2, table3, table4, CityAnalysis,
+};
+use st_datagen::{City, CityDataset};
+
+/// One rendered artifact: an id, markdown/text body, and optional SVG.
+pub struct Artifact {
+    /// Stable id ("fig09a", "table2", ...).
+    pub id: String,
+    /// Text rendering for the report.
+    pub text: String,
+    /// SVG document, when the artifact is a figure.
+    pub svg: Option<String>,
+    /// JSON payload of the underlying result.
+    pub json: String,
+}
+
+/// Everything the repro run produces.
+pub struct ReproReport {
+    /// The scale the datasets were generated at.
+    pub scale: f64,
+    /// The seed used.
+    pub seed: u64,
+    /// All artifacts, in paper order.
+    pub artifacts: Vec<Artifact>,
+    /// Headline numbers for the summary (label, value).
+    pub headlines: Vec<(String, String)>,
+}
+
+fn cdf_artifact(r: &st_analysis::CdfResult) -> Artifact {
+    Artifact {
+        id: r.id.clone(),
+        text: r.render(),
+        svg: Some(r.to_svg()),
+        json: serde_json::to_string_pretty(r).expect("serializable result"),
+    }
+}
+
+fn table_artifact(t: &st_analysis::TableResult) -> Artifact {
+    Artifact {
+        id: t.id.clone(),
+        text: t.render(),
+        svg: None,
+        json: serde_json::to_string_pretty(t).expect("serializable result"),
+    }
+}
+
+fn density_artifact(d: &st_analysis::results::DensityResult) -> Artifact {
+    Artifact {
+        id: d.id.clone(),
+        text: d.render(),
+        svg: Some(d.to_svg()),
+        json: serde_json::to_string_pretty(d).expect("serializable result"),
+    }
+}
+
+/// Generate all four cities and fit the per-campaign BST models.
+pub fn build_analyses(scale: f64, seed: u64) -> Vec<CityAnalysis> {
+    City::all()
+        .into_iter()
+        .map(|city| {
+            let ds = CityDataset::generate(city, scale, seed);
+            CityAnalysis::new(ds, seed ^ 0x5eed)
+        })
+        .collect()
+}
+
+/// Run every experiment; `analyses` must hold the four cities in order.
+pub fn run_all(analyses: &[CityAnalysis], scale: f64, seed: u64) -> ReproReport {
+    assert_eq!(analyses.len(), 4, "need all four cities");
+    let a = &analyses[0]; // City-A carries the main-body experiments.
+    let mut artifacts = Vec::new();
+    let mut headlines = Vec::new();
+
+    // Table 1.
+    let datasets: Vec<&CityDataset> = analyses.iter().map(|x| &x.dataset).collect();
+    artifacts.push(table_artifact(&table1::run(&datasets)));
+
+    // §2 cross-city comparison.
+    let all_refs: Vec<&CityAnalysis> = analyses.iter().collect();
+    let (cities_table, _) = cities::run(&all_refs);
+    artifacts.push(table_artifact(&cities_table));
+
+    // Fig 1 + 2.
+    let f1 = fig01::run(a);
+    headlines.push((
+        "fig01 uncontextualized median (Mbps)".into(),
+        format!("{:.1}", f1.medians.first().copied().unwrap_or(f64::NAN)),
+    ));
+    artifacts.push(cdf_artifact(&f1));
+    let f2 = fig02::run(a);
+    if f2.medians.len() == 2 {
+        headlines.push((
+            "fig02 consistency medians (down / up)".into(),
+            format!("{:.2} / {:.2}", f2.medians[0], f2.medians[1]),
+        ));
+    }
+    artifacts.push(cdf_artifact(&f2));
+
+    // Table 2 across all states.
+    let refs: Vec<&CityAnalysis> = analyses.iter().collect();
+    let (t2, stats) = table2::run(&refs);
+    artifacts.push(table_artifact(&t2));
+    for s in &stats {
+        headlines.push((
+            format!("table2 {} upload accuracy", s.state),
+            format!("{:.2}%", s.upload_accuracy * 100.0),
+        ));
+    }
+
+    // Figs 4-7 and tables 3-4 (City/State-A) plus appendix variants.
+    artifacts.push(density_artifact(&fig04::run(a)));
+    for d in fig05::run(a) {
+        artifacts.push(density_artifact(&d));
+    }
+    artifacts.push(density_artifact(&fig06::run(a)));
+    let (t3, _) = table3::run(a);
+    artifacts.push(table_artifact(&t3));
+    for d in fig07::run(a) {
+        artifacts.push(density_artifact(&d));
+    }
+    let (t4, _) = table4::run(a);
+    artifacts.push(table_artifact(&t4));
+
+    // Fig 8.
+    let f8 = fig08::run(a);
+    if let Some(m) = f8.medians.first() {
+        headlines.push(("fig08 alpha median".into(), format!("{m:.2}")));
+    }
+    artifacts.push(cdf_artifact(&f8));
+
+    // Fig 9 panels.
+    for panel in fig09::run(a) {
+        artifacts.push(cdf_artifact(&panel));
+    }
+
+    // Fig 10.
+    let (f10, shares) = fig10::run(a);
+    headlines.push((
+        "fig10 local-bottleneck share".into(),
+        format!("{:.0}%", shares.local_bottleneck_share * 100.0),
+    ));
+    if f10.medians.len() == 2 {
+        headlines.push((
+            "fig10 medians (best / bottleneck)".into(),
+            format!("{:.2} / {:.2}", f10.medians[0], f10.medians[1]),
+        ));
+    }
+    artifacts.push(cdf_artifact(&f10));
+
+    // Figs 11-12.
+    let (_vol, t11) = fig11::run(a);
+    artifacts.push(table_artifact(&t11));
+    for panel in fig12::run_default(a) {
+        artifacts.push(cdf_artifact(&panel));
+    }
+
+    // Fig 13.
+    let (panels, gaps) = fig13::run(a);
+    for panel in panels {
+        artifacts.push(cdf_artifact(&panel));
+    }
+    for g in &gaps {
+        headlines.push((
+            format!("fig13 {} Ookla/M-Lab median ratio", g.group),
+            format!("{:.2}", g.ratio),
+        ));
+    }
+
+    // Extension: latency under load (not a paper figure; see the module
+    // docs of `st_analysis::ext_latency`).
+    let (lat_cdf, lat) = ext_latency::run(a);
+    headlines.push((
+        "ext_latency medians (idle / loaded, ms)".into(),
+        format!("{:.1} / {:.1}", lat.idle_median_ms, lat.loaded_median_ms),
+    ));
+    artifacts.push(cdf_artifact(&lat_cdf));
+
+    // Appendix: tables 5-7 (upload clusters for cities B-D) and the
+    // per-state appendix densities.
+    for (i, city_a) in analyses.iter().enumerate().skip(1) {
+        let (mut t, _) = table3::run(city_a);
+        t.id = format!("table{}", 4 + i); // tables 5, 6, 7
+        artifacts.push(table_artifact(&t));
+        let mut d = fig04::run(city_a);
+        d.id = format!("fig14_{}", city_a.dataset.config.city.state_label().to_lowercase());
+        artifacts.push(density_artifact(&d));
+        for (j, mut dd) in fig05::run(city_a).into_iter().enumerate() {
+            dd.id = format!(
+                "fig{}_{}",
+                15 + i, // figs 16, 17, 18
+                j
+            );
+            artifacts.push(density_artifact(&dd));
+        }
+        let mut f6 = fig06::run(city_a);
+        f6.id = format!("fig15_{}", city_a.dataset.config.city.label().to_lowercase());
+        artifacts.push(density_artifact(&f6));
+    }
+
+    ReproReport { scale, seed, artifacts, headlines }
+}
+
+/// Render the full markdown report.
+pub fn render_report(report: &ReproReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# Repro run (scale {}, seed {})\n\n## Headlines\n\n",
+        report.scale, report.seed
+    ));
+    for (label, value) in &report.headlines {
+        out.push_str(&format!("- {label}: **{value}**\n"));
+    }
+    out.push_str("\n## Artifacts\n\n");
+    for a in &report.artifacts {
+        out.push_str("```text\n");
+        out.push_str(&a.text);
+        out.push_str("```\n\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_produces_all_artifacts() {
+        let analyses = build_analyses(0.004, 2024);
+        let report = run_all(&analyses, 0.004, 2024);
+        assert!(report.artifacts.len() > 25, "artifacts: {}", report.artifacts.len());
+        assert!(report.headlines.len() >= 8);
+        let ids: Vec<&str> = report.artifacts.iter().map(|a| a.id.as_str()).collect();
+        for want in ["table1", "fig01", "fig02", "table2", "fig04", "fig06", "table3",
+                     "table4", "fig08", "fig09a", "fig09d", "fig10", "fig11",
+                     "table5", "table6", "table7"] {
+            assert!(ids.contains(&want), "missing {want} in {ids:?}");
+        }
+        let md = render_report(&report);
+        assert!(md.contains("## Headlines"));
+    }
+}

@@ -1,0 +1,298 @@
+//! Ablations of BST's design choices.
+//!
+//! The paper justifies three decisions that these baselines let us test
+//! quantitatively (see DESIGN.md §8 and the `ablations` bench):
+//!
+//! * **Upload-first hierarchy** (§4.1): [`download_first_tiers`] clusters
+//!   the noisy download axis directly, with one component per plan, and
+//!   maps components to plans — no upload stage.
+//! * **GMM vs k-means** (§4.2): [`kmeans_tiers`] replaces the
+//!   variance-aware GMM assignment with nearest-centroid k-means in both
+//!   stages.
+//! * **KDE peak-count vs BIC** (§4.2): [`bic_upload_components`] selects
+//!   the stage-1 component count by BIC instead of KDE peak counting.
+
+use crate::BstConfig;
+use rand::Rng;
+use st_netsim::Mbps;
+use st_speedtest::PlanCatalog;
+use st_stats::{kmeans_1d, GaussianMixture, GaussianMixture2d, StatsError};
+
+/// Baseline 1: single-stage, download-only clustering.
+///
+/// Fits one component per plan over the raw download speeds and assigns
+/// each cluster to the nearest plan by download cap. Returns per-
+/// measurement tiers.
+pub fn download_first_tiers<R: Rng + ?Sized>(
+    down: &[f64],
+    catalog: &PlanCatalog,
+    cfg: &BstConfig,
+    rng: &mut R,
+) -> Result<Vec<Option<usize>>, StatsError> {
+    let k = catalog.len().min(down.len());
+    let gmm = GaussianMixture::fit(
+        down,
+        st_stats::GmmConfig { k, max_iter: cfg.max_em_iter, ..Default::default() },
+        rng,
+    )?;
+    let component_tiers: Vec<usize> = gmm
+        .components()
+        .iter()
+        .map(|c| catalog.nearest_tier_by_download(Mbps(c.mean)))
+        .collect();
+    Ok(gmm.predict_batch(down).into_iter().map(|c| Some(component_tiers[c])).collect())
+}
+
+/// Baseline 2: the BST hierarchy with k-means instead of GMM.
+///
+/// Stage 1: k-means over uploads with k = number of caps, centroids mapped
+/// to nearest caps. Stage 2: within each group, k-means over downloads
+/// with k = number of plans in the group, centroids mapped to plans.
+pub fn kmeans_tiers<R: Rng + ?Sized>(
+    down: &[f64],
+    up: &[f64],
+    catalog: &PlanCatalog,
+    rng: &mut R,
+) -> Result<Vec<Option<usize>>, StatsError> {
+    assert_eq!(down.len(), up.len(), "parallel down/up samples required");
+    let caps = catalog.upload_caps();
+    let k1 = caps.len().min(up.len());
+    let km1 = kmeans_1d(up, k1, 100, rng)?;
+    let center_caps: Vec<Mbps> =
+        km1.centers.iter().map(|&c| catalog.nearest_upload_cap(Mbps(c))).collect();
+
+    let mut tiers = vec![None; down.len()];
+    for cap in caps {
+        let members: Vec<usize> = (0..down.len())
+            .filter(|&i| center_caps[km1.assignments[i]] == cap)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let plans = catalog.plans_with_upload(cap);
+        let group_downs: Vec<f64> = members.iter().map(|&i| down[i]).collect();
+        let k2 = plans.len().min(group_downs.len());
+        let km2 = kmeans_1d(&group_downs, k2, 100, rng)?;
+        let center_tiers: Vec<usize> = km2
+            .centers
+            .iter()
+            .map(|&c| {
+                plans
+                    .iter()
+                    .min_by(|a, b| {
+                        (a.down.0 - c)
+                            .abs()
+                            .partial_cmp(&(b.down.0 - c).abs())
+                            .expect("finite")
+                    })
+                    .expect("non-empty group")
+                    .tier
+            })
+            .collect();
+        for (j, &i) in members.iter().enumerate() {
+            tiers[i] = Some(center_tiers[km2.assignments[j]]);
+        }
+    }
+    Ok(tiers)
+}
+
+/// Baseline 3: one joint bivariate mixture over `<download, upload>`
+/// tuples — the "obvious" reading of the paper's problem statement that
+/// the hierarchical design replaces. One full-covariance component per
+/// plan, seeded at the plan's advertised speeds; each measurement maps
+/// to its component's plan.
+pub fn joint_2d_tiers(
+    down: &[f64],
+    up: &[f64],
+    catalog: &PlanCatalog,
+) -> Result<Vec<Option<usize>>, StatsError> {
+    assert_eq!(down.len(), up.len(), "parallel down/up samples required");
+    let seeds: Vec<(f64, f64)> =
+        catalog.plans().iter().map(|p| (p.down.0, p.up.0)).collect();
+    let gm = GaussianMixture2d::fit_with_means(down, up, &seeds, 200, 1e-7)?;
+    // Components are in seed order, so component c is plan tier c+1.
+    Ok((0..down.len())
+        .map(|i| Some(gm.predict(down[i], up[i]) + 1))
+        .collect())
+}
+
+/// Baseline 4: BIC component selection for stage 1.
+///
+/// Returns the number of upload components BIC selects, to compare with
+/// the KDE peak count and the true cap count.
+pub fn bic_upload_components<R: Rng + ?Sized>(
+    up: &[f64],
+    max_k: usize,
+    rng: &mut R,
+) -> Result<usize, StatsError> {
+    let gm = GaussianMixture::fit_best_bic(up, 1..=max_k, rng)?;
+    Ok(gm.k())
+}
+
+/// Accuracy of a tier vector against truth (shared scoring helper).
+pub fn tier_accuracy(tiers: &[Option<usize>], truth: &[usize]) -> f64 {
+    assert_eq!(tiers.len(), truth.len(), "parallel tiers/truth required");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let ok = tiers
+        .iter()
+        .zip(truth)
+        .filter(|(got, want)| got.as_ref() == Some(want))
+        .count();
+    ok as f64 / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::items_after_test_module)]
+    use super::*;
+    use crate::assign::BstModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(47)
+    }
+
+    pub(super) fn isp_a() -> PlanCatalog {
+        PlanCatalog::new(
+            "ISP-A",
+            &[
+                (25.0, 5.0),
+                (100.0, 5.0),
+                (200.0, 5.0),
+                (400.0, 10.0),
+                (800.0, 15.0),
+                (1200.0, 35.0),
+            ],
+        )
+    }
+
+    fn gaussian(r: &mut StdRng, mu: f64, sd: f64) -> f64 {
+        let u1: f64 = r.gen::<f64>().max(1e-12);
+        let u2: f64 = r.gen();
+        mu + sd * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// A *noisy* crowdsourced-style sample: WiFi drags a large share of
+    /// each tier's downloads far below plan, while uploads stay clustered.
+    pub(super) fn noisy_sample(r: &mut StdRng) -> (Vec<f64>, Vec<f64>, Vec<usize>) {
+        let spec: [(f64, f64, usize, usize); 4] = [
+            (110.0, 5.4, 500, 2),
+            (430.0, 10.7, 280, 4),
+            (780.0, 16.0, 200, 5),
+            (1000.0, 37.5, 300, 6),
+        ];
+        let (mut down, mut up, mut truth) = (Vec::new(), Vec::new(), Vec::new());
+        for &(dmu, umu, n, tier) in &spec {
+            for _ in 0..n {
+                // Half the tests are WiFi-degraded to a fraction of plan.
+                let degradation = if r.gen::<f64>() < 0.5 {
+                    0.15 + r.gen::<f64>() * 0.5
+                } else {
+                    0.85 + r.gen::<f64>() * 0.2
+                };
+                down.push((gaussian(r, dmu, dmu * 0.05) * degradation).max(1.0));
+                up.push(gaussian(r, umu, umu * 0.06).max(0.3));
+                truth.push(tier);
+            }
+        }
+        (down, up, truth)
+    }
+
+    #[test]
+    fn upload_first_beats_download_first_on_noisy_data() {
+        let mut r = rng();
+        let (down, up, truth) = noisy_sample(&mut r);
+        let cat = isp_a();
+        let cfg = BstConfig::default();
+
+        let bst = BstModel::fit(&down, &up, &cat, &cfg, &mut r).unwrap();
+        let bst_acc = tier_accuracy(&bst.tiers(), &truth);
+
+        let df = download_first_tiers(&down, &cat, &cfg, &mut r).unwrap();
+        let df_acc = tier_accuracy(&df, &truth);
+
+        assert!(
+            bst_acc > df_acc + 0.15,
+            "BST {bst_acc} should clearly beat download-first {df_acc}"
+        );
+        assert!(bst_acc > 0.8, "BST accuracy {bst_acc}");
+    }
+
+    #[test]
+    fn kmeans_variant_works_but_gmm_is_at_least_as_good() {
+        let mut r = rng();
+        let (down, up, truth) = noisy_sample(&mut r);
+        let cat = isp_a();
+
+        let bst = BstModel::fit(&down, &up, &cat, &BstConfig::default(), &mut r).unwrap();
+        let gmm_acc = tier_accuracy(&bst.tiers(), &truth);
+        let km = kmeans_tiers(&down, &up, &cat, &mut r).unwrap();
+        let km_acc = tier_accuracy(&km, &truth);
+
+        assert!(km_acc > 0.3, "k-means baseline should not be useless: {km_acc}");
+        assert!(gmm_acc >= km_acc - 0.05, "GMM {gmm_acc} vs k-means {km_acc}");
+    }
+
+    #[test]
+    fn bic_finds_a_plausible_upload_component_count() {
+        let mut r = rng();
+        let (_, up, _) = noisy_sample(&mut r);
+        let k = bic_upload_components(&up, 8, &mut r).unwrap();
+        assert!((3..=6).contains(&k), "BIC chose k = {k} for 4 real caps");
+    }
+
+    #[test]
+    fn tier_accuracy_counts_exact_matches() {
+        let tiers = vec![Some(1), Some(2), None, Some(4)];
+        let truth = vec![1, 3, 3, 4];
+        assert!((tier_accuracy(&tiers, &truth) - 0.5).abs() < 1e-12);
+        assert_eq!(tier_accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel tiers/truth")]
+    fn accuracy_length_mismatch_panics() {
+        let _ = tier_accuracy(&[Some(1)], &[1, 2]);
+    }
+}
+
+#[cfg(test)]
+mod joint_tests {
+    use super::*;
+    use crate::assign::BstModel;
+    use crate::BstConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn joint_2d_is_viable_on_clean_data_but_loses_on_noisy_wifi_data() {
+        // Reuse the noisy crowdsourced sample from the main test module.
+        let mut r = StdRng::seed_from_u64(53);
+        let (down, up, truth) = super::tests::noisy_sample(&mut r);
+        let cat = super::tests::isp_a();
+
+        let joint = joint_2d_tiers(&down, &up, &cat).unwrap();
+        let joint_acc = tier_accuracy(&joint, &truth);
+
+        let bst = BstModel::fit(&down, &up, &cat, &BstConfig::default(), &mut r).unwrap();
+        let bst_acc = tier_accuracy(&bst.tiers(), &truth);
+
+        assert!(joint_acc > 0.2, "joint 2-D should not be useless: {joint_acc}");
+        assert!(
+            bst_acc >= joint_acc,
+            "hierarchy {bst_acc} should be at least as accurate as joint 2-D {joint_acc}"
+        );
+    }
+
+    #[test]
+    fn joint_2d_rejects_mismatched_lengths() {
+        let cat = super::tests::isp_a();
+        let result = std::panic::catch_unwind(|| {
+            let _ = joint_2d_tiers(&[1.0], &[1.0, 2.0], &cat);
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,306 @@
+//! The composed BST model: stage 1 + stage 2 → plan assignment.
+
+use crate::stage1::{cluster_uploads, UploadClustering};
+use crate::stage2::{cluster_downloads, DownloadClustering};
+use crate::BstConfig;
+use rand::Rng;
+use st_netsim::Mbps;
+use st_speedtest::PlanCatalog;
+use st_stats::StatsError;
+
+/// The plan assignment for one measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanAssignment {
+    /// Matched upload cap from stage 1 (`None`: the measurement fell in an
+    /// unmatched upload cluster and no tier can be inferred).
+    pub upload_cap: Option<Mbps>,
+    /// Assigned subscription tier from stage 2.
+    pub tier: Option<usize>,
+}
+
+/// A fitted BST model over one dataset.
+#[derive(Debug, Clone)]
+pub struct BstModel {
+    /// The stage-1 clustering.
+    pub uploads: UploadClustering,
+    /// Stage-2 clusterings, one per matched upload cap, keyed by cap.
+    pub downloads: Vec<(Mbps, DownloadClustering)>,
+    /// Per-measurement assignments, parallel to the fitted sample.
+    pub assignments: Vec<PlanAssignment>,
+}
+
+impl BstModel {
+    /// Fit BST to a sample of `(download, upload)` speed pairs against the
+    /// ISP catalog.
+    pub fn fit<R: Rng + ?Sized>(
+        down: &[f64],
+        up: &[f64],
+        catalog: &PlanCatalog,
+        cfg: &BstConfig,
+        rng: &mut R,
+    ) -> Result<Self, StatsError> {
+        assert_eq!(down.len(), up.len(), "parallel down/up samples required");
+
+        let uploads = cluster_uploads(up, catalog, cfg, rng)?;
+        let mut assignments =
+            vec![PlanAssignment { upload_cap: None, tier: None }; down.len()];
+
+        let mut downloads = Vec::new();
+        for cap in catalog.upload_caps() {
+            let members = uploads.members_of(cap);
+            if members.is_empty() {
+                continue;
+            }
+            let plans = catalog.plans_with_upload(cap);
+            let group_downs: Vec<f64> = members.iter().map(|&i| down[i]).collect();
+            let dc = cluster_downloads(&group_downs, &plans, cfg, rng)?;
+            for (j, &i) in members.iter().enumerate() {
+                assignments[i] =
+                    PlanAssignment { upload_cap: Some(cap), tier: Some(dc.tier_of(j)) };
+            }
+            downloads.push((cap, dc));
+        }
+
+        Ok(BstModel { uploads, downloads, assignments })
+    }
+
+    /// Assigned tier per measurement (None where unassignable).
+    pub fn tiers(&self) -> Vec<Option<usize>> {
+        self.assignments.iter().map(|a| a.tier).collect()
+    }
+
+    /// Fraction of measurements that received a tier.
+    pub fn coverage(&self) -> f64 {
+        if self.assignments.is_empty() {
+            return 0.0;
+        }
+        self.assignments.iter().filter(|a| a.tier.is_some()).count() as f64
+            / self.assignments.len() as f64
+    }
+
+    /// The stage-2 clustering for a given upload cap, if fitted.
+    pub fn downloads_for(&self, cap: Mbps) -> Option<&DownloadClustering> {
+        self.downloads.iter().find(|(c, _)| *c == cap).map(|(_, d)| d)
+    }
+
+    /// Classify a new measurement with the fitted model: nearest upload
+    /// component → that group's download clustering → tier.
+    pub fn assign(&self, down: f64, up: f64) -> PlanAssignment {
+        let Some(comp) = self.uploads.gmm.predict_with_background(up) else {
+            return PlanAssignment { upload_cap: None, tier: None };
+        };
+        let Some(cap) = self.uploads.component_caps[comp] else {
+            return PlanAssignment { upload_cap: None, tier: None };
+        };
+        let Some(dc) = self.downloads_for(cap) else {
+            return PlanAssignment { upload_cap: Some(cap), tier: None };
+        };
+        let dcomp = dc.gmm.predict(down);
+        PlanAssignment { upload_cap: Some(cap), tier: Some(dc.component_tiers[dcomp]) }
+    }
+
+    /// Classify with a posterior confidence — BST as the "probabilistic
+    /// model" of §4.2. The confidence is
+    /// `P(upload group | up) × P(tier | group, down)`: stage-1
+    /// responsibilities summed over the components matched to the chosen
+    /// cap, times stage-2 responsibilities summed over the components
+    /// mapped to the chosen tier. Unassignable measurements get 0.0.
+    pub fn assign_with_confidence(&self, down: f64, up: f64) -> (PlanAssignment, f64) {
+        let assignment = self.assign(down, up);
+        let (Some(cap), Some(tier)) = (assignment.upload_cap, assignment.tier) else {
+            return (assignment, 0.0);
+        };
+
+        let up_resp = self.uploads.gmm.responsibilities(up);
+        let p_cap: f64 = up_resp
+            .iter()
+            .enumerate()
+            .filter(|(c, _)| self.uploads.component_caps.get(*c).copied().flatten() == Some(cap))
+            .map(|(_, r)| r)
+            .sum();
+
+        let p_tier = self
+            .downloads_for(cap)
+            .map(|dc| {
+                dc.gmm
+                    .responsibilities(down)
+                    .iter()
+                    .enumerate()
+                    .filter(|(c, _)| dc.component_tiers[*c] == tier)
+                    .map(|(_, r)| r)
+                    .sum::<f64>()
+            })
+            .unwrap_or(0.0);
+
+        (assignment, (p_cap * p_tier).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(41)
+    }
+
+    fn isp_a() -> PlanCatalog {
+        PlanCatalog::new(
+            "ISP-A",
+            &[
+                (25.0, 5.0),
+                (100.0, 5.0),
+                (200.0, 5.0),
+                (400.0, 10.0),
+                (800.0, 15.0),
+                (1200.0, 35.0),
+            ],
+        )
+    }
+
+    fn gaussian(r: &mut StdRng, mu: f64, sd: f64) -> f64 {
+        let u1: f64 = r.gen::<f64>().max(1e-12);
+        let u2: f64 = r.gen();
+        mu + sd * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// An MBA-like wired sample: every tier near its plan speeds.
+    fn wired_sample(r: &mut StdRng) -> (Vec<f64>, Vec<f64>, Vec<usize>) {
+        let spec: [(f64, f64, f64, f64, usize, usize); 6] = [
+            (27.0, 3.0, 5.3, 0.4, 150, 1),
+            (110.0, 8.0, 5.3, 0.4, 350, 2),
+            (225.0, 12.0, 5.3, 0.4, 250, 3),
+            (430.0, 25.0, 10.6, 0.6, 300, 4),
+            (780.0, 60.0, 16.0, 0.8, 200, 5),
+            (950.0, 80.0, 37.0, 1.5, 250, 6),
+        ];
+        let (mut down, mut up, mut truth) = (Vec::new(), Vec::new(), Vec::new());
+        for &(dmu, dsd, umu, usd, n, tier) in &spec {
+            for _ in 0..n {
+                down.push(gaussian(r, dmu, dsd).max(1.0));
+                up.push(gaussian(r, umu, usd).max(0.3));
+                truth.push(tier);
+            }
+        }
+        (down, up, truth)
+    }
+
+    #[test]
+    fn wired_sample_recovers_plans_accurately() {
+        let mut r = rng();
+        let (down, up, truth) = wired_sample(&mut r);
+        let model =
+            BstModel::fit(&down, &up, &isp_a(), &BstConfig::default(), &mut r).unwrap();
+        let tiers = model.tiers();
+        let correct = tiers
+            .iter()
+            .zip(&truth)
+            .filter(|(got, want)| got.as_ref() == Some(want))
+            .count();
+        let acc = correct as f64 / truth.len() as f64;
+        assert!(acc > 0.9, "plan accuracy {acc}");
+        assert!(model.coverage() > 0.97, "coverage {}", model.coverage());
+    }
+
+    #[test]
+    fn upload_tier_accuracy_exceeds_96_percent() {
+        // The Table 2 criterion: correct *upload cap* assignment.
+        let mut r = rng();
+        let (down, up, truth) = wired_sample(&mut r);
+        let cat = isp_a();
+        let model = BstModel::fit(&down, &up, &cat, &BstConfig::default(), &mut r).unwrap();
+        let correct = model
+            .assignments
+            .iter()
+            .zip(&truth)
+            .filter(|(a, &t)| a.upload_cap == Some(cat.plan(t).unwrap().up))
+            .count();
+        let acc = correct as f64 / truth.len() as f64;
+        assert!(acc > 0.96, "upload-cap accuracy {acc}");
+    }
+
+    #[test]
+    fn assign_classifies_new_points() {
+        let mut r = rng();
+        let (down, up, _) = wired_sample(&mut r);
+        let model =
+            BstModel::fit(&down, &up, &isp_a(), &BstConfig::default(), &mut r).unwrap();
+        let a = model.assign(112.0, 5.2);
+        assert_eq!(a.upload_cap, Some(Mbps(5.0)));
+        assert_eq!(a.tier, Some(2));
+        let b = model.assign(950.0, 36.0);
+        assert_eq!(b.tier, Some(6));
+    }
+
+    #[test]
+    fn downloads_for_exposes_group_models() {
+        let mut r = rng();
+        let (down, up, _) = wired_sample(&mut r);
+        let model =
+            BstModel::fit(&down, &up, &isp_a(), &BstConfig::default(), &mut r).unwrap();
+        assert!(model.downloads_for(Mbps(5.0)).is_some());
+        assert!(model.downloads_for(Mbps(99.0)).is_none());
+        let five = model.downloads_for(Mbps(5.0)).unwrap();
+        assert!(five.gmm.k() >= 3, "5 Mbps group has 3 plans");
+    }
+
+    #[test]
+    fn confidence_tracks_ambiguity() {
+        let mut r = rng();
+        let (down, up, _) = wired_sample(&mut r);
+        let model =
+            BstModel::fit(&down, &up, &isp_a(), &BstConfig::default(), &mut r).unwrap();
+        // A point at a cluster center is confidently assigned ...
+        let (a, conf_clear) = model.assign_with_confidence(110.0, 5.3);
+        assert_eq!(a.tier, Some(2));
+        assert!(conf_clear > 0.9, "clear-point confidence {conf_clear}");
+        // ... a point at the responsibility crossover between two
+        // different-tier components splits its posterior. Find the
+        // crossover numerically from the fitted group model.
+        let dc = model.downloads_for(Mbps(5.0)).expect("5 Mbps group fitted");
+        let probe = (0..2000)
+            .map(|i| i as f64 * 0.25)
+            .min_by_key(|&x| {
+                let r = dc.gmm.responsibilities(x);
+                // distance from an even two-way split across tiers
+                let mut per_tier = std::collections::HashMap::new();
+                for (c, p) in r.iter().enumerate() {
+                    *per_tier.entry(dc.component_tiers[c]).or_insert(0.0f64) += p;
+                }
+                let top = per_tier.values().cloned().fold(0.0f64, f64::max);
+                (top * 1e6) as u64
+            })
+            .expect("non-empty probe range");
+        let (_, conf_mid) = model.assign_with_confidence(probe, 5.3);
+        assert!(
+            conf_mid < conf_clear,
+            "crossover at {probe}: confidence {conf_mid} vs clear {conf_clear}"
+        );
+        assert!(conf_mid < 0.95, "crossover confidence {conf_mid} should be split");
+        // Unassignable points get zero.
+        let (u, conf_zero) = model.assign_with_confidence(5.0, 0.8);
+        assert_eq!(u.tier, None);
+        assert_eq!(conf_zero, 0.0);
+    }
+
+    #[test]
+    fn confidence_is_a_probability() {
+        let mut r = rng();
+        let (down, up, _) = wired_sample(&mut r);
+        let model =
+            BstModel::fit(&down, &up, &isp_a(), &BstConfig::default(), &mut r).unwrap();
+        for (d, u) in [(25.0, 5.0), (410.0, 10.5), (900.0, 37.0), (1.0, 44.0)] {
+            let (_, c) = model.assign_with_confidence(d, u);
+            assert!((0.0..=1.0).contains(&c), "confidence {c} for ({d}, {u})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel down/up samples")]
+    fn mismatched_lengths_panic() {
+        let mut r = rng();
+        let _ = BstModel::fit(&[1.0], &[1.0, 2.0], &isp_a(), &BstConfig::default(), &mut r);
+    }
+}

@@ -1,0 +1,171 @@
+//! Assignment-consistency analysis (paper §5.2).
+//!
+//! Lacking ground truth for crowdsourced data, the paper checks that BST is
+//! at least *self-consistent*: a user's many tests in one month should land
+//! in one tier. For user `u` in month `m`, `α(u, m)` is the largest share
+//! of that user-month's tests assigned to a single tier; a distribution of
+//! α skewed toward 1 (median 1 in the paper, Fig. 8) indicates consistent
+//! assignment.
+
+use std::collections::HashMap;
+use st_stats::Ecdf;
+
+/// Configuration for the α analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaConfig {
+    /// Minimum tests a user must have in a month to be included
+    /// (the paper uses 5).
+    pub min_tests_per_month: usize,
+}
+
+impl Default for AlphaConfig {
+    fn default() -> Self {
+        AlphaConfig { min_tests_per_month: 5 }
+    }
+}
+
+/// Compute α per user-month.
+///
+/// Inputs are parallel per-measurement slices: the user id, the month
+/// index (0..12), and the assigned tier (None = unassigned, excluded).
+/// Returns one α per qualifying user-month.
+pub fn alpha_values(
+    user_ids: &[u64],
+    months: &[usize],
+    tiers: &[Option<usize>],
+    cfg: &AlphaConfig,
+) -> Vec<f64> {
+    assert!(
+        user_ids.len() == months.len() && months.len() == tiers.len(),
+        "parallel slices required"
+    );
+    assert!(cfg.min_tests_per_month >= 1, "min tests must be at least 1");
+
+    // (user, month) → tier → count
+    let mut table: HashMap<(u64, usize), HashMap<usize, usize>> = HashMap::new();
+    for ((&u, &m), t) in user_ids.iter().zip(months).zip(tiers) {
+        if let Some(t) = t {
+            *table.entry((u, m)).or_default().entry(*t).or_default() += 1;
+        }
+    }
+
+    let mut alphas: Vec<f64> = table
+        .into_values()
+        .filter_map(|tier_counts| {
+            let total: usize = tier_counts.values().sum();
+            if total < cfg.min_tests_per_month {
+                return None;
+            }
+            let max = *tier_counts.values().max().expect("non-empty");
+            Some(max as f64 / total as f64)
+        })
+        .collect();
+    // Deterministic output order regardless of hash iteration.
+    alphas.sort_by(|a, b| a.partial_cmp(b).expect("alphas are finite"));
+    alphas
+}
+
+/// The CDF of α values, ready for plotting (the paper's Fig. 8).
+pub fn consistency_cdf(
+    user_ids: &[u64],
+    months: &[usize],
+    tiers: &[Option<usize>],
+    cfg: &AlphaConfig,
+) -> Option<Ecdf> {
+    let alphas = alpha_values(user_ids, months, tiers, cfg);
+    Ecdf::new(&alphas).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_consistent_user_scores_one() {
+        let users = vec![1u64; 6];
+        let months = vec![0usize; 6];
+        let tiers = vec![Some(3usize); 6];
+        let a = alpha_values(&users, &months, &tiers, &AlphaConfig::default());
+        assert_eq!(a, vec![1.0]);
+    }
+
+    #[test]
+    fn split_assignment_lowers_alpha() {
+        let users = vec![1u64; 6];
+        let months = vec![0usize; 6];
+        let tiers = vec![Some(1), Some(1), Some(1), Some(1), Some(2), Some(2)];
+        let a = alpha_values(&users, &months, &tiers, &AlphaConfig::default());
+        assert_eq!(a.len(), 1);
+        assert!((a[0] - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn below_threshold_user_months_are_excluded() {
+        let users = vec![1, 1, 1, 2, 2];
+        let months = vec![0usize; 5];
+        let tiers = vec![Some(1); 5];
+        let a = alpha_values(&users, &months, &tiers, &AlphaConfig::default());
+        assert!(a.is_empty(), "3 and 2 tests are both under the 5-test floor");
+    }
+
+    #[test]
+    fn months_partition_a_users_tests() {
+        // 5 tests in Jan (consistent) + 5 in Feb (split 3/2).
+        let users = vec![7u64; 10];
+        let months = vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+        let tiers = vec![
+            Some(1),
+            Some(1),
+            Some(1),
+            Some(1),
+            Some(1),
+            Some(2),
+            Some(2),
+            Some(2),
+            Some(3),
+            Some(3),
+        ];
+        let a = alpha_values(&users, &months, &tiers, &AlphaConfig::default());
+        assert_eq!(a.len(), 2);
+        assert!((a[0] - 0.6).abs() < 1e-12);
+        assert_eq!(a[1], 1.0);
+    }
+
+    #[test]
+    fn unassigned_tests_do_not_count() {
+        let users = vec![1u64; 7];
+        let months = vec![0usize; 7];
+        let tiers =
+            vec![Some(1), Some(1), Some(1), Some(1), Some(1), None, None];
+        let a = alpha_values(&users, &months, &tiers, &AlphaConfig::default());
+        assert_eq!(a, vec![1.0], "the 5 assigned tests qualify; Nones ignored");
+    }
+
+    #[test]
+    fn cdf_construction() {
+        let users: Vec<u64> = (0..50).flat_map(|u| vec![u; 5]).collect();
+        let months = vec![0usize; 250];
+        let tiers: Vec<Option<usize>> = (0..250).map(|i| Some(1 + (i / 5) % 2)).collect();
+        let cdf = consistency_cdf(&users, &months, &tiers, &AlphaConfig::default()).unwrap();
+        assert_eq!(cdf.len(), 50);
+        assert_eq!(cdf.median(), 1.0);
+    }
+
+    #[test]
+    fn empty_input_yields_no_cdf() {
+        assert!(consistency_cdf(&[], &[], &[], &AlphaConfig::default()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel slices")]
+    fn mismatched_slices_panic() {
+        let _ = alpha_values(&[1], &[0, 1], &[Some(1)], &AlphaConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "min tests must be at least 1")]
+    fn zero_threshold_rejected() {
+        let _ =
+            alpha_values(&[1], &[0], &[Some(1)], &AlphaConfig { min_tests_per_month: 0 });
+    }
+}

@@ -1,0 +1,471 @@
+//! Measurement triage for coverage-challenge processes.
+//!
+//! The paper's motivation (§1) and recommendations (§8): before a speed
+//! test is used to challenge an ISP's coverage claim, the *source* of the
+//! under-performance must be determined —
+//!
+//! > "If the under-performance is attributable to issues in the access
+//! > network, then the problem could be reported to the ISP ... if the
+//! > under-performance is attributable to local factors, such as channel
+//! > interference or poor signal quality, the user can address it
+//! > directly. If the user simply purchased a lower-tier plan, then
+//! > perhaps the speed test is measuring the paid-for speed."
+//!
+//! [`diagnose`] operationalizes that triage: given a measurement with its
+//! context metadata and a fitted [`BstModel`], it classifies the test into
+//! a [`Verdict`] with the contributing [`LocalFactor`]s, and says whether
+//! the test constitutes valid evidence of access-network
+//! under-performance.
+
+use crate::assign::BstModel;
+use st_netsim::{Band, MemoryClass};
+use st_speedtest::{Access, Measurement, PlanCatalog};
+
+/// A local condition that can explain low measured throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LocalFactor {
+    /// Test ran over WiFi rather than a wired link.
+    WifiAccess,
+    /// The WiFi association used the 2.4 GHz band.
+    Band24GHz,
+    /// Signal strength below −70 dBm.
+    WeakSignal,
+    /// Signal strength in the marginal −70..−50 dBm range while the plan
+    /// is fast enough for it to matter.
+    MarginalSignal,
+    /// Less than 2 GB of kernel memory on the measuring device.
+    LowMemory,
+    /// The access medium is unrecorded, so local factors cannot be ruled
+    /// out (web-based tests).
+    UnknownMedium,
+    /// The methodology itself under-measures on this plan (single-flow
+    /// NDT on a high bandwidth-delay-product path).
+    SingleFlowMethodology,
+}
+
+impl LocalFactor {
+    /// Human-readable description for challenge reports.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            LocalFactor::WifiAccess => "test ran over WiFi, not a wired link",
+            LocalFactor::Band24GHz => "WiFi association on the crowded 2.4 GHz band",
+            LocalFactor::WeakSignal => "WiFi signal below -70 dBm",
+            LocalFactor::MarginalSignal => "WiFi signal in the marginal -70..-50 dBm range",
+            LocalFactor::LowMemory => "device has under 2 GB of kernel memory",
+            LocalFactor::UnknownMedium => "access medium unrecorded; local factors unknown",
+            LocalFactor::SingleFlowMethodology => {
+                "single-TCP-connection methodology under-measures fast plans"
+            }
+        }
+    }
+}
+
+/// The triage outcome for one measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// The measurement is consistent with the subscribed plan — nothing
+    /// to challenge.
+    MeetsPlan {
+        /// Measured / subscribed download ratio.
+        normalized: f64,
+    },
+    /// Under-performance is plausibly explained by local conditions; not
+    /// valid evidence against the ISP.
+    LocalBottleneck {
+        /// Measured / subscribed download ratio.
+        normalized: f64,
+        /// The conditions that can explain it, most significant first.
+        factors: Vec<LocalFactor>,
+    },
+    /// Clean local conditions and still far below plan: credible evidence
+    /// of access-network under-performance.
+    AccessUnderperformance {
+        /// Measured / subscribed download ratio.
+        normalized: f64,
+    },
+    /// No subscription tier could be inferred for this measurement.
+    Unattributable,
+}
+
+impl Verdict {
+    /// Whether this measurement is usable as challenge evidence.
+    pub fn is_challenge_evidence(&self) -> bool {
+        matches!(self, Verdict::AccessUnderperformance { .. })
+    }
+}
+
+/// Configuration for the triage thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiagnoseConfig {
+    /// Normalized download at or above this meets the plan
+    /// (FCC challenge guidance treats ~80% of subscribed speed as
+    /// delivering the plan).
+    pub meets_plan_threshold: f64,
+    /// Plans above this download rate are considered fast enough for
+    /// marginal WiFi signal or single-flow methodology to bind.
+    pub fast_plan_mbps: f64,
+}
+
+impl Default for DiagnoseConfig {
+    fn default() -> Self {
+        DiagnoseConfig { meets_plan_threshold: 0.8, fast_plan_mbps: 300.0 }
+    }
+}
+
+/// Triage one measurement against a fitted model and the plan catalog.
+///
+/// The tier is taken from the measurement's BST assignment (computed via
+/// [`BstModel::assign`]); pass `known_tier` to override it when the
+/// subscription is known (the paper recommends collecting it, §8).
+pub fn diagnose(
+    m: &Measurement,
+    model: &BstModel,
+    catalog: &PlanCatalog,
+    known_tier: Option<usize>,
+    cfg: &DiagnoseConfig,
+) -> Verdict {
+    let tier = known_tier.or_else(|| model.assign(m.down_mbps, m.up_mbps).tier);
+    let Some(tier) = tier else {
+        return Verdict::Unattributable;
+    };
+    let Some(plan) = catalog.plan(tier) else {
+        return Verdict::Unattributable;
+    };
+    let normalized = m.down_mbps / plan.down.0;
+
+    if normalized >= cfg.meets_plan_threshold {
+        return Verdict::MeetsPlan { normalized };
+    }
+
+    let fast_plan = plan.down.0 >= cfg.fast_plan_mbps;
+    let mut factors = Vec::new();
+    match m.access {
+        Access::Wifi { band, rssi_dbm } => {
+            if band == Band::G2_4 {
+                factors.push(LocalFactor::Band24GHz);
+            }
+            if rssi_dbm < -70.0 {
+                factors.push(LocalFactor::WeakSignal);
+            } else if rssi_dbm < -50.0 && fast_plan {
+                factors.push(LocalFactor::MarginalSignal);
+            }
+            // WiFi per se only explains shortfall on fast plans; a 100 Mbps
+            // plan is deliverable over any healthy association.
+            if fast_plan || !factors.is_empty() {
+                factors.push(LocalFactor::WifiAccess);
+            }
+        }
+        Access::Ethernet => {}
+        Access::Unknown => factors.push(LocalFactor::UnknownMedium),
+    }
+    if m.memory_class() == Some(MemoryClass::Under2G) {
+        factors.push(LocalFactor::LowMemory);
+    }
+    if m.vendor() == st_speedtest::Vendor::MLab && fast_plan {
+        factors.push(LocalFactor::SingleFlowMethodology);
+    }
+
+    if factors.is_empty() {
+        Verdict::AccessUnderperformance { normalized }
+    } else {
+        // Most significant first: device/physics limits before generic
+        // medium caveats.
+        factors.sort_by_key(|f| match f {
+            LocalFactor::LowMemory => 0,
+            LocalFactor::WeakSignal => 1,
+            LocalFactor::Band24GHz => 2,
+            LocalFactor::MarginalSignal => 3,
+            LocalFactor::SingleFlowMethodology => 4,
+            LocalFactor::WifiAccess => 5,
+            LocalFactor::UnknownMedium => 6,
+        });
+        factors.dedup();
+        Verdict::LocalBottleneck { normalized, factors }
+    }
+}
+
+/// Aggregate triage of a campaign: counts per verdict class.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TriageSummary {
+    /// Tests meeting their plan.
+    pub meets_plan: usize,
+    /// Tests explained by local factors.
+    pub local_bottleneck: usize,
+    /// Tests that are credible challenge evidence.
+    pub access_underperformance: usize,
+    /// Tests with no inferable tier.
+    pub unattributable: usize,
+}
+
+impl TriageSummary {
+    /// Total measurements triaged.
+    pub fn total(&self) -> usize {
+        self.meets_plan + self.local_bottleneck + self.access_underperformance
+            + self.unattributable
+    }
+}
+
+/// Triage a whole campaign with per-measurement tiers already assigned
+/// (e.g. from the fitted model the measurements were part of).
+pub fn triage_campaign(
+    ms: &[Measurement],
+    tiers: &[Option<usize>],
+    model: &BstModel,
+    catalog: &PlanCatalog,
+    cfg: &DiagnoseConfig,
+) -> TriageSummary {
+    assert_eq!(ms.len(), tiers.len(), "parallel measurements/tiers required");
+    let mut s = TriageSummary::default();
+    for (m, t) in ms.iter().zip(tiers) {
+        match diagnose(m, model, catalog, *t, cfg) {
+            Verdict::MeetsPlan { .. } => s.meets_plan += 1,
+            Verdict::LocalBottleneck { .. } => s.local_bottleneck += 1,
+            Verdict::AccessUnderperformance { .. } => s.access_underperformance += 1,
+            Verdict::Unattributable => s.unattributable += 1,
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BstConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SeedableRng};
+    use st_speedtest::Platform;
+
+    fn isp_a() -> PlanCatalog {
+        PlanCatalog::new(
+            "ISP-A",
+            &[
+                (25.0, 5.0),
+                (100.0, 5.0),
+                (200.0, 5.0),
+                (400.0, 10.0),
+                (800.0, 15.0),
+                (1200.0, 35.0),
+            ],
+        )
+    }
+
+    fn fitted_model() -> (BstModel, PlanCatalog) {
+        let mut r = StdRng::seed_from_u64(61);
+        let spec: [(f64, f64, f64, f64, usize); 4] = [
+            (110.0, 8.0, 5.4, 0.4, 300),
+            (430.0, 25.0, 10.7, 0.6, 200),
+            (700.0, 60.0, 16.0, 0.8, 150),
+            (950.0, 80.0, 38.0, 1.5, 200),
+        ];
+        let (mut down, mut up) = (Vec::new(), Vec::new());
+        for &(dmu, dsd, umu, usd, n) in &spec {
+            for _ in 0..n {
+                let g = |r: &mut StdRng, mu: f64, sd: f64| {
+                    let u1: f64 = r.gen::<f64>().max(1e-12);
+                    let u2: f64 = r.gen();
+                    mu + sd * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+                };
+                down.push(g(&mut r, dmu, dsd).max(1.0));
+                up.push(g(&mut r, umu, usd).max(0.3));
+            }
+        }
+        let cat = isp_a();
+        let model = BstModel::fit(&down, &up, &cat, &BstConfig::default(), &mut r).unwrap();
+        (model, cat)
+    }
+
+    fn measurement(down: f64, up: f64, access: Access, memory: Option<f64>) -> Measurement {
+        Measurement {
+            id: 0,
+            user_id: 0,
+            platform: Platform::AndroidApp,
+            city: 0,
+            day: 10,
+            hour: 14,
+            down_mbps: down,
+            up_mbps: up,
+            rtt_ms: 14.0,
+            loaded_rtt_ms: 20.0,
+            access,
+            kernel_memory_gb: memory,
+            truth_tier: None,
+        }
+    }
+
+    #[test]
+    fn plan_meeting_test_is_not_evidence() {
+        let (model, cat) = fitted_model();
+        let m = measurement(
+            98.0,
+            5.2,
+            Access::Wifi { band: Band::G5, rssi_dbm: -45.0 },
+            Some(8.0),
+        );
+        let v = diagnose(&m, &model, &cat, None, &DiagnoseConfig::default());
+        assert!(matches!(v, Verdict::MeetsPlan { normalized } if normalized > 0.9));
+        assert!(!v.is_challenge_evidence());
+    }
+
+    #[test]
+    fn weak_wifi_shortfall_is_a_local_bottleneck() {
+        let (model, cat) = fitted_model();
+        // Tier 6 subscriber measuring 150 Mbps on terrible 2.4 GHz WiFi.
+        let m = measurement(
+            150.0,
+            36.0,
+            Access::Wifi { band: Band::G2_4, rssi_dbm: -78.0 },
+            Some(6.0),
+        );
+        let v = diagnose(&m, &model, &cat, Some(6), &DiagnoseConfig::default());
+        match v {
+            Verdict::LocalBottleneck { factors, normalized } => {
+                assert!(normalized < 0.2);
+                assert!(factors.contains(&LocalFactor::Band24GHz), "{factors:?}");
+                assert!(factors.contains(&LocalFactor::WeakSignal), "{factors:?}");
+                assert!(factors.contains(&LocalFactor::WifiAccess), "{factors:?}");
+            }
+            other => panic!("expected LocalBottleneck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_path_shortfall_is_challenge_evidence() {
+        let (model, cat) = fitted_model();
+        // Ethernet, plenty of memory, tier 6 known, only 300 Mbps measured.
+        let m = measurement(300.0, 36.0, Access::Ethernet, Some(16.0));
+        let v = diagnose(&m, &model, &cat, Some(6), &DiagnoseConfig::default());
+        assert!(
+            matches!(v, Verdict::AccessUnderperformance { normalized } if normalized < 0.3),
+            "{v:?}"
+        );
+        assert!(v.is_challenge_evidence());
+    }
+
+    #[test]
+    fn good_wifi_on_slow_plan_can_still_be_evidence() {
+        let (model, cat) = fitted_model();
+        // 100 Mbps plan measuring 30 over healthy 5 GHz WiFi: WiFi cannot
+        // explain a 100 Mbps shortfall, so this points at the access link.
+        let m = measurement(
+            30.0,
+            5.1,
+            Access::Wifi { band: Band::G5, rssi_dbm: -45.0 },
+            Some(8.0),
+        );
+        let v = diagnose(&m, &model, &cat, Some(2), &DiagnoseConfig::default());
+        assert!(v.is_challenge_evidence(), "{v:?}");
+    }
+
+    #[test]
+    fn marginal_wifi_on_fast_plan_is_not_evidence() {
+        let (model, cat) = fitted_model();
+        let m = measurement(
+            350.0,
+            36.0,
+            Access::Wifi { band: Band::G5, rssi_dbm: -62.0 },
+            Some(8.0),
+        );
+        let v = diagnose(&m, &model, &cat, Some(6), &DiagnoseConfig::default());
+        match v {
+            Verdict::LocalBottleneck { factors, .. } => {
+                assert!(factors.contains(&LocalFactor::MarginalSignal), "{factors:?}");
+            }
+            other => panic!("expected LocalBottleneck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn low_memory_is_flagged_first() {
+        let (model, cat) = fitted_model();
+        let m = measurement(
+            60.0,
+            36.0,
+            Access::Wifi { band: Band::G2_4, rssi_dbm: -75.0 },
+            Some(1.0),
+        );
+        let v = diagnose(&m, &model, &cat, Some(6), &DiagnoseConfig::default());
+        match v {
+            Verdict::LocalBottleneck { factors, .. } => {
+                assert_eq!(factors[0], LocalFactor::LowMemory);
+            }
+            other => panic!("expected LocalBottleneck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn web_tests_are_never_clean_evidence() {
+        let (model, cat) = fitted_model();
+        let m = measurement(120.0, 36.0, Access::Unknown, None);
+        let v = diagnose(&m, &model, &cat, Some(6), &DiagnoseConfig::default());
+        match v {
+            Verdict::LocalBottleneck { factors, .. } => {
+                assert!(factors.contains(&LocalFactor::UnknownMedium));
+            }
+            other => panic!("expected LocalBottleneck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mlab_on_fast_plans_gets_the_methodology_caveat() {
+        let (model, cat) = fitted_model();
+        let mut m = measurement(250.0, 33.0, Access::Unknown, None);
+        m.platform = Platform::NdtWeb;
+        let v = diagnose(&m, &model, &cat, Some(6), &DiagnoseConfig::default());
+        match v {
+            Verdict::LocalBottleneck { factors, .. } => {
+                assert!(
+                    factors.contains(&LocalFactor::SingleFlowMethodology),
+                    "{factors:?}"
+                );
+            }
+            other => panic!("expected LocalBottleneck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unassignable_measurement_is_unattributable() {
+        let (model, cat) = fitted_model();
+        // 0.9 Mbps upload sits in no cap's tolerance.
+        let m = measurement(5.0, 0.9, Access::Unknown, None);
+        let v = diagnose(&m, &model, &cat, None, &DiagnoseConfig::default());
+        assert_eq!(v, Verdict::Unattributable);
+    }
+
+    #[test]
+    fn campaign_triage_counts_everything_once() {
+        let (model, cat) = fitted_model();
+        let ms = vec![
+            measurement(98.0, 5.2, Access::Ethernet, Some(16.0)),
+            measurement(20.0, 5.2, Access::Ethernet, Some(16.0)),
+            measurement(
+                40.0,
+                36.0,
+                Access::Wifi { band: Band::G2_4, rssi_dbm: -80.0 },
+                Some(4.0),
+            ),
+            measurement(5.0, 0.9, Access::Unknown, None),
+        ];
+        let tiers = vec![Some(2), Some(2), Some(6), None];
+        let s = triage_campaign(&ms, &tiers, &model, &cat, &DiagnoseConfig::default());
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.meets_plan, 1);
+        assert_eq!(s.access_underperformance, 1);
+        assert_eq!(s.local_bottleneck, 1);
+        assert_eq!(s.unattributable, 1);
+    }
+
+    #[test]
+    fn factor_descriptions_are_informative() {
+        for f in [
+            LocalFactor::WifiAccess,
+            LocalFactor::Band24GHz,
+            LocalFactor::WeakSignal,
+            LocalFactor::MarginalSignal,
+            LocalFactor::LowMemory,
+            LocalFactor::UnknownMedium,
+            LocalFactor::SingleFlowMethodology,
+        ] {
+            assert!(f.describe().len() > 10);
+        }
+    }
+}

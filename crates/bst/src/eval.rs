@@ -1,0 +1,165 @@
+//! Evaluation of a fitted BST model against ground truth.
+//!
+//! The paper's Table 2 scores **upload-tier** accuracy — whether each
+//! measurement's assigned upload cap matches the cap of its true plan —
+//! on the MBA dataset, where truth is known. §4.3 additionally reports
+//! per-group download accuracy. Both are computed here.
+
+use crate::assign::BstModel;
+use st_speedtest::PlanCatalog;
+
+/// Accuracy summary for one evaluated dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Measurements evaluated (those with known truth).
+    pub n: usize,
+    /// Fraction whose assigned upload cap matches the true plan's cap
+    /// (the Table 2 metric).
+    pub upload_accuracy: f64,
+    /// Fraction whose assigned tier matches the true tier exactly.
+    pub plan_accuracy: f64,
+    /// Fraction of measurements that received any assignment.
+    pub coverage: f64,
+    /// Per-upload-cap download accuracy: `(cap_mbps, n, accuracy)`.
+    pub per_group: Vec<(f64, usize, f64)>,
+}
+
+/// Score `model` against per-measurement ground-truth tiers.
+///
+/// `truth[i]` is the true 1-based tier of measurement `i` (as fitted, in
+/// order), or `None` when unknown; unknown-truth measurements are skipped.
+pub fn evaluate(model: &BstModel, truth: &[Option<usize>], catalog: &PlanCatalog) -> Evaluation {
+    assert_eq!(
+        truth.len(),
+        model.assignments.len(),
+        "one truth entry per fitted measurement"
+    );
+
+    let mut n = 0usize;
+    let mut upload_ok = 0usize;
+    let mut plan_ok = 0usize;
+    let mut per_group: Vec<(f64, usize, usize)> =
+        catalog.upload_caps().iter().map(|c| (c.0, 0usize, 0usize)).collect();
+
+    for (a, t) in model.assignments.iter().zip(truth) {
+        let Some(t) = *t else { continue };
+        let true_plan = catalog.plan(t).expect("truth tier exists in catalog");
+        n += 1;
+        if a.upload_cap == Some(true_plan.up) {
+            upload_ok += 1;
+            // Download accuracy is conditional on the correct group.
+            let entry = per_group
+                .iter_mut()
+                .find(|(c, ..)| *c == true_plan.up.0)
+                .expect("cap in catalog");
+            entry.1 += 1;
+            if a.tier == Some(t) {
+                entry.2 += 1;
+            }
+        }
+        if a.tier == Some(t) {
+            plan_ok += 1;
+        }
+    }
+
+    Evaluation {
+        n,
+        upload_accuracy: if n == 0 { 0.0 } else { upload_ok as f64 / n as f64 },
+        plan_accuracy: if n == 0 { 0.0 } else { plan_ok as f64 / n as f64 },
+        coverage: model.coverage(),
+        per_group: per_group
+            .into_iter()
+            .map(|(c, gn, gok)| (c, gn, if gn == 0 { 0.0 } else { gok as f64 / gn as f64 }))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BstConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SeedableRng};
+
+    fn isp_a() -> PlanCatalog {
+        PlanCatalog::new(
+            "ISP-A",
+            &[
+                (25.0, 5.0),
+                (100.0, 5.0),
+                (200.0, 5.0),
+                (400.0, 10.0),
+                (800.0, 15.0),
+                (1200.0, 35.0),
+            ],
+        )
+    }
+
+    fn fitted() -> (BstModel, Vec<Option<usize>>, PlanCatalog) {
+        let mut r = StdRng::seed_from_u64(43);
+        let spec: [(f64, f64, f64, f64, usize, usize); 4] = [
+            (110.0, 8.0, 5.4, 0.4, 400, 2),
+            (430.0, 25.0, 10.7, 0.6, 250, 4),
+            (700.0, 60.0, 16.0, 0.8, 150, 5),
+            (900.0, 80.0, 38.0, 1.5, 200, 6),
+        ];
+        let (mut down, mut up, mut truth) = (Vec::new(), Vec::new(), Vec::new());
+        for &(dmu, dsd, umu, usd, n, tier) in &spec {
+            for _ in 0..n {
+                let g = |r: &mut StdRng, mu: f64, sd: f64| {
+                    let u1: f64 = r.gen::<f64>().max(1e-12);
+                    let u2: f64 = r.gen();
+                    mu + sd * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+                };
+                down.push(g(&mut r, dmu, dsd).max(1.0));
+                up.push(g(&mut r, umu, usd).max(0.3));
+                truth.push(Some(tier));
+            }
+        }
+        let cat = isp_a();
+        let model = BstModel::fit(&down, &up, &cat, &BstConfig::default(), &mut r).unwrap();
+        (model, truth, cat)
+    }
+
+    #[test]
+    fn mba_like_sample_scores_above_paper_threshold() {
+        let (model, truth, cat) = fitted();
+        let ev = evaluate(&model, &truth, &cat);
+        assert_eq!(ev.n, 1000);
+        assert!(ev.upload_accuracy > 0.96, "upload accuracy {}", ev.upload_accuracy);
+        assert!(ev.plan_accuracy > 0.9, "plan accuracy {}", ev.plan_accuracy);
+        assert!(ev.coverage > 0.95);
+    }
+
+    #[test]
+    fn per_group_breakdown_covers_caps() {
+        let (model, truth, cat) = fitted();
+        let ev = evaluate(&model, &truth, &cat);
+        assert_eq!(ev.per_group.len(), 4);
+        let caps: Vec<f64> = ev.per_group.iter().map(|(c, ..)| *c).collect();
+        assert_eq!(caps, vec![5.0, 10.0, 15.0, 35.0]);
+        // Single-plan groups score ~100% download accuracy (§4.3).
+        for &(cap, n, acc) in &ev.per_group {
+            if cap > 5.0 && n > 50 {
+                assert!(acc > 0.95, "cap {cap}: download accuracy {acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_truth_is_skipped() {
+        let (model, mut truth, cat) = fitted();
+        let known = truth.len();
+        truth[0] = None;
+        truth[1] = None;
+        let ev = evaluate(&model, &truth, &cat);
+        assert_eq!(ev.n, known - 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one truth entry per fitted measurement")]
+    fn truth_length_mismatch_panics() {
+        let (model, _, cat) = fitted();
+        let _ = evaluate(&model, &[Some(1)], &cat);
+    }
+}

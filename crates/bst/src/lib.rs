@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+//! The Broadband Subscription Tier (BST) methodology — the paper's primary
+//! contribution (§4.2).
+//!
+//! BST is a two-stage hierarchical unsupervised clustering pipeline that
+//! maps each `<download speed, upload speed>` measurement tuple to the ISP
+//! subscription plan it originated from:
+//!
+//! 1. **Stage 1 ([`stage1`])** clusters the *upload* speeds. Upload caps
+//!    are few and small, and upload measurements are far less noisy than
+//!    downloads (§4.1), so Kernel Density Estimation counts the clusters
+//!    and a Gaussian Mixture Model fit with EM assigns each measurement to
+//!    an ISP upload cap.
+//! 2. **Stage 2 ([`stage2`])** re-applies KDE + GMM-EM to the *download*
+//!    speeds **within** each upload cluster, then maps the recovered
+//!    download components onto the plans that share that upload cap.
+//!
+//! [`assign::BstModel`] composes the stages into a fitted model;
+//! [`eval`] scores it against ground truth (the paper's Table 2);
+//! [`consistency`] implements the §5.2 per-user/month α analysis;
+//! [`ablation`] implements the design-choice baselines the paper argues
+//! against (download-first clustering, k-means assignment, BIC component
+//! selection); [`mod@diagnose`] operationalizes the paper's §8 recommendation
+//! by triaging measurements into plan-limited / locally-bottlenecked /
+//! access-under-performing classes for coverage-challenge processes.
+
+pub mod ablation;
+pub mod assign;
+pub mod consistency;
+pub mod diagnose;
+pub mod eval;
+pub mod stability;
+pub mod stage1;
+pub mod stage2;
+
+pub use assign::{BstModel, PlanAssignment};
+pub use consistency::{alpha_values, consistency_cdf, AlphaConfig};
+pub use diagnose::{diagnose, triage_campaign, DiagnoseConfig, LocalFactor, Verdict};
+pub use eval::{evaluate, Evaluation};
+pub use stability::{assignment_stability, StabilityReport};
+pub use stage1::{cluster_uploads, UploadClustering};
+pub use stage2::{cluster_downloads, DownloadClustering};
+
+/// Configuration shared by both BST stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BstConfig {
+    /// Grid resolution for KDE peak counting.
+    pub kde_grid_points: usize,
+    /// Minimum KDE peak prominence (fraction of the max density) for a
+    /// peak to count as a cluster.
+    pub kde_min_prominence: f64,
+    /// Multiplier on the Silverman bandwidth for peak counting. Speed
+    /// distributions are multi-scale (clusters at 1 and 35 Mbps in one
+    /// sample), where the global Silverman rule over-smooths; 0.5 keeps
+    /// nearby low-rate clusters separable.
+    pub kde_bandwidth_scale: f64,
+    /// Upper bound on download components per upload group (the paper
+    /// associates up to 10 download clusters per tier, §5.1).
+    pub max_download_clusters: usize,
+    /// EM iteration budget.
+    pub max_em_iter: usize,
+}
+
+impl Default for BstConfig {
+    fn default() -> Self {
+        BstConfig {
+            kde_grid_points: 512,
+            kde_min_prominence: 0.02,
+            kde_bandwidth_scale: 0.5,
+            max_download_clusters: 10,
+            max_em_iter: 200,
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Bootstrap stability of BST assignments.
+//!
+//! The paper checks BST's *self*-consistency across a user's repeated
+//! tests (§5.2, α). This module checks the complementary question a
+//! production deployment must answer: how sensitive are the assignments
+//! to the *sample* the model was fit on? We refit on bootstrap resamples
+//! and measure how often each original measurement keeps its assignment
+//! — low agreement flags a campaign too small or too noisy to trust.
+
+use crate::assign::BstModel;
+use crate::BstConfig;
+use rand::Rng;
+use st_speedtest::PlanCatalog;
+use st_stats::StatsError;
+
+/// Result of a stability analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StabilityReport {
+    /// Mean per-measurement agreement with the reference assignment
+    /// across resamples (1.0 = every refit agrees everywhere).
+    pub mean_agreement: f64,
+    /// Fraction of measurements whose assignment agreed in *every*
+    /// resample.
+    pub always_stable: f64,
+    /// Resamples performed.
+    pub resamples: usize,
+}
+
+/// Fit a reference model on `(down, up)`, then refit on `resamples`
+/// bootstrap resamples and score per-measurement tier agreement against
+/// the reference (measurements are re-classified through each refit
+/// model's `assign`).
+pub fn assignment_stability<R: Rng + ?Sized>(
+    down: &[f64],
+    up: &[f64],
+    catalog: &PlanCatalog,
+    cfg: &BstConfig,
+    resamples: usize,
+    rng: &mut R,
+) -> Result<StabilityReport, StatsError> {
+    assert_eq!(down.len(), up.len(), "parallel down/up samples required");
+    assert!(resamples >= 2, "need at least two resamples");
+    if down.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+
+    let reference = BstModel::fit(down, up, catalog, cfg, rng)?;
+    let ref_tiers = reference.tiers();
+    let n = down.len();
+
+    let mut agree_counts = vec![0usize; n];
+    let mut done = 0usize;
+    for _ in 0..resamples {
+        let mut rd = Vec::with_capacity(n);
+        let mut ru = Vec::with_capacity(n);
+        for _ in 0..n {
+            let i = rng.gen_range(0..n);
+            rd.push(down[i]);
+            ru.push(up[i]);
+        }
+        let Ok(model) = BstModel::fit(&rd, &ru, catalog, cfg, rng) else {
+            continue; // degenerate resample; skip rather than fail the report
+        };
+        done += 1;
+        for i in 0..n {
+            if model.assign(down[i], up[i]).tier == ref_tiers[i] {
+                agree_counts[i] += 1;
+            }
+        }
+    }
+    if done == 0 {
+        return Err(StatsError::Diverged { iteration: 0 });
+    }
+
+    let mean_agreement =
+        agree_counts.iter().map(|&c| c as f64 / done as f64).sum::<f64>() / n as f64;
+    let always_stable =
+        agree_counts.iter().filter(|&&c| c == done).count() as f64 / n as f64;
+    Ok(StabilityReport { mean_agreement, always_stable, resamples: done })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn isp_a() -> PlanCatalog {
+        PlanCatalog::new(
+            "ISP-A",
+            &[
+                (25.0, 5.0),
+                (100.0, 5.0),
+                (200.0, 5.0),
+                (400.0, 10.0),
+                (800.0, 15.0),
+                (1200.0, 35.0),
+            ],
+        )
+    }
+
+    fn sample(r: &mut StdRng, n_per: usize, down_sd_frac: f64) -> (Vec<f64>, Vec<f64>) {
+        let spec: [(f64, f64); 4] =
+            [(110.0, 5.4), (430.0, 10.7), (700.0, 16.0), (950.0, 37.5)];
+        let g = |r: &mut StdRng, mu: f64, sd: f64| {
+            let u1: f64 = r.gen::<f64>().max(1e-12);
+            let u2: f64 = r.gen();
+            mu + sd * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        };
+        let (mut down, mut up) = (Vec::new(), Vec::new());
+        for &(dmu, umu) in &spec {
+            for _ in 0..n_per {
+                down.push(g(r, dmu, dmu * down_sd_frac).max(1.0));
+                up.push(g(r, umu, umu * 0.05).max(0.3));
+            }
+        }
+        (down, up)
+    }
+
+    #[test]
+    fn clean_campaigns_are_highly_stable() {
+        let mut r = StdRng::seed_from_u64(83);
+        let (down, up) = sample(&mut r, 250, 0.05);
+        let rep =
+            assignment_stability(&down, &up, &isp_a(), &BstConfig::default(), 5, &mut r)
+                .unwrap();
+        assert!(rep.mean_agreement > 0.95, "{rep:?}");
+        assert!(rep.always_stable > 0.85, "{rep:?}");
+        assert_eq!(rep.resamples, 5);
+    }
+
+    #[test]
+    fn noisier_campaigns_are_less_stable() {
+        let mut r = StdRng::seed_from_u64(89);
+        let (down_c, up_c) = sample(&mut r, 120, 0.05);
+        let clean =
+            assignment_stability(&down_c, &up_c, &isp_a(), &BstConfig::default(), 4, &mut r)
+                .unwrap();
+        let (down_n, up_n) = sample(&mut r, 120, 0.6);
+        let noisy =
+            assignment_stability(&down_n, &up_n, &isp_a(), &BstConfig::default(), 4, &mut r)
+                .unwrap();
+        assert!(
+            noisy.mean_agreement <= clean.mean_agreement + 1e-9,
+            "noisy {noisy:?} vs clean {clean:?}"
+        );
+    }
+
+    #[test]
+    fn report_fields_are_probabilities() {
+        let mut r = StdRng::seed_from_u64(97);
+        let (down, up) = sample(&mut r, 60, 0.2);
+        let rep =
+            assignment_stability(&down, &up, &isp_a(), &BstConfig::default(), 3, &mut r)
+                .unwrap();
+        assert!((0.0..=1.0).contains(&rep.mean_agreement));
+        assert!((0.0..=1.0).contains(&rep.always_stable));
+        assert!(rep.always_stable <= rep.mean_agreement + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two resamples")]
+    fn too_few_resamples_rejected() {
+        let mut r = StdRng::seed_from_u64(1);
+        let _ = assignment_stability(
+            &[1.0],
+            &[1.0],
+            &isp_a(),
+            &BstConfig::default(),
+            1,
+            &mut r,
+        );
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        let mut r = StdRng::seed_from_u64(1);
+        assert!(assignment_stability(
+            &[],
+            &[],
+            &isp_a(),
+            &BstConfig::default(),
+            3,
+            &mut r
+        )
+        .is_err());
+    }
+}

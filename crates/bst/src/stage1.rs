@@ -1,0 +1,281 @@
+//! Stage 1: upload-speed clustering.
+//!
+//! Uploads are the low-variance axis (§4.1: median consistency factor 0.87
+//! vs 0.58 for downloads), so they anchor the hierarchy. KDE confirms how
+//! many density clusters the sample contains; a GMM with one component per
+//! detected cluster is fit with EM; each component is then matched to the
+//! nearest ISP upload cap. Components that land far from every cap (e.g.
+//! M-Lab's ~1 Mbps browser-limited cluster, Fig. 6) stay unmatched, and
+//! their measurements are excluded from tier assignment rather than being
+//! forced into a wrong plan.
+
+use crate::BstConfig;
+use rand::Rng;
+use st_netsim::Mbps;
+use st_speedtest::PlanCatalog;
+use st_stats::{Bandwidth, GaussianMixture, GmmConfig, KernelDensity, StatsError};
+
+/// A fitted stage-1 clustering.
+#[derive(Debug, Clone)]
+pub struct UploadClustering {
+    /// The fitted mixture over upload speeds (components sorted by mean).
+    pub gmm: GaussianMixture,
+    /// For each GMM component: the matched ISP upload cap, or `None` if
+    /// the component sits too far from every cap.
+    pub component_caps: Vec<Option<Mbps>>,
+    /// Per-measurement component index (parallel to the input sample).
+    pub assignments: Vec<usize>,
+    /// Number of KDE peaks detected before fitting.
+    pub kde_peaks: usize,
+}
+
+impl UploadClustering {
+    /// The matched upload cap for measurement `i`, if its component
+    /// matched one.
+    pub fn cap_of(&self, i: usize) -> Option<Mbps> {
+        self.component_caps.get(self.assignments[i]).copied().flatten()
+    }
+
+    /// Indices of measurements assigned to `cap`.
+    pub fn members_of(&self, cap: Mbps) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| self.component_caps.get(c).copied().flatten() == Some(cap))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Mean upload speed of each component matched to `cap` (weighted by
+    /// component weight) — the per-tier means reported in Table 3.
+    pub fn matched_mean(&self, cap: Mbps) -> Option<f64> {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (c, comp) in self.gmm.components().iter().enumerate() {
+            if self.component_caps[c] == Some(cap) {
+                num += comp.weight * comp.mean;
+                den += comp.weight;
+            }
+        }
+        (den > 0.0).then(|| num / den)
+    }
+}
+
+/// Cluster upload speeds and match components to the catalog's upload caps.
+///
+/// A component matches the nearest cap if its mean is within
+/// `max(40% of the cap, 2 Mbps)`; otherwise it is left unmatched. The GMM
+/// order (how many components to fit) is the number of KDE peaks, floored
+/// at the number of distinct caps so sparse groups are not merged.
+pub fn cluster_uploads<R: Rng + ?Sized>(
+    uploads: &[f64],
+    catalog: &PlanCatalog,
+    cfg: &BstConfig,
+    rng: &mut R,
+) -> Result<UploadClustering, StatsError> {
+    let caps = catalog.upload_caps();
+
+    let bw = st_stats::kde::silverman_bandwidth(uploads) * cfg.kde_bandwidth_scale;
+    let kde = if bw > 0.0 {
+        KernelDensity::fit(uploads, Bandwidth::Fixed(bw))?
+    } else {
+        KernelDensity::fit(uploads, Bandwidth::Silverman)?
+    };
+    let peaks = kde.find_peaks(cfg.kde_grid_points, cfg.kde_min_prominence)?;
+    let kde_peaks = peaks.len();
+
+    // EM is seeded with one component per offered cap — the paper collects
+    // the offered plans first (§4.1), so the candidate cluster centers are
+    // known. KDE peaks that sit far from every cap seed *extra* components
+    // (the unmatched-cluster safety valve for e.g. browser-limited
+    // uploads), capped at 3 extras.
+    let mut init_means: Vec<f64> = caps.iter().map(|c| c.0).collect();
+    for p in &peaks {
+        let near_cap = caps
+            .iter()
+            .any(|c| (p.x - c.0).abs() <= (c.0 * 0.4).max(2.0));
+        if !near_cap && init_means.len() < caps.len() + 3 {
+            init_means.push(p.x);
+        }
+    }
+    init_means.truncate(uploads.len());
+    // A uniform background absorbs straggler uploads (cross-traffic-halved
+    // tests, odd client limits) that would otherwise balloon a cap's
+    // component into a catch-all.
+    let gmm_cfg = GmmConfig {
+        max_iter: cfg.max_em_iter,
+        background_weight: Some(0.03),
+        ..Default::default()
+    };
+    let gmm = match GaussianMixture::fit_with_means(uploads, &init_means, gmm_cfg) {
+        Ok(g) => g,
+        // Degenerate tiny samples: fall back to unseeded EM with whatever
+        // order fits.
+        Err(_) => {
+            let k = caps.len().min(uploads.len()).max(1);
+            GaussianMixture::fit(
+                uploads,
+                GmmConfig { k, max_iter: cfg.max_em_iter, ..Default::default() },
+                rng,
+            )?
+        }
+    };
+
+    let component_caps: Vec<Option<Mbps>> = gmm
+        .components()
+        .iter()
+        .map(|comp| {
+            let cap = catalog.nearest_upload_cap(Mbps(comp.mean));
+            let tolerance = (cap.0 * 0.4).max(2.0);
+            ((comp.mean - cap.0).abs() <= tolerance).then_some(cap)
+        })
+        .collect();
+
+    // The background's job is to keep stragglers from distorting the
+    // component fits. At assignment time, a background-rejected point that
+    // still sits within tolerance of an offered cap belongs to that cap's
+    // component; only points far from every cap stay unmatched (they get
+    // the pseudo-index `k`, which `cap_of`/`members_of` treat as such).
+    let k = gmm.k();
+    let component_of_cap = |cap: Mbps| -> Option<usize> {
+        component_caps.iter().position(|c| *c == Some(cap))
+    };
+    let assignments: Vec<usize> = uploads
+        .iter()
+        .map(|&u| {
+            if let Some(c) = gmm.predict_with_background(u) {
+                return c;
+            }
+            let cap = catalog.nearest_upload_cap(Mbps(u));
+            let tolerance = (cap.0 * 0.4).max(2.0);
+            if (u - cap.0).abs() <= tolerance {
+                component_of_cap(cap).unwrap_or(k)
+            } else {
+                k
+            }
+        })
+        .collect();
+    Ok(UploadClustering { gmm, component_caps, assignments, kde_peaks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(31)
+    }
+
+    fn isp_a() -> PlanCatalog {
+        PlanCatalog::new(
+            "ISP-A",
+            &[
+                (25.0, 5.0),
+                (100.0, 5.0),
+                (200.0, 5.0),
+                (400.0, 10.0),
+                (800.0, 15.0),
+                (1200.0, 35.0),
+            ],
+        )
+    }
+
+    /// Upload sample shaped like Fig. 4: clusters at/above the caps.
+    fn upload_sample(r: &mut StdRng) -> (Vec<f64>, Vec<Mbps>) {
+        let spec = [
+            (5.4, 0.5, 900usize, 5.0),
+            (10.8, 0.7, 300, 10.0),
+            (16.2, 0.9, 250, 15.0),
+            (37.5, 1.8, 350, 35.0),
+        ];
+        let mut data = Vec::new();
+        let mut truth = Vec::new();
+        for &(mu, sd, n, cap) in &spec {
+            for _ in 0..n {
+                let u1: f64 = r.gen::<f64>().max(1e-12);
+                let u2: f64 = r.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                data.push((mu + sd * z).max(0.3));
+                truth.push(Mbps(cap));
+            }
+        }
+        (data, truth)
+    }
+
+    #[test]
+    fn recovers_the_four_upload_tiers() {
+        let mut r = rng();
+        let (data, truth) = upload_sample(&mut r);
+        let uc = cluster_uploads(&data, &isp_a(), &BstConfig::default(), &mut r).unwrap();
+        let correct = (0..data.len()).filter(|&i| uc.cap_of(i) == Some(truth[i])).count();
+        let acc = correct as f64 / data.len() as f64;
+        assert!(acc > 0.96, "upload accuracy {acc} (paper: >96%)");
+    }
+
+    #[test]
+    fn kde_sees_about_four_peaks() {
+        let mut r = rng();
+        let (data, _) = upload_sample(&mut r);
+        let uc = cluster_uploads(&data, &isp_a(), &BstConfig::default(), &mut r).unwrap();
+        assert!((3..=5).contains(&uc.kde_peaks), "peaks {}", uc.kde_peaks);
+    }
+
+    #[test]
+    fn matched_means_sit_near_caps() {
+        let mut r = rng();
+        let (data, _) = upload_sample(&mut r);
+        let uc = cluster_uploads(&data, &isp_a(), &BstConfig::default(), &mut r).unwrap();
+        for cap in [5.0, 10.0, 15.0, 35.0] {
+            let mean = uc.matched_mean(Mbps(cap)).expect("cap has a component");
+            assert!((mean - cap).abs() < cap * 0.25, "cap {cap}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn members_partition_consistently() {
+        let mut r = rng();
+        let (data, _) = upload_sample(&mut r);
+        let uc = cluster_uploads(&data, &isp_a(), &BstConfig::default(), &mut r).unwrap();
+        let total: usize =
+            [5.0, 10.0, 15.0, 35.0].iter().map(|&c| uc.members_of(Mbps(c)).len()).sum();
+        let unmatched = (0..data.len()).filter(|&i| uc.cap_of(i).is_none()).count();
+        assert_eq!(total + unmatched, data.len());
+    }
+
+    #[test]
+    fn rogue_low_cluster_stays_unmatched() {
+        // Add an M-Lab-style ~1 Mbps cluster; it must not be forced onto
+        // the 5 Mbps cap (it is 80% below it).
+        let mut r = rng();
+        let (mut data, _) = upload_sample(&mut r);
+        for _ in 0..200 {
+            data.push(0.8 + r.gen::<f64>() * 0.5);
+        }
+        let uc = cluster_uploads(&data, &isp_a(), &BstConfig::default(), &mut r).unwrap();
+        let low_points: Vec<usize> =
+            (0..data.len()).filter(|&i| data[i] < 1.6).collect();
+        let unmatched_low =
+            low_points.iter().filter(|&&i| uc.cap_of(i).is_none()).count();
+        assert!(
+            unmatched_low as f64 / low_points.len() as f64 > 0.7,
+            "{unmatched_low}/{} low-upload points unmatched",
+            low_points.len()
+        );
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        let mut r = rng();
+        assert!(cluster_uploads(&[], &isp_a(), &BstConfig::default(), &mut r).is_err());
+    }
+
+    #[test]
+    fn tiny_sample_still_fits() {
+        let mut r = rng();
+        let data = [5.1, 5.2, 10.4, 15.3, 36.0, 34.8];
+        let uc = cluster_uploads(&data, &isp_a(), &BstConfig::default(), &mut r).unwrap();
+        assert_eq!(uc.assignments.len(), 6);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the BST methodology's invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use st_bst::{BstConfig, BstModel};
+use st_speedtest::PlanCatalog;
+
+fn isp_a() -> PlanCatalog {
+    PlanCatalog::new(
+        "ISP-A",
+        &[
+            (25.0, 5.0),
+            (100.0, 5.0),
+            (200.0, 5.0),
+            (400.0, 10.0),
+            (800.0, 15.0),
+            (1200.0, 35.0),
+        ],
+    )
+}
+
+/// Strategy: a plausible measurement sample — per-point tier with
+/// multiplicative degradation on the download and mild noise on the
+/// upload, plus a few total-outlier points.
+fn sample_strategy() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    prop::collection::vec(
+        (
+            0usize..6,            // tier index
+            0.1f64..1.05,         // download degradation factor
+            0.9f64..1.1,          // upload noise factor
+            prop::bool::weighted(0.05), // total outlier?
+        ),
+        40..200,
+    )
+    .prop_map(|rows| {
+        let cat = isp_a();
+        let mut down = Vec::with_capacity(rows.len());
+        let mut up = Vec::with_capacity(rows.len());
+        for (tier_idx, deg, unoise, outlier) in rows {
+            if outlier {
+                down.push(3.0);
+                up.push(0.7);
+            } else {
+                let plan = cat.plan(tier_idx + 1).expect("tier in catalog");
+                down.push((plan.down.0 * deg).max(0.5));
+                up.push((plan.up.0 * unoise).max(0.2));
+            }
+        }
+        (down, up)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn assignments_always_reference_catalog_tiers((down, up) in sample_strategy(), seed in 0u64..100) {
+        let cat = isp_a();
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Ok(model) = BstModel::fit(&down, &up, &cat, &BstConfig::default(), &mut rng) {
+            prop_assert_eq!(model.assignments.len(), down.len());
+            for a in &model.assignments {
+                if let Some(t) = a.tier {
+                    prop_assert!(cat.plan(t).is_some(), "tier {t} not in catalog");
+                    // The assigned tier's upload cap matches the stage-1 cap.
+                    prop_assert_eq!(Some(cat.plan(t).unwrap().up), a.upload_cap);
+                }
+                if let Some(cap) = a.upload_cap {
+                    prop_assert!(cat.upload_caps().contains(&cap));
+                }
+            }
+            let cov = model.coverage();
+            prop_assert!((0.0..=1.0).contains(&cov));
+        }
+    }
+
+    #[test]
+    fn fit_is_deterministic_in_seed((down, up) in sample_strategy(), seed in 0u64..50) {
+        let cat = isp_a();
+        let fit = || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            BstModel::fit(&down, &up, &cat, &BstConfig::default(), &mut rng)
+                .map(|m| m.tiers())
+        };
+        match (fit(), fit()) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "determinism violated: one fit failed"),
+        }
+    }
+
+    #[test]
+    fn assign_agrees_with_upload_group_semantics(
+        (down, up) in sample_strategy(),
+        probe_down in 1.0f64..1300.0,
+        probe_up in 0.5f64..45.0,
+    ) {
+        let cat = isp_a();
+        let mut rng = StdRng::seed_from_u64(3);
+        if let Ok(model) = BstModel::fit(&down, &up, &cat, &BstConfig::default(), &mut rng) {
+            let a = model.assign(probe_down, probe_up);
+            if let (Some(cap), Some(t)) = (a.upload_cap, a.tier) {
+                // The tier must belong to the cap's group.
+                let group_tiers: Vec<usize> =
+                    cat.plans_with_upload(cap).iter().map(|p| p.tier).collect();
+                prop_assert!(group_tiers.contains(&t), "tier {t} not in group of {cap:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn upload_clusters_partition_assigned_points((down, up) in sample_strategy()) {
+        let cat = isp_a();
+        let mut rng = StdRng::seed_from_u64(9);
+        if let Ok(model) = BstModel::fit(&down, &up, &cat, &BstConfig::default(), &mut rng) {
+            let total_members: usize = cat
+                .upload_caps()
+                .iter()
+                .map(|&c| model.uploads.members_of(c).len())
+                .sum();
+            let unassigned = model
+                .assignments
+                .iter()
+                .filter(|a| a.upload_cap.is_none())
+                .count();
+            prop_assert_eq!(total_members + unassigned, down.len());
+        }
+    }
+}

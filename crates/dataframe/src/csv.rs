@@ -1,0 +1,237 @@
+//! Minimal CSV import/export.
+//!
+//! Supports the subset needed here: comma separation, double-quote quoting
+//! for string fields containing commas/quotes/newlines, header row required.
+//! Import infers column types from the first data row (i64 → f64 → bool →
+//! str, first parse that succeeds for *all* rows of the column wins).
+
+use crate::column::Column;
+use crate::error::FrameError;
+use crate::frame::DataFrame;
+use crate::Result;
+use std::fmt::Write as _;
+
+/// Serialize a frame to CSV text with a header row.
+pub fn to_csv(df: &DataFrame) -> String {
+    let mut out = String::new();
+    let names = df.names();
+    out.push_str(
+        &names.iter().map(|n| quote(n)).collect::<Vec<_>>().join(","),
+    );
+    out.push('\n');
+    for row in 0..df.n_rows() {
+        let mut first = true;
+        for name in names {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let cell = df
+                .value(row, name)
+                .expect("row and column in range")
+                .to_string();
+            let _ = write!(out, "{}", quote(&cell));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse CSV text into a frame. All columns are inferred.
+pub fn from_csv(text: &str) -> Result<DataFrame> {
+    let mut rows = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        rows.push(split_line(line, lineno + 1)?);
+    }
+    if rows.is_empty() {
+        return Err(FrameError::Csv { line: 0, message: "no header row".into() });
+    }
+    let header = rows.remove(0);
+    let n_cols = header.len();
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != n_cols {
+            return Err(FrameError::Csv {
+                line: i + 2,
+                message: format!("expected {n_cols} fields, got {}", row.len()),
+            });
+        }
+    }
+
+    let mut df = DataFrame::new();
+    for (c, name) in header.into_iter().enumerate() {
+        let cells: Vec<&str> = rows.iter().map(|r| r[c].as_str()).collect();
+        df.add_column(name, infer_column(&cells))?;
+    }
+    Ok(df)
+}
+
+fn infer_column(cells: &[&str]) -> Column {
+    if !cells.is_empty() {
+        if let Some(v) = try_all(cells, |s| s.parse::<i64>().ok()) {
+            return Column::I64(v);
+        }
+        if let Some(v) = try_all(cells, parse_f64) {
+            return Column::F64(v);
+        }
+        if let Some(v) = try_all(cells, |s| match s {
+            "true" => Some(true),
+            "false" => Some(false),
+            _ => None,
+        }) {
+            return Column::Bool(v);
+        }
+    }
+    Column::Str(cells.iter().map(|s| s.to_string()).collect())
+}
+
+fn parse_f64(s: &str) -> Option<f64> {
+    match s {
+        "NaN" | "nan" => Some(f64::NAN),
+        _ => s.parse::<f64>().ok(),
+    }
+}
+
+fn try_all<T>(cells: &[&str], f: impl Fn(&str) -> Option<T>) -> Option<Vec<T>> {
+    let mut out = Vec::with_capacity(cells.len());
+    for &c in cells {
+        out.push(f(c)?);
+    }
+    Some(out)
+}
+
+fn quote(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn split_line(line: &str, lineno: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cur.push(ch),
+            }
+        } else {
+            match ch {
+                '"' => {
+                    if cur.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(FrameError::Csv {
+                            line: lineno,
+                            message: "quote inside unquoted field".into(),
+                        });
+                    }
+                }
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                }
+                _ => cur.push(ch),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(FrameError::Csv { line: lineno, message: "unterminated quote".into() });
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_typed_frame() {
+        let df = DataFrame::from_columns([
+            ("down", Column::from(vec![25.5, 100.0])),
+            ("tier", Column::from(vec![1i64, 2])),
+            ("city", Column::from(vec!["A", "B"])),
+            ("wifi", Column::from(vec![true, false])),
+        ])
+        .unwrap();
+        let text = to_csv(&df);
+        let back = from_csv(&text).unwrap();
+        assert_eq!(back.f64("down").unwrap(), df.f64("down").unwrap());
+        assert_eq!(back.i64("tier").unwrap(), df.i64("tier").unwrap());
+        assert_eq!(back.str("city").unwrap(), df.str("city").unwrap());
+        assert_eq!(back.bool("wifi").unwrap(), df.bool("wifi").unwrap());
+    }
+
+    #[test]
+    fn quoting_commas_and_quotes() {
+        let df = DataFrame::from_columns([(
+            "name",
+            Column::from(vec!["plain", "has,comma", "has\"quote"]),
+        )])
+        .unwrap();
+        let text = to_csv(&df);
+        let back = from_csv(&text).unwrap();
+        assert_eq!(back.str("name").unwrap(), df.str("name").unwrap());
+    }
+
+    #[test]
+    fn integers_prefer_i64_over_f64() {
+        let back = from_csv("x\n1\n2\n").unwrap();
+        assert!(back.i64("x").is_ok());
+    }
+
+    #[test]
+    fn mixed_numeric_becomes_f64() {
+        let back = from_csv("x\n1\n2.5\n").unwrap();
+        assert_eq!(back.f64("x").unwrap(), &[1.0, 2.5]);
+    }
+
+    #[test]
+    fn nan_round_trips() {
+        let df =
+            DataFrame::from_columns([("v", Column::from(vec![1.0, f64::NAN]))]).unwrap();
+        let back = from_csv(&to_csv(&df)).unwrap();
+        let v = back.f64("v").unwrap();
+        assert_eq!(v[0], 1.0);
+        assert!(v[1].is_nan());
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(matches!(
+            from_csv("a,b\n1,2\n3\n").unwrap_err(),
+            FrameError::Csv { line: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(from_csv("a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(from_csv("").is_err());
+        assert!(from_csv("\n\n").is_err());
+    }
+
+    #[test]
+    fn header_only_yields_empty_string_columns() {
+        let df = from_csv("a,b\n").unwrap();
+        assert_eq!(df.n_rows(), 0);
+        assert_eq!(df.n_cols(), 2);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for data-frame operations.
+
+use std::fmt;
+
+/// Errors produced by [`crate::DataFrame`] operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameError {
+    /// A referenced column does not exist.
+    NoSuchColumn(String),
+    /// A column with this name already exists.
+    DuplicateColumn(String),
+    /// Column length does not match the frame's row count.
+    LengthMismatch {
+        /// Offending column name.
+        column: String,
+        /// The frame's row count.
+        expected: usize,
+        /// The column's length.
+        got: usize,
+    },
+    /// The column exists but has the wrong type for the operation.
+    TypeMismatch {
+        /// Offending column name.
+        column: String,
+        /// Type the operation required.
+        expected: &'static str,
+        /// Type the column actually has.
+        got: &'static str,
+    },
+    /// A mask's length does not match the row count.
+    MaskLength {
+        /// The frame's row count.
+        expected: usize,
+        /// The mask's length.
+        got: usize,
+    },
+    /// A row index is out of bounds.
+    IndexOutOfBounds {
+        /// The rejected index.
+        index: usize,
+        /// The frame's row count.
+        len: usize,
+    },
+    /// CSV parsing failed.
+    Csv {
+        /// 1-based source line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::NoSuchColumn(name) => write!(f, "no such column: {name}"),
+            FrameError::DuplicateColumn(name) => write!(f, "duplicate column: {name}"),
+            FrameError::LengthMismatch { column, expected, got } => {
+                write!(f, "column {column} has {got} rows, frame has {expected}")
+            }
+            FrameError::TypeMismatch { column, expected, got } => {
+                write!(f, "column {column} is {got}, expected {expected}")
+            }
+            FrameError::MaskLength { expected, got } => {
+                write!(f, "mask has {got} entries, frame has {expected} rows")
+            }
+            FrameError::IndexOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds for {len} rows")
+            }
+            FrameError::Csv { line, message } => write!(f, "csv error on line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}

@@ -1,0 +1,271 @@
+//! Group-by and aggregation.
+
+use crate::column::Column;
+use crate::error::FrameError;
+use crate::frame::DataFrame;
+use crate::Result;
+use std::collections::HashMap;
+
+/// An aggregation over an f64 column within each group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Agg {
+    /// Number of non-NaN values.
+    Count,
+    /// Sum of values.
+    Sum,
+    /// Arithmetic mean.
+    Mean,
+    /// Median.
+    Median,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Linearly-interpolated quantile, `0.0..=1.0`.
+    Quantile(f64),
+    /// Standard deviation (population).
+    Std,
+}
+
+impl Agg {
+    /// Column-name suffix for the output frame.
+    fn suffix(&self) -> String {
+        match self {
+            Agg::Count => "count".into(),
+            Agg::Sum => "sum".into(),
+            Agg::Mean => "mean".into(),
+            Agg::Median => "median".into(),
+            Agg::Min => "min".into(),
+            Agg::Max => "max".into(),
+            Agg::Quantile(q) => format!("q{}", (q * 100.0).round() as u32),
+            Agg::Std => "std".into(),
+        }
+    }
+
+    /// Apply to a group's values; NaNs are skipped (pandas semantics).
+    fn apply(&self, values: &[f64]) -> f64 {
+        let clean: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        if clean.is_empty() {
+            return if matches!(self, Agg::Count) { 0.0 } else { f64::NAN };
+        }
+        match self {
+            Agg::Count => clean.len() as f64,
+            Agg::Sum => clean.iter().sum(),
+            Agg::Mean => clean.iter().sum::<f64>() / clean.len() as f64,
+            Agg::Median => sorted_quantile(clean, 0.5),
+            Agg::Min => clean.iter().copied().fold(f64::INFINITY, f64::min),
+            Agg::Max => clean.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Agg::Quantile(q) => sorted_quantile(clean, q.clamp(0.0, 1.0)),
+            Agg::Std => {
+                let m = clean.iter().sum::<f64>() / clean.len() as f64;
+                (clean.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / clean.len() as f64).sqrt()
+            }
+        }
+    }
+}
+
+fn sorted_quantile(mut v: Vec<f64>, q: f64) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"));
+    let n = v.len();
+    if n == 1 {
+        return v[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    v[lo] + (v[hi] - v[lo]) * (pos - lo as f64)
+}
+
+/// A lazily-evaluated grouping of a frame by one or more key columns.
+#[derive(Debug)]
+pub struct GroupBy<'a> {
+    frame: &'a DataFrame,
+    keys: Vec<String>,
+    /// Group label (first row index) → member row indices, in first-seen order.
+    groups: Vec<(usize, Vec<usize>)>,
+}
+
+impl<'a> GroupBy<'a> {
+    pub(crate) fn new(frame: &'a DataFrame, keys: &[&str]) -> Result<Self> {
+        if keys.is_empty() {
+            return Err(FrameError::NoSuchColumn("<empty key list>".into()));
+        }
+        let key_cols: Vec<&Column> =
+            keys.iter().map(|k| frame.column(k)).collect::<Result<_>>()?;
+        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for row in 0..frame.n_rows() {
+            let key = frame.row_key(row, &key_cols);
+            match index.get(&key) {
+                Some(&g) => groups[g].1.push(row),
+                None => {
+                    index.insert(key, groups.len());
+                    groups.push((row, vec![row]));
+                }
+            }
+        }
+        Ok(GroupBy { frame, keys: keys.iter().map(|s| s.to_string()).collect(), groups })
+    }
+
+    /// Number of groups.
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Iterate `(representative_row, member_rows)` per group.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[usize])> {
+        self.groups.iter().map(|(rep, rows)| (*rep, rows.as_slice()))
+    }
+
+    /// Materialize each group as its own frame, tagged by representative row.
+    pub fn frames(&self) -> Vec<DataFrame> {
+        self.groups.iter().map(|(_, rows)| self.frame.take(rows)).collect()
+    }
+
+    /// Aggregate: for each group emit the key columns plus one output column
+    /// per `(value_column, agg)` pair, named `"{column}_{agg}"`.
+    pub fn agg(&self, specs: &[(&str, Agg)]) -> Result<DataFrame> {
+        // Validate value columns upfront.
+        for (col, _) in specs {
+            self.frame.f64(col)?;
+        }
+        let mut out = DataFrame::new();
+
+        // Key columns: representative row values per group.
+        let reps: Vec<usize> = self.groups.iter().map(|(rep, _)| *rep).collect();
+        for key in &self.keys {
+            out.add_column(key.clone(), self.frame.column(key)?.take(&reps))?;
+        }
+
+        for (col_name, agg) in specs {
+            let values = self.frame.f64(col_name)?;
+            let agg_vals: Vec<f64> = self
+                .groups
+                .iter()
+                .map(|(_, rows)| {
+                    let group_vals: Vec<f64> = rows.iter().map(|&r| values[r]).collect();
+                    agg.apply(&group_vals)
+                })
+                .collect();
+            out.add_column(format!("{col_name}_{}", agg.suffix()), Column::F64(agg_vals))?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataFrame {
+        DataFrame::from_columns([
+            ("tier", Column::from(vec![1i64, 1, 2, 2, 2])),
+            ("city", Column::from(vec!["A", "A", "A", "B", "B"])),
+            ("down", Column::from(vec![20.0, 30.0, 100.0, 120.0, 80.0])),
+            ("up", Column::from(vec![5.0, 5.0, 10.0, 10.0, f64::NAN])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn groups_preserve_first_seen_order() {
+        let df = sample();
+        let gb = df.group_by(&["tier"]).unwrap();
+        assert_eq!(gb.n_groups(), 2);
+        let sizes: Vec<usize> = gb.iter().map(|(_, rows)| rows.len()).collect();
+        assert_eq!(sizes, vec![2, 3]);
+    }
+
+    #[test]
+    fn multi_key_grouping() {
+        let df = sample();
+        let gb = df.group_by(&["tier", "city"]).unwrap();
+        assert_eq!(gb.n_groups(), 3); // (1,A), (2,A), (2,B)
+    }
+
+    #[test]
+    fn agg_mean_and_count() {
+        let df = sample();
+        let out = df
+            .group_by(&["tier"])
+            .unwrap()
+            .agg(&[("down", Agg::Mean), ("down", Agg::Count)])
+            .unwrap();
+        assert_eq!(out.n_rows(), 2);
+        assert_eq!(out.i64("tier").unwrap(), &[1, 2]);
+        assert_eq!(out.f64("down_mean").unwrap(), &[25.0, 100.0]);
+        assert_eq!(out.f64("down_count").unwrap(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn agg_median_min_max_sum_std() {
+        let df = sample();
+        let out = df
+            .group_by(&["tier"])
+            .unwrap()
+            .agg(&[
+                ("down", Agg::Median),
+                ("down", Agg::Min),
+                ("down", Agg::Max),
+                ("down", Agg::Sum),
+                ("down", Agg::Std),
+            ])
+            .unwrap();
+        assert_eq!(out.f64("down_median").unwrap(), &[25.0, 100.0]);
+        assert_eq!(out.f64("down_min").unwrap(), &[20.0, 80.0]);
+        assert_eq!(out.f64("down_max").unwrap(), &[30.0, 120.0]);
+        assert_eq!(out.f64("down_sum").unwrap(), &[50.0, 300.0]);
+        assert_eq!(out.f64("down_std").unwrap()[0], 5.0);
+    }
+
+    #[test]
+    fn nans_are_skipped() {
+        let df = sample();
+        let out = df
+            .group_by(&["tier"])
+            .unwrap()
+            .agg(&[("up", Agg::Mean), ("up", Agg::Count)])
+            .unwrap();
+        // tier 2 has up = [10, 10, NaN] → mean 10, count 2
+        assert_eq!(out.f64("up_mean").unwrap()[1], 10.0);
+        assert_eq!(out.f64("up_count").unwrap()[1], 2.0);
+    }
+
+    #[test]
+    fn all_nan_group_aggregates_to_nan() {
+        let df = DataFrame::from_columns([
+            ("k", Column::from(vec![1i64, 1])),
+            ("v", Column::from(vec![f64::NAN, f64::NAN])),
+        ])
+        .unwrap();
+        let out = df.group_by(&["k"]).unwrap().agg(&[("v", Agg::Mean), ("v", Agg::Count)]).unwrap();
+        assert!(out.f64("v_mean").unwrap()[0].is_nan());
+        assert_eq!(out.f64("v_count").unwrap()[0], 0.0);
+    }
+
+    #[test]
+    fn quantile_agg() {
+        let df = sample();
+        let out =
+            df.group_by(&["tier"]).unwrap().agg(&[("down", Agg::Quantile(0.95))]).unwrap();
+        let q = out.f64("down_q95").unwrap();
+        assert!(q[1] > 100.0 && q[1] <= 120.0);
+    }
+
+    #[test]
+    fn group_frames_materialize() {
+        let df = sample();
+        let frames = df.group_by(&["city"]).unwrap().frames();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].n_rows(), 3);
+        assert_eq!(frames[1].n_rows(), 2);
+    }
+
+    #[test]
+    fn bad_keys_and_values_rejected() {
+        let df = sample();
+        assert!(df.group_by(&["missing"]).is_err());
+        assert!(df.group_by(&[]).is_err());
+        assert!(df.group_by(&["tier"]).unwrap().agg(&[("city", Agg::Mean)]).is_err());
+    }
+}

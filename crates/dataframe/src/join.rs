@@ -1,0 +1,206 @@
+//! Inner and left joins on a single key column.
+//!
+//! Needed for user-level analyses: joining a measurement frame against a
+//! per-user table (plan truth, home metadata) is how the §4.1 consistency
+//! and §5.2 α pipelines read in a frame-first style.
+
+use crate::column::Column;
+use crate::error::FrameError;
+use crate::frame::DataFrame;
+use crate::Result;
+use std::collections::HashMap;
+
+/// How unmatched left rows are handled by [`join`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Keep only rows whose key appears in both frames.
+    Inner,
+    /// Keep all left rows; unmatched right cells become NaN / -1 / "" /
+    /// false (the frame has no null representation).
+    Left,
+}
+
+/// Join `left` and `right` on the named key column (same name and type on
+/// both sides). Right columns keep their names; a right column whose name
+/// collides with a left column is suffixed `_right`. When a right key
+/// appears on multiple rows, the *first* occurrence wins (lookup-table
+/// semantics — build the right frame accordingly).
+pub fn join(
+    left: &DataFrame,
+    right: &DataFrame,
+    key: &str,
+    kind: JoinKind,
+) -> Result<DataFrame> {
+    let lk = left.column(key)?;
+    let rk = right.column(key)?;
+    if lk.dtype() != rk.dtype() {
+        return Err(FrameError::TypeMismatch {
+            column: key.to_owned(),
+            expected: lk.dtype().name(),
+            got: rk.dtype().name(),
+        });
+    }
+
+    // Index right rows by key (first occurrence wins).
+    let mut index: HashMap<String, usize> = HashMap::new();
+    for row in 0..right.n_rows() {
+        index.entry(rk.group_key(row)).or_insert(row);
+    }
+
+    // Row pairing.
+    let mut left_rows = Vec::new();
+    let mut right_rows: Vec<Option<usize>> = Vec::new();
+    for row in 0..left.n_rows() {
+        match index.get(&lk.group_key(row)) {
+            Some(&r) => {
+                left_rows.push(row);
+                right_rows.push(Some(r));
+            }
+            None if kind == JoinKind::Left => {
+                left_rows.push(row);
+                right_rows.push(None);
+            }
+            None => {}
+        }
+    }
+
+    let mut out = left.take(&left_rows);
+    for (name, col) in right.names().iter().zip(right_columns(right)) {
+        if name == key {
+            continue;
+        }
+        let out_name = if out.names().iter().any(|n| n == name) {
+            format!("{name}_right")
+        } else {
+            name.clone()
+        };
+        out.add_column(out_name, gather_with_missing(col, &right_rows))?;
+    }
+    Ok(out)
+}
+
+fn right_columns(df: &DataFrame) -> Vec<&Column> {
+    df.names()
+        .iter()
+        .map(|n| df.column(n).expect("name from the frame itself"))
+        .collect()
+}
+
+/// Gather `col[rows[i]]`, filling missing rows with the type's sentinel.
+fn gather_with_missing(col: &Column, rows: &[Option<usize>]) -> Column {
+    match col {
+        Column::F64(v) => {
+            Column::F64(rows.iter().map(|r| r.map_or(f64::NAN, |i| v[i])).collect())
+        }
+        Column::I64(v) => Column::I64(rows.iter().map(|r| r.map_or(-1, |i| v[i])).collect()),
+        Column::Str(v) => Column::Str(
+            rows.iter().map(|r| r.map_or_else(String::new, |i| v[i].clone())).collect(),
+        ),
+        Column::Bool(v) => {
+            Column::Bool(rows.iter().map(|r| r.map_or(false, |i| v[i])).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tests_frame() -> DataFrame {
+        DataFrame::from_columns([
+            ("user_id", Column::from(vec![1i64, 2, 1, 3])),
+            ("down", Column::from(vec![100.0, 25.0, 95.0, 400.0])),
+        ])
+        .unwrap()
+    }
+
+    fn users_frame() -> DataFrame {
+        DataFrame::from_columns([
+            ("user_id", Column::from(vec![1i64, 2])),
+            ("tier", Column::from(vec![2i64, 1])),
+            ("down", Column::from(vec![100.0, 25.0])), // colliding name
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_join_keeps_matches_only() {
+        let j = join(&tests_frame(), &users_frame(), "user_id", JoinKind::Inner).unwrap();
+        assert_eq!(j.n_rows(), 3); // user 3 dropped
+        assert_eq!(j.i64("user_id").unwrap(), &[1, 2, 1]);
+        assert_eq!(j.i64("tier").unwrap(), &[2, 1, 2]);
+    }
+
+    #[test]
+    fn left_join_fills_sentinels() {
+        let j = join(&tests_frame(), &users_frame(), "user_id", JoinKind::Left).unwrap();
+        assert_eq!(j.n_rows(), 4);
+        assert_eq!(j.i64("tier").unwrap(), &[2, 1, 2, -1]);
+    }
+
+    #[test]
+    fn colliding_columns_are_suffixed() {
+        let j = join(&tests_frame(), &users_frame(), "user_id", JoinKind::Inner).unwrap();
+        assert!(j.names().iter().any(|n| n == "down"));
+        assert!(j.names().iter().any(|n| n == "down_right"));
+        assert_eq!(j.f64("down_right").unwrap(), &[100.0, 25.0, 100.0]);
+    }
+
+    #[test]
+    fn duplicate_right_keys_use_first_occurrence() {
+        let right = DataFrame::from_columns([
+            ("user_id", Column::from(vec![1i64, 1])),
+            ("tier", Column::from(vec![5i64, 9])),
+        ])
+        .unwrap();
+        let j = join(&tests_frame(), &right, "user_id", JoinKind::Inner).unwrap();
+        assert!(j.i64("tier").unwrap().iter().all(|&t| t == 5));
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let left = DataFrame::from_columns([
+            ("city", Column::from(vec!["A", "B", "A"])),
+            ("v", Column::from(vec![1.0, 2.0, 3.0])),
+        ])
+        .unwrap();
+        let right = DataFrame::from_columns([
+            ("city", Column::from(vec!["A"])),
+            ("isp", Column::from(vec!["ISP-A"])),
+        ])
+        .unwrap();
+        let j = join(&left, &right, "city", JoinKind::Inner).unwrap();
+        assert_eq!(j.n_rows(), 2);
+        assert_eq!(j.str("isp").unwrap(), &["ISP-A", "ISP-A"]);
+    }
+
+    #[test]
+    fn key_type_mismatch_rejected() {
+        let right = DataFrame::from_columns([
+            ("user_id", Column::from(vec!["1", "2"])),
+            ("x", Column::from(vec![0.0, 0.0])),
+        ])
+        .unwrap();
+        assert!(matches!(
+            join(&tests_frame(), &right, "user_id", JoinKind::Inner).unwrap_err(),
+            FrameError::TypeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_key_column_rejected() {
+        assert!(join(&tests_frame(), &users_frame(), "nope", JoinKind::Inner).is_err());
+    }
+
+    #[test]
+    fn empty_right_inner_join_is_empty() {
+        let right = DataFrame::from_columns([
+            ("user_id", Column::I64(vec![])),
+            ("tier", Column::I64(vec![])),
+        ])
+        .unwrap();
+        let j = join(&tests_frame(), &right, "user_id", JoinKind::Inner).unwrap();
+        assert_eq!(j.n_rows(), 0);
+        assert!(j.names().iter().any(|n| n == "tier"));
+    }
+}

@@ -1,0 +1,158 @@
+//! The four ISP plan catalogs.
+//!
+//! * **ISP-A** is stated outright in paper §4.1: three download speeds at a
+//!   5 Mbps upload (25/100/200), then 400/10, 800/15 and 1200/35.
+//! * **ISP-B/C/D** are not enumerated in the text; we reconstruct them so
+//!   the appendix artifacts match: the upload-cluster group labels and
+//!   means of Tables 5–7 and the download-plan gridlines of Figs. 16–18.
+
+use crate::city::City;
+use st_speedtest::PlanCatalog;
+
+/// ISP-A (City-A / State-A): quoted verbatim from §4.1.
+pub fn isp_a() -> PlanCatalog {
+    PlanCatalog::new(
+        "ISP-A",
+        &[
+            (25.0, 5.0),
+            (100.0, 5.0),
+            (200.0, 5.0),
+            (400.0, 10.0),
+            (800.0, 15.0),
+            (1200.0, 35.0),
+        ],
+    )
+}
+
+/// ISP-B (City-B / State-B): Table 5 groups tiers as 1-2 / 3 / 4-5 / 6 with
+/// upload cluster means ≈ 5.5 / 11.5 / 22 / 39; Fig. 16 shows download
+/// plans reaching 150 / 400 / 800 / 1200.
+pub fn isp_b() -> PlanCatalog {
+    PlanCatalog::new(
+        "ISP-B",
+        &[
+            (25.0, 5.0),
+            (100.0, 5.0),
+            (300.0, 11.0),
+            (500.0, 22.0),
+            (800.0, 22.0),
+            (1200.0, 35.0),
+        ],
+    )
+}
+
+/// ISP-C (City-C / State-C): Table 6 groups tiers as 1-3 / 4-5 / 6-7 / 8
+/// with upload means ≈ 5 / 11.5 / 22 / 38.5; Fig. 17 download ranges
+/// reach 150 / 400 / 800 / 1200.
+pub fn isp_c() -> PlanCatalog {
+    PlanCatalog::new(
+        "ISP-C",
+        &[
+            (25.0, 5.0),
+            (75.0, 5.0),
+            (150.0, 5.0),
+            (200.0, 11.0),
+            (400.0, 11.0),
+            (500.0, 22.0),
+            (800.0, 22.0),
+            (1200.0, 38.0),
+        ],
+    )
+}
+
+/// ISP-D (City-D / State-D): Table 7 groups tiers as 1-2 / 3-4 / 5 with
+/// upload means ≈ 3.5 / 9.7 / 28.7; Fig. 18 download ranges reach
+/// 100 / 400 / 1200 (the top plan is a ~940 Mbps fiber-style offering).
+pub fn isp_d() -> PlanCatalog {
+    PlanCatalog::new(
+        "ISP-D",
+        &[(50.0, 3.5), (100.0, 3.5), (200.0, 10.0), (400.0, 10.0), (940.0, 30.0)],
+    )
+}
+
+/// Last-mile technology for a plan. ISP-D's top offering (940/30) is the
+/// classic fiber profile — symmetric-ish gigabit with no DOCSIS
+/// saturation shortfall; everything else in the study is cable.
+pub fn technology_for(city: City, tier: usize) -> st_netsim::Technology {
+    match (city, tier) {
+        (City::D, 5) => st_netsim::Technology::Fiber,
+        _ => st_netsim::Technology::Docsis,
+    }
+}
+
+/// The dominant ISP's catalog for a city (per-city dominance was
+/// established with FCC Form 477 in the paper; here it is fixed).
+pub fn catalog_for(city: City) -> PlanCatalog {
+    match city {
+        City::A => isp_a(),
+        City::B => isp_b(),
+        City::C => isp_c(),
+        City::D => isp_d(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_netsim::Mbps;
+
+    #[test]
+    fn isp_a_matches_paper_text() {
+        let c = isp_a();
+        assert_eq!(c.len(), 6);
+        let groups = c.tier_groups();
+        let labels: Vec<String> = groups.iter().map(|g| g.label()).collect();
+        assert_eq!(labels, vec!["Tier 1-3", "Tier 4", "Tier 5", "Tier 6"]);
+        assert_eq!(
+            c.upload_caps(),
+            vec![Mbps(5.0), Mbps(10.0), Mbps(15.0), Mbps(35.0)]
+        );
+    }
+
+    #[test]
+    fn isp_b_group_structure_matches_table5() {
+        let labels: Vec<String> = isp_b().tier_groups().iter().map(|g| g.label()).collect();
+        assert_eq!(labels, vec!["Tier 1-2", "Tier 3", "Tier 4-5", "Tier 6"]);
+    }
+
+    #[test]
+    fn isp_c_group_structure_matches_table6() {
+        let labels: Vec<String> = isp_c().tier_groups().iter().map(|g| g.label()).collect();
+        assert_eq!(labels, vec!["Tier 1-3", "Tier 4-5", "Tier 6-7", "Tier 8"]);
+    }
+
+    #[test]
+    fn isp_d_group_structure_matches_table7() {
+        let labels: Vec<String> = isp_d().tier_groups().iter().map(|g| g.label()).collect();
+        assert_eq!(labels, vec!["Tier 1-2", "Tier 3-4", "Tier 5"]);
+    }
+
+    #[test]
+    fn upload_caps_are_few_and_small() {
+        // The §4.1 observation that motivates upload-first clustering.
+        for city in City::all() {
+            let c = catalog_for(city);
+            let caps = c.upload_caps();
+            assert!(caps.len() <= 4, "{}: too many upload caps", c.isp);
+            assert!(caps.iter().all(|u| u.0 <= 40.0), "{}: upload cap too big", c.isp);
+            let max_down = c.plans().iter().map(|p| p.down.0).fold(0.0, f64::max);
+            assert!(max_down >= 900.0, "{}: top download should be ~1 Gbps", c.isp);
+        }
+    }
+
+    #[test]
+    fn only_isp_d_top_tier_is_fiber() {
+        use st_netsim::Technology;
+        assert_eq!(technology_for(City::D, 5), Technology::Fiber);
+        assert_eq!(technology_for(City::D, 4), Technology::Docsis);
+        assert_eq!(technology_for(City::A, 6), Technology::Docsis);
+    }
+
+    #[test]
+    fn catalog_for_is_total() {
+        for city in City::all() {
+            let c = catalog_for(city);
+            assert!(!c.is_empty());
+        }
+    }
+}

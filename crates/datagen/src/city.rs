@@ -1,0 +1,175 @@
+//! The four-city study configuration.
+//!
+//! Campaign sizes follow the paper's Table 1; platform mix follows the
+//! row counts of Table 3. A [`CityConfig`] carries a `scale` factor so
+//! tests can run at 1:500 of the paper while the repro binary runs larger.
+
+use crate::catalogs::catalog_for;
+use st_speedtest::{PlanCatalog, Platform};
+
+/// The four anonymized cities of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum City {
+    /// City-A / State-A (ISP-A, the paper's walk-through market).
+    A,
+    /// City-B / State-B (ISP-B).
+    B,
+    /// City-C / State-C (ISP-C).
+    C,
+    /// City-D / State-D (ISP-D).
+    D,
+}
+
+impl City {
+    /// All cities in study order.
+    pub fn all() -> [City; 4] {
+        [City::A, City::B, City::C, City::D]
+    }
+
+    /// 0-based index used in measurement records.
+    pub fn index(&self) -> u8 {
+        match self {
+            City::A => 0,
+            City::B => 1,
+            City::C => 2,
+            City::D => 3,
+        }
+    }
+
+    /// Display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            City::A => "City-A",
+            City::B => "City-B",
+            City::C => "City-C",
+            City::D => "City-D",
+        }
+    }
+
+    /// The matching state label for the MBA panel.
+    pub fn state_label(&self) -> &'static str {
+        match self {
+            City::A => "State-A",
+            City::B => "State-B",
+            City::C => "State-C",
+            City::D => "State-D",
+        }
+    }
+}
+
+/// Full-size campaign counts from Table 1 (Ookla, M-Lab, MBA) and the MBA
+/// unit counts from Table 2.
+const PAPER_SIZES: [(City, usize, usize, usize, usize); 4] = [
+    (City::A, 214_000, 113_000, 25_900, 20),
+    (City::B, 205_000, 376_000, 14_900, 17),
+    (City::C, 128_000, 64_000, 10_900, 10),
+    (City::D, 198_000, 166_000, 8_900, 11),
+];
+
+/// Ookla platform shares for City-A derived from Table 3 row totals:
+/// Android 9.3%, iOS 35.3%, desktop-WiFi 5.3%, desktop-Ethernet 2.5%,
+/// web 47.6%. Other cities use the same mix (Tables 5–7 are similar).
+const OOKLA_PLATFORM_MIX: [(Platform, f64); 5] = [
+    (Platform::AndroidApp, 0.093),
+    (Platform::IosApp, 0.353),
+    (Platform::DesktopWifiApp, 0.053),
+    (Platform::DesktopEthernetApp, 0.025),
+    (Platform::Web, 0.476),
+];
+
+/// Study configuration for one city.
+#[derive(Debug, Clone)]
+pub struct CityConfig {
+    /// Which city.
+    pub city: City,
+    /// The dominant ISP's plan catalog.
+    pub catalog: PlanCatalog,
+    /// Ookla tests to generate.
+    pub ookla_tests: usize,
+    /// M-Lab download tests to generate.
+    pub mlab_tests: usize,
+    /// MBA measurements to generate.
+    pub mba_tests: usize,
+    /// MBA whitebox units deployed in the matching state.
+    pub mba_units: usize,
+    /// Scale relative to the paper (1.0 = full size).
+    pub scale: f64,
+}
+
+impl CityConfig {
+    /// Configuration at `scale` of the paper's campaign sizes.
+    ///
+    /// # Panics
+    /// If `scale` is not in `(0, 1]`.
+    pub fn at_scale(city: City, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1], got {scale}");
+        let (_, ookla, mlab, mba, units) = PAPER_SIZES
+            .iter()
+            .copied()
+            .find(|(c, ..)| *c == city)
+            .expect("every city has a row");
+        CityConfig {
+            city,
+            catalog: catalog_for(city),
+            ookla_tests: ((ookla as f64 * scale) as usize).max(100),
+            mlab_tests: ((mlab as f64 * scale) as usize).max(100),
+            mba_tests: ((mba as f64 * scale) as usize).max(100),
+            mba_units: units,
+            scale,
+        }
+    }
+
+    /// The Ookla platform mix (probabilities sum to 1).
+    pub fn ookla_platform_mix(&self) -> &'static [(Platform, f64)] {
+        &OOKLA_PLATFORM_MIX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes_are_scaled() {
+        let cfg = CityConfig::at_scale(City::A, 0.01);
+        assert_eq!(cfg.ookla_tests, 2140);
+        assert_eq!(cfg.mlab_tests, 1130);
+        assert_eq!(cfg.mba_tests, 259);
+        assert_eq!(cfg.mba_units, 20);
+    }
+
+    #[test]
+    fn tiny_scale_keeps_a_floor() {
+        let cfg = CityConfig::at_scale(City::D, 0.0001);
+        assert!(cfg.ookla_tests >= 100);
+        assert!(cfg.mba_tests >= 100);
+    }
+
+    #[test]
+    fn platform_mix_sums_to_one() {
+        let cfg = CityConfig::at_scale(City::B, 0.1);
+        let total: f64 = cfg.ookla_platform_mix().iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn city_labels_and_indices() {
+        assert_eq!(City::A.index(), 0);
+        assert_eq!(City::D.index(), 3);
+        assert_eq!(City::C.label(), "City-C");
+        assert_eq!(City::B.state_label(), "State-B");
+        assert_eq!(City::all().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in (0, 1]")]
+    fn zero_scale_rejected() {
+        let _ = CityConfig::at_scale(City::A, 0.0);
+    }
+
+    #[test]
+    fn each_city_has_its_own_catalog() {
+        assert_eq!(CityConfig::at_scale(City::A, 0.1).catalog.isp, "ISP-A");
+        assert_eq!(CityConfig::at_scale(City::D, 0.1).catalog.isp, "ISP-D");
+    }
+}

@@ -1,0 +1,389 @@
+//! Crowdsourced campaign generation (Ookla and M-Lab).
+//!
+//! Each generated test picks a subscriber (weighted by testing habit), a
+//! time, and a device/medium appropriate to its platform, samples the
+//! user's network path, and runs the vendor's methodology over it. The
+//! M-Lab generator additionally emits download and upload as *separate*
+//! NDT events and re-associates them with the paper's 120-second pairing
+//! window — unpaired downloads are dropped, exactly as a real pipeline
+//! must drop them.
+
+use crate::city::CityConfig;
+use crate::population::{sample_day, sample_hour, Population, UserProfile};
+use rand::Rng;
+use st_netsim::{
+    AccessMedium, Band, DeviceProfile, NetworkPath, RttModel, WifiLink,
+};
+use st_speedtest::{
+    pair_ndt_tests, Access, Measurement, Methodology, NdtEvent, NdtMethodology,
+    OoklaMethodology, Platform,
+};
+
+/// Sample the per-test WiFi link for a user: their home's mean RSSI plus
+/// positional variation, on 2.4 GHz with the user's home probability.
+fn sample_wifi<R: Rng + ?Sized>(user: &UserProfile, rng: &mut R, rssi_bonus: f64) -> WifiLink {
+    let band = if rng.gen::<f64>() < user.p_24ghz { Band::G2_4 } else { Band::G5 };
+    let rssi = user.home_rssi_mean + rssi_bonus + (rng.gen::<f64>() - 0.5) * 10.0;
+    WifiLink::new(band, rssi)
+}
+
+/// The device and medium behind a test, by platform. Web-based platforms
+/// have a real device underneath — it just is not *recorded*.
+fn sample_endpoint<R: Rng + ?Sized>(
+    platform: Platform,
+    user: &UserProfile,
+    rng: &mut R,
+) -> (AccessMedium, DeviceProfile, Access, Option<f64>) {
+    match platform {
+        Platform::AndroidApp => {
+            let wifi = sample_wifi(user, rng, 0.0);
+            // Available kernel memory jitters test to test.
+            let mem = (user.phone_memory_gb * (0.9 + rng.gen::<f64>() * 0.2)).max(0.6);
+            (
+                AccessMedium::Wifi(wifi),
+                DeviceProfile::from_memory(mem, rng),
+                Access::Wifi { band: wifi.band, rssi_dbm: wifi.rssi_dbm },
+                Some(mem),
+            )
+        }
+        Platform::IosApp => {
+            let wifi = sample_wifi(user, rng, 0.0);
+            // iPhones: 3–6 GB, never reported to Ookla.
+            let mem = 3.0 + rng.gen::<f64>() * 3.0;
+            (
+                AccessMedium::Wifi(wifi),
+                DeviceProfile::from_memory(mem, rng),
+                Access::Wifi { band: wifi.band, rssi_dbm: wifi.rssi_dbm },
+                None,
+            )
+        }
+        Platform::DesktopWifiApp => {
+            // Desktops sit still and closer to the router on average.
+            let wifi = sample_wifi(user, rng, 4.0);
+            let mem = 8.0 + rng.gen::<f64>() * 24.0;
+            (
+                AccessMedium::Wifi(wifi),
+                DeviceProfile::from_memory(mem, rng),
+                Access::Wifi { band: wifi.band, rssi_dbm: wifi.rssi_dbm },
+                None,
+            )
+        }
+        Platform::DesktopEthernetApp => {
+            let mem = 8.0 + rng.gen::<f64>() * 24.0;
+            (
+                AccessMedium::gigabit_ethernet(),
+                DeviceProfile::from_memory(mem, rng),
+                Access::Ethernet,
+                None,
+            )
+        }
+        Platform::Web | Platform::NdtWeb => {
+            // Hidden mixture: mostly WiFi laptops/phones, some wired.
+            if rng.gen::<f64>() < 0.82 {
+                let wifi = sample_wifi(user, rng, 1.0);
+                let mem = 2.0 + rng.gen::<f64>() * 12.0;
+                (
+                    AccessMedium::Wifi(wifi),
+                    DeviceProfile::from_memory(mem, rng),
+                    Access::Unknown,
+                    None,
+                )
+            } else {
+                let mem = 4.0 + rng.gen::<f64>() * 24.0;
+                (
+                    AccessMedium::gigabit_ethernet(),
+                    DeviceProfile::from_memory(mem, rng),
+                    Access::Unknown,
+                    None,
+                )
+            }
+        }
+        Platform::MbaUnit => (
+            AccessMedium::gigabit_ethernet(),
+            DeviceProfile::unconstrained(),
+            Access::Ethernet,
+            None,
+        ),
+    }
+}
+
+fn sample_platform<R: Rng + ?Sized>(mix: &[(Platform, f64)], rng: &mut R) -> Platform {
+    let total: f64 = mix.iter().map(|(_, w)| w).sum();
+    let mut target = rng.gen::<f64>() * total;
+    for &(p, w) in mix {
+        if target < w {
+            return p;
+        }
+        target -= w;
+    }
+    mix.last().expect("mix non-empty").0
+}
+
+/// Generate a city's Ookla campaign.
+pub fn generate_ookla<R: Rng + ?Sized>(
+    cfg: &CityConfig,
+    pop: &Population,
+    rng: &mut R,
+) -> Vec<Measurement> {
+    let methodology = OoklaMethodology::default();
+    let rtt_model = RttModel::metro();
+    let mix = cfg.ookla_platform_mix();
+    let mut out = Vec::with_capacity(cfg.ookla_tests);
+    for id in 0..cfg.ookla_tests {
+        let platform = sample_platform(mix, rng);
+        let user = pop.sample_tester(rng);
+        let (day, hour) = (sample_day(rng), sample_hour(rng));
+        let (medium, device, access, mem) = sample_endpoint(platform, user, rng);
+        let path = NetworkPath::new(user.access.clone(), medium, device, rtt_model.clone());
+        let snap = path.snapshot(hour, rng);
+        let res = methodology.measure(&snap, rng);
+        out.push(Measurement {
+            id: id as u64,
+            user_id: user.user_id,
+            platform,
+            city: cfg.city.index(),
+            day,
+            hour,
+            down_mbps: res.down.0,
+            up_mbps: res.up.0,
+            rtt_ms: res.rtt_s * 1000.0,
+            loaded_rtt_ms: res.loaded_rtt_s * 1000.0,
+            access,
+            kernel_memory_gb: mem,
+            truth_tier: Some(user.tier),
+        });
+    }
+    out
+}
+
+/// Generate a city's M-Lab campaign: separate NDT download/upload events,
+/// re-paired with the 120 s window. Returns the paired measurements.
+pub fn generate_mlab<R: Rng + ?Sized>(
+    cfg: &CityConfig,
+    pop: &Population,
+    rng: &mut R,
+) -> Vec<Measurement> {
+    let methodology = NdtMethodology::default();
+    let rtt_model = RttModel::metro();
+
+    // Raw per-direction events, plus the context needed to build the final
+    // records once pairing succeeds.
+    let mut downloads = Vec::with_capacity(cfg.mlab_tests);
+    let mut uploads = Vec::with_capacity(cfg.mlab_tests);
+    struct Ctx {
+        user_id: u64,
+        tier: usize,
+        day: u16,
+        hour: u8,
+        rtt_ms: f64,
+        loaded_rtt_ms: f64,
+    }
+    let mut ctxs: Vec<Ctx> = Vec::with_capacity(cfg.mlab_tests);
+
+    for _ in 0..cfg.mlab_tests {
+        let user = pop.sample_tester(rng);
+        let (day, hour) = (sample_day(rng), sample_hour(rng));
+        let (medium, device, _access, _mem) = sample_endpoint(Platform::NdtWeb, user, rng);
+        let path = NetworkPath::new(user.access.clone(), medium, device, rtt_model.clone());
+        let mut snap = path.snapshot(hour, rng);
+        // A slice of NDT uploads are browser/client-limited to ~1 Mbps —
+        // the extra low cluster visible in the paper's Fig. 6.
+        if rng.gen::<f64>() < 0.07 {
+            snap.up_available = snap.up_available.min(st_netsim::Mbps(0.6 + rng.gen::<f64>()));
+        }
+        let res = methodology.measure(&snap, rng);
+
+        // NDT runs download first; the upload test usually starts seconds
+        // later, occasionally far outside the pairing window.
+        let t0 = (day as f64 * 24.0 + hour as f64) * 3600.0 + rng.gen::<f64>() * 3600.0;
+        let up_delay = if rng.gen::<f64>() < 0.95 {
+            12.0 + rng.gen::<f64>() * 90.0
+        } else {
+            200.0 + rng.gen::<f64>() * 600.0
+        };
+        // Client IP doubles as the user key; one well-known server.
+        downloads.push(NdtEvent {
+            client_ip: user.user_id,
+            server_ip: 1,
+            start_s: t0,
+            mbps: res.down.0,
+        });
+        uploads.push(NdtEvent {
+            client_ip: user.user_id,
+            server_ip: 1,
+            start_s: t0 + up_delay,
+            mbps: res.up.0,
+        });
+        ctxs.push(Ctx {
+            user_id: user.user_id,
+            tier: user.tier,
+            day,
+            hour,
+            rtt_ms: res.rtt_s * 1000.0,
+            loaded_rtt_ms: res.loaded_rtt_s * 1000.0,
+        });
+    }
+
+    let pairs = pair_ndt_tests(&downloads, &uploads, 120.0);
+    pairs
+        .into_iter()
+        .zip(ctxs)
+        .enumerate()
+        .filter_map(|(i, (pair, ctx))| {
+            let upload = pair.upload?;
+            Some(Measurement {
+                id: i as u64,
+                user_id: ctx.user_id,
+                platform: Platform::NdtWeb,
+                city: cfg.city.index(),
+                day: ctx.day,
+                hour: ctx.hour,
+                down_mbps: pair.download.mbps,
+                up_mbps: upload.mbps,
+                rtt_ms: ctx.rtt_ms,
+                loaded_rtt_ms: ctx.loaded_rtt_ms,
+                access: Access::Unknown,
+                kernel_memory_gb: None,
+                truth_tier: Some(ctx.tier),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::City;
+    use crate::population::{mlab_tier_weights, tier_weights};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(71)
+    }
+
+    fn small_cfg() -> CityConfig {
+        let mut cfg = CityConfig::at_scale(City::A, 0.001);
+        cfg.ookla_tests = 600;
+        cfg.mlab_tests = 400;
+        cfg
+    }
+
+    fn pop(cfg: &CityConfig, r: &mut StdRng) -> Population {
+        Population::generate(&cfg.catalog, &tier_weights(cfg.city), 400, r)
+    }
+
+    #[test]
+    fn ookla_campaign_has_requested_size_and_sane_values() {
+        let mut r = rng();
+        let cfg = small_cfg();
+        let pop = pop(&cfg, &mut r);
+        let tests = generate_ookla(&cfg, &pop, &mut r);
+        assert_eq!(tests.len(), 600);
+        for m in &tests {
+            assert!(m.down_mbps.is_finite() && m.down_mbps >= 0.0);
+            assert!(m.up_mbps.is_finite() && m.up_mbps >= 0.0);
+            assert!(m.down_mbps <= 1500.0, "impossible speed {}", m.down_mbps);
+            assert!(m.up_mbps <= 50.0, "impossible upload {}", m.up_mbps);
+            assert!(m.rtt_ms > 0.0);
+            assert!(m.truth_tier.is_some());
+            assert!(m.hour < 24 && m.day < 365);
+        }
+    }
+
+    #[test]
+    fn ookla_platform_mix_is_respected() {
+        let mut r = rng();
+        let mut cfg = small_cfg();
+        cfg.ookla_tests = 4000;
+        let pop = pop(&cfg, &mut r);
+        let tests = generate_ookla(&cfg, &pop, &mut r);
+        let web = tests.iter().filter(|m| m.platform == Platform::Web).count() as f64
+            / tests.len() as f64;
+        assert!((web - 0.476).abs() < 0.05, "web share {web}");
+        let android = tests.iter().filter(|m| m.platform == Platform::AndroidApp).count();
+        assert!(android > 0);
+    }
+
+    #[test]
+    fn android_tests_carry_metadata_web_tests_do_not() {
+        let mut r = rng();
+        let cfg = small_cfg();
+        let pop = pop(&cfg, &mut r);
+        for m in generate_ookla(&cfg, &pop, &mut r) {
+            match m.platform {
+                Platform::AndroidApp => {
+                    assert!(m.kernel_memory_gb.is_some());
+                    assert!(m.access.is_wifi());
+                }
+                Platform::Web => {
+                    assert!(m.kernel_memory_gb.is_none());
+                    assert_eq!(m.access, Access::Unknown);
+                }
+                Platform::DesktopEthernetApp => assert_eq!(m.access, Access::Ethernet),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn uploads_cluster_near_plan_caps() {
+        // The §4.1 observation: recorded uploads sit close to the small set
+        // of offered upload speeds. Check the majority are within 30% of a
+        // cap.
+        let mut r = rng();
+        let mut cfg = small_cfg();
+        cfg.ookla_tests = 1500;
+        let pop = pop(&cfg, &mut r);
+        let tests = generate_ookla(&cfg, &pop, &mut r);
+        let caps = [5.0, 10.0, 15.0, 35.0];
+        let near = tests
+            .iter()
+            .filter(|m| caps.iter().any(|c| (m.up_mbps - c).abs() / c < 0.3))
+            .count() as f64
+            / tests.len() as f64;
+        assert!(near > 0.6, "only {near} of uploads near caps");
+    }
+
+    #[test]
+    fn mlab_campaign_pairs_most_tests() {
+        let mut r = rng();
+        let cfg = small_cfg();
+        let mpop =
+            Population::generate(&cfg.catalog, &mlab_tier_weights(cfg.city), 300, &mut r);
+        let tests = generate_mlab(&cfg, &mpop, &mut r);
+        // ~95% of uploads start in-window, but same-user collisions can
+        // drop a few more; well over half must pair.
+        assert!(tests.len() > cfg.mlab_tests / 2, "paired {} of {}", tests.len(), 400);
+        assert!(tests.len() <= cfg.mlab_tests);
+        for m in &tests {
+            assert_eq!(m.platform, Platform::NdtWeb);
+            assert!(m.down_mbps.is_finite() && m.up_mbps.is_finite());
+        }
+    }
+
+    #[test]
+    fn mlab_has_a_low_upload_cluster() {
+        let mut r = rng();
+        let mut cfg = small_cfg();
+        cfg.mlab_tests = 1500;
+        let mpop =
+            Population::generate(&cfg.catalog, &mlab_tier_weights(cfg.city), 400, &mut r);
+        let tests = generate_mlab(&cfg, &mpop, &mut r);
+        let low = tests.iter().filter(|m| m.up_mbps < 2.0).count() as f64 / tests.len() as f64;
+        assert!((0.02..0.15).contains(&low), "low-upload share {low}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = small_cfg();
+        let gen = || {
+            let mut r = StdRng::seed_from_u64(99);
+            let p = Population::generate(&cfg.catalog, &tier_weights(cfg.city), 200, &mut r);
+            generate_ookla(&cfg, &p, &mut r)
+        };
+        let a = gen();
+        let b = gen();
+        assert_eq!(a, b);
+    }
+}

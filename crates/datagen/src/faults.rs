@@ -1,0 +1,190 @@
+//! Fault injection: chronically degraded access segments.
+//!
+//! The challenge process the paper's recommendations target (§8) exists
+//! because *some* under-performance really is the ISP's: an oversubscribed
+//! node, degraded plant, a mis-provisioned CMTS port. This module injects
+//! exactly that into a generated population, so the triage pipeline
+//! (`st-bst::diagnose`) has true positives to find — and so its
+//! false-positive/false-negative behaviour can be measured against known
+//! fault ground truth.
+
+use crate::population::Population;
+use rand::Rng;
+
+/// A fault scenario applied to a fraction of a population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultScenario {
+    /// Fraction of users on the degraded segment, `0..1`.
+    pub affected_fraction: f64,
+    /// Multiplier on the affected homes' downstream capacity (e.g. 0.35
+    /// = the node delivers ~a third of plan at all times).
+    pub down_capacity_factor: f64,
+    /// Multiplier on upstream capacity. Upstream typically survives node
+    /// congestion better; default scenarios keep it near 1.
+    pub up_capacity_factor: f64,
+}
+
+impl FaultScenario {
+    /// A chronically oversubscribed node: 20% of homes at ~35% of plan
+    /// downstream, upstream intact.
+    pub fn oversubscribed_node() -> Self {
+        FaultScenario {
+            affected_fraction: 0.2,
+            down_capacity_factor: 0.35,
+            up_capacity_factor: 0.95,
+        }
+    }
+}
+
+/// Apply `scenario` to `population`, returning the ids of affected users
+/// (the fault ground truth).
+///
+/// Degradation is applied to the provisioned access link itself — the
+/// over-provisioning factor — so every subsequent measurement from an
+/// affected home sees the reduced capacity regardless of medium, device,
+/// or methodology. Exactly what a true access-network fault looks like.
+pub fn inject<R: Rng + ?Sized>(
+    population: &mut Population,
+    scenario: FaultScenario,
+    rng: &mut R,
+) -> Vec<u64> {
+    assert!(
+        (0.0..=1.0).contains(&scenario.affected_fraction),
+        "affected fraction must be in [0, 1]"
+    );
+    assert!(
+        scenario.down_capacity_factor > 0.0 && scenario.up_capacity_factor > 0.0,
+        "capacity factors must be positive"
+    );
+    let mut affected = Vec::new();
+    for user in population.users_mut() {
+        if rng.gen::<f64>() < scenario.affected_fraction {
+            user.access.overprovision *= scenario.down_capacity_factor;
+            // Upstream degradation folds into the same knob the link model
+            // reads for upload capacity.
+            if scenario.up_capacity_factor < 1.0 {
+                user.access.up_plan = user.access.up_plan * scenario.up_capacity_factor;
+            }
+            affected.push(user.user_id);
+        }
+    }
+    affected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalogs::catalog_for;
+    use crate::city::{City, CityConfig};
+    use crate::crowd::generate_ookla;
+    use crate::population::tier_weights;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn population(r: &mut StdRng) -> Population {
+        let cat = catalog_for(City::A);
+        Population::generate(&cat, &tier_weights(City::A), 800, r)
+    }
+
+    #[test]
+    fn injection_hits_the_requested_fraction() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut pop = population(&mut r);
+        let affected = inject(&mut pop, FaultScenario::oversubscribed_node(), &mut r);
+        let frac = affected.len() as f64 / pop.len() as f64;
+        assert!((0.12..0.28).contains(&frac), "affected fraction {frac}");
+    }
+
+    #[test]
+    fn affected_homes_measure_far_below_plan() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut cfg = CityConfig::at_scale(City::A, 0.001);
+        cfg.ookla_tests = 2000;
+        let mut pop =
+            Population::generate(&cfg.catalog, &tier_weights(City::A), 500, &mut r);
+        let affected = inject(&mut pop, FaultScenario::oversubscribed_node(), &mut r);
+        assert!(!affected.is_empty());
+        let tests = generate_ookla(&cfg, &pop, &mut r);
+
+        let med = |v: &mut Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let mut norm_affected = Vec::new();
+        let mut norm_healthy = Vec::new();
+        for m in &tests {
+            let plan = cfg.catalog.plan(m.truth_tier.unwrap()).unwrap().down.0;
+            let n = m.down_mbps / plan;
+            if affected.contains(&m.user_id) {
+                norm_affected.push(n);
+            } else {
+                norm_healthy.push(n);
+            }
+        }
+        assert!(norm_affected.len() > 50, "affected tests: {}", norm_affected.len());
+        let (ma, mh) = (med(&mut norm_affected), med(&mut norm_healthy));
+        assert!(
+            ma < mh * 0.7,
+            "affected median {ma} should sit far below healthy {mh}"
+        );
+    }
+
+    #[test]
+    fn uploads_survive_a_downstream_fault() {
+        // The oversubscribed-node scenario keeps upstream ~intact, so BST
+        // still has a clean upload axis to cluster on.
+        let mut r = StdRng::seed_from_u64(7);
+        let mut cfg = CityConfig::at_scale(City::A, 0.001);
+        cfg.ookla_tests = 1500;
+        let mut pop =
+            Population::generate(&cfg.catalog, &tier_weights(City::A), 400, &mut r);
+        let affected = inject(&mut pop, FaultScenario::oversubscribed_node(), &mut r);
+        let tests = generate_ookla(&cfg, &pop, &mut r);
+        let caps = [5.0, 10.0, 15.0, 35.0];
+        let near = tests
+            .iter()
+            .filter(|m| affected.contains(&m.user_id))
+            .filter(|m| caps.iter().any(|c| (m.up_mbps - c).abs() / c < 0.35))
+            .count();
+        let total = tests.iter().filter(|m| affected.contains(&m.user_id)).count();
+        assert!(total > 30);
+        assert!(
+            near as f64 / total as f64 > 0.5,
+            "{near}/{total} affected uploads near caps"
+        );
+    }
+
+    #[test]
+    fn zero_fraction_is_a_no_op() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut pop = population(&mut r);
+        let before: Vec<f64> =
+            pop.users().iter().map(|u| u.access.overprovision).collect();
+        let scenario = FaultScenario {
+            affected_fraction: 0.0,
+            down_capacity_factor: 0.1,
+            up_capacity_factor: 0.1,
+        };
+        let affected = inject(&mut pop, scenario, &mut r);
+        assert!(affected.is_empty());
+        let after: Vec<f64> =
+            pop.users().iter().map(|u| u.access.overprovision).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity factors must be positive")]
+    fn zero_capacity_factor_rejected() {
+        let mut r = StdRng::seed_from_u64(13);
+        let mut pop = population(&mut r);
+        let _ = inject(
+            &mut pop,
+            FaultScenario {
+                affected_fraction: 0.1,
+                down_capacity_factor: 0.0,
+                up_capacity_factor: 1.0,
+            },
+            &mut r,
+        );
+    }
+}

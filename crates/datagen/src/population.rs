@@ -1,0 +1,357 @@
+//! Subscriber population model.
+//!
+//! Each synthetic user owns exactly one subscription plan, one home WiFi
+//! environment, one set of devices, and a testing habit. The population's
+//! tier-adoption weights are fit to the paper's Table 3/5/6/7 row counts,
+//! which is what makes "the majority of data points originate from lower
+//! subscription tiers" (§5.1) come out of the generator.
+
+use crate::city::City;
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal, Normal};
+use st_netsim::AccessLink;
+use st_speedtest::PlanCatalog;
+
+/// One subscriber household.
+#[derive(Debug, Clone)]
+pub struct UserProfile {
+    /// Stable user id.
+    pub user_id: u64,
+    /// Subscribed tier (1-based index into the city catalog) —
+    /// the ground truth BST tries to recover.
+    pub tier: usize,
+    /// The provisioned access link (over-provisioning sampled per home).
+    pub access: AccessLink,
+    /// Mean RSSI of this home's WiFi at the places tests happen, dBm.
+    pub home_rssi_mean: f64,
+    /// Probability a WiFi test from this home lands on 2.4 GHz.
+    pub p_24ghz: f64,
+    /// Kernel memory of the user's phone, GB.
+    pub phone_memory_gb: f64,
+    /// Expected speed tests per month for this user.
+    pub monthly_rate: f64,
+}
+
+/// A city's subscriber population.
+#[derive(Debug, Clone)]
+pub struct Population {
+    users: Vec<UserProfile>,
+}
+
+/// Tier adoption weights per city, derived from the per-tier-group test
+/// fractions of Tables 3 and 5–7 (within multi-plan groups the split
+/// favours the cheaper plan).
+pub fn tier_weights(city: City) -> Vec<f64> {
+    match city {
+        City::A => vec![0.172, 0.150, 0.107, 0.147, 0.218, 0.207],
+        City::B => vec![0.166, 0.111, 0.136, 0.233, 0.156, 0.198],
+        City::C => vec![0.142, 0.125, 0.089, 0.080, 0.053, 0.206, 0.137, 0.168],
+        City::D => vec![0.214, 0.143, 0.208, 0.138, 0.296],
+    }
+}
+
+/// M-Lab's user base skews further toward cheap tiers (Table 3: 62% of
+/// City-A NDT tests sit in Tier 1-3 vs 43% for Ookla). Reweight by a
+/// factor decaying with tier index.
+pub fn mlab_tier_weights(city: City) -> Vec<f64> {
+    let base = tier_weights(city);
+    let n = base.len() as f64;
+    let mut w: Vec<f64> = base
+        .iter()
+        .enumerate()
+        .map(|(i, b)| b * (1.7 - 1.1 * i as f64 / (n - 1.0)))
+        .collect();
+    let total: f64 = w.iter().sum();
+    for v in &mut w {
+        *v /= total;
+    }
+    w
+}
+
+impl Population {
+    /// Generate `n_users` subscribers of `catalog` with the given tier
+    /// weights (one weight per plan, in tier order).
+    pub fn generate<R: Rng + ?Sized>(
+        catalog: &PlanCatalog,
+        weights: &[f64],
+        n_users: usize,
+        rng: &mut R,
+    ) -> Self {
+        Self::generate_with_technology(catalog, weights, n_users, |_| {
+            st_netsim::Technology::Docsis
+        }, rng)
+    }
+
+    /// Like [`Population::generate`], with a per-tier last-mile technology
+    /// (see `catalogs::technology_for`).
+    pub fn generate_with_technology<R: Rng + ?Sized>(
+        catalog: &PlanCatalog,
+        weights: &[f64],
+        n_users: usize,
+        technology: impl Fn(usize) -> st_netsim::Technology,
+        rng: &mut R,
+    ) -> Self {
+        assert_eq!(
+            weights.len(),
+            catalog.len(),
+            "need one weight per plan ({} != {})",
+            weights.len(),
+            catalog.len()
+        );
+        assert!(n_users > 0, "population must be non-empty");
+        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+        let total_w: f64 = weights.iter().sum();
+        assert!(total_w > 0.0, "weights must not all be zero");
+
+        // Fit to the paper's 5 GHz RSSI bin shares (§6.1): 5% above -30 dBm,
+        // 37% in -50..-30, 49% in -70..-50, 9% below -70.
+        let rssi_dist: Normal<f64> = Normal::new(-55.0, 11.0).expect("valid sigma");
+        // Median ≈ 0.9 tests/month with a heavy tail: most users test
+        // rarely, a minority test >5×/month (paper §4.1: 23k of 85k users
+        // had ≥5 lifetime tests).
+        let rate_dist = LogNormal::new(0.9_f64.ln(), 1.1).expect("valid sigma");
+
+        let users = (0..n_users)
+            .map(|i| {
+                let tier = sample_weighted(weights, total_w, rng) + 1;
+                let plan = catalog.plan(tier).expect("tier sampled from catalog");
+                let access =
+                    AccessLink::provision_with(plan.down, plan.up, technology(tier), rng);
+                UserProfile {
+                    user_id: i as u64,
+                    tier,
+                    access,
+                    home_rssi_mean: rssi_dist.sample(rng).clamp(-86.0, -27.0),
+                    p_24ghz: 0.23,
+                    phone_memory_gb: sample_phone_memory(rng),
+                    monthly_rate: rate_dist.sample(rng).clamp(0.05, 60.0),
+                }
+            })
+            .collect();
+        Population { users }
+    }
+
+    /// All users.
+    pub fn users(&self) -> &[UserProfile] {
+        &self.users
+    }
+
+    /// Mutable access to the users — used by fault injection
+    /// ([`crate::faults`]) to degrade a segment's provisioned links.
+    pub fn users_mut(&mut self) -> &mut [UserProfile] {
+        &mut self.users
+    }
+
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Always false: construction requires `n_users > 0`.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Pick a random user, weighted by testing rate — frequent testers
+    /// contribute proportionally more of the campaign's measurements.
+    pub fn sample_tester<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> &'a UserProfile {
+        // Rates are bounded (0.05..=60); rejection sampling terminates fast.
+        loop {
+            let u = &self.users[rng.gen_range(0..self.users.len())];
+            if rng.gen::<f64>() * 60.0 < u.monthly_rate {
+                return u;
+            }
+        }
+    }
+}
+
+/// Sample an index from non-negative weights.
+fn sample_weighted<R: Rng + ?Sized>(weights: &[f64], total: f64, rng: &mut R) -> usize {
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+/// Phone kernel-memory distribution matching the paper's §6.1 shares:
+/// 7% under 2 GB, 17% in 2–4, 17% in 4–6, 59% above 6.
+fn sample_phone_memory<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u = rng.gen::<f64>();
+    if u < 0.07 {
+        0.8 + rng.gen::<f64>() * 1.2 // 0.8–2.0
+    } else if u < 0.24 {
+        2.0 + rng.gen::<f64>() * 2.0 // 2–4
+    } else if u < 0.41 {
+        4.0 + rng.gen::<f64>() * 2.0 // 4–6
+    } else {
+        6.0 + rng.gen::<f64>() * 6.0 // 6–12
+    }
+}
+
+/// Sample a test's local start hour from the diurnal volume profile of
+/// Fig. 11: night 10%, morning 22%, afternoon 33%, evening 35%.
+pub fn sample_hour<R: Rng + ?Sized>(rng: &mut R) -> u8 {
+    let u = rng.gen::<f64>();
+    let (bin, frac) = if u < 0.10 {
+        (0u8, u / 0.10)
+    } else if u < 0.32 {
+        (1, (u - 0.10) / 0.22)
+    } else if u < 0.65 {
+        (2, (u - 0.32) / 0.33)
+    } else {
+        (3, (u - 0.65) / 0.35)
+    };
+    bin * 6 + ((frac * 6.0) as u8).min(5)
+}
+
+/// Sample a uniform day of year (0..365).
+pub fn sample_day<R: Rng + ?Sized>(rng: &mut R) -> u16 {
+    rng.gen_range(0..365)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalogs::catalog_for;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(33)
+    }
+
+    #[test]
+    fn weights_cover_each_catalog() {
+        for city in City::all() {
+            let cat = catalog_for(city);
+            let w = tier_weights(city);
+            assert_eq!(w.len(), cat.len(), "{city:?}");
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 0.01, "{city:?}");
+            let m = mlab_tier_weights(city);
+            assert_eq!(m.len(), cat.len());
+            assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mlab_weights_skew_low() {
+        for city in City::all() {
+            let base = tier_weights(city);
+            let mlab = mlab_tier_weights(city);
+            assert!(mlab[0] > base[0], "{city:?}: lowest tier should gain mass");
+            let last = base.len() - 1;
+            assert!(mlab[last] < base[last], "{city:?}: top tier should lose mass");
+        }
+    }
+
+    #[test]
+    fn tier_distribution_tracks_weights() {
+        let cat = catalog_for(City::A);
+        let w = tier_weights(City::A);
+        let pop = Population::generate(&cat, &w, 20_000, &mut rng());
+        let mut counts = vec![0usize; cat.len()];
+        for u in pop.users() {
+            counts[u.tier - 1] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let got = c as f64 / pop.len() as f64;
+            assert!((got - w[i]).abs() < 0.02, "tier {}: {got} vs {}", i + 1, w[i]);
+        }
+    }
+
+    #[test]
+    fn memory_distribution_matches_bins() {
+        let mut r = rng();
+        let n = 20_000;
+        let mut bins = [0usize; 4];
+        for _ in 0..n {
+            let gb = sample_phone_memory(&mut r);
+            let b = if gb < 2.0 {
+                0
+            } else if gb < 4.0 {
+                1
+            } else if gb < 6.0 {
+                2
+            } else {
+                3
+            };
+            bins[b] += 1;
+        }
+        let frac = |i: usize| bins[i] as f64 / n as f64;
+        assert!((frac(0) - 0.07).abs() < 0.02);
+        assert!((frac(1) - 0.17).abs() < 0.02);
+        assert!((frac(2) - 0.17).abs() < 0.02);
+        assert!((frac(3) - 0.59).abs() < 0.02);
+    }
+
+    #[test]
+    fn hour_distribution_matches_fig11_shape() {
+        let mut r = rng();
+        let n = 40_000;
+        let mut bins = [0usize; 4];
+        for _ in 0..n {
+            let h = sample_hour(&mut r);
+            assert!(h < 24);
+            bins[(h / 6) as usize] += 1;
+        }
+        let frac: Vec<f64> = bins.iter().map(|&b| b as f64 / n as f64).collect();
+        assert!(frac[0] < frac[1] && frac[1] < frac[2], "night < morning < afternoon: {frac:?}");
+        assert!((frac[3] - 0.35).abs() < 0.02, "evening share {frac:?}");
+    }
+
+    #[test]
+    fn profiles_are_physically_plausible() {
+        let cat = catalog_for(City::C);
+        let pop = Population::generate(&cat, &tier_weights(City::C), 500, &mut rng());
+        for u in pop.users() {
+            assert!((1..=cat.len()).contains(&u.tier));
+            assert!((-86.0..=-27.0).contains(&u.home_rssi_mean));
+            assert!(u.phone_memory_gb > 0.5);
+            assert!(u.monthly_rate > 0.0);
+        }
+    }
+
+    #[test]
+    fn heavy_tail_produces_frequent_testers() {
+        let cat = catalog_for(City::A);
+        let pop = Population::generate(&cat, &tier_weights(City::A), 10_000, &mut rng());
+        let frequent = pop.users().iter().filter(|u| u.monthly_rate >= 5.0).count();
+        let frac = frequent as f64 / pop.len() as f64;
+        // The paper's ≥5-tests cohort exists but is a minority.
+        assert!((0.02..0.30).contains(&frac), "frequent-tester share {frac}");
+    }
+
+    #[test]
+    fn tester_sampling_prefers_frequent_users() {
+        let cat = catalog_for(City::A);
+        let pop = Population::generate(&cat, &tier_weights(City::A), 2_000, &mut rng());
+        let mut r = rng();
+        let mean_rate: f64 = pop.users().iter().map(|u| u.monthly_rate).sum::<f64>()
+            / pop.len() as f64;
+        let sampled_mean: f64 =
+            (0..2_000).map(|_| pop.sample_tester(&mut r).monthly_rate).sum::<f64>() / 2_000.0;
+        assert!(
+            sampled_mean > mean_rate,
+            "sampled {sampled_mean} should exceed population mean {mean_rate}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per plan")]
+    fn weight_count_mismatch_rejected() {
+        let cat = catalog_for(City::A);
+        let _ = Population::generate(&cat, &[1.0], 10, &mut rng());
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be non-empty")]
+    fn empty_population_rejected() {
+        let cat = catalog_for(City::A);
+        let w = tier_weights(City::A);
+        let _ = Population::generate(&cat, &w, 0, &mut rng());
+    }
+}

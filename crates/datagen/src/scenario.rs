@@ -1,0 +1,193 @@
+//! One-call city dataset generation and data-frame conversion.
+
+use crate::city::{City, CityConfig};
+use crate::crowd::{generate_mlab, generate_ookla};
+use crate::mba::generate_mba;
+use crate::population::{mlab_tier_weights, tier_weights, Population};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use st_dataframe::{Column, DataFrame};
+use st_speedtest::{Access, Measurement};
+
+/// A complete generated dataset for one city: the two crowdsourced
+/// campaigns plus the matching state's MBA panel.
+#[derive(Debug, Clone)]
+pub struct CityDataset {
+    /// The configuration used.
+    pub config: CityConfig,
+    /// The Ookla subscriber population.
+    pub population: Population,
+    /// Ookla measurements (all platforms).
+    pub ookla: Vec<Measurement>,
+    /// M-Lab NDT measurements (paired download+upload).
+    pub mlab: Vec<Measurement>,
+    /// MBA panel measurements (with ground truth).
+    pub mba: Vec<Measurement>,
+}
+
+impl CityDataset {
+    /// Generate the dataset for `city` at `scale` of the paper's sizes,
+    /// deterministically from `seed`.
+    pub fn generate(city: City, scale: f64, seed: u64) -> Self {
+        let config = CityConfig::at_scale(city, scale);
+        let mut rng = StdRng::seed_from_u64(seed ^ (city.index() as u64) << 32);
+
+        // Population sized so the mean tests/user matches the paper's
+        // ~1.3 native tests per user per year, bounded for tiny scales.
+        let n_users = (config.ookla_tests / 3).clamp(50, 200_000);
+        let tech = |tier: usize| crate::catalogs::technology_for(city, tier);
+        let population = Population::generate_with_technology(
+            &config.catalog,
+            &tier_weights(city),
+            n_users,
+            tech,
+            &mut rng,
+        );
+        let n_mlab_users = (config.mlab_tests / 3).clamp(50, 200_000);
+        let mlab_population = Population::generate_with_technology(
+            &config.catalog,
+            &mlab_tier_weights(city),
+            n_mlab_users,
+            tech,
+            &mut rng,
+        );
+
+        let ookla = generate_ookla(&config, &population, &mut rng);
+        let mlab = generate_mlab(&config, &mlab_population, &mut rng);
+        let mba = generate_mba(&config, &mut rng);
+
+        CityDataset { config, population, ookla, mlab, mba }
+    }
+
+    /// All crowdsourced measurements (Ookla + M-Lab).
+    pub fn crowdsourced(&self) -> Vec<&Measurement> {
+        self.ookla.iter().chain(self.mlab.iter()).collect()
+    }
+}
+
+/// Convert measurements to a data frame with one column per record field.
+///
+/// Missing numeric metadata becomes NaN; missing tier truth becomes -1.
+pub fn measurements_to_frame(ms: &[Measurement]) -> DataFrame {
+    let n = ms.len();
+    let mut id = Vec::with_capacity(n);
+    let mut user = Vec::with_capacity(n);
+    let mut platform = Vec::with_capacity(n);
+    let mut vendor = Vec::with_capacity(n);
+    let mut city = Vec::with_capacity(n);
+    let mut day = Vec::with_capacity(n);
+    let mut hour = Vec::with_capacity(n);
+    let mut down = Vec::with_capacity(n);
+    let mut up = Vec::with_capacity(n);
+    let mut rtt = Vec::with_capacity(n);
+    let mut loaded_rtt = Vec::with_capacity(n);
+    let mut access = Vec::with_capacity(n);
+    let mut band = Vec::with_capacity(n);
+    let mut rssi = Vec::with_capacity(n);
+    let mut memory = Vec::with_capacity(n);
+    let mut truth = Vec::with_capacity(n);
+
+    for m in ms {
+        id.push(m.id as i64);
+        user.push(m.user_id as i64);
+        platform.push(m.platform.label().to_string());
+        vendor.push(m.vendor().label().to_string());
+        city.push(m.city as i64);
+        day.push(m.day as i64);
+        hour.push(m.hour as i64);
+        down.push(m.down_mbps);
+        up.push(m.up_mbps);
+        rtt.push(m.rtt_ms);
+        loaded_rtt.push(m.loaded_rtt_ms);
+        let (a, b, r) = match m.access {
+            Access::Wifi { band, rssi_dbm } => ("wifi", band.label(), rssi_dbm),
+            Access::Ethernet => ("ethernet", "", f64::NAN),
+            Access::Unknown => ("unknown", "", f64::NAN),
+        };
+        access.push(a.to_string());
+        band.push(b.to_string());
+        rssi.push(r);
+        memory.push(m.kernel_memory_gb.unwrap_or(f64::NAN));
+        truth.push(m.truth_tier.map(|t| t as i64).unwrap_or(-1));
+    }
+
+    DataFrame::from_columns([
+        ("id", Column::I64(id)),
+        ("user_id", Column::I64(user)),
+        ("platform", Column::Str(platform)),
+        ("vendor", Column::Str(vendor)),
+        ("city", Column::I64(city)),
+        ("day", Column::I64(day)),
+        ("hour", Column::I64(hour)),
+        ("down_mbps", Column::F64(down)),
+        ("up_mbps", Column::F64(up)),
+        ("rtt_ms", Column::F64(rtt)),
+        ("loaded_rtt_ms", Column::F64(loaded_rtt)),
+        ("access", Column::Str(access)),
+        ("band", Column::Str(band)),
+        ("rssi_dbm", Column::F64(rssi)),
+        ("memory_gb", Column::F64(memory)),
+        ("truth_tier", Column::I64(truth)),
+    ])
+    .expect("columns constructed with equal lengths")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_produces_all_three_datasets() {
+        let ds = CityDataset::generate(City::A, 0.002, 7);
+        assert!(ds.ookla.len() >= 100);
+        assert!(!ds.mlab.is_empty());
+        assert!(ds.mba.len() >= 100);
+        assert_eq!(ds.crowdsourced().len(), ds.ookla.len() + ds.mlab.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CityDataset::generate(City::B, 0.001, 42);
+        let b = CityDataset::generate(City::B, 0.001, 42);
+        assert_eq!(a.ookla, b.ookla);
+        assert_eq!(a.mlab, b.mlab);
+        assert_eq!(a.mba, b.mba);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = CityDataset::generate(City::A, 0.001, 1);
+        let b = CityDataset::generate(City::A, 0.001, 2);
+        assert_ne!(a.ookla, b.ookla);
+    }
+
+    #[test]
+    fn frame_round_trips_schema() {
+        let ds = CityDataset::generate(City::D, 0.001, 3);
+        let df = measurements_to_frame(&ds.ookla);
+        assert_eq!(df.n_rows(), ds.ookla.len());
+        assert_eq!(df.n_cols(), 16);
+        // Spot-check a few columns.
+        assert_eq!(df.f64("down_mbps").unwrap()[0], ds.ookla[0].down_mbps);
+        assert_eq!(df.i64("truth_tier").unwrap()[0], ds.ookla[0].truth_tier.unwrap() as i64);
+        let vendors = df.str("vendor").unwrap();
+        assert!(vendors.iter().all(|v| v == "Ookla"));
+    }
+
+    #[test]
+    fn frame_handles_missing_metadata() {
+        let ds = CityDataset::generate(City::A, 0.001, 5);
+        let df = measurements_to_frame(&ds.mlab);
+        let mem = df.f64("memory_gb").unwrap();
+        assert!(mem.iter().all(|v| v.is_nan()), "NDT web never reports memory");
+        let access = df.str("access").unwrap();
+        assert!(access.iter().all(|a| a == "unknown"));
+    }
+
+    #[test]
+    fn empty_measurement_list_yields_empty_frame() {
+        let df = measurements_to_frame(&[]);
+        assert_eq!(df.n_rows(), 0);
+        assert_eq!(df.n_cols(), 16);
+    }
+}

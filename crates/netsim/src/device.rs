@@ -1,0 +1,191 @@
+//! Device-side constraints on measured throughput.
+//!
+//! The paper (§6.1, "Kernel Memory") shows that the memory available to the
+//! device kernel during a test moves the median normalized download speed
+//! from 0.16 (<2 GB) to 0.53 (>6 GB). The mechanism is TCP receive-buffer
+//! autotuning: a memory-pressured kernel caps socket buffers, and a capped
+//! receive window caps throughput at `rwnd / RTT` regardless of how fast
+//! the path is. Low-memory devices additionally hit packet-processing
+//! limits (cf. Li et al., CoNEXT '16 on smartphone measurement inflation).
+
+use crate::units::Mbps;
+use rand::Rng;
+use serde::Serialize;
+
+/// Kernel-memory bins used throughout the paper's Fig. 9d analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum MemoryClass {
+    /// Less than 2 GB available to the kernel.
+    Under2G,
+    /// 2–4 GB.
+    G2To4,
+    /// 4–6 GB.
+    G4To6,
+    /// More than 6 GB.
+    Over6G,
+}
+
+impl MemoryClass {
+    /// Bin a memory amount in gigabytes.
+    pub fn from_gb(gb: f64) -> Self {
+        match () {
+            _ if gb < 2.0 => MemoryClass::Under2G,
+            _ if gb < 4.0 => MemoryClass::G2To4,
+            _ if gb < 6.0 => MemoryClass::G4To6,
+            _ => MemoryClass::Over6G,
+        }
+    }
+
+    /// Label used in analysis output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MemoryClass::Under2G => "< 2 GB",
+            MemoryClass::G2To4 => "2 GB - 4 GB",
+            MemoryClass::G4To6 => "4 GB - 6 GB",
+            MemoryClass::Over6G => "> 6 GB",
+        }
+    }
+
+    /// All bins, ascending.
+    pub fn all() -> [MemoryClass; 4] {
+        [MemoryClass::Under2G, MemoryClass::G2To4, MemoryClass::G4To6, MemoryClass::Over6G]
+    }
+}
+
+/// A measuring device's resource profile during one test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceProfile {
+    /// Memory available to the kernel, GB.
+    pub kernel_memory_gb: f64,
+    /// Maximum TCP receive/send buffer the kernel will autotune to, bytes.
+    pub max_tcp_buffer_bytes: f64,
+    /// Raw packet-processing ceiling of the device, independent of windows.
+    pub processing_cap: Mbps,
+}
+
+impl DeviceProfile {
+    /// Build a profile from available kernel memory, sampling the
+    /// within-bin variation (different OEM kernel configs).
+    pub fn from_memory<R: Rng + ?Sized>(kernel_memory_gb: f64, rng: &mut R) -> Self {
+        assert!(
+            kernel_memory_gb.is_finite() && kernel_memory_gb > 0.0,
+            "memory must be positive"
+        );
+        let jitter = 0.75 + rng.gen::<f64>() * 0.5; // ×0.75–1.25
+        let (buffer, cap) = match MemoryClass::from_gb(kernel_memory_gb) {
+            // A memory-pressured kernel clamps tcp_rmem hard, and the
+            // budget SoCs that ship with <2 GB cannot push much beyond
+            // ~60 Mbps of TCP payload through their network stack (cf.
+            // Li et al., CoNEXT '16 on smartphone measurement limits).
+            MemoryClass::Under2G => (128.0 * 1024.0, 60.0),
+            MemoryClass::G2To4 => (1.5 * 1024.0 * 1024.0, 900.0),
+            MemoryClass::G4To6 => (3.0 * 1024.0 * 1024.0, 1400.0),
+            MemoryClass::Over6G => (6.0 * 1024.0 * 1024.0, 2500.0),
+        };
+        DeviceProfile {
+            kernel_memory_gb,
+            max_tcp_buffer_bytes: buffer * jitter,
+            processing_cap: Mbps(cap * jitter),
+        }
+    }
+
+    /// An unconstrained profile (wired desktop, ample memory) for paths
+    /// where the device should never be the bottleneck (e.g. MBA boxes).
+    pub fn unconstrained() -> Self {
+        DeviceProfile {
+            kernel_memory_gb: 16.0,
+            max_tcp_buffer_bytes: 16.0 * 1024.0 * 1024.0,
+            processing_cap: Mbps(10_000.0),
+        }
+    }
+
+    /// The memory bin this profile falls into.
+    pub fn memory_class(&self) -> MemoryClass {
+        MemoryClass::from_gb(self.kernel_memory_gb)
+    }
+
+    /// Receive-window throughput ceiling at a given RTT: `rwnd / RTT`.
+    pub fn window_cap(&self, rtt_s: f64) -> Mbps {
+        assert!(rtt_s > 0.0, "RTT must be positive");
+        Mbps::from_bytes_per_sec(self.max_tcp_buffer_bytes / rtt_s)
+    }
+
+    /// The binding device-side ceiling for a test at `rtt_s`.
+    pub fn throughput_cap(&self, rtt_s: f64) -> Mbps {
+        self.window_cap(rtt_s).min(self.processing_cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn memory_bins() {
+        assert_eq!(MemoryClass::from_gb(1.0), MemoryClass::Under2G);
+        assert_eq!(MemoryClass::from_gb(2.0), MemoryClass::G2To4);
+        assert_eq!(MemoryClass::from_gb(5.9), MemoryClass::G4To6);
+        assert_eq!(MemoryClass::from_gb(12.0), MemoryClass::Over6G);
+        assert_eq!(MemoryClass::all().len(), 4);
+    }
+
+    #[test]
+    fn caps_increase_with_memory() {
+        let mut r = rng();
+        let caps: Vec<f64> = [1.0, 3.0, 5.0, 8.0]
+            .iter()
+            .map(|&gb| {
+                // Average over jitter.
+                let s: f64 = (0..200)
+                    .map(|_| DeviceProfile::from_memory(gb, &mut r).throughput_cap(0.02).0)
+                    .sum();
+                s / 200.0
+            })
+            .collect();
+        for w in caps.windows(2) {
+            assert!(w[0] < w[1], "caps not increasing: {caps:?}");
+        }
+    }
+
+    #[test]
+    fn low_memory_device_throttles_gigabit() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let d = DeviceProfile::from_memory(1.5, &mut r);
+            let cap = d.throughput_cap(0.015);
+            assert!(cap.0 < 300.0, "low-memory cap {cap} too generous");
+        }
+    }
+
+    #[test]
+    fn window_cap_scales_inversely_with_rtt() {
+        let d = DeviceProfile::unconstrained();
+        let near = d.window_cap(0.010);
+        let far = d.window_cap(0.100);
+        assert!((near.0 / far.0 - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unconstrained_profile_never_binds_residential_rates() {
+        let d = DeviceProfile::unconstrained();
+        assert!(d.throughput_cap(0.03).0 > 1200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory must be positive")]
+    fn zero_memory_rejected() {
+        let _ = DeviceProfile::from_memory(0.0, &mut rng());
+    }
+
+    #[test]
+    #[should_panic(expected = "RTT must be positive")]
+    fn zero_rtt_rejected() {
+        let _ = DeviceProfile::unconstrained().window_cap(0.0);
+    }
+}

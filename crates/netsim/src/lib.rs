@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! Flow-level network simulator for residential broadband paths.
+//!
+//! The paper's datasets are gated, so this crate rebuilds the *physics* that
+//! produced them: everything between a speed-test server and a user device.
+//! A measurement in this workspace is the output of composing four models:
+//!
+//! ```text
+//!  server ── access link ── home router ── (WiFi | Ethernet) ── device
+//!              [`link`]                      [`wifi`]           [`device`]
+//!              plan cap ×                    band + RSSI →      kernel memory →
+//!              over-provisioning,            PHY rate, MAC      TCP buffer cap
+//!              cross-traffic                 efficiency,
+//!                                            contention
+//! ```
+//!
+//! driven end-to-end by the TCP throughput model in [`tcp`], which simulates
+//! per-RTT congestion-window evolution for one or many concurrent flows.
+//! The vendor gap the paper measures in §6.3 (single-flow NDT under-reports
+//! vs. multi-flow Ookla) and every local-factor effect in §6.1 emerge from
+//! these models rather than being painted onto the data.
+//!
+//! [`path::NetworkPath`] composes the pieces and is what the `st-speedtest`
+//! methodologies measure.
+
+pub mod device;
+pub mod link;
+pub mod path;
+pub mod rtt;
+pub mod tcp;
+pub mod units;
+pub mod wifi;
+
+pub use device::{DeviceProfile, MemoryClass};
+pub use link::{AccessLink, Technology};
+pub use path::{AccessMedium, NetworkPath};
+pub use rtt::RttModel;
+pub use tcp::{CongestionControl, FlowConfig, TcpSimulator, ThroughputSample};
+pub use units::Mbps;
+pub use wifi::{Band, WifiLink};

@@ -1,0 +1,202 @@
+//! End-to-end path composition.
+//!
+//! A [`NetworkPath`] is one user's complete route to a test server at one
+//! moment: provisioned access link, home medium (WiFi or Ethernet), device
+//! profile, and RTT model. [`NetworkPath::snapshot`] samples the
+//! time-varying pieces and returns the parameters a transport simulation
+//! needs; the speed-test methodologies in `st-speedtest` then run
+//! [`crate::tcp::TcpSimulator`] against that snapshot.
+
+use crate::device::DeviceProfile;
+use crate::link::AccessLink;
+use crate::rtt::RttModel;
+use crate::units::Mbps;
+use crate::wifi::WifiLink;
+use rand::Rng;
+
+/// How the measuring device reaches the home router.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessMedium {
+    /// Wired: an Ethernet NIC of the given line rate (typically 1 Gbps,
+    /// delivering ~940 Mbps of TCP goodput after framing overhead).
+    Ethernet {
+        /// NIC line rate.
+        link_rate: Mbps,
+    },
+    /// Wireless: an association to the home AP.
+    Wifi(WifiLink),
+}
+
+impl AccessMedium {
+    /// Gigabit Ethernet — the common wired case.
+    pub fn gigabit_ethernet() -> Self {
+        AccessMedium::Ethernet { link_rate: Mbps(1000.0) }
+    }
+
+    /// Whether this is a WiFi medium.
+    pub fn is_wifi(&self) -> bool {
+        matches!(self, AccessMedium::Wifi(_))
+    }
+
+    /// Sample the medium's deliverable TCP capacity.
+    fn sample_capacity<R: Rng + ?Sized>(&self, rng: &mut R) -> Mbps {
+        match self {
+            // Ethernet goodput: ~94% of line rate (IFG + headers),
+            // effectively deterministic.
+            AccessMedium::Ethernet { link_rate } => *link_rate * 0.94,
+            AccessMedium::Wifi(link) => link.sample_capacity(rng),
+        }
+    }
+
+    /// Per-packet loss contributed by the medium.
+    fn loss_rate(&self) -> f64 {
+        match self {
+            AccessMedium::Ethernet { .. } => 1e-7,
+            AccessMedium::Wifi(link) => link.loss_rate(),
+        }
+    }
+}
+
+/// The sampled state of a path at test time — everything a transport
+/// simulation needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathSnapshot {
+    /// Downstream rate available end-to-end (min of access and medium).
+    pub down_available: Mbps,
+    /// Upstream rate available end-to-end.
+    pub up_available: Mbps,
+    /// Round-trip time, seconds.
+    pub rtt_s: f64,
+    /// Combined random per-packet loss on the path.
+    pub loss_rate: f64,
+    /// Device receive-window budget, bytes.
+    pub rwnd_total_bytes: f64,
+    /// Device processing ceiling.
+    pub device_cap: Mbps,
+}
+
+/// One user's end-to-end measurement path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkPath {
+    /// The provisioned last mile.
+    pub access: AccessLink,
+    /// The in-home hop.
+    pub medium: AccessMedium,
+    /// The measuring device.
+    pub device: DeviceProfile,
+    /// RTT sampler.
+    pub rtt: RttModel,
+}
+
+impl NetworkPath {
+    /// Compose a path.
+    pub fn new(
+        access: AccessLink,
+        medium: AccessMedium,
+        device: DeviceProfile,
+        rtt: RttModel,
+    ) -> Self {
+        NetworkPath { access, medium, device, rtt }
+    }
+
+    /// Sample the path state for a test starting at local `hour` (0–23).
+    pub fn snapshot<R: Rng + ?Sized>(&self, hour: u8, rng: &mut R) -> PathSnapshot {
+        let rtt_s = match &self.medium {
+            AccessMedium::Ethernet { .. } => self.rtt.sample_wired(rng),
+            AccessMedium::Wifi(link) => self.rtt.sample_wifi(rng, link.rssi_dbm),
+        };
+        let medium_cap = self.medium.sample_capacity(rng);
+        let down_access = self.access.sample_down_available(hour, rng);
+        let up_access = self.access.sample_up_available(hour, rng);
+
+        // The device's processing cap binds symmetrically; the window cap is
+        // applied inside the TCP simulation via rwnd_total_bytes.
+        let device_cap = self.device.processing_cap;
+
+        PathSnapshot {
+            down_available: down_access.min(medium_cap).min(device_cap),
+            up_available: up_access.min(medium_cap).min(device_cap),
+            rtt_s,
+            loss_rate: (self.access.base_loss + self.medium.loss_rate()).min(0.05),
+            rwnd_total_bytes: self.device.max_tcp_buffer_bytes,
+            device_cap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wifi::Band;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(21)
+    }
+
+    fn plan_path(medium: AccessMedium, rng: &mut StdRng) -> NetworkPath {
+        let access = AccessLink::provision(Mbps(1200.0), Mbps(35.0), rng);
+        NetworkPath::new(access, medium, DeviceProfile::unconstrained(), RttModel::metro())
+    }
+
+    #[test]
+    fn ethernet_path_bottleneck_is_nic_or_access() {
+        let mut r = rng();
+        let path = plan_path(AccessMedium::gigabit_ethernet(), &mut r);
+        for _ in 0..100 {
+            let s = path.snapshot(12, &mut r);
+            assert!(s.down_available.0 <= 940.0 + 1e-9, "{}", s.down_available);
+            assert!(s.down_available.0 > 300.0);
+            assert!(s.up_available.0 <= 35.0 * 1.25);
+            assert!(s.loss_rate < 1e-3);
+        }
+    }
+
+    #[test]
+    fn weak_wifi_is_the_bottleneck() {
+        let mut r = rng();
+        let weak = AccessMedium::Wifi(WifiLink::new(Band::G2_4, -78.0));
+        let path = plan_path(weak, &mut r);
+        for _ in 0..100 {
+            let s = path.snapshot(12, &mut r);
+            // 2.4 GHz at -78 dBm: PHY 28.9 → capacity well under 25 Mbps.
+            assert!(s.down_available.0 < 25.0, "{}", s.down_available);
+        }
+    }
+
+    #[test]
+    fn wifi_loss_exceeds_ethernet_loss() {
+        let mut r = rng();
+        let eth = plan_path(AccessMedium::gigabit_ethernet(), &mut r).snapshot(0, &mut r);
+        let wifi_path =
+            plan_path(AccessMedium::Wifi(WifiLink::new(Band::G5, -82.0)), &mut r);
+        let wifi = wifi_path.snapshot(0, &mut r);
+        assert!(wifi.loss_rate > eth.loss_rate);
+    }
+
+    #[test]
+    fn snapshot_rates_are_valid_and_capped_by_device() {
+        let mut r = rng();
+        let mut low_mem_dev = DeviceProfile::from_memory(1.0, &mut r);
+        low_mem_dev.processing_cap = Mbps(150.0);
+        let access = AccessLink::provision(Mbps(800.0), Mbps(15.0), &mut r);
+        let path = NetworkPath::new(
+            access,
+            AccessMedium::Wifi(WifiLink::new(Band::G5, -45.0)),
+            low_mem_dev,
+            RttModel::metro(),
+        );
+        for _ in 0..50 {
+            let s = path.snapshot(18, &mut r);
+            assert!(s.down_available.is_valid() && s.up_available.is_valid());
+            assert!(s.down_available.0 <= 150.0, "device cap ignored: {}", s.down_available);
+        }
+    }
+
+    #[test]
+    fn medium_helpers() {
+        assert!(AccessMedium::Wifi(WifiLink::new(Band::G5, -50.0)).is_wifi());
+        assert!(!AccessMedium::gigabit_ethernet().is_wifi());
+    }
+}

@@ -1,0 +1,124 @@
+//! Round-trip-time model.
+//!
+//! Speed-test vendors pick a nearby server (Ookla: >16k servers, M-Lab:
+//! >500), so base RTTs are short; WiFi hops and upstream queueing add to
+//! them. RTT matters twice in this workspace: it sets the bandwidth-delay
+//! product that single-flow NDT struggles to fill, and it converts device
+//! TCP-buffer limits into throughput caps.
+
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal};
+
+/// Samples per-test round-trip times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RttModel {
+    /// Median wired RTT to the test server, seconds.
+    base_median_s: f64,
+    /// Log-space sigma of the base RTT (captures server-distance spread).
+    base_sigma: f64,
+    /// Extra per-hop latency added by a WiFi first hop, seconds (median).
+    wifi_extra_median_s: f64,
+}
+
+impl RttModel {
+    /// A model with an explicit wired median RTT (seconds).
+    pub fn new(base_median_s: f64, base_sigma: f64, wifi_extra_median_s: f64) -> Self {
+        assert!(base_median_s > 0.0, "RTT must be positive");
+        assert!(base_sigma >= 0.0, "sigma must be non-negative");
+        assert!(wifi_extra_median_s >= 0.0, "wifi extra must be non-negative");
+        RttModel { base_median_s, base_sigma, wifi_extra_median_s }
+    }
+
+    /// Defaults matching a metro user and a same-metro test server:
+    /// ~12 ms wired median, ~4 ms extra median on WiFi.
+    pub fn metro() -> Self {
+        RttModel::new(0.012, 0.35, 0.004)
+    }
+
+    /// Sample a wired RTT (seconds).
+    pub fn sample_wired<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let dist = LogNormal::new(self.base_median_s.ln(), self.base_sigma)
+            .expect("validated sigma");
+        dist.sample(rng).clamp(0.002, 0.5)
+    }
+
+    /// Sample a WiFi RTT (seconds): wired RTT plus the wireless first hop.
+    /// Poor signal inflates the extra term (retransmissions at the MAC
+    /// layer), following the latency findings of Sui et al. (MobiSys '16).
+    pub fn sample_wifi<R: Rng + ?Sized>(&self, rng: &mut R, rssi_dbm: f64) -> f64 {
+        let wired = self.sample_wired(rng);
+        // −30 dBm → ×1, −90 dBm → ×4 inflation of the WiFi extra term.
+        let inflation = 1.0 + ((-rssi_dbm - 30.0).max(0.0) / 20.0);
+        let extra_dist = LogNormal::new(self.wifi_extra_median_s.ln(), 0.5)
+            .expect("fixed sigma is valid");
+        let extra = extra_dist.sample(rng) * inflation;
+        (wired + extra).clamp(0.002, 0.8)
+    }
+}
+
+impl Default for RttModel {
+    fn default() -> Self {
+        RttModel::metro()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    fn median(mut v: Vec<f64>) -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    }
+
+    #[test]
+    fn wired_median_near_configured() {
+        let m = RttModel::metro();
+        let mut r = rng();
+        let samples: Vec<f64> = (0..4000).map(|_| m.sample_wired(&mut r)).collect();
+        let med = median(samples);
+        assert!((med - 0.012).abs() < 0.004, "median {med}");
+    }
+
+    #[test]
+    fn wifi_adds_latency() {
+        let m = RttModel::metro();
+        let mut r = rng();
+        let wired = median((0..2000).map(|_| m.sample_wired(&mut r)).collect());
+        let wifi = median((0..2000).map(|_| m.sample_wifi(&mut r, -50.0)).collect());
+        assert!(wifi > wired, "wifi {wifi} <= wired {wired}");
+    }
+
+    #[test]
+    fn poor_rssi_inflates_wifi_latency() {
+        let m = RttModel::metro();
+        let mut r = rng();
+        let good = median((0..2000).map(|_| m.sample_wifi(&mut r, -40.0)).collect());
+        let bad = median((0..2000).map(|_| m.sample_wifi(&mut r, -85.0)).collect());
+        assert!(bad > good, "bad {bad} <= good {good}");
+    }
+
+    #[test]
+    fn samples_stay_in_sane_bounds() {
+        let m = RttModel::metro();
+        let mut r = rng();
+        for _ in 0..2000 {
+            let w = m.sample_wired(&mut r);
+            assert!((0.002..=0.5).contains(&w));
+            let wf = m.sample_wifi(&mut r, -70.0);
+            assert!((0.002..=0.8).contains(&wf));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "RTT must be positive")]
+    fn zero_rtt_rejected() {
+        let _ = RttModel::new(0.0, 0.1, 0.001);
+    }
+}

@@ -1,0 +1,160 @@
+//! Rate units.
+//!
+//! Throughput values flow through every crate in the workspace; a newtype
+//! keeps Mbps from being confused with bytes/sec or packets/RTT at crate
+//! boundaries while still being cheap to compute with.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// Megabits per second.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Mbps(pub f64);
+
+impl Mbps {
+    /// Zero rate.
+    pub const ZERO: Mbps = Mbps(0.0);
+
+    /// Construct from a bytes-per-second figure.
+    pub fn from_bytes_per_sec(bps: f64) -> Mbps {
+        Mbps(bps * 8.0 / 1e6)
+    }
+
+    /// Construct from bits per second.
+    pub fn from_bits_per_sec(bits: f64) -> Mbps {
+        Mbps(bits / 1e6)
+    }
+
+    /// The rate in bits per second.
+    pub fn bits_per_sec(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// The rate in bytes per second.
+    pub fn bytes_per_sec(self) -> f64 {
+        self.0 * 1e6 / 8.0
+    }
+
+    /// How many `mss`-byte packets per second this rate carries.
+    pub fn packets_per_sec(self, mss_bytes: usize) -> f64 {
+        self.bytes_per_sec() / mss_bytes as f64
+    }
+
+    /// Pointwise minimum.
+    pub fn min(self, other: Mbps) -> Mbps {
+        Mbps(self.0.min(other.0))
+    }
+
+    /// Pointwise maximum.
+    pub fn max(self, other: Mbps) -> Mbps {
+        Mbps(self.0.max(other.0))
+    }
+
+    /// Clamp into `[lo, hi]`.
+    pub fn clamp(self, lo: Mbps, hi: Mbps) -> Mbps {
+        Mbps(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// True if the value is finite and non-negative — the invariant every
+    /// model in this crate maintains.
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl fmt::Display for Mbps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} Mbps", self.0)
+    }
+}
+
+impl Add for Mbps {
+    type Output = Mbps;
+    fn add(self, rhs: Mbps) -> Mbps {
+        Mbps(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Mbps {
+    fn add_assign(&mut self, rhs: Mbps) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Mbps {
+    type Output = Mbps;
+    fn sub(self, rhs: Mbps) -> Mbps {
+        Mbps(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Mbps {
+    type Output = Mbps;
+    fn mul(self, rhs: f64) -> Mbps {
+        Mbps(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Mbps {
+    type Output = Mbps;
+    fn div(self, rhs: f64) -> Mbps {
+        Mbps(self.0 / rhs)
+    }
+}
+
+impl Div<Mbps> for Mbps {
+    /// Ratio of two rates (dimensionless) — the paper's
+    /// "normalized download speed".
+    type Output = f64;
+    fn div(self, rhs: Mbps) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let r = Mbps(100.0);
+        assert_eq!(Mbps::from_bits_per_sec(r.bits_per_sec()), r);
+        assert_eq!(Mbps::from_bytes_per_sec(r.bytes_per_sec()), r);
+    }
+
+    #[test]
+    fn packets_per_sec_at_1500_mss() {
+        // 12 Mbps = 1.5 MB/s = 1000 pkts/s at 1500 B.
+        let pps = Mbps(12.0).packets_per_sec(1500);
+        assert!((pps - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Mbps(3.0) + Mbps(4.0), Mbps(7.0));
+        assert_eq!(Mbps(10.0) - Mbps(4.0), Mbps(6.0));
+        assert_eq!(Mbps(10.0) * 0.5, Mbps(5.0));
+        assert_eq!(Mbps(10.0) / 2.0, Mbps(5.0));
+        assert_eq!(Mbps(50.0) / Mbps(100.0), 0.5);
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        assert_eq!(Mbps(3.0).min(Mbps(5.0)), Mbps(3.0));
+        assert_eq!(Mbps(3.0).max(Mbps(5.0)), Mbps(5.0));
+        assert_eq!(Mbps(7.0).clamp(Mbps(0.0), Mbps(5.0)), Mbps(5.0));
+    }
+
+    #[test]
+    fn validity() {
+        assert!(Mbps(0.0).is_valid());
+        assert!(!Mbps(-1.0).is_valid());
+        assert!(!Mbps(f64::NAN).is_valid());
+        assert!(!Mbps(f64::INFINITY).is_valid());
+    }
+
+    #[test]
+    fn display_formats_with_unit() {
+        assert_eq!(Mbps(12.345).to_string(), "12.35 Mbps");
+    }
+}

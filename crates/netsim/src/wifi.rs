@@ -1,0 +1,230 @@
+//! The home WiFi hop.
+//!
+//! "WiFi-connected devices contribute to almost 97% of the native
+//! application tests" (paper §5.1) and the WiFi hop is the dominant local
+//! bottleneck the paper quantifies (§6.1): spectrum band and RSSI together
+//! swing measured download speed by more than 6×.
+//!
+//! The model follows standard 802.11 behaviour:
+//! * **PHY rate** from an MCS lookup keyed by band and RSSI — 2.4 GHz
+//!   modelled as 802.11n, 20 MHz, 2 spatial streams (max 144.4 Mbps);
+//!   5 GHz as 802.11ac, 80 MHz, 2 streams (max 866.7 Mbps).
+//! * **MAC efficiency** ~65%: contention, ACKs, preambles.
+//! * **Contention/interference**: a random share of airtime lost to
+//!   neighbouring networks — heavier on 2.4 GHz, where three
+//!   non-overlapping channels serve every apartment in range.
+//! * **Loss**: residual post-retry packet loss grows as RSSI approaches
+//!   the sensitivity floor; this is what guts single-flow TCP.
+
+use crate::units::Mbps;
+use rand::Rng;
+use serde::Serialize;
+
+/// WiFi spectrum band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Band {
+    /// 2.4 GHz: longer reach, narrow channels, crowded spectrum.
+    G2_4,
+    /// 5 GHz: wide channels, higher rates, faster attenuation.
+    G5,
+}
+
+impl Band {
+    /// Human-readable label used by analysis output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Band::G2_4 => "2.4 GHz",
+            Band::G5 => "5 GHz",
+        }
+    }
+}
+
+/// One device's association to the home AP during a test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WifiLink {
+    /// Spectrum band in use.
+    pub band: Band,
+    /// Received signal strength at the device, dBm.
+    pub rssi_dbm: f64,
+}
+
+impl WifiLink {
+    /// Create a link; RSSI is clamped into the physically plausible
+    /// `[-95, -20]` dBm window.
+    pub fn new(band: Band, rssi_dbm: f64) -> Self {
+        assert!(rssi_dbm.is_finite(), "RSSI must be finite");
+        WifiLink { band, rssi_dbm: rssi_dbm.clamp(-95.0, -20.0) }
+    }
+
+    /// The negotiated PHY rate for this band/RSSI.
+    ///
+    /// Values are the 802.11n (2.4 GHz, 20 MHz, 2SS, 800 ns GI) and
+    /// 802.11ac (5 GHz, 80 MHz, 2SS) MCS tables, selected by the RSSI
+    /// thresholds vendors use for rate adaptation.
+    pub fn phy_rate(&self) -> Mbps {
+        let r = self.rssi_dbm;
+        match self.band {
+            Band::G2_4 => Mbps(match () {
+                _ if r >= -55.0 => 144.4,
+                _ if r >= -62.0 => 130.0,
+                _ if r >= -67.0 => 115.6,
+                _ if r >= -72.0 => 86.7,
+                _ if r >= -77.0 => 57.8,
+                _ if r >= -82.0 => 28.9,
+                _ if r >= -88.0 => 14.4,
+                _ => 6.5,
+            }),
+            Band::G5 => Mbps(match () {
+                _ if r >= -50.0 => 866.7,
+                _ if r >= -55.0 => 780.0,
+                _ if r >= -60.0 => 650.0,
+                _ if r >= -65.0 => 520.0,
+                _ if r >= -70.0 => 390.0,
+                _ if r >= -75.0 => 260.0,
+                _ if r >= -80.0 => 130.0,
+                _ if r >= -87.0 => 65.0,
+                _ => 29.3,
+            }),
+        }
+    }
+
+    /// Residual (post-MAC-retry) packet loss rate seen by TCP.
+    ///
+    /// Near the AP this is negligible; within ~15 dB of the sensitivity
+    /// floor retries start failing and TCP sees real loss.
+    pub fn loss_rate(&self) -> f64 {
+        let floor = match self.band {
+            Band::G2_4 => -92.0,
+            Band::G5 => -90.0,
+        };
+        let margin = (self.rssi_dbm - floor).max(0.0);
+        if margin > 25.0 {
+            1e-5
+        } else {
+            // Exponential ramp: 25 dB margin → 1e-5, 0 dB → ~2%.
+            (0.02 * (-(margin) / 7.5).exp()).max(1e-5)
+        }
+    }
+
+    /// Sample the TCP-visible throughput capacity of this hop:
+    /// `PHY × MAC efficiency × (1 − contention)`.
+    pub fn sample_capacity<R: Rng + ?Sized>(&self, rng: &mut R) -> Mbps {
+        let phy = self.phy_rate();
+        let mac_eff = 0.58 + rng.gen::<f64>() * 0.10; // 0.58–0.68
+        let contention = self.sample_contention(rng);
+        phy * mac_eff * (1.0 - contention)
+    }
+
+    /// Airtime fraction lost to co-channel neighbours.
+    fn sample_contention<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Dense-housing airtime loss, occasionally severe (a neighbour's
+        // bulk transfer or a microwave on 2.4 GHz).
+        let heavy = rng.gen::<f64>() < 0.25;
+        match self.band {
+            // 2.4 GHz: typically 20–60% of airtime lost, up to 85% heavy.
+            Band::G2_4 => {
+                let base = 0.20 + rng.gen::<f64>() * 0.40;
+                if heavy { (base + 0.25).min(0.85) } else { base }
+            }
+            // 5 GHz: typically 3–35%, up to 60% heavy.
+            Band::G5 => {
+                let base = 0.03 + rng.gen::<f64>() * 0.32;
+                if heavy { (base + 0.25).min(0.60) } else { base }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn phy_rate_monotone_in_rssi() {
+        for band in [Band::G2_4, Band::G5] {
+            let mut prev = Mbps::ZERO;
+            for rssi in (-95..=-20).step_by(5) {
+                let rate = WifiLink::new(band, rssi as f64).phy_rate();
+                assert!(rate.0 >= prev.0, "{band:?} at {rssi}: {rate} < {prev}");
+                prev = rate;
+            }
+        }
+    }
+
+    #[test]
+    fn five_ghz_outruns_two_four_at_same_rssi() {
+        for rssi in [-40.0, -55.0, -65.0] {
+            let g5 = WifiLink::new(Band::G5, rssi).phy_rate();
+            let g24 = WifiLink::new(Band::G2_4, rssi).phy_rate();
+            assert!(g5.0 > g24.0, "at {rssi}: 5 GHz {g5} <= 2.4 GHz {g24}");
+        }
+    }
+
+    #[test]
+    fn max_phy_rates_match_standards() {
+        assert_eq!(WifiLink::new(Band::G2_4, -30.0).phy_rate(), Mbps(144.4));
+        assert_eq!(WifiLink::new(Band::G5, -30.0).phy_rate(), Mbps(866.7));
+    }
+
+    #[test]
+    fn loss_grows_toward_sensitivity_floor() {
+        let near = WifiLink::new(Band::G5, -40.0).loss_rate();
+        let mid = WifiLink::new(Band::G5, -70.0).loss_rate();
+        let far = WifiLink::new(Band::G5, -88.0).loss_rate();
+        assert!(near <= mid && mid <= far, "{near} {mid} {far}");
+        assert!(far <= 0.05);
+    }
+
+    #[test]
+    fn capacity_below_phy_rate() {
+        let mut r = rng();
+        for band in [Band::G2_4, Band::G5] {
+            for rssi in [-40.0, -60.0, -80.0] {
+                let link = WifiLink::new(band, rssi);
+                for _ in 0..100 {
+                    let cap = link.sample_capacity(&mut r);
+                    assert!(cap.is_valid());
+                    assert!(cap.0 < link.phy_rate().0, "{cap} >= phy {}", link.phy_rate());
+                    assert!(cap.0 > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_four_ghz_contention_is_heavier() {
+        let mut r = rng();
+        let mut mean = |band| {
+            let link = WifiLink::new(band, -50.0);
+            let s: f64 = (0..2000).map(|_| link.sample_contention(&mut r)).sum();
+            s / 2000.0
+        };
+        let g24 = mean(Band::G2_4);
+        let g5 = mean(Band::G5);
+        assert!(g24 > g5 + 0.1, "2.4 GHz contention {g24} not clearly above 5 GHz {g5}");
+    }
+
+    #[test]
+    fn rssi_is_clamped() {
+        assert_eq!(WifiLink::new(Band::G5, -200.0).rssi_dbm, -95.0);
+        assert_eq!(WifiLink::new(Band::G5, 0.0).rssi_dbm, -20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "RSSI must be finite")]
+    fn nan_rssi_rejected() {
+        let _ = WifiLink::new(Band::G5, f64::NAN);
+    }
+
+    #[test]
+    fn band_labels() {
+        assert_eq!(Band::G2_4.label(), "2.4 GHz");
+        assert_eq!(Band::G5.label(), "5 GHz");
+    }
+}

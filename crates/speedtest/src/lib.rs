@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! Speed-test domain model and test methodologies.
+//!
+//! This crate holds everything that is "about speed tests" rather than
+//! about networks or statistics:
+//!
+//! * [`plans`] — ISP subscription-plan catalogs ([`Plan`], [`PlanCatalog`],
+//!   tier groups keyed by upload speed), the ground structure the BST
+//!   methodology recovers from data.
+//! * [`record`] — the [`Measurement`] schema: one speed test with its
+//!   vendor, platform, QoS results, and the local-context metadata the
+//!   paper argues must accompany every test.
+//! * [`methodology`] — the [`Methodology`] trait plus the two vendor
+//!   implementations: [`OoklaMethodology`] (multi-connection, ramp-up
+//!   discarded) and [`NdtMethodology`] (single connection, whole-transfer
+//!   average), run over `st-netsim` path snapshots.
+//! * [`pairing`] — M-Lab's download/upload association: NDT reports the two
+//!   directions as separate tests, so the paper pairs them with a 120 s
+//!   window per client/server pair (§3.2); implemented here.
+//! * [`wire`] — a real TCP speed test over loopback sockets with a
+//!   token-bucket-shaped server, demonstrating that the methodology gap is
+//!   not an artifact of the flow-level simulator.
+
+pub mod methodology;
+pub mod pairing;
+pub mod plans;
+pub mod record;
+pub mod wire;
+
+pub use methodology::{FastMethodology, Methodology, NdtMethodology, OoklaMethodology, TestResult};
+pub use pairing::{pair_ndt_tests, NdtEvent, NdtPair};
+pub use plans::{Plan, PlanCatalog, TierGroup};
+pub use record::{Access, Measurement, Platform, Vendor};

@@ -1,0 +1,182 @@
+//! NDT download/upload association.
+//!
+//! M-Lab's NDT reports download and upload as *separate* tests, with no
+//! link between the two directions of one user session. The paper (§3.2,
+//! following Sundaresan et al.) pairs them: for every download test, find
+//! upload tests from the same client and server IP that started within a
+//! 120-second window, and associate the earliest one. Each upload test is
+//! consumed by at most one download test.
+
+/// One direction of an NDT test as it appears in the raw M-Lab data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NdtEvent {
+    /// Client IP (opaque key; the simulator uses synthetic ids).
+    pub client_ip: u64,
+    /// Server IP.
+    pub server_ip: u64,
+    /// Test start time, seconds since epoch of the dataset.
+    pub start_s: f64,
+    /// Measured rate, Mbps.
+    pub mbps: f64,
+}
+
+/// A paired NDT measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NdtPair {
+    /// The download event.
+    pub download: NdtEvent,
+    /// The associated upload event, if one was found in the window.
+    pub upload: Option<NdtEvent>,
+}
+
+/// Pair download events with upload events per the paper's methodology.
+///
+/// For each download (in start-time order), uploads from the same
+/// `(client_ip, server_ip)` pair whose start time falls in
+/// `[download.start_s, download.start_s + window_s]` are candidates; the
+/// earliest unconsumed candidate is associated. Returns one [`NdtPair`]
+/// per download event.
+pub fn pair_ndt_tests(
+    downloads: &[NdtEvent],
+    uploads: &[NdtEvent],
+    window_s: f64,
+) -> Vec<NdtPair> {
+    assert!(window_s >= 0.0, "window must be non-negative");
+
+    // Index uploads by endpoint pair, sorted by start time.
+    use std::collections::HashMap;
+    let mut by_pair: HashMap<(u64, u64), Vec<usize>> = HashMap::new();
+    for (i, u) in uploads.iter().enumerate() {
+        by_pair.entry((u.client_ip, u.server_ip)).or_default().push(i);
+    }
+    for idxs in by_pair.values_mut() {
+        idxs.sort_by(|&a, &b| {
+            uploads[a].start_s.partial_cmp(&uploads[b].start_s).expect("finite times")
+        });
+    }
+
+    let mut consumed = vec![false; uploads.len()];
+
+    // Process downloads in start-time order so earlier downloads get first
+    // pick of shared upload candidates.
+    let mut order: Vec<usize> = (0..downloads.len()).collect();
+    order.sort_by(|&a, &b| {
+        downloads[a].start_s.partial_cmp(&downloads[b].start_s).expect("finite times")
+    });
+
+    let mut pairs: Vec<Option<NdtPair>> = vec![None; downloads.len()];
+    for &di in &order {
+        let d = &downloads[di];
+        let candidates = by_pair.get(&(d.client_ip, d.server_ip));
+        let upload = candidates.and_then(|idxs| {
+            idxs.iter()
+                .find(|&&ui| {
+                    !consumed[ui]
+                        && uploads[ui].start_s >= d.start_s
+                        && uploads[ui].start_s <= d.start_s + window_s
+                })
+                .map(|&ui| {
+                    consumed[ui] = true;
+                    uploads[ui].clone()
+                })
+        });
+        pairs[di] = Some(NdtPair { download: d.clone(), upload });
+    }
+    pairs.into_iter().map(|p| p.expect("every download processed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(client: u64, start: f64, mbps: f64) -> NdtEvent {
+        NdtEvent { client_ip: client, server_ip: 1, start_s: start, mbps }
+    }
+
+    #[test]
+    fn pairs_within_window() {
+        let downs = vec![ev(1, 100.0, 200.0)];
+        let ups = vec![ev(1, 130.0, 10.0)];
+        let pairs = pair_ndt_tests(&downs, &ups, 120.0);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].upload.as_ref().unwrap().mbps, 10.0);
+    }
+
+    #[test]
+    fn outside_window_is_unpaired() {
+        let downs = vec![ev(1, 100.0, 200.0)];
+        let ups = vec![ev(1, 221.0, 10.0)]; // 121 s later
+        let pairs = pair_ndt_tests(&downs, &ups, 120.0);
+        assert!(pairs[0].upload.is_none());
+    }
+
+    #[test]
+    fn upload_before_download_is_not_used() {
+        let downs = vec![ev(1, 100.0, 200.0)];
+        let ups = vec![ev(1, 99.0, 10.0)];
+        let pairs = pair_ndt_tests(&downs, &ups, 120.0);
+        assert!(pairs[0].upload.is_none());
+    }
+
+    #[test]
+    fn earliest_candidate_wins() {
+        // "In the event we observe more than one upload speed test ... we
+        // associate the earliest" (§3.2).
+        let downs = vec![ev(1, 100.0, 200.0)];
+        let ups = vec![ev(1, 150.0, 11.0), ev(1, 110.0, 10.0)];
+        let pairs = pair_ndt_tests(&downs, &ups, 120.0);
+        assert_eq!(pairs[0].upload.as_ref().unwrap().mbps, 10.0);
+    }
+
+    #[test]
+    fn different_client_never_pairs() {
+        let downs = vec![ev(1, 100.0, 200.0)];
+        let ups = vec![ev(2, 110.0, 10.0)];
+        let pairs = pair_ndt_tests(&downs, &ups, 120.0);
+        assert!(pairs[0].upload.is_none());
+    }
+
+    #[test]
+    fn different_server_never_pairs() {
+        let downs = vec![NdtEvent { client_ip: 1, server_ip: 7, start_s: 100.0, mbps: 50.0 }];
+        let ups = vec![NdtEvent { client_ip: 1, server_ip: 8, start_s: 110.0, mbps: 5.0 }];
+        let pairs = pair_ndt_tests(&downs, &ups, 120.0);
+        assert!(pairs[0].upload.is_none());
+    }
+
+    #[test]
+    fn each_upload_consumed_once() {
+        let downs = vec![ev(1, 100.0, 200.0), ev(1, 105.0, 190.0)];
+        let ups = vec![ev(1, 110.0, 10.0)];
+        let pairs = pair_ndt_tests(&downs, &ups, 120.0);
+        let paired: Vec<bool> = pairs.iter().map(|p| p.upload.is_some()).collect();
+        assert_eq!(paired.iter().filter(|&&b| b).count(), 1);
+        // The earlier download (start 100) gets it.
+        assert!(pairs[0].upload.is_some());
+        assert!(pairs[1].upload.is_none());
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let downs = vec![ev(1, 200.0, 180.0), ev(1, 100.0, 200.0)];
+        let ups = vec![ev(1, 205.0, 11.0), ev(1, 101.0, 10.0)];
+        let pairs = pair_ndt_tests(&downs, &ups, 120.0);
+        // Output order matches input order of downloads.
+        assert_eq!(pairs[0].download.start_s, 200.0);
+        assert_eq!(pairs[0].upload.as_ref().unwrap().mbps, 11.0);
+        assert_eq!(pairs[1].upload.as_ref().unwrap().mbps, 10.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(pair_ndt_tests(&[], &[], 120.0).is_empty());
+        let pairs = pair_ndt_tests(&[ev(1, 0.0, 1.0)], &[], 120.0);
+        assert!(pairs[0].upload.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-negative")]
+    fn negative_window_rejected() {
+        let _ = pair_ndt_tests(&[], &[], -1.0);
+    }
+}

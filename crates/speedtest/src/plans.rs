@@ -1,0 +1,262 @@
+//! ISP subscription plans and tier groups.
+//!
+//! The paper's key structural observation (§4.1): within a city, the
+//! dominant ISP offers the *same* small set of tiered plans at every street
+//! address, and while download caps span 25–1200 Mbps, the set of distinct
+//! **upload** caps is much smaller — which is exactly why BST clusters on
+//! upload speed first.
+
+use st_netsim::Mbps;
+use std::fmt;
+
+/// One subscription plan (a "tier").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// 1-based tier index within the catalog, ordered by download speed.
+    pub tier: usize,
+    /// Advertised download cap.
+    pub down: Mbps,
+    /// Advertised upload cap.
+    pub up: Mbps,
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tier {}: {:.0}/{:.0} Mbps", self.tier, self.down.0, self.up.0)
+    }
+}
+
+/// A group of plans sharing one upload cap — the unit BST's first stage
+/// recovers (the paper's "Tier 1-3", "Tier 4", ... groupings).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierGroup {
+    /// The shared upload cap.
+    pub up: Mbps,
+    /// Tier indices (into the catalog) sharing it, ascending by download.
+    pub tiers: Vec<usize>,
+}
+
+impl TierGroup {
+    /// Label like `"Tier 1-3"` or `"Tier 4"`.
+    pub fn label(&self) -> String {
+        let lo = self.tiers.first().expect("group is non-empty");
+        let hi = self.tiers.last().expect("group is non-empty");
+        if lo == hi {
+            format!("Tier {lo}")
+        } else {
+            format!("Tier {lo}-{hi}")
+        }
+    }
+}
+
+/// The full plan catalog of one ISP in one market.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanCatalog {
+    /// ISP display name (the paper anonymizes these as ISP-A..D).
+    pub isp: String,
+    plans: Vec<Plan>,
+}
+
+impl PlanCatalog {
+    /// Build a catalog from `(down, up)` Mbps pairs; tiers are numbered by
+    /// ascending download speed.
+    ///
+    /// # Panics
+    /// If `speeds` is empty, contains non-positive rates, or contains a
+    /// duplicate download cap (tiers must be distinguishable).
+    pub fn new(isp: impl Into<String>, speeds: &[(f64, f64)]) -> Self {
+        assert!(!speeds.is_empty(), "catalog must contain at least one plan");
+        let mut sorted = speeds.to_vec();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite plan rates"));
+        for w in sorted.windows(2) {
+            assert!(w[0].0 != w[1].0, "duplicate download cap {}", w[0].0);
+        }
+        let plans = sorted
+            .into_iter()
+            .enumerate()
+            .map(|(i, (down, up))| {
+                assert!(down > 0.0 && up > 0.0, "plan rates must be positive");
+                Plan { tier: i + 1, down: Mbps(down), up: Mbps(up) }
+            })
+            .collect();
+        PlanCatalog { isp: isp.into(), plans }
+    }
+
+    /// All plans, ascending by download speed.
+    pub fn plans(&self) -> &[Plan] {
+        &self.plans
+    }
+
+    /// Number of plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Always false: catalogs are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Plan by 1-based tier index.
+    pub fn plan(&self, tier: usize) -> Option<&Plan> {
+        self.plans.get(tier.checked_sub(1)?)
+    }
+
+    /// Distinct upload caps, ascending — the candidate cluster centers for
+    /// BST stage 1.
+    pub fn upload_caps(&self) -> Vec<Mbps> {
+        let mut ups: Vec<f64> = self.plans.iter().map(|p| p.up.0).collect();
+        ups.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        ups.dedup();
+        ups.into_iter().map(Mbps).collect()
+    }
+
+    /// Tier groups keyed by upload cap, ascending by upload.
+    pub fn tier_groups(&self) -> Vec<TierGroup> {
+        self.upload_caps()
+            .into_iter()
+            .map(|up| TierGroup {
+                up,
+                tiers: self
+                    .plans
+                    .iter()
+                    .filter(|p| p.up == up)
+                    .map(|p| p.tier)
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Plans within the group that shares `up`.
+    pub fn plans_with_upload(&self, up: Mbps) -> Vec<&Plan> {
+        self.plans.iter().filter(|p| p.up == up).collect()
+    }
+
+    /// The tier whose download cap is nearest to `down` (used to map a
+    /// recovered cluster mean back onto a plan).
+    pub fn nearest_tier_by_download(&self, down: Mbps) -> usize {
+        self.plans
+            .iter()
+            .min_by(|a, b| {
+                let da = (a.down.0 - down.0).abs();
+                let db = (b.down.0 - down.0).abs();
+                da.partial_cmp(&db).expect("finite")
+            })
+            .map(|p| p.tier)
+            .expect("catalog non-empty")
+    }
+
+    /// The upload cap nearest to `up` among the distinct caps.
+    pub fn nearest_upload_cap(&self, up: Mbps) -> Mbps {
+        self.upload_caps()
+            .into_iter()
+            .min_by(|a, b| {
+                (a.0 - up.0).abs().partial_cmp(&(b.0 - up.0).abs()).expect("finite")
+            })
+            .expect("catalog non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The ISP-A catalog quoted verbatim in paper §4.1.
+    fn isp_a() -> PlanCatalog {
+        PlanCatalog::new(
+            "ISP-A",
+            &[
+                (25.0, 5.0),
+                (100.0, 5.0),
+                (200.0, 5.0),
+                (400.0, 10.0),
+                (800.0, 15.0),
+                (1200.0, 35.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn tiers_numbered_by_download() {
+        let c = isp_a();
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.plan(1).unwrap().down, Mbps(25.0));
+        assert_eq!(c.plan(6).unwrap().down, Mbps(1200.0));
+        assert!(c.plan(7).is_none());
+        assert!(c.plan(0).is_none());
+    }
+
+    #[test]
+    fn upload_caps_are_distinct_and_sorted() {
+        let caps = isp_a().upload_caps();
+        assert_eq!(caps, vec![Mbps(5.0), Mbps(10.0), Mbps(15.0), Mbps(35.0)]);
+    }
+
+    #[test]
+    fn tier_groups_match_paper_structure() {
+        let groups = isp_a().tier_groups();
+        assert_eq!(groups.len(), 4);
+        assert_eq!(groups[0].label(), "Tier 1-3");
+        assert_eq!(groups[0].tiers, vec![1, 2, 3]);
+        assert_eq!(groups[1].label(), "Tier 4");
+        assert_eq!(groups[2].label(), "Tier 5");
+        assert_eq!(groups[3].label(), "Tier 6");
+        assert_eq!(groups[3].up, Mbps(35.0));
+    }
+
+    #[test]
+    fn plans_with_upload_filters_group() {
+        let c = isp_a();
+        let five = c.plans_with_upload(Mbps(5.0));
+        assert_eq!(five.len(), 3);
+        let thirty_five = c.plans_with_upload(Mbps(35.0));
+        assert_eq!(thirty_five.len(), 1);
+        assert_eq!(thirty_five[0].tier, 6);
+    }
+
+    #[test]
+    fn nearest_tier_mapping() {
+        let c = isp_a();
+        assert_eq!(c.nearest_tier_by_download(Mbps(110.9)), 2);
+        assert_eq!(c.nearest_tier_by_download(Mbps(892.0)), 5); // 800 closer than 1200
+        assert_eq!(c.nearest_tier_by_download(Mbps(1050.0)), 6);
+    }
+
+    #[test]
+    fn nearest_upload_cap_mapping() {
+        let c = isp_a();
+        assert_eq!(c.nearest_upload_cap(Mbps(5.87)), Mbps(5.0));
+        assert_eq!(c.nearest_upload_cap(Mbps(38.6)), Mbps(35.0));
+        assert_eq!(c.nearest_upload_cap(Mbps(12.4)), Mbps(10.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = isp_a();
+        assert_eq!(c.plan(1).unwrap().to_string(), "Tier 1: 25/5 Mbps");
+    }
+
+    #[test]
+    fn out_of_order_input_is_sorted() {
+        let c = PlanCatalog::new("X", &[(800.0, 15.0), (25.0, 5.0)]);
+        assert_eq!(c.plan(1).unwrap().down, Mbps(25.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate download cap")]
+    fn duplicate_download_rejected() {
+        let _ = PlanCatalog::new("X", &[(100.0, 5.0), (100.0, 10.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one plan")]
+    fn empty_catalog_rejected() {
+        let _ = PlanCatalog::new("X", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan rates must be positive")]
+    fn non_positive_rate_rejected() {
+        let _ = PlanCatalog::new("X", &[(100.0, 0.0)]);
+    }
+}

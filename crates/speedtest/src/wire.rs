@@ -1,0 +1,610 @@
+//! A real TCP speed test over loopback.
+//!
+//! The rest of the workspace measures *simulated* paths; this module is the
+//! existence proof that the methodology gap is a property of TCP itself,
+//! not of the simulator. It implements:
+//!
+//! * [`TokenBucket`] — a thread-safe byte-rate shaper,
+//! * [`ShapedServer`] — a TCP server whose aggregate send (and read) rate
+//!   is shaped to a configured plan rate, emulating the access link, and
+//! * [`measure_download`] / [`measure_upload`] — clients that open one or
+//!   many connections and report throughput with or without a ramp-up
+//!   discard, mirroring the NDT and Ookla methodologies.
+//!
+//! The `loopback_speedtest` example and the integration tests drive this
+//! end-to-end: a multi-connection client measures the shaped rate; the
+//! measured value must sit just under the shaped plan rate.
+
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Protocol byte: client requests a download (server → client) stream.
+const CMD_DOWNLOAD: u8 = b'D';
+/// Protocol byte: client requests an upload (client → server) sink.
+const CMD_UPLOAD: u8 = b'U';
+/// Protocol byte: client requests a ping echo service.
+const CMD_PING: u8 = b'P';
+/// Ping payload size, bytes (a sequence number).
+const PING_PAYLOAD: usize = 8;
+/// Transfer chunk size, bytes.
+const CHUNK: usize = 16 * 1024;
+
+/// A token bucket limiting aggregate bytes per second.
+///
+/// All server connections draw from one bucket, so the configured rate is
+/// shared exactly like a provisioned access link is shared by the parallel
+/// connections of one speed test.
+#[derive(Debug)]
+pub struct TokenBucket {
+    state: Mutex<BucketState>,
+    rate_bytes_per_sec: f64,
+    burst_bytes: f64,
+}
+
+#[derive(Debug)]
+struct BucketState {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    /// A bucket delivering `mbps` megabits per second with `burst_ms`
+    /// milliseconds of burst allowance.
+    pub fn new(mbps: f64, burst_ms: f64) -> Self {
+        assert!(mbps > 0.0, "rate must be positive");
+        assert!(burst_ms >= 0.0, "burst must be non-negative");
+        let rate = mbps * 1e6 / 8.0;
+        TokenBucket {
+            state: Mutex::new(BucketState { tokens: 0.0, last_refill: Instant::now() }),
+            rate_bytes_per_sec: rate,
+            burst_bytes: (rate * burst_ms / 1000.0).max(CHUNK as f64),
+        }
+    }
+
+    /// The shaped rate in Mbps.
+    pub fn rate_mbps(&self) -> f64 {
+        self.rate_bytes_per_sec * 8.0 / 1e6
+    }
+
+    /// Block until `n` bytes of budget are available, then consume them.
+    pub fn take(&self, n: usize) {
+        loop {
+            let wait = {
+                let mut s = self.state.lock();
+                let now = Instant::now();
+                let elapsed = now.duration_since(s.last_refill).as_secs_f64();
+                s.tokens = (s.tokens + elapsed * self.rate_bytes_per_sec)
+                    .min(self.burst_bytes.max(n as f64));
+                s.last_refill = now;
+                if s.tokens >= n as f64 {
+                    s.tokens -= n as f64;
+                    None
+                } else {
+                    Some(Duration::from_secs_f64(
+                        (n as f64 - s.tokens) / self.rate_bytes_per_sec,
+                    ))
+                }
+            };
+            match wait {
+                None => return,
+                Some(d) => thread::sleep(d.min(Duration::from_millis(50))),
+            }
+        }
+    }
+}
+
+/// A loopback speed-test server with shaped download and upload rates.
+pub struct ShapedServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl ShapedServer {
+    /// Start a server on an ephemeral loopback port, shaping downloads to
+    /// `down_mbps` and uploads to `up_mbps` (aggregate across connections).
+    pub fn start(down_mbps: f64, up_mbps: f64) -> std::io::Result<ShapedServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let down_bucket = Arc::new(TokenBucket::new(down_mbps, 40.0));
+        let up_bucket = Arc::new(TokenBucket::new(up_mbps, 40.0));
+
+        let shutdown2 = Arc::clone(&shutdown);
+        let accept_thread = thread::spawn(move || {
+            let mut workers = Vec::new();
+            while !shutdown2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let down = Arc::clone(&down_bucket);
+                        let up = Arc::clone(&up_bucket);
+                        let stop = Arc::clone(&shutdown2);
+                        workers.push(thread::spawn(move || {
+                            let _ = serve_connection(stream, &down, &up, &stop);
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        });
+
+        Ok(ShapedServer { addr, shutdown, accept_thread: Some(accept_thread) })
+    }
+
+    /// The server's socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ShapedServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    down: &TokenBucket,
+    up: &TokenBucket,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut cmd = [0u8; 1];
+    stream.read_exact(&mut cmd)?;
+    let payload = [0x5au8; CHUNK];
+    let mut sink = [0u8; CHUNK];
+    match cmd[0] {
+        CMD_DOWNLOAD => {
+            // Stream shaped data until the client hangs up or we stop.
+            while !stop.load(Ordering::Relaxed) {
+                down.take(CHUNK);
+                if stream.write_all(&payload).is_err() {
+                    break;
+                }
+            }
+        }
+        CMD_PING => {
+            // Echo fixed-size payloads until the client hangs up. Pings
+            // are not shaped: latency measurement must not compete with
+            // the token bucket.
+            let mut ping_buf = [0u8; PING_PAYLOAD];
+            while !stop.load(Ordering::Relaxed) {
+                match stream.read_exact(&mut ping_buf) {
+                    Ok(()) => {
+                        if stream.write_all(&ping_buf).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        CMD_UPLOAD => {
+            // Read at the shaped rate; backpressure through the socket
+            // buffer throttles the sender, like a shaped uplink.
+            while !stop.load(Ordering::Relaxed) {
+                up.take(CHUNK);
+                match stream.read(&mut sink) {
+                    Ok(0) => break,
+                    Ok(_) => {}
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        other => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unknown command byte {other:#x}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of a wire-level measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireResult {
+    /// Whole-duration average, Mbps (NDT-style reporting).
+    pub mean_all_mbps: f64,
+    /// Average excluding the ramp, Mbps (Ookla-style reporting).
+    pub mean_steady_mbps: f64,
+    /// Connections actually used.
+    pub connections: usize,
+}
+
+/// Measure download throughput against a [`ShapedServer`].
+///
+/// Opens `n_conns` connections, reads for `duration`, and reports both the
+/// whole-duration average and the average excluding `ramp_discard`.
+pub fn measure_download(
+    addr: SocketAddr,
+    n_conns: usize,
+    duration: Duration,
+    ramp_discard: Duration,
+) -> std::io::Result<WireResult> {
+    run_wire_test(addr, n_conns, duration, ramp_discard, CMD_DOWNLOAD)
+}
+
+/// Measure upload throughput against a [`ShapedServer`].
+pub fn measure_upload(
+    addr: SocketAddr,
+    n_conns: usize,
+    duration: Duration,
+    ramp_discard: Duration,
+) -> std::io::Result<WireResult> {
+    run_wire_test(addr, n_conns, duration, ramp_discard, CMD_UPLOAD)
+}
+
+/// Latency measured over the wire protocol's echo service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyResult {
+    /// Minimum observed RTT, seconds.
+    pub min_s: f64,
+    /// Mean RTT, seconds.
+    pub mean_s: f64,
+    /// Maximum RTT, seconds.
+    pub max_s: f64,
+    /// Mean absolute deviation between consecutive RTTs (jitter), seconds.
+    pub jitter_s: f64,
+    /// Pings completed.
+    pub count: usize,
+}
+
+/// Measure round-trip latency with `n_pings` echo exchanges.
+pub fn measure_latency(addr: SocketAddr, n_pings: usize) -> std::io::Result<LatencyResult> {
+    assert!(n_pings >= 1, "need at least one ping");
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.write_all(&[CMD_PING])?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+
+    let mut rtts = Vec::with_capacity(n_pings);
+    let mut buf = [0u8; PING_PAYLOAD];
+    for seq in 0..n_pings as u64 {
+        let payload = seq.to_be_bytes();
+        let t0 = Instant::now();
+        stream.write_all(&payload)?;
+        stream.read_exact(&mut buf)?;
+        if buf != payload {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "echo payload mismatch",
+            ));
+        }
+        rtts.push(t0.elapsed().as_secs_f64());
+    }
+
+    let min_s = rtts.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max_s = rtts.iter().cloned().fold(0.0f64, f64::max);
+    let mean_s = rtts.iter().sum::<f64>() / rtts.len() as f64;
+    let jitter_s = if rtts.len() < 2 {
+        0.0
+    } else {
+        rtts.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (rtts.len() - 1) as f64
+    };
+    Ok(LatencyResult { min_s, mean_s, max_s, jitter_s, count: rtts.len() })
+}
+
+fn run_wire_test(
+    addr: SocketAddr,
+    n_conns: usize,
+    duration: Duration,
+    ramp_discard: Duration,
+    cmd: u8,
+) -> std::io::Result<WireResult> {
+    assert!(n_conns >= 1, "need at least one connection");
+    assert!(ramp_discard < duration, "discard must be shorter than the test");
+
+    let total = Arc::new(AtomicU64::new(0));
+    let steady = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let mut threads = Vec::with_capacity(n_conns);
+
+    for _ in 0..n_conns {
+        let total = Arc::clone(&total);
+        let steady = Arc::clone(&steady);
+        threads.push(thread::spawn(move || -> std::io::Result<()> {
+            let mut stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            stream.write_all(&[cmd])?;
+            stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+            stream.set_write_timeout(Some(Duration::from_millis(100)))?;
+            let mut buf = [0u8; CHUNK];
+            let payload = [0xa5u8; CHUNK];
+            while start.elapsed() < duration {
+                let moved = if cmd == CMD_DOWNLOAD {
+                    match stream.read(&mut buf) {
+                        Ok(0) => break,
+                        Ok(n) => n,
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            continue
+                        }
+                        Err(e) => return Err(e),
+                    }
+                } else {
+                    match stream.write(&payload) {
+                        Ok(n) => n,
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            continue
+                        }
+                        Err(e) => return Err(e),
+                    }
+                };
+                total.fetch_add(moved as u64, Ordering::Relaxed);
+                if start.elapsed() >= ramp_discard {
+                    steady.fetch_add(moved as u64, Ordering::Relaxed);
+                }
+            }
+            Ok(())
+        }));
+    }
+    for t in threads {
+        t.join().map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::Other, "measurement thread panicked")
+        })??;
+    }
+
+    let to_mbps = |bytes: u64, secs: f64| bytes as f64 * 8.0 / 1e6 / secs;
+    Ok(WireResult {
+        mean_all_mbps: to_mbps(total.load(Ordering::Relaxed), duration.as_secs_f64()),
+        mean_steady_mbps: to_mbps(
+            steady.load(Ordering::Relaxed),
+            (duration - ramp_discard).as_secs_f64(),
+        ),
+        connections: n_conns,
+    })
+}
+
+/// A complete wire-level test session: download + upload + latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireSession {
+    /// Download measurement.
+    pub download: WireResult,
+    /// Upload measurement.
+    pub upload: WireResult,
+    /// Idle latency (measured before the transfers).
+    pub idle_latency: LatencyResult,
+    /// Latency measured while the download ran (loaded latency).
+    pub loaded_latency: LatencyResult,
+}
+
+/// Run a full session against a [`ShapedServer`]: idle pings, then a
+/// download with concurrent pings (loaded latency), then an upload.
+/// This is the wire-level equivalent of what the simulated methodologies
+/// report, including the bufferbloat signal.
+pub fn run_session(
+    addr: SocketAddr,
+    n_conns: usize,
+    duration: Duration,
+    ramp_discard: Duration,
+) -> std::io::Result<WireSession> {
+    let idle_latency = measure_latency(addr, 10)?;
+
+    // Loaded latency: ping while the download saturates the shaped link.
+    let ping_handle = {
+        let ping_duration = duration;
+        thread::spawn(move || -> std::io::Result<LatencyResult> {
+            // Spread pings across the transfer window.
+            let n = 10usize;
+            let gap = ping_duration / (n as u32 + 1);
+            let mut stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            stream.write_all(&[CMD_PING])?;
+            stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+            let mut rtts = Vec::with_capacity(n);
+            let mut buf = [0u8; PING_PAYLOAD];
+            for seq in 0..n as u64 {
+                thread::sleep(gap);
+                let payload = seq.to_be_bytes();
+                let t0 = Instant::now();
+                stream.write_all(&payload)?;
+                stream.read_exact(&mut buf)?;
+                rtts.push(t0.elapsed().as_secs_f64());
+            }
+            let min_s = rtts.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max_s = rtts.iter().cloned().fold(0.0f64, f64::max);
+            let mean_s = rtts.iter().sum::<f64>() / rtts.len() as f64;
+            let jitter_s = if rtts.len() < 2 {
+                0.0
+            } else {
+                rtts.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>()
+                    / (rtts.len() - 1) as f64
+            };
+            Ok(LatencyResult { min_s, mean_s, max_s, jitter_s, count: rtts.len() })
+        })
+    };
+    let download = measure_download(addr, n_conns, duration, ramp_discard)?;
+    let loaded_latency = ping_handle
+        .join()
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::Other, "ping thread panicked"))??;
+
+    let upload = measure_upload(addr, n_conns.min(2), duration, ramp_discard)?;
+    Ok(WireSession { download, upload, idle_latency, loaded_latency })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_enforces_rate() {
+        // 80 Mbps = 10 MB/s; taking 2 MB should need ~0.2 s.
+        let bucket = TokenBucket::new(80.0, 10.0);
+        let start = Instant::now();
+        for _ in 0..128 {
+            bucket.take(CHUNK); // 128 * 16 KiB = 2 MiB
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let mbps = 128.0 * CHUNK as f64 * 8.0 / 1e6 / secs;
+        assert!(mbps < 100.0, "shaped rate {mbps} way above 80 Mbps");
+        assert!(mbps > 40.0, "shaped rate {mbps} way below 80 Mbps");
+    }
+
+    #[test]
+    fn bucket_burst_allows_initial_spike() {
+        let bucket = TokenBucket::new(8.0, 1000.0); // 1 s of burst = 1 MB
+        thread::sleep(Duration::from_millis(300)); // accumulate some tokens
+        let start = Instant::now();
+        bucket.take(200 * 1024); // within accumulated burst
+        assert!(start.elapsed() < Duration::from_millis(120));
+    }
+
+    #[test]
+    fn bucket_reports_rate() {
+        assert!((TokenBucket::new(123.0, 5.0).rate_mbps() - 123.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn bucket_rejects_zero_rate() {
+        let _ = TokenBucket::new(0.0, 5.0);
+    }
+
+    #[test]
+    fn loopback_download_measures_shaped_rate() {
+        let server = ShapedServer::start(60.0, 10.0).unwrap();
+        let res = measure_download(
+            server.addr(),
+            4,
+            Duration::from_millis(1200),
+            Duration::from_millis(300),
+        )
+        .unwrap();
+        assert!(
+            res.mean_steady_mbps > 35.0 && res.mean_steady_mbps < 75.0,
+            "measured {res:?} against 60 Mbps shaping"
+        );
+    }
+
+    #[test]
+    fn loopback_upload_measures_shaped_rate() {
+        let server = ShapedServer::start(100.0, 20.0).unwrap();
+        let res = measure_upload(
+            server.addr(),
+            2,
+            Duration::from_millis(1200),
+            Duration::from_millis(300),
+        )
+        .unwrap();
+        assert!(
+            res.mean_steady_mbps > 10.0 && res.mean_steady_mbps < 40.0,
+            "measured {res:?} against 20 Mbps shaping"
+        );
+    }
+
+    #[test]
+    fn multi_connection_shares_one_bucket() {
+        // Aggregate throughput must track the shaped rate regardless of
+        // connection count — the bucket is the access link.
+        let server = ShapedServer::start(50.0, 10.0).unwrap();
+        let one = measure_download(
+            server.addr(),
+            1,
+            Duration::from_millis(900),
+            Duration::from_millis(200),
+        )
+        .unwrap();
+        let four = measure_download(
+            server.addr(),
+            4,
+            Duration::from_millis(900),
+            Duration::from_millis(200),
+        )
+        .unwrap();
+        assert!(
+            (four.mean_steady_mbps - one.mean_steady_mbps).abs()
+                < 0.6 * one.mean_steady_mbps.max(four.mean_steady_mbps),
+            "1 conn {one:?} vs 4 conn {four:?} should both track ~50 Mbps"
+        );
+    }
+
+    #[test]
+    fn ping_measures_loopback_latency() {
+        let server = ShapedServer::start(50.0, 10.0).unwrap();
+        let lat = measure_latency(server.addr(), 20).unwrap();
+        assert_eq!(lat.count, 20);
+        assert!(lat.min_s > 0.0);
+        assert!(lat.min_s <= lat.mean_s && lat.mean_s <= lat.max_s);
+        assert!(lat.mean_s < 0.05, "loopback RTT {} too high", lat.mean_s);
+        assert!(lat.jitter_s >= 0.0);
+    }
+
+    #[test]
+    fn ping_works_alongside_a_download() {
+        // Latency measured while another client loads the shaped link.
+        let server = ShapedServer::start(40.0, 10.0).unwrap();
+        let addr = server.addr();
+        let loader = thread::spawn(move || {
+            measure_download(addr, 2, Duration::from_millis(800), Duration::from_millis(200))
+        });
+        thread::sleep(Duration::from_millis(100));
+        let lat = measure_latency(addr, 10).unwrap();
+        assert!(lat.count == 10);
+        loader.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn full_session_reports_all_four_measurements() {
+        let server = ShapedServer::start(60.0, 12.0).unwrap();
+        let s = run_session(
+            server.addr(),
+            4,
+            Duration::from_millis(1000),
+            Duration::from_millis(250),
+        )
+        .unwrap();
+        assert!(s.download.mean_steady_mbps > 20.0, "{s:?}");
+        assert!(s.upload.mean_steady_mbps > 3.0, "{s:?}");
+        assert_eq!(s.idle_latency.count, 10);
+        assert_eq!(s.loaded_latency.count, 10);
+        // Loopback has no shaped queue on the ping path, so loaded latency
+        // stays sane (scheduling noise only).
+        assert!(s.loaded_latency.mean_s < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "discard must be shorter")]
+    fn discard_longer_than_test_rejected() {
+        let server = ShapedServer::start(10.0, 10.0).unwrap();
+        let _ = measure_download(
+            server.addr(),
+            1,
+            Duration::from_millis(100),
+            Duration::from_millis(200),
+        );
+    }
+}

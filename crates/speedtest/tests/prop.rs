@@ -1,0 +1,148 @@
+//! Property-based tests for the speed-test domain model.
+
+use proptest::prelude::*;
+use st_netsim::Mbps;
+use st_speedtest::{pair_ndt_tests, NdtEvent, PlanCatalog};
+
+/// Strategy: a valid plan catalog (distinct download caps).
+fn catalog_strategy() -> impl Strategy<Value = PlanCatalog> {
+    prop::collection::btree_set(1u32..2000, 1..8).prop_flat_map(|downs| {
+        let downs: Vec<u32> = downs.into_iter().collect();
+        let n = downs.len();
+        prop::collection::vec(1.0f64..40.0, n..=n).prop_map(move |ups| {
+            let speeds: Vec<(f64, f64)> =
+                downs.iter().zip(&ups).map(|(&d, &u)| (d as f64, u)).collect();
+            PlanCatalog::new("prop-ISP", &speeds)
+        })
+    })
+}
+
+fn events_strategy() -> impl Strategy<Value = Vec<NdtEvent>> {
+    prop::collection::vec(
+        (0u64..6, 0.0f64..5000.0, 0.1f64..500.0),
+        0..40,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(client, start, mbps)| NdtEvent {
+                client_ip: client,
+                server_ip: 1,
+                start_s: start,
+                mbps,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn catalog_tiers_are_dense_and_sorted(cat in catalog_strategy()) {
+        let plans = cat.plans();
+        for (i, p) in plans.iter().enumerate() {
+            prop_assert_eq!(p.tier, i + 1);
+        }
+        for w in plans.windows(2) {
+            prop_assert!(w[0].down.0 < w[1].down.0);
+        }
+    }
+
+    #[test]
+    fn tier_groups_partition_the_catalog(cat in catalog_strategy()) {
+        let groups = cat.tier_groups();
+        let mut seen: Vec<usize> = groups.iter().flat_map(|g| g.tiers.clone()).collect();
+        seen.sort_unstable();
+        let expect: Vec<usize> = (1..=cat.len()).collect();
+        prop_assert_eq!(seen, expect);
+        // Groups ascend by upload cap.
+        for w in groups.windows(2) {
+            prop_assert!(w[0].up.0 < w[1].up.0);
+        }
+    }
+
+    #[test]
+    fn nearest_lookups_return_catalog_members(cat in catalog_strategy(), probe in 0.0f64..3000.0) {
+        let tier = cat.nearest_tier_by_download(Mbps(probe));
+        prop_assert!(cat.plan(tier).is_some());
+        let cap = cat.nearest_upload_cap(Mbps(probe));
+        prop_assert!(cat.upload_caps().contains(&cap));
+    }
+
+    #[test]
+    fn nearest_tier_is_actually_nearest(cat in catalog_strategy(), probe in 0.0f64..3000.0) {
+        let tier = cat.nearest_tier_by_download(Mbps(probe));
+        let chosen = (cat.plan(tier).unwrap().down.0 - probe).abs();
+        for p in cat.plans() {
+            prop_assert!(chosen <= (p.down.0 - probe).abs() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn pairing_consumes_each_upload_at_most_once(
+        downs in events_strategy(),
+        ups in events_strategy(),
+        window in 0.0f64..500.0,
+    ) {
+        let pairs = pair_ndt_tests(&downs, &ups, window);
+        prop_assert_eq!(pairs.len(), downs.len());
+        // Each upload event (identified by its start time + client) is used
+        // at most once.
+        let mut used: Vec<(u64, u64)> = pairs
+            .iter()
+            .filter_map(|p| p.upload.as_ref())
+            .map(|u| (u.client_ip, u.start_s.to_bits()))
+            .collect();
+        let before = used.len();
+        used.sort_unstable();
+        used.dedup();
+        prop_assert_eq!(used.len(), before, "an upload was paired twice");
+    }
+
+    #[test]
+    fn pairing_respects_window_and_endpoints(
+        downs in events_strategy(),
+        ups in events_strategy(),
+        window in 0.0f64..500.0,
+    ) {
+        for p in pair_ndt_tests(&downs, &ups, window) {
+            if let Some(u) = &p.upload {
+                prop_assert_eq!(u.client_ip, p.download.client_ip);
+                prop_assert!(u.start_s >= p.download.start_s - 1e-9);
+                prop_assert!(u.start_s <= p.download.start_s + window + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pairing_prefers_the_earliest_candidate(
+        downs in events_strategy(),
+        ups in events_strategy(),
+        window in 1.0f64..500.0,
+    ) {
+        // For every unpaired upload that was in-window for some download,
+        // the download must have received an upload no later than it.
+        let pairs = pair_ndt_tests(&downs, &ups, window);
+        for p in &pairs {
+            if let Some(u) = &p.upload {
+                for candidate in &ups {
+                    if candidate.client_ip == p.download.client_ip
+                        && candidate.start_s >= p.download.start_s
+                        && candidate.start_s < u.start_s
+                    {
+                        // An earlier candidate existed — it must have been
+                        // consumed by some (other) download.
+                        let consumed = pairs.iter().any(|q| {
+                            q.upload.as_ref().map(|x| {
+                                x.client_ip == candidate.client_ip
+                                    && x.start_s == candidate.start_s
+                            }) == Some(true)
+                        });
+                        prop_assert!(
+                            consumed,
+                            "skipped an earlier in-window upload that nobody consumed"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

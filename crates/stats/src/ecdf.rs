@@ -1,0 +1,174 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Every CDF figure in the paper (Figs. 1, 2, 8, 9, 10, 12, 13) is an ECDF of
+//! some conditioned subset of measurements; this module is the single
+//! implementation they all share.
+
+use crate::describe::quantile_sorted;
+use crate::error::{validate_sample, StatsError};
+use crate::Result;
+
+/// An empirical CDF built from a sample.
+///
+/// Stores the sorted sample; evaluation is a binary search, so `eval` is
+/// `O(log n)` and building plot series is `O(n + k log n)` for `k` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build an ECDF from unsorted data.
+    pub fn new(data: &[f64]) -> Result<Self> {
+        validate_sample(data)?;
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+        Ok(Ecdf { sorted })
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the ECDF holds no samples (never constructible via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`: fraction of samples at or below `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point returns the count of elements <= x when we ask for
+        // the first index where v > x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF (quantile function) with linear interpolation.
+    pub fn quantile(&self, q: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(StatsError::InvalidParameter { what: "quantile q", value: q });
+        }
+        Ok(quantile_sorted(&self.sorted, q))
+    }
+
+    /// Median of the sample.
+    pub fn median(&self) -> f64 {
+        quantile_sorted(&self.sorted, 0.5)
+    }
+
+    /// Minimum of the sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum of the sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Produce `(x, F(x))` pairs suitable for plotting a CDF curve: one point
+    /// per distinct sample value (step positions), capped at `max_points` by
+    /// uniform subsampling so huge campaigns plot cheaply.
+    pub fn plot_points(&self, max_points: usize) -> Vec<(f64, f64)> {
+        assert!(max_points >= 2, "need at least 2 plot points");
+        let n = self.sorted.len();
+        let step = (n as f64 / max_points as f64).max(1.0);
+        let mut pts = Vec::with_capacity(max_points.min(n) + 1);
+        let mut i = 0.0;
+        while (i as usize) < n {
+            let idx = i as usize;
+            pts.push((self.sorted[idx], (idx + 1) as f64 / n as f64));
+            i += step;
+        }
+        let last = (self.max(), 1.0);
+        if pts.last() != Some(&last) {
+            pts.push(last);
+        }
+        pts
+    }
+
+    /// Evaluate the ECDF on a fixed grid; used when several CDFs must share
+    /// the same x-axis (e.g. the normalized-download-speed figures).
+    pub fn on_grid(&self, grid: &[f64]) -> Vec<f64> {
+        grid.iter().map(|&x| self.eval(x)).collect()
+    }
+
+    /// Borrow the sorted sample.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_before_after_and_at_points() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn duplicates_step_together() {
+        let e = Ecdf::new(&[2.0, 2.0, 2.0, 5.0]).unwrap();
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(1.9), 0.0);
+    }
+
+    #[test]
+    fn median_and_extremes() {
+        let e = Ecdf::new(&[10.0, 30.0, 20.0]).unwrap();
+        assert_eq!(e.median(), 20.0);
+        assert_eq!(e.min(), 10.0);
+        assert_eq!(e.max(), 30.0);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(Ecdf::new(&[]).is_err());
+    }
+
+    #[test]
+    fn plot_points_end_at_one() {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let pts = Ecdf::new(&data).unwrap().plot_points(50);
+        assert!(pts.len() <= 52);
+        assert_eq!(pts.last().unwrap().1, 1.0);
+        // x strictly non-decreasing, F strictly non-decreasing
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn plot_points_small_sample() {
+        let pts = Ecdf::new(&[1.0, 2.0]).unwrap().plot_points(10);
+        assert_eq!(pts, vec![(1.0, 0.5), (2.0, 1.0)]);
+    }
+
+    #[test]
+    fn grid_evaluation_matches_pointwise() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0]).unwrap();
+        let grid = [0.0, 1.5, 2.5, 3.5];
+        let vals = e.on_grid(&grid);
+        for (g, v) in grid.iter().zip(&vals) {
+            assert_eq!(*v, e.eval(*g));
+        }
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let data: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let e = Ecdf::new(&data).unwrap();
+        let m = e.quantile(0.5).unwrap();
+        assert!((m - 50.5).abs() < 1e-9);
+        assert!(e.quantile(1.1).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! Error type shared by the statistics estimators.
+
+use std::fmt;
+
+/// Errors produced by estimators in this crate.
+///
+/// Every estimator validates its input eagerly so that downstream pipeline
+/// code can rely on a fitted model being well-formed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// The input sample was empty.
+    EmptyInput,
+    /// The input contained a NaN or infinite value.
+    NonFinite {
+        /// Index of the offending value.
+        index: usize,
+        /// The value itself.
+        value: f64,
+    },
+    /// Not enough samples for the requested operation (e.g. fitting `k`
+    /// mixture components to fewer than `k` points).
+    TooFewSamples {
+        /// Minimum samples the operation needs.
+        needed: usize,
+        /// Samples actually provided.
+        got: usize,
+    },
+    /// An invalid parameter was supplied (e.g. a non-positive bandwidth).
+    InvalidParameter {
+        /// Which parameter was invalid.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// EM failed to make progress (likelihood became non-finite).
+    Diverged {
+        /// Iteration at which the failure was detected.
+        iteration: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput => write!(f, "input sample is empty"),
+            StatsError::NonFinite { index, value } => {
+                write!(f, "non-finite value {value} at index {index}")
+            }
+            StatsError::TooFewSamples { needed, got } => {
+                write!(f, "need at least {needed} samples, got {got}")
+            }
+            StatsError::InvalidParameter { what, value } => {
+                write!(f, "invalid parameter {what}: {value}")
+            }
+            StatsError::Diverged { iteration } => {
+                write!(f, "EM diverged at iteration {iteration}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Validate that a sample is non-empty and fully finite.
+pub(crate) fn validate_sample(data: &[f64]) -> Result<(), StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    for (i, &v) in data.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(StatsError::NonFinite { index: i, value: v });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_rejected() {
+        assert_eq!(validate_sample(&[]), Err(StatsError::EmptyInput));
+    }
+
+    #[test]
+    fn nan_is_rejected() {
+        let err = validate_sample(&[1.0, f64::NAN]).unwrap_err();
+        assert!(matches!(err, StatsError::NonFinite { index: 1, .. }));
+    }
+
+    #[test]
+    fn infinity_is_rejected() {
+        let err = validate_sample(&[f64::INFINITY]).unwrap_err();
+        assert!(matches!(err, StatsError::NonFinite { index: 0, .. }));
+    }
+
+    #[test]
+    fn finite_sample_passes() {
+        assert!(validate_sample(&[0.0, -1.5, 3.25]).is_ok());
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let msgs = [
+            StatsError::EmptyInput.to_string(),
+            StatsError::TooFewSamples { needed: 4, got: 1 }.to_string(),
+            StatsError::InvalidParameter { what: "bandwidth", value: -1.0 }.to_string(),
+            StatsError::Diverged { iteration: 7 }.to_string(),
+        ];
+        assert!(msgs[0].contains("empty"));
+        assert!(msgs[1].contains('4') && msgs[1].contains('1'));
+        assert!(msgs[2].contains("bandwidth"));
+        assert!(msgs[3].contains('7'));
+    }
+}

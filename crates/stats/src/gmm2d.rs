@@ -1,0 +1,443 @@
+//! Bivariate Gaussian mixture models with full covariance.
+//!
+//! The paper describes matching "each `<download speed, upload speed>`
+//! measurement tuple" to a plan, but does so *hierarchically* (upload
+//! first, then download within the group). The obvious alternative — one
+//! joint 2-D mixture over the tuples — is the ablation this module
+//! enables: fit a full-covariance bivariate GMM with one component per
+//! plan and compare its plan recovery against BST's two-stage pipeline
+//! (see `st-bst::ablation::joint_2d_tiers`).
+
+use crate::error::StatsError;
+use crate::Result;
+
+const LN_2PI: f64 = 1.837_877_066_409_345_5;
+
+/// A 2×2 symmetric covariance matrix `[[xx, xy], [xy, yy]]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cov2 {
+    /// Variance along x.
+    pub xx: f64,
+    /// Covariance between x and y.
+    pub xy: f64,
+    /// Variance along y.
+    pub yy: f64,
+}
+
+impl Cov2 {
+    /// Identity scaled by `s`.
+    pub fn scaled_identity(s: f64) -> Self {
+        Cov2 { xx: s, xy: 0.0, yy: s }
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> f64 {
+        self.xx * self.yy - self.xy * self.xy
+    }
+
+    /// Whether the matrix is (strictly) positive definite.
+    pub fn is_positive_definite(&self) -> bool {
+        self.xx > 0.0 && self.det() > 0.0
+    }
+
+    /// Regularize toward positive definiteness by inflating the diagonal.
+    fn regularized(mut self, floor: f64) -> Self {
+        self.xx = self.xx.max(floor);
+        self.yy = self.yy.max(floor);
+        // Shrink correlation until PD (|rho| <= 0.99).
+        let max_xy = 0.99 * (self.xx * self.yy).sqrt();
+        self.xy = self.xy.clamp(-max_xy, max_xy);
+        self
+    }
+}
+
+/// One bivariate Gaussian component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Component2 {
+    /// Mixing weight.
+    pub weight: f64,
+    /// Mean `(x, y)`.
+    pub mean: (f64, f64),
+    /// Covariance.
+    pub cov: Cov2,
+}
+
+impl Component2 {
+    /// Log-density at `(x, y)` (without the weight).
+    fn log_pdf(&self, x: f64, y: f64) -> f64 {
+        let det = self.cov.det();
+        let dx = x - self.mean.0;
+        let dy = y - self.mean.1;
+        // Inverse of [[xx, xy], [xy, yy]] is 1/det [[yy, -xy], [-xy, xx]].
+        let quad = (self.cov.yy * dx * dx - 2.0 * self.cov.xy * dx * dy
+            + self.cov.xx * dy * dy)
+            / det;
+        -(LN_2PI + 0.5 * det.ln() + 0.5 * quad)
+    }
+}
+
+/// A fitted bivariate mixture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianMixture2d {
+    components: Vec<Component2>,
+    log_likelihood: f64,
+    iterations: usize,
+}
+
+impl GaussianMixture2d {
+    /// Fit a mixture to `(x, y)` pairs with EM, seeded at `init_means`
+    /// (one component per seed; spherical initial covariance derived from
+    /// each seed's nearest-neighbour distance).
+    pub fn fit_with_means(
+        xs: &[f64],
+        ys: &[f64],
+        init_means: &[(f64, f64)],
+        max_iter: usize,
+        tol: f64,
+    ) -> Result<Self> {
+        if xs.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        if xs.len() != ys.len() {
+            return Err(StatsError::InvalidParameter {
+                what: "x/y length mismatch",
+                value: ys.len() as f64,
+            });
+        }
+        if init_means.is_empty() {
+            return Err(StatsError::InvalidParameter { what: "init means", value: 0.0 });
+        }
+        if xs.len() < init_means.len() {
+            return Err(StatsError::TooFewSamples {
+                needed: init_means.len(),
+                got: xs.len(),
+            });
+        }
+        for (i, &v) in xs.iter().chain(ys.iter()).enumerate() {
+            if !v.is_finite() {
+                return Err(StatsError::NonFinite { index: i % xs.len(), value: v });
+            }
+        }
+
+        let n = xs.len();
+        let k = init_means.len();
+        let var_x = crate::describe::variance(xs).max(1e-12);
+        let var_y = crate::describe::variance(ys).max(1e-12);
+        let floor = (var_x.min(var_y) * 1e-4).max(1e-12);
+
+        // Seed covariance: quarter nearest-neighbour distance, per axis.
+        let mut comps: Vec<Component2> = init_means
+            .iter()
+            .map(|&(mx, my)| {
+                let gap2 = init_means
+                    .iter()
+                    .filter(|&&(ox, oy)| (ox, oy) != (mx, my))
+                    .map(|&(ox, oy)| (ox - mx).powi(2) + (oy - my).powi(2))
+                    .fold(f64::INFINITY, f64::min);
+                let s = if gap2.is_finite() { (gap2 / 16.0).max(floor) } else {
+                    var_x.max(var_y)
+                };
+                Component2 {
+                    weight: 1.0 / k as f64,
+                    mean: (mx, my),
+                    cov: Cov2::scaled_identity(s),
+                }
+            })
+            .collect();
+
+        let mut resp = vec![0.0f64; n * k];
+        let mut prev_ll = f64::NEG_INFINITY;
+        let mut last_ll = prev_ll;
+        let mut iterations = 0;
+        // Freeze means for the first iterations (same rationale as 1-D).
+        let freeze = 10usize;
+
+        for it in 0..max_iter.max(1) {
+            iterations = it + 1;
+            // E-step.
+            let mut ll_sum = 0.0;
+            for i in 0..n {
+                let row = &mut resp[i * k..(i + 1) * k];
+                let mut max_lp = f64::NEG_INFINITY;
+                for (c, comp) in comps.iter().enumerate() {
+                    let lp = comp.weight.ln() + comp.log_pdf(xs[i], ys[i]);
+                    row[c] = lp;
+                    max_lp = max_lp.max(lp);
+                }
+                let mut sum = 0.0;
+                for v in row.iter_mut() {
+                    *v = (*v - max_lp).exp();
+                    sum += *v;
+                }
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+                ll_sum += max_lp + sum.ln();
+            }
+            let ll = ll_sum / n as f64;
+            if !ll.is_finite() {
+                return Err(StatsError::Diverged { iteration: it });
+            }
+            last_ll = ll;
+
+            // M-step.
+            for c in 0..k {
+                let mut nk = 0.0;
+                let (mut sx, mut sy) = (0.0, 0.0);
+                for i in 0..n {
+                    let r = resp[i * k + c];
+                    nk += r;
+                    sx += r * xs[i];
+                    sy += r * ys[i];
+                }
+                let nk_safe = nk.max(1e-12);
+                let mean = if it < freeze {
+                    comps[c].mean
+                } else {
+                    (sx / nk_safe, sy / nk_safe)
+                };
+                let (mut cxx, mut cxy, mut cyy) = (0.0, 0.0, 0.0);
+                for i in 0..n {
+                    let r = resp[i * k + c];
+                    let dx = xs[i] - mean.0;
+                    let dy = ys[i] - mean.1;
+                    cxx += r * dx * dx;
+                    cxy += r * dx * dy;
+                    cyy += r * dy * dy;
+                }
+                comps[c] = Component2 {
+                    weight: nk / n as f64,
+                    mean,
+                    cov: Cov2 { xx: cxx / nk_safe, xy: cxy / nk_safe, yy: cyy / nk_safe }
+                        .regularized(floor),
+                };
+            }
+            let total_w: f64 = comps.iter().map(|c| c.weight).sum();
+            for c in comps.iter_mut() {
+                c.weight /= total_w;
+            }
+
+            if (ll - prev_ll).abs() < tol && it >= freeze {
+                break;
+            }
+            prev_ll = ll;
+        }
+
+        Ok(GaussianMixture2d { components: comps, log_likelihood: last_ll, iterations })
+    }
+
+    /// The fitted components, in seed order.
+    pub fn components(&self) -> &[Component2] {
+        &self.components
+    }
+
+    /// Number of components.
+    pub fn k(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Final mean per-sample log-likelihood.
+    pub fn log_likelihood(&self) -> f64 {
+        self.log_likelihood
+    }
+
+    /// EM iterations performed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Posterior responsibilities at `(x, y)`.
+    pub fn responsibilities(&self, x: f64, y: f64) -> Vec<f64> {
+        let lps: Vec<f64> = self
+            .components
+            .iter()
+            .map(|c| c.weight.ln() + c.log_pdf(x, y))
+            .collect();
+        let max_lp = lps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = lps.iter().map(|lp| (lp - max_lp).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / sum).collect()
+    }
+
+    /// Hard component assignment for `(x, y)`.
+    pub fn predict(&self, x: f64, y: f64) -> usize {
+        self.responsibilities(x, y)
+            .into_iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("at least one component")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic 2-D Gaussian clusters via an LCG + Box–Muller.
+    fn clusters(spec: &[((f64, f64), f64, usize)], seed: u64) -> (Vec<f64>, Vec<f64>, Vec<usize>) {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        let (mut xs, mut ys, mut truth) = (Vec::new(), Vec::new(), Vec::new());
+        for (idx, &((mx, my), sd, n)) in spec.iter().enumerate() {
+            for _ in 0..n {
+                let (u1, u2) = (next().max(1e-12), next());
+                let (u3, u4) = (next().max(1e-12), next());
+                let zx = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                let zy = (-2.0 * u3.ln()).sqrt() * (std::f64::consts::TAU * u4).cos();
+                xs.push(mx + sd * zx);
+                ys.push(my + sd * zy);
+                truth.push(idx);
+            }
+        }
+        (xs, ys, truth)
+    }
+
+    #[test]
+    fn recovers_well_separated_2d_clusters() {
+        let (xs, ys, truth) = clusters(
+            &[((100.0, 5.0), 3.0, 400), ((400.0, 10.0), 8.0, 300), ((900.0, 35.0), 15.0, 300)],
+            3,
+        );
+        let gm = GaussianMixture2d::fit_with_means(
+            &xs,
+            &ys,
+            &[(100.0, 5.0), (400.0, 10.0), (900.0, 35.0)],
+            200,
+            1e-7,
+        )
+        .unwrap();
+        let correct = (0..xs.len())
+            .filter(|&i| gm.predict(xs[i], ys[i]) == truth[i])
+            .count();
+        assert!(correct as f64 / xs.len() as f64 > 0.99);
+        for (c, &(mx, my)) in
+            gm.components().iter().zip(&[(100.0, 5.0), (400.0, 10.0), (900.0, 35.0)])
+        {
+            assert!((c.mean.0 - mx).abs() < 10.0, "{:?}", c.mean);
+            assert!((c.mean.1 - my).abs() < 2.0, "{:?}", c.mean);
+        }
+    }
+
+    #[test]
+    fn covariances_stay_positive_definite() {
+        let (xs, ys, _) = clusters(&[((10.0, 10.0), 1.0, 200), ((30.0, 12.0), 2.0, 200)], 7);
+        let gm = GaussianMixture2d::fit_with_means(
+            &xs,
+            &ys,
+            &[(10.0, 10.0), (30.0, 12.0)],
+            100,
+            1e-7,
+        )
+        .unwrap();
+        for c in gm.components() {
+            assert!(c.cov.is_positive_definite(), "{:?}", c.cov);
+        }
+    }
+
+    #[test]
+    fn responsibilities_form_a_simplex() {
+        let (xs, ys, _) = clusters(&[((0.0, 0.0), 1.0, 100), ((10.0, 10.0), 1.0, 100)], 11);
+        let gm = GaussianMixture2d::fit_with_means(
+            &xs,
+            &ys,
+            &[(0.0, 0.0), (10.0, 10.0)],
+            100,
+            1e-7,
+        )
+        .unwrap();
+        for probe in [(-1.0, -1.0), (5.0, 5.0), (11.0, 9.0)] {
+            let r = gm.responsibilities(probe.0, probe.1);
+            assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(r.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn correlated_clusters_get_nonzero_xy() {
+        // Build a cluster stretched along y = x.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut state = 5u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        for _ in 0..600 {
+            let t = (next() - 0.5) * 20.0;
+            xs.push(50.0 + t + (next() - 0.5));
+            ys.push(50.0 + t + (next() - 0.5));
+        }
+        let gm =
+            GaussianMixture2d::fit_with_means(&xs, &ys, &[(50.0, 50.0)], 100, 1e-9).unwrap();
+        let c = gm.components()[0];
+        let rho = c.cov.xy / (c.cov.xx * c.cov.yy).sqrt();
+        assert!(rho > 0.9, "correlation {rho} should be strong");
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let (xs, ys, _) =
+            clusters(&[((0.0, 0.0), 1.0, 300), ((20.0, 5.0), 1.0, 100)], 13);
+        let gm = GaussianMixture2d::fit_with_means(
+            &xs,
+            &ys,
+            &[(0.0, 0.0), (20.0, 5.0)],
+            100,
+            1e-7,
+        )
+        .unwrap();
+        let total: f64 = gm.components().iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Weights track the 3:1 split.
+        assert!(gm.components()[0].weight > gm.components()[1].weight);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(GaussianMixture2d::fit_with_means(&[], &[], &[(0.0, 0.0)], 10, 1e-6)
+            .is_err());
+        assert!(GaussianMixture2d::fit_with_means(&[1.0], &[1.0, 2.0], &[(0.0, 0.0)], 10, 1e-6)
+            .is_err());
+        assert!(GaussianMixture2d::fit_with_means(&[1.0, 2.0], &[1.0, 2.0], &[], 10, 1e-6)
+            .is_err());
+        assert!(GaussianMixture2d::fit_with_means(
+            &[1.0],
+            &[1.0],
+            &[(0.0, 0.0), (1.0, 1.0)],
+            10,
+            1e-6
+        )
+        .is_err());
+        assert!(GaussianMixture2d::fit_with_means(
+            &[f64::NAN, 1.0],
+            &[1.0, 2.0],
+            &[(0.0, 0.0)],
+            10,
+            1e-6
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let (xs, ys, _) = clusters(&[((3.0, 4.0), 1.0, 120)], 17);
+        let a = GaussianMixture2d::fit_with_means(&xs, &ys, &[(3.0, 4.0)], 50, 1e-8).unwrap();
+        let b = GaussianMixture2d::fit_with_means(&xs, &ys, &[(3.0, 4.0)], 50, 1e-8).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cov2_helpers() {
+        let c = Cov2 { xx: 4.0, xy: 1.0, yy: 2.0 };
+        assert_eq!(c.det(), 7.0);
+        assert!(c.is_positive_definite());
+        let bad = Cov2 { xx: 1.0, xy: 2.0, yy: 1.0 };
+        assert!(!bad.is_positive_definite());
+        let fixed = bad.regularized(0.5);
+        assert!(fixed.is_positive_definite(), "{fixed:?}");
+    }
+}

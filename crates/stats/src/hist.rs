@@ -1,0 +1,183 @@
+//! Fixed-width histograms.
+//!
+//! The paper's density figures report "Fraction of Tests" per speed bin;
+//! [`Histogram`] provides that binning, while [`crate::kde`] provides the
+//! smooth density overlay.
+
+use crate::error::{validate_sample, StatsError};
+use crate::Result;
+
+/// A fixed-width histogram over `[lo, hi)` with `bins` equal-width bins.
+///
+/// Values outside the range are counted in `underflow` / `overflow` rather
+/// than silently dropped, so totals always reconcile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create an empty histogram over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if !(lo.is_finite() && hi.is_finite()) || hi <= lo {
+            return Err(StatsError::InvalidParameter { what: "histogram range", value: hi - lo });
+        }
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter { what: "bins", value: 0.0 });
+        }
+        Ok(Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0, total: 0 })
+    }
+
+    /// Build a histogram spanning the data range exactly.
+    pub fn from_data(data: &[f64], bins: usize) -> Result<Self> {
+        validate_sample(data)?;
+        let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Widen a degenerate range so single-valued samples still bin.
+        let (lo, hi) = if hi > lo { (lo, hi + (hi - lo) * 1e-9) } else { (lo - 0.5, lo + 0.5) };
+        let mut h = Histogram::new(lo, hi, bins)?;
+        for &v in data {
+            h.add(v);
+        }
+        Ok(h)
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, v: f64) {
+        self.total += 1;
+        if v < self.lo {
+            self.underflow += 1;
+        } else if v >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = (((v - self.lo) / w) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Center x-coordinate of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// "Fraction of tests" per bin — the y-axis used throughout the paper's
+    /// density figures: counts normalized by the total (in-range) count.
+    pub fn fractions(&self) -> Vec<f64> {
+        let in_range: u64 = self.counts.iter().sum();
+        if in_range == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / in_range as f64).collect()
+    }
+
+    /// Probability density per bin (fractions divided by bin width), which
+    /// integrates to 1 over the in-range mass.
+    pub fn density(&self) -> Vec<f64> {
+        let w = self.bin_width();
+        self.fractions().into_iter().map(|f| f / w).collect()
+    }
+
+    /// `(bin_center, fraction)` pairs for plotting.
+    pub fn plot_points(&self) -> Vec<(f64, f64)> {
+        self.fractions()
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| (self.bin_center(i), f))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_the_range() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        for v in [0.0, 1.9, 2.0, 5.5, 9.99] {
+            h.add(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn out_of_range_goes_to_flows() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(-1.0);
+        h.add(2.0);
+        h.add(0.5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let data: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let h = Histogram::from_data(&data, 10).unwrap();
+        let s: f64 = h.fractions().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64 / 100.0).collect();
+        let h = Histogram::from_data(&data, 20).unwrap();
+        let integral: f64 = h.density().iter().map(|d| d * h.bin_width()).sum();
+        assert!((integral - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_single_value_sample() {
+        let h = Histogram::from_data(&[7.0, 7.0, 7.0], 4).unwrap();
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts().iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn invalid_construction() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn bin_centers_are_midpoints() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_center(0), 1.0);
+        assert_eq!(h.bin_center(4), 9.0);
+    }
+}

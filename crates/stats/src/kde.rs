@@ -1,0 +1,322 @@
+//! Gaussian kernel density estimation with peak finding.
+//!
+//! The first step of each BST stage (paper §4.2) applies KDE to the
+//! upload- or download-speed sample to *count* the clusters present — the
+//! number of distinct peaks tells the pipeline how many mixture components
+//! to fit. This module implements:
+//!
+//! * a Gaussian-kernel density estimator with Silverman / Scott / manual
+//!   bandwidth selection,
+//! * grid evaluation, and
+//! * a peak finder with prominence filtering, so shoulder wiggles in a
+//!   heavy-tailed speed distribution are not mistaken for plan tiers.
+
+use crate::describe::{quantile_sorted, std_dev};
+use crate::error::{validate_sample, StatsError};
+use crate::Result;
+
+const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+
+/// Bandwidth selection rule for [`KernelDensity`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bandwidth {
+    /// Silverman's rule of thumb:
+    /// `0.9 * min(sigma, IQR/1.34) * n^(-1/5)`.
+    Silverman,
+    /// Scott's rule: `1.06 * sigma * n^(-1/5)`.
+    Scott,
+    /// A fixed bandwidth supplied by the caller (must be positive).
+    Fixed(f64),
+}
+
+/// A detected density peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    /// x-position of the local maximum.
+    pub x: f64,
+    /// density value at the maximum.
+    pub density: f64,
+    /// prominence: height above the higher of the two flanking minima.
+    pub prominence: f64,
+}
+
+/// A fitted Gaussian kernel density estimator.
+#[derive(Debug, Clone)]
+pub struct KernelDensity {
+    data: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl KernelDensity {
+    /// Fit a KDE to `data` using the given bandwidth rule.
+    pub fn fit(data: &[f64], rule: Bandwidth) -> Result<Self> {
+        validate_sample(data)?;
+        let bandwidth = match rule {
+            Bandwidth::Fixed(h) => {
+                if h <= 0.0 || !h.is_finite() {
+                    return Err(StatsError::InvalidParameter { what: "bandwidth", value: h });
+                }
+                h
+            }
+            Bandwidth::Silverman => silverman_bandwidth(data),
+            Bandwidth::Scott => scott_bandwidth(data),
+        };
+        if bandwidth <= 0.0 || !bandwidth.is_finite() {
+            // Degenerate sample (zero spread): fall back to a tiny width so
+            // the density is a spike at the common value instead of an error.
+            let fallback = data[0].abs().max(1.0) * 1e-3;
+            return Ok(KernelDensity { data: data.to_vec(), bandwidth: fallback });
+        }
+        Ok(KernelDensity { data: data.to_vec(), bandwidth })
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Number of samples backing the estimate.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when no samples back the estimate (unreachable via `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Density estimate at a single point.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let n = self.data.len() as f64;
+        let mut acc = 0.0;
+        for &xi in &self.data {
+            let u = (x - xi) / h;
+            // Kernels beyond 8 sigma contribute < 1e-14; skip them.
+            if u.abs() < 8.0 {
+                acc += (-0.5 * u * u).exp();
+            }
+        }
+        acc * INV_SQRT_2PI / (n * h)
+    }
+
+    /// Evaluate the density on `points` evenly spaced x-values across
+    /// `[lo, hi]`, returning `(x, density)` pairs.
+    pub fn grid(&self, lo: f64, hi: f64, points: usize) -> Result<Vec<(f64, f64)>> {
+        if points < 2 {
+            return Err(StatsError::InvalidParameter { what: "grid points", value: points as f64 });
+        }
+        if !(lo.is_finite() && hi.is_finite()) || hi <= lo {
+            return Err(StatsError::InvalidParameter { what: "grid range", value: hi - lo });
+        }
+        let step = (hi - lo) / (points - 1) as f64;
+        Ok((0..points)
+            .map(|i| {
+                let x = lo + i as f64 * step;
+                (x, self.pdf(x))
+            })
+            .collect())
+    }
+
+    /// Evaluate on a grid that spans the data, padded by 3 bandwidths.
+    pub fn auto_grid(&self, points: usize) -> Result<Vec<(f64, f64)>> {
+        let lo = self.data.iter().cloned().fold(f64::INFINITY, f64::min) - 3.0 * self.bandwidth;
+        let hi =
+            self.data.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 3.0 * self.bandwidth;
+        self.grid(lo, hi, points)
+    }
+
+    /// Find density peaks on an auto grid.
+    ///
+    /// A grid point is a peak when it is a strict local maximum whose
+    /// prominence (height above the higher flanking minimum) exceeds
+    /// `min_prominence * max_density`. The paper counts "significant
+    /// clusters" of upload-speed density (Fig. 4); prominence filtering is
+    /// what makes that count robust on crowdsourced (noisy) data.
+    pub fn find_peaks(&self, points: usize, min_prominence: f64) -> Result<Vec<Peak>> {
+        let grid = self.auto_grid(points)?;
+        Ok(find_peaks_on_grid(&grid, min_prominence))
+    }
+}
+
+/// Silverman's rule-of-thumb bandwidth. Returns 0.0 for an empty sample
+/// (callers treat a non-positive bandwidth as "fall back / error").
+pub fn silverman_bandwidth(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let n = data.len() as f64;
+    let sigma = std_dev(data);
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let iqr = quantile_sorted(&sorted, 0.75) - quantile_sorted(&sorted, 0.25);
+    let spread = if iqr > 0.0 { sigma.min(iqr / 1.34) } else { sigma };
+    0.9 * spread * n.powf(-0.2)
+}
+
+/// Scott's rule bandwidth.
+pub fn scott_bandwidth(data: &[f64]) -> f64 {
+    1.06 * std_dev(data) * (data.len() as f64).powf(-0.2)
+}
+
+/// Peak detection on a pre-computed `(x, y)` grid.
+///
+/// Exposed separately so histogram densities can reuse the same logic.
+pub fn find_peaks_on_grid(grid: &[(f64, f64)], min_prominence: f64) -> Vec<Peak> {
+    if grid.len() < 3 {
+        return Vec::new();
+    }
+    let max_y = grid.iter().map(|p| p.1).fold(0.0_f64, f64::max);
+    if max_y <= 0.0 {
+        return Vec::new();
+    }
+    let threshold = min_prominence * max_y;
+    let mut peaks = Vec::new();
+    for i in 1..grid.len() - 1 {
+        let (x, y) = grid[i];
+        // Strict local max (plateaus resolved by requiring left-strict).
+        if y > grid[i - 1].1 && y >= grid[i + 1].1 {
+            // Walk out to the flanking minima.
+            let mut left_min = y;
+            for j in (0..i).rev() {
+                if grid[j].1 > y {
+                    break;
+                }
+                left_min = left_min.min(grid[j].1);
+            }
+            let mut right_min = y;
+            for p in grid.iter().skip(i + 1) {
+                if p.1 > y {
+                    break;
+                }
+                right_min = right_min.min(p.1);
+            }
+            let prominence = y - left_min.max(right_min);
+            // Edge peaks (first/last rise) get prominence relative to the
+            // lower side only; the max() above handles interior peaks.
+            let prominence = if prominence == 0.0 { y - left_min.min(right_min) } else { prominence };
+            if prominence >= threshold {
+                peaks.push(Peak { x, density: y, prominence });
+            }
+        }
+    }
+    peaks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random standard normals via a fixed table-free
+    /// LCG + Box-Muller; keeps the stats crate free of a dev-dependency on
+    /// `rand` for these tests.
+    fn normals(n: usize, mean: f64, sd: f64, seed: u64) -> Vec<f64> {
+        let mut state = seed.max(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        (0..n)
+            .map(|_| {
+                let (u1, u2): (f64, f64) = (next().max(1e-12), next());
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                mean + sd * z
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pdf_is_nonnegative_everywhere() {
+        let kde = KernelDensity::fit(&normals(200, 0.0, 1.0, 7), Bandwidth::Silverman).unwrap();
+        for i in -50..50 {
+            assert!(kde.pdf(i as f64 / 5.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let kde = KernelDensity::fit(&normals(500, 10.0, 2.0, 3), Bandwidth::Silverman).unwrap();
+        let grid = kde.grid(-5.0, 25.0, 2000).unwrap();
+        let dx = grid[1].0 - grid[0].0;
+        let integral: f64 = grid.iter().map(|p| p.1 * dx).sum();
+        assert!((integral - 1.0).abs() < 0.02, "integral = {integral}");
+    }
+
+    #[test]
+    fn unimodal_sample_yields_one_peak() {
+        let kde = KernelDensity::fit(&normals(400, 5.0, 1.0, 11), Bandwidth::Silverman).unwrap();
+        let peaks = kde.find_peaks(512, 0.05).unwrap();
+        assert_eq!(peaks.len(), 1, "peaks: {peaks:?}");
+        assert!((peaks[0].x - 5.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn bimodal_sample_yields_two_peaks() {
+        let mut data = normals(300, 0.0, 1.0, 5);
+        data.extend(normals(300, 10.0, 1.0, 6));
+        let kde = KernelDensity::fit(&data, Bandwidth::Silverman).unwrap();
+        let peaks = kde.find_peaks(512, 0.05).unwrap();
+        assert_eq!(peaks.len(), 2, "peaks: {peaks:?}");
+    }
+
+    #[test]
+    fn four_plan_caps_yield_four_peaks() {
+        // Mirrors Fig. 4: upload speeds clustered at 5, 10, 15, 35 Mbps.
+        let mut data = Vec::new();
+        for (mu, n) in [(5.0, 400), (10.0, 150), (15.0, 120), (35.0, 130)] {
+            data.extend(normals(n, mu, 0.6, mu as u64));
+        }
+        let kde = KernelDensity::fit(&data, Bandwidth::Fixed(0.8)).unwrap();
+        let peaks = kde.find_peaks(1024, 0.02).unwrap();
+        assert_eq!(peaks.len(), 4, "peaks: {peaks:?}");
+        let xs: Vec<f64> = peaks.iter().map(|p| p.x).collect();
+        for (expect, got) in [5.0, 10.0, 15.0, 35.0].iter().zip(&xs) {
+            assert!((expect - got).abs() < 1.0, "expected peak near {expect}, got {got}");
+        }
+    }
+
+    #[test]
+    fn prominence_filters_noise_wiggles() {
+        let mut data = normals(500, 0.0, 1.0, 9);
+        data.extend(normals(5, 4.0, 0.2, 10)); // tiny bump: 1% of mass
+        let kde = KernelDensity::fit(&data, Bandwidth::Fixed(0.3)).unwrap();
+        let strict = kde.find_peaks(512, 0.10).unwrap();
+        let loose = kde.find_peaks(512, 0.001).unwrap();
+        assert_eq!(strict.len(), 1, "strict: {strict:?}");
+        assert!(loose.len() >= 2, "loose: {loose:?}");
+    }
+
+    #[test]
+    fn fixed_bandwidth_is_respected() {
+        let kde = KernelDensity::fit(&[1.0, 2.0, 3.0], Bandwidth::Fixed(0.5)).unwrap();
+        assert_eq!(kde.bandwidth(), 0.5);
+    }
+
+    #[test]
+    fn invalid_fixed_bandwidth_rejected() {
+        assert!(KernelDensity::fit(&[1.0], Bandwidth::Fixed(0.0)).is_err());
+        assert!(KernelDensity::fit(&[1.0], Bandwidth::Fixed(-1.0)).is_err());
+        assert!(KernelDensity::fit(&[1.0], Bandwidth::Fixed(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn degenerate_constant_sample_does_not_panic() {
+        let kde = KernelDensity::fit(&[5.0; 50], Bandwidth::Silverman).unwrap();
+        assert!(kde.bandwidth() > 0.0);
+        assert!(kde.pdf(5.0) > 0.0);
+    }
+
+    #[test]
+    fn grid_rejects_bad_ranges() {
+        let kde = KernelDensity::fit(&[1.0, 2.0], Bandwidth::Fixed(1.0)).unwrap();
+        assert!(kde.grid(1.0, 1.0, 10).is_err());
+        assert!(kde.grid(0.0, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn silverman_shrinks_with_n() {
+        let small = silverman_bandwidth(&normals(50, 0.0, 1.0, 2));
+        let large = silverman_bandwidth(&normals(5000, 0.0, 1.0, 2));
+        assert!(large < small);
+    }
+}

@@ -1,0 +1,204 @@
+//! One-dimensional k-means with k-means++ seeding.
+//!
+//! Serves two roles: initializing the Gaussian mixture EM ([`crate::gmm`])
+//! with good starting means, and acting as the ablation baseline the paper
+//! contrasts with GMM ("compared to other clustering methodologies such as
+//! K-Means, GMM is a probabilistic model that considers the clusters'
+//! variance in addition to the means", §4.2).
+
+use crate::error::{validate_sample, StatsError};
+use crate::Result;
+use rand::Rng;
+
+/// Result of a 1-D k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Cluster centers, sorted ascending.
+    pub centers: Vec<f64>,
+    /// Per-point cluster index into `centers`.
+    pub assignments: Vec<usize>,
+    /// Total within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Iterations until convergence.
+    pub iterations: usize,
+}
+
+/// Run k-means on 1-D data with k-means++ seeding.
+///
+/// Converges when assignments stop changing or after `max_iter` sweeps.
+pub fn kmeans_1d<R: Rng + ?Sized>(
+    data: &[f64],
+    k: usize,
+    max_iter: usize,
+    rng: &mut R,
+) -> Result<KMeansResult> {
+    validate_sample(data)?;
+    if k == 0 {
+        return Err(StatsError::InvalidParameter { what: "k", value: 0.0 });
+    }
+    if data.len() < k {
+        return Err(StatsError::TooFewSamples { needed: k, got: data.len() });
+    }
+
+    let mut centers = plus_plus_seeds(data, k, rng);
+    centers.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mut assignments = vec![0usize; data.len()];
+    let mut iterations = 0;
+
+    for it in 0..max_iter.max(1) {
+        iterations = it + 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, &x) in data.iter().enumerate() {
+            let nearest = nearest_center(&centers, x);
+            if assignments[i] != nearest {
+                assignments[i] = nearest;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![0.0; k];
+        let mut counts = vec![0usize; k];
+        for (i, &x) in data.iter().enumerate() {
+            sums[assignments[i]] += x;
+            counts[assignments[i]] += 1;
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                centers[c] = sums[c] / counts[c] as f64;
+            }
+            // Empty clusters keep their center; with ++ seeding on 1-D data
+            // this is rare and harmless.
+        }
+        if !changed && it > 0 {
+            break;
+        }
+    }
+
+    // Canonicalize: sort centers ascending and remap assignments.
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| centers[a].partial_cmp(&centers[b]).expect("finite"));
+    let mut remap = vec![0usize; k];
+    for (new_idx, &old_idx) in order.iter().enumerate() {
+        remap[old_idx] = new_idx;
+    }
+    let centers_sorted: Vec<f64> = order.iter().map(|&i| centers[i]).collect();
+    for a in &mut assignments {
+        *a = remap[*a];
+    }
+
+    let inertia = data
+        .iter()
+        .zip(&assignments)
+        .map(|(&x, &a)| (x - centers_sorted[a]).powi(2))
+        .sum();
+
+    Ok(KMeansResult { centers: centers_sorted, assignments, inertia, iterations })
+}
+
+/// k-means++ seeding: first center uniform, then each next center sampled
+/// with probability proportional to squared distance from the nearest chosen
+/// center.
+fn plus_plus_seeds<R: Rng + ?Sized>(data: &[f64], k: usize, rng: &mut R) -> Vec<f64> {
+    let mut centers = Vec::with_capacity(k);
+    centers.push(data[rng.gen_range(0..data.len())]);
+    let mut d2: Vec<f64> = data.iter().map(|&x| (x - centers[0]).powi(2)).collect();
+    while centers.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with existing centers; pick uniformly.
+            data[rng.gen_range(0..data.len())]
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = data[data.len() - 1];
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    chosen = data[i];
+                    break;
+                }
+                target -= w;
+            }
+            chosen
+        };
+        centers.push(next);
+        for (i, &x) in data.iter().enumerate() {
+            d2[i] = d2[i].min((x - next).powi(2));
+        }
+    }
+    centers
+}
+
+fn nearest_center(centers: &[f64], x: f64) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, &c) in centers.iter().enumerate() {
+        let d = (x - c).abs();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn separates_two_obvious_clusters() {
+        let mut data: Vec<f64> = (0..50).map(|i| 1.0 + (i % 5) as f64 * 0.01).collect();
+        data.extend((0..50).map(|i| 100.0 + (i % 5) as f64 * 0.01));
+        let r = kmeans_1d(&data, 2, 100, &mut rng()).unwrap();
+        assert!((r.centers[0] - 1.02).abs() < 0.1);
+        assert!((r.centers[1] - 100.02).abs() < 0.1);
+        // All low points in cluster 0, all high in cluster 1.
+        assert!(r.assignments[..50].iter().all(|&a| a == 0));
+        assert!(r.assignments[50..].iter().all(|&a| a == 1));
+    }
+
+    #[test]
+    fn centers_are_sorted() {
+        let data = [5.0, 5.1, 40.0, 40.2, 12.0, 11.8, 35.0, 34.9];
+        let r = kmeans_1d(&data, 4, 100, &mut rng()).unwrap();
+        for w in r.centers.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn k_equal_n_gives_zero_inertia() {
+        let data = [1.0, 5.0, 9.0];
+        let r = kmeans_1d(&data, 3, 100, &mut rng()).unwrap();
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(kmeans_1d(&[], 2, 10, &mut rng()).is_err());
+        assert!(kmeans_1d(&[1.0], 0, 10, &mut rng()).is_err());
+        assert!(kmeans_1d(&[1.0], 2, 10, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn constant_data_does_not_panic() {
+        let r = kmeans_1d(&[3.0; 20], 3, 50, &mut rng()).unwrap();
+        assert_eq!(r.assignments.len(), 20);
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let data: Vec<f64> =
+            (0..120).map(|i| (i % 4) as f64 * 10.0 + (i % 7) as f64 * 0.1).collect();
+        let r2 = kmeans_1d(&data, 2, 100, &mut rng()).unwrap();
+        let r4 = kmeans_1d(&data, 4, 100, &mut rng()).unwrap();
+        assert!(r4.inertia < r2.inertia);
+    }
+}

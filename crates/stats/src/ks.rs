@@ -1,0 +1,176 @@
+//! Two-sample Kolmogorov–Smirnov comparison.
+//!
+//! Several of the paper's findings are claims that two CDFs *coincide*
+//! (time-of-day panels, Fig. 12) or *separate* (vendor panels, Fig. 13).
+//! The KS statistic — the maximum vertical distance between the two
+//! empirical CDFs — quantifies those claims; the asymptotic p-value says
+//! whether the separation could be sampling noise.
+
+use crate::error::validate_sample;
+use crate::Result;
+
+/// Result of a two-sample KS comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTest {
+    /// The KS statistic: `sup_x |F_a(x) - F_b(x)|`, in `[0, 1]`.
+    pub statistic: f64,
+    /// Asymptotic two-sided p-value (Kolmogorov distribution).
+    pub p_value: f64,
+    /// Sizes of the two samples.
+    pub n_a: usize,
+    /// Size of the second sample.
+    pub n_b: usize,
+}
+
+impl KsTest {
+    /// Whether the two samples differ at the given significance level.
+    pub fn differs_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-sample KS test on unsorted data.
+pub fn ks_test(a: &[f64], b: &[f64]) -> Result<KsTest> {
+    validate_sample(a)?;
+    validate_sample(b)?;
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("validated finite"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("validated finite"));
+
+    // Sweep the merged order, tracking both ECDFs; the maximum vertical
+    // gap is the statistic.
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    while i < sa.len() || j < sb.len() {
+        let x = match (sa.get(i), sb.get(j)) {
+            (Some(&xa), Some(&xb)) => xa.min(xb),
+            (Some(&xa), None) => xa,
+            (None, Some(&xb)) => xb,
+            (None, None) => break,
+        };
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    let d = d.min(1.0);
+
+    let en = (na * nb / (na + nb)).sqrt();
+    Ok(KsTest {
+        statistic: d,
+        p_value: kolmogorov_sf((en + 0.12 + 0.11 / en) * d),
+        n_a: sa.len(),
+        n_b: sb.len(),
+    })
+}
+
+/// Survival function of the Kolmogorov distribution,
+/// `Q(λ) = 2 Σ_{k≥1} (-1)^{k-1} e^{-2 k² λ²}` (Numerical Recipes form).
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = sign * (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += term;
+        if term.abs() < 1e-12 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniforms(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<f64> {
+        let mut state = seed.max(1);
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                lo + (hi - lo) * ((state >> 11) as f64) / ((1u64 << 53) as f64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let a = uniforms(200, 0.0, 1.0, 1);
+        let t = ks_test(&a, &a).unwrap();
+        assert!(t.statistic < 1e-12);
+        assert!(t.p_value > 0.99);
+    }
+
+    #[test]
+    fn same_distribution_is_not_flagged() {
+        let a = uniforms(400, 0.0, 100.0, 2);
+        let b = uniforms(400, 0.0, 100.0, 3);
+        let t = ks_test(&a, &b).unwrap();
+        assert!(!t.differs_at(0.01), "{t:?}");
+        assert!(t.statistic < 0.12, "{t:?}");
+    }
+
+    #[test]
+    fn shifted_distribution_is_flagged() {
+        let a = uniforms(400, 0.0, 100.0, 4);
+        let b = uniforms(400, 30.0, 130.0, 5);
+        let t = ks_test(&a, &b).unwrap();
+        assert!(t.differs_at(0.001), "{t:?}");
+        assert!((0.2..0.45).contains(&t.statistic), "{t:?}");
+    }
+
+    #[test]
+    fn disjoint_supports_give_statistic_one() {
+        let a = uniforms(100, 0.0, 1.0, 6);
+        let b = uniforms(100, 10.0, 11.0, 7);
+        let t = ks_test(&a, &b).unwrap();
+        assert!((t.statistic - 1.0).abs() < 1e-9);
+        assert!(t.p_value < 1e-10);
+    }
+
+    #[test]
+    fn statistic_matches_hand_computed_small_case() {
+        // a = {1, 2}, b = {1.5}: F_a jumps 0.5 at 1 and 1 at 2;
+        // F_b jumps 1 at 1.5. Max gap: at x in [1.5, 2): |0.5 - 1| = 0.5.
+        let t = ks_test(&[1.0, 2.0], &[1.5]).unwrap();
+        assert!((t.statistic - 0.5).abs() < 1e-12, "{t:?}");
+    }
+
+    #[test]
+    fn unequal_sizes_are_handled() {
+        let a = uniforms(50, 0.0, 1.0, 8);
+        let b = uniforms(500, 0.0, 1.0, 9);
+        let t = ks_test(&a, &b).unwrap();
+        assert_eq!(t.n_a, 50);
+        assert_eq!(t.n_b, 500);
+        assert!((0.0..=1.0).contains(&t.statistic));
+        assert!((0.0..=1.0).contains(&t.p_value));
+    }
+
+    #[test]
+    fn rejects_empty_and_non_finite() {
+        assert!(ks_test(&[], &[1.0]).is_err());
+        assert!(ks_test(&[1.0], &[]).is_err());
+        assert!(ks_test(&[f64::NAN], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn kolmogorov_sf_sanity() {
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(0.5) > 0.9);
+        assert!(kolmogorov_sf(1.36) < 0.06); // classic 5% critical value
+        assert!(kolmogorov_sf(1.36) > 0.04);
+        assert!(kolmogorov_sf(5.0) < 1e-10);
+    }
+}

@@ -1,0 +1,238 @@
+//! Property-based tests for the statistical substrate.
+
+use proptest::prelude::*;
+use st_stats::{
+    consistency_factor, mean, quantile, Bandwidth, Ecdf, GaussianMixture, GmmConfig,
+    Histogram, KernelDensity, Summary,
+};
+
+/// Strategy: a non-empty vector of plausible speed values.
+fn speeds() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..2000.0, 1..200)
+}
+
+/// Strategy: larger samples for estimators that need mass.
+fn big_speeds() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..2000.0, 30..300)
+}
+
+proptest! {
+    #[test]
+    fn quantile_is_bounded_by_extremes(data in speeds(), q in 0.0f64..=1.0) {
+        let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let v = quantile(&data, q).unwrap();
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(data in speeds(), q1 in 0.0f64..=1.0, q2 in 0.0f64..=1.0) {
+        let (qa, qb) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let va = quantile(&data, qa).unwrap();
+        let vb = quantile(&data, qb).unwrap();
+        prop_assert!(va <= vb + 1e-9);
+    }
+
+    #[test]
+    fn mean_is_between_extremes(data in speeds()) {
+        let m = mean(&data);
+        let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn summary_orders_its_quantiles(data in speeds()) {
+        let s = Summary::of(&data).unwrap();
+        prop_assert!(s.min <= s.p25 + 1e-9);
+        prop_assert!(s.p25 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.p75 + 1e-9);
+        prop_assert!(s.p75 <= s.p95 + 1e-9);
+        prop_assert!(s.p95 <= s.max + 1e-9);
+        prop_assert_eq!(s.count, data.len());
+    }
+
+    #[test]
+    fn consistency_factor_is_positive(data in speeds()) {
+        // p95 of positive data is positive, so the factor exists and is > 0.
+        let f = consistency_factor(&data).unwrap();
+        prop_assert!(f > 0.0);
+    }
+
+    #[test]
+    fn ecdf_is_monotone_and_bounded(data in speeds(), xs in prop::collection::vec(-10.0f64..2100.0, 2..20)) {
+        let e = Ecdf::new(&data).unwrap();
+        let mut xs = xs;
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for &x in &xs {
+            let v = e.eval(x);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+        prop_assert_eq!(e.eval(f64::INFINITY), 1.0);
+    }
+
+    #[test]
+    fn ecdf_plot_points_end_at_one(data in speeds()) {
+        let e = Ecdf::new(&data).unwrap();
+        let pts = e.plot_points(50);
+        prop_assert_eq!(pts.last().unwrap().1, 1.0);
+        for w in pts.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn kde_density_is_nonnegative_and_normalized(data in big_speeds()) {
+        let kde = KernelDensity::fit(&data, Bandwidth::Silverman).unwrap();
+        let grid = kde.auto_grid(800).unwrap();
+        let dx = grid[1].0 - grid[0].0;
+        let mut integral = 0.0;
+        for &(_, y) in &grid {
+            prop_assert!(y >= 0.0);
+            integral += y * dx;
+        }
+        // Grid covers ±3 bandwidths past the data, so ≥ 99% of the mass.
+        prop_assert!((0.9..=1.1).contains(&integral), "integral {integral}");
+    }
+
+    #[test]
+    fn histogram_conserves_counts(data in speeds(), bins in 1usize..40) {
+        let h = Histogram::from_data(&data, bins).unwrap();
+        let binned: u64 = h.counts().iter().sum();
+        prop_assert_eq!(
+            binned + h.underflow() + h.overflow(),
+            data.len() as u64
+        );
+        let frac_sum: f64 = h.fractions().iter().sum();
+        prop_assert!((frac_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gmm_responsibilities_form_a_distribution(
+        data in prop::collection::vec(0.01f64..100.0, 10..120),
+        k in 1usize..4,
+        x in 0.0f64..100.0,
+    ) {
+        let mut rng = rand::rngs::mock::StepRng::new(42, 13);
+        if let Ok(gm) = GaussianMixture::fit(&data, GmmConfig::with_k(k), &mut rng) {
+            let r = gm.responsibilities(x);
+            prop_assert_eq!(r.len(), gm.k());
+            let total: f64 = r.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-6);
+            for p in r {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
+            }
+            let pred = gm.predict(x);
+            prop_assert!(pred < gm.k());
+        }
+    }
+
+    #[test]
+    fn gmm_weights_sum_to_one(
+        data in prop::collection::vec(0.01f64..100.0, 12..120),
+        k in 1usize..4,
+    ) {
+        let mut rng = rand::rngs::mock::StepRng::new(7, 11);
+        if let Ok(gm) = GaussianMixture::fit(&data, GmmConfig::with_k(k), &mut rng) {
+            let total: f64 = gm.components().iter().map(|c| c.weight).sum();
+            prop_assert!((total - 1.0).abs() < 1e-6, "weights sum {total}");
+            for c in gm.components() {
+                prop_assert!(c.var > 0.0);
+                prop_assert!(c.mean.is_finite());
+            }
+            // Means sorted ascending.
+            for w in gm.components().windows(2) {
+                prop_assert!(w[0].mean <= w[1].mean);
+            }
+        }
+    }
+
+    #[test]
+    fn gmm_seeded_fit_is_deterministic(
+        data in prop::collection::vec(0.01f64..100.0, 12..80),
+        seeds in prop::collection::vec(1.0f64..90.0, 1..4),
+    ) {
+        let a = GaussianMixture::fit_with_means(&data, &seeds, GmmConfig::default());
+        let b = GaussianMixture::fit_with_means(&data, &seeds, GmmConfig::default());
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "one fit succeeded, the other failed"),
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn gini_is_bounded_and_scale_invariant(
+        data in prop::collection::vec(0.0f64..1000.0, 2..100),
+        scale in 0.1f64..100.0,
+    ) {
+        use st_stats::gini;
+        if let Ok(g) = gini(&data) {
+            prop_assert!((0.0..=1.0).contains(&g));
+            let scaled: Vec<f64> = data.iter().map(|v| v * scale).collect();
+            let gs = gini(&scaled).unwrap();
+            prop_assert!((g - gs).abs() < 1e-9, "gini not scale-invariant: {g} vs {gs}");
+        }
+    }
+
+    #[test]
+    fn ks_statistic_is_symmetric_and_bounded(
+        a in prop::collection::vec(0.0f64..100.0, 1..80),
+        b in prop::collection::vec(0.0f64..100.0, 1..80),
+    ) {
+        use st_stats::ks_test;
+        let ab = ks_test(&a, &b).unwrap();
+        let ba = ks_test(&b, &a).unwrap();
+        prop_assert!((0.0..=1.0).contains(&ab.statistic));
+        prop_assert!((0.0..=1.0).contains(&ab.p_value));
+        prop_assert!((ab.statistic - ba.statistic).abs() < 1e-12, "not symmetric");
+    }
+
+    #[test]
+    fn ks_of_identical_samples_is_zero(a in prop::collection::vec(0.0f64..100.0, 1..80)) {
+        use st_stats::ks_test;
+        let t = ks_test(&a, &a).unwrap();
+        prop_assert!(t.statistic < 1e-12);
+    }
+
+    #[test]
+    fn bootstrap_median_ci_contains_its_estimate(
+        data in prop::collection::vec(0.0f64..500.0, 5..80),
+        seed in 0u64..100,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use st_stats::median_ci;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ci = median_ci(&data, 100, 0.95, &mut rng).unwrap();
+        prop_assert!(ci.lo <= ci.hi);
+        prop_assert!(ci.contains(ci.estimate), "{ci:?}");
+    }
+
+    #[test]
+    fn gmm2d_responsibilities_are_a_simplex(
+        pts in prop::collection::vec((0.0f64..100.0, 0.0f64..40.0), 4..60),
+        probe in (0.0f64..100.0, 0.0f64..40.0),
+    ) {
+        use st_stats::GaussianMixture2d;
+        let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+        if let Ok(gm) =
+            GaussianMixture2d::fit_with_means(&xs, &ys, &[(25.0, 10.0), (75.0, 30.0)], 60, 1e-6)
+        {
+            let r = gm.responsibilities(probe.0, probe.1);
+            prop_assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+            for c in gm.components() {
+                prop_assert!(c.cov.is_positive_definite(), "{:?}", c.cov);
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&c.weight));
+            }
+            prop_assert!(gm.predict(probe.0, probe.1) < gm.k());
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! ASCII rendering for logs and EXPERIMENTS.md.
+
+use crate::series::Series;
+
+/// Render one or more CDF series as a fixed-size ASCII grid.
+///
+/// Each series gets a distinct glyph; overlapping cells keep the first
+/// series' glyph. The x-axis spans the combined bounds.
+pub fn ascii_cdf(series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "grid too small to be legible");
+    let Some((x0, x1, _, _)) = Series::bounds_of(series) else {
+        return String::from("(no data)\n");
+    };
+    let x1 = if x1 > x0 { x1 } else { x0 + 1.0 };
+    let glyphs = ['*', '+', 'o', 'x', '#', '@', '%', '~'];
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = glyphs[si % glyphs.len()];
+        for col in 0..width {
+            let x = x0 + (x1 - x0) * col as f64 / (width - 1) as f64;
+            if let Some(y) = s.step_at(x) {
+                let y = y.clamp(0.0, 1.0);
+                let row = ((1.0 - y) * (height - 1) as f64).round() as usize;
+                if grid[row][col] == ' ' {
+                    grid[row][col] = glyph;
+                }
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let y = 1.0 - r as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y:4.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("     +{}\n", "-".repeat(width)));
+    out.push_str(&format!("      {:<12.4}{:>width$.4}\n", x0, x1, width = width - 12));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("      {} {}\n", glyphs[si % glyphs.len()], s.label));
+    }
+    out
+}
+
+/// Render one or more density/line series as an ASCII grid: like
+/// [`ascii_cdf`] but y spans the data range rather than `[0, 1]`, with
+/// linear interpolation between points.
+pub fn ascii_lines(series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "grid too small to be legible");
+    let Some((x0, x1, _, y1)) = Series::bounds_of(series) else {
+        return String::from("(no data)\n");
+    };
+    let x1 = if x1 > x0 { x1 } else { x0 + 1.0 };
+    let y1 = if y1 > 0.0 { y1 } else { 1.0 };
+    let glyphs = ['*', '+', 'o', 'x', '#', '@', '%', '~'];
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = glyphs[si % glyphs.len()];
+        if s.points.len() < 2 {
+            continue;
+        }
+        for col in 0..width {
+            let x = x0 + (x1 - x0) * col as f64 / (width - 1) as f64;
+            // Linear interpolation between the bracketing points.
+            let mut y = None;
+            for w in s.points.windows(2) {
+                let ((xa, ya), (xb, yb)) = (w[0], w[1]);
+                if xa <= x && x <= xb && xb > xa {
+                    y = Some(ya + (yb - ya) * (x - xa) / (xb - xa));
+                    break;
+                }
+            }
+            if let Some(y) = y {
+                let frac = (y / y1).clamp(0.0, 1.0);
+                let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+                if grid[row][col] == ' ' {
+                    grid[row][col] = glyph;
+                }
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let frac = 1.0 - r as f64 / (height - 1) as f64;
+        out.push_str(&format!("{:9.3} |", frac * y1));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("          +{}\n", "-".repeat(width)));
+    out.push_str(&format!(
+        "           {:<12.3}{:>width$.3}\n",
+        x0,
+        x1,
+        width = width - 12
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("           {} {}\n", glyphs[si % glyphs.len()], s.label));
+    }
+    out
+}
+
+/// Render rows as a fixed-width text table with a header rule.
+pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    assert!(!headers.is_empty(), "table needs headers");
+    for (i, r) in rows.iter().enumerate() {
+        assert_eq!(r.len(), headers.len(), "row {i} width mismatch");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, cell) in r.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let render_row = |cells: &[String]| -> String {
+        let mut line = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!(" {:<width$} |", c, width = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    let mut out =
+        render_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    let mut rule = String::from("|");
+    for w in &widths {
+        rule.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    rule.push('\n');
+    out.push_str(&rule);
+    for r in rows {
+        out.push_str(&render_row(r));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_plot_contains_curve_and_legend() {
+        let s = Series::new("down", vec![(0.0, 0.0), (50.0, 0.5), (100.0, 1.0)]);
+        let plot = ascii_cdf(&[s], 40, 10);
+        assert!(plot.contains('*'));
+        assert!(plot.contains("down"));
+        assert!(plot.contains("1.00 |"));
+        assert!(plot.contains("0.00 |"));
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_glyphs() {
+        let a = Series::new("a", vec![(0.0, 0.1), (1.0, 0.9)]);
+        let b = Series::new("b", vec![(0.0, 0.5), (1.0, 0.6)]);
+        let plot = ascii_cdf(&[a, b], 30, 8);
+        assert!(plot.contains('*') && plot.contains('+'));
+    }
+
+    #[test]
+    fn empty_series_produces_placeholder() {
+        assert_eq!(ascii_cdf(&[], 30, 8), "(no data)\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "grid too small")]
+    fn tiny_grid_rejected() {
+        let _ = ascii_cdf(&[], 4, 2);
+    }
+
+    #[test]
+    fn line_plot_renders_a_peak() {
+        let s = Series::new(
+            "density",
+            vec![(0.0, 0.0), (5.0, 1.0), (10.0, 0.0)],
+        );
+        let plot = ascii_lines(&[s], 40, 10);
+        assert!(plot.contains('*'));
+        assert!(plot.contains("density"));
+        // The top row (max density) is hit near the middle.
+        let first_line = plot.lines().next().unwrap();
+        assert!(first_line.contains('*'), "peak should touch the top row: {first_line}");
+    }
+
+    #[test]
+    fn line_plot_empty_is_placeholder() {
+        assert_eq!(ascii_lines(&[], 30, 8), "(no data)\n");
+    }
+
+    #[test]
+    fn table_alignment_and_rule() {
+        let t = ascii_table(
+            &["State", "ISP", "Accuracy"],
+            &[
+                vec!["A".into(), "1".into(), "99.33%".into()],
+                vec!["B".into(), "2".into(), "98.19%".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("State") && lines[0].contains("Accuracy"));
+        assert!(lines[1].starts_with("|--"));
+        // All rows equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn ragged_table_rejected() {
+        let _ = ascii_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+//! Figure rendering for the experiment harness.
+//!
+//! Every figure in the paper is either a CDF, a density curve, or a bar
+//! chart. This crate renders all three as standalone SVG files (for the
+//! `repro` binary's output directory) and as terminal-friendly ASCII
+//! (for logs and EXPERIMENTS.md snippets). No external plotting stack is
+//! required.
+
+pub mod ascii;
+pub mod series;
+pub mod svg;
+
+pub use ascii::{ascii_cdf, ascii_lines, ascii_table};
+pub use series::Series;
+pub use svg::{svg_bars, svg_lines, SvgConfig};

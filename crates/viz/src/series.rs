@@ -1,0 +1,101 @@
+//! Labelled point series — the common currency between analyses and
+//! renderers.
+
+/// One labelled line of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points in plot order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Create a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points }
+    }
+
+    /// Whether the series holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `(min_x, max_x, min_y, max_y)` over the series, skipping non-finite
+    /// points; `None` if nothing finite remains.
+    pub fn bounds(&self) -> Option<(f64, f64, f64, f64)> {
+        let mut b: Option<(f64, f64, f64, f64)> = None;
+        for &(x, y) in &self.points {
+            if !(x.is_finite() && y.is_finite()) {
+                continue;
+            }
+            b = Some(match b {
+                None => (x, x, y, y),
+                Some((x0, x1, y0, y1)) => (x0.min(x), x1.max(x), y0.min(y), y1.max(y)),
+            });
+        }
+        b
+    }
+
+    /// Combined bounds over several series.
+    pub fn bounds_of(series: &[Series]) -> Option<(f64, f64, f64, f64)> {
+        series.iter().filter_map(|s| s.bounds()).reduce(|a, b| {
+            (a.0.min(b.0), a.1.max(b.1), a.2.min(b.2), a.3.max(b.3))
+        })
+    }
+
+    /// The y value at the largest x not exceeding `x` (step
+    /// interpolation), or `None` before the first point.
+    pub fn step_at(&self, x: f64) -> Option<f64> {
+        let mut best: Option<(f64, f64)> = None;
+        for &(px, py) in &self.points {
+            if px <= x && best.map_or(true, |(bx, _)| px >= bx) {
+                best = Some((px, py));
+            }
+        }
+        best.map(|(_, y)| y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_of_single_series() {
+        let s = Series::new("a", vec![(0.0, 1.0), (2.0, -1.0), (1.0, 5.0)]);
+        assert_eq!(s.bounds(), Some((0.0, 2.0, -1.0, 5.0)));
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn bounds_skip_non_finite() {
+        let s = Series::new("a", vec![(f64::NAN, 1.0), (1.0, 2.0)]);
+        assert_eq!(s.bounds(), Some((1.0, 1.0, 2.0, 2.0)));
+        let empty = Series::new("e", vec![(f64::NAN, f64::NAN)]);
+        assert_eq!(empty.bounds(), None);
+    }
+
+    #[test]
+    fn combined_bounds() {
+        let a = Series::new("a", vec![(0.0, 0.0)]);
+        let b = Series::new("b", vec![(5.0, -2.0)]);
+        assert_eq!(Series::bounds_of(&[a, b]), Some((0.0, 5.0, -2.0, 0.0)));
+        assert_eq!(Series::bounds_of(&[]), None);
+    }
+
+    #[test]
+    fn step_interpolation() {
+        let s = Series::new("a", vec![(1.0, 0.25), (2.0, 0.5), (4.0, 1.0)]);
+        assert_eq!(s.step_at(0.5), None);
+        assert_eq!(s.step_at(1.0), Some(0.25));
+        assert_eq!(s.step_at(3.0), Some(0.5));
+        assert_eq!(s.step_at(9.0), Some(1.0));
+    }
+}

@@ -1,0 +1,328 @@
+//! Minimal SVG chart rendering.
+//!
+//! Produces self-contained SVG documents: line charts (CDFs, densities)
+//! and grouped bar charts (the Fig. 11 time-of-day histogram). The output
+//! is plain text, deterministic, and viewable in any browser.
+
+use crate::series::Series;
+use std::fmt::Write as _;
+
+/// Chart geometry and labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvgConfig {
+    /// Total width, px.
+    pub width: u32,
+    /// Total height, px.
+    pub height: u32,
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+}
+
+impl Default for SvgConfig {
+    fn default() -> Self {
+        SvgConfig {
+            width: 640,
+            height: 420,
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+        }
+    }
+}
+
+impl SvgConfig {
+    /// Config with title and axis labels.
+    pub fn titled(title: &str, x_label: &str, y_label: &str) -> Self {
+        SvgConfig {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            ..Default::default()
+        }
+    }
+}
+
+const MARGIN_L: f64 = 60.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 36.0;
+const MARGIN_B: f64 = 48.0;
+const PALETTE: [&str; 8] =
+    ["#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f"];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn axis_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    if !(hi > lo) {
+        return vec![lo];
+    }
+    (0..=n).map(|i| lo + (hi - lo) * i as f64 / n as f64).collect()
+}
+
+/// Render a multi-series line chart (CDFs, KDE densities).
+pub fn svg_lines(series: &[Series], cfg: &SvgConfig) -> String {
+    let (x0, x1, y0, y1) = Series::bounds_of(series).unwrap_or((0.0, 1.0, 0.0, 1.0));
+    let (x1, y1) = (if x1 > x0 { x1 } else { x0 + 1.0 }, if y1 > y0 { y1 } else { y0 + 1.0 });
+
+    let w = cfg.width as f64;
+    let h = cfg.height as f64;
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let plot_h = h - MARGIN_T - MARGIN_B;
+    let sx = |x: f64| MARGIN_L + (x - x0) / (x1 - x0) * plot_w;
+    let sy = |y: f64| MARGIN_T + plot_h - (y - y0) / (y1 - y0) * plot_h;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}">"#,
+        cfg.width, cfg.height, cfg.width, cfg.height
+    );
+    let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    let _ = writeln!(
+        out,
+        r#"<text x="{}" y="20" text-anchor="middle" font-size="15" font-family="sans-serif">{}</text>"#,
+        w / 2.0,
+        esc(&cfg.title)
+    );
+
+    // Axes and ticks.
+    let _ = writeln!(
+        out,
+        r#"<line x1="{MARGIN_L}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+        MARGIN_T + plot_h,
+        MARGIN_L + plot_w,
+        MARGIN_T + plot_h
+    );
+    let _ = writeln!(
+        out,
+        r#"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{}" stroke="black"/>"#,
+        MARGIN_T + plot_h
+    );
+    for t in axis_ticks(x0, x1, 5) {
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-size="11" font-family="sans-serif">{:.4}</text>"#,
+            sx(t),
+            MARGIN_T + plot_h + 16.0,
+            t
+        );
+    }
+    for t in axis_ticks(y0, y1, 5) {
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end" font-size="11" font-family="sans-serif">{:.4}</text>"#,
+            MARGIN_L - 6.0,
+            sy(t) + 4.0,
+            t
+        );
+        let _ = writeln!(
+            out,
+            r##"<line x1="{MARGIN_L}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#dddddd"/>"##,
+            sy(t),
+            MARGIN_L + plot_w,
+            sy(t)
+        );
+    }
+    let _ = writeln!(
+        out,
+        r#"<text x="{}" y="{}" text-anchor="middle" font-size="12" font-family="sans-serif">{}</text>"#,
+        w / 2.0,
+        h - 10.0,
+        esc(&cfg.x_label)
+    );
+    let _ = writeln!(
+        out,
+        r#"<text x="14" y="{}" text-anchor="middle" font-size="12" font-family="sans-serif" transform="rotate(-90 14 {})">{}</text>"#,
+        h / 2.0,
+        h / 2.0,
+        esc(&cfg.y_label)
+    );
+
+    // Series polylines + legend.
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let pts: Vec<String> = s
+            .points
+            .iter()
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .map(|&(x, y)| format!("{:.2},{:.2}", sx(x), sy(y)))
+            .collect();
+        if !pts.is_empty() {
+            let _ = writeln!(
+                out,
+                r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="1.8"/>"#,
+                pts.join(" "),
+                color
+            );
+        }
+        let ly = MARGIN_T + 14.0 * i as f64 + 6.0;
+        let _ = writeln!(
+            out,
+            r#"<line x1="{:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{}" stroke-width="2"/>"#,
+            MARGIN_L + plot_w - 130.0,
+            MARGIN_L + plot_w - 110.0,
+            color
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" font-size="11" font-family="sans-serif">{}</text>"#,
+            MARGIN_L + plot_w - 105.0,
+            ly + 4.0,
+            esc(&s.label)
+        );
+    }
+
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Render a grouped bar chart: `groups` label the x clusters, each series
+/// contributes one bar per group (series point order must match groups).
+pub fn svg_bars(groups: &[&str], series: &[Series], cfg: &SvgConfig) -> String {
+    assert!(
+        series.iter().all(|s| s.points.len() == groups.len()),
+        "each series needs one value per group"
+    );
+    let max_y = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.1))
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+
+    let w = cfg.width as f64;
+    let h = cfg.height as f64;
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let plot_h = h - MARGIN_T - MARGIN_B;
+    let group_w = plot_w / groups.len().max(1) as f64;
+    let bar_w = (group_w * 0.8) / series.len().max(1) as f64;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}">"#,
+        cfg.width, cfg.height, cfg.width, cfg.height
+    );
+    let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    let _ = writeln!(
+        out,
+        r#"<text x="{}" y="20" text-anchor="middle" font-size="15" font-family="sans-serif">{}</text>"#,
+        w / 2.0,
+        esc(&cfg.title)
+    );
+
+    for (g, gname) in groups.iter().enumerate() {
+        for (i, s) in series.iter().enumerate() {
+            let v = s.points[g].1.max(0.0);
+            let bh = v / max_y * plot_h;
+            let x = MARGIN_L + g as f64 * group_w + group_w * 0.1 + i as f64 * bar_w;
+            let y = MARGIN_T + plot_h - bh;
+            let _ = writeln!(
+                out,
+                r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="{}"/>"#,
+                x,
+                y,
+                bar_w * 0.92,
+                bh,
+                PALETTE[i % PALETTE.len()]
+            );
+        }
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-size="11" font-family="sans-serif">{}</text>"#,
+            MARGIN_L + g as f64 * group_w + group_w / 2.0,
+            MARGIN_T + plot_h + 16.0,
+            esc(gname)
+        );
+    }
+
+    for (i, s) in series.iter().enumerate() {
+        let ly = MARGIN_T + 14.0 * i as f64 + 6.0;
+        let _ = writeln!(
+            out,
+            r#"<rect x="{:.1}" y="{:.1}" width="10" height="10" fill="{}"/>"#,
+            MARGIN_L + plot_w - 130.0,
+            ly - 8.0,
+            PALETTE[i % PALETTE.len()]
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" font-size="11" font-family="sans-serif">{}</text>"#,
+            MARGIN_L + plot_w - 115.0,
+            ly + 1.0,
+            esc(&s.label)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_contains_all_series() {
+        let series = vec![
+            Series::new("down", vec![(0.0, 0.0), (1.0, 0.5), (2.0, 1.0)]),
+            Series::new("up", vec![(0.0, 0.2), (2.0, 0.9)]),
+        ];
+        let svg = svg_lines(&series, &SvgConfig::titled("CDF", "Mbps", "Fraction"));
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("down") && svg.contains("up"));
+        assert!(svg.contains("CDF") && svg.contains("Mbps"));
+    }
+
+    #[test]
+    fn line_chart_handles_empty_input() {
+        let svg = svg_lines(&[], &SvgConfig::default());
+        assert!(svg.contains("<svg") && svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn non_finite_points_are_dropped() {
+        let series =
+            vec![Series::new("a", vec![(0.0, 0.0), (f64::NAN, 0.5), (1.0, 1.0)])];
+        let svg = svg_lines(&series, &SvgConfig::default());
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let series = vec![Series::new("a<b>&c", vec![(0.0, 0.0)])];
+        let svg = svg_lines(&series, &SvgConfig::titled("t<&>", "x", "y"));
+        assert!(svg.contains("a&lt;b&gt;&amp;c"));
+        assert!(svg.contains("t&lt;&amp;&gt;"));
+    }
+
+    #[test]
+    fn bar_chart_draws_one_rect_per_value() {
+        let groups = ["00-06", "06-12", "12-18", "18-24"];
+        let series = vec![
+            Series::new("Tier 1-3", vec![(0.0, 10.0), (1.0, 20.0), (2.0, 35.0), (3.0, 35.0)]),
+            Series::new("Tier 4", vec![(0.0, 12.0), (1.0, 22.0), (2.0, 33.0), (3.0, 33.0)]),
+        ];
+        let svg = svg_bars(&groups, &series, &SvgConfig::titled("Fig 11", "", "%"));
+        // 8 bars + 2 legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 8 + 2 + 1 /* background */);
+        for g in groups {
+            assert!(svg.contains(g));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per group")]
+    fn bar_chart_validates_lengths() {
+        let _ = svg_bars(
+            &["a", "b"],
+            &[Series::new("s", vec![(0.0, 1.0)])],
+            &SvgConfig::default(),
+        );
+    }
+}

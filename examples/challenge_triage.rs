@@ -1,0 +1,95 @@
+//! Triage a campaign for an FCC-style coverage-challenge process.
+//!
+//! The paper's closing argument (§8): speed tests submitted as challenge
+//! evidence must be contextualized first, or local bottlenecks and
+//! lower-tier plans masquerade as access-network failures. This example
+//! fits BST to a city's Ookla campaign, then classifies every test into
+//! meets-plan / local-bottleneck / access-under-performance /
+//! unattributable, and prints some individual verdicts.
+//!
+//! ```text
+//! cargo run --release --example challenge_triage
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use speedtest_context::bst::{
+    diagnose, triage_campaign, BstConfig, BstModel, DiagnoseConfig, Verdict,
+};
+use speedtest_context::datagen::{City, CityDataset};
+use speedtest_context::viz::ascii_table;
+
+fn main() {
+    let ds = CityDataset::generate(City::A, 0.02, 2023);
+    let down: Vec<f64> = ds.ookla.iter().map(|m| m.down_mbps).collect();
+    let up: Vec<f64> = ds.ookla.iter().map(|m| m.up_mbps).collect();
+    let mut rng = StdRng::seed_from_u64(4);
+    let model = BstModel::fit(&down, &up, &ds.config.catalog, &BstConfig::default(), &mut rng)
+        .expect("campaign is clusterable");
+    let cfg = DiagnoseConfig::default();
+
+    // Campaign-level counts.
+    let tiers = model.tiers();
+    let summary = triage_campaign(&ds.ookla, &tiers, &model, &ds.config.catalog, &cfg);
+    let pct = |n: usize| format!("{:.1}%", 100.0 * n as f64 / summary.total() as f64);
+    println!("== {} Ookla campaign triage ({} tests) ==", City::A.label(), summary.total());
+    print!(
+        "{}",
+        ascii_table(
+            &["verdict", "tests", "share"],
+            &[
+                vec!["meets plan".into(), summary.meets_plan.to_string(), pct(summary.meets_plan)],
+                vec![
+                    "local bottleneck".into(),
+                    summary.local_bottleneck.to_string(),
+                    pct(summary.local_bottleneck),
+                ],
+                vec![
+                    "access under-performance".into(),
+                    summary.access_underperformance.to_string(),
+                    pct(summary.access_underperformance),
+                ],
+                vec![
+                    "unattributable".into(),
+                    summary.unattributable.to_string(),
+                    pct(summary.unattributable),
+                ],
+            ],
+        )
+    );
+    println!(
+        "\nonly the 'access under-performance' slice is credible challenge evidence;\n\
+         submitting the rest would echo the uncontextualized reading the paper warns about.\n"
+    );
+
+    // A few individual verdicts, as a challenge-portal would render them.
+    println!("== sample verdicts ==");
+    let mut shown = 0;
+    for (m, t) in ds.ookla.iter().zip(&tiers) {
+        let v = diagnose(m, &model, &ds.config.catalog, *t, &cfg);
+        let interesting = matches!(
+            v,
+            Verdict::AccessUnderperformance { .. } | Verdict::LocalBottleneck { .. }
+        );
+        if !interesting || shown >= 6 {
+            continue;
+        }
+        shown += 1;
+        match v {
+            Verdict::AccessUnderperformance { normalized } => println!(
+                "  test {}: {:.0}/{:.1} Mbps on {:?} -> EVIDENCE ({:.0}% of plan, clean local path)",
+                m.id, m.down_mbps, m.up_mbps, m.platform, normalized * 100.0
+            ),
+            Verdict::LocalBottleneck { normalized, factors } => {
+                println!(
+                    "  test {}: {:.0}/{:.1} Mbps on {:?} -> local bottleneck ({:.0}% of plan)",
+                    m.id, m.down_mbps, m.up_mbps, m.platform, normalized * 100.0
+                );
+                for f in factors.iter().take(2) {
+                    println!("      - {}", f.describe());
+                }
+            }
+            _ => {}
+        }
+    }
+}

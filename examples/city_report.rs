@@ -1,0 +1,65 @@
+//! A broadband-quality report for one city, in the style the paper argues
+//! policymakers should demand: every aggregate comes with its context.
+//!
+//! ```text
+//! cargo run --release --example city_report [A|B|C|D]
+//! ```
+
+use speedtest_context::analysis::{fig01, fig09, fig10, fig11, table3, CityAnalysis};
+use speedtest_context::datagen::{City, CityDataset};
+use speedtest_context::viz::ascii_cdf;
+
+fn main() {
+    let city = match std::env::args().nth(1).as_deref() {
+        None | Some("A") => City::A,
+        Some("B") => City::B,
+        Some("C") => City::C,
+        Some("D") => City::D,
+        Some(other) => {
+            eprintln!("unknown city {other:?}; expected A, B, C or D");
+            std::process::exit(1);
+        }
+    };
+
+    eprintln!("generating {} and fitting BST ...", city.label());
+    let a = CityAnalysis::new(CityDataset::generate(city, 0.03, 8), 15);
+
+    // The motivating figure: the same dataset, five different stories.
+    let f1 = fig01::run(&a);
+    println!("== {} download speed, by context ==", city.label());
+    let series: Vec<_> = f1.series.iter().map(|s| s.to_series()).collect();
+    print!("{}", ascii_cdf(&series, 64, 14));
+    for (s, m) in f1.series.iter().zip(&f1.medians) {
+        println!("  median[{}] = {:.1} Mbps", s.label, m);
+    }
+
+    // Who is actually testing: the tier mix per platform.
+    let (t3, _) = table3::run(&a);
+    println!("\n{}", t3.render());
+
+    // Local factors: how much of the "slow internet" is the home, not
+    // the ISP.
+    let panels = fig09::run(&a);
+    println!("== local-factor medians (normalized download) ==");
+    for p in &panels {
+        print!("  {}: ", p.id);
+        let parts: Vec<String> = p
+            .series
+            .iter()
+            .zip(&p.medians)
+            .map(|(s, m)| format!("{} {:.2}", s.label, m))
+            .collect();
+        println!("{}", parts.join(" | "));
+    }
+    let (f10, shares) = fig10::run(&a);
+    println!(
+        "  {:.0}% of Android tests face a local bottleneck; medians best/bottleneck = {:.2}/{:.2}",
+        shares.local_bottleneck_share * 100.0,
+        f10.medians.first().copied().unwrap_or(f64::NAN),
+        f10.medians.get(1).copied().unwrap_or(f64::NAN),
+    );
+
+    // When people test.
+    let (_, t11) = fig11::run(&a);
+    println!("\n{}", t11.render());
+}

@@ -1,0 +1,64 @@
+//! Quickstart: generate a city, fit BST, inspect the contextualized view.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use speedtest_context::bst::{BstConfig, BstModel};
+use speedtest_context::datagen::{City, CityDataset};
+use speedtest_context::stats::Ecdf;
+
+fn main() {
+    // 1. Generate a synthetic City-A: Ookla + M-Lab campaigns and the
+    //    matching MBA panel, at 1% of the paper's sizes.
+    let ds = CityDataset::generate(City::A, 0.01, 42);
+    println!(
+        "generated {} Ookla, {} M-Lab, {} MBA measurements for {}",
+        ds.ookla.len(),
+        ds.mlab.len(),
+        ds.mba.len(),
+        ds.config.city.label()
+    );
+
+    // 2. The uncontextualized view: one number for the whole city.
+    let downs: Vec<f64> = ds.ookla.iter().map(|m| m.down_mbps).collect();
+    let overall = Ecdf::new(&downs).expect("campaign is non-empty");
+    println!("uncontextualized median download: {:.1} Mbps", overall.median());
+
+    // 3. Contextualize: fit the BST methodology to <down, up> tuples.
+    let ups: Vec<f64> = ds.ookla.iter().map(|m| m.up_mbps).collect();
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = BstModel::fit(&downs, &ups, &ds.config.catalog, &BstConfig::default(), &mut rng)
+        .expect("campaign is clusterable");
+    println!("BST coverage: {:.1}% of tests assigned a tier", model.coverage() * 100.0);
+
+    // 4. The same data, disaggregated by recovered subscription tier.
+    println!("\nper-tier medians (the contextualized view):");
+    for plan in ds.config.catalog.plans() {
+        let tier_downs: Vec<f64> = downs
+            .iter()
+            .zip(model.tiers())
+            .filter(|(_, t)| *t == Some(plan.tier))
+            .map(|(d, _)| *d)
+            .collect();
+        if tier_downs.len() < 5 {
+            continue;
+        }
+        let e = Ecdf::new(&tier_downs).expect("non-empty");
+        println!(
+            "  {plan}: n={:<5} median {:>7.1} Mbps  ({:.0}% of plan)",
+            tier_downs.len(),
+            e.median(),
+            100.0 * e.median() / plan.down.0
+        );
+    }
+
+    // 5. Classify a fresh measurement with the fitted model.
+    let assignment = model.assign(117.0, 5.2);
+    println!(
+        "\na new test measuring 117/5.2 Mbps maps to tier {:?} (upload cap {:?})",
+        assignment.tier, assignment.upload_cap
+    );
+}

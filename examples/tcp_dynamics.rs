@@ -1,0 +1,71 @@
+//! Visualize the transport dynamics that create the §6.3 vendor gap:
+//! per-round delivered rate for one NDT-style flow vs eight Ookla-style
+//! flows, under Reno and CUBIC, on the same lossy 800 Mbps path.
+//!
+//! Writes `tcp-dynamics.svg` into the working directory and prints a
+//! text summary.
+//!
+//! ```text
+//! cargo run --release --example tcp_dynamics
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use speedtest_context::netsim::tcp::{CongestionControl, FlowConfig, TcpSimulator};
+use speedtest_context::netsim::Mbps;
+use speedtest_context::viz::{svg_lines, Series, SvgConfig};
+
+fn trace(
+    flows: usize,
+    cc: CongestionControl,
+    label: &str,
+    seed: u64,
+) -> (Series, f64) {
+    let cfg = FlowConfig::new(flows, 15.0, 0.015, Mbps(800.0))
+        .with_loss(1e-4)
+        .with_congestion_control(cc);
+    let sim = TcpSimulator::new(cfg);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (sample, points) = sim.run_traced(3.0, &mut rng);
+    // Thin the trace for plotting (one point per ~50 ms).
+    let step = (points.len() / 300).max(1);
+    let series = Series::new(
+        label,
+        points
+            .iter()
+            .step_by(step)
+            .map(|p| (p.t_s, p.rate.0))
+            .collect::<Vec<_>>(),
+    );
+    (series, sample.mean_steady.0)
+}
+
+fn main() {
+    let cases = [
+        (1usize, CongestionControl::Reno, "1 flow, Reno (NDT-style)"),
+        (1, CongestionControl::Cubic, "1 flow, CUBIC"),
+        (8, CongestionControl::Reno, "8 flows, Reno (Ookla-style)"),
+    ];
+    let mut series = Vec::new();
+    println!("800 Mbps path, 15 ms RTT, loss 1e-4, 15 s transfer:\n");
+    for (i, (flows, cc, label)) in cases.iter().enumerate() {
+        let (s, steady) = trace(*flows, *cc, label, 42 + i as u64);
+        println!("  {label:<28} steady-state mean: {steady:>6.0} Mbps");
+        series.push(s);
+    }
+
+    let cfg = SvgConfig::titled(
+        "TCP dynamics on a lossy 800 Mbps path",
+        "time (s)",
+        "delivered rate (Mbps)",
+    );
+    let svg = svg_lines(&series, &cfg);
+    match std::fs::write("tcp-dynamics.svg", &svg) {
+        Ok(()) => println!("\nwrote tcp-dynamics.svg"),
+        Err(e) => eprintln!("\ncould not write tcp-dynamics.svg: {e}"),
+    }
+    println!(
+        "the single flow saws between loss events and cannot hold the pipe;\n\
+         the eight-flow aggregate statistically fills it — the §6.3 mechanism."
+    );
+}

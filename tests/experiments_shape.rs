@@ -1,0 +1,113 @@
+//! Shape assertions across the full experiment suite: one generated city,
+//! every figure, checking the qualitative claims the paper makes.
+
+use speedtest_context::analysis::{
+    fig01, fig02, fig08, fig09, fig10, fig11, fig12, fig13, table2, table3, CityAnalysis,
+};
+use speedtest_context::datagen::{City, CityDataset};
+use std::sync::OnceLock;
+
+/// One shared City-A analysis: generating and BST-fitting is the expensive
+/// part, and every shape test reads from the same snapshot.
+fn city_a() -> &'static CityAnalysis {
+    static CELL: OnceLock<CityAnalysis> = OnceLock::new();
+    CELL.get_or_init(|| {
+        CityAnalysis::new(CityDataset::generate(City::A, 0.03, 314159), 27)
+    })
+}
+
+#[test]
+fn fig01_contextualization_spreads_the_median_severalfold() {
+    let r = fig01::run(city_a());
+    let overall = r.medians[0];
+    let tier1 = r.medians[1];
+    let ethernet = *r.medians.last().unwrap();
+    assert!(overall / tier1 > 2.0, "overall {overall} vs tier1 {tier1}");
+    assert!(
+        ethernet / overall > 3.0,
+        "top-tier Ethernet {ethernet} vs overall {overall} (paper: ~7x)"
+    );
+}
+
+#[test]
+fn fig02_uploads_are_more_consistent() {
+    let r = fig02::run(city_a());
+    assert!(r.medians[1] > r.medians[0], "up {} vs down {}", r.medians[1], r.medians[0]);
+}
+
+#[test]
+fn table2_accuracy_headline() {
+    let (_, stats) = table2::run(&[city_a()]);
+    assert!(stats[0].upload_accuracy > 0.96, "{:?}", stats[0]);
+}
+
+#[test]
+fn table3_reports_every_tier_group_for_major_platforms() {
+    let (_, stats) = table3::run(city_a());
+    let web = stats.iter().find(|s| s.platform == "Net-Web").expect("web fits");
+    assert_eq!(web.groups.len(), 4);
+    assert!(web.groups.iter().all(|(_, n, _)| *n > 0), "{:?}", web.groups);
+}
+
+#[test]
+fn fig08_assignments_are_self_consistent() {
+    let r = fig08::run(city_a());
+    assert!(r.medians[0] > 0.8, "alpha median {}", r.medians[0]);
+}
+
+#[test]
+fn fig09_all_local_factor_orderings_hold() {
+    let panels = fig09::run(city_a());
+    // (a) Ethernet > WiFi.
+    assert!(panels[0].medians[1] > panels[0].medians[0] * 1.5, "{:?}", panels[0].medians);
+    // (b) 5 GHz > 2.4 GHz.
+    assert!(panels[1].medians[1] > panels[1].medians[0] * 1.5, "{:?}", panels[1].medians);
+    // (c) worst RSSI bin clearly below the best populated bins.
+    let c = &panels[2].medians;
+    let worst = *c.last().unwrap();
+    assert!(c[..c.len() - 1].iter().any(|m| *m > worst * 1.5), "{c:?}");
+    // (d) smallest memory bin clearly below the largest.
+    let d = &panels[3].medians;
+    assert!(*d.last().unwrap() > d[0] * 1.2, "{d:?}");
+}
+
+#[test]
+fn fig10_bottlenecked_majority_underperforms() {
+    let (r, shares) = fig10::run(city_a());
+    assert!(shares.local_bottleneck_share > 0.5, "share {}", shares.local_bottleneck_share);
+    assert!(r.medians[0] > r.medians[1] * 1.4, "medians {:?}", r.medians);
+}
+
+#[test]
+fn fig11_and_fig12_time_of_day_is_volume_not_performance() {
+    let (vol, _) = fig11::run(city_a());
+    // Volume: night bin is the smallest for populated groups.
+    for g in &vol.groups {
+        let p: Vec<f64> = g.points.iter().map(|(_, v)| *v).collect();
+        if p.iter().sum::<f64>() > 0.0 {
+            assert!(p[0] < p[2], "{}: night {p:?}", g.label);
+        }
+    }
+    // Performance: medians nearly flat across bins.
+    for panel in fig12::run_default(city_a()) {
+        let lo = panel.medians.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = panel.medians.iter().cloned().fold(0.0f64, f64::max);
+        assert!(hi - lo < 0.15, "{}: spread {lo}..{hi}", panel.id);
+    }
+}
+
+#[test]
+fn fig13_mlab_lags_ookla_up_to_twofold() {
+    let (_, gaps) = fig13::run(city_a());
+    assert!(gaps.len() >= 3);
+    for g in &gaps {
+        assert!(
+            g.ratio > 0.95,
+            "{}: Ookla should not lose to M-Lab ({:?})",
+            g.group,
+            g
+        );
+    }
+    let max = gaps.iter().map(|g| g.ratio).fold(0.0f64, f64::max);
+    assert!((1.4..=3.0).contains(&max), "max vendor ratio {max} (paper: up to 2)");
+}

@@ -1,0 +1,123 @@
+//! End-to-end fault detection: inject a chronically degraded access
+//! segment, run the challenge-triage pipeline, and verify it (a) finds
+//! the affected homes and (b) quantifies the paper's §8 recommendation —
+//! collecting the subscription plan matters, because without it a
+//! chronic fault masquerades as a cheaper tier.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use speedtest_context::bst::{diagnose, BstConfig, BstModel, DiagnoseConfig};
+use speedtest_context::datagen::population::tier_weights;
+use speedtest_context::datagen::{
+    generate_ookla, inject, City, CityConfig, FaultScenario, Population,
+};
+use speedtest_context::speedtest::Measurement;
+
+struct Scenario {
+    tests: Vec<Measurement>,
+    affected: Vec<u64>,
+    model: BstModel,
+    catalog: speedtest_context::speedtest::PlanCatalog,
+}
+
+fn build() -> Scenario {
+    let mut rng = StdRng::seed_from_u64(424242);
+    let mut cfg = CityConfig::at_scale(City::A, 0.001);
+    cfg.ookla_tests = 6000;
+    let mut pop = Population::generate(&cfg.catalog, &tier_weights(City::A), 1200, &mut rng);
+    let affected = inject(&mut pop, FaultScenario::oversubscribed_node(), &mut rng);
+    assert!(!affected.is_empty());
+    let tests = generate_ookla(&cfg, &pop, &mut rng);
+
+    let down: Vec<f64> = tests.iter().map(|m| m.down_mbps).collect();
+    let up: Vec<f64> = tests.iter().map(|m| m.up_mbps).collect();
+    let model = BstModel::fit(&down, &up, &cfg.catalog, &BstConfig::default(), &mut rng)
+        .expect("campaign is clusterable");
+    Scenario { tests, affected, model, catalog: cfg.catalog.clone() }
+}
+
+/// Fraction of a cohort's tests classified as challenge evidence, using
+/// the generator's ground-truth tier as the "known subscription".
+fn evidence_rate(s: &Scenario, in_cohort: impl Fn(&Measurement) -> bool) -> f64 {
+    let cfg = DiagnoseConfig::default();
+    let (mut n, mut hits) = (0usize, 0usize);
+    for m in &s.tests {
+        if !in_cohort(m) {
+            continue;
+        }
+        n += 1;
+        if diagnose(m, &s.model, &s.catalog, m.truth_tier, &cfg).is_challenge_evidence() {
+            hits += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        hits as f64 / n as f64
+    }
+}
+
+#[test]
+fn triage_separates_faulted_homes_from_healthy_ones() {
+    let s = build();
+    let affected_rate = evidence_rate(&s, |m| s.affected.contains(&m.user_id));
+    let healthy_rate = evidence_rate(&s, |m| !s.affected.contains(&m.user_id));
+    assert!(
+        affected_rate > healthy_rate * 3.0,
+        "affected evidence rate {affected_rate:.3} vs healthy {healthy_rate:.3}"
+    );
+    assert!(
+        affected_rate > 0.15,
+        "triage should flag a sizeable share of the faulted homes' tests: {affected_rate:.3}"
+    );
+    assert!(
+        healthy_rate < 0.1,
+        "healthy homes should rarely produce challenge evidence: {healthy_rate:.3}"
+    );
+}
+
+#[test]
+fn knowing_the_subscription_matters() {
+    // The paper's §8 recommendation, quantified: with the subscription
+    // known, a chronic fault is visible; relying on BST-inferred tiers,
+    // the fault drags the inferred tier down and hides itself.
+    let s = build();
+    let cfg = DiagnoseConfig::default();
+
+    let (mut with_truth, mut inferred_only) = (0usize, 0usize);
+    let mut n = 0usize;
+    for m in s.tests.iter().filter(|m| s.affected.contains(&m.user_id)) {
+        n += 1;
+        if diagnose(m, &s.model, &s.catalog, m.truth_tier, &cfg).is_challenge_evidence() {
+            with_truth += 1;
+        }
+        if diagnose(m, &s.model, &s.catalog, None, &cfg).is_challenge_evidence() {
+            inferred_only += 1;
+        }
+    }
+    assert!(n > 300, "affected tests: {n}");
+    let (rt, ri) = (with_truth as f64 / n as f64, inferred_only as f64 / n as f64);
+    assert!(
+        rt > ri * 1.3,
+        "known-subscription detection {rt:.3} should clearly beat inferred-tier {ri:.3}"
+    );
+}
+
+#[test]
+fn fault_injection_does_not_break_bst_accuracy_on_healthy_homes() {
+    let s = build();
+    let (mut ok, mut n) = (0usize, 0usize);
+    for (m, a) in s.tests.iter().zip(&s.model.assignments) {
+        if s.affected.contains(&m.user_id) {
+            continue;
+        }
+        let truth = m.truth_tier.expect("generator records truth");
+        let truth_cap = s.catalog.plan(truth).unwrap().up;
+        n += 1;
+        if a.upload_cap == Some(truth_cap) {
+            ok += 1;
+        }
+    }
+    let acc = ok as f64 / n as f64;
+    assert!(acc > 0.9, "healthy-home upload accuracy {acc:.3} under fault injection");
+}

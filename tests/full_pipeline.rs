@@ -1,0 +1,138 @@
+//! End-to-end integration: synthetic datasets → BST → paper-level claims.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use speedtest_context::bst::{evaluate, BstConfig, BstModel};
+use speedtest_context::datagen::{City, CityDataset};
+
+fn fit_mba(ds: &CityDataset, seed: u64) -> (BstModel, Vec<Option<usize>>) {
+    let down: Vec<f64> = ds.mba.iter().map(|m| m.down_mbps).collect();
+    let up: Vec<f64> = ds.mba.iter().map(|m| m.up_mbps).collect();
+    let truth: Vec<Option<usize>> = ds.mba.iter().map(|m| m.truth_tier).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = BstModel::fit(&down, &up, &ds.config.catalog, &BstConfig::default(), &mut rng)
+        .expect("MBA panel is clusterable");
+    (model, truth)
+}
+
+#[test]
+fn bst_exceeds_96_percent_on_every_state_panel() {
+    // The paper's Table 2 headline, across all four states.
+    for city in City::all() {
+        let ds = CityDataset::generate(city, 0.015, 20221025);
+        let (model, truth) = fit_mba(&ds, 5);
+        let ev = evaluate(&model, &truth, &ds.config.catalog);
+        assert!(
+            ev.upload_accuracy > 0.96,
+            "{}: upload accuracy {:.4} (paper: >96%)",
+            ds.config.city.state_label(),
+            ev.upload_accuracy
+        );
+        assert!(ev.coverage > 0.95, "{:?} coverage {}", city, ev.coverage);
+    }
+}
+
+#[test]
+fn bst_generalizes_from_mba_to_unseen_measurements() {
+    // Fit on the panel, classify held-out panel-like measurements.
+    let ds = CityDataset::generate(City::A, 0.02, 77);
+    let (model, _) = fit_mba(&ds, 7);
+    let holdout = CityDataset::generate(City::A, 0.004, 78);
+    let mut n = 0usize;
+    let mut ok = 0usize;
+    for m in &holdout.mba {
+        let truth = m.truth_tier.expect("MBA carries truth");
+        let a = model.assign(m.down_mbps, m.up_mbps);
+        n += 1;
+        let truth_up = holdout.config.catalog.plan(truth).unwrap().up;
+        if a.upload_cap == Some(truth_up) {
+            ok += 1;
+        }
+    }
+    assert!(n >= 100);
+    let acc = ok as f64 / n as f64;
+    assert!(acc > 0.9, "held-out upload accuracy {acc}");
+}
+
+#[test]
+fn crowdsourced_fits_skew_toward_low_tiers() {
+    // §5.1: the majority of crowdsourced tests come from the cheaper
+    // tier groups, biasing aggregate medians downward.
+    let ds = CityDataset::generate(City::A, 0.01, 3);
+    let down: Vec<f64> = ds.ookla.iter().map(|m| m.down_mbps).collect();
+    let up: Vec<f64> = ds.ookla.iter().map(|m| m.up_mbps).collect();
+    let mut rng = StdRng::seed_from_u64(11);
+    let model = BstModel::fit(&down, &up, &ds.config.catalog, &BstConfig::default(), &mut rng)
+        .expect("campaign is clusterable");
+
+    let groups = ds.config.catalog.tier_groups();
+    let low_group_tiers = &groups[0].tiers;
+    let assigned: Vec<usize> = model.tiers().into_iter().flatten().collect();
+    assert!(!assigned.is_empty());
+    let low = assigned.iter().filter(|t| low_group_tiers.contains(t)).count();
+    let share = low as f64 / assigned.len() as f64;
+    assert!(
+        share > 0.3,
+        "lowest-group share {share} should dominate the campaign"
+    );
+}
+
+#[test]
+fn truth_tier_never_influences_the_fit() {
+    // Erasing the ground-truth labels must not change the fitted model:
+    // BST is unsupervised.
+    let ds = CityDataset::generate(City::B, 0.006, 41);
+    let down: Vec<f64> = ds.mba.iter().map(|m| m.down_mbps).collect();
+    let up: Vec<f64> = ds.mba.iter().map(|m| m.up_mbps).collect();
+    let fit = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        BstModel::fit(&down, &up, &ds.config.catalog, &BstConfig::default(), &mut rng)
+            .unwrap()
+            .tiers()
+    };
+    // Same inputs & seed → identical assignments, independent of anything
+    // else in the Measurement records.
+    assert_eq!(fit(13), fit(13));
+}
+
+#[test]
+fn dataset_generation_is_reproducible_across_calls() {
+    let a = CityDataset::generate(City::C, 0.004, 999);
+    let b = CityDataset::generate(City::C, 0.004, 999);
+    assert_eq!(a.ookla, b.ookla);
+    assert_eq!(a.mlab, b.mlab);
+    assert_eq!(a.mba, b.mba);
+}
+
+#[test]
+fn vendor_gap_holds_on_raw_campaigns() {
+    // Without any clustering at all: per ground-truth tier group, median
+    // M-Lab download ≤ median Ookla download (§6.3's physical effect).
+    let ds = CityDataset::generate(City::A, 0.01, 17);
+    let groups = ds.config.catalog.tier_groups();
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    let mut checked = 0;
+    for g in &groups {
+        let ookla: Vec<f64> = ds
+            .ookla
+            .iter()
+            .filter(|m| g.tiers.contains(&m.truth_tier.unwrap()))
+            .map(|m| m.down_mbps)
+            .collect();
+        let mlab: Vec<f64> = ds
+            .mlab
+            .iter()
+            .filter(|m| g.tiers.contains(&m.truth_tier.unwrap()))
+            .map(|m| m.down_mbps)
+            .collect();
+        if ookla.len() > 50 && mlab.len() > 50 {
+            let (om, mm) = (median(ookla), median(mlab));
+            assert!(mm <= om * 1.1, "{}: M-Lab {mm} vs Ookla {om}", g.label());
+            checked += 1;
+        }
+    }
+    assert!(checked >= 2, "need at least two populated groups");
+}
