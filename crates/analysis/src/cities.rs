@@ -60,19 +60,15 @@ pub fn run(analyses: &[&CityAnalysis]) -> (TableResult, Vec<CitySummary>) {
     // The table uses up to four group columns (cities differ in group
     // count; short rows pad with "-").
     let max_groups = summaries.iter().map(|s| s.group_medians.len()).max().unwrap_or(0);
-    let mut headers =
-        vec!["City".to_string(), "Raw median".to_string(), "Gini".to_string()];
+    let mut headers = vec!["City".to_string(), "Raw median".to_string(), "Gini".to_string()];
     for i in 0..max_groups {
         headers.push(format!("Group {} median", i + 1));
     }
     let rows = summaries
         .iter()
         .map(|s| {
-            let mut row = vec![
-                s.city.clone(),
-                format!("{:.1}", s.raw_median),
-                format!("{:.2}", s.gini),
-            ];
+            let mut row =
+                vec![s.city.clone(), format!("{:.1}", s.raw_median), format!("{:.2}", s.gini)];
             for i in 0..max_groups {
                 row.push(match s.group_medians.get(i) {
                     Some((label, med)) if med.is_finite() => {
@@ -88,8 +84,7 @@ pub fn run(analyses: &[&CityAnalysis]) -> (TableResult, Vec<CitySummary>) {
     (
         TableResult {
             id: "cities".into(),
-            title: "Cross-city: the aggregate median vs the structure it hides (§2)"
-                .into(),
+            title: "Cross-city: the aggregate median vs the structure it hides (§2)".into(),
             headers,
             rows,
         },
@@ -123,10 +118,7 @@ mod tests {
         // raw median above the others in our reconstruction; the premise
         // that survives is "same order of magnitude", which the within-
         // city structure (next test) dwarfs.
-        assert!(
-            hi / lo < 3.0,
-            "raw medians should look comparable across cities: {medians:?}"
-        );
+        assert!(hi / lo < 3.0, "raw medians should look comparable across cities: {medians:?}");
     }
 
     #[test]
@@ -135,12 +127,8 @@ mod tests {
         let refs: Vec<&CityAnalysis> = all.iter().collect();
         let (_, summaries) = run(&refs);
         for s in &summaries {
-            let finite: Vec<f64> = s
-                .group_medians
-                .iter()
-                .map(|(_, m)| *m)
-                .filter(|m| m.is_finite())
-                .collect();
+            let finite: Vec<f64> =
+                s.group_medians.iter().map(|(_, m)| *m).filter(|m| m.is_finite()).collect();
             assert!(finite.len() >= 3, "{}: groups {:?}", s.city, s.group_medians);
             let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = finite.iter().cloned().fold(0.0f64, f64::max);
@@ -160,12 +148,7 @@ mod tests {
         let refs: Vec<&CityAnalysis> = all.iter().collect();
         let (_, summaries) = run(&refs);
         for s in &summaries {
-            assert!(
-                (0.3..0.8).contains(&s.gini),
-                "{}: download Gini {}",
-                s.city,
-                s.gini
-            );
+            assert!((0.3..0.8).contains(&s.gini), "{}: download Gini {}", s.city, s.gini);
         }
     }
 

@@ -102,18 +102,12 @@ impl CityAnalysis {
 
     /// Tier-group index (0-based, ascending upload cap) containing `tier`.
     pub fn group_index(&self, tier: usize) -> Option<usize> {
-        self.catalog()
-            .tier_groups()
-            .iter()
-            .position(|g| g.tiers.contains(&tier))
+        self.catalog().tier_groups().iter().position(|g| g.tiers.contains(&tier))
     }
 
     /// The Ookla model fitted for `platform`.
     pub fn ookla_model(&self, platform: Platform) -> Option<&BstModel> {
-        self.ookla_models
-            .iter()
-            .find(|(p, ..)| *p == platform)
-            .map(|(_, m, _)| m)
+        self.ookla_models.iter().find(|(p, ..)| *p == platform).map(|(_, m, _)| m)
     }
 
     /// Ookla measurements of one platform with their assigned tiers.

@@ -65,10 +65,7 @@ pub fn run(a: &CityAnalysis) -> (CdfResult, LatencySummary) {
     (
         CdfResult {
             id: "ext_latency".into(),
-            title: format!(
-                "{}: idle vs loaded RTT (extension)",
-                a.dataset.config.city.label()
-            ),
+            title: format!("{}: idle vs loaded RTT (extension)", a.dataset.config.city.label()),
             x_label: "RTT (ms)".into(),
             series,
             medians: medians.clone(),
@@ -116,11 +113,7 @@ mod tests {
             );
         }
         // At least one group has measurable bloat.
-        assert!(
-            s.bloat_by_group.iter().any(|(_, b)| *b > 0.5),
-            "{:?}",
-            s.bloat_by_group
-        );
+        assert!(s.bloat_by_group.iter().any(|(_, b)| *b > 0.5), "{:?}", s.bloat_by_group);
     }
 
     #[test]

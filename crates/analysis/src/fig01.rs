@@ -25,10 +25,7 @@ pub fn run(a: &CityAnalysis) -> CdfResult {
     };
 
     // Uncontextualized: every Ookla test.
-    push(
-        "Uncontextualized",
-        a.dataset.ookla.iter().map(|m| m.down_mbps).collect(),
-    );
+    push("Uncontextualized", a.dataset.ookla.iter().map(|m| m.down_mbps).collect());
 
     // Lowest tier (Tier 1).
     push(
@@ -68,7 +65,7 @@ pub fn run(a: &CityAnalysis) -> CdfResult {
                         m.access,
                         Access::Wifi { band: Band::G5, rssi_dbm } if rssi_dbm >= -50.0
                     )
-                    && m.memory_class().map_or(false, |c| c != MemoryClass::Under2G)
+                    && m.memory_class().is_some_and(|c| c != MemoryClass::Under2G)
             })
             .map(|(m, _)| m.down_mbps)
             .collect(),
@@ -81,9 +78,7 @@ pub fn run(a: &CityAnalysis) -> CdfResult {
             .ookla
             .iter()
             .zip(&a.ookla_tiers)
-            .filter(|(m, t)| {
-                **t == Some(top) && m.platform == Platform::DesktopEthernetApp
-            })
+            .filter(|(m, t)| **t == Some(top) && m.platform == Platform::DesktopEthernetApp)
             .map(|(m, _)| m.down_mbps)
             .collect(),
     );
@@ -109,8 +104,11 @@ mod tests {
     #[test]
     fn produces_the_five_contexts() {
         let r = run(&analysis());
-        assert!(r.series.len() >= 4, "labels: {:?}",
-            r.series.iter().map(|s| &s.label).collect::<Vec<_>>());
+        assert!(
+            r.series.len() >= 4,
+            "labels: {:?}",
+            r.series.iter().map(|s| &s.label).collect::<Vec<_>>()
+        );
         assert_eq!(r.series[0].label, "Uncontextualized");
     }
 

@@ -28,23 +28,14 @@ pub fn run(a: &CityAnalysis) -> Vec<DensityResult> {
                 series.push(SeriesData::new(group.label(), grid));
             }
         }
-        let plan_lines: Vec<f64> = a
-            .catalog()
-            .plans_with_upload(group.up)
-            .iter()
-            .map(|p| p.down.0)
-            .collect();
+        let plan_lines: Vec<f64> =
+            a.catalog().plans_with_upload(group.up).iter().map(|p| p.down.0).collect();
         // Report only components carrying real mass (≥ 2%), as the paper
         // lists the major clusters.
         let cluster_means: Vec<f64> = model
             .downloads_for(group.up)
             .map(|d| {
-                d.gmm
-                    .components()
-                    .iter()
-                    .filter(|c| c.weight >= 0.02)
-                    .map(|c| c.mean)
-                    .collect()
+                d.gmm.components().iter().filter(|c| c.weight >= 0.02).map(|c| c.mean).collect()
             })
             .unwrap_or_default();
         out.push(DensityResult {
@@ -109,9 +100,6 @@ mod tests {
         let figs = run(&analysis());
         let tier6 = figs.iter().find(|f| f.plan_lines.contains(&1200.0)).unwrap();
         let top_mean = tier6.cluster_means.iter().cloned().fold(0.0f64, f64::max);
-        assert!(
-            top_mean < 1150.0 && top_mean > 700.0,
-            "gigabit cluster mean {top_mean}"
-        );
+        assert!(top_mean < 1150.0 && top_mean > 700.0, "gigabit cluster mean {top_mean}");
     }
 }

@@ -18,8 +18,7 @@ pub fn run(a: &CityAnalysis) -> DensityResult {
     let mut series = Vec::new();
     let mut add = |label: &str, values: Vec<f64>| {
         // Clip to the plot range of the paper's figure (0..~1.4x top cap).
-        let clipped: Vec<f64> =
-            values.into_iter().filter(|v| *v <= max_cap * 1.4).collect();
+        let clipped: Vec<f64> = values.into_iter().filter(|v| *v <= max_cap * 1.4).collect();
         if clipped.len() < 20 {
             return;
         }
@@ -41,21 +40,13 @@ pub fn run(a: &CityAnalysis) -> DensityResult {
     );
     add(
         "Ookla-Web",
-        a.dataset
-            .ookla
-            .iter()
-            .filter(|m| m.platform == Platform::Web)
-            .map(|m| m.up_mbps)
-            .collect(),
+        a.dataset.ookla.iter().filter(|m| m.platform == Platform::Web).map(|m| m.up_mbps).collect(),
     );
     add("MLab-Web", a.dataset.mlab.iter().map(|m| m.up_mbps).collect());
 
     DensityResult {
         id: "fig06".into(),
-        title: format!(
-            "{}: crowdsourced upload speed density",
-            a.dataset.config.city.label()
-        ),
+        title: format!("{}: crowdsourced upload speed density", a.dataset.config.city.label()),
         x_label: "Upload Speed (Mbps)".into(),
         series,
         plan_lines: caps,
@@ -88,15 +79,11 @@ mod tests {
         for s in &r.series {
             let peaks = find_peaks_on_grid(&s.points, 0.05);
             assert!(!peaks.is_empty(), "{} has no peaks", s.label);
-            let biggest = peaks
-                .iter()
-                .max_by(|a, b| a.density.partial_cmp(&b.density).unwrap())
-                .unwrap();
-            let near_cap_or_low = r
-                .plan_lines
-                .iter()
-                .any(|c| (biggest.x - c).abs() < c * 0.5 + 1.0)
-                || biggest.x < 2.5; // the M-Lab browser-limited cluster
+            let biggest =
+                peaks.iter().max_by(|a, b| a.density.partial_cmp(&b.density).unwrap()).unwrap();
+            let near_cap_or_low =
+                r.plan_lines.iter().any(|c| (biggest.x - c).abs() < c * 0.5 + 1.0)
+                    || biggest.x < 2.5; // the M-Lab browser-limited cluster
             assert!(
                 near_cap_or_low,
                 "{}: dominant peak at {} vs caps {:?}",

@@ -11,15 +11,12 @@ use st_stats::{Bandwidth, KernelDensity};
 
 /// One density figure per tier group, over Android tests.
 pub fn run(a: &CityAnalysis) -> Vec<DensityResult> {
-    let Some((_, model, indices)) = a
-        .ookla_models
-        .iter()
-        .find(|(p, ..)| *p == Platform::AndroidApp)
+    let Some((_, model, indices)) =
+        a.ookla_models.iter().find(|(p, ..)| *p == Platform::AndroidApp)
     else {
         return Vec::new();
     };
-    let downs: Vec<f64> =
-        indices.iter().map(|&i| a.dataset.ookla[i].down_mbps).collect();
+    let downs: Vec<f64> = indices.iter().map(|&i| a.dataset.ookla[i].down_mbps).collect();
 
     let mut out = Vec::new();
     for group in a.catalog().tier_groups() {
@@ -43,12 +40,7 @@ pub fn run(a: &CityAnalysis) -> Vec<DensityResult> {
             ),
             x_label: "Download Speed (Mbps)".into(),
             series,
-            plan_lines: a
-                .catalog()
-                .plans_with_upload(group.up)
-                .iter()
-                .map(|p| p.down.0)
-                .collect(),
+            plan_lines: a.catalog().plans_with_upload(group.up).iter().map(|p| p.down.0).collect(),
             cluster_means: model
                 .downloads_for(group.up)
                 .map(|d| d.component_means())
@@ -73,10 +65,8 @@ mod tests {
         assert!(figs.len() >= 3, "got {}", figs.len());
         // Crowdsourced downloads are multi-modal: the single-plan groups
         // should recover more components than plans (§5.1).
-        let multi = figs
-            .iter()
-            .filter(|f| f.plan_lines.len() == 1 && f.cluster_means.len() > 1)
-            .count();
+        let multi =
+            figs.iter().filter(|f| f.plan_lines.len() == 1 && f.cluster_means.len() > 1).count();
         assert!(multi >= 1, "no single-plan group showed degradation modes");
     }
 
@@ -87,11 +77,7 @@ mod tests {
             let top_plan = f.plan_lines.iter().cloned().fold(0.0f64, f64::max);
             let below = f.cluster_means.iter().filter(|m| **m < top_plan * 0.8).count();
             if f.plan_lines.len() == 1 && f.cluster_means.len() >= 3 {
-                assert!(
-                    below >= 1,
-                    "{}: no degradation cluster below plan {top_plan}",
-                    f.id
-                );
+                assert!(below >= 1, "{}: no degradation cluster below plan {top_plan}", f.id);
             }
         }
     }

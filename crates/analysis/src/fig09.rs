@@ -17,12 +17,7 @@ pub fn run(a: &CityAnalysis) -> Vec<CdfResult> {
     vec![panel_a(a), panel_b(a), panel_c(a), panel_d(a)]
 }
 
-fn build(
-    a: &CityAnalysis,
-    id: &str,
-    title: &str,
-    groups: Vec<(String, Vec<f64>)>,
-) -> CdfResult {
+fn build(a: &CityAnalysis, id: &str, title: &str, groups: Vec<(String, Vec<f64>)>) -> CdfResult {
     let mut series = Vec::new();
     let mut medians = Vec::new();
     for (label, values) in groups {
@@ -73,10 +68,9 @@ pub fn panel_b(a: &CityAnalysis) -> CdfResult {
         m.platform == Platform::AndroidApp && band_of(m) == Some(Band::G2_4)
     })
     .collect();
-    let g5: Vec<f64> = normalized(a, move |m| {
-        m.platform == Platform::AndroidApp && band_of(m) == Some(Band::G5)
-    })
-    .collect();
+    let g5: Vec<f64> =
+        normalized(a, move |m| m.platform == Platform::AndroidApp && band_of(m) == Some(Band::G5))
+            .collect();
     build(
         a,
         "fig09b",
@@ -130,12 +124,7 @@ pub fn panel_d(a: &CityAnalysis) -> CdfResult {
             (class.label().to_string(), vals)
         })
         .collect();
-    build(
-        a,
-        "fig09d",
-        "normalized download by kernel memory (5 GHz, >= -50 dBm Android)",
-        groups,
-    )
+    build(a, "fig09d", "normalized download by kernel memory (5 GHz, >= -50 dBm Android)", groups)
 }
 
 #[cfg(test)]
@@ -176,14 +165,8 @@ mod tests {
         // as signal degrades (allow slack on the sparse best bin).
         assert!(r.medians.len() >= 3, "bins: {}", r.medians.len());
         let worst = *r.medians.last().unwrap();
-        let best_two = r.medians[..r.medians.len() - 1]
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max);
-        assert!(
-            best_two > worst,
-            "best bins {best_two} should beat worst bin {worst}"
-        );
+        let best_two = r.medians[..r.medians.len() - 1].iter().cloned().fold(0.0f64, f64::max);
+        assert!(best_two > worst, "best bins {best_two} should beat worst bin {worst}");
     }
 
     #[test]

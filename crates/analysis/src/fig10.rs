@@ -26,13 +26,12 @@ pub fn is_best(m: &Measurement) -> bool {
     matches!(
         m.access,
         Access::Wifi { band: Band::G5, rssi_dbm } if rssi_dbm >= -50.0
-    ) && m.memory_class().map_or(false, |c| c != MemoryClass::Under2G)
+    ) && m.memory_class().is_some_and(|c| c != MemoryClass::Under2G)
 }
 
 /// Compute the Best vs Local-bottleneck comparison.
 pub fn run(a: &CityAnalysis) -> (CdfResult, BottleneckShares) {
-    let android: Vec<(&Measurement, Option<usize>)> =
-        a.ookla_platform(Platform::AndroidApp);
+    let android: Vec<(&Measurement, Option<usize>)> = a.ookla_platform(Platform::AndroidApp);
     let mut best = Vec::new();
     let mut bottleneck = Vec::new();
     let mut n_bottleneck = 0usize;
@@ -58,10 +57,7 @@ pub fn run(a: &CityAnalysis) -> (CdfResult, BottleneckShares) {
     (
         CdfResult {
             id: "fig10".into(),
-            title: format!(
-                "{}: Best vs Local-bottleneck (Android)",
-                a.dataset.config.city.label()
-            ),
+            title: format!("{}: Best vs Local-bottleneck (Android)", a.dataset.config.city.label()),
             x_label: "Normalized Download Speed".into(),
             series,
             medians,

@@ -30,8 +30,7 @@ pub fn run(a: &CityAnalysis) -> (TimeOfDayVolume, TableResult) {
         }
     }
 
-    let bins: Vec<String> =
-        (0..4).map(|b| Measurement::time_bin_label(b).to_string()).collect();
+    let bins: Vec<String> = (0..4).map(|b| Measurement::time_bin_label(b).to_string()).collect();
     let groups: Vec<SeriesData> = tier_groups
         .iter()
         .zip(&counts)
@@ -63,10 +62,7 @@ pub fn run(a: &CityAnalysis) -> (TimeOfDayVolume, TableResult) {
         TimeOfDayVolume { bins, groups },
         TableResult {
             id: "fig11".into(),
-            title: format!(
-                "{}: share of tests per six-hour bin",
-                a.dataset.config.city.label()
-            ),
+            title: format!("{}: share of tests per six-hour bin", a.dataset.config.city.label()),
             headers,
             rows,
         },

@@ -91,7 +91,7 @@ pub fn ks_summary(a: &CityAnalysis, group_indices: &[usize]) -> Vec<TimeOfDayKs>
                         continue;
                     }
                     if let Ok(ks) = ks_test(&by_bin[i], &by_bin[j]) {
-                        if best.as_ref().map_or(true, |b| ks.statistic > b.max_ks) {
+                        if best.as_ref().is_none_or(|b| ks.statistic > b.max_ks) {
                             best = Some(TimeOfDayKs {
                                 group: group.label(),
                                 max_ks: ks.statistic,
@@ -123,8 +123,13 @@ mod tests {
         let rs = run_default(&analysis());
         assert_eq!(rs.len(), 2);
         for r in &rs {
-            assert_eq!(r.series.len(), 4, "{}: {:?}", r.id,
-                r.series.iter().map(|s| &s.label).collect::<Vec<_>>());
+            assert_eq!(
+                r.series.len(),
+                4,
+                "{}: {:?}",
+                r.id,
+                r.series.iter().map(|s| &s.label).collect::<Vec<_>>()
+            );
         }
     }
 
@@ -136,11 +141,7 @@ mod tests {
         for r in &rs {
             let lo = r.medians.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = r.medians.iter().cloned().fold(0.0f64, f64::max);
-            assert!(
-                hi - lo < 0.15,
-                "{}: time-of-day median spread {lo}..{hi} too large",
-                r.id
-            );
+            assert!(hi - lo < 0.15, "{}: time-of-day median spread {lo}..{hi} too large", r.id);
         }
     }
 

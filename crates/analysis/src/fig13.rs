@@ -63,9 +63,7 @@ pub fn run(a: &CityAnalysis) -> (Vec<CdfResult>, Vec<VendorGap>) {
             // seed so repro runs are reproducible.
             let ratio_ci = if ookla.len() >= 30 && mlab.len() >= 30 {
                 let mut rng = StdRng::seed_from_u64(0xf13 + gi as u64);
-                median_ratio_ci(&ookla, &mlab, 300, 0.95, &mut rng)
-                    .ok()
-                    .map(|ci| (ci.lo, ci.hi))
+                median_ratio_ci(&ookla, &mlab, 300, 0.95, &mut rng).ok().map(|ci| (ci.lo, ci.hi))
             } else {
                 None
             };
@@ -79,11 +77,7 @@ pub fn run(a: &CityAnalysis) -> (Vec<CdfResult>, Vec<VendorGap>) {
         }
         panels.push(CdfResult {
             id: format!("fig13_{}", group.label().replace(' ', "").to_lowercase()),
-            title: format!(
-                "{}: Ookla vs M-Lab, {}",
-                a.dataset.config.city.label(),
-                group.label()
-            ),
+            title: format!("{}: Ookla vs M-Lab, {}", a.dataset.config.city.label(), group.label()),
             x_label: "Normalized Download Speed".into(),
             series,
             medians,
@@ -145,8 +139,7 @@ mod tests {
         let (_, gaps) = run(&analysis());
         if gaps.len() >= 2 {
             let first = gaps.first().unwrap().ratio;
-            let later_max =
-                gaps[1..].iter().map(|g| g.ratio).fold(0.0f64, f64::max);
+            let later_max = gaps[1..].iter().map(|g| g.ratio).fold(0.0f64, f64::max);
             assert!(
                 later_max >= first * 0.9,
                 "higher tiers should not close the gap: first {first}, later {later_max}"

@@ -83,11 +83,8 @@ impl DensityResult {
     /// series so they ride through the same pipeline).
     pub fn to_svg(&self) -> String {
         let mut series: Vec<Series> = self.series.iter().map(|s| s.to_series()).collect();
-        let max_y = series
-            .iter()
-            .filter_map(|s| s.bounds().map(|b| b.3))
-            .fold(0.0f64, f64::max)
-            .max(1e-9);
+        let max_y =
+            series.iter().filter_map(|s| s.bounds().map(|b| b.3)).fold(0.0f64, f64::max).max(1e-9);
         for &x in &self.plan_lines {
             series.push(Series::new("plan", vec![(x, 0.0), (x, max_y)]));
         }
@@ -127,12 +124,7 @@ impl TableResult {
     /// Render as an ASCII table.
     pub fn render(&self) -> String {
         let headers: Vec<&str> = self.headers.iter().map(String::as_str).collect();
-        format!(
-            "== {} — {} ==\n{}",
-            self.id,
-            self.title,
-            st_viz::ascii_table(&headers, &self.rows)
-        )
+        format!("== {} — {} ==\n{}", self.id, self.title, st_viz::ascii_table(&headers, &self.rows))
     }
 }
 

@@ -6,8 +6,8 @@
 
 use crate::context::CityAnalysis;
 use crate::results::TableResult;
-use st_bst::evaluate;
 use serde::Serialize;
+use st_bst::evaluate;
 
 /// One state's evaluation, serializable for EXPERIMENTS.md tooling.
 #[derive(Debug, Clone, Serialize)]
@@ -29,8 +29,7 @@ pub fn run(analyses: &[&CityAnalysis]) -> (TableResult, Vec<StateAccuracy>) {
     let mut stats = Vec::new();
     for a in analyses {
         let Some(model) = &a.mba_model else { continue };
-        let truth: Vec<Option<usize>> =
-            a.dataset.mba.iter().map(|m| m.truth_tier).collect();
+        let truth: Vec<Option<usize>> = a.dataset.mba.iter().map(|m| m.truth_tier).collect();
         let ev = evaluate(model, &truth, a.catalog());
         stats.push(StateAccuracy {
             state: a.dataset.config.city.state_label().to_string(),
@@ -100,12 +99,7 @@ mod tests {
         let (_, stats) = run(&refs);
         assert_eq!(stats.len(), 4);
         for s in &stats {
-            assert!(
-                s.upload_accuracy > 0.90,
-                "{}: upload accuracy {}",
-                s.state,
-                s.upload_accuracy
-            );
+            assert!(s.upload_accuracy > 0.90, "{}: upload accuracy {}", s.state, s.upload_accuracy);
         }
     }
 }

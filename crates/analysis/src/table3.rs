@@ -56,11 +56,7 @@ pub fn run(a: &CityAnalysis) -> (TableResult, Vec<PlatformClusters>) {
             let mut row = vec![s.platform.clone()];
             for (_, count, mean) in &s.groups {
                 row.push(count.to_string());
-                row.push(if mean.is_nan() {
-                    "-".to_string()
-                } else {
-                    format!("{mean:.2}")
-                });
+                row.push(if mean.is_nan() { "-".to_string() } else { format!("{mean:.2}") });
             }
             row
         })
@@ -93,8 +89,11 @@ mod tests {
     fn covers_major_platforms_and_groups() {
         let a = analysis(City::A);
         let (table, stats) = run(&a);
-        assert!(stats.len() >= 3, "platforms: {:?}",
-            stats.iter().map(|s| &s.platform).collect::<Vec<_>>());
+        assert!(
+            stats.len() >= 3,
+            "platforms: {:?}",
+            stats.iter().map(|s| &s.platform).collect::<Vec<_>>()
+        );
         // 4 tier groups for ISP-A → 1 + 8 columns.
         assert_eq!(table.headers.len(), 9);
         let labels: Vec<&str> = stats.iter().map(|s| s.platform.as_str()).collect();
@@ -130,10 +129,7 @@ mod tests {
         let ios = stats.iter().find(|s| s.platform == "iOS-App").unwrap();
         let counts: Vec<usize> = ios.groups.iter().map(|g| g.1).collect();
         let total: usize = counts.iter().sum();
-        assert!(
-            counts[0] as f64 / total as f64 > 0.3,
-            "lowest group share {counts:?}"
-        );
+        assert!(counts[0] as f64 / total as f64 > 0.3, "lowest group share {counts:?}");
     }
 
     #[test]

@@ -38,10 +38,8 @@ pub fn run(a: &CityAnalysis) -> (TableResult, Vec<PlatformDownloadClusters>) {
             groups: groups
                 .iter()
                 .map(|g| {
-                    let means = model
-                        .downloads_for(g.up)
-                        .map(|d| d.component_means())
-                        .unwrap_or_default();
+                    let means =
+                        model.downloads_for(g.up).map(|d| d.component_means()).unwrap_or_default();
                     (g.label(), means)
                 })
                 .collect(),
@@ -55,13 +53,7 @@ pub fn run(a: &CityAnalysis) -> (TableResult, Vec<PlatformDownloadClusters>) {
         .map(|s| {
             let mut row = vec![s.platform.clone()];
             for (_, means) in &s.groups {
-                row.push(
-                    means
-                        .iter()
-                        .map(|m| format!("{m:.0}"))
-                        .collect::<Vec<_>>()
-                        .join(", "),
-                );
+                row.push(means.iter().map(|m| format!("{m:.0}")).collect::<Vec<_>>().join(", "));
             }
             row
         })
@@ -110,10 +102,7 @@ mod tests {
                 .map(|s| s.groups.iter().map(|(_, m)| m.len()).sum())
         };
         if let (Some(eth), Some(ios)) = (count("Desktop Ethernet-App"), count("iOS-App")) {
-            assert!(
-                eth <= ios,
-                "Ethernet should need <= components than WiFi: {eth} vs {ios}"
-            );
+            assert!(eth <= ios, "Ethernet should need <= components than WiFi: {eth} vs {ios}");
         }
     }
 

@@ -7,9 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use st_bst::ablation::{
-    bic_upload_components, download_first_tiers, kmeans_tiers, tier_accuracy,
-};
+use st_bst::ablation::{bic_upload_components, download_first_tiers, kmeans_tiers, tier_accuracy};
 use st_bst::{BstConfig, BstModel};
 use st_datagen::catalog_for;
 use st_datagen::City;
@@ -71,9 +69,7 @@ fn bench_upload_first_vs_download_first(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("upload_first_bst", |b| {
         let mut rng = StdRng::seed_from_u64(2);
-        b.iter(|| {
-            black_box(BstModel::fit(down, up, &catalog, &cfg, &mut rng).unwrap())
-        })
+        b.iter(|| black_box(BstModel::fit(down, up, &catalog, &cfg, &mut rng).unwrap()))
     });
     g.bench_function("download_first", |b| {
         let mut rng = StdRng::seed_from_u64(2);

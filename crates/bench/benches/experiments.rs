@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use st_analysis::{
-    ext_latency, fig01, fig02, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11,
-    fig12, fig13, table1, table2, table3, table4, CityAnalysis,
+    ext_latency, fig01, fig02, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12,
+    fig13, table1, table2, table3, table4, CityAnalysis,
 };
 use st_datagen::{City, CityDataset};
 use std::hint::black_box;
@@ -33,19 +33,11 @@ fn city_a() -> &'static CityAnalysis {
 fn bench_tables(c: &mut Criterion) {
     let all = analyses();
     let datasets: Vec<&CityDataset> = all.iter().map(|a| &a.dataset).collect();
-    c.bench_function("table1_dataset_sizes", |b| {
-        b.iter(|| black_box(table1::run(&datasets)))
-    });
+    c.bench_function("table1_dataset_sizes", |b| b.iter(|| black_box(table1::run(&datasets))));
     let refs: Vec<&CityAnalysis> = all.iter().collect();
-    c.bench_function("table2_mba_accuracy", |b| {
-        b.iter(|| black_box(table2::run(&refs)))
-    });
-    c.bench_function("table3_upload_clusters", |b| {
-        b.iter(|| black_box(table3::run(city_a())))
-    });
-    c.bench_function("table4_download_means", |b| {
-        b.iter(|| black_box(table4::run(city_a())))
-    });
+    c.bench_function("table2_mba_accuracy", |b| b.iter(|| black_box(table2::run(&refs))));
+    c.bench_function("table3_upload_clusters", |b| b.iter(|| black_box(table3::run(city_a()))));
+    c.bench_function("table4_download_means", |b| b.iter(|| black_box(table4::run(city_a()))));
     // Tables 5-7 are table3 over cities B-D.
     c.bench_function("tables5to7_appendix", |b| {
         b.iter(|| {
@@ -63,26 +55,20 @@ fn bench_main_figures(c: &mut Criterion) {
     c.bench_function("fig04_mba_upload_kde", |b| b.iter(|| black_box(fig04::run(a))));
     c.bench_function("fig05_mba_download_kde", |b| b.iter(|| black_box(fig05::run(a))));
     c.bench_function("fig06_crowd_upload_kde", |b| b.iter(|| black_box(fig06::run(a))));
-    c.bench_function("fig07_android_download_kde", |b| {
-        b.iter(|| black_box(fig07::run(a)))
-    });
+    c.bench_function("fig07_android_download_kde", |b| b.iter(|| black_box(fig07::run(a))));
     c.bench_function("fig08_alpha_consistency", |b| b.iter(|| black_box(fig08::run(a))));
 }
 
 fn bench_diagnosis_figures(c: &mut Criterion) {
     let a = city_a();
     c.bench_function("fig09_local_factors", |b| b.iter(|| black_box(fig09::run(a))));
-    c.bench_function("fig10_best_vs_bottleneck", |b| {
-        b.iter(|| black_box(fig10::run(a)))
-    });
+    c.bench_function("fig10_best_vs_bottleneck", |b| b.iter(|| black_box(fig10::run(a))));
     c.bench_function("fig11_time_of_day_volume", |b| b.iter(|| black_box(fig11::run(a))));
     c.bench_function("fig12_time_of_day_performance", |b| {
         b.iter(|| black_box(fig12::run_default(a)))
     });
     c.bench_function("fig13_vendor_gap", |b| b.iter(|| black_box(fig13::run(a))));
-    c.bench_function("ext_latency_under_load", |b| {
-        b.iter(|| black_box(ext_latency::run(a)))
-    });
+    c.bench_function("ext_latency_under_load", |b| b.iter(|| black_box(ext_latency::run(a))));
 }
 
 fn bench_appendix_figures(c: &mut Criterion) {

@@ -25,10 +25,8 @@ fn gaussians(spec: &[(f64, f64, usize)], seed: u64) -> Vec<f64> {
 }
 
 fn bench_stats(c: &mut Criterion) {
-    let data = gaussians(
-        &[(5.3, 0.5, 4000), (10.7, 0.6, 1500), (16.0, 0.8, 1200), (37.5, 1.5, 1800)],
-        7,
-    );
+    let data =
+        gaussians(&[(5.3, 0.5, 4000), (10.7, 0.6, 1500), (16.0, 0.8, 1200), (37.5, 1.5, 1800)], 7);
 
     let mut g = c.benchmark_group("stats");
     g.bench_function("kde_fit_and_peaks_8k", |b| {
@@ -51,9 +49,7 @@ fn bench_stats(c: &mut Criterion) {
     });
     g.bench_function("gmm_em_kmeanspp_8k_k4", |b| {
         let mut rng = StdRng::seed_from_u64(3);
-        b.iter(|| {
-            black_box(GaussianMixture::fit(&data, GmmConfig::with_k(4), &mut rng).unwrap())
-        })
+        b.iter(|| black_box(GaussianMixture::fit(&data, GmmConfig::with_k(4), &mut rng).unwrap()))
     });
     g.finish();
 }
@@ -94,16 +90,12 @@ fn bench_bst(c: &mut Criterion) {
     g.bench_function("fit_mba_panel", |b| {
         let mut rng = StdRng::seed_from_u64(5);
         b.iter(|| {
-            black_box(
-                BstModel::fit(&down, &up, &catalog, &BstConfig::default(), &mut rng)
-                    .unwrap(),
-            )
+            black_box(BstModel::fit(&down, &up, &catalog, &BstConfig::default(), &mut rng).unwrap())
         })
     });
     g.bench_function("assign_single_point", |b| {
         let mut rng = StdRng::seed_from_u64(5);
-        let model =
-            BstModel::fit(&down, &up, &catalog, &BstConfig::default(), &mut rng).unwrap();
+        let model = BstModel::fit(&down, &up, &catalog, &BstConfig::default(), &mut rng).unwrap();
         b.iter(|| black_box(model.assign(black_box(117.0), black_box(5.2))))
     });
     g.finish();

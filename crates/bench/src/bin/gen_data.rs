@@ -37,8 +37,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value =
-            |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--city" => {
                 args.cities = match value("--city")?.as_str() {
@@ -51,16 +50,13 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--scale" => {
-                args.scale = value("--scale")?
-                    .parse()
-                    .map_err(|e| format!("bad --scale: {e}"))?;
+                args.scale = value("--scale")?.parse().map_err(|e| format!("bad --scale: {e}"))?;
                 if !(args.scale > 0.0 && args.scale <= 1.0) {
                     return Err("--scale must be in (0, 1]".into());
                 }
             }
             "--seed" => {
-                args.seed =
-                    value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?
+                args.seed = value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?
             }
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--format" => {
@@ -71,11 +67,9 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--help" | "-h" => {
-                return Err(
-                    "usage: gen-data [--city A|B|C|D|all] [--scale S] [--seed N] \
+                return Err("usage: gen-data [--city A|B|C|D|all] [--scale S] [--seed N] \
                      [--out DIR] [--format csv|json]"
-                        .into(),
-                )
+                    .into())
             }
             other => return Err(format!("unknown flag {other}")),
         }

@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale S] [--seed N] [--out DIR]
+//! repro [--scale S] [--seed N] [--out DIR] [--parallelism P]
 //! ```
 //!
 //! Generates the four city datasets at `S` of the paper's campaign sizes
@@ -10,9 +10,15 @@
 //!
 //! * `DIR/report.md` — all tables and figure summaries,
 //! * `DIR/<id>.svg` — one chart per figure,
-//! * `DIR/<id>.json` — machine-readable series/rows.
+//! * `DIR/<id>.json` — machine-readable series/rows,
+//! * `DIR/BENCH_timings.json` — per-stage wall-clock timings.
+//!
+//! `--parallelism` fans dataset generation, BST fitting, and artifact
+//! rendering out over worker threads (default: all cores). Output is
+//! byte-identical at every parallelism level.
 
-use st_bench::{build_analyses, render_report, run_all};
+use serde::Serialize;
+use st_bench::{build_analyses_par, render_report, run_all_par, StageTimings};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -20,38 +26,56 @@ struct Args {
     scale: f64,
     seed: u64,
     out: PathBuf,
+    parallelism: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { scale: 0.05, seed: 20220707, out: PathBuf::from("repro-out") };
+    let mut args = Args {
+        scale: 0.05,
+        seed: 20220707,
+        out: PathBuf::from("repro-out"),
+        parallelism: st_datagen::par::default_parallelism(),
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--scale" => {
-                args.scale = value("--scale")?
-                    .parse()
-                    .map_err(|e| format!("bad --scale: {e}"))?;
+                args.scale = value("--scale")?.parse().map_err(|e| format!("bad --scale: {e}"))?;
                 if !(args.scale > 0.0 && args.scale <= 1.0) {
                     return Err("--scale must be in (0, 1]".into());
                 }
             }
             "--seed" => {
-                args.seed = value("--seed")?
-                    .parse()
-                    .map_err(|e| format!("bad --seed: {e}"))?;
+                args.seed = value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?;
             }
             "--out" => args.out = PathBuf::from(value("--out")?),
+            "--parallelism" => {
+                args.parallelism = value("--parallelism")?
+                    .parse()
+                    .map_err(|e| format!("bad --parallelism: {e}"))?;
+                if args.parallelism == 0 {
+                    return Err("--parallelism must be >= 1".into());
+                }
+            }
             "--help" | "-h" => {
-                return Err("usage: repro [--scale S] [--seed N] [--out DIR]".into())
+                return Err(
+                    "usage: repro [--scale S] [--seed N] [--out DIR] [--parallelism P]".into()
+                )
             }
             other => return Err(format!("unknown flag {other}")),
         }
     }
     Ok(args)
+}
+
+/// The machine-readable timing record written next to the artifacts.
+#[derive(Serialize)]
+struct BenchRecord {
+    scale: f64,
+    seed: u64,
+    parallelism: usize,
+    timings: StageTimings,
 }
 
 fn main() -> ExitCode {
@@ -64,14 +88,17 @@ fn main() -> ExitCode {
     };
 
     eprintln!(
-        "generating 4 cities at scale {} (seed {}) ...",
-        args.scale, args.seed
+        "generating 4 cities at scale {} (seed {}, parallelism {}) ...",
+        args.scale, args.seed, args.parallelism
     );
     let t0 = std::time::Instant::now();
-    let analyses = build_analyses(args.scale, args.seed);
-    eprintln!("datasets + BST fits done in {:.1?}s; running experiments ...", t0.elapsed());
+    let (analyses, timings) = build_analyses_par(args.scale, args.seed, args.parallelism);
+    eprintln!(
+        "datasets in {:.1}s, BST fits in {:.1}s; running experiments ...",
+        timings.generate_s, timings.fit_s
+    );
 
-    let report = run_all(&analyses, args.scale, args.seed);
+    let report = run_all_par(&analyses, args.scale, args.seed, args.parallelism, timings);
     let claims = st_bench::claims::check_all(&analyses);
 
     if let Err(e) = std::fs::create_dir_all(&args.out) {
@@ -89,6 +116,17 @@ fn main() -> ExitCode {
             written += 1;
         }
     }
+    let bench = BenchRecord {
+        scale: args.scale,
+        seed: args.seed,
+        parallelism: args.parallelism,
+        timings: report.timings,
+    };
+    if let Ok(json) = serde_json::to_string_pretty(&bench) {
+        if std::fs::write(args.out.join("BENCH_timings.json"), json).is_ok() {
+            written += 1;
+        }
+    }
     let mut md = render_report(&report);
     md.push_str("\n## Shape claims (paper vs this run)\n\n");
     md.push_str(&st_bench::claims::render_claims(&claims));
@@ -101,10 +139,9 @@ fn main() -> ExitCode {
 
     println!("{md}");
     eprintln!(
-        "wrote {} files to {} in {:.1?}",
-        written + 1,
-        args.out.display(),
-        t0.elapsed()
+        "generate {:.1}s | fit {:.1}s | render {:.1}s",
+        report.timings.generate_s, report.timings.fit_s, report.timings.render_s
     );
+    eprintln!("wrote {} files to {} in {:.1?}", written + 1, args.out.display(), t0.elapsed());
     ExitCode::SUCCESS
 }

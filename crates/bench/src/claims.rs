@@ -105,10 +105,8 @@ pub fn check_all(analyses: &[CityAnalysis]) -> Vec<Claim> {
     }
     if panels[2].medians.len() >= 3 {
         let worst = *panels[2].medians.last().expect("non-empty");
-        let best = panels[2].medians[..panels[2].medians.len() - 1]
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max);
+        let best =
+            panels[2].medians[..panels[2].medians.len() - 1].iter().cloned().fold(0.0f64, f64::max);
         out.push(claim(
             "fig09c-rssi-gap",
             "worst RSSI bin >2x below the best (0.20 vs 0.49+)",

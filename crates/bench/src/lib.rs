@@ -3,14 +3,22 @@
 //! [`run_all`] regenerates every table and figure of the paper at a chosen
 //! scale and returns the artifacts; the binary writes them to disk, the
 //! benches time individual pieces.
+//!
+//! Every stage has a parallel variant (`build_analyses_par`,
+//! `run_all_par`) built on the deterministic chunked engine of
+//! [`st_datagen::par`]: the report is byte-identical at every
+//! parallelism level, only the wall-clock changes. Per-stage timings are
+//! carried on [`ReproReport::timings`].
 
 pub mod claims;
 
+use serde::Serialize;
 use st_analysis::{
-    cities, ext_latency, fig01, fig02, fig04, fig05, fig06, fig07, fig08, fig09, fig10,
-    fig11, fig12, fig13, table1, table2, table3, table4, CityAnalysis,
+    cities, ext_latency, fig01, fig02, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11,
+    fig12, fig13, table1, table2, table3, table4, CityAnalysis,
 };
 use st_datagen::{City, CityDataset};
+use std::time::Instant;
 
 /// One rendered artifact: an id, markdown/text body, and optional SVG.
 pub struct Artifact {
@@ -24,6 +32,17 @@ pub struct Artifact {
     pub json: String,
 }
 
+/// Wall-clock seconds spent in each repro stage.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct StageTimings {
+    /// Dataset generation (four cities).
+    pub generate_s: f64,
+    /// BST model fitting (four cities).
+    pub fit_s: f64,
+    /// Experiment rendering (tables, figures, SVG/JSON).
+    pub render_s: f64,
+}
+
 /// Everything the repro run produces.
 pub struct ReproReport {
     /// The scale the datasets were generated at.
@@ -34,6 +53,51 @@ pub struct ReproReport {
     pub artifacts: Vec<Artifact>,
     /// Headline numbers for the summary (label, value).
     pub headlines: Vec<(String, String)>,
+    /// Per-stage wall-clock timings of this run.
+    pub timings: StageTimings,
+}
+
+/// Map `items` through `f` on up to `workers` scoped threads, preserving
+/// item order in the output. `f` gets the item's index and the item.
+fn par_map<T, U, F>(items: Vec<T>, workers: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = workers.min(n);
+    if workers <= 1 {
+        return items.into_iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let (job_tx, job_rx) = crossbeam::channel::bounded::<(usize, T)>(workers);
+    let (out_tx, out_rx) = crossbeam::channel::unbounded::<(usize, U)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let out_tx = out_tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                for (i, item) in job_rx.iter() {
+                    if out_tx.send((i, f(i, item))).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(job_rx);
+        drop(out_tx);
+        // Feed the bounded queue; workers drain it as they go.
+        for pair in items.into_iter().enumerate() {
+            assert!(job_tx.send(pair).is_ok(), "workers alive while feeding");
+        }
+        drop(job_tx);
+        let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+        for (i, out) in out_rx.iter() {
+            slots[i] = Some(out);
+        }
+        slots.into_iter().map(|s| s.expect("every job completed")).collect()
+    })
 }
 
 fn cdf_artifact(r: &st_analysis::CdfResult) -> Artifact {
@@ -65,149 +129,238 @@ fn density_artifact(d: &st_analysis::results::DensityResult) -> Artifact {
 
 /// Generate all four cities and fit the per-campaign BST models.
 pub fn build_analyses(scale: f64, seed: u64) -> Vec<CityAnalysis> {
-    City::all()
-        .into_iter()
-        .map(|city| {
-            let ds = CityDataset::generate(city, scale, seed);
-            CityAnalysis::new(ds, seed ^ 0x5eed)
-        })
-        .collect()
+    build_analyses_par(scale, seed, 1).0
 }
 
-/// Run every experiment; `analyses` must hold the four cities in order.
-pub fn run_all(analyses: &[CityAnalysis], scale: f64, seed: u64) -> ReproReport {
-    assert_eq!(analyses.len(), 4, "need all four cities");
+/// Like [`build_analyses`], with the four generate jobs and then the four
+/// fit jobs spread over up to `parallelism` worker threads. Leftover
+/// workers parallelize *inside* each city's campaign loops.
+///
+/// Output is identical at every parallelism level; the returned
+/// [`StageTimings`] has the generate and fit wall-clocks filled in
+/// (`render_s` stays 0 until [`run_all_par`]).
+pub fn build_analyses_par(
+    scale: f64,
+    seed: u64,
+    parallelism: usize,
+) -> (Vec<CityAnalysis>, StageTimings) {
+    let parallelism = parallelism.max(1);
+    let cities = City::all();
+    let city_workers = parallelism.min(cities.len());
+    // Workers beyond one-per-city go into each city's chunked loops.
+    let inner = parallelism.div_ceil(city_workers);
+
+    let t0 = Instant::now();
+    let datasets = par_map(cities.to_vec(), city_workers, |_, city| {
+        CityDataset::generate_with_parallelism(city, scale, seed, inner)
+    });
+    let generate_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let analyses = par_map(datasets, city_workers, |_, ds| CityAnalysis::new(ds, seed ^ 0x5eed));
+    let fit_s = t1.elapsed().as_secs_f64();
+
+    (analyses, StageTimings { generate_s, fit_s, render_s: 0.0 })
+}
+
+/// What one render job yields: its artifacts and headlines, in paper
+/// order within the job.
+type JobOut = (Vec<Artifact>, Vec<(String, String)>);
+
+type RenderJob<'a> = Box<dyn Fn() -> JobOut + Send + Sync + 'a>;
+
+/// The full experiment suite as independent render jobs. Job order is
+/// paper order; concatenating the outputs job by job reproduces the
+/// sequential report exactly.
+fn render_jobs(analyses: &[CityAnalysis]) -> Vec<RenderJob<'_>> {
     let a = &analyses[0]; // City-A carries the main-body experiments.
-    let mut artifacts = Vec::new();
-    let mut headlines = Vec::new();
+    let mut jobs: Vec<RenderJob<'_>> = Vec::new();
 
     // Table 1.
-    let datasets: Vec<&CityDataset> = analyses.iter().map(|x| &x.dataset).collect();
-    artifacts.push(table_artifact(&table1::run(&datasets)));
+    jobs.push(Box::new(move || {
+        let datasets: Vec<&CityDataset> = analyses.iter().map(|x| &x.dataset).collect();
+        (vec![table_artifact(&table1::run(&datasets))], vec![])
+    }));
 
     // §2 cross-city comparison.
-    let all_refs: Vec<&CityAnalysis> = analyses.iter().collect();
-    let (cities_table, _) = cities::run(&all_refs);
-    artifacts.push(table_artifact(&cities_table));
+    jobs.push(Box::new(move || {
+        let all_refs: Vec<&CityAnalysis> = analyses.iter().collect();
+        let (cities_table, _) = cities::run(&all_refs);
+        (vec![table_artifact(&cities_table)], vec![])
+    }));
 
     // Fig 1 + 2.
-    let f1 = fig01::run(a);
-    headlines.push((
-        "fig01 uncontextualized median (Mbps)".into(),
-        format!("{:.1}", f1.medians.first().copied().unwrap_or(f64::NAN)),
-    ));
-    artifacts.push(cdf_artifact(&f1));
-    let f2 = fig02::run(a);
-    if f2.medians.len() == 2 {
-        headlines.push((
-            "fig02 consistency medians (down / up)".into(),
-            format!("{:.2} / {:.2}", f2.medians[0], f2.medians[1]),
-        ));
-    }
-    artifacts.push(cdf_artifact(&f2));
+    jobs.push(Box::new(move || {
+        let f1 = fig01::run(a);
+        let headline = (
+            "fig01 uncontextualized median (Mbps)".into(),
+            format!("{:.1}", f1.medians.first().copied().unwrap_or(f64::NAN)),
+        );
+        (vec![cdf_artifact(&f1)], vec![headline])
+    }));
+    jobs.push(Box::new(move || {
+        let f2 = fig02::run(a);
+        let mut headlines = Vec::new();
+        if f2.medians.len() == 2 {
+            headlines.push((
+                "fig02 consistency medians (down / up)".into(),
+                format!("{:.2} / {:.2}", f2.medians[0], f2.medians[1]),
+            ));
+        }
+        (vec![cdf_artifact(&f2)], headlines)
+    }));
 
     // Table 2 across all states.
-    let refs: Vec<&CityAnalysis> = analyses.iter().collect();
-    let (t2, stats) = table2::run(&refs);
-    artifacts.push(table_artifact(&t2));
-    for s in &stats {
-        headlines.push((
-            format!("table2 {} upload accuracy", s.state),
-            format!("{:.2}%", s.upload_accuracy * 100.0),
-        ));
-    }
+    jobs.push(Box::new(move || {
+        let refs: Vec<&CityAnalysis> = analyses.iter().collect();
+        let (t2, stats) = table2::run(&refs);
+        let headlines = stats
+            .iter()
+            .map(|s| {
+                (
+                    format!("table2 {} upload accuracy", s.state),
+                    format!("{:.2}%", s.upload_accuracy * 100.0),
+                )
+            })
+            .collect();
+        (vec![table_artifact(&t2)], headlines)
+    }));
 
     // Figs 4-7 and tables 3-4 (City/State-A) plus appendix variants.
-    artifacts.push(density_artifact(&fig04::run(a)));
-    for d in fig05::run(a) {
-        artifacts.push(density_artifact(&d));
-    }
-    artifacts.push(density_artifact(&fig06::run(a)));
-    let (t3, _) = table3::run(a);
-    artifacts.push(table_artifact(&t3));
-    for d in fig07::run(a) {
-        artifacts.push(density_artifact(&d));
-    }
-    let (t4, _) = table4::run(a);
-    artifacts.push(table_artifact(&t4));
+    jobs.push(Box::new(move || (vec![density_artifact(&fig04::run(a))], vec![])));
+    jobs.push(Box::new(move || (fig05::run(a).iter().map(density_artifact).collect(), vec![])));
+    jobs.push(Box::new(move || (vec![density_artifact(&fig06::run(a))], vec![])));
+    jobs.push(Box::new(move || {
+        let (t3, _) = table3::run(a);
+        (vec![table_artifact(&t3)], vec![])
+    }));
+    jobs.push(Box::new(move || (fig07::run(a).iter().map(density_artifact).collect(), vec![])));
+    jobs.push(Box::new(move || {
+        let (t4, _) = table4::run(a);
+        (vec![table_artifact(&t4)], vec![])
+    }));
 
     // Fig 8.
-    let f8 = fig08::run(a);
-    if let Some(m) = f8.medians.first() {
-        headlines.push(("fig08 alpha median".into(), format!("{m:.2}")));
-    }
-    artifacts.push(cdf_artifact(&f8));
+    jobs.push(Box::new(move || {
+        let f8 = fig08::run(a);
+        let headlines = f8
+            .medians
+            .first()
+            .map(|m| ("fig08 alpha median".into(), format!("{m:.2}")))
+            .into_iter()
+            .collect();
+        (vec![cdf_artifact(&f8)], headlines)
+    }));
 
     // Fig 9 panels.
-    for panel in fig09::run(a) {
-        artifacts.push(cdf_artifact(&panel));
-    }
+    jobs.push(Box::new(move || (fig09::run(a).iter().map(cdf_artifact).collect(), vec![])));
 
     // Fig 10.
-    let (f10, shares) = fig10::run(a);
-    headlines.push((
-        "fig10 local-bottleneck share".into(),
-        format!("{:.0}%", shares.local_bottleneck_share * 100.0),
-    ));
-    if f10.medians.len() == 2 {
-        headlines.push((
-            "fig10 medians (best / bottleneck)".into(),
-            format!("{:.2} / {:.2}", f10.medians[0], f10.medians[1]),
-        ));
-    }
-    artifacts.push(cdf_artifact(&f10));
+    jobs.push(Box::new(move || {
+        let (f10, shares) = fig10::run(a);
+        let mut headlines = vec![(
+            "fig10 local-bottleneck share".into(),
+            format!("{:.0}%", shares.local_bottleneck_share * 100.0),
+        )];
+        if f10.medians.len() == 2 {
+            headlines.push((
+                "fig10 medians (best / bottleneck)".into(),
+                format!("{:.2} / {:.2}", f10.medians[0], f10.medians[1]),
+            ));
+        }
+        (vec![cdf_artifact(&f10)], headlines)
+    }));
 
     // Figs 11-12.
-    let (_vol, t11) = fig11::run(a);
-    artifacts.push(table_artifact(&t11));
-    for panel in fig12::run_default(a) {
-        artifacts.push(cdf_artifact(&panel));
-    }
+    jobs.push(Box::new(move || {
+        let (_vol, t11) = fig11::run(a);
+        (vec![table_artifact(&t11)], vec![])
+    }));
+    jobs.push(Box::new(move || (fig12::run_default(a).iter().map(cdf_artifact).collect(), vec![])));
 
     // Fig 13.
-    let (panels, gaps) = fig13::run(a);
-    for panel in panels {
-        artifacts.push(cdf_artifact(&panel));
-    }
-    for g in &gaps {
-        headlines.push((
-            format!("fig13 {} Ookla/M-Lab median ratio", g.group),
-            format!("{:.2}", g.ratio),
-        ));
-    }
+    jobs.push(Box::new(move || {
+        let (panels, gaps) = fig13::run(a);
+        let headlines = gaps
+            .iter()
+            .map(|g| {
+                (format!("fig13 {} Ookla/M-Lab median ratio", g.group), format!("{:.2}", g.ratio))
+            })
+            .collect();
+        (panels.iter().map(cdf_artifact).collect(), headlines)
+    }));
 
     // Extension: latency under load (not a paper figure; see the module
     // docs of `st_analysis::ext_latency`).
-    let (lat_cdf, lat) = ext_latency::run(a);
-    headlines.push((
-        "ext_latency medians (idle / loaded, ms)".into(),
-        format!("{:.1} / {:.1}", lat.idle_median_ms, lat.loaded_median_ms),
-    ));
-    artifacts.push(cdf_artifact(&lat_cdf));
+    jobs.push(Box::new(move || {
+        let (lat_cdf, lat) = ext_latency::run(a);
+        let headline = (
+            "ext_latency medians (idle / loaded, ms)".into(),
+            format!("{:.1} / {:.1}", lat.idle_median_ms, lat.loaded_median_ms),
+        );
+        (vec![cdf_artifact(&lat_cdf)], vec![headline])
+    }));
 
     // Appendix: tables 5-7 (upload clusters for cities B-D) and the
     // per-state appendix densities.
     for (i, city_a) in analyses.iter().enumerate().skip(1) {
-        let (mut t, _) = table3::run(city_a);
-        t.id = format!("table{}", 4 + i); // tables 5, 6, 7
-        artifacts.push(table_artifact(&t));
-        let mut d = fig04::run(city_a);
-        d.id = format!("fig14_{}", city_a.dataset.config.city.state_label().to_lowercase());
-        artifacts.push(density_artifact(&d));
-        for (j, mut dd) in fig05::run(city_a).into_iter().enumerate() {
-            dd.id = format!(
-                "fig{}_{}",
-                15 + i, // figs 16, 17, 18
-                j
-            );
-            artifacts.push(density_artifact(&dd));
-        }
-        let mut f6 = fig06::run(city_a);
-        f6.id = format!("fig15_{}", city_a.dataset.config.city.label().to_lowercase());
-        artifacts.push(density_artifact(&f6));
+        jobs.push(Box::new(move || {
+            let mut artifacts = Vec::new();
+            let (mut t, _) = table3::run(city_a);
+            t.id = format!("table{}", 4 + i); // tables 5, 6, 7
+            artifacts.push(table_artifact(&t));
+            let mut d = fig04::run(city_a);
+            d.id = format!("fig14_{}", city_a.dataset.config.city.state_label().to_lowercase());
+            artifacts.push(density_artifact(&d));
+            for (j, mut dd) in fig05::run(city_a).into_iter().enumerate() {
+                dd.id = format!(
+                    "fig{}_{}",
+                    15 + i, // figs 16, 17, 18
+                    j
+                );
+                artifacts.push(density_artifact(&dd));
+            }
+            let mut f6 = fig06::run(city_a);
+            f6.id = format!("fig15_{}", city_a.dataset.config.city.label().to_lowercase());
+            artifacts.push(density_artifact(&f6));
+            (artifacts, vec![])
+        }));
     }
 
-    ReproReport { scale, seed, artifacts, headlines }
+    jobs
+}
+
+/// Run every experiment; `analyses` must hold the four cities in order.
+pub fn run_all(analyses: &[CityAnalysis], scale: f64, seed: u64) -> ReproReport {
+    run_all_par(analyses, scale, seed, 1, StageTimings::default())
+}
+
+/// Like [`run_all`], dispatching the render jobs to up to `parallelism`
+/// workers through a bounded queue and stitching the results back into
+/// paper order. Artifacts and headlines are identical at every
+/// parallelism level.
+///
+/// `timings` carries the generate/fit wall-clocks from
+/// [`build_analyses_par`]; this call fills in `render_s`.
+pub fn run_all_par(
+    analyses: &[CityAnalysis],
+    scale: f64,
+    seed: u64,
+    parallelism: usize,
+    timings: StageTimings,
+) -> ReproReport {
+    assert_eq!(analyses.len(), 4, "need all four cities");
+    let t0 = Instant::now();
+    let jobs = render_jobs(analyses);
+    let outs = par_map(jobs, parallelism.max(1), |_, job| job());
+    let mut artifacts = Vec::new();
+    let mut headlines = Vec::new();
+    for (art, heads) in outs {
+        artifacts.extend(art);
+        headlines.extend(heads);
+    }
+    let timings = StageTimings { render_s: t0.elapsed().as_secs_f64(), ..timings };
+    ReproReport { scale, seed, artifacts, headlines, timings }
 }
 
 /// Render the full markdown report.
@@ -220,6 +373,11 @@ pub fn render_report(report: &ReproReport) -> String {
     for (label, value) in &report.headlines {
         out.push_str(&format!("- {label}: **{value}**\n"));
     }
+    let t = &report.timings;
+    out.push_str(&format!(
+        "\n## Timings\n\n- generate: {:.2} s\n- fit: {:.2} s\n- render: {:.2} s\n",
+        t.generate_s, t.fit_s, t.render_s
+    ));
     out.push_str("\n## Artifacts\n\n");
     for a in &report.artifacts {
         out.push_str("```text\n");
@@ -240,12 +398,30 @@ mod tests {
         assert!(report.artifacts.len() > 25, "artifacts: {}", report.artifacts.len());
         assert!(report.headlines.len() >= 8);
         let ids: Vec<&str> = report.artifacts.iter().map(|a| a.id.as_str()).collect();
-        for want in ["table1", "fig01", "fig02", "table2", "fig04", "fig06", "table3",
-                     "table4", "fig08", "fig09a", "fig09d", "fig10", "fig11",
-                     "table5", "table6", "table7"] {
+        for want in [
+            "table1", "fig01", "fig02", "table2", "fig04", "fig06", "table3", "table4", "fig08",
+            "fig09a", "fig09d", "fig10", "fig11", "table5", "table6", "table7",
+        ] {
             assert!(ids.contains(&want), "missing {want} in {ids:?}");
         }
         let md = render_report(&report);
         assert!(md.contains("## Headlines"));
+        assert!(md.contains("## Timings"));
+    }
+
+    #[test]
+    fn parallel_report_matches_sequential() {
+        let (seq_analyses, _) = build_analyses_par(0.004, 77, 1);
+        let (par_analyses, _) = build_analyses_par(0.004, 77, 4);
+        let seq = run_all(&seq_analyses, 0.004, 77);
+        let par = run_all_par(&par_analyses, 0.004, 77, 4, StageTimings::default());
+        assert_eq!(seq.artifacts.len(), par.artifacts.len());
+        for (s, p) in seq.artifacts.iter().zip(&par.artifacts) {
+            assert_eq!(s.id, p.id, "artifact order diverged");
+            assert_eq!(s.text, p.text, "artifact {} text diverged", s.id);
+            assert_eq!(s.svg, p.svg, "artifact {} svg diverged", s.id);
+            assert_eq!(s.json, p.json, "artifact {} json diverged", s.id);
+        }
+        assert_eq!(seq.headlines, par.headlines);
     }
 }

@@ -35,11 +35,8 @@ pub fn download_first_tiers<R: Rng + ?Sized>(
         st_stats::GmmConfig { k, max_iter: cfg.max_em_iter, ..Default::default() },
         rng,
     )?;
-    let component_tiers: Vec<usize> = gmm
-        .components()
-        .iter()
-        .map(|c| catalog.nearest_tier_by_download(Mbps(c.mean)))
-        .collect();
+    let component_tiers: Vec<usize> =
+        gmm.components().iter().map(|c| catalog.nearest_tier_by_download(Mbps(c.mean))).collect();
     Ok(gmm.predict_batch(down).into_iter().map(|c| Some(component_tiers[c])).collect())
 }
 
@@ -63,9 +60,8 @@ pub fn kmeans_tiers<R: Rng + ?Sized>(
 
     let mut tiers = vec![None; down.len()];
     for cap in caps {
-        let members: Vec<usize> = (0..down.len())
-            .filter(|&i| center_caps[km1.assignments[i]] == cap)
-            .collect();
+        let members: Vec<usize> =
+            (0..down.len()).filter(|&i| center_caps[km1.assignments[i]] == cap).collect();
         if members.is_empty() {
             continue;
         }
@@ -80,10 +76,7 @@ pub fn kmeans_tiers<R: Rng + ?Sized>(
                 plans
                     .iter()
                     .min_by(|a, b| {
-                        (a.down.0 - c)
-                            .abs()
-                            .partial_cmp(&(b.down.0 - c).abs())
-                            .expect("finite")
+                        (a.down.0 - c).abs().partial_cmp(&(b.down.0 - c).abs()).expect("finite")
                     })
                     .expect("non-empty group")
                     .tier
@@ -107,13 +100,10 @@ pub fn joint_2d_tiers(
     catalog: &PlanCatalog,
 ) -> Result<Vec<Option<usize>>, StatsError> {
     assert_eq!(down.len(), up.len(), "parallel down/up samples required");
-    let seeds: Vec<(f64, f64)> =
-        catalog.plans().iter().map(|p| (p.down.0, p.up.0)).collect();
+    let seeds: Vec<(f64, f64)> = catalog.plans().iter().map(|p| (p.down.0, p.up.0)).collect();
     let gm = GaussianMixture2d::fit_with_means(down, up, &seeds, 200, 1e-7)?;
     // Components are in seed order, so component c is plan tier c+1.
-    Ok((0..down.len())
-        .map(|i| Some(gm.predict(down[i], up[i]) + 1))
-        .collect())
+    Ok((0..down.len()).map(|i| Some(gm.predict(down[i], up[i]) + 1)).collect())
 }
 
 /// Baseline 4: BIC component selection for stage 1.
@@ -135,11 +125,7 @@ pub fn tier_accuracy(tiers: &[Option<usize>], truth: &[usize]) -> f64 {
     if truth.is_empty() {
         return 0.0;
     }
-    let ok = tiers
-        .iter()
-        .zip(truth)
-        .filter(|(got, want)| got.as_ref() == Some(want))
-        .count();
+    let ok = tiers.iter().zip(truth).filter(|(got, want)| got.as_ref() == Some(want)).count();
     ok as f64 / truth.len() as f64
 }
 

@@ -42,8 +42,7 @@ impl BstModel {
         assert_eq!(down.len(), up.len(), "parallel down/up samples required");
 
         let uploads = cluster_uploads(up, catalog, cfg, rng)?;
-        let mut assignments =
-            vec![PlanAssignment { upload_cap: None, tier: None }; down.len()];
+        let mut assignments = vec![PlanAssignment { upload_cap: None, tier: None }; down.len()];
 
         let mut downloads = Vec::new();
         for cap in catalog.upload_caps() {
@@ -191,14 +190,10 @@ mod tests {
     fn wired_sample_recovers_plans_accurately() {
         let mut r = rng();
         let (down, up, truth) = wired_sample(&mut r);
-        let model =
-            BstModel::fit(&down, &up, &isp_a(), &BstConfig::default(), &mut r).unwrap();
+        let model = BstModel::fit(&down, &up, &isp_a(), &BstConfig::default(), &mut r).unwrap();
         let tiers = model.tiers();
-        let correct = tiers
-            .iter()
-            .zip(&truth)
-            .filter(|(got, want)| got.as_ref() == Some(want))
-            .count();
+        let correct =
+            tiers.iter().zip(&truth).filter(|(got, want)| got.as_ref() == Some(want)).count();
         let acc = correct as f64 / truth.len() as f64;
         assert!(acc > 0.9, "plan accuracy {acc}");
         assert!(model.coverage() > 0.97, "coverage {}", model.coverage());
@@ -225,8 +220,7 @@ mod tests {
     fn assign_classifies_new_points() {
         let mut r = rng();
         let (down, up, _) = wired_sample(&mut r);
-        let model =
-            BstModel::fit(&down, &up, &isp_a(), &BstConfig::default(), &mut r).unwrap();
+        let model = BstModel::fit(&down, &up, &isp_a(), &BstConfig::default(), &mut r).unwrap();
         let a = model.assign(112.0, 5.2);
         assert_eq!(a.upload_cap, Some(Mbps(5.0)));
         assert_eq!(a.tier, Some(2));
@@ -238,8 +232,7 @@ mod tests {
     fn downloads_for_exposes_group_models() {
         let mut r = rng();
         let (down, up, _) = wired_sample(&mut r);
-        let model =
-            BstModel::fit(&down, &up, &isp_a(), &BstConfig::default(), &mut r).unwrap();
+        let model = BstModel::fit(&down, &up, &isp_a(), &BstConfig::default(), &mut r).unwrap();
         assert!(model.downloads_for(Mbps(5.0)).is_some());
         assert!(model.downloads_for(Mbps(99.0)).is_none());
         let five = model.downloads_for(Mbps(5.0)).unwrap();
@@ -250,8 +243,7 @@ mod tests {
     fn confidence_tracks_ambiguity() {
         let mut r = rng();
         let (down, up, _) = wired_sample(&mut r);
-        let model =
-            BstModel::fit(&down, &up, &isp_a(), &BstConfig::default(), &mut r).unwrap();
+        let model = BstModel::fit(&down, &up, &isp_a(), &BstConfig::default(), &mut r).unwrap();
         // A point at a cluster center is confidently assigned ...
         let (a, conf_clear) = model.assign_with_confidence(110.0, 5.3);
         assert_eq!(a.tier, Some(2));
@@ -289,8 +281,7 @@ mod tests {
     fn confidence_is_a_probability() {
         let mut r = rng();
         let (down, up, _) = wired_sample(&mut r);
-        let model =
-            BstModel::fit(&down, &up, &isp_a(), &BstConfig::default(), &mut r).unwrap();
+        let model = BstModel::fit(&down, &up, &isp_a(), &BstConfig::default(), &mut r).unwrap();
         for (d, u) in [(25.0, 5.0), (410.0, 10.5), (900.0, 37.0), (1.0, 44.0)] {
             let (_, c) = model.assign_with_confidence(d, u);
             assert!((0.0..=1.0).contains(&c), "confidence {c} for ({d}, {u})");

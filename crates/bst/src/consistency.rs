@@ -7,8 +7,8 @@
 //! α skewed toward 1 (median 1 in the paper, Fig. 8) indicates consistent
 //! assignment.
 
-use std::collections::HashMap;
 use st_stats::Ecdf;
+use std::collections::HashMap;
 
 /// Configuration for the α analysis.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,8 +135,7 @@ mod tests {
     fn unassigned_tests_do_not_count() {
         let users = vec![1u64; 7];
         let months = vec![0usize; 7];
-        let tiers =
-            vec![Some(1), Some(1), Some(1), Some(1), Some(1), None, None];
+        let tiers = vec![Some(1), Some(1), Some(1), Some(1), Some(1), None, None];
         let a = alpha_values(&users, &months, &tiers, &AlphaConfig::default());
         assert_eq!(a, vec![1.0], "the 5 assigned tests qualify; Nones ignored");
     }
@@ -165,7 +164,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "min tests must be at least 1")]
     fn zero_threshold_rejected() {
-        let _ =
-            alpha_values(&[1], &[0], &[Some(1)], &AlphaConfig { min_tests_per_month: 0 });
+        let _ = alpha_values(&[1], &[0], &[Some(1)], &AlphaConfig { min_tests_per_month: 0 });
     }
 }

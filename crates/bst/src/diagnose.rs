@@ -200,8 +200,7 @@ pub struct TriageSummary {
 impl TriageSummary {
     /// Total measurements triaged.
     pub fn total(&self) -> usize {
-        self.meets_plan + self.local_bottleneck + self.access_underperformance
-            + self.unattributable
+        self.meets_plan + self.local_bottleneck + self.access_underperformance + self.unattributable
     }
 }
 
@@ -295,12 +294,7 @@ mod tests {
     #[test]
     fn plan_meeting_test_is_not_evidence() {
         let (model, cat) = fitted_model();
-        let m = measurement(
-            98.0,
-            5.2,
-            Access::Wifi { band: Band::G5, rssi_dbm: -45.0 },
-            Some(8.0),
-        );
+        let m = measurement(98.0, 5.2, Access::Wifi { band: Band::G5, rssi_dbm: -45.0 }, Some(8.0));
         let v = diagnose(&m, &model, &cat, None, &DiagnoseConfig::default());
         assert!(matches!(v, Verdict::MeetsPlan { normalized } if normalized > 0.9));
         assert!(!v.is_challenge_evidence());
@@ -310,12 +304,8 @@ mod tests {
     fn weak_wifi_shortfall_is_a_local_bottleneck() {
         let (model, cat) = fitted_model();
         // Tier 6 subscriber measuring 150 Mbps on terrible 2.4 GHz WiFi.
-        let m = measurement(
-            150.0,
-            36.0,
-            Access::Wifi { band: Band::G2_4, rssi_dbm: -78.0 },
-            Some(6.0),
-        );
+        let m =
+            measurement(150.0, 36.0, Access::Wifi { band: Band::G2_4, rssi_dbm: -78.0 }, Some(6.0));
         let v = diagnose(&m, &model, &cat, Some(6), &DiagnoseConfig::default());
         match v {
             Verdict::LocalBottleneck { factors, normalized } => {
@@ -346,12 +336,7 @@ mod tests {
         let (model, cat) = fitted_model();
         // 100 Mbps plan measuring 30 over healthy 5 GHz WiFi: WiFi cannot
         // explain a 100 Mbps shortfall, so this points at the access link.
-        let m = measurement(
-            30.0,
-            5.1,
-            Access::Wifi { band: Band::G5, rssi_dbm: -45.0 },
-            Some(8.0),
-        );
+        let m = measurement(30.0, 5.1, Access::Wifi { band: Band::G5, rssi_dbm: -45.0 }, Some(8.0));
         let v = diagnose(&m, &model, &cat, Some(2), &DiagnoseConfig::default());
         assert!(v.is_challenge_evidence(), "{v:?}");
     }
@@ -359,12 +344,8 @@ mod tests {
     #[test]
     fn marginal_wifi_on_fast_plan_is_not_evidence() {
         let (model, cat) = fitted_model();
-        let m = measurement(
-            350.0,
-            36.0,
-            Access::Wifi { band: Band::G5, rssi_dbm: -62.0 },
-            Some(8.0),
-        );
+        let m =
+            measurement(350.0, 36.0, Access::Wifi { band: Band::G5, rssi_dbm: -62.0 }, Some(8.0));
         let v = diagnose(&m, &model, &cat, Some(6), &DiagnoseConfig::default());
         match v {
             Verdict::LocalBottleneck { factors, .. } => {
@@ -377,12 +358,8 @@ mod tests {
     #[test]
     fn low_memory_is_flagged_first() {
         let (model, cat) = fitted_model();
-        let m = measurement(
-            60.0,
-            36.0,
-            Access::Wifi { band: Band::G2_4, rssi_dbm: -75.0 },
-            Some(1.0),
-        );
+        let m =
+            measurement(60.0, 36.0, Access::Wifi { band: Band::G2_4, rssi_dbm: -75.0 }, Some(1.0));
         let v = diagnose(&m, &model, &cat, Some(6), &DiagnoseConfig::default());
         match v {
             Verdict::LocalBottleneck { factors, .. } => {
@@ -413,10 +390,7 @@ mod tests {
         let v = diagnose(&m, &model, &cat, Some(6), &DiagnoseConfig::default());
         match v {
             Verdict::LocalBottleneck { factors, .. } => {
-                assert!(
-                    factors.contains(&LocalFactor::SingleFlowMethodology),
-                    "{factors:?}"
-                );
+                assert!(factors.contains(&LocalFactor::SingleFlowMethodology), "{factors:?}");
             }
             other => panic!("expected LocalBottleneck, got {other:?}"),
         }
@@ -437,12 +411,7 @@ mod tests {
         let ms = vec![
             measurement(98.0, 5.2, Access::Ethernet, Some(16.0)),
             measurement(20.0, 5.2, Access::Ethernet, Some(16.0)),
-            measurement(
-                40.0,
-                36.0,
-                Access::Wifi { band: Band::G2_4, rssi_dbm: -80.0 },
-                Some(4.0),
-            ),
+            measurement(40.0, 36.0, Access::Wifi { band: Band::G2_4, rssi_dbm: -80.0 }, Some(4.0)),
             measurement(5.0, 0.9, Access::Unknown, None),
         ];
         let tiers = vec![Some(2), Some(2), Some(6), None];

@@ -29,11 +29,7 @@ pub struct Evaluation {
 /// `truth[i]` is the true 1-based tier of measurement `i` (as fitted, in
 /// order), or `None` when unknown; unknown-truth measurements are skipped.
 pub fn evaluate(model: &BstModel, truth: &[Option<usize>], catalog: &PlanCatalog) -> Evaluation {
-    assert_eq!(
-        truth.len(),
-        model.assignments.len(),
-        "one truth entry per fitted measurement"
-    );
+    assert_eq!(truth.len(), model.assignments.len(), "one truth entry per fitted measurement");
 
     let mut n = 0usize;
     let mut upload_ok = 0usize;
@@ -48,10 +44,8 @@ pub fn evaluate(model: &BstModel, truth: &[Option<usize>], catalog: &PlanCatalog
         if a.upload_cap == Some(true_plan.up) {
             upload_ok += 1;
             // Download accuracy is conditional on the correct group.
-            let entry = per_group
-                .iter_mut()
-                .find(|(c, ..)| *c == true_plan.up.0)
-                .expect("cap in catalog");
+            let entry =
+                per_group.iter_mut().find(|(c, ..)| *c == true_plan.up.0).expect("cap in catalog");
             entry.1 += 1;
             if a.tier == Some(t) {
                 entry.2 += 1;

@@ -74,8 +74,7 @@ pub fn assignment_stability<R: Rng + ?Sized>(
 
     let mean_agreement =
         agree_counts.iter().map(|&c| c as f64 / done as f64).sum::<f64>() / n as f64;
-    let always_stable =
-        agree_counts.iter().filter(|&&c| c == done).count() as f64 / n as f64;
+    let always_stable = agree_counts.iter().filter(|&&c| c == done).count() as f64 / n as f64;
     Ok(StabilityReport { mean_agreement, always_stable, resamples: done })
 }
 
@@ -100,8 +99,7 @@ mod tests {
     }
 
     fn sample(r: &mut StdRng, n_per: usize, down_sd_frac: f64) -> (Vec<f64>, Vec<f64>) {
-        let spec: [(f64, f64); 4] =
-            [(110.0, 5.4), (430.0, 10.7), (700.0, 16.0), (950.0, 37.5)];
+        let spec: [(f64, f64); 4] = [(110.0, 5.4), (430.0, 10.7), (700.0, 16.0), (950.0, 37.5)];
         let g = |r: &mut StdRng, mu: f64, sd: f64| {
             let u1: f64 = r.gen::<f64>().max(1e-12);
             let u2: f64 = r.gen();
@@ -122,8 +120,7 @@ mod tests {
         let mut r = StdRng::seed_from_u64(83);
         let (down, up) = sample(&mut r, 250, 0.05);
         let rep =
-            assignment_stability(&down, &up, &isp_a(), &BstConfig::default(), 5, &mut r)
-                .unwrap();
+            assignment_stability(&down, &up, &isp_a(), &BstConfig::default(), 5, &mut r).unwrap();
         assert!(rep.mean_agreement > 0.95, "{rep:?}");
         assert!(rep.always_stable > 0.85, "{rep:?}");
         assert_eq!(rep.resamples, 5);
@@ -151,8 +148,7 @@ mod tests {
         let mut r = StdRng::seed_from_u64(97);
         let (down, up) = sample(&mut r, 60, 0.2);
         let rep =
-            assignment_stability(&down, &up, &isp_a(), &BstConfig::default(), 3, &mut r)
-                .unwrap();
+            assignment_stability(&down, &up, &isp_a(), &BstConfig::default(), 3, &mut r).unwrap();
         assert!((0.0..=1.0).contains(&rep.mean_agreement));
         assert!((0.0..=1.0).contains(&rep.always_stable));
         assert!(rep.always_stable <= rep.mean_agreement + 1e-9);
@@ -162,27 +158,12 @@ mod tests {
     #[should_panic(expected = "need at least two resamples")]
     fn too_few_resamples_rejected() {
         let mut r = StdRng::seed_from_u64(1);
-        let _ = assignment_stability(
-            &[1.0],
-            &[1.0],
-            &isp_a(),
-            &BstConfig::default(),
-            1,
-            &mut r,
-        );
+        let _ = assignment_stability(&[1.0], &[1.0], &isp_a(), &BstConfig::default(), 1, &mut r);
     }
 
     #[test]
     fn empty_input_is_an_error() {
         let mut r = StdRng::seed_from_u64(1);
-        assert!(assignment_stability(
-            &[],
-            &[],
-            &isp_a(),
-            &BstConfig::default(),
-            3,
-            &mut r
-        )
-        .is_err());
+        assert!(assignment_stability(&[], &[], &isp_a(), &BstConfig::default(), 3, &mut r).is_err());
     }
 }

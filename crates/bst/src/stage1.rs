@@ -91,9 +91,7 @@ pub fn cluster_uploads<R: Rng + ?Sized>(
     // uploads), capped at 3 extras.
     let mut init_means: Vec<f64> = caps.iter().map(|c| c.0).collect();
     for p in &peaks {
-        let near_cap = caps
-            .iter()
-            .any(|c| (p.x - c.0).abs() <= (c.0 * 0.4).max(2.0));
+        let near_cap = caps.iter().any(|c| (p.x - c.0).abs() <= (c.0 * 0.4).max(2.0));
         if !near_cap && init_means.len() < caps.len() + 3 {
             init_means.push(p.x);
         }
@@ -137,9 +135,8 @@ pub fn cluster_uploads<R: Rng + ?Sized>(
     // component; only points far from every cap stay unmatched (they get
     // the pseudo-index `k`, which `cap_of`/`members_of` treat as such).
     let k = gmm.k();
-    let component_of_cap = |cap: Mbps| -> Option<usize> {
-        component_caps.iter().position(|c| *c == Some(cap))
-    };
+    let component_of_cap =
+        |cap: Mbps| -> Option<usize> { component_caps.iter().position(|c| *c == Some(cap)) };
     let assignments: Vec<usize> = uploads
         .iter()
         .map(|&u| {
@@ -254,10 +251,8 @@ mod tests {
             data.push(0.8 + r.gen::<f64>() * 0.5);
         }
         let uc = cluster_uploads(&data, &isp_a(), &BstConfig::default(), &mut r).unwrap();
-        let low_points: Vec<usize> =
-            (0..data.len()).filter(|&i| data[i] < 1.6).collect();
-        let unmatched_low =
-            low_points.iter().filter(|&&i| uc.cap_of(i).is_none()).count();
+        let low_points: Vec<usize> = (0..data.len()).filter(|&i| data[i] < 1.6).collect();
+        let unmatched_low = low_points.iter().filter(|&&i| uc.cap_of(i).is_none()).count();
         assert!(
             unmatched_low as f64 / low_points.len() as f64 > 0.7,
             "{unmatched_low}/{} low-upload points unmatched",

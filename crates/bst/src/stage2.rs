@@ -111,9 +111,9 @@ pub fn cluster_downloads<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use st_netsim::Mbps;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use st_netsim::Mbps;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(37)
@@ -151,8 +151,7 @@ mod tests {
         let plans = plans_5mbps_group();
         let refs: Vec<&Plan> = plans.iter().collect();
         let dc = cluster_downloads(&data, &refs, &BstConfig::default(), &mut r).unwrap();
-        let correct =
-            (0..data.len()).filter(|&i| dc.tier_of(i) == truth[i]).count() as f64;
+        let correct = (0..data.len()).filter(|&i| dc.tier_of(i) == truth[i]).count() as f64;
         assert!(correct / data.len() as f64 > 0.99, "accuracy {}", correct / data.len() as f64);
     }
 
@@ -216,9 +215,8 @@ mod tests {
     fn component_count_is_bounded() {
         let mut r = rng();
         // Scatter across many modes; must not exceed max_download_clusters.
-        let data: Vec<f64> = (0..2000)
-            .map(|i| 10.0 + (i % 17) as f64 * 60.0 + gaussian(&mut r, 0.0, 4.0))
-            .collect();
+        let data: Vec<f64> =
+            (0..2000).map(|i| 10.0 + (i % 17) as f64 * 60.0 + gaussian(&mut r, 0.0, 4.0)).collect();
         let plan = Plan { tier: 6, down: Mbps(1200.0), up: Mbps(35.0) };
         let cfg = BstConfig::default();
         let dc = cluster_downloads(&data, &[&plan], &cfg, &mut r).unwrap();

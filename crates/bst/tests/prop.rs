@@ -9,14 +9,7 @@ use st_speedtest::PlanCatalog;
 fn isp_a() -> PlanCatalog {
     PlanCatalog::new(
         "ISP-A",
-        &[
-            (25.0, 5.0),
-            (100.0, 5.0),
-            (200.0, 5.0),
-            (400.0, 10.0),
-            (800.0, 15.0),
-            (1200.0, 35.0),
-        ],
+        &[(25.0, 5.0), (100.0, 5.0), (200.0, 5.0), (400.0, 10.0), (800.0, 15.0), (1200.0, 35.0)],
     )
 }
 
@@ -26,9 +19,9 @@ fn isp_a() -> PlanCatalog {
 fn sample_strategy() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
     prop::collection::vec(
         (
-            0usize..6,            // tier index
-            0.1f64..1.05,         // download degradation factor
-            0.9f64..1.1,          // upload noise factor
+            0usize..6,                  // tier index
+            0.1f64..1.05,               // download degradation factor
+            0.9f64..1.1,                // upload noise factor
             prop::bool::weighted(0.05), // total outlier?
         ),
         40..200,

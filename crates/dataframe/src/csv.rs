@@ -15,9 +15,7 @@ use std::fmt::Write as _;
 pub fn to_csv(df: &DataFrame) -> String {
     let mut out = String::new();
     let names = df.names();
-    out.push_str(
-        &names.iter().map(|n| quote(n)).collect::<Vec<_>>().join(","),
-    );
+    out.push_str(&names.iter().map(|n| quote(n)).collect::<Vec<_>>().join(","));
     out.push('\n');
     for row in 0..df.n_rows() {
         let mut first = true;
@@ -26,10 +24,7 @@ pub fn to_csv(df: &DataFrame) -> String {
                 out.push(',');
             }
             first = false;
-            let cell = df
-                .value(row, name)
-                .expect("row and column in range")
-                .to_string();
+            let cell = df.value(row, name).expect("row and column in range").to_string();
             let _ = write!(out, "{}", quote(&cell));
         }
         out.push('\n');
@@ -201,8 +196,7 @@ mod tests {
 
     #[test]
     fn nan_round_trips() {
-        let df =
-            DataFrame::from_columns([("v", Column::from(vec![1.0, f64::NAN]))]).unwrap();
+        let df = DataFrame::from_columns([("v", Column::from(vec![1.0, f64::NAN]))]).unwrap();
         let back = from_csv(&to_csv(&df)).unwrap();
         let v = back.f64("v").unwrap();
         assert_eq!(v[0], 1.0);
@@ -211,10 +205,7 @@ mod tests {
 
     #[test]
     fn ragged_rows_rejected() {
-        assert!(matches!(
-            from_csv("a,b\n1,2\n3\n").unwrap_err(),
-            FrameError::Csv { line: 3, .. }
-        ));
+        assert!(matches!(from_csv("a,b\n1,2\n3\n").unwrap_err(), FrameError::Csv { line: 3, .. }));
     }
 
     #[test]

@@ -57,7 +57,7 @@ impl DataFrame {
     /// accepted for the first column).
     pub fn add_column(&mut self, name: impl Into<String>, col: Column) -> Result<()> {
         let name = name.into();
-        if self.names.iter().any(|n| *n == name) {
+        if self.names.contains(&name) {
             return Err(FrameError::DuplicateColumn(name));
         }
         if !self.columns.is_empty() && col.len() != self.n_rows {
@@ -198,8 +198,7 @@ impl DataFrame {
 
     /// New frame sorted ascending by the given key columns (stable).
     pub fn sort_by(&self, keys: &[&str]) -> Result<DataFrame> {
-        let key_cols: Vec<&Column> =
-            keys.iter().map(|k| self.column(k)).collect::<Result<_>>()?;
+        let key_cols: Vec<&Column> = keys.iter().map(|k| self.column(k)).collect::<Result<_>>()?;
         let mut indices: Vec<usize> = (0..self.n_rows).collect();
         indices.sort_by(|&a, &b| {
             for col in &key_cols {
@@ -229,8 +228,7 @@ impl DataFrame {
             let Some(values) = self.column(name).expect("own name").as_f64() else {
                 continue;
             };
-            let mut clean: Vec<f64> =
-                values.iter().copied().filter(|v| !v.is_nan()).collect();
+            let mut clean: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
             names.push(name.clone());
             count.push(clean.len() as f64);
             if clean.is_empty() {
@@ -242,9 +240,7 @@ impl DataFrame {
             let m = clean.iter().sum::<f64>() / clean.len() as f64;
             mean.push(m);
             std.push(
-                (clean.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
-                    / clean.len() as f64)
-                    .sqrt(),
+                (clean.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / clean.len() as f64).sqrt(),
             );
             clean.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"));
             min.push(clean[0]);
@@ -348,7 +344,7 @@ mod tests {
         assert!(df.f64("city").is_err());
         assert_eq!(df.i64("tier").unwrap()[2], 3);
         assert_eq!(df.str("city").unwrap()[3], "B");
-        assert_eq!(df.bool("wifi").unwrap()[1], false);
+        assert!(!df.bool("wifi").unwrap()[1]);
         assert!(df.column("nope").is_err());
     }
 

@@ -90,8 +90,7 @@ impl<'a> GroupBy<'a> {
         if keys.is_empty() {
             return Err(FrameError::NoSuchColumn("<empty key list>".into()));
         }
-        let key_cols: Vec<&Column> =
-            keys.iter().map(|k| frame.column(k)).collect::<Result<_>>()?;
+        let key_cols: Vec<&Column> = keys.iter().map(|k| frame.column(k)).collect::<Result<_>>()?;
         let mut index: HashMap<String, usize> = HashMap::new();
         let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
         for row in 0..frame.n_rows() {
@@ -221,11 +220,8 @@ mod tests {
     #[test]
     fn nans_are_skipped() {
         let df = sample();
-        let out = df
-            .group_by(&["tier"])
-            .unwrap()
-            .agg(&[("up", Agg::Mean), ("up", Agg::Count)])
-            .unwrap();
+        let out =
+            df.group_by(&["tier"]).unwrap().agg(&[("up", Agg::Mean), ("up", Agg::Count)]).unwrap();
         // tier 2 has up = [10, 10, NaN] → mean 10, count 2
         assert_eq!(out.f64("up_mean").unwrap()[1], 10.0);
         assert_eq!(out.f64("up_count").unwrap()[1], 2.0);
@@ -246,8 +242,7 @@ mod tests {
     #[test]
     fn quantile_agg() {
         let df = sample();
-        let out =
-            df.group_by(&["tier"]).unwrap().agg(&[("down", Agg::Quantile(0.95))]).unwrap();
+        let out = df.group_by(&["tier"]).unwrap().agg(&[("down", Agg::Quantile(0.95))]).unwrap();
         let q = out.f64("down_q95").unwrap();
         assert!(q[1] > 100.0 && q[1] <= 120.0);
     }

@@ -25,12 +25,7 @@ pub enum JoinKind {
 /// collides with a left column is suffixed `_right`. When a right key
 /// appears on multiple rows, the *first* occurrence wins (lookup-table
 /// semantics — build the right frame accordingly).
-pub fn join(
-    left: &DataFrame,
-    right: &DataFrame,
-    key: &str,
-    kind: JoinKind,
-) -> Result<DataFrame> {
+pub fn join(left: &DataFrame, right: &DataFrame, key: &str, kind: JoinKind) -> Result<DataFrame> {
     let lk = left.column(key)?;
     let rk = right.column(key)?;
     if lk.dtype() != rk.dtype() {
@@ -80,25 +75,18 @@ pub fn join(
 }
 
 fn right_columns(df: &DataFrame) -> Vec<&Column> {
-    df.names()
-        .iter()
-        .map(|n| df.column(n).expect("name from the frame itself"))
-        .collect()
+    df.names().iter().map(|n| df.column(n).expect("name from the frame itself")).collect()
 }
 
 /// Gather `col[rows[i]]`, filling missing rows with the type's sentinel.
 fn gather_with_missing(col: &Column, rows: &[Option<usize>]) -> Column {
     match col {
-        Column::F64(v) => {
-            Column::F64(rows.iter().map(|r| r.map_or(f64::NAN, |i| v[i])).collect())
-        }
+        Column::F64(v) => Column::F64(rows.iter().map(|r| r.map_or(f64::NAN, |i| v[i])).collect()),
         Column::I64(v) => Column::I64(rows.iter().map(|r| r.map_or(-1, |i| v[i])).collect()),
-        Column::Str(v) => Column::Str(
-            rows.iter().map(|r| r.map_or_else(String::new, |i| v[i].clone())).collect(),
-        ),
-        Column::Bool(v) => {
-            Column::Bool(rows.iter().map(|r| r.map_or(false, |i| v[i])).collect())
+        Column::Str(v) => {
+            Column::Str(rows.iter().map(|r| r.map_or_else(String::new, |i| v[i].clone())).collect())
         }
+        Column::Bool(v) => Column::Bool(rows.iter().map(|r| r.is_some_and(|i| v[i])).collect()),
     }
 }
 

@@ -13,14 +13,7 @@ use st_speedtest::PlanCatalog;
 pub fn isp_a() -> PlanCatalog {
     PlanCatalog::new(
         "ISP-A",
-        &[
-            (25.0, 5.0),
-            (100.0, 5.0),
-            (200.0, 5.0),
-            (400.0, 10.0),
-            (800.0, 15.0),
-            (1200.0, 35.0),
-        ],
+        &[(25.0, 5.0), (100.0, 5.0), (200.0, 5.0), (400.0, 10.0), (800.0, 15.0), (1200.0, 35.0)],
     )
 }
 
@@ -30,14 +23,7 @@ pub fn isp_a() -> PlanCatalog {
 pub fn isp_b() -> PlanCatalog {
     PlanCatalog::new(
         "ISP-B",
-        &[
-            (25.0, 5.0),
-            (100.0, 5.0),
-            (300.0, 11.0),
-            (500.0, 22.0),
-            (800.0, 22.0),
-            (1200.0, 35.0),
-        ],
+        &[(25.0, 5.0), (100.0, 5.0), (300.0, 11.0), (500.0, 22.0), (800.0, 22.0), (1200.0, 35.0)],
     )
 }
 
@@ -103,10 +89,7 @@ mod tests {
         let groups = c.tier_groups();
         let labels: Vec<String> = groups.iter().map(|g| g.label()).collect();
         assert_eq!(labels, vec!["Tier 1-3", "Tier 4", "Tier 5", "Tier 6"]);
-        assert_eq!(
-            c.upload_caps(),
-            vec![Mbps(5.0), Mbps(10.0), Mbps(15.0), Mbps(35.0)]
-        );
+        assert_eq!(c.upload_caps(), vec![Mbps(5.0), Mbps(10.0), Mbps(15.0), Mbps(35.0)]);
     }
 
     #[test]

@@ -103,11 +103,8 @@ impl CityConfig {
     /// If `scale` is not in `(0, 1]`.
     pub fn at_scale(city: City, scale: f64) -> Self {
         assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1], got {scale}");
-        let (_, ookla, mlab, mba, units) = PAPER_SIZES
-            .iter()
-            .copied()
-            .find(|(c, ..)| *c == city)
-            .expect("every city has a row");
+        let (_, ookla, mlab, mba, units) =
+            PAPER_SIZES.iter().copied().find(|(c, ..)| *c == city).expect("every city has a row");
         CityConfig {
             city,
             catalog: catalog_for(city),

@@ -9,14 +9,13 @@
 //! must drop them.
 
 use crate::city::CityConfig;
+use crate::par;
 use crate::population::{sample_day, sample_hour, Population, UserProfile};
 use rand::Rng;
-use st_netsim::{
-    AccessMedium, Band, DeviceProfile, NetworkPath, RttModel, WifiLink,
-};
+use st_netsim::{AccessMedium, Band, DeviceProfile, NetworkPath, RttModel, WifiLink};
 use st_speedtest::{
-    pair_ndt_tests, Access, Measurement, Methodology, NdtEvent, NdtMethodology,
-    OoklaMethodology, Platform,
+    pair_ndt_tests, Access, Measurement, Methodology, NdtEvent, NdtMethodology, OoklaMethodology,
+    Platform,
 };
 
 /// Sample the per-test WiFi link for a user: their home's mean RSSI plus
@@ -119,6 +118,41 @@ fn sample_platform<R: Rng + ?Sized>(mix: &[(Platform, f64)], rng: &mut R) -> Pla
     mix.last().expect("mix non-empty").0
 }
 
+/// One Ookla test: everything inside the campaign loop, so the same body
+/// serves the sequential and the chunked-parallel generators.
+fn ookla_one<R: Rng + ?Sized>(
+    cfg: &CityConfig,
+    pop: &Population,
+    mix: &[(Platform, f64)],
+    methodology: &OoklaMethodology,
+    rtt_model: &RttModel,
+    id: usize,
+    rng: &mut R,
+) -> Measurement {
+    let platform = sample_platform(mix, rng);
+    let user = pop.sample_tester(rng);
+    let (day, hour) = (sample_day(rng), sample_hour(rng));
+    let (medium, device, access, mem) = sample_endpoint(platform, user, rng);
+    let path = NetworkPath::new(user.access.clone(), medium, device, rtt_model.clone());
+    let snap = path.snapshot(hour, rng);
+    let res = methodology.measure(&snap, rng);
+    Measurement {
+        id: id as u64,
+        user_id: user.user_id,
+        platform,
+        city: cfg.city.index(),
+        day,
+        hour,
+        down_mbps: res.down.0,
+        up_mbps: res.up.0,
+        rtt_ms: res.rtt_s * 1000.0,
+        loaded_rtt_ms: res.loaded_rtt_s * 1000.0,
+        access,
+        kernel_memory_gb: mem,
+        truth_tier: Some(user.tier),
+    }
+}
+
 /// Generate a city's Ookla campaign.
 pub fn generate_ookla<R: Rng + ?Sized>(
     cfg: &CityConfig,
@@ -130,100 +164,93 @@ pub fn generate_ookla<R: Rng + ?Sized>(
     let mix = cfg.ookla_platform_mix();
     let mut out = Vec::with_capacity(cfg.ookla_tests);
     for id in 0..cfg.ookla_tests {
-        let platform = sample_platform(mix, rng);
-        let user = pop.sample_tester(rng);
-        let (day, hour) = (sample_day(rng), sample_hour(rng));
-        let (medium, device, access, mem) = sample_endpoint(platform, user, rng);
-        let path = NetworkPath::new(user.access.clone(), medium, device, rtt_model.clone());
-        let snap = path.snapshot(hour, rng);
-        let res = methodology.measure(&snap, rng);
-        out.push(Measurement {
-            id: id as u64,
-            user_id: user.user_id,
-            platform,
-            city: cfg.city.index(),
-            day,
-            hour,
-            down_mbps: res.down.0,
-            up_mbps: res.up.0,
-            rtt_ms: res.rtt_s * 1000.0,
-            loaded_rtt_ms: res.loaded_rtt_s * 1000.0,
-            access,
-            kernel_memory_gb: mem,
-            truth_tier: Some(user.tier),
-        });
+        out.push(ookla_one(cfg, pop, mix, &methodology, &rtt_model, id, rng));
     }
     out
 }
 
-/// Generate a city's M-Lab campaign: separate NDT download/upload events,
-/// re-paired with the 120 s window. Returns the paired measurements.
-pub fn generate_mlab<R: Rng + ?Sized>(
+/// Generate a city's Ookla campaign in deterministic chunks (see
+/// [`crate::par`]): output depends on `stream` only, never on
+/// `parallelism`.
+pub fn generate_ookla_chunked(
     cfg: &CityConfig,
     pop: &Population,
-    rng: &mut R,
+    stream: u64,
+    parallelism: usize,
 ) -> Vec<Measurement> {
-    let methodology = NdtMethodology::default();
+    let methodology = OoklaMethodology::default();
     let rtt_model = RttModel::metro();
+    let mix = cfg.ookla_platform_mix();
+    par::run_chunked(cfg.ookla_tests, stream, parallelism, |range, rng| {
+        range.map(|id| ookla_one(cfg, pop, mix, &methodology, &rtt_model, id, rng)).collect()
+    })
+}
 
-    // Raw per-direction events, plus the context needed to build the final
-    // records once pairing succeeds.
-    let mut downloads = Vec::with_capacity(cfg.mlab_tests);
-    let mut uploads = Vec::with_capacity(cfg.mlab_tests);
-    struct Ctx {
-        user_id: u64,
-        tier: usize,
-        day: u16,
-        hour: u8,
-        rtt_ms: f64,
-        loaded_rtt_ms: f64,
+/// Context carried from an NDT test's generation to its paired record.
+struct NdtCtx {
+    user_id: u64,
+    tier: usize,
+    day: u16,
+    hour: u8,
+    rtt_ms: f64,
+    loaded_rtt_ms: f64,
+}
+
+/// One NDT test: the raw download and upload events plus the context
+/// needed to build the final record if pairing succeeds.
+fn mlab_one<R: Rng + ?Sized>(
+    pop: &Population,
+    methodology: &NdtMethodology,
+    rtt_model: &RttModel,
+    rng: &mut R,
+) -> (NdtEvent, NdtEvent, NdtCtx) {
+    let user = pop.sample_tester(rng);
+    let (day, hour) = (sample_day(rng), sample_hour(rng));
+    let (medium, device, _access, _mem) = sample_endpoint(Platform::NdtWeb, user, rng);
+    let path = NetworkPath::new(user.access.clone(), medium, device, rtt_model.clone());
+    let mut snap = path.snapshot(hour, rng);
+    // A slice of NDT uploads are browser/client-limited to ~1 Mbps —
+    // the extra low cluster visible in the paper's Fig. 6.
+    if rng.gen::<f64>() < 0.07 {
+        snap.up_available = snap.up_available.min(st_netsim::Mbps(0.6 + rng.gen::<f64>()));
     }
-    let mut ctxs: Vec<Ctx> = Vec::with_capacity(cfg.mlab_tests);
+    let res = methodology.measure(&snap, rng);
 
-    for _ in 0..cfg.mlab_tests {
-        let user = pop.sample_tester(rng);
-        let (day, hour) = (sample_day(rng), sample_hour(rng));
-        let (medium, device, _access, _mem) = sample_endpoint(Platform::NdtWeb, user, rng);
-        let path = NetworkPath::new(user.access.clone(), medium, device, rtt_model.clone());
-        let mut snap = path.snapshot(hour, rng);
-        // A slice of NDT uploads are browser/client-limited to ~1 Mbps —
-        // the extra low cluster visible in the paper's Fig. 6.
-        if rng.gen::<f64>() < 0.07 {
-            snap.up_available = snap.up_available.min(st_netsim::Mbps(0.6 + rng.gen::<f64>()));
-        }
-        let res = methodology.measure(&snap, rng);
+    // NDT runs download first; the upload test usually starts seconds
+    // later, occasionally far outside the pairing window.
+    let t0 = (day as f64 * 24.0 + hour as f64) * 3600.0 + rng.gen::<f64>() * 3600.0;
+    let up_delay = if rng.gen::<f64>() < 0.95 {
+        12.0 + rng.gen::<f64>() * 90.0
+    } else {
+        200.0 + rng.gen::<f64>() * 600.0
+    };
+    // Client IP doubles as the user key; one well-known server.
+    let download =
+        NdtEvent { client_ip: user.user_id, server_ip: 1, start_s: t0, mbps: res.down.0 };
+    let upload =
+        NdtEvent { client_ip: user.user_id, server_ip: 1, start_s: t0 + up_delay, mbps: res.up.0 };
+    let ctx = NdtCtx {
+        user_id: user.user_id,
+        tier: user.tier,
+        day,
+        hour,
+        rtt_ms: res.rtt_s * 1000.0,
+        loaded_rtt_ms: res.loaded_rtt_s * 1000.0,
+    };
+    (download, upload, ctx)
+}
 
-        // NDT runs download first; the upload test usually starts seconds
-        // later, occasionally far outside the pairing window.
-        let t0 = (day as f64 * 24.0 + hour as f64) * 3600.0 + rng.gen::<f64>() * 3600.0;
-        let up_delay = if rng.gen::<f64>() < 0.95 {
-            12.0 + rng.gen::<f64>() * 90.0
-        } else {
-            200.0 + rng.gen::<f64>() * 600.0
-        };
-        // Client IP doubles as the user key; one well-known server.
-        downloads.push(NdtEvent {
-            client_ip: user.user_id,
-            server_ip: 1,
-            start_s: t0,
-            mbps: res.down.0,
-        });
-        uploads.push(NdtEvent {
-            client_ip: user.user_id,
-            server_ip: 1,
-            start_s: t0 + up_delay,
-            mbps: res.up.0,
-        });
-        ctxs.push(Ctx {
-            user_id: user.user_id,
-            tier: user.tier,
-            day,
-            hour,
-            rtt_ms: res.rtt_s * 1000.0,
-            loaded_rtt_ms: res.loaded_rtt_s * 1000.0,
-        });
+/// Pair raw NDT events with the paper's 120 s window and build the final
+/// measurements; unpaired downloads are dropped.
+fn pair_mlab(cfg: &CityConfig, raw: Vec<(NdtEvent, NdtEvent, NdtCtx)>) -> Vec<Measurement> {
+    let mut downloads = Vec::with_capacity(raw.len());
+    let mut uploads = Vec::with_capacity(raw.len());
+    let mut ctxs = Vec::with_capacity(raw.len());
+    for (d, u, c) in raw {
+        downloads.push(d);
+        uploads.push(u);
+        ctxs.push(c);
     }
-
     let pairs = pair_ndt_tests(&downloads, &uploads, 120.0);
     pairs
         .into_iter()
@@ -248,6 +275,37 @@ pub fn generate_mlab<R: Rng + ?Sized>(
             })
         })
         .collect()
+}
+
+/// Generate a city's M-Lab campaign: separate NDT download/upload events,
+/// re-paired with the 120 s window. Returns the paired measurements.
+pub fn generate_mlab<R: Rng + ?Sized>(
+    cfg: &CityConfig,
+    pop: &Population,
+    rng: &mut R,
+) -> Vec<Measurement> {
+    let methodology = NdtMethodology::default();
+    let rtt_model = RttModel::metro();
+    let raw = (0..cfg.mlab_tests).map(|_| mlab_one(pop, &methodology, &rtt_model, rng)).collect();
+    pair_mlab(cfg, raw)
+}
+
+/// Generate a city's M-Lab campaign in deterministic chunks (see
+/// [`crate::par`]). Event generation parallelizes; the 120 s pairing runs
+/// sequentially over the stitched event stream, exactly as in the
+/// sequential path.
+pub fn generate_mlab_chunked(
+    cfg: &CityConfig,
+    pop: &Population,
+    stream: u64,
+    parallelism: usize,
+) -> Vec<Measurement> {
+    let methodology = NdtMethodology::default();
+    let rtt_model = RttModel::metro();
+    let raw = par::run_chunked(cfg.mlab_tests, stream, parallelism, |range, rng| {
+        range.map(|_| mlab_one(pop, &methodology, &rtt_model, rng)).collect()
+    });
+    pair_mlab(cfg, raw)
 }
 
 #[cfg(test)]
@@ -337,11 +395,10 @@ mod tests {
         let pop = pop(&cfg, &mut r);
         let tests = generate_ookla(&cfg, &pop, &mut r);
         let caps = [5.0, 10.0, 15.0, 35.0];
-        let near = tests
-            .iter()
-            .filter(|m| caps.iter().any(|c| (m.up_mbps - c).abs() / c < 0.3))
-            .count() as f64
-            / tests.len() as f64;
+        let near =
+            tests.iter().filter(|m| caps.iter().any(|c| (m.up_mbps - c).abs() / c < 0.3)).count()
+                as f64
+                / tests.len() as f64;
         assert!(near > 0.6, "only {near} of uploads near caps");
     }
 
@@ -349,8 +406,7 @@ mod tests {
     fn mlab_campaign_pairs_most_tests() {
         let mut r = rng();
         let cfg = small_cfg();
-        let mpop =
-            Population::generate(&cfg.catalog, &mlab_tier_weights(cfg.city), 300, &mut r);
+        let mpop = Population::generate(&cfg.catalog, &mlab_tier_weights(cfg.city), 300, &mut r);
         let tests = generate_mlab(&cfg, &mpop, &mut r);
         // ~95% of uploads start in-window, but same-user collisions can
         // drop a few more; well over half must pair.
@@ -367,8 +423,7 @@ mod tests {
         let mut r = rng();
         let mut cfg = small_cfg();
         cfg.mlab_tests = 1500;
-        let mpop =
-            Population::generate(&cfg.catalog, &mlab_tier_weights(cfg.city), 400, &mut r);
+        let mpop = Population::generate(&cfg.catalog, &mlab_tier_weights(cfg.city), 400, &mut r);
         let tests = generate_mlab(&cfg, &mpop, &mut r);
         let low = tests.iter().filter(|m| m.up_mbps < 2.0).count() as f64 / tests.len() as f64;
         assert!((0.02..0.15).contains(&low), "low-upload share {low}");

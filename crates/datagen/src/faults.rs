@@ -100,8 +100,7 @@ mod tests {
         let mut r = StdRng::seed_from_u64(5);
         let mut cfg = CityConfig::at_scale(City::A, 0.001);
         cfg.ookla_tests = 2000;
-        let mut pop =
-            Population::generate(&cfg.catalog, &tier_weights(City::A), 500, &mut r);
+        let mut pop = Population::generate(&cfg.catalog, &tier_weights(City::A), 500, &mut r);
         let affected = inject(&mut pop, FaultScenario::oversubscribed_node(), &mut r);
         assert!(!affected.is_empty());
         let tests = generate_ookla(&cfg, &pop, &mut r);
@@ -123,10 +122,7 @@ mod tests {
         }
         assert!(norm_affected.len() > 50, "affected tests: {}", norm_affected.len());
         let (ma, mh) = (med(&mut norm_affected), med(&mut norm_healthy));
-        assert!(
-            ma < mh * 0.7,
-            "affected median {ma} should sit far below healthy {mh}"
-        );
+        assert!(ma < mh * 0.7, "affected median {ma} should sit far below healthy {mh}");
     }
 
     #[test]
@@ -136,8 +132,7 @@ mod tests {
         let mut r = StdRng::seed_from_u64(7);
         let mut cfg = CityConfig::at_scale(City::A, 0.001);
         cfg.ookla_tests = 1500;
-        let mut pop =
-            Population::generate(&cfg.catalog, &tier_weights(City::A), 400, &mut r);
+        let mut pop = Population::generate(&cfg.catalog, &tier_weights(City::A), 400, &mut r);
         let affected = inject(&mut pop, FaultScenario::oversubscribed_node(), &mut r);
         let tests = generate_ookla(&cfg, &pop, &mut r);
         let caps = [5.0, 10.0, 15.0, 35.0];
@@ -148,18 +143,14 @@ mod tests {
             .count();
         let total = tests.iter().filter(|m| affected.contains(&m.user_id)).count();
         assert!(total > 30);
-        assert!(
-            near as f64 / total as f64 > 0.5,
-            "{near}/{total} affected uploads near caps"
-        );
+        assert!(near as f64 / total as f64 > 0.5, "{near}/{total} affected uploads near caps");
     }
 
     #[test]
     fn zero_fraction_is_a_no_op() {
         let mut r = StdRng::seed_from_u64(11);
         let mut pop = population(&mut r);
-        let before: Vec<f64> =
-            pop.users().iter().map(|u| u.access.overprovision).collect();
+        let before: Vec<f64> = pop.users().iter().map(|u| u.access.overprovision).collect();
         let scenario = FaultScenario {
             affected_fraction: 0.0,
             down_capacity_factor: 0.1,
@@ -167,8 +158,7 @@ mod tests {
         };
         let affected = inject(&mut pop, scenario, &mut r);
         assert!(affected.is_empty());
-        let after: Vec<f64> =
-            pop.users().iter().map(|u| u.access.overprovision).collect();
+        let after: Vec<f64> = pop.users().iter().map(|u| u.access.overprovision).collect();
         assert_eq!(before, after);
     }
 

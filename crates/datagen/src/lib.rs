@@ -26,20 +26,23 @@
 //!   conversion into `st-dataframe` frames for analysis.
 //!
 //! Everything is deterministic given a seed: the same `(city, scale,
-//! seed)` triple always yields the same measurements.
+//! seed)` triple always yields the same measurements — at *every*
+//! parallelism level, because generation is partitioned into fixed
+//! chunks whose RNGs depend only on `(seed, chunk index)` (see [`par`]).
 
 pub mod catalogs;
 pub mod city;
 pub mod crowd;
 pub mod faults;
 pub mod mba;
+pub mod par;
 pub mod population;
 pub mod scenario;
 
 pub use catalogs::{catalog_for, isp_a, isp_b, isp_c, isp_d, technology_for};
 pub use city::{City, CityConfig};
-pub use crowd::{generate_mlab, generate_ookla};
+pub use crowd::{generate_mlab, generate_mlab_chunked, generate_ookla, generate_ookla_chunked};
 pub use faults::{inject, FaultScenario};
-pub use mba::generate_mba;
+pub use mba::{generate_mba, generate_mba_chunked};
 pub use population::{Population, UserProfile};
 pub use scenario::{measurements_to_frame, CityDataset};

@@ -11,36 +11,32 @@
 //! website", §3).
 
 use crate::city::CityConfig;
-use rand::Rng;
+use crate::par;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use st_netsim::{AccessLink, AccessMedium, DeviceProfile, NetworkPath, RttModel};
 use st_speedtest::{Access, Measurement, Methodology, OoklaMethodology, Platform};
 
-/// Generate the MBA panel for the state matching `cfg`'s city.
-///
-/// `cfg.mba_units` whiteboxes are assigned plans (tier 1 excluded for
-/// City/State-A, matching §4.3) and together produce `cfg.mba_tests`
-/// measurements spread across the year at all hours. Ground truth is
-/// recorded in `truth_tier`.
-pub fn generate_mba<R: Rng + ?Sized>(cfg: &CityConfig, rng: &mut R) -> Vec<Measurement> {
+/// One MBA whitebox and its subscribed (ground-truth) plan.
+struct Unit {
+    id: u64,
+    tier: usize,
+    access: AccessLink,
+}
+
+/// Assign the panel's whiteboxes to plans: roughly the city's adoption
+/// mix, minus tier 1 in State-A (§4.3). Panels are small, so sample tiers
+/// uniformly from the eligible set.
+fn sample_units<R: Rng + ?Sized>(cfg: &CityConfig, rng: &mut R) -> Vec<Unit> {
     let catalog = &cfg.catalog;
     let n_units = cfg.mba_units.max(1);
-
-    // Unit plan assignment: roughly the city's adoption mix, minus tier 1
-    // in State-A. Panels are small, so sample tiers uniformly from the
-    // eligible set with a mild bias toward mid tiers.
     let eligible: Vec<usize> = catalog
         .plans()
         .iter()
         .map(|p| p.tier)
         .filter(|&t| !(cfg.city == crate::city::City::A && t == 1))
         .collect();
-
-    struct Unit {
-        id: u64,
-        tier: usize,
-        access: AccessLink,
-    }
-    let units: Vec<Unit> = (0..n_units)
+    (0..n_units)
         .map(|i| {
             let tier = eligible[rng.gen_range(0..eligible.len())];
             let plan = catalog.plan(tier).expect("eligible tier exists");
@@ -56,53 +52,89 @@ pub fn generate_mba<R: Rng + ?Sized>(cfg: &CityConfig, rng: &mut R) -> Vec<Measu
             access.cross_traffic_mean = 0.005;
             Unit { id: 1_000_000 + i as u64, tier, access }
         })
-        .collect();
+        .collect()
+}
 
+// The 2021 archive gap: no data for Sep 1 – Oct 31 (days 243..304).
+const GAP: std::ops::Range<u16> = 243..304;
+
+/// One scheduled whitebox test.
+fn mba_one<R: Rng + ?Sized>(
+    cfg: &CityConfig,
+    unit: &Unit,
+    methodology: &OoklaMethodology,
+    rtt_model: &RttModel,
+    id: usize,
+    rng: &mut R,
+) -> Measurement {
+    // Scheduled tests run around the clock, not on the human diurnal
+    // pattern of crowdsourced campaigns.
+    let day = loop {
+        let d = rng.gen_range(0..365u16);
+        if !GAP.contains(&d) {
+            break d;
+        }
+    };
+    let hour = rng.gen_range(0..24u8);
+    let path = NetworkPath::new(
+        unit.access.clone(),
+        AccessMedium::gigabit_ethernet(),
+        DeviceProfile::unconstrained(),
+        rtt_model.clone(),
+    );
+    let snap = path.snapshot(hour, rng);
+    let res = methodology.measure(&snap, rng);
+    Measurement {
+        id: id as u64,
+        user_id: unit.id,
+        platform: Platform::MbaUnit,
+        city: cfg.city.index(),
+        day,
+        hour,
+        down_mbps: res.down.0,
+        up_mbps: res.up.0,
+        rtt_ms: res.rtt_s * 1000.0,
+        loaded_rtt_ms: res.loaded_rtt_s * 1000.0,
+        access: Access::Ethernet,
+        kernel_memory_gb: None,
+        truth_tier: Some(unit.tier),
+    }
+}
+
+/// Generate the MBA panel for the state matching `cfg`'s city.
+///
+/// `cfg.mba_units` whiteboxes are assigned plans (tier 1 excluded for
+/// City/State-A, matching §4.3) and together produce `cfg.mba_tests`
+/// measurements spread across the year at all hours. Ground truth is
+/// recorded in `truth_tier`.
+pub fn generate_mba<R: Rng + ?Sized>(cfg: &CityConfig, rng: &mut R) -> Vec<Measurement> {
+    let units = sample_units(cfg, rng);
     // MBA testing is scheduled hardware: multi-connection transfers like
     // the SamKnows methodology, which behaves like Ookla's.
     let methodology = OoklaMethodology::default();
     let rtt_model = RttModel::metro();
-
-    // The 2021 archive gap: no data for Sep 1 – Oct 31 (days 243..304).
-    const GAP: std::ops::Range<u16> = 243..304;
-
     let mut out = Vec::with_capacity(cfg.mba_tests);
     for id in 0..cfg.mba_tests {
-        let unit = &units[id % units.len()];
-        // Scheduled tests run around the clock, not on the human diurnal
-        // pattern of crowdsourced campaigns.
-        let day = loop {
-            let d = rng.gen_range(0..365u16);
-            if !GAP.contains(&d) {
-                break d;
-            }
-        };
-        let hour = rng.gen_range(0..24u8);
-        let path = NetworkPath::new(
-            unit.access.clone(),
-            AccessMedium::gigabit_ethernet(),
-            DeviceProfile::unconstrained(),
-            rtt_model.clone(),
-        );
-        let snap = path.snapshot(hour, rng);
-        let res = methodology.measure(&snap, rng);
-        out.push(Measurement {
-            id: id as u64,
-            user_id: unit.id,
-            platform: Platform::MbaUnit,
-            city: cfg.city.index(),
-            day,
-            hour,
-            down_mbps: res.down.0,
-            up_mbps: res.up.0,
-            rtt_ms: res.rtt_s * 1000.0,
-            loaded_rtt_ms: res.loaded_rtt_s * 1000.0,
-            access: Access::Ethernet,
-            kernel_memory_gb: None,
-            truth_tier: Some(unit.tier),
-        });
+        out.push(mba_one(cfg, &units[id % units.len()], &methodology, &rtt_model, id, rng));
     }
     out
+}
+
+/// Generate the MBA panel in deterministic chunks (see [`crate::par`]).
+/// Unit/plan assignment draws from its own sub-stream so the panel
+/// composition never depends on chunking or parallelism.
+pub fn generate_mba_chunked(cfg: &CityConfig, stream: u64, parallelism: usize) -> Vec<Measurement> {
+    let units = {
+        let mut rng = StdRng::seed_from_u64(par::stream_seed(stream, par::tags::MBA_UNITS));
+        sample_units(cfg, &mut rng)
+    };
+    let methodology = OoklaMethodology::default();
+    let rtt_model = RttModel::metro();
+    par::run_chunked(cfg.mba_tests, stream, parallelism, |range, rng| {
+        range
+            .map(|id| mba_one(cfg, &units[id % units.len()], &methodology, &rtt_model, id, rng))
+            .collect()
+    })
 }
 
 #[cfg(test)]
@@ -159,21 +191,15 @@ mod tests {
         // except gigabit tiers, which undershoot (§4.3, Tier 6 ≈ 892/1200).
         for unit in 0..20u64 {
             let unit_id = 1_000_000 + unit;
-            let mut downs: Vec<f64> = tests
-                .iter()
-                .filter(|m| m.user_id == unit_id)
-                .map(|m| m.down_mbps)
-                .collect();
+            let mut downs: Vec<f64> =
+                tests.iter().filter(|m| m.user_id == unit_id).map(|m| m.down_mbps).collect();
             if downs.len() < 5 {
                 continue;
             }
             downs.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let median = downs[downs.len() / 2];
-            let tier = tests
-                .iter()
-                .find(|m| m.user_id == unit_id)
-                .and_then(|m| m.truth_tier)
-                .unwrap();
+            let tier =
+                tests.iter().find(|m| m.user_id == unit_id).and_then(|m| m.truth_tier).unwrap();
             let plan = c.catalog.plan(tier).unwrap().down.0;
             let norm = median / plan;
             if plan >= 800.0 {

@@ -56,11 +56,8 @@ pub fn tier_weights(city: City) -> Vec<f64> {
 pub fn mlab_tier_weights(city: City) -> Vec<f64> {
     let base = tier_weights(city);
     let n = base.len() as f64;
-    let mut w: Vec<f64> = base
-        .iter()
-        .enumerate()
-        .map(|(i, b)| b * (1.7 - 1.1 * i as f64 / (n - 1.0)))
-        .collect();
+    let mut w: Vec<f64> =
+        base.iter().enumerate().map(|(i, b)| b * (1.7 - 1.1 * i as f64 / (n - 1.0))).collect();
     let total: f64 = w.iter().sum();
     for v in &mut w {
         *v /= total;
@@ -77,9 +74,13 @@ impl Population {
         n_users: usize,
         rng: &mut R,
     ) -> Self {
-        Self::generate_with_technology(catalog, weights, n_users, |_| {
-            st_netsim::Technology::Docsis
-        }, rng)
+        Self::generate_with_technology(
+            catalog,
+            weights,
+            n_users,
+            |_| st_netsim::Technology::Docsis,
+            rng,
+        )
     }
 
     /// Like [`Population::generate`], with a per-tier last-mile technology
@@ -115,8 +116,7 @@ impl Population {
             .map(|i| {
                 let tier = sample_weighted(weights, total_w, rng) + 1;
                 let plan = catalog.plan(tier).expect("tier sampled from catalog");
-                let access =
-                    AccessLink::provision_with(plan.down, plan.up, technology(tier), rng);
+                let access = AccessLink::provision_with(plan.down, plan.up, technology(tier), rng);
                 UserProfile {
                     user_id: i as u64,
                     tier,
@@ -330,8 +330,8 @@ mod tests {
         let cat = catalog_for(City::A);
         let pop = Population::generate(&cat, &tier_weights(City::A), 2_000, &mut rng());
         let mut r = rng();
-        let mean_rate: f64 = pop.users().iter().map(|u| u.monthly_rate).sum::<f64>()
-            / pop.len() as f64;
+        let mean_rate: f64 =
+            pop.users().iter().map(|u| u.monthly_rate).sum::<f64>() / pop.len() as f64;
         let sampled_mean: f64 =
             (0..2_000).map(|_| pop.sample_tester(&mut r).monthly_rate).sum::<f64>() / 2_000.0;
         assert!(

@@ -1,8 +1,9 @@
 //! One-call city dataset generation and data-frame conversion.
 
 use crate::city::{City, CityConfig};
-use crate::crowd::{generate_mlab, generate_ookla};
-use crate::mba::generate_mba;
+use crate::crowd::{generate_mlab_chunked, generate_ookla_chunked};
+use crate::mba::generate_mba_chunked;
+use crate::par;
 use crate::population::{mlab_tier_weights, tier_weights, Population};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,8 +30,27 @@ impl CityDataset {
     /// Generate the dataset for `city` at `scale` of the paper's sizes,
     /// deterministically from `seed`.
     pub fn generate(city: City, scale: f64, seed: u64) -> Self {
+        Self::generate_with_parallelism(city, scale, seed, 1)
+    }
+
+    /// Like [`CityDataset::generate`], fanning each campaign's per-test
+    /// loop out over up to `parallelism` worker threads.
+    ///
+    /// The chunked scheme of [`crate::par`] is canonical at every
+    /// parallelism level: the output is identical for `parallelism` 1
+    /// and N given the same `(city, scale, seed)`.
+    pub fn generate_with_parallelism(
+        city: City,
+        scale: f64,
+        seed: u64,
+        parallelism: usize,
+    ) -> Self {
         let config = CityConfig::at_scale(city, scale);
-        let mut rng = StdRng::seed_from_u64(seed ^ (city.index() as u64) << 32);
+        let master = seed ^ (city.index() as u64) << 32;
+
+        // Populations are cheap relative to the campaigns; they draw
+        // sequentially from their own sub-stream.
+        let mut rng = StdRng::seed_from_u64(par::stream_seed(master, par::tags::POPULATION));
 
         // Population sized so the mean tests/user matches the paper's
         // ~1.3 native tests per user per year, bounded for tiny scales.
@@ -52,9 +72,20 @@ impl CityDataset {
             &mut rng,
         );
 
-        let ookla = generate_ookla(&config, &population, &mut rng);
-        let mlab = generate_mlab(&config, &mlab_population, &mut rng);
-        let mba = generate_mba(&config, &mut rng);
+        let ookla = generate_ookla_chunked(
+            &config,
+            &population,
+            par::stream_seed(master, par::tags::OOKLA),
+            parallelism,
+        );
+        let mlab = generate_mlab_chunked(
+            &config,
+            &mlab_population,
+            par::stream_seed(master, par::tags::MLAB),
+            parallelism,
+        );
+        let mba =
+            generate_mba_chunked(&config, par::stream_seed(master, par::tags::MBA), parallelism);
 
         CityDataset { config, population, ookla, mlab, mba }
     }
@@ -152,6 +183,18 @@ mod tests {
         assert_eq!(a.ookla, b.ookla);
         assert_eq!(a.mlab, b.mlab);
         assert_eq!(a.mba, b.mba);
+    }
+
+    #[test]
+    fn parallel_generation_matches_sequential() {
+        let seq = CityDataset::generate_with_parallelism(City::C, 0.001, 11, 1);
+        let par = CityDataset::generate_with_parallelism(City::C, 0.001, 11, 4);
+        assert_eq!(seq.ookla, par.ookla);
+        assert_eq!(seq.mlab, par.mlab);
+        assert_eq!(seq.mba, par.mba);
+        // And the default entry point is the parallelism-1 stream.
+        let default = CityDataset::generate(City::C, 0.001, 11);
+        assert_eq!(default.ookla, par.ookla);
     }
 
     #[test]

@@ -67,10 +67,7 @@ impl DeviceProfile {
     /// Build a profile from available kernel memory, sampling the
     /// within-bin variation (different OEM kernel configs).
     pub fn from_memory<R: Rng + ?Sized>(kernel_memory_gb: f64, rng: &mut R) -> Self {
-        assert!(
-            kernel_memory_gb.is_finite() && kernel_memory_gb > 0.0,
-            "memory must be positive"
-        );
+        assert!(kernel_memory_gb.is_finite() && kernel_memory_gb > 0.0, "memory must be positive");
         let jitter = 0.75 + rng.gen::<f64>() * 0.5; // ×0.75–1.25
         let (buffer, cap) = match MemoryClass::from_gb(kernel_memory_gb) {
             // A memory-pressured kernel clamps tcp_rmem hard, and the

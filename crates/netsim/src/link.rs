@@ -62,8 +62,7 @@ impl AccessLink {
         assert!(down_plan.0 > 0.0 && up_plan.0 > 0.0, "plan rates must be positive");
         let (overprovision, base_loss) = match technology {
             Technology::Docsis => {
-                let op_dist =
-                    LogNormal::new(0.08_f64.ln_1p(), 0.05).expect("valid sigma");
+                let op_dist = LogNormal::new(0.08_f64.ln_1p(), 0.05).expect("valid sigma");
                 let mut op = op_dist.sample(rng);
                 // Saturation shortfall: ≥800 Mbps plans deliver below cap.
                 if down_plan.0 >= 800.0 {
@@ -75,8 +74,7 @@ impl AccessLink {
             Technology::Fiber => {
                 // PON delivers at/just above plan at every rate, with an
                 // order of magnitude less residual loss.
-                let op_dist =
-                    LogNormal::new(0.03_f64.ln_1p(), 0.02).expect("valid sigma");
+                let op_dist = LogNormal::new(0.03_f64.ln_1p(), 0.02).expect("valid sigma");
                 (op_dist.sample(rng), 2e-6)
             }
         };
@@ -232,12 +230,7 @@ mod tests {
         let mut r = rng();
         let mut caps = Vec::new();
         for _ in 0..500 {
-            let l = AccessLink::provision_with(
-                Mbps(940.0),
-                Mbps(30.0),
-                Technology::Fiber,
-                &mut r,
-            );
+            let l = AccessLink::provision_with(Mbps(940.0), Mbps(30.0), Technology::Fiber, &mut r);
             assert_eq!(l.technology, Technology::Fiber);
             assert!(l.base_loss < 1e-5);
             caps.push(l.down_capacity().0);

@@ -169,8 +169,7 @@ mod tests {
     fn wifi_loss_exceeds_ethernet_loss() {
         let mut r = rng();
         let eth = plan_path(AccessMedium::gigabit_ethernet(), &mut r).snapshot(0, &mut r);
-        let wifi_path =
-            plan_path(AccessMedium::Wifi(WifiLink::new(Band::G5, -82.0)), &mut r);
+        let wifi_path = plan_path(AccessMedium::Wifi(WifiLink::new(Band::G5, -82.0)), &mut r);
         let wifi = wifi_path.snapshot(0, &mut r);
         assert!(wifi.loss_rate > eth.loss_rate);
     }

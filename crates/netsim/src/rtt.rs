@@ -2,9 +2,9 @@
 //!
 //! Speed-test vendors pick a nearby server (Ookla: >16k servers, M-Lab:
 //! >500), so base RTTs are short; WiFi hops and upstream queueing add to
-//! them. RTT matters twice in this workspace: it sets the bandwidth-delay
-//! product that single-flow NDT struggles to fill, and it converts device
-//! TCP-buffer limits into throughput caps.
+//! > them. RTT matters twice in this workspace: it sets the bandwidth-delay
+//! > product that single-flow NDT struggles to fill, and it converts device
+//! > TCP-buffer limits into throughput caps.
 
 use rand::Rng;
 use rand_distr::{Distribution, LogNormal};
@@ -37,8 +37,8 @@ impl RttModel {
 
     /// Sample a wired RTT (seconds).
     pub fn sample_wired<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        let dist = LogNormal::new(self.base_median_s.ln(), self.base_sigma)
-            .expect("validated sigma");
+        let dist =
+            LogNormal::new(self.base_median_s.ln(), self.base_sigma).expect("validated sigma");
         dist.sample(rng).clamp(0.002, 0.5)
     }
 
@@ -49,8 +49,8 @@ impl RttModel {
         let wired = self.sample_wired(rng);
         // −30 dBm → ×1, −90 dBm → ×4 inflation of the WiFi extra term.
         let inflation = 1.0 + ((-rssi_dbm - 30.0).max(0.0) / 20.0);
-        let extra_dist = LogNormal::new(self.wifi_extra_median_s.ln(), 0.5)
-            .expect("fixed sigma is valid");
+        let extra_dist =
+            LogNormal::new(self.wifi_extra_median_s.ln(), 0.5).expect("fixed sigma is valid");
         let extra = extra_dist.sample(rng) * inflation;
         (wired + extra).clamp(0.002, 0.8)
     }

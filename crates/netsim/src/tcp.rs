@@ -246,8 +246,7 @@ impl TcpSimulator {
             // Standing queue this round: packets beyond the pipe, capped by
             // the buffer. Draining them takes queue/cap_rate seconds — the
             // queueing delay every packet in the round experiences.
-            let queue_pkts =
-                (demand - cap_pkts_round).clamp(0.0, cap_pkts_round * cfg.buffer_bdp);
+            let queue_pkts = (demand - cap_pkts_round).clamp(0.0, cap_pkts_round * cfg.buffer_bdp);
             queue_delay_acc += queue_pkts / cap_pkts_round * cfg.rtt_s;
 
             // Congestion loss pressure: load beyond what capacity plus the
@@ -404,10 +403,7 @@ mod tests {
             20,
             false,
         );
-        assert!(
-            eight > one * 1.5,
-            "8 flows ({eight}) should clearly beat 1 flow ({one})"
-        );
+        assert!(eight > one * 1.5, "8 flows ({eight}) should clearly beat 1 flow ({one})");
     }
 
     #[test]
@@ -435,8 +431,7 @@ mod tests {
     #[test]
     fn rwnd_caps_throughput() {
         // 64 KB total window at 20 ms RTT → ~26 Mbps cap on a 1 Gbps pipe.
-        let cfg = FlowConfig::new(1, 10.0, 0.02, Mbps(1000.0))
-            .with_rwnd_total(64.0 * 1024.0);
+        let cfg = FlowConfig::new(1, 10.0, 0.02, Mbps(1000.0)).with_rwnd_total(64.0 * 1024.0);
         let v = mean_of_runs(cfg, 1.0, 10, false);
         let cap = 64.0 * 1024.0 * 8.0 / 0.02 / 1e6;
         assert!(v <= cap * 1.05, "throughput {v} exceeds window cap {cap}");
@@ -498,8 +493,7 @@ mod tests {
         let mut r = rng(31);
         let saturating = FlowConfig::new(8, 10.0, 0.02, Mbps(100.0));
         let s1 = TcpSimulator::new(saturating).run(1.0, &mut r);
-        let limited = FlowConfig::new(1, 10.0, 0.02, Mbps(100.0))
-            .with_rwnd_total(32.0 * 1024.0); // ~13 Mbps cap, pipe never fills
+        let limited = FlowConfig::new(1, 10.0, 0.02, Mbps(100.0)).with_rwnd_total(32.0 * 1024.0); // ~13 Mbps cap, pipe never fills
         let s2 = TcpSimulator::new(limited).run(1.0, &mut r);
         assert!(
             s1.loaded_rtt_s > s2.loaded_rtt_s + 0.002,
@@ -566,10 +560,7 @@ mod tests {
         };
         let reno = run_cc(CongestionControl::Reno);
         let cubic = run_cc(CongestionControl::Cubic);
-        assert!(
-            cubic > reno * 1.3,
-            "CUBIC {cubic} should out-recover Reno {reno} at high BDP"
-        );
+        assert!(cubic > reno * 1.3, "CUBIC {cubic} should out-recover Reno {reno} at high BDP");
     }
 
     #[test]
@@ -585,10 +576,7 @@ mod tests {
         };
         let reno = run_cc(CongestionControl::Reno);
         let cubic = run_cc(CongestionControl::Cubic);
-        assert!(
-            cubic > reno * 0.8,
-            "CUBIC {cubic} should stay near Reno {reno} at short RTT"
-        );
+        assert!(cubic > reno * 0.8, "CUBIC {cubic} should stay near Reno {reno} at short RTT");
     }
 
     #[test]

@@ -124,12 +124,20 @@ impl WifiLink {
             // 2.4 GHz: typically 20–60% of airtime lost, up to 85% heavy.
             Band::G2_4 => {
                 let base = 0.20 + rng.gen::<f64>() * 0.40;
-                if heavy { (base + 0.25).min(0.85) } else { base }
+                if heavy {
+                    (base + 0.25).min(0.85)
+                } else {
+                    base
+                }
             }
             // 5 GHz: typically 3–35%, up to 60% heavy.
             Band::G5 => {
                 let base = 0.03 + rng.gen::<f64>() * 0.32;
-                if heavy { (base + 0.25).min(0.60) } else { base }
+                if heavy {
+                    (base + 0.25).min(0.60)
+                } else {
+                    base
+                }
             }
         }
     }

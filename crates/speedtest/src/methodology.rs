@@ -76,10 +76,9 @@ impl Methodology for OoklaMethodology {
 
         // Uploads use fewer parallel streams; caps are low enough that the
         // count barely matters.
-        let up_cfg =
-            FlowConfig::new(n.min(4), self.duration_s, snap.rtt_s, snap.up_available)
-                .with_loss(snap.loss_rate)
-                .with_rwnd_total(snap.rwnd_total_bytes);
+        let up_cfg = FlowConfig::new(n.min(4), self.duration_s, snap.rtt_s, snap.up_available)
+            .with_loss(snap.loss_rate)
+            .with_rwnd_total(snap.rwnd_total_bytes);
         let up = TcpSimulator::new(up_cfg).run(self.ramp_discard_s, rng).mean_steady;
 
         TestResult { down, up, rtt_s: snap.rtt_s, loaded_rtt_s: down_sample.loaded_rtt_s }
@@ -119,8 +118,7 @@ impl Methodology for NdtMethodology {
         let up_cfg = FlowConfig::new(1, self.duration_s, snap.rtt_s, snap.up_available)
             .with_loss(snap.loss_rate)
             .with_rwnd_total(snap.rwnd_total_bytes);
-        let up = TcpSimulator::new(up_cfg).run(0.0, rng).mean_all
-            * self.client_efficiency;
+        let up = TcpSimulator::new(up_cfg).run(0.0, rng).mean_all * self.client_efficiency;
 
         TestResult { down, up, rtt_s: snap.rtt_s, loaded_rtt_s: down_sample.loaded_rtt_s }
     }
@@ -232,10 +230,7 @@ mod tests {
         let snap = snapshot(800.0, 15.0, 0.015, 1e-4);
         let ookla = mean(&run_many(&OoklaMethodology::default(), &snap, 25), |r| r.down.0);
         let ndt = mean(&run_many(&NdtMethodology::default(), &snap, 25), |r| r.down.0);
-        assert!(
-            ndt < ookla / 1.5,
-            "NDT {ndt} should lag Ookla {ookla} by well over 1.5x"
-        );
+        assert!(ndt < ookla / 1.5, "NDT {ndt} should lag Ookla {ookla} by well over 1.5x");
     }
 
     #[test]

@@ -36,11 +36,7 @@ pub struct NdtPair {
 /// `[download.start_s, download.start_s + window_s]` are candidates; the
 /// earliest unconsumed candidate is associated. Returns one [`NdtPair`]
 /// per download event.
-pub fn pair_ndt_tests(
-    downloads: &[NdtEvent],
-    uploads: &[NdtEvent],
-    window_s: f64,
-) -> Vec<NdtPair> {
+pub fn pair_ndt_tests(downloads: &[NdtEvent], uploads: &[NdtEvent], window_s: f64) -> Vec<NdtPair> {
     assert!(window_s >= 0.0, "window must be non-negative");
 
     // Index uploads by endpoint pair, sorted by start time.

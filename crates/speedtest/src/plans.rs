@@ -117,12 +117,7 @@ impl PlanCatalog {
             .into_iter()
             .map(|up| TierGroup {
                 up,
-                tiers: self
-                    .plans
-                    .iter()
-                    .filter(|p| p.up == up)
-                    .map(|p| p.tier)
-                    .collect(),
+                tiers: self.plans.iter().filter(|p| p.up == up).map(|p| p.tier).collect(),
             })
             .collect()
     }
@@ -150,9 +145,7 @@ impl PlanCatalog {
     pub fn nearest_upload_cap(&self, up: Mbps) -> Mbps {
         self.upload_caps()
             .into_iter()
-            .min_by(|a, b| {
-                (a.0 - up.0).abs().partial_cmp(&(b.0 - up.0).abs()).expect("finite")
-            })
+            .min_by(|a, b| (a.0 - up.0).abs().partial_cmp(&(b.0 - up.0).abs()).expect("finite"))
             .expect("catalog non-empty")
     }
 }

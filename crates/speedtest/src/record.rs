@@ -168,14 +168,16 @@ impl Measurement {
         (self.hour as usize % 24) / 6
     }
 
-    /// Label for the six-hour bin.
+    /// Label for the six-hour bin. Out-of-range bins clamp to the last
+    /// label (debug builds assert) so one malformed record degrades to a
+    /// mislabeled bin instead of aborting a whole campaign.
     pub fn time_bin_label(bin: usize) -> &'static str {
+        debug_assert!(bin < 4, "time bin must be 0..4, got {bin}");
         match bin {
             0 => "00-06",
             1 => "06-12",
             2 => "12-18",
-            3 => "18-24",
-            _ => panic!("time bin must be 0..4, got {bin}"),
+            _ => "18-24",
         }
     }
 
@@ -240,9 +242,17 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "time bin must be 0..4")]
-    fn bad_time_bin_label_panics() {
+    fn bad_time_bin_label_asserts_in_debug() {
         let _ = Measurement::time_bin_label(4);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn bad_time_bin_label_clamps_in_release() {
+        assert_eq!(Measurement::time_bin_label(4), "18-24");
+        assert_eq!(Measurement::time_bin_label(usize::MAX), "18-24");
     }
 
     #[test]

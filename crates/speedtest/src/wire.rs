@@ -85,9 +85,7 @@ impl TokenBucket {
                     s.tokens -= n as f64;
                     None
                 } else {
-                    Some(Duration::from_secs_f64(
-                        (n as f64 - s.tokens) / self.rate_bytes_per_sec,
-                    ))
+                    Some(Duration::from_secs_f64((n as f64 - s.tokens) / self.rate_bytes_per_sec))
                 }
             };
             match wait {
@@ -99,10 +97,15 @@ impl TokenBucket {
 }
 
 /// A loopback speed-test server with shaped download and upload rates.
+///
+/// Shutdown (on drop) joins the accept thread *and* every per-connection
+/// worker, so no thread or socket outlives the server — wire tests can't
+/// leak past the test harness.
 pub struct ShapedServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<thread::JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
 }
 
 impl ShapedServer {
@@ -115,19 +118,25 @@ impl ShapedServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let down_bucket = Arc::new(TokenBucket::new(down_mbps, 40.0));
         let up_bucket = Arc::new(TokenBucket::new(up_mbps, 40.0));
+        let workers: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
         let shutdown2 = Arc::clone(&shutdown);
+        let workers2 = Arc::clone(&workers);
         let accept_thread = thread::spawn(move || {
-            let mut workers = Vec::new();
             while !shutdown2.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         let down = Arc::clone(&down_bucket);
                         let up = Arc::clone(&up_bucket);
                         let stop = Arc::clone(&shutdown2);
-                        workers.push(thread::spawn(move || {
+                        let handle = thread::spawn(move || {
                             let _ = serve_connection(stream, &down, &up, &stop);
-                        }));
+                        });
+                        let mut ws = workers2.lock();
+                        // Reap finished workers so the registry doesn't
+                        // grow with every connection ever served.
+                        ws.retain(|w| !w.is_finished());
+                        ws.push(handle);
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         thread::sleep(Duration::from_millis(2));
@@ -135,12 +144,9 @@ impl ShapedServer {
                     Err(_) => break,
                 }
             }
-            for w in workers {
-                let _ = w.join();
-            }
         });
 
-        Ok(ShapedServer { addr, shutdown, accept_thread: Some(accept_thread) })
+        Ok(ShapedServer { addr, shutdown, accept_thread: Some(accept_thread), workers })
     }
 
     /// The server's socket address.
@@ -155,6 +161,12 @@ impl Drop for ShapedServer {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        // The accept thread is gone, so no new workers can appear; join
+        // every per-connection worker before returning.
+        let workers = std::mem::take(&mut *self.workers.lock());
+        for w in workers {
+            let _ = w.join();
+        }
     }
 }
 
@@ -165,17 +177,27 @@ fn serve_connection(
     stop: &AtomicBool,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(200)))?;
     let mut cmd = [0u8; 1];
     stream.read_exact(&mut cmd)?;
     let payload = [0x5au8; CHUNK];
     let mut sink = [0u8; CHUNK];
     match cmd[0] {
         CMD_DOWNLOAD => {
-            // Stream shaped data until the client hangs up or we stop.
+            // Stream shaped data until the client hangs up or we stop. A
+            // stalled client only blocks until the write timeout, so the
+            // worker always re-checks the stop flag and can be joined.
             while !stop.load(Ordering::Relaxed) {
                 down.take(CHUNK);
-                if stream.write_all(&payload).is_err() {
-                    break;
+                match stream.write_all(&payload) {
+                    Ok(()) => {}
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue
+                    }
+                    Err(_) => break,
                 }
             }
         }
@@ -373,9 +395,7 @@ fn run_wire_test(
         }));
     }
     for t in threads {
-        t.join().map_err(|_| {
-            std::io::Error::new(std::io::ErrorKind::Other, "measurement thread panicked")
-        })??;
+        t.join().map_err(|_| std::io::Error::other("measurement thread panicked"))??;
     }
 
     let to_mbps = |bytes: u64, secs: f64| bytes as f64 * 8.0 / 1e6 / secs;
@@ -441,16 +461,14 @@ pub fn run_session(
             let jitter_s = if rtts.len() < 2 {
                 0.0
             } else {
-                rtts.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>()
-                    / (rtts.len() - 1) as f64
+                rtts.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (rtts.len() - 1) as f64
             };
             Ok(LatencyResult { min_s, mean_s, max_s, jitter_s, count: rtts.len() })
         })
     };
     let download = measure_download(addr, n_conns, duration, ramp_discard)?;
-    let loaded_latency = ping_handle
-        .join()
-        .map_err(|_| std::io::Error::new(std::io::ErrorKind::Other, "ping thread panicked"))??;
+    let loaded_latency =
+        ping_handle.join().map_err(|_| std::io::Error::other("ping thread panicked"))??;
 
     let upload = measure_upload(addr, n_conns.min(2), duration, ramp_discard)?;
     Ok(WireSession { download, upload, idle_latency, loaded_latency })
@@ -580,13 +598,9 @@ mod tests {
     #[test]
     fn full_session_reports_all_four_measurements() {
         let server = ShapedServer::start(60.0, 12.0).unwrap();
-        let s = run_session(
-            server.addr(),
-            4,
-            Duration::from_millis(1000),
-            Duration::from_millis(250),
-        )
-        .unwrap();
+        let s =
+            run_session(server.addr(), 4, Duration::from_millis(1000), Duration::from_millis(250))
+                .unwrap();
         assert!(s.download.mean_steady_mbps > 20.0, "{s:?}");
         assert!(s.upload.mean_steady_mbps > 3.0, "{s:?}");
         assert_eq!(s.idle_latency.count, 10);
@@ -594,6 +608,24 @@ mod tests {
         // Loopback has no shaped queue on the ping path, so loaded latency
         // stays sane (scheduling noise only).
         assert!(s.loaded_latency.mean_s < 0.2);
+    }
+
+    #[test]
+    fn shutdown_joins_workers_even_with_a_stalled_client() {
+        // A client that starts a download and then never reads: the
+        // connection worker parks in shaped writes. Dropping the server
+        // must still join it promptly instead of leaking the thread.
+        let server = ShapedServer::start(500.0, 10.0).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(&[CMD_DOWNLOAD]).unwrap();
+        thread::sleep(Duration::from_millis(150)); // let the worker start
+        let t0 = Instant::now();
+        drop(server);
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "shutdown blocked on a stalled connection worker"
+        );
+        drop(stream);
     }
 
     #[test]

@@ -18,11 +18,7 @@ fn catalog_strategy() -> impl Strategy<Value = PlanCatalog> {
 }
 
 fn events_strategy() -> impl Strategy<Value = Vec<NdtEvent>> {
-    prop::collection::vec(
-        (0u64..6, 0.0f64..5000.0, 0.1f64..500.0),
-        0..40,
-    )
-    .prop_map(|raw| {
+    prop::collection::vec((0u64..6, 0.0f64..5000.0, 0.1f64..500.0), 0..40).prop_map(|raw| {
         raw.into_iter()
             .map(|(client, start, mbps)| NdtEvent {
                 client_ip: client,

@@ -52,10 +52,7 @@ pub fn bootstrap_ci<R: Rng + ?Sized>(
         return Err(StatsError::InvalidParameter { what: "confidence level", value: level });
     }
     if resamples < 10 {
-        return Err(StatsError::InvalidParameter {
-            what: "resamples",
-            value: resamples as f64,
-        });
+        return Err(StatsError::InvalidParameter { what: "resamples", value: resamples as f64 });
     }
 
     let estimate = statistic(data);
@@ -184,8 +181,7 @@ mod tests {
     #[test]
     fn interval_narrows_with_sample_size() {
         let small = median_ci(&uniforms(40, 0.0, 100.0, 2), 400, 0.95, &mut rng()).unwrap();
-        let large =
-            median_ci(&uniforms(4000, 0.0, 100.0, 2), 400, 0.95, &mut rng()).unwrap();
+        let large = median_ci(&uniforms(4000, 0.0, 100.0, 2), 400, 0.95, &mut rng()).unwrap();
         assert!(large.width() < small.width(), "{large:?} vs {small:?}");
     }
 
@@ -217,14 +213,9 @@ mod tests {
     #[test]
     fn custom_statistic_works() {
         let data = uniforms(200, 0.0, 10.0, 8);
-        let ci = bootstrap_ci(
-            &data,
-            |s| s.iter().sum::<f64>() / s.len() as f64,
-            300,
-            0.95,
-            &mut rng(),
-        )
-        .unwrap();
+        let ci =
+            bootstrap_ci(&data, |s| s.iter().sum::<f64>() / s.len() as f64, 300, 0.95, &mut rng())
+                .unwrap();
         assert!(ci.contains(5.0), "{ci:?}");
     }
 

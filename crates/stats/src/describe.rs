@@ -97,8 +97,7 @@ pub fn gini(data: &[f64]) -> Result<f64> {
         return Ok(0.0); // everyone equally has nothing
     }
     // G = (2 * sum_i i*x_i) / (n * sum x) - (n + 1) / n, i is 1-based.
-    let weighted: f64 =
-        sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
+    let weighted: f64 = sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
     Ok((2.0 * weighted / (n * total) - (n + 1.0) / n).clamp(0.0, 1.0))
 }
 

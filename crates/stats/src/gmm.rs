@@ -43,13 +43,7 @@ pub struct GmmConfig {
 
 impl Default for GmmConfig {
     fn default() -> Self {
-        GmmConfig {
-            k: 1,
-            max_iter: 200,
-            tol: 1e-7,
-            var_floor_frac: 1e-4,
-            background_weight: None,
-        }
+        GmmConfig { k: 1, max_iter: 200, tol: 1e-7, var_floor_frac: 1e-4, background_weight: None }
     }
 }
 
@@ -129,7 +123,9 @@ impl GaussianMixture {
                     .map(|(&x, _)| x)
                     .collect();
                 let weight = (members.len() as f64 / n as f64).max(1e-6);
-                let mean = if members.is_empty() { km.centers[c] } else {
+                let mean = if members.is_empty() {
+                    km.centers[c]
+                } else {
                     crate::describe::mean(&members)
                 };
                 let var = if members.len() < 2 {
@@ -168,9 +164,8 @@ impl GaussianMixture {
             let range = (hi - lo).max(1e-9) * 1.1;
             (w0.clamp(1e-6, 0.5), -(range.ln()))
         });
-        if background.is_some() {
+        if let Some((bg_w, _)) = background {
             // Make room in the simplex for the background weight.
-            let bg_w = background.expect("just set").0;
             for c in comps.iter_mut() {
                 c.weight *= 1.0 - bg_w;
             }
@@ -226,11 +221,7 @@ impl GaussianMixture {
                     mean_acc += r * x;
                 }
                 let nk_safe = nk.max(1e-12);
-                let mean = if it < freeze_means_iters {
-                    comps[c].mean
-                } else {
-                    mean_acc / nk_safe
-                };
+                let mean = if it < freeze_means_iters { comps[c].mean } else { mean_acc / nk_safe };
                 let mut var_acc = 0.0;
                 for (i, &x) in data.iter().enumerate() {
                     let d = x - mean;
@@ -277,11 +268,7 @@ impl GaussianMixture {
     /// Domain-informed initialization: when the caller knows where clusters
     /// *should* sit (e.g. ISP plan caps), seeding EM there keeps thin
     /// clusters from being absorbed by heavy neighbours.
-    pub fn fit_with_means(
-        data: &[f64],
-        init_means: &[f64],
-        cfg: GmmConfig,
-    ) -> Result<Self> {
+    pub fn fit_with_means(data: &[f64], init_means: &[f64], cfg: GmmConfig) -> Result<Self> {
         validate_sample(data)?;
         if init_means.is_empty() {
             return Err(StatsError::InvalidParameter { what: "init means", value: 0.0 });
@@ -397,8 +384,7 @@ impl GaussianMixture {
 
     /// Posterior responsibilities `P(component c | x)` for one point.
     pub fn responsibilities(&self, x: f64) -> Vec<f64> {
-        let lps: Vec<f64> =
-            self.components.iter().map(|c| c.weight.ln() + c.log_pdf(x)).collect();
+        let lps: Vec<f64> = self.components.iter().map(|c| c.weight.ln() + c.log_pdf(x)).collect();
         let max_lp = lps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let exps: Vec<f64> = lps.iter().map(|lp| (lp - max_lp).exp()).collect();
         let sum: f64 = exps.iter().sum();
@@ -578,8 +564,7 @@ mod tests {
         let gm = GaussianMixture::fit(&data, GmmConfig::with_k(2), &mut rng()).unwrap();
         let (lo, hi, n) = (-10.0, 20.0, 6000);
         let dx = (hi - lo) / n as f64;
-        let integral: f64 =
-            (0..n).map(|i| gm.pdf(lo + (i as f64 + 0.5) * dx) * dx).sum();
+        let integral: f64 = (0..n).map(|i| gm.pdf(lo + (i as f64 + 0.5) * dx) * dx).sum();
         assert!((integral - 1.0).abs() < 1e-3, "integral = {integral}");
     }
 
@@ -587,13 +572,11 @@ mod tests {
     fn fit_with_means_recovers_thin_clusters() {
         // A thin cluster (3% of mass) between two heavy ones: random init
         // tends to lose it, cap-seeded init must not.
-        let data = gaussians(&[(5.3, 0.5, 900), (10.7, 0.6, 300), (15.7, 0.7, 40), (37.0, 1.5, 400)], 21);
-        let gm = GaussianMixture::fit_with_means(
-            &data,
-            &[5.0, 10.0, 15.0, 35.0],
-            GmmConfig::default(),
-        )
-        .unwrap();
+        let data =
+            gaussians(&[(5.3, 0.5, 900), (10.7, 0.6, 300), (15.7, 0.7, 40), (37.0, 1.5, 400)], 21);
+        let gm =
+            GaussianMixture::fit_with_means(&data, &[5.0, 10.0, 15.0, 35.0], GmmConfig::default())
+                .unwrap();
         let m = gm.means();
         assert!((m[2] - 15.7).abs() < 1.2, "thin cluster mean {m:?}");
         // Points near 15.7 classify to component 2, not 1.
@@ -603,25 +586,17 @@ mod tests {
     #[test]
     fn fit_with_means_is_deterministic() {
         let data = gaussians(&[(3.0, 1.0, 200), (9.0, 1.0, 200)], 22);
-        let a = GaussianMixture::fit_with_means(&data, &[3.0, 9.0], GmmConfig::default())
-            .unwrap();
-        let b = GaussianMixture::fit_with_means(&data, &[3.0, 9.0], GmmConfig::default())
-            .unwrap();
+        let a = GaussianMixture::fit_with_means(&data, &[3.0, 9.0], GmmConfig::default()).unwrap();
+        let b = GaussianMixture::fit_with_means(&data, &[3.0, 9.0], GmmConfig::default()).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn fit_with_means_rejects_bad_input() {
-        assert!(GaussianMixture::fit_with_means(&[1.0, 2.0], &[], GmmConfig::default())
+        assert!(GaussianMixture::fit_with_means(&[1.0, 2.0], &[], GmmConfig::default()).is_err());
+        assert!(GaussianMixture::fit_with_means(&[1.0], &[1.0, 2.0], GmmConfig::default()).is_err());
+        assert!(GaussianMixture::fit_with_means(&[1.0, 2.0], &[f64::NAN], GmmConfig::default())
             .is_err());
-        assert!(GaussianMixture::fit_with_means(&[1.0], &[1.0, 2.0], GmmConfig::default())
-            .is_err());
-        assert!(GaussianMixture::fit_with_means(
-            &[1.0, 2.0],
-            &[f64::NAN],
-            GmmConfig::default()
-        )
-        .is_err());
     }
 
     #[test]
@@ -634,7 +609,7 @@ mod tests {
     #[test]
     fn constant_data_does_not_panic() {
         let gm = GaussianMixture::fit(&[4.0; 100], GmmConfig::with_k(2), &mut rng()).unwrap();
-        assert_eq!(gm.predict(4.0) < 2, true);
+        assert!(gm.predict(4.0) < 2);
         assert!(gm.components().iter().all(|c| c.var > 0.0));
     }
 

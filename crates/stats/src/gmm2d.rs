@@ -69,9 +69,8 @@ impl Component2 {
         let dx = x - self.mean.0;
         let dy = y - self.mean.1;
         // Inverse of [[xx, xy], [xy, yy]] is 1/det [[yy, -xy], [-xy, xx]].
-        let quad = (self.cov.yy * dx * dx - 2.0 * self.cov.xy * dx * dy
-            + self.cov.xx * dy * dy)
-            / det;
+        let quad =
+            (self.cov.yy * dx * dx - 2.0 * self.cov.xy * dx * dy + self.cov.xx * dy * dy) / det;
         -(LN_2PI + 0.5 * det.ln() + 0.5 * quad)
     }
 }
@@ -108,10 +107,7 @@ impl GaussianMixture2d {
             return Err(StatsError::InvalidParameter { what: "init means", value: 0.0 });
         }
         if xs.len() < init_means.len() {
-            return Err(StatsError::TooFewSamples {
-                needed: init_means.len(),
-                got: xs.len(),
-            });
+            return Err(StatsError::TooFewSamples { needed: init_means.len(), got: xs.len() });
         }
         for (i, &v) in xs.iter().chain(ys.iter()).enumerate() {
             if !v.is_finite() {
@@ -134,14 +130,8 @@ impl GaussianMixture2d {
                     .filter(|&&(ox, oy)| (ox, oy) != (mx, my))
                     .map(|&(ox, oy)| (ox - mx).powi(2) + (oy - my).powi(2))
                     .fold(f64::INFINITY, f64::min);
-                let s = if gap2.is_finite() { (gap2 / 16.0).max(floor) } else {
-                    var_x.max(var_y)
-                };
-                Component2 {
-                    weight: 1.0 / k as f64,
-                    mean: (mx, my),
-                    cov: Cov2::scaled_identity(s),
-                }
+                let s = if gap2.is_finite() { (gap2 / 16.0).max(floor) } else { var_x.max(var_y) };
+                Component2 { weight: 1.0 / k as f64, mean: (mx, my), cov: Cov2::scaled_identity(s) }
             })
             .collect();
 
@@ -191,11 +181,7 @@ impl GaussianMixture2d {
                     sy += r * ys[i];
                 }
                 let nk_safe = nk.max(1e-12);
-                let mean = if it < freeze {
-                    comps[c].mean
-                } else {
-                    (sx / nk_safe, sy / nk_safe)
-                };
+                let mean = if it < freeze { comps[c].mean } else { (sx / nk_safe, sy / nk_safe) };
                 let (mut cxx, mut cxy, mut cyy) = (0.0, 0.0, 0.0);
                 for i in 0..n {
                     let r = resp[i * k + c];
@@ -248,11 +234,8 @@ impl GaussianMixture2d {
 
     /// Posterior responsibilities at `(x, y)`.
     pub fn responsibilities(&self, x: f64, y: f64) -> Vec<f64> {
-        let lps: Vec<f64> = self
-            .components
-            .iter()
-            .map(|c| c.weight.ln() + c.log_pdf(x, y))
-            .collect();
+        let lps: Vec<f64> =
+            self.components.iter().map(|c| c.weight.ln() + c.log_pdf(x, y)).collect();
         let max_lp = lps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let exps: Vec<f64> = lps.iter().map(|lp| (lp - max_lp).exp()).collect();
         let sum: f64 = exps.iter().sum();
@@ -310,9 +293,7 @@ mod tests {
             1e-7,
         )
         .unwrap();
-        let correct = (0..xs.len())
-            .filter(|&i| gm.predict(xs[i], ys[i]) == truth[i])
-            .count();
+        let correct = (0..xs.len()).filter(|&i| gm.predict(xs[i], ys[i]) == truth[i]).count();
         assert!(correct as f64 / xs.len() as f64 > 0.99);
         for (c, &(mx, my)) in
             gm.components().iter().zip(&[(100.0, 5.0), (400.0, 10.0), (900.0, 35.0)])
@@ -325,14 +306,9 @@ mod tests {
     #[test]
     fn covariances_stay_positive_definite() {
         let (xs, ys, _) = clusters(&[((10.0, 10.0), 1.0, 200), ((30.0, 12.0), 2.0, 200)], 7);
-        let gm = GaussianMixture2d::fit_with_means(
-            &xs,
-            &ys,
-            &[(10.0, 10.0), (30.0, 12.0)],
-            100,
-            1e-7,
-        )
-        .unwrap();
+        let gm =
+            GaussianMixture2d::fit_with_means(&xs, &ys, &[(10.0, 10.0), (30.0, 12.0)], 100, 1e-7)
+                .unwrap();
         for c in gm.components() {
             assert!(c.cov.is_positive_definite(), "{:?}", c.cov);
         }
@@ -341,14 +317,9 @@ mod tests {
     #[test]
     fn responsibilities_form_a_simplex() {
         let (xs, ys, _) = clusters(&[((0.0, 0.0), 1.0, 100), ((10.0, 10.0), 1.0, 100)], 11);
-        let gm = GaussianMixture2d::fit_with_means(
-            &xs,
-            &ys,
-            &[(0.0, 0.0), (10.0, 10.0)],
-            100,
-            1e-7,
-        )
-        .unwrap();
+        let gm =
+            GaussianMixture2d::fit_with_means(&xs, &ys, &[(0.0, 0.0), (10.0, 10.0)], 100, 1e-7)
+                .unwrap();
         for probe in [(-1.0, -1.0), (5.0, 5.0), (11.0, 9.0)] {
             let r = gm.responsibilities(probe.0, probe.1);
             assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -371,8 +342,7 @@ mod tests {
             xs.push(50.0 + t + (next() - 0.5));
             ys.push(50.0 + t + (next() - 0.5));
         }
-        let gm =
-            GaussianMixture2d::fit_with_means(&xs, &ys, &[(50.0, 50.0)], 100, 1e-9).unwrap();
+        let gm = GaussianMixture2d::fit_with_means(&xs, &ys, &[(50.0, 50.0)], 100, 1e-9).unwrap();
         let c = gm.components()[0];
         let rho = c.cov.xy / (c.cov.xx * c.cov.yy).sqrt();
         assert!(rho > 0.9, "correlation {rho} should be strong");
@@ -380,16 +350,9 @@ mod tests {
 
     #[test]
     fn weights_sum_to_one() {
-        let (xs, ys, _) =
-            clusters(&[((0.0, 0.0), 1.0, 300), ((20.0, 5.0), 1.0, 100)], 13);
-        let gm = GaussianMixture2d::fit_with_means(
-            &xs,
-            &ys,
-            &[(0.0, 0.0), (20.0, 5.0)],
-            100,
-            1e-7,
-        )
-        .unwrap();
+        let (xs, ys, _) = clusters(&[((0.0, 0.0), 1.0, 300), ((20.0, 5.0), 1.0, 100)], 13);
+        let gm = GaussianMixture2d::fit_with_means(&xs, &ys, &[(0.0, 0.0), (20.0, 5.0)], 100, 1e-7)
+            .unwrap();
         let total: f64 = gm.components().iter().map(|c| c.weight).sum();
         assert!((total - 1.0).abs() < 1e-9);
         // Weights track the 3:1 split.
@@ -398,12 +361,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_inputs() {
-        assert!(GaussianMixture2d::fit_with_means(&[], &[], &[(0.0, 0.0)], 10, 1e-6)
-            .is_err());
+        assert!(GaussianMixture2d::fit_with_means(&[], &[], &[(0.0, 0.0)], 10, 1e-6).is_err());
         assert!(GaussianMixture2d::fit_with_means(&[1.0], &[1.0, 2.0], &[(0.0, 0.0)], 10, 1e-6)
             .is_err());
-        assert!(GaussianMixture2d::fit_with_means(&[1.0, 2.0], &[1.0, 2.0], &[], 10, 1e-6)
-            .is_err());
+        assert!(GaussianMixture2d::fit_with_means(&[1.0, 2.0], &[1.0, 2.0], &[], 10, 1e-6).is_err());
         assert!(GaussianMixture2d::fit_with_means(
             &[1.0],
             &[1.0],

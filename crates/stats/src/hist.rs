@@ -110,11 +110,7 @@ impl Histogram {
 
     /// `(bin_center, fraction)` pairs for plotting.
     pub fn plot_points(&self) -> Vec<(f64, f64)> {
-        self.fractions()
-            .into_iter()
-            .enumerate()
-            .map(|(i, f)| (self.bin_center(i), f))
-            .collect()
+        self.fractions().into_iter().enumerate().map(|(i, f)| (self.bin_center(i), f)).collect()
     }
 }
 

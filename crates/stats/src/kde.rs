@@ -121,8 +121,7 @@ impl KernelDensity {
     /// Evaluate on a grid that spans the data, padded by 3 bandwidths.
     pub fn auto_grid(&self, points: usize) -> Result<Vec<(f64, f64)>> {
         let lo = self.data.iter().cloned().fold(f64::INFINITY, f64::min) - 3.0 * self.bandwidth;
-        let hi =
-            self.data.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 3.0 * self.bandwidth;
+        let hi = self.data.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 3.0 * self.bandwidth;
         self.grid(lo, hi, points)
     }
 
@@ -194,7 +193,8 @@ pub fn find_peaks_on_grid(grid: &[(f64, f64)], min_prominence: f64) -> Vec<Peak>
             let prominence = y - left_min.max(right_min);
             // Edge peaks (first/last rise) get prominence relative to the
             // lower side only; the max() above handles interior peaks.
-            let prominence = if prominence == 0.0 { y - left_min.min(right_min) } else { prominence };
+            let prominence =
+                if prominence == 0.0 { y - left_min.min(right_min) } else { prominence };
             if prominence >= threshold {
                 peaks.push(Peak { x, density: y, prominence });
             }

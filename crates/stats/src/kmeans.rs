@@ -87,11 +87,8 @@ pub fn kmeans_1d<R: Rng + ?Sized>(
         *a = remap[*a];
     }
 
-    let inertia = data
-        .iter()
-        .zip(&assignments)
-        .map(|(&x, &a)| (x - centers_sorted[a]).powi(2))
-        .sum();
+    let inertia =
+        data.iter().zip(&assignments).map(|(&x, &a)| (x - centers_sorted[a]).powi(2)).sum();
 
     Ok(KMeansResult { centers: centers_sorted, assignments, inertia, iterations })
 }

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use st_stats::{
-    consistency_factor, mean, quantile, Bandwidth, Ecdf, GaussianMixture, GmmConfig,
-    Histogram, KernelDensity, Summary,
+    consistency_factor, mean, quantile, Bandwidth, Ecdf, GaussianMixture, GmmConfig, Histogram,
+    KernelDensity, Summary,
 };
 
 /// Strategy: a non-empty vector of plausible speed values.

@@ -17,6 +17,7 @@ pub fn ascii_cdf(series: &[Series], width: usize, height: usize) -> String {
     let mut grid = vec![vec![' '; width]; height];
     for (si, s) in series.iter().enumerate() {
         let glyph = glyphs[si % glyphs.len()];
+        #[allow(clippy::needless_range_loop)] // grid is indexed [row][col]
         for col in 0..width {
             let x = x0 + (x1 - x0) * col as f64 / (width - 1) as f64;
             if let Some(y) = s.step_at(x) {
@@ -62,6 +63,7 @@ pub fn ascii_lines(series: &[Series], width: usize, height: usize) -> String {
         if s.points.len() < 2 {
             continue;
         }
+        #[allow(clippy::needless_range_loop)] // grid is indexed [row][col]
         for col in 0..width {
             let x = x0 + (x1 - x0) * col as f64 / (width - 1) as f64;
             // Linear interpolation between the bracketing points.
@@ -91,12 +93,7 @@ pub fn ascii_lines(series: &[Series], width: usize, height: usize) -> String {
         out.push('\n');
     }
     out.push_str(&format!("          +{}\n", "-".repeat(width)));
-    out.push_str(&format!(
-        "           {:<12.3}{:>width$.3}\n",
-        x0,
-        x1,
-        width = width - 12
-    ));
+    out.push_str(&format!("           {:<12.3}{:>width$.3}\n", x0, x1, width = width - 12));
     for (si, s) in series.iter().enumerate() {
         out.push_str(&format!("           {} {}\n", glyphs[si % glyphs.len()], s.label));
     }
@@ -123,8 +120,7 @@ pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         line.push('\n');
         line
     };
-    let mut out =
-        render_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    let mut out = render_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
     let mut rule = String::from("|");
     for w in &widths {
         rule.push_str(&format!("{}|", "-".repeat(w + 2)));
@@ -172,10 +168,7 @@ mod tests {
 
     #[test]
     fn line_plot_renders_a_peak() {
-        let s = Series::new(
-            "density",
-            vec![(0.0, 0.0), (5.0, 1.0), (10.0, 0.0)],
-        );
+        let s = Series::new("density", vec![(0.0, 0.0), (5.0, 1.0), (10.0, 0.0)]);
         let plot = ascii_lines(&[s], 40, 10);
         assert!(plot.contains('*'));
         assert!(plot.contains("density"));

@@ -44,9 +44,10 @@ impl Series {
 
     /// Combined bounds over several series.
     pub fn bounds_of(series: &[Series]) -> Option<(f64, f64, f64, f64)> {
-        series.iter().filter_map(|s| s.bounds()).reduce(|a, b| {
-            (a.0.min(b.0), a.1.max(b.1), a.2.min(b.2), a.3.max(b.3))
-        })
+        series
+            .iter()
+            .filter_map(|s| s.bounds())
+            .reduce(|a, b| (a.0.min(b.0), a.1.max(b.1), a.2.min(b.2), a.3.max(b.3)))
     }
 
     /// The y value at the largest x not exceeding `x` (step
@@ -54,7 +55,7 @@ impl Series {
     pub fn step_at(&self, x: f64) -> Option<f64> {
         let mut best: Option<(f64, f64)> = None;
         for &(px, py) in &self.points {
-            if px <= x && best.map_or(true, |(bx, _)| px >= bx) {
+            if px <= x && best.is_none_or(|(bx, _)| px >= bx) {
                 best = Some((px, py));
             }
         }

@@ -58,7 +58,8 @@ fn esc(s: &str) -> String {
 }
 
 fn axis_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
-    if !(hi > lo) {
+    // NaN or a degenerate range both collapse to a single tick.
+    if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
         return vec![lo];
     }
     (0..=n).map(|i| lo + (hi - lo) * i as f64 / n as f64).collect()
@@ -188,11 +189,8 @@ pub fn svg_bars(groups: &[&str], series: &[Series], cfg: &SvgConfig) -> String {
         series.iter().all(|s| s.points.len() == groups.len()),
         "each series needs one value per group"
     );
-    let max_y = series
-        .iter()
-        .flat_map(|s| s.points.iter().map(|p| p.1))
-        .fold(0.0f64, f64::max)
-        .max(1e-9);
+    let max_y =
+        series.iter().flat_map(|s| s.points.iter().map(|p| p.1)).fold(0.0f64, f64::max).max(1e-9);
 
     let w = cfg.width as f64;
     let h = cfg.height as f64;
@@ -287,8 +285,7 @@ mod tests {
 
     #[test]
     fn non_finite_points_are_dropped() {
-        let series =
-            vec![Series::new("a", vec![(0.0, 0.0), (f64::NAN, 0.5), (1.0, 1.0)])];
+        let series = vec![Series::new("a", vec![(0.0, 0.0), (f64::NAN, 0.5), (1.0, 1.0)])];
         let svg = svg_lines(&series, &SvgConfig::default());
         assert!(!svg.contains("NaN"));
     }
@@ -319,10 +316,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "one value per group")]
     fn bar_chart_validates_lengths() {
-        let _ = svg_bars(
-            &["a", "b"],
-            &[Series::new("s", vec![(0.0, 1.0)])],
-            &SvgConfig::default(),
-        );
+        let _ = svg_bars(&["a", "b"], &[Series::new("s", vec![(0.0, 1.0)])], &SvgConfig::default());
     }
 }

@@ -67,10 +67,8 @@ fn main() {
     let mut shown = 0;
     for (m, t) in ds.ookla.iter().zip(&tiers) {
         let v = diagnose(m, &model, &ds.config.catalog, *t, &cfg);
-        let interesting = matches!(
-            v,
-            Verdict::AccessUnderperformance { .. } | Verdict::LocalBottleneck { .. }
-        );
+        let interesting =
+            matches!(v, Verdict::AccessUnderperformance { .. } | Verdict::LocalBottleneck { .. });
         if !interesting || shown >= 6 {
             continue;
         }

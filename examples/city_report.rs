@@ -43,12 +43,8 @@ fn main() {
     println!("== local-factor medians (normalized download) ==");
     for p in &panels {
         print!("  {}: ", p.id);
-        let parts: Vec<String> = p
-            .series
-            .iter()
-            .zip(&p.medians)
-            .map(|(s, m)| format!("{} {:.2}", s.label, m))
-            .collect();
+        let parts: Vec<String> =
+            p.series.iter().zip(&p.medians).map(|(s, m)| format!("{} {:.2}", s.label, m)).collect();
         println!("{}", parts.join(" | "));
     }
     let (f10, shares) = fig10::run(&a);

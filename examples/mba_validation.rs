@@ -20,9 +20,8 @@ fn main() {
         let truth: Vec<Option<usize>> = ds.mba.iter().map(|m| m.truth_tier).collect();
 
         let mut rng = StdRng::seed_from_u64(9);
-        let model =
-            BstModel::fit(&down, &up, &ds.config.catalog, &BstConfig::default(), &mut rng)
-                .expect("panel is clusterable");
+        let model = BstModel::fit(&down, &up, &ds.config.catalog, &BstConfig::default(), &mut rng)
+            .expect("panel is clusterable");
         let ev = evaluate(&model, &truth, &ds.config.catalog);
 
         // Per-group detail like the paper's §4.3 walk-through.
@@ -47,9 +46,6 @@ fn main() {
     }
 
     println!("Table 2 — BST upload-tier selection accuracy:");
-    print!(
-        "{}",
-        ascii_table(&["State", "#Units", "#Tests", "Upload acc.", "Plan acc."], &rows)
-    );
+    print!("{}", ascii_table(&["State", "#Units", "#Tests", "Upload acc.", "Plan acc."], &rows));
     println!("\n(paper reports 96.84% – 99.33% upload accuracy across the four states)");
 }

@@ -15,12 +15,7 @@ use speedtest_context::netsim::tcp::{CongestionControl, FlowConfig, TcpSimulator
 use speedtest_context::netsim::Mbps;
 use speedtest_context::viz::{svg_lines, Series, SvgConfig};
 
-fn trace(
-    flows: usize,
-    cc: CongestionControl,
-    label: &str,
-    seed: u64,
-) -> (Series, f64) {
+fn trace(flows: usize, cc: CongestionControl, label: &str, seed: u64) -> (Series, f64) {
     let cfg = FlowConfig::new(flows, 15.0, 0.015, Mbps(800.0))
         .with_loss(1e-4)
         .with_congestion_control(cc);
@@ -31,11 +26,7 @@ fn trace(
     let step = (points.len() / 300).max(1);
     let series = Series::new(
         label,
-        points
-            .iter()
-            .step_by(step)
-            .map(|p| (p.t_s, p.rate.0))
-            .collect::<Vec<_>>(),
+        points.iter().step_by(step).map(|p| (p.t_s, p.rate.0)).collect::<Vec<_>>(),
     );
     (series, sample.mean_steady.0)
 }

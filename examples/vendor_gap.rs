@@ -13,7 +13,9 @@ use speedtest_context::analysis::{fig13, CityAnalysis};
 use speedtest_context::datagen::{City, CityDataset};
 use speedtest_context::netsim::path::PathSnapshot;
 use speedtest_context::netsim::Mbps;
-use speedtest_context::speedtest::{FastMethodology, Methodology, NdtMethodology, OoklaMethodology};
+use speedtest_context::speedtest::{
+    FastMethodology, Methodology, NdtMethodology, OoklaMethodology,
+};
 use speedtest_context::viz::ascii_table;
 
 fn main() {

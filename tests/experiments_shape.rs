@@ -11,9 +11,7 @@ use std::sync::OnceLock;
 /// part, and every shape test reads from the same snapshot.
 fn city_a() -> &'static CityAnalysis {
     static CELL: OnceLock<CityAnalysis> = OnceLock::new();
-    CELL.get_or_init(|| {
-        CityAnalysis::new(CityDataset::generate(City::A, 0.03, 314159), 27)
-    })
+    CELL.get_or_init(|| CityAnalysis::new(CityDataset::generate(City::A, 0.03, 314159), 27))
 }
 
 #[test]
@@ -101,12 +99,7 @@ fn fig13_mlab_lags_ookla_up_to_twofold() {
     let (_, gaps) = fig13::run(city_a());
     assert!(gaps.len() >= 3);
     for g in &gaps {
-        assert!(
-            g.ratio > 0.95,
-            "{}: Ookla should not lose to M-Lab ({:?})",
-            g.group,
-            g
-        );
+        assert!(g.ratio > 0.95, "{}: Ookla should not lose to M-Lab ({:?})", g.group, g);
     }
     let max = gaps.iter().map(|g| g.ratio).fold(0.0f64, f64::max);
     assert!((1.4..=3.0).contains(&max), "max vendor ratio {max} (paper: up to 2)");

@@ -71,10 +71,7 @@ fn crowdsourced_fits_skew_toward_low_tiers() {
     assert!(!assigned.is_empty());
     let low = assigned.iter().filter(|t| low_group_tiers.contains(t)).count();
     let share = low as f64 / assigned.len() as f64;
-    assert!(
-        share > 0.3,
-        "lowest-group share {share} should dominate the campaign"
-    );
+    assert!(share > 0.3, "lowest-group share {share} should dominate the campaign");
 }
 
 #[test]

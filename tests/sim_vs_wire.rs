@@ -65,30 +65,16 @@ fn connection_count_is_immaterial_on_clean_short_paths_in_both_worlds() {
     let plan = 60.0;
     let sim_1 = simulate(plan, 1);
     let sim_8 = simulate(plan, 8);
-    assert!(
-        (sim_1 - sim_8).abs() < plan * 0.15,
-        "simulator: 1 flow {sim_1} vs 8 flows {sim_8}"
-    );
+    assert!((sim_1 - sim_8).abs() < plan * 0.15, "simulator: 1 flow {sim_1} vs 8 flows {sim_8}");
 
     let server = ShapedServer::start(plan, 10.0).expect("bind loopback");
-    let wire_1 = measure_download(
-        server.addr(),
-        1,
-        Duration::from_millis(1000),
-        Duration::from_millis(250),
-    )
-    .expect("1-conn measurement")
-    .mean_steady_mbps;
-    let wire_8 = measure_download(
-        server.addr(),
-        8,
-        Duration::from_millis(1000),
-        Duration::from_millis(250),
-    )
-    .expect("8-conn measurement")
-    .mean_steady_mbps;
-    assert!(
-        (wire_1 - wire_8).abs() < plan * 0.5,
-        "wire: 1 conn {wire_1} vs 8 conns {wire_8}"
-    );
+    let wire_1 =
+        measure_download(server.addr(), 1, Duration::from_millis(1000), Duration::from_millis(250))
+            .expect("1-conn measurement")
+            .mean_steady_mbps;
+    let wire_8 =
+        measure_download(server.addr(), 8, Duration::from_millis(1000), Duration::from_millis(250))
+            .expect("8-conn measurement")
+            .mean_steady_mbps;
+    assert!((wire_1 - wire_8).abs() < plan * 0.5, "wire: 1 conn {wire_1} vs 8 conns {wire_8}");
 }

@@ -2,21 +2,15 @@
 //! existence proof that the workspace's methodology conclusions are
 //! properties of TCP, not artifacts of the flow-level simulator.
 
-use speedtest_context::speedtest::wire::{
-    measure_download, measure_upload, ShapedServer,
-};
+use speedtest_context::speedtest::wire::{measure_download, measure_upload, ShapedServer};
 use std::time::Duration;
 
 #[test]
 fn multi_connection_download_tracks_the_shaped_plan_rate() {
     let server = ShapedServer::start(80.0, 12.0).expect("bind loopback");
-    let res = measure_download(
-        server.addr(),
-        6,
-        Duration::from_millis(1500),
-        Duration::from_millis(400),
-    )
-    .expect("measurement completes");
+    let res =
+        measure_download(server.addr(), 6, Duration::from_millis(1500), Duration::from_millis(400))
+            .expect("measurement completes");
     assert!(
         res.mean_steady_mbps > 45.0 && res.mean_steady_mbps < 100.0,
         "measured {res:?} against an 80 Mbps plan"
@@ -26,13 +20,9 @@ fn multi_connection_download_tracks_the_shaped_plan_rate() {
 #[test]
 fn upload_direction_is_shaped_independently() {
     let server = ShapedServer::start(200.0, 15.0).expect("bind loopback");
-    let up = measure_upload(
-        server.addr(),
-        3,
-        Duration::from_millis(1500),
-        Duration::from_millis(400),
-    )
-    .expect("measurement completes");
+    let up =
+        measure_upload(server.addr(), 3, Duration::from_millis(1500), Duration::from_millis(400))
+            .expect("measurement completes");
     assert!(
         up.mean_steady_mbps > 7.0 && up.mean_steady_mbps < 30.0,
         "upload measured {up:?} against a 15 Mbps cap"
@@ -44,13 +34,9 @@ fn whole_transfer_average_includes_the_ramp() {
     // NDT-style reporting (mean over the full transfer) can only be at or
     // below the ramp-discarded figure when the provision is steady.
     let server = ShapedServer::start(60.0, 10.0).expect("bind loopback");
-    let res = measure_download(
-        server.addr(),
-        4,
-        Duration::from_millis(1600),
-        Duration::from_millis(500),
-    )
-    .expect("measurement completes");
+    let res =
+        measure_download(server.addr(), 4, Duration::from_millis(1600), Duration::from_millis(500))
+            .expect("measurement completes");
     assert!(
         res.mean_all_mbps <= res.mean_steady_mbps * 1.15 + 2.0,
         "all {} vs steady {}",
@@ -75,10 +61,7 @@ fn concurrent_clients_share_the_access_link() {
     });
     let (a, b) = (t1.join().unwrap(), t2.join().unwrap());
     let total = a.mean_steady_mbps + b.mean_steady_mbps;
-    assert!(
-        total < 85.0,
-        "two clients together measured {total} Mbps against a 60 Mbps link"
-    );
+    assert!(total < 85.0, "two clients together measured {total} Mbps against a 60 Mbps link");
     assert!(total > 30.0, "combined throughput {total} suspiciously low");
 }
 
@@ -91,12 +74,8 @@ fn server_survives_abrupt_client_disconnects() {
         drop(s);
     }
     // A real measurement still works afterwards.
-    let res = measure_download(
-        server.addr(),
-        2,
-        Duration::from_millis(900),
-        Duration::from_millis(200),
-    )
-    .expect("measurement after rude clients");
+    let res =
+        measure_download(server.addr(), 2, Duration::from_millis(900), Duration::from_millis(200))
+            .expect("measurement after rude clients");
     assert!(res.mean_steady_mbps > 10.0, "{res:?}");
 }

@@ -1,0 +1,37 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy yielding `true` with probability `p`.
+pub fn weighted(p: f64) -> Weighted {
+    assert!((0.0..=1.0).contains(&p), "weighted probability must be in [0, 1]");
+    Weighted { p }
+}
+
+/// See [`weighted`].
+#[derive(Debug, Clone, Copy)]
+pub struct Weighted {
+    p: f64,
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool(self.p)
+    }
+}
+
+/// Uniform boolean strategy (upstream `bool::ANY`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}

@@ -1,0 +1,124 @@
+//! Offline stand-in for `proptest`, covering the subset this workspace
+//! uses: range strategies, `prop::collection::{vec, btree_set}`,
+//! `prop::sample::select`, `prop::bool::weighted`, `any::<bool>()`,
+//! `prop_map`/`prop_flat_map`, tuple strategies, and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Semantics: each `#[test]` runs `ProptestConfig::cases` random cases
+//! drawn from a deterministic per-test RNG (seeded from the test name),
+//! and a failed `prop_assert!` panics with the case's inputs summarized.
+//! There is no shrinking — the failing case is reported as-is.
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::any;
+
+/// The `proptest::prelude` surface used by this workspace.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// Namespace alias matching upstream's `prelude::prop`.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Run one `#[test]` body over `cases` generated inputs.
+///
+/// This is plumbing for the [`proptest!`] macro; not public API upstream.
+#[doc(hidden)]
+pub fn run_cases<F>(config: test_runner::ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+{
+    let runner = test_runner::TestRunner::new(config, test_name);
+    for case_idx in 0..runner.cases() {
+        let mut rng = runner.rng_for_case(case_idx);
+        if let Err(e) = case(&mut rng) {
+            panic!("proptest case {case_idx} of test `{test_name}` failed: {e}");
+        }
+    }
+}
+
+/// Define property tests. Mirrors upstream's macro shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0.0f64..1.0, v in prop::collection::vec(0u64..9, 1..5)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases($cfg, stringify!($name), |__proptest_rng| {
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), __proptest_rng);)+
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+/// Assert a condition inside a `proptest!` body; fails the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body; fails the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}

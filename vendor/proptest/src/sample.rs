@@ -1,0 +1,26 @@
+//! Sampling strategies over explicit value lists.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy choosing one element of `values` uniformly (cloned).
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "prop::sample::select requires a non-empty list");
+    Select { values }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.values.len());
+        self.values[i].clone()
+    }
+}

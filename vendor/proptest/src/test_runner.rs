@@ -1,0 +1,82 @@
+//! Test execution plumbing: config, deterministic RNG, case errors.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies. A seeded [`StdRng`] so every run of a
+/// given test explores the same cases.
+pub type TestRng = StdRng;
+
+/// Per-test configuration. Only `cases` is honoured by the vendored
+/// runner.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Failure raised by `prop_assert!` family macros.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed-assertion error with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Drives the cases of one test deterministically.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    base_seed: u64,
+}
+
+impl TestRunner {
+    /// A runner whose RNG stream is derived from the test's name, so
+    /// different tests explore different inputs but each test is stable
+    /// across runs.
+    pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+        // FNV-1a over the name gives a stable per-test seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner { config, base_seed: h }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The RNG for case `case_idx`, independent of other cases.
+    pub fn rng_for_case(&self, case_idx: u32) -> TestRng {
+        StdRng::seed_from_u64(self.base_seed ^ (u64::from(case_idx) << 1 | 1))
+    }
+}

@@ -1,0 +1,158 @@
+//! The distribution plumbing behind `Rng::gen` and `Rng::gen_range`.
+
+use crate::RngCore;
+
+/// A distribution over values of `T`, sampleable with any generator.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" uniform distribution for primitives: `f64`/`f32` in
+/// `[0, 1)`, integers over their full range, `bool` fair.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform-range sampling (the machinery behind `Rng::gen_range`).
+pub mod uniform {
+    use super::Standard;
+    use crate::{Rng, RngCore};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types sampleable uniformly from a range.
+    pub trait SampleUniform: Sized + PartialOrd {
+        /// Uniform draw from `[lo, hi)` (`inclusive = false`) or
+        /// `[lo, hi]` (`inclusive = true`).
+        fn sample_between<R: RngCore + ?Sized>(
+            lo: Self,
+            hi: Self,
+            inclusive: bool,
+            rng: &mut R,
+        ) -> Self;
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_between<R: RngCore + ?Sized>(
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    if inclusive {
+                        assert!(lo <= hi, "gen_range: empty range");
+                    } else {
+                        assert!(lo < hi, "gen_range: empty range");
+                    }
+                    // Span as u64 (all workspace ranges fit comfortably).
+                    let span = if inclusive {
+                        (hi as i128 - lo as i128 + 1) as u128
+                    } else {
+                        (hi as i128 - lo as i128) as u128
+                    };
+                    if span == 0 || span > u64::MAX as u128 {
+                        // Full-width range: raw bits.
+                        return rng.next_u64() as $t;
+                    }
+                    // Lemire widening-multiply mapping. The bias is at most
+                    // span / 2^64, far below anything observable here.
+                    let x = rng.next_u64() as u128;
+                    let off = (x * span) >> 64;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleUniform for f64 {
+        #[inline]
+        fn sample_between<R: RngCore + ?Sized>(
+            lo: Self,
+            hi: Self,
+            _inclusive: bool,
+            rng: &mut R,
+        ) -> Self {
+            assert!(lo < hi, "gen_range: empty range");
+            let u: f64 = rng.sample(Standard);
+            lo + u * (hi - lo)
+        }
+    }
+
+    impl SampleUniform for f32 {
+        #[inline]
+        fn sample_between<R: RngCore + ?Sized>(
+            lo: Self,
+            hi: Self,
+            _inclusive: bool,
+            rng: &mut R,
+        ) -> Self {
+            assert!(lo < hi, "gen_range: empty range");
+            let u: f32 = rng.sample(Standard);
+            lo + u * (hi - lo)
+        }
+    }
+
+    /// Range argument accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draw one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_between(self.start, self.end, false, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = self.into_inner();
+            T::sample_between(lo, hi, true, rng)
+        }
+    }
+}

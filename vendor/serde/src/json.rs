@@ -1,0 +1,137 @@
+//! The JSON writer driven by [`crate::Serialize`] implementations.
+
+/// An append-only JSON writer with optional two-space pretty printing.
+#[derive(Debug)]
+pub struct Writer {
+    out: String,
+    pretty: bool,
+    depth: usize,
+    /// Whether the current container already holds an entry, per nesting
+    /// level (controls comma placement).
+    has_entry: Vec<bool>,
+}
+
+impl Writer {
+    /// A compact writer (serde_json `to_string` format).
+    pub fn compact() -> Self {
+        Writer { out: String::new(), pretty: false, depth: 0, has_entry: Vec::new() }
+    }
+
+    /// A pretty writer (serde_json `to_string_pretty` format: 2-space
+    /// indent).
+    pub fn pretty() -> Self {
+        Writer { out: String::new(), pretty: true, depth: 0, has_entry: Vec::new() }
+    }
+
+    /// The accumulated JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    /// Append raw, pre-encoded JSON (numbers, literals).
+    pub fn raw(&mut self, s: &str) {
+        self.out.push_str(s);
+    }
+
+    /// Append a float the way serde_json does: non-finite → `null`,
+    /// integral values keep a trailing `.0`.
+    pub fn float(&mut self, v: f64) {
+        if !v.is_finite() {
+            self.out.push_str("null");
+        } else if v == v.trunc() && v.abs() < 1e16 {
+            // Integral: force the ".0" serde_json (ryu) prints.
+            self.out.push_str(&format!("{v:.1}"));
+        } else {
+            self.out.push_str(&format!("{v}"));
+        }
+    }
+
+    /// Append an escaped JSON string.
+    pub fn string(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    fn newline_indent(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.depth {
+            self.out.push_str("  ");
+        }
+    }
+
+    /// Open an object (`{`).
+    pub fn begin_object(&mut self) {
+        self.out.push('{');
+        self.depth += 1;
+        self.has_entry.push(false);
+    }
+
+    /// Start the named field `key` inside the current object.
+    pub fn key(&mut self, key: &str) {
+        let first =
+            !std::mem::replace(self.has_entry.last_mut().expect("key outside object"), true);
+        if !first {
+            self.out.push(',');
+        }
+        if self.pretty {
+            self.newline_indent();
+        }
+        self.string(key);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+    }
+
+    /// Close the current object (`}`).
+    pub fn end_object(&mut self) {
+        let had_entries = self.has_entry.pop().expect("end_object without begin");
+        self.depth -= 1;
+        if self.pretty && had_entries {
+            self.newline_indent();
+        }
+        self.out.push('}');
+    }
+
+    /// Open an array (`[`).
+    pub fn begin_array(&mut self) {
+        self.out.push('[');
+        self.depth += 1;
+        self.has_entry.push(false);
+    }
+
+    /// Start the next element of the current array.
+    pub fn element(&mut self) {
+        let first =
+            !std::mem::replace(self.has_entry.last_mut().expect("element outside array"), true);
+        if !first {
+            self.out.push(',');
+        }
+        if self.pretty {
+            self.newline_indent();
+        }
+    }
+
+    /// Close the current array (`]`).
+    pub fn end_array(&mut self) {
+        let had_entries = self.has_entry.pop().expect("end_array without begin");
+        self.depth -= 1;
+        if self.pretty && had_entries {
+            self.newline_indent();
+        }
+        self.out.push(']');
+    }
+}

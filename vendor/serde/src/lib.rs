@@ -1,0 +1,129 @@
+//! Offline stand-in for `serde`, specialized to what this workspace needs:
+//! a [`Serialize`] trait that writes JSON directly, plus the
+//! `#[derive(Serialize)]` macro (re-exported from the vendored
+//! `serde_derive`). The companion `serde_json` stand-in drives the
+//! [`json::Writer`] in compact or pretty mode.
+//!
+//! The JSON produced matches `serde_json`'s defaults for the shapes used
+//! here: struct → object in field order, unit enum variant → string,
+//! struct enum variant → `{"Variant": {...}}`, tuple → array, `Option` →
+//! value or `null`, non-finite floats → `null`, floats always carry a
+//! decimal point (`95.0`).
+
+pub use serde_derive::Serialize;
+
+pub mod json;
+
+/// Serialize `self` into the JSON writer.
+pub trait Serialize {
+    /// Append `self`'s JSON encoding to `w`.
+    fn write_json(&self, w: &mut json::Writer);
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, w: &mut json::Writer) {
+        (**self).write_json(w)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn write_json(&self, w: &mut json::Writer) {
+        (**self).write_json(w)
+    }
+}
+
+impl Serialize for bool {
+    fn write_json(&self, w: &mut json::Writer) {
+        w.raw(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn write_json(&self, w: &mut json::Writer) {
+        w.string(self);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, w: &mut json::Writer) {
+        w.string(self);
+    }
+}
+
+impl Serialize for f64 {
+    fn write_json(&self, w: &mut json::Writer) {
+        w.float(*self);
+    }
+}
+
+impl Serialize for f32 {
+    fn write_json(&self, w: &mut json::Writer) {
+        w.float(*self as f64);
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, w: &mut json::Writer) {
+                w.raw(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, w: &mut json::Writer) {
+        match self {
+            Some(v) => v.write_json(w),
+            None => w.raw("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, w: &mut json::Writer) {
+        self.as_slice().write_json(w)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, w: &mut json::Writer) {
+        w.begin_array();
+        for item in self {
+            w.element();
+            item.write_json(w);
+        }
+        w.end_array();
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, w: &mut json::Writer) {
+        self.as_slice().write_json(w)
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn write_json(&self, w: &mut json::Writer) {
+                w.begin_array();
+                $(
+                    w.element();
+                    self.$idx.write_json(w);
+                )+
+                w.end_array();
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}

@@ -1,0 +1,231 @@
+//! Hand-rolled `#[derive(Serialize)]` for the vendored `serde` stand-in.
+//!
+//! Works without `syn`/`quote` by walking the raw token stream. Supports
+//! exactly the shapes this workspace derives on: non-generic structs with
+//! named fields, and non-generic enums with unit, struct, or tuple
+//! variants. Anything else produces a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (vendored JSON-writer flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize): expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize): expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize): generic types are not supported by the vendored serde");
+    }
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break g.stream();
+            }
+            Some(_) => i += 1,
+            None => panic!("derive(Serialize): missing {{...}} body on `{name}`"),
+        }
+    };
+
+    let code = match kind.as_str() {
+        "struct" => gen_struct(&name, &parse_field_names(body)),
+        "enum" => gen_enum(&name, body),
+        other => panic!("derive(Serialize): unsupported item kind `{other}`"),
+    };
+    code.parse().expect("derive(Serialize): generated code parses")
+}
+
+/// Advance past leading `#[...]` attributes and a `pub`/`pub(...)`
+/// visibility modifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field body, in declaration order.
+fn parse_field_names(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            None => break,
+            other => panic!("derive(Serialize): expected field name, got {other:?}"),
+        }
+        i += 1;
+        // Skip `: Type` up to the next top-level comma. Angle brackets
+        // nest (`Vec<Vec<String>>`); parens/brackets arrive as single
+        // groups so their inner commas are invisible here.
+        let mut angle = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// One parsed enum variant.
+enum Variant {
+    Unit(String),
+    Struct(String, Vec<String>),
+    Tuple(String, usize),
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("derive(Serialize): expected variant name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                variants.push(Variant::Struct(name, parse_field_names(g.stream())));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                // Count top-level commas to get the tuple arity.
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut arity = usize::from(!inner.is_empty());
+                let mut angle = 0i32;
+                for tok in &inner {
+                    if let TokenTree::Punct(p) = tok {
+                        match p.as_char() {
+                            '<' => angle += 1,
+                            '>' => angle -= 1,
+                            ',' if angle == 0 => arity += 1,
+                            _ => {}
+                        }
+                    }
+                }
+                variants.push(Variant::Tuple(name, arity));
+                i += 1;
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        // Skip to past the separating comma (also skips `= discr`).
+        while let Some(tok) = tokens.get(i) {
+            i += 1;
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
+
+fn gen_struct(name: &str, fields: &[String]) -> String {
+    let mut body = String::from("w.begin_object();\n");
+    for f in fields {
+        body.push_str(&format!("w.key(\"{f}\"); ::serde::Serialize::write_json(&self.{f}, w);\n"));
+    }
+    body.push_str("w.end_object();");
+    wrap_impl(name, &body)
+}
+
+fn gen_enum(name: &str, body: TokenStream) -> String {
+    let variants = parse_variants(body);
+    if variants.is_empty() {
+        panic!("derive(Serialize): cannot serialize an empty enum `{name}`");
+    }
+    let mut arms = String::new();
+    for v in &variants {
+        match v {
+            Variant::Unit(vn) => {
+                arms.push_str(&format!("{name}::{vn} => {{ w.string(\"{vn}\"); }}\n"));
+            }
+            Variant::Struct(vn, fields) => {
+                let bindings = fields.join(", ");
+                let mut inner = String::from("w.begin_object();\n");
+                for f in fields {
+                    inner.push_str(&format!(
+                        "w.key(\"{f}\"); ::serde::Serialize::write_json({f}, w);\n"
+                    ));
+                }
+                inner.push_str("w.end_object();");
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {bindings} }} => {{\n\
+                     w.begin_object(); w.key(\"{vn}\");\n{inner}\nw.end_object();\n}}\n"
+                ));
+            }
+            Variant::Tuple(vn, arity) => {
+                let binds: Vec<String> = (0..*arity).map(|k| format!("x{k}")).collect();
+                let pattern = binds.join(", ");
+                let inner = if *arity == 1 {
+                    // Newtype variant: {"Variant": value}
+                    "::serde::Serialize::write_json(x0, w);".to_string()
+                } else {
+                    let mut s = String::from("w.begin_array();\n");
+                    for b in &binds {
+                        s.push_str(&format!(
+                            "w.element(); ::serde::Serialize::write_json({b}, w);\n"
+                        ));
+                    }
+                    s.push_str("w.end_array();");
+                    s
+                };
+                arms.push_str(&format!(
+                    "{name}::{vn}({pattern}) => {{\n\
+                     w.begin_object(); w.key(\"{vn}\");\n{inner}\nw.end_object();\n}}\n"
+                ));
+            }
+        }
+    }
+    wrap_impl(name, &format!("match self {{\n{arms}}}"))
+}
+
+fn wrap_impl(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn write_json(&self, w: &mut ::serde::json::Writer) {{\n{body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,58 @@
+//! Offline stand-in for `serde_json`, backed by the vendored `serde`
+//! crate's JSON writer. Serialization-only: `to_string` and
+//! `to_string_pretty` over any `serde::Serialize`.
+
+use serde::json::Writer;
+use serde::Serialize;
+
+/// Serialization error. The vendored writer is infallible, so this type
+/// exists only for signature compatibility.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching the upstream crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut w = Writer::compact();
+    value.write_json(&mut w);
+    Ok(w.finish())
+}
+
+/// Serialize `value` as a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut w = Writer::pretty();
+    value.write_json(&mut w);
+    Ok(w.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_floats_keep_decimal_point() {
+        assert_eq!(to_string(&95.0f64).unwrap(), "95.0");
+        assert_eq!(to_string(&0.25f64).unwrap(), "0.25");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn pretty_uses_two_space_indent() {
+        let mut w = Writer::pretty();
+        w.begin_object();
+        w.key("a");
+        1u32.write_json(&mut w);
+        w.end_object();
+        assert_eq!(w.finish(), "{\n  \"a\": 1\n}");
+    }
+}
