@@ -95,10 +95,16 @@ fn main() -> ExitCode {
         let tag = city.label().to_lowercase().replace('-', "_");
         for (suffix, ms) in [("ookla", &ds.ookla), ("mlab", &ds.mlab), ("mba", &ds.mba)] {
             let (path, body) = match args.format {
-                Format::Csv => (
-                    args.out.join(format!("{tag}_{suffix}.csv")),
-                    st_dataframe::csv::to_csv(&measurements_to_frame(ms)),
-                ),
+                Format::Csv => {
+                    let body = match st_dataframe::csv::to_csv(&measurements_to_frame(ms)) {
+                        Ok(b) => b,
+                        Err(e) => {
+                            eprintln!("cannot export {tag}_{suffix} as CSV: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    (args.out.join(format!("{tag}_{suffix}.csv")), body)
+                }
                 Format::Json => (
                     args.out.join(format!("{tag}_{suffix}.json")),
                     serde_json::to_string_pretty(ms).expect("records serialize"),

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! repro [--scale S] [--seed N] [--out DIR] [--parallelism P]
+//!       [--dirty-rate R] [--inject-fail LABEL]... [--deadline-secs D]
+//!       [--allow-degraded]
 //! ```
 //!
 //! Generates the four city datasets at `S` of the paper's campaign sizes
@@ -16,17 +18,34 @@
 //! `--parallelism` fans dataset generation, BST fitting, and artifact
 //! rendering out over worker threads (default: all cores). Output is
 //! byte-identical at every parallelism level.
+//!
+//! The pipeline is supervised: `--dirty-rate R` corrupts a fraction `R`
+//! of generated records with the dirty-measurement fault model (they are
+//! repaired or quarantined by the sanitizer and accounted for in the
+//! report's `## Health` section); `--inject-fail LABEL` forces the named
+//! render job to panic (its artifacts degrade to a placeholder); each
+//! render job gets `--deadline-secs` per attempt plus one retry. A run
+//! with degraded artifacts exits nonzero unless `--allow-degraded` is
+//! passed — the report and surviving artifacts are written either way.
 
 use serde::Serialize;
-use st_bench::{build_analyses_par, render_report, run_all_par, StageTimings};
+use st_bench::{
+    build_analyses_sanitized, render_report, run_all_supervised, StageTimings, SuperviseOptions,
+};
+use st_datagen::DirtyScenario;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     scale: f64,
     seed: u64,
     out: PathBuf,
     parallelism: usize,
+    dirty_rate: f64,
+    inject_fail: Vec<String>,
+    deadline_secs: u64,
+    allow_degraded: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +54,10 @@ fn parse_args() -> Result<Args, String> {
         seed: 20220707,
         out: PathBuf::from("repro-out"),
         parallelism: st_datagen::par::default_parallelism(),
+        dirty_rate: 0.0,
+        inject_fail: Vec::new(),
+        deadline_secs: 300,
+        allow_degraded: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -58,10 +81,28 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--parallelism must be >= 1".into());
                 }
             }
+            "--dirty-rate" => {
+                args.dirty_rate =
+                    value("--dirty-rate")?.parse().map_err(|e| format!("bad --dirty-rate: {e}"))?;
+                if !(0.0..=1.0).contains(&args.dirty_rate) {
+                    return Err("--dirty-rate must be in [0, 1]".into());
+                }
+            }
+            "--inject-fail" => args.inject_fail.push(value("--inject-fail")?),
+            "--deadline-secs" => {
+                args.deadline_secs = value("--deadline-secs")?
+                    .parse()
+                    .map_err(|e| format!("bad --deadline-secs: {e}"))?;
+                if args.deadline_secs == 0 {
+                    return Err("--deadline-secs must be >= 1".into());
+                }
+            }
+            "--allow-degraded" => args.allow_degraded = true,
             "--help" | "-h" => {
-                return Err(
-                    "usage: repro [--scale S] [--seed N] [--out DIR] [--parallelism P]".into()
-                )
+                return Err("usage: repro [--scale S] [--seed N] [--out DIR] [--parallelism P] \
+                     [--dirty-rate R] [--inject-fail LABEL]... [--deadline-secs D] \
+                     [--allow-degraded]"
+                    .into())
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -92,13 +133,21 @@ fn main() -> ExitCode {
         args.scale, args.seed, args.parallelism
     );
     let t0 = std::time::Instant::now();
-    let (analyses, timings) = build_analyses_par(args.scale, args.seed, args.parallelism);
+    let dirty = (args.dirty_rate > 0.0).then(|| DirtyScenario::with_total_rate(args.dirty_rate));
+    let (analyses, timings, sanitize) =
+        build_analyses_sanitized(args.scale, args.seed, args.parallelism, dirty.as_ref());
     eprintln!(
-        "datasets in {:.1}s, BST fits in {:.1}s; running experiments ...",
-        timings.generate_s, timings.fit_s
+        "datasets in {:.1}s, BST fits in {:.1}s ({} records quarantined); running experiments ...",
+        timings.generate_s, timings.fit_s, sanitize.quarantined
     );
 
-    let report = run_all_par(&analyses, args.scale, args.seed, args.parallelism, timings);
+    let opts = SuperviseOptions {
+        parallelism: args.parallelism,
+        deadline: Duration::from_secs(args.deadline_secs),
+        fail_jobs: args.inject_fail.clone(),
+        ..SuperviseOptions::default()
+    };
+    let report = run_all_supervised(&analyses, args.scale, args.seed, &opts, timings, sanitize);
     let claims = st_bench::claims::check_all(&analyses);
 
     if let Err(e) = std::fs::create_dir_all(&args.out) {
@@ -143,5 +192,15 @@ fn main() -> ExitCode {
         report.timings.generate_s, report.timings.fit_s, report.timings.render_s
     );
     eprintln!("wrote {} files to {} in {:.1?}", written + 1, args.out.display(), t0.elapsed());
+    if report.health.is_degraded() {
+        let h = &report.health;
+        eprintln!(
+            "DEGRADED: {} of {} render jobs failed ({} retried); see the report's Health section",
+            h.jobs_failed, h.jobs_total, h.jobs_retried
+        );
+        if !args.allow_degraded {
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }

@@ -9,6 +9,19 @@
 //! [`st_datagen::par`]: the report is byte-identical at every
 //! parallelism level, only the wall-clock changes. Per-stage timings are
 //! carried on [`ReproReport::timings`].
+//!
+//! The pipeline is **supervised** end to end (see DESIGN.md §"Fault
+//! taxonomy and supervision contract"):
+//!
+//! * records flow through `st_speedtest::sanitize` before any model is
+//!   fitted — dirty measurements are repaired or quarantined with
+//!   per-reason counters instead of panicking downstream;
+//! * every render job runs under `catch_unwind` with a per-attempt
+//!   deadline and one retry; a job that still fails degrades to a
+//!   placeholder artifact instead of aborting the run;
+//! * [`render_report`] carries a `## Health` section (failed/retried
+//!   jobs, quarantine counts by reason) so degradation is visible, and
+//!   [`RunHealth::is_degraded`] lets the binary exit nonzero on it.
 
 pub mod claims;
 
@@ -17,8 +30,12 @@ use st_analysis::{
     cities, ext_latency, fig01, fig02, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11,
     fig12, fig13, table1, table2, table3, table4, CityAnalysis,
 };
-use st_datagen::{City, CityDataset};
-use std::time::Instant;
+use st_datagen::{City, CityDataset, DirtyScenario};
+use st_speedtest::{sanitize, SanitizeReport};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 /// One rendered artifact: an id, markdown/text body, and optional SVG.
 pub struct Artifact {
@@ -35,12 +52,48 @@ pub struct Artifact {
 /// Wall-clock seconds spent in each repro stage.
 #[derive(Debug, Clone, Copy, Default, Serialize)]
 pub struct StageTimings {
-    /// Dataset generation (four cities).
+    /// Dataset generation + sanitization (four cities).
     pub generate_s: f64,
     /// BST model fitting (four cities).
     pub fit_s: f64,
     /// Experiment rendering (tables, figures, SVG/JSON).
     pub render_s: f64,
+}
+
+/// One render job that failed past its retry and was degraded to a
+/// placeholder artifact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct JobFailure {
+    /// The job's stable label ("fig08", "appendix_b", ...).
+    pub label: String,
+    /// Why it failed ("panic: ...", "deadline exceeded", plus the retry's
+    /// outcome).
+    pub reason: String,
+}
+
+/// Supervision outcome of one repro run: what degraded, what retried,
+/// and what the sanitizer did to the input records.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RunHealth {
+    /// Render jobs dispatched.
+    pub jobs_total: usize,
+    /// Jobs that needed (and survived on) a retry.
+    pub jobs_retried: usize,
+    /// Jobs that failed both attempts and were degraded to placeholders.
+    pub jobs_failed: usize,
+    /// One entry per degraded job, in paper order.
+    pub failures: Vec<JobFailure>,
+    /// Merged record-sanitization counters across all campaigns.
+    pub sanitize: SanitizeReport,
+}
+
+impl RunHealth {
+    /// Whether any artifact was degraded to a placeholder. Quarantined
+    /// records alone do not count — dropping dirty records is the
+    /// sanitizer doing its job, not a degraded run.
+    pub fn is_degraded(&self) -> bool {
+        self.jobs_failed > 0
+    }
 }
 
 /// Everything the repro run produces.
@@ -49,12 +102,46 @@ pub struct ReproReport {
     pub scale: f64,
     /// The seed used.
     pub seed: u64,
-    /// All artifacts, in paper order.
+    /// All artifacts, in paper order (placeholders included).
     pub artifacts: Vec<Artifact>,
     /// Headline numbers for the summary (label, value).
     pub headlines: Vec<(String, String)>,
     /// Per-stage wall-clock timings of this run.
     pub timings: StageTimings,
+    /// Supervision and sanitization outcome.
+    pub health: RunHealth,
+}
+
+/// Supervision knobs for [`run_all_supervised`].
+#[derive(Debug, Clone)]
+pub struct SuperviseOptions {
+    /// Worker threads for the render stage.
+    pub parallelism: usize,
+    /// Per-attempt deadline for one render job. A job that neither
+    /// returns nor panics within this window is abandoned (its thread is
+    /// detached and drains on its own) and retried once.
+    pub deadline: Duration,
+    /// Fault injection: labels of jobs forced to panic on every attempt
+    /// (they degrade to placeholders). For tests and the CI smoke job.
+    pub fail_jobs: Vec<String>,
+    /// Fault injection: labels of jobs forced to panic on their first
+    /// attempt only (they succeed on retry).
+    pub flaky_jobs: Vec<String>,
+    /// Fault injection: labels of jobs that stall well past any sane
+    /// deadline before returning empty output.
+    pub hang_jobs: Vec<String>,
+}
+
+impl Default for SuperviseOptions {
+    fn default() -> Self {
+        SuperviseOptions {
+            parallelism: 1,
+            deadline: Duration::from_secs(300),
+            fail_jobs: Vec::new(),
+            flaky_jobs: Vec::new(),
+            hang_jobs: Vec::new(),
+        }
+    }
 }
 
 /// Map `items` through `f` on up to `workers` scoped threads, preserving
@@ -128,7 +215,7 @@ fn density_artifact(d: &st_analysis::results::DensityResult) -> Artifact {
 }
 
 /// Generate all four cities and fit the per-campaign BST models.
-pub fn build_analyses(scale: f64, seed: u64) -> Vec<CityAnalysis> {
+pub fn build_analyses(scale: f64, seed: u64) -> Arc<Vec<CityAnalysis>> {
     build_analyses_par(scale, seed, 1).0
 }
 
@@ -143,63 +230,112 @@ pub fn build_analyses_par(
     scale: f64,
     seed: u64,
     parallelism: usize,
-) -> (Vec<CityAnalysis>, StageTimings) {
+) -> (Arc<Vec<CityAnalysis>>, StageTimings) {
+    let (analyses, timings, _) = build_analyses_sanitized(scale, seed, parallelism, None);
+    (analyses, timings)
+}
+
+/// The fault-tolerant analysis builder: generate the four cities,
+/// optionally corrupt the campaigns with `dirty` (ground-truth labeled
+/// dirty records, see [`st_datagen::faults`]), run every record through
+/// the sanitizer, and fit BST on what survives.
+///
+/// The sanitize counters are merged across cities in city order, so the
+/// returned [`SanitizeReport`] — like the datasets themselves — is
+/// identical at every parallelism level.
+pub fn build_analyses_sanitized(
+    scale: f64,
+    seed: u64,
+    parallelism: usize,
+    dirty: Option<&DirtyScenario>,
+) -> (Arc<Vec<CityAnalysis>>, StageTimings, SanitizeReport) {
     let parallelism = parallelism.max(1);
     let cities = City::all();
     let city_workers = parallelism.min(cities.len());
     // Workers beyond one-per-city go into each city's chunked loops.
     let inner = parallelism.div_ceil(city_workers);
+    let dirty = dirty.copied();
 
     let t0 = Instant::now();
-    let datasets = par_map(cities.to_vec(), city_workers, |_, city| {
-        CityDataset::generate_with_parallelism(city, scale, seed, inner)
+    let prepared = par_map(cities.to_vec(), city_workers, |_, city| {
+        let mut ds = CityDataset::generate_with_parallelism(city, scale, seed, inner);
+        if let Some(scenario) = &dirty {
+            ds.inject_dirty(scenario, seed);
+        }
+        let mut report = SanitizeReport::default();
+        for campaign in [&mut ds.ookla, &mut ds.mlab, &mut ds.mba] {
+            let (kept, r) = sanitize(std::mem::take(campaign));
+            *campaign = kept;
+            report.merge(&r);
+        }
+        (ds, report)
     });
     let generate_s = t0.elapsed().as_secs_f64();
+
+    let mut sanitize_total = SanitizeReport::default();
+    let datasets: Vec<CityDataset> = prepared
+        .into_iter()
+        .map(|(ds, report)| {
+            sanitize_total.merge(&report);
+            ds
+        })
+        .collect();
 
     let t1 = Instant::now();
     let analyses = par_map(datasets, city_workers, |_, ds| CityAnalysis::new(ds, seed ^ 0x5eed));
     let fit_s = t1.elapsed().as_secs_f64();
 
-    (analyses, StageTimings { generate_s, fit_s, render_s: 0.0 })
+    (Arc::new(analyses), StageTimings { generate_s, fit_s, render_s: 0.0 }, sanitize_total)
 }
 
 /// What one render job yields: its artifacts and headlines, in paper
 /// order within the job.
 type JobOut = (Vec<Artifact>, Vec<(String, String)>);
 
-type RenderJob<'a> = Box<dyn Fn() -> JobOut + Send + Sync + 'a>;
+/// A render job: shared so the supervisor can re-dispatch it for the
+/// retry attempt, `'static` so an attempt can run on its own watchdogged
+/// thread.
+type RenderJob = Arc<dyn Fn() -> JobOut + Send + Sync + 'static>;
 
-/// The full experiment suite as independent render jobs. Job order is
-/// paper order; concatenating the outputs job by job reproduces the
-/// sequential report exactly.
-fn render_jobs(analyses: &[CityAnalysis]) -> Vec<RenderJob<'_>> {
-    let a = &analyses[0]; // City-A carries the main-body experiments.
-    let mut jobs: Vec<RenderJob<'_>> = Vec::new();
+/// Build one labeled job from a slice-level closure.
+fn job<F>(label: &str, analyses: &Arc<Vec<CityAnalysis>>, f: F) -> (String, RenderJob)
+where
+    F: Fn(&[CityAnalysis]) -> JobOut + Send + Sync + 'static,
+{
+    let analyses = Arc::clone(analyses);
+    (label.to_string(), Arc::new(move || f(&analyses)))
+}
+
+/// The full experiment suite as independent labeled render jobs. Job
+/// order is paper order; concatenating the outputs job by job reproduces
+/// the sequential report exactly.
+fn render_jobs(analyses: &Arc<Vec<CityAnalysis>>) -> Vec<(String, RenderJob)> {
+    let mut jobs = Vec::new();
 
     // Table 1.
-    jobs.push(Box::new(move || {
-        let datasets: Vec<&CityDataset> = analyses.iter().map(|x| &x.dataset).collect();
+    jobs.push(job("table1", analyses, |all| {
+        let datasets: Vec<&CityDataset> = all.iter().map(|x| &x.dataset).collect();
         (vec![table_artifact(&table1::run(&datasets))], vec![])
     }));
 
     // §2 cross-city comparison.
-    jobs.push(Box::new(move || {
-        let all_refs: Vec<&CityAnalysis> = analyses.iter().collect();
+    jobs.push(job("cities", analyses, |all| {
+        let all_refs: Vec<&CityAnalysis> = all.iter().collect();
         let (cities_table, _) = cities::run(&all_refs);
         (vec![table_artifact(&cities_table)], vec![])
     }));
 
     // Fig 1 + 2.
-    jobs.push(Box::new(move || {
-        let f1 = fig01::run(a);
+    jobs.push(job("fig01", analyses, |all| {
+        let f1 = fig01::run(&all[0]);
         let headline = (
             "fig01 uncontextualized median (Mbps)".into(),
             format!("{:.1}", f1.medians.first().copied().unwrap_or(f64::NAN)),
         );
         (vec![cdf_artifact(&f1)], vec![headline])
     }));
-    jobs.push(Box::new(move || {
-        let f2 = fig02::run(a);
+    jobs.push(job("fig02", analyses, |all| {
+        let f2 = fig02::run(&all[0]);
         let mut headlines = Vec::new();
         if f2.medians.len() == 2 {
             headlines.push((
@@ -211,8 +347,8 @@ fn render_jobs(analyses: &[CityAnalysis]) -> Vec<RenderJob<'_>> {
     }));
 
     // Table 2 across all states.
-    jobs.push(Box::new(move || {
-        let refs: Vec<&CityAnalysis> = analyses.iter().collect();
+    jobs.push(job("table2", analyses, |all| {
+        let refs: Vec<&CityAnalysis> = all.iter().collect();
         let (t2, stats) = table2::run(&refs);
         let headlines = stats
             .iter()
@@ -227,22 +363,26 @@ fn render_jobs(analyses: &[CityAnalysis]) -> Vec<RenderJob<'_>> {
     }));
 
     // Figs 4-7 and tables 3-4 (City/State-A) plus appendix variants.
-    jobs.push(Box::new(move || (vec![density_artifact(&fig04::run(a))], vec![])));
-    jobs.push(Box::new(move || (fig05::run(a).iter().map(density_artifact).collect(), vec![])));
-    jobs.push(Box::new(move || (vec![density_artifact(&fig06::run(a))], vec![])));
-    jobs.push(Box::new(move || {
-        let (t3, _) = table3::run(a);
+    jobs.push(job("fig04", analyses, |all| (vec![density_artifact(&fig04::run(&all[0]))], vec![])));
+    jobs.push(job("fig05", analyses, |all| {
+        (fig05::run(&all[0]).iter().map(density_artifact).collect(), vec![])
+    }));
+    jobs.push(job("fig06", analyses, |all| (vec![density_artifact(&fig06::run(&all[0]))], vec![])));
+    jobs.push(job("table3", analyses, |all| {
+        let (t3, _) = table3::run(&all[0]);
         (vec![table_artifact(&t3)], vec![])
     }));
-    jobs.push(Box::new(move || (fig07::run(a).iter().map(density_artifact).collect(), vec![])));
-    jobs.push(Box::new(move || {
-        let (t4, _) = table4::run(a);
+    jobs.push(job("fig07", analyses, |all| {
+        (fig07::run(&all[0]).iter().map(density_artifact).collect(), vec![])
+    }));
+    jobs.push(job("table4", analyses, |all| {
+        let (t4, _) = table4::run(&all[0]);
         (vec![table_artifact(&t4)], vec![])
     }));
 
     // Fig 8.
-    jobs.push(Box::new(move || {
-        let f8 = fig08::run(a);
+    jobs.push(job("fig08", analyses, |all| {
+        let f8 = fig08::run(&all[0]);
         let headlines = f8
             .medians
             .first()
@@ -253,11 +393,13 @@ fn render_jobs(analyses: &[CityAnalysis]) -> Vec<RenderJob<'_>> {
     }));
 
     // Fig 9 panels.
-    jobs.push(Box::new(move || (fig09::run(a).iter().map(cdf_artifact).collect(), vec![])));
+    jobs.push(job("fig09", analyses, |all| {
+        (fig09::run(&all[0]).iter().map(cdf_artifact).collect(), vec![])
+    }));
 
     // Fig 10.
-    jobs.push(Box::new(move || {
-        let (f10, shares) = fig10::run(a);
+    jobs.push(job("fig10", analyses, |all| {
+        let (f10, shares) = fig10::run(&all[0]);
         let mut headlines = vec![(
             "fig10 local-bottleneck share".into(),
             format!("{:.0}%", shares.local_bottleneck_share * 100.0),
@@ -272,15 +414,17 @@ fn render_jobs(analyses: &[CityAnalysis]) -> Vec<RenderJob<'_>> {
     }));
 
     // Figs 11-12.
-    jobs.push(Box::new(move || {
-        let (_vol, t11) = fig11::run(a);
+    jobs.push(job("fig11", analyses, |all| {
+        let (_vol, t11) = fig11::run(&all[0]);
         (vec![table_artifact(&t11)], vec![])
     }));
-    jobs.push(Box::new(move || (fig12::run_default(a).iter().map(cdf_artifact).collect(), vec![])));
+    jobs.push(job("fig12", analyses, |all| {
+        (fig12::run_default(&all[0]).iter().map(cdf_artifact).collect(), vec![])
+    }));
 
     // Fig 13.
-    jobs.push(Box::new(move || {
-        let (panels, gaps) = fig13::run(a);
+    jobs.push(job("fig13", analyses, |all| {
+        let (panels, gaps) = fig13::run(&all[0]);
         let headlines = gaps
             .iter()
             .map(|g| {
@@ -292,8 +436,8 @@ fn render_jobs(analyses: &[CityAnalysis]) -> Vec<RenderJob<'_>> {
 
     // Extension: latency under load (not a paper figure; see the module
     // docs of `st_analysis::ext_latency`).
-    jobs.push(Box::new(move || {
-        let (lat_cdf, lat) = ext_latency::run(a);
+    jobs.push(job("ext_latency", analyses, |all| {
+        let (lat_cdf, lat) = ext_latency::run(&all[0]);
         let headline = (
             "ext_latency medians (idle / loaded, ms)".into(),
             format!("{:.1} / {:.1}", lat.idle_median_ms, lat.loaded_median_ms),
@@ -303,8 +447,11 @@ fn render_jobs(analyses: &[CityAnalysis]) -> Vec<RenderJob<'_>> {
 
     // Appendix: tables 5-7 (upload clusters for cities B-D) and the
     // per-state appendix densities.
-    for (i, city_a) in analyses.iter().enumerate().skip(1) {
-        jobs.push(Box::new(move || {
+    for i in 1..analyses.len() {
+        let label = format!("appendix_{}", (b'a' + i as u8) as char);
+        let analyses2 = Arc::clone(analyses);
+        let f: RenderJob = Arc::new(move || {
+            let city_a = &analyses2[i];
             let mut artifacts = Vec::new();
             let (mut t, _) = table3::run(city_a);
             t.id = format!("table{}", 4 + i); // tables 5, 6, 7
@@ -324,14 +471,111 @@ fn render_jobs(analyses: &[CityAnalysis]) -> Vec<RenderJob<'_>> {
             f6.id = format!("fig15_{}", city_a.dataset.config.city.label().to_lowercase());
             artifacts.push(density_artifact(&f6));
             (artifacts, vec![])
-        }));
+        });
+        jobs.push((label, f));
     }
 
     jobs
 }
 
+/// Outcome of one supervised attempt.
+enum Attempt {
+    Completed(Box<JobOut>),
+    Panicked(String),
+    TimedOut,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one attempt of `job` on a watchdogged thread. A panic is caught
+/// and reported; a job that blows `deadline` is abandoned — its thread
+/// keeps running detached and exits whenever the job returns, but its
+/// result is discarded.
+fn attempt_job(job: &RenderJob, deadline: Duration) -> Attempt {
+    let (tx, rx) = mpsc::channel();
+    let job = Arc::clone(job);
+    let handle = std::thread::spawn(move || {
+        let result = catch_unwind(AssertUnwindSafe(|| job()));
+        let _ = tx.send(result);
+    });
+    match rx.recv_timeout(deadline) {
+        Ok(Ok(out)) => {
+            let _ = handle.join();
+            Attempt::Completed(Box::new(out))
+        }
+        Ok(Err(payload)) => {
+            let _ = handle.join();
+            Attempt::Panicked(panic_message(payload.as_ref()))
+        }
+        Err(_) => Attempt::TimedOut,
+    }
+}
+
+fn describe(a: &Attempt) -> String {
+    match a {
+        Attempt::Completed(_) => "completed".to_string(),
+        Attempt::Panicked(msg) => format!("panic: {msg}"),
+        Attempt::TimedOut => "deadline exceeded".to_string(),
+    }
+}
+
+/// The stand-in artifact emitted for a job that failed both attempts.
+fn placeholder_artifact(label: &str, reason: &str) -> Artifact {
+    #[derive(Serialize)]
+    struct Placeholder {
+        degraded: bool,
+        job: String,
+        reason: String,
+    }
+    let payload =
+        Placeholder { degraded: true, job: label.to_string(), reason: reason.to_string() };
+    Artifact {
+        id: format!("degraded_{label}"),
+        text: format!("DEGRADED: render job '{label}' failed ({reason}); artifacts omitted.\n"),
+        svg: None,
+        json: serde_json::to_string_pretty(&payload).expect("placeholder serializes"),
+    }
+}
+
+/// Apply the fault-injection knobs of `opts` to a labeled job.
+fn instrument_job(label: &str, inner: RenderJob, opts: &SuperviseOptions) -> RenderJob {
+    if opts.fail_jobs.iter().any(|l| l == label) {
+        let label = label.to_string();
+        return Arc::new(move || panic!("injected failure in job '{label}'"));
+    }
+    if opts.flaky_jobs.iter().any(|l| l == label) {
+        let armed = AtomicBool::new(true);
+        let label = label.to_string();
+        return Arc::new(move || {
+            if armed.swap(false, Ordering::SeqCst) {
+                panic!("injected flaky failure in job '{label}'");
+            }
+            inner()
+        });
+    }
+    if opts.hang_jobs.iter().any(|l| l == label) {
+        return Arc::new(move || {
+            // Stall far past any test deadline, but bounded, so the
+            // abandoned thread drains instead of leaking forever.
+            for _ in 0..100 {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            (Vec::new(), Vec::new())
+        });
+    }
+    inner
+}
+
 /// Run every experiment; `analyses` must hold the four cities in order.
-pub fn run_all(analyses: &[CityAnalysis], scale: f64, seed: u64) -> ReproReport {
+pub fn run_all(analyses: &Arc<Vec<CityAnalysis>>, scale: f64, seed: u64) -> ReproReport {
     run_all_par(analyses, scale, seed, 1, StageTimings::default())
 }
 
@@ -343,24 +587,118 @@ pub fn run_all(analyses: &[CityAnalysis], scale: f64, seed: u64) -> ReproReport 
 /// `timings` carries the generate/fit wall-clocks from
 /// [`build_analyses_par`]; this call fills in `render_s`.
 pub fn run_all_par(
-    analyses: &[CityAnalysis],
+    analyses: &Arc<Vec<CityAnalysis>>,
     scale: f64,
     seed: u64,
     parallelism: usize,
     timings: StageTimings,
 ) -> ReproReport {
+    let opts = SuperviseOptions { parallelism, ..SuperviseOptions::default() };
+    run_all_supervised(analyses, scale, seed, &opts, timings, SanitizeReport::default())
+}
+
+/// The supervised render engine. Every job runs under `catch_unwind`
+/// with a per-attempt deadline and one retry; a job that fails both
+/// attempts degrades to a placeholder artifact at its paper-order
+/// position and is recorded in [`ReproReport::health`]. The run always
+/// completes; callers decide (via [`RunHealth::is_degraded`]) whether a
+/// degraded run is acceptable.
+///
+/// `sanitize` carries the record-quarantine counters from
+/// [`build_analyses_sanitized`]; they surface in the report's `## Health`
+/// section.
+pub fn run_all_supervised(
+    analyses: &Arc<Vec<CityAnalysis>>,
+    scale: f64,
+    seed: u64,
+    opts: &SuperviseOptions,
+    timings: StageTimings,
+    sanitize: SanitizeReport,
+) -> ReproReport {
     assert_eq!(analyses.len(), 4, "need all four cities");
     let t0 = Instant::now();
-    let jobs = render_jobs(analyses);
-    let outs = par_map(jobs, parallelism.max(1), |_, job| job());
+    let jobs: Vec<(String, RenderJob)> = render_jobs(analyses)
+        .into_iter()
+        .map(|(label, inner)| {
+            let instrumented = instrument_job(&label, inner, opts);
+            (label, instrumented)
+        })
+        .collect();
+
+    let deadline = opts.deadline;
+    let outs = par_map(jobs, opts.parallelism.max(1), |_, (label, job)| {
+        let first = attempt_job(&job, deadline);
+        match first {
+            Attempt::Completed(out) => (label, Ok(out), false),
+            failed => {
+                let first_reason = describe(&failed);
+                match attempt_job(&job, deadline) {
+                    Attempt::Completed(out) => (label, Ok(out), true),
+                    retry_failed => {
+                        let reason = format!("{first_reason}; retry: {}", describe(&retry_failed));
+                        (label, Err(reason), true)
+                    }
+                }
+            }
+        }
+    });
+
     let mut artifacts = Vec::new();
     let mut headlines = Vec::new();
-    for (art, heads) in outs {
-        artifacts.extend(art);
-        headlines.extend(heads);
+    let mut health = RunHealth { jobs_total: outs.len(), sanitize, ..RunHealth::default() };
+    for (label, result, retried) in outs {
+        match result {
+            Ok(out) => {
+                if retried {
+                    health.jobs_retried += 1;
+                }
+                let (art, heads) = *out;
+                artifacts.extend(art);
+                headlines.extend(heads);
+            }
+            Err(reason) => {
+                health.jobs_failed += 1;
+                artifacts.push(placeholder_artifact(&label, &reason));
+                health.failures.push(JobFailure { label, reason });
+            }
+        }
     }
     let timings = StageTimings { render_s: t0.elapsed().as_secs_f64(), ..timings };
-    ReproReport { scale, seed, artifacts, headlines, timings }
+    ReproReport { scale, seed, artifacts, headlines, timings, health }
+}
+
+/// Render the `## Health` section body (shared by the report and tests;
+/// wall-clock free, so it is byte-identical across parallelism levels).
+pub fn render_health(health: &RunHealth) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "- render jobs: {} total, {} failed, {} retried\n",
+        health.jobs_total, health.jobs_failed, health.jobs_retried
+    ));
+    let s = &health.sanitize;
+    out.push_str(&format!(
+        "- records: {} clean, {} repaired, {} quarantined\n",
+        s.clean, s.repaired, s.quarantined
+    ));
+    if !s.quarantine_reasons.is_empty() {
+        out.push_str("- quarantine reasons:\n");
+        for (reason, count) in &s.quarantine_reasons {
+            out.push_str(&format!("  - {reason}: {count}\n"));
+        }
+    }
+    if !s.repair_reasons.is_empty() {
+        out.push_str("- repair reasons:\n");
+        for (reason, count) in &s.repair_reasons {
+            out.push_str(&format!("  - {reason}: {count}\n"));
+        }
+    }
+    if !health.failures.is_empty() {
+        out.push_str("- degraded artifacts:\n");
+        for f in &health.failures {
+            out.push_str(&format!("  - {}: {}\n", f.label, f.reason));
+        }
+    }
+    out
 }
 
 /// Render the full markdown report.
@@ -378,6 +716,8 @@ pub fn render_report(report: &ReproReport) -> String {
         "\n## Timings\n\n- generate: {:.2} s\n- fit: {:.2} s\n- render: {:.2} s\n",
         t.generate_s, t.fit_s, t.render_s
     ));
+    out.push_str("\n## Health\n\n");
+    out.push_str(&render_health(&report.health));
     out.push_str("\n## Artifacts\n\n");
     for a in &report.artifacts {
         out.push_str("```text\n");
@@ -404,9 +744,16 @@ mod tests {
         ] {
             assert!(ids.contains(&want), "missing {want} in {ids:?}");
         }
+        // A pristine generator sails through the sanitizer untouched and
+        // nothing degrades.
+        assert!(!report.health.is_degraded());
+        assert_eq!(report.health.jobs_failed, 0);
+        assert_eq!(report.health.jobs_retried, 0);
         let md = render_report(&report);
         assert!(md.contains("## Headlines"));
         assert!(md.contains("## Timings"));
+        assert!(md.contains("## Health"));
+        assert!(md.contains("0 failed, 0 retried"));
     }
 
     #[test]
@@ -423,5 +770,137 @@ mod tests {
             assert_eq!(s.json, p.json, "artifact {} json diverged", s.id);
         }
         assert_eq!(seq.headlines, par.headlines);
+    }
+
+    #[test]
+    fn sanitizer_counts_pristine_records_as_clean() {
+        let (_, _, report) = build_analyses_sanitized(0.004, 2024, 2, None);
+        assert!(report.clean > 1000, "clean records: {}", report.clean);
+        assert_eq!(report.quarantined, 0, "pristine generator quarantined: {report:?}");
+        assert_eq!(report.repaired, 0);
+    }
+
+    #[test]
+    fn dirty_records_quarantine_and_analysis_survives() {
+        let dirty = DirtyScenario::with_total_rate(0.02);
+        let (analyses, timings, report) = build_analyses_sanitized(0.004, 2024, 2, Some(&dirty));
+        assert!(report.quarantined > 0, "2% dirty must quarantine something");
+        // Duplicates and clock-skew repairs both occur at this rate.
+        assert!(report.quarantine_reasons.contains_key("duplicate-id"), "{report:?}");
+        assert!(report.repaired > 0, "clock-skewed records should be repaired: {report:?}");
+        // The degraded dataset still fits and renders end to end.
+        let run = run_all_supervised(
+            &analyses,
+            0.004,
+            2024,
+            &SuperviseOptions::default(),
+            timings,
+            report,
+        );
+        assert!(run.artifacts.len() > 25);
+        assert!(!run.health.is_degraded());
+        assert!(run.health.sanitize.quarantined > 0);
+    }
+
+    #[test]
+    fn injected_job_failure_degrades_to_placeholder() {
+        let analyses = build_analyses(0.004, 2024);
+        let opts = SuperviseOptions {
+            fail_jobs: vec!["fig08".into()],
+            deadline: Duration::from_secs(60),
+            ..SuperviseOptions::default()
+        };
+        let report = run_all_supervised(
+            &analyses,
+            0.004,
+            2024,
+            &opts,
+            StageTimings::default(),
+            SanitizeReport::default(),
+        );
+        assert!(report.health.is_degraded());
+        assert_eq!(report.health.jobs_failed, 1);
+        assert_eq!(report.health.failures[0].label, "fig08");
+        assert!(report.health.failures[0].reason.contains("injected failure"));
+        let ids: Vec<&str> = report.artifacts.iter().map(|a| a.id.as_str()).collect();
+        assert!(ids.contains(&"degraded_fig08"), "placeholder missing: {ids:?}");
+        assert!(!ids.contains(&"fig08"), "failed job still produced its artifact");
+        // Everything else still rendered.
+        for want in ["table1", "fig01", "fig09a", "table5", "table7"] {
+            assert!(ids.contains(&want), "missing {want}");
+        }
+        let md = render_report(&report);
+        assert!(md.contains("1 failed"));
+        assert!(md.contains("degraded_fig08") || md.contains("fig08: panic"));
+    }
+
+    #[test]
+    fn flaky_job_survives_on_retry() {
+        let analyses = build_analyses(0.004, 2024);
+        let opts =
+            SuperviseOptions { flaky_jobs: vec!["table1".into()], ..SuperviseOptions::default() };
+        let report = run_all_supervised(
+            &analyses,
+            0.004,
+            2024,
+            &opts,
+            StageTimings::default(),
+            SanitizeReport::default(),
+        );
+        assert!(!report.health.is_degraded());
+        assert_eq!(report.health.jobs_retried, 1);
+        assert_eq!(report.health.jobs_failed, 0);
+        let clean = run_all(&analyses, 0.004, 2024);
+        assert_eq!(report.artifacts.len(), clean.artifacts.len());
+        assert_eq!(report.artifacts[0].text, clean.artifacts[0].text);
+    }
+
+    #[test]
+    fn hanging_job_hits_the_deadline_and_degrades() {
+        let analyses = build_analyses(0.004, 2024);
+        let opts = SuperviseOptions {
+            hang_jobs: vec!["ext_latency".into()],
+            deadline: Duration::from_millis(250),
+            ..SuperviseOptions::default()
+        };
+        let t0 = Instant::now();
+        let report = run_all_supervised(
+            &analyses,
+            0.004,
+            2024,
+            &opts,
+            StageTimings::default(),
+            SanitizeReport::default(),
+        );
+        assert!(report.health.is_degraded());
+        assert_eq!(report.health.failures[0].label, "ext_latency");
+        assert!(report.health.failures[0].reason.contains("deadline exceeded"));
+        // Two attempts at 250ms each plus the real jobs; nowhere near the
+        // 10s the hang job sleeps.
+        assert!(t0.elapsed() < Duration::from_secs(9), "deadline did not bound the run");
+    }
+
+    #[test]
+    fn degraded_run_is_identical_across_parallelism() {
+        let dirty = DirtyScenario::with_total_rate(0.02);
+        let mk = |par: usize| {
+            let (analyses, _, sanitize) = build_analyses_sanitized(0.004, 99, par, Some(&dirty));
+            let opts = SuperviseOptions {
+                parallelism: par,
+                fail_jobs: vec!["fig10".into()],
+                ..SuperviseOptions::default()
+            };
+            run_all_supervised(&analyses, 0.004, 99, &opts, StageTimings::default(), sanitize)
+        };
+        let seq = mk(1);
+        let par = mk(4);
+        assert_eq!(seq.artifacts.len(), par.artifacts.len());
+        for (s, p) in seq.artifacts.iter().zip(&par.artifacts) {
+            assert_eq!(s.id, p.id, "artifact order diverged");
+            assert_eq!(s.text, p.text, "artifact {} text diverged", s.id);
+            assert_eq!(s.json, p.json, "artifact {} json diverged", s.id);
+        }
+        assert_eq!(seq.headlines, par.headlines);
+        assert_eq!(render_health(&seq.health), render_health(&par.health));
     }
 }

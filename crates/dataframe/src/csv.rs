@@ -12,7 +12,11 @@ use crate::Result;
 use std::fmt::Write as _;
 
 /// Serialize a frame to CSV text with a header row.
-pub fn to_csv(df: &DataFrame) -> String {
+///
+/// Errors instead of panicking if the frame is internally inconsistent
+/// (a column shorter than `n_rows`, which a malformed `Column` edit can
+/// produce) — export is an I/O boundary and must degrade, not abort.
+pub fn to_csv(df: &DataFrame) -> Result<String> {
     let mut out = String::new();
     let names = df.names();
     out.push_str(&names.iter().map(|n| quote(n)).collect::<Vec<_>>().join(","));
@@ -24,12 +28,12 @@ pub fn to_csv(df: &DataFrame) -> String {
                 out.push(',');
             }
             first = false;
-            let cell = df.value(row, name).expect("row and column in range").to_string();
+            let cell = df.value(row, name)?.to_string();
             let _ = write!(out, "{}", quote(&cell));
         }
         out.push('\n');
     }
-    out
+    Ok(out)
 }
 
 /// Parse CSV text into a frame. All columns are inferred.
@@ -162,7 +166,7 @@ mod tests {
             ("wifi", Column::from(vec![true, false])),
         ])
         .unwrap();
-        let text = to_csv(&df);
+        let text = to_csv(&df).unwrap();
         let back = from_csv(&text).unwrap();
         assert_eq!(back.f64("down").unwrap(), df.f64("down").unwrap());
         assert_eq!(back.i64("tier").unwrap(), df.i64("tier").unwrap());
@@ -177,7 +181,7 @@ mod tests {
             Column::from(vec!["plain", "has,comma", "has\"quote"]),
         )])
         .unwrap();
-        let text = to_csv(&df);
+        let text = to_csv(&df).unwrap();
         let back = from_csv(&text).unwrap();
         assert_eq!(back.str("name").unwrap(), df.str("name").unwrap());
     }
@@ -197,7 +201,7 @@ mod tests {
     #[test]
     fn nan_round_trips() {
         let df = DataFrame::from_columns([("v", Column::from(vec![1.0, f64::NAN]))]).unwrap();
-        let back = from_csv(&to_csv(&df)).unwrap();
+        let back = from_csv(&to_csv(&df).unwrap()).unwrap();
         let v = back.f64("v").unwrap();
         assert_eq!(v[0], 1.0);
         assert!(v[1].is_nan());

@@ -88,7 +88,7 @@ proptest! {
 
     #[test]
     fn csv_round_trips_exactly(df in frame_strategy()) {
-        let text = csv::to_csv(&df);
+        let text = csv::to_csv(&df).unwrap();
         let back = csv::from_csv(&text).unwrap();
         prop_assert_eq!(back.n_rows(), df.n_rows());
         prop_assert_eq!(back.names(), df.names());

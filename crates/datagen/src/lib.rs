@@ -20,8 +20,11 @@
 //! * [`mba`] — the FCC MBA panel: wired whiteboxes testing around the
 //!   clock, with the ground-truth plan retained for evaluating BST.
 //! * [`faults`] — injectable access-network faults (oversubscribed
-//!   nodes), giving the challenge-triage pipeline true positives with
-//!   known ground truth.
+//!   nodes, degraded plant, mis-provisioned upstream) giving the
+//!   challenge-triage pipeline true positives with known ground truth,
+//!   plus dirty-measurement corruption (aborted/truncated tests, zero and
+//!   NaN throughput, duplicate submissions, clock skew) so the
+//!   sanitization stage can be scored against known labels.
 //! * [`scenario`] — one-call generation of a full city dataset plus
 //!   conversion into `st-dataframe` frames for analysis.
 //!
@@ -42,7 +45,7 @@ pub mod scenario;
 pub use catalogs::{catalog_for, isp_a, isp_b, isp_c, isp_d, technology_for};
 pub use city::{City, CityConfig};
 pub use crowd::{generate_mlab, generate_mlab_chunked, generate_ookla, generate_ookla_chunked};
-pub use faults::{inject, FaultScenario};
+pub use faults::{inject, inject_dirty, DirtyKind, DirtyLabel, DirtyScenario, FaultScenario};
 pub use mba::{generate_mba, generate_mba_chunked};
 pub use population::{Population, UserProfile};
 pub use scenario::{measurements_to_frame, CityDataset};

@@ -52,6 +52,12 @@ pub mod tags {
     pub const MBA: u64 = 0x04;
     /// MBA whitebox unit/plan assignment.
     pub const MBA_UNITS: u64 = 0x05;
+    /// Dirty-record corruption of the Ookla campaign.
+    pub const DIRTY_OOKLA: u64 = 0x06;
+    /// Dirty-record corruption of the M-Lab campaign.
+    pub const DIRTY_MLAB: u64 = 0x07;
+    /// Dirty-record corruption of the MBA panel.
+    pub const DIRTY_MBA: u64 = 0x08;
 }
 
 /// Degree of parallelism to use when the caller has no preference.

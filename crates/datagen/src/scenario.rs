@@ -94,6 +94,36 @@ impl CityDataset {
     pub fn crowdsourced(&self) -> Vec<&Measurement> {
         self.ookla.iter().chain(self.mlab.iter()).collect()
     }
+
+    /// Corrupt all three campaigns in place with `scenario`, seeded by
+    /// `seed` through the same per-stream derivation as generation, so
+    /// the corruption is byte-identical at every parallelism level.
+    /// Returns the ground-truth labels per campaign, in (Ookla, M-Lab,
+    /// MBA) order.
+    pub fn inject_dirty(
+        &mut self,
+        scenario: &crate::faults::DirtyScenario,
+        seed: u64,
+    ) -> [Vec<crate::faults::DirtyLabel>; 3] {
+        let master = seed ^ (self.config.city.index() as u64) << 32;
+        [
+            crate::faults::inject_dirty(
+                &mut self.ookla,
+                scenario,
+                par::stream_seed(master, par::tags::DIRTY_OOKLA),
+            ),
+            crate::faults::inject_dirty(
+                &mut self.mlab,
+                scenario,
+                par::stream_seed(master, par::tags::DIRTY_MLAB),
+            ),
+            crate::faults::inject_dirty(
+                &mut self.mba,
+                scenario,
+                par::stream_seed(master, par::tags::DIRTY_MBA),
+            ),
+        ]
+    }
 }
 
 /// Convert measurements to a data frame with one column per record field.

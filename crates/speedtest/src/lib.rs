@@ -17,6 +17,11 @@
 //! * [`pairing`] — M-Lab's download/upload association: NDT reports the two
 //!   directions as separate tests, so the paper pairs them with a 120 s
 //!   window per client/server pair (§3.2); implemented here.
+//! * [`sanitize`] — the record quarantine stage: every measurement
+//!   entering an analysis is classified clean / repaired / quarantined
+//!   against a structured error taxonomy, with per-reason counters, so
+//!   dirty crowdsourced records degrade the dataset instead of crashing
+//!   the pipeline.
 //! * [`wire`] — a real TCP speed test over loopback sockets with a
 //!   token-bucket-shaped server, demonstrating that the methodology gap is
 //!   not an artifact of the flow-level simulator.
@@ -25,9 +30,13 @@ pub mod methodology;
 pub mod pairing;
 pub mod plans;
 pub mod record;
+pub mod sanitize;
 pub mod wire;
 
 pub use methodology::{FastMethodology, Methodology, NdtMethodology, OoklaMethodology, TestResult};
 pub use pairing::{pair_ndt_tests, NdtEvent, NdtPair};
 pub use plans::{Plan, PlanCatalog, TierGroup};
 pub use record::{Access, Measurement, Platform, Vendor};
+pub use sanitize::{
+    classify, sanitize, Classification, QuarantineReason, RepairReason, SanitizeReport,
+};

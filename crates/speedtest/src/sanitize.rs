@@ -1,0 +1,353 @@
+//! Record sanitization and quarantine.
+//!
+//! Real crowdsourced archives are full of aborted, truncated, duplicated,
+//! and clock-skewed tests; a pipeline that assumes every record is clean
+//! either panics on the first malformed one or silently clamps it into the
+//! statistics. This module replaces both failure modes with a structured
+//! taxonomy: every record entering an analysis is classified as **clean**
+//! (used as-is), **repaired** (a recoverable defect was normalized, e.g. a
+//! clock-skewed timestamp wrapped back into range), or **quarantined**
+//! (dropped, with a single machine-readable reason). Per-reason counters
+//! travel with the output so the repro report can surface exactly what was
+//! excluded and why, instead of the run aborting — the paper's
+//! contextualization argument applied to the pipeline itself.
+//!
+//! Classification is a pure function of the record (plus the set of ids
+//! already seen, for duplicate detection), so the outcome is deterministic
+//! and independent of how the upstream generation was parallelized.
+
+use crate::record::Measurement;
+use serde::Serialize;
+use std::collections::{BTreeMap, HashSet};
+
+/// Throughput above this is implausible for any access link in the study
+/// (the largest catalog plan is ~1.2 Gbps; 100 Gbps is beyond any
+/// residential technology the paper considers).
+pub const MAX_PLAUSIBLE_MBPS: f64 = 100_000.0;
+
+/// RTT above this (one minute) means the latency phase did not measure a
+/// round trip but a timeout.
+pub const MAX_PLAUSIBLE_RTT_MS: f64 = 60_000.0;
+
+/// Why a record was quarantined. Exactly one reason is ever assigned —
+/// checks run in the order of the variants and the first hit wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum QuarantineReason {
+    /// Download or upload throughput is NaN or infinite.
+    NonFiniteThroughput,
+    /// Download or upload throughput is zero or negative.
+    NonPositiveThroughput,
+    /// Throughput exceeds [`MAX_PLAUSIBLE_MBPS`].
+    ImplausibleThroughput,
+    /// Idle or loaded RTT is NaN or infinite.
+    NonFiniteLatency,
+    /// Idle RTT is zero or negative — the latency phase never completed,
+    /// the signature of an aborted/truncated test.
+    AbortedTest,
+    /// RTT exceeds [`MAX_PLAUSIBLE_RTT_MS`].
+    ImplausibleLatency,
+    /// A record with this test id was already accepted (duplicate
+    /// submission; first submission wins).
+    DuplicateId,
+}
+
+impl QuarantineReason {
+    /// Stable kebab-case label used in counters and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QuarantineReason::NonFiniteThroughput => "non-finite-throughput",
+            QuarantineReason::NonPositiveThroughput => "non-positive-throughput",
+            QuarantineReason::ImplausibleThroughput => "implausible-throughput",
+            QuarantineReason::NonFiniteLatency => "non-finite-latency",
+            QuarantineReason::AbortedTest => "aborted-test",
+            QuarantineReason::ImplausibleLatency => "implausible-latency",
+            QuarantineReason::DuplicateId => "duplicate-id",
+        }
+    }
+}
+
+/// A recoverable defect that was normalized in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum RepairReason {
+    /// Day-of-year beyond the campaign year (clock skew) wrapped with
+    /// `day % 365`.
+    DayOutOfRange,
+    /// Hour of day `>= 24` (clock skew) wrapped with `hour % 24`.
+    HourOutOfRange,
+}
+
+impl RepairReason {
+    /// Stable kebab-case label used in counters and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RepairReason::DayOutOfRange => "day-out-of-range",
+            RepairReason::HourOutOfRange => "hour-out-of-range",
+        }
+    }
+}
+
+/// The verdict for one record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Classification {
+    /// Record is valid as-is.
+    Clean,
+    /// Record was normalized; the listed defects were repaired.
+    Repaired(Vec<RepairReason>),
+    /// Record must be dropped for this single reason.
+    Quarantined(QuarantineReason),
+}
+
+/// Classify `m` without mutating it. `is_duplicate` is the caller's
+/// verdict on whether this test id was already accepted ([`sanitize`]
+/// threads a seen-set through; pass `false` when checking one record in
+/// isolation).
+///
+/// Checks run in a fixed order (throughput, latency, duplicate, then
+/// repairable timestamp defects), so every record lands in exactly one
+/// bucket and re-running the classification is byte-stable.
+pub fn classify(m: &Measurement, is_duplicate: bool) -> Classification {
+    if !m.down_mbps.is_finite() || !m.up_mbps.is_finite() {
+        return Classification::Quarantined(QuarantineReason::NonFiniteThroughput);
+    }
+    if m.down_mbps <= 0.0 || m.up_mbps <= 0.0 {
+        return Classification::Quarantined(QuarantineReason::NonPositiveThroughput);
+    }
+    if m.down_mbps > MAX_PLAUSIBLE_MBPS || m.up_mbps > MAX_PLAUSIBLE_MBPS {
+        return Classification::Quarantined(QuarantineReason::ImplausibleThroughput);
+    }
+    if !m.rtt_ms.is_finite() || !m.loaded_rtt_ms.is_finite() {
+        return Classification::Quarantined(QuarantineReason::NonFiniteLatency);
+    }
+    if m.rtt_ms <= 0.0 {
+        return Classification::Quarantined(QuarantineReason::AbortedTest);
+    }
+    if m.rtt_ms > MAX_PLAUSIBLE_RTT_MS || m.loaded_rtt_ms > MAX_PLAUSIBLE_RTT_MS {
+        return Classification::Quarantined(QuarantineReason::ImplausibleLatency);
+    }
+    if is_duplicate {
+        return Classification::Quarantined(QuarantineReason::DuplicateId);
+    }
+    let mut repairs = Vec::new();
+    if m.day >= 365 {
+        repairs.push(RepairReason::DayOutOfRange);
+    }
+    if m.hour >= 24 {
+        repairs.push(RepairReason::HourOutOfRange);
+    }
+    if repairs.is_empty() {
+        Classification::Clean
+    } else {
+        Classification::Repaired(repairs)
+    }
+}
+
+/// Per-reason counters for one sanitization pass (or several merged ones).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct SanitizeReport {
+    /// Records accepted unchanged.
+    pub clean: u64,
+    /// Records accepted after normalization.
+    pub repaired: u64,
+    /// Records dropped.
+    pub quarantined: u64,
+    /// Quarantined count per [`QuarantineReason::label`].
+    pub quarantine_reasons: BTreeMap<String, u64>,
+    /// Repair count per [`RepairReason::label`] (a record with two
+    /// defects counts once per defect here, once in `repaired`).
+    pub repair_reasons: BTreeMap<String, u64>,
+}
+
+impl SanitizeReport {
+    /// Records that survived into the analysis.
+    pub fn accepted(&self) -> u64 {
+        self.clean + self.repaired
+    }
+
+    /// Total records examined.
+    pub fn total(&self) -> u64 {
+        self.clean + self.repaired + self.quarantined
+    }
+
+    /// Fold another report's counters into this one.
+    pub fn merge(&mut self, other: &SanitizeReport) {
+        self.clean += other.clean;
+        self.repaired += other.repaired;
+        self.quarantined += other.quarantined;
+        for (k, v) in &other.quarantine_reasons {
+            *self.quarantine_reasons.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.repair_reasons {
+            *self.repair_reasons.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+}
+
+/// Sanitize a campaign: classify every record, repair the repairable,
+/// drop the quarantined, and count everything. Records keep their
+/// relative order; duplicates resolve to the *first* submission.
+pub fn sanitize(records: Vec<Measurement>) -> (Vec<Measurement>, SanitizeReport) {
+    let mut report = SanitizeReport::default();
+    let mut seen = HashSet::with_capacity(records.len());
+    let mut kept = Vec::with_capacity(records.len());
+    for mut m in records {
+        match classify(&m, seen.contains(&m.id)) {
+            Classification::Clean => {
+                report.clean += 1;
+                seen.insert(m.id);
+                kept.push(m);
+            }
+            Classification::Repaired(reasons) => {
+                for r in &reasons {
+                    if matches!(r, RepairReason::DayOutOfRange) {
+                        m.day %= 365;
+                    }
+                    if matches!(r, RepairReason::HourOutOfRange) {
+                        m.hour %= 24;
+                    }
+                    *report.repair_reasons.entry(r.label().into()).or_insert(0) += 1;
+                }
+                report.repaired += 1;
+                seen.insert(m.id);
+                kept.push(m);
+            }
+            Classification::Quarantined(reason) => {
+                report.quarantined += 1;
+                *report.quarantine_reasons.entry(reason.label().into()).or_insert(0) += 1;
+            }
+        }
+    }
+    (kept, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Access, Platform};
+    use st_netsim::Band;
+
+    fn base(id: u64) -> Measurement {
+        Measurement {
+            id,
+            user_id: 10,
+            platform: Platform::AndroidApp,
+            city: 0,
+            day: 100,
+            hour: 13,
+            down_mbps: 95.0,
+            up_mbps: 5.1,
+            rtt_ms: 14.0,
+            loaded_rtt_ms: 21.0,
+            access: Access::Wifi { band: Band::G5, rssi_dbm: -55.0 },
+            kernel_memory_gb: Some(7.2),
+            truth_tier: Some(2),
+        }
+    }
+
+    #[test]
+    fn clean_records_pass_untouched() {
+        let records = vec![base(1), base(2), base(3)];
+        let (kept, report) = sanitize(records.clone());
+        assert_eq!(kept, records);
+        assert_eq!(report.clean, 3);
+        assert_eq!(report.repaired, 0);
+        assert_eq!(report.quarantined, 0);
+        assert!(report.quarantine_reasons.is_empty());
+    }
+
+    #[test]
+    fn nan_and_zero_throughput_quarantine() {
+        let mut nan = base(1);
+        nan.down_mbps = f64::NAN;
+        let mut zero = base(2);
+        zero.up_mbps = 0.0;
+        let mut neg = base(3);
+        neg.down_mbps = -4.0;
+        let (kept, report) = sanitize(vec![nan, zero, neg, base(4)]);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(report.quarantined, 3);
+        assert_eq!(report.quarantine_reasons["non-finite-throughput"], 1);
+        assert_eq!(report.quarantine_reasons["non-positive-throughput"], 2);
+    }
+
+    #[test]
+    fn aborted_test_signature_quarantines() {
+        let mut aborted = base(1);
+        aborted.rtt_ms = 0.0;
+        let (kept, report) = sanitize(vec![aborted, base(2)]);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(report.quarantine_reasons["aborted-test"], 1);
+    }
+
+    #[test]
+    fn duplicates_keep_first_submission() {
+        let mut second = base(7);
+        second.down_mbps = 50.0;
+        let (kept, report) = sanitize(vec![base(7), second, base(8)]);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].down_mbps, 95.0, "first submission wins");
+        assert_eq!(report.quarantine_reasons["duplicate-id"], 1);
+    }
+
+    #[test]
+    fn clock_skew_repairs_and_counts() {
+        let mut skewed = base(1);
+        skewed.day = 500; // 500 % 365 = 135
+        skewed.hour = 37; // 37 % 24 = 13
+        let (kept, report) = sanitize(vec![skewed]);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].day, 135);
+        assert_eq!(kept[0].hour, 13);
+        assert_eq!(report.repaired, 1);
+        assert_eq!(report.repair_reasons["day-out-of-range"], 1);
+        assert_eq!(report.repair_reasons["hour-out-of-range"], 1);
+    }
+
+    #[test]
+    fn quarantine_wins_over_repair() {
+        // A record that is both clock-skewed and NaN must land in exactly
+        // one bucket: the quarantine.
+        let mut m = base(1);
+        m.day = 999;
+        m.up_mbps = f64::INFINITY;
+        assert_eq!(
+            classify(&m, false),
+            Classification::Quarantined(QuarantineReason::NonFiniteThroughput)
+        );
+        let (kept, report) = sanitize(vec![m]);
+        assert!(kept.is_empty());
+        assert_eq!(report.total(), 1);
+        assert_eq!(report.repaired, 0);
+    }
+
+    #[test]
+    fn implausible_values_quarantine() {
+        let mut fast = base(1);
+        fast.down_mbps = 1e7;
+        let mut slowping = base(2);
+        slowping.rtt_ms = 1e8;
+        let (_, report) = sanitize(vec![fast, slowping]);
+        assert_eq!(report.quarantine_reasons["implausible-throughput"], 1);
+        assert_eq!(report.quarantine_reasons["implausible-latency"], 1);
+    }
+
+    #[test]
+    fn merge_accumulates_counters() {
+        let mut a = SanitizeReport::default();
+        let mut nan = base(1);
+        nan.down_mbps = f64::NAN;
+        let (_, b) = sanitize(vec![nan, base(2)]);
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.clean, 2);
+        assert_eq!(a.quarantine_reasons["non-finite-throughput"], 2);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.accepted(), 2);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let (_, report) = sanitize(vec![base(1)]);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"clean\":1"));
+    }
+}

@@ -14,6 +14,16 @@
 //! The `loopback_speedtest` example and the integration tests drive this
 //! end-to-end: a multi-connection client measures the shaped rate; the
 //! measured value must sit just under the shaped plan rate.
+//!
+//! The client side is hardened against the failure modes real crowdsourced
+//! clients see (DESIGN.md §"Fault taxonomy and supervision contract"):
+//! connects retry with capped exponential backoff, the whole test runs
+//! under an overall deadline so a stalled server cannot hang the caller,
+//! and when only a subset of connections fail the test still reports the
+//! survivors' throughput with [`WireResult::connections_failed`] recording
+//! the casualties. All knobs live on [`WireOptions`]; the plain
+//! [`measure_download`] / [`measure_upload`] entry points use defaults
+//! scaled to the test duration.
 
 use parking_lot::Mutex;
 use std::io::{Read, Write};
@@ -258,21 +268,99 @@ pub struct WireResult {
     pub mean_all_mbps: f64,
     /// Average excluding the ramp, Mbps (Ookla-style reporting).
     pub mean_steady_mbps: f64,
-    /// Connections actually used.
+    /// Connections that completed their transfer.
     pub connections: usize,
+    /// Connections that failed (connect retries exhausted, mid-transfer
+    /// error, no data received, or abandoned at the test deadline). The
+    /// reported means come from the surviving connections only.
+    pub connections_failed: usize,
+}
+
+/// Client-side robustness knobs for a wire test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireOptions {
+    /// Connect attempts per connection before giving up on it.
+    pub connect_attempts: u32,
+    /// Backoff before the first reconnect; doubled per attempt, capped at
+    /// [`WireOptions::connect_backoff_cap`].
+    pub connect_backoff: Duration,
+    /// Ceiling for the doubled backoff.
+    pub connect_backoff_cap: Duration,
+    /// Per-attempt TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Overall wall-clock budget for the whole test. Connections that
+    /// have not reported by then are abandoned and counted as failed, so
+    /// a stalled or unreachable server cannot hang the caller.
+    pub deadline: Duration,
+}
+
+impl Default for WireOptions {
+    fn default() -> Self {
+        WireOptions {
+            connect_attempts: 3,
+            connect_backoff: Duration::from_millis(50),
+            connect_backoff_cap: Duration::from_millis(400),
+            connect_timeout: Duration::from_secs(2),
+            deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+impl WireOptions {
+    /// Defaults with the deadline scaled to a test of `duration`: three
+    /// times the transfer window plus connect slack.
+    pub fn for_duration(duration: Duration) -> Self {
+        WireOptions { deadline: duration * 3 + Duration::from_secs(2), ..WireOptions::default() }
+    }
+}
+
+/// Connect with bounded retries and capped exponential backoff.
+fn connect_with_retry(addr: SocketAddr, opts: &WireOptions) -> std::io::Result<TcpStream> {
+    let mut backoff = opts.connect_backoff;
+    let mut last_err = None;
+    for attempt in 0..opts.connect_attempts.max(1) {
+        if attempt > 0 {
+            thread::sleep(backoff);
+            backoff = (backoff * 2).min(opts.connect_backoff_cap);
+        }
+        match TcpStream::connect_timeout(&addr, opts.connect_timeout) {
+            Ok(s) => return Ok(s),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| std::io::Error::other("no connect attempts configured")))
 }
 
 /// Measure download throughput against a [`ShapedServer`].
 ///
 /// Opens `n_conns` connections, reads for `duration`, and reports both the
 /// whole-duration average and the average excluding `ramp_discard`.
+/// Robustness knobs come from [`WireOptions::for_duration`]; use
+/// [`measure_download_with`] to override them.
 pub fn measure_download(
     addr: SocketAddr,
     n_conns: usize,
     duration: Duration,
     ramp_discard: Duration,
 ) -> std::io::Result<WireResult> {
-    run_wire_test(addr, n_conns, duration, ramp_discard, CMD_DOWNLOAD)
+    measure_download_with(
+        addr,
+        n_conns,
+        duration,
+        ramp_discard,
+        &WireOptions::for_duration(duration),
+    )
+}
+
+/// [`measure_download`] with explicit [`WireOptions`].
+pub fn measure_download_with(
+    addr: SocketAddr,
+    n_conns: usize,
+    duration: Duration,
+    ramp_discard: Duration,
+    opts: &WireOptions,
+) -> std::io::Result<WireResult> {
+    run_wire_test(addr, n_conns, duration, ramp_discard, CMD_DOWNLOAD, opts)
 }
 
 /// Measure upload throughput against a [`ShapedServer`].
@@ -282,7 +370,18 @@ pub fn measure_upload(
     duration: Duration,
     ramp_discard: Duration,
 ) -> std::io::Result<WireResult> {
-    run_wire_test(addr, n_conns, duration, ramp_discard, CMD_UPLOAD)
+    measure_upload_with(addr, n_conns, duration, ramp_discard, &WireOptions::for_duration(duration))
+}
+
+/// [`measure_upload`] with explicit [`WireOptions`].
+pub fn measure_upload_with(
+    addr: SocketAddr,
+    n_conns: usize,
+    duration: Duration,
+    ramp_discard: Duration,
+    opts: &WireOptions,
+) -> std::io::Result<WireResult> {
+    run_wire_test(addr, n_conns, duration, ramp_discard, CMD_UPLOAD, opts)
 }
 
 /// Latency measured over the wire protocol's echo service.
@@ -335,69 +434,153 @@ pub fn measure_latency(addr: SocketAddr, n_pings: usize) -> std::io::Result<Late
     Ok(LatencyResult { min_s, mean_s, max_s, jitter_s, count: rtts.len() })
 }
 
+/// One measurement connection: connect (with retry), run the transfer
+/// loop until `duration` or the shared abort flag, and account bytes into
+/// the shared counters. A download connection that moves zero bytes is an
+/// error — it contributed nothing and would silently dilute the result.
+#[allow(clippy::too_many_arguments)]
+fn run_one_connection(
+    addr: SocketAddr,
+    duration: Duration,
+    ramp_discard: Duration,
+    cmd: u8,
+    opts: &WireOptions,
+    start: Instant,
+    total: &AtomicU64,
+    steady: &AtomicU64,
+    abort: &AtomicBool,
+) -> std::io::Result<()> {
+    let mut stream = connect_with_retry(addr, opts)?;
+    stream.set_nodelay(true)?;
+    stream.write_all(&[cmd])?;
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(100)))?;
+    let mut buf = [0u8; CHUNK];
+    let payload = [0xa5u8; CHUNK];
+    let mut moved_total = 0u64;
+    while start.elapsed() < duration && !abort.load(Ordering::Relaxed) {
+        let moved = if cmd == CMD_DOWNLOAD {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => n,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            match stream.write(&payload) {
+                Ok(n) => n,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        moved_total += moved as u64;
+        total.fetch_add(moved as u64, Ordering::Relaxed);
+        if start.elapsed() >= ramp_discard {
+            steady.fetch_add(moved as u64, Ordering::Relaxed);
+        }
+    }
+    if cmd == CMD_DOWNLOAD && moved_total == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection received no data",
+        ));
+    }
+    Ok(())
+}
+
 fn run_wire_test(
     addr: SocketAddr,
     n_conns: usize,
     duration: Duration,
     ramp_discard: Duration,
     cmd: u8,
+    opts: &WireOptions,
 ) -> std::io::Result<WireResult> {
     assert!(n_conns >= 1, "need at least one connection");
     assert!(ramp_discard < duration, "discard must be shorter than the test");
 
     let total = Arc::new(AtomicU64::new(0));
     let steady = Arc::new(AtomicU64::new(0));
+    let abort = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = std::sync::mpsc::channel::<std::io::Result<()>>();
     let start = Instant::now();
-    let mut threads = Vec::with_capacity(n_conns);
 
     for _ in 0..n_conns {
         let total = Arc::clone(&total);
         let steady = Arc::clone(&steady);
-        threads.push(thread::spawn(move || -> std::io::Result<()> {
-            let mut stream = TcpStream::connect(addr)?;
-            stream.set_nodelay(true)?;
-            stream.write_all(&[cmd])?;
-            stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-            stream.set_write_timeout(Some(Duration::from_millis(100)))?;
-            let mut buf = [0u8; CHUNK];
-            let payload = [0xa5u8; CHUNK];
-            while start.elapsed() < duration {
-                let moved = if cmd == CMD_DOWNLOAD {
-                    match stream.read(&mut buf) {
-                        Ok(0) => break,
-                        Ok(n) => n,
-                        Err(e)
-                            if e.kind() == std::io::ErrorKind::WouldBlock
-                                || e.kind() == std::io::ErrorKind::TimedOut =>
-                        {
-                            continue
-                        }
-                        Err(e) => return Err(e),
-                    }
-                } else {
-                    match stream.write(&payload) {
-                        Ok(n) => n,
-                        Err(e)
-                            if e.kind() == std::io::ErrorKind::WouldBlock
-                                || e.kind() == std::io::ErrorKind::TimedOut =>
-                        {
-                            continue
-                        }
-                        Err(e) => return Err(e),
-                    }
-                };
-                total.fetch_add(moved as u64, Ordering::Relaxed);
-                if start.elapsed() >= ramp_discard {
-                    steady.fetch_add(moved as u64, Ordering::Relaxed);
-                }
-            }
-            Ok(())
-        }));
+        let abort = Arc::clone(&abort);
+        let tx = tx.clone();
+        let opts = *opts;
+        thread::spawn(move || {
+            let result = run_one_connection(
+                addr,
+                duration,
+                ramp_discard,
+                cmd,
+                &opts,
+                start,
+                &total,
+                &steady,
+                &abort,
+            );
+            let _ = tx.send(result);
+        });
     }
-    for t in threads {
-        t.join().map_err(|_| std::io::Error::other("measurement thread panicked"))??;
+    drop(tx);
+
+    // Collect per-connection outcomes under the overall deadline. When it
+    // expires, raise the abort flag (workers poll it every socket-timeout
+    // tick), grant one grace window for them to report, then count any
+    // holdout as failed and abandon its detached thread.
+    let mut connections = 0usize;
+    let mut failed = 0usize;
+    let mut last_err: Option<std::io::Error> = None;
+    let mut pending = n_conns;
+    let mut deadline_hit = false;
+    while pending > 0 {
+        let budget = if deadline_hit {
+            Duration::from_millis(500)
+        } else {
+            opts.deadline.saturating_sub(start.elapsed())
+        };
+        match rx.recv_timeout(budget) {
+            Ok(Ok(())) => {
+                connections += 1;
+                pending -= 1;
+            }
+            Ok(Err(e)) => {
+                failed += 1;
+                last_err = Some(e);
+                pending -= 1;
+            }
+            Err(_) if !deadline_hit => {
+                deadline_hit = true;
+                abort.store(true, Ordering::Relaxed);
+            }
+            Err(_) => {
+                failed += pending;
+                last_err = Some(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "wire test deadline exceeded",
+                ));
+                pending = 0;
+            }
+        }
     }
 
+    if connections == 0 {
+        return Err(last_err.unwrap_or_else(|| std::io::Error::other("all connections failed")));
+    }
     let to_mbps = |bytes: u64, secs: f64| bytes as f64 * 8.0 / 1e6 / secs;
     Ok(WireResult {
         mean_all_mbps: to_mbps(total.load(Ordering::Relaxed), duration.as_secs_f64()),
@@ -405,7 +588,8 @@ fn run_wire_test(
             steady.load(Ordering::Relaxed),
             (duration - ramp_discard).as_secs_f64(),
         ),
-        connections: n_conns,
+        connections,
+        connections_failed: failed,
     })
 }
 
@@ -626,6 +810,125 @@ mod tests {
             "shutdown blocked on a stalled connection worker"
         );
         drop(stream);
+    }
+
+    #[test]
+    fn refused_port_fails_after_bounded_retries() {
+        // Bind and immediately drop a listener so the port refuses
+        // connections; the client must exhaust its retries and return an
+        // error quickly instead of hanging or succeeding.
+        let addr = {
+            let l = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            l.local_addr().unwrap()
+        };
+        let opts = WireOptions {
+            connect_attempts: 3,
+            connect_backoff: Duration::from_millis(10),
+            deadline: Duration::from_secs(5),
+            ..WireOptions::default()
+        };
+        let t0 = Instant::now();
+        let res = measure_download_with(
+            addr,
+            2,
+            Duration::from_millis(400),
+            Duration::from_millis(100),
+            &opts,
+        );
+        assert!(res.is_err(), "refused port produced {res:?}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(4),
+            "retries not bounded: took {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn stalled_server_cannot_hang_the_test() {
+        // A server that accepts but never sends a byte: every download
+        // connection times out read after read until the transfer window
+        // closes, then reports "no data". The caller gets an error within
+        // the deadline instead of blocking forever.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stall = thread::spawn(move || {
+            let mut held = Vec::new();
+            for _ in 0..2 {
+                if let Ok((s, _)) = listener.accept() {
+                    held.push(s); // keep the sockets open, send nothing
+                }
+            }
+            thread::sleep(Duration::from_millis(900));
+            drop(held);
+        });
+        let opts = WireOptions { deadline: Duration::from_secs(3), ..WireOptions::default() };
+        let t0 = Instant::now();
+        let res = measure_download_with(
+            addr,
+            2,
+            Duration::from_millis(500),
+            Duration::from_millis(100),
+            &opts,
+        );
+        assert!(res.is_err(), "a silent server produced data: {res:?}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(4),
+            "stalled server hung the test: {:?}",
+            t0.elapsed()
+        );
+        stall.join().unwrap();
+    }
+
+    #[test]
+    fn partial_connection_failure_still_reports_survivors() {
+        // A one-shot server: the first accepted connection is served a
+        // real download stream, later ones are closed immediately. The
+        // test must report the surviving connection's throughput and count
+        // the two casualties instead of failing wholesale.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let feeder = thread::spawn(move || {
+                let mut cmd = [0u8; 1];
+                if s.read_exact(&mut cmd).is_err() {
+                    return;
+                }
+                let payload = [0x5au8; CHUNK];
+                let t0 = Instant::now();
+                while t0.elapsed() < Duration::from_millis(900) {
+                    if s.write_all(&payload).is_err() {
+                        break;
+                    }
+                }
+            });
+            for _ in 0..2 {
+                if let Ok((s2, _)) = listener.accept() {
+                    drop(s2); // refuse service: immediate close
+                }
+            }
+            feeder.join().unwrap();
+        });
+        let res = measure_download(addr, 3, Duration::from_millis(600), Duration::from_millis(150))
+            .unwrap();
+        assert_eq!(res.connections, 1, "exactly one connection was served: {res:?}");
+        assert_eq!(res.connections_failed, 2, "{res:?}");
+        assert!(res.mean_all_mbps > 0.0, "survivor moved no data: {res:?}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn healthy_test_reports_no_failed_connections() {
+        let server = ShapedServer::start(80.0, 10.0).unwrap();
+        let res = measure_download(
+            server.addr(),
+            3,
+            Duration::from_millis(700),
+            Duration::from_millis(200),
+        )
+        .unwrap();
+        assert_eq!(res.connections, 3);
+        assert_eq!(res.connections_failed, 0);
     }
 
     #[test]

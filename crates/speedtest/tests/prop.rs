@@ -1,8 +1,13 @@
 //! Property-based tests for the speed-test domain model.
 
 use proptest::prelude::*;
-use st_netsim::Mbps;
-use st_speedtest::{pair_ndt_tests, NdtEvent, PlanCatalog};
+use st_netsim::{Band, Mbps};
+use st_speedtest::sanitize::{MAX_PLAUSIBLE_MBPS, MAX_PLAUSIBLE_RTT_MS};
+use st_speedtest::{
+    classify, pair_ndt_tests, sanitize, Access, Classification, Measurement, NdtEvent, PlanCatalog,
+    Platform,
+};
+use std::collections::HashSet;
 
 /// Strategy: a valid plan catalog (distinct download caps).
 fn catalog_strategy() -> impl Strategy<Value = PlanCatalog> {
@@ -138,6 +143,138 @@ proptest! {
                         );
                     }
                 }
+            }
+        }
+    }
+}
+
+/// Strategy: a quality value drawn from a pool of pathological and sane
+/// numbers — NaN, infinities, negatives, zero, implausibly large, normal.
+fn dirty_value_strategy() -> impl Strategy<Value = f64> {
+    prop::sample::select(vec![
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        -10.0,
+        0.0,
+        1e9,
+        1e8,
+        950.0,
+        50.0,
+        0.25,
+    ])
+}
+
+/// Strategy: a measurement whose numeric fields may each be corrupt, with
+/// ids drawn from a small pool so duplicate submissions occur.
+fn corrupt_measurement_strategy() -> impl Strategy<Value = Measurement> {
+    (
+        (0u64..30, dirty_value_strategy(), dirty_value_strategy()),
+        (dirty_value_strategy(), dirty_value_strategy(), 0u16..1200, 0u8..72),
+    )
+        .prop_map(|((id, down, up), (rtt, loaded, day, hour))| Measurement {
+            id,
+            user_id: id % 7,
+            platform: Platform::AndroidApp,
+            city: 0,
+            day,
+            hour,
+            down_mbps: down,
+            up_mbps: up,
+            rtt_ms: rtt,
+            loaded_rtt_ms: loaded,
+            access: Access::Wifi { band: Band::G5, rssi_dbm: -55.0 },
+            kernel_memory_gb: Some(4.0),
+            truth_tier: Some(1),
+        })
+}
+
+/// The invariants every record accepted by the sanitizer must satisfy.
+fn is_acceptable(m: &Measurement) -> bool {
+    m.down_mbps.is_finite()
+        && m.down_mbps > 0.0
+        && m.down_mbps <= MAX_PLAUSIBLE_MBPS
+        && m.up_mbps.is_finite()
+        && m.up_mbps > 0.0
+        && m.up_mbps <= MAX_PLAUSIBLE_MBPS
+        && m.rtt_ms.is_finite()
+        && m.rtt_ms > 0.0
+        && m.rtt_ms <= MAX_PLAUSIBLE_RTT_MS
+        && m.loaded_rtt_ms.is_finite()
+        && m.loaded_rtt_ms <= MAX_PLAUSIBLE_RTT_MS
+        && m.day < 365
+        && m.hour < 24
+}
+
+proptest! {
+    #[test]
+    fn sanitizer_never_panics_and_counts_add_up(
+        ms in prop::collection::vec(corrupt_measurement_strategy(), 0..80),
+    ) {
+        let n = ms.len();
+        let (kept, report) = sanitize(ms);
+        prop_assert_eq!(report.total() as usize, n);
+        prop_assert_eq!(report.accepted() as usize, kept.len());
+        // Per-reason counters partition the per-class totals exactly.
+        let by_reason: u64 = report.quarantine_reasons.values().sum();
+        prop_assert_eq!(by_reason, report.quarantined);
+        prop_assert!(report.repair_reasons.values().sum::<u64>() >= report.repaired);
+        // Every survivor satisfies the full invariant set, ids unique.
+        let mut seen = HashSet::new();
+        for m in &kept {
+            prop_assert!(is_acceptable(m), "unacceptable record survived: {m:?}");
+            prop_assert!(seen.insert(m.id), "duplicate id {} survived", m.id);
+        }
+    }
+
+    #[test]
+    fn classification_lands_in_exactly_one_stable_bucket(
+        m in corrupt_measurement_strategy(),
+    ) {
+        // Pure and repeatable.
+        let first = classify(&m, false);
+        prop_assert_eq!(&first, &classify(&m, false));
+        // The verdict agrees with what sanitize() does to a 1-record batch.
+        let (kept, report) = sanitize(vec![m.clone()]);
+        match first {
+            Classification::Clean => {
+                prop_assert_eq!(report.clean, 1);
+                prop_assert_eq!(&kept[..], std::slice::from_ref(&m));
+            }
+            Classification::Repaired(_) => {
+                prop_assert_eq!(report.repaired, 1);
+                prop_assert!(is_acceptable(&kept[0]), "repair left an invalid record");
+            }
+            Classification::Quarantined(_) => {
+                prop_assert_eq!(report.quarantined, 1);
+                prop_assert!(kept.is_empty());
+            }
+        }
+        // A record sanitize() accepted must be acceptable; one it dropped
+        // must not be.
+        prop_assert_eq!(kept.len() == 1, is_acceptable(&m) || report.repaired == 1);
+    }
+
+    #[test]
+    fn duplicate_flag_only_tightens_the_verdict(m in corrupt_measurement_strategy()) {
+        // Marking a record as duplicate never turns a quarantine into an
+        // acceptance, and only reroutes otherwise-acceptable records.
+        let plain = classify(&m, false);
+        let dup = classify(&m, true);
+        match (plain, dup) {
+            (Classification::Quarantined(a), Classification::Quarantined(b)) => {
+                prop_assert_eq!(a, b, "duplicate flag changed an existing quarantine reason");
+            }
+            (Classification::Clean | Classification::Repaired(_), q) => {
+                prop_assert_eq!(
+                    q,
+                    Classification::Quarantined(
+                        st_speedtest::QuarantineReason::DuplicateId
+                    )
+                );
+            }
+            (Classification::Quarantined(_), other) => {
+                prop_assert!(false, "quarantine became {other:?} under duplicate flag");
             }
         }
     }

@@ -12,10 +12,11 @@ use speedtest_context::datagen::{
     generate_ookla, inject, City, CityConfig, FaultScenario, Population,
 };
 use speedtest_context::speedtest::Measurement;
+use std::collections::HashSet;
 
 struct Scenario {
     tests: Vec<Measurement>,
-    affected: Vec<u64>,
+    affected: HashSet<u64>,
     model: BstModel,
     catalog: speedtest_context::speedtest::PlanCatalog,
 }

@@ -106,6 +106,17 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
     }
 }
 
+impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn write_json(&self, w: &mut json::Writer) {
+        w.begin_object();
+        for (k, v) in self {
+            w.key(k.as_ref());
+            v.write_json(w);
+        }
+        w.end_object();
+    }
+}
+
 macro_rules! impl_serialize_tuple {
     ($(($($name:ident : $idx:tt),+))*) => {$(
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {
