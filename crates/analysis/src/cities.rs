@@ -29,31 +29,26 @@ pub struct CitySummary {
 pub fn run(analyses: &[&CityAnalysis]) -> (TableResult, Vec<CitySummary>) {
     let mut summaries = Vec::new();
     for a in analyses {
-        let downs: Vec<f64> = a.dataset.ookla.iter().map(|m| m.down_mbps).collect();
-        let raw_median = Ecdf::new(&downs).map(|e| e.median()).unwrap_or(f64::NAN);
+        let downs = a.ookla.down();
+        let raw_median = Ecdf::new(downs).map(|e| e.median()).unwrap_or(f64::NAN);
+        let group_sels = &a.ookla.assigned().group_sels;
         let group_medians = a
             .catalog()
             .tier_groups()
             .iter()
             .enumerate()
             .map(|(gi, g)| {
-                let vals: Vec<f64> = a
-                    .dataset
-                    .ookla
-                    .iter()
-                    .zip(&a.ookla_tiers)
-                    .filter(|(_, t)| t.map(|t| a.group_index(t)) == Some(Some(gi)))
-                    .map(|(m, _)| m.down_mbps)
-                    .collect();
+                // Raw (not normalized) download speeds of the group's rows.
+                let vals = group_sels[gi].gather(downs);
                 let med = Ecdf::new(&vals).map(|e| e.median()).unwrap_or(f64::NAN);
                 (g.label(), med)
             })
             .collect();
         summaries.push(CitySummary {
-            city: a.dataset.config.city.label().to_string(),
+            city: a.config.city.label().to_string(),
             raw_median,
             group_medians,
-            gini: gini(&downs).unwrap_or(f64::NAN),
+            gini: gini(downs).unwrap_or(f64::NAN),
         });
     }
 

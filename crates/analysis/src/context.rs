@@ -1,103 +1,108 @@
-//! Shared analysis context: a generated city dataset plus fitted BST
-//! assignments for every measurement.
+//! Shared analysis context: columnar campaign stores plus fitted BST
+//! models for one city.
 //!
 //! The paper fits BST separately per platform dataset (Table 3 reports
 //! per-platform cluster means), so [`CityAnalysis`] fits one model per
 //! Ookla platform, one for the M-Lab campaign, and one for the MBA panel,
-//! then scatters tier assignments back onto the measurement vectors.
+//! then scatters tier and plan-cap assignments onto the stores as
+//! derived columns ([`st_speedtest::AssignedColumns`]). Figure and table
+//! modules read the stores through [`st_speedtest::Selection`]s and
+//! column getters; nothing downstream clones `Vec<Measurement>` rows.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use st_bst::{BstConfig, BstModel};
-use st_datagen::CityDataset;
+use st_datagen::{CityConfig, CityDataset};
 use st_netsim::Mbps;
-use st_speedtest::{Measurement, PlanCatalog, Platform};
+use st_speedtest::{CampaignStore, PlanCatalog, Platform};
 use st_stats::Ecdf;
 
 use crate::results::SeriesData;
 
-/// A city dataset with BST fitted to each sub-campaign.
+/// A city's campaigns, stored columnar, with BST fitted to each.
 pub struct CityAnalysis {
-    /// The underlying dataset.
-    pub dataset: CityDataset,
-    /// Fitted per-platform Ookla models with the measurement indices
-    /// (into `dataset.ookla`) each model was fitted on.
-    pub ookla_models: Vec<(Platform, BstModel, Vec<usize>)>,
-    /// BST tier per Ookla measurement (parallel to `dataset.ookla`).
-    pub ookla_tiers: Vec<Option<usize>>,
+    /// The city's generation config (catalog, city id, scale).
+    pub config: CityConfig,
+    /// Ookla campaign as columns (tier/cap assignments scattered on).
+    pub ookla: CampaignStore,
+    /// M-Lab campaign as columns.
+    pub mlab: CampaignStore,
+    /// MBA panel as columns.
+    pub mba: CampaignStore,
+    /// Fitted per-platform Ookla models.
+    pub ookla_models: Vec<(Platform, BstModel)>,
     /// The M-Lab model.
     pub mlab_model: Option<BstModel>,
-    /// BST tier per M-Lab measurement (parallel to `dataset.mlab`).
-    pub mlab_tiers: Vec<Option<usize>>,
     /// The MBA model.
     pub mba_model: Option<BstModel>,
-    /// BST tier per MBA measurement (parallel to `dataset.mba`).
-    pub mba_tiers: Vec<Option<usize>>,
 }
 
 impl CityAnalysis {
     /// Fit BST to every sub-campaign of `dataset`.
+    ///
+    /// Determinism contract: one RNG seeded from `seed` is threaded
+    /// sequentially through the fits in a fixed order — Ookla platforms
+    /// in `Platform::all()` order (platforms with < 30 samples are
+    /// skipped *without* consuming randomness), then M-Lab, then MBA —
+    /// so fits are bit-identical to the row-oriented pipeline this
+    /// store-backed version replaced.
     pub fn new(dataset: CityDataset, seed: u64) -> Self {
         let cfg = BstConfig::default();
         let catalog = dataset.config.catalog.clone();
         let mut rng = StdRng::seed_from_u64(seed);
 
+        let ookla = CampaignStore::from_measurements(&dataset.ookla);
+        let mlab = CampaignStore::from_measurements(&dataset.mlab);
+        let mba = CampaignStore::from_measurements(&dataset.mba);
+        let caps = catalog.upload_caps();
+        let cap_index = |cap: Mbps| caps.iter().position(|&c| c == cap).map(|k| k as i32);
+
         let mut ookla_models = Vec::new();
-        let mut ookla_tiers = vec![None; dataset.ookla.len()];
+        let mut ookla_tiers = vec![None; ookla.len()];
+        let mut ookla_caps = vec![-1i32; ookla.len()];
         for platform in Platform::all() {
             if platform == Platform::NdtWeb {
                 continue;
             }
-            let indices: Vec<usize> = dataset
-                .ookla
-                .iter()
-                .enumerate()
-                .filter(|(_, m)| m.platform == platform)
-                .map(|(i, _)| i)
-                .collect();
-            if indices.len() < 30 {
+            let sel = ookla.platform_sel(platform);
+            if sel.len() < 30 {
                 continue; // too thin to cluster meaningfully
             }
-            let down: Vec<f64> = indices.iter().map(|&i| dataset.ookla[i].down_mbps).collect();
-            let up: Vec<f64> = indices.iter().map(|&i| dataset.ookla[i].up_mbps).collect();
+            let down = sel.gather(ookla.down());
+            let up = sel.gather(ookla.up());
             if let Ok(model) = BstModel::fit(&down, &up, &catalog, &cfg, &mut rng) {
-                for (j, &i) in indices.iter().enumerate() {
+                for (j, i) in sel.iter().enumerate() {
                     ookla_tiers[i] = model.assignments[j].tier;
+                    ookla_caps[i] =
+                        model.assignments[j].upload_cap.and_then(cap_index).unwrap_or(-1);
                 }
-                ookla_models.push((platform, model, indices));
+                ookla_models.push((platform, model));
             }
         }
+        ookla.set_assignments(ookla_tiers, ookla_caps, &catalog);
 
-        let (mlab_model, mlab_tiers) = fit_campaign(&dataset.mlab, &catalog, &cfg, &mut rng);
-        let (mba_model, mba_tiers) = fit_campaign(&dataset.mba, &catalog, &cfg, &mut rng);
+        let mlab_model = fit_campaign(&mlab, &catalog, &cfg, &mut rng);
+        let mba_model = fit_campaign(&mba, &catalog, &cfg, &mut rng);
 
         CityAnalysis {
-            dataset,
+            config: dataset.config,
+            ookla,
+            mlab,
+            mba,
             ookla_models,
-            ookla_tiers,
             mlab_model,
-            mlab_tiers,
             mba_model,
-            mba_tiers,
         }
     }
 
     /// The city's plan catalog.
     pub fn catalog(&self) -> &PlanCatalog {
-        &self.dataset.config.catalog
+        &self.config.catalog
     }
 
     /// Advertised download speed of a tier.
     pub fn plan_down(&self, tier: usize) -> Option<Mbps> {
         self.catalog().plan(tier).map(|p| p.down)
-    }
-
-    /// Download speed normalized by the assigned tier's plan speed,
-    /// clamped to `[0, 1]` as in the paper's figures.
-    pub fn normalized_down(&self, m: &Measurement, tier: Option<usize>) -> Option<f64> {
-        let tier = tier?;
-        let plan = self.plan_down(tier)?;
-        Some((m.down_mbps / plan.0).clamp(0.0, 1.0))
     }
 
     /// Tier-group index (0-based, ascending upload cap) containing `tier`.
@@ -107,50 +112,45 @@ impl CityAnalysis {
 
     /// The Ookla model fitted for `platform`.
     pub fn ookla_model(&self, platform: Platform) -> Option<&BstModel> {
-        self.ookla_models.iter().find(|(p, ..)| *p == platform).map(|(_, m, _)| m)
-    }
-
-    /// Ookla measurements of one platform with their assigned tiers.
-    pub fn ookla_platform(&self, platform: Platform) -> Vec<(&Measurement, Option<usize>)> {
-        self.dataset
-            .ookla
-            .iter()
-            .zip(&self.ookla_tiers)
-            .filter(|(m, _)| m.platform == platform)
-            .map(|(m, t)| (m, *t))
-            .collect()
-    }
-
-    /// Ookla native-app measurements (everything but the web portal).
-    pub fn ookla_native(&self) -> Vec<(&Measurement, Option<usize>)> {
-        self.dataset
-            .ookla
-            .iter()
-            .zip(&self.ookla_tiers)
-            .filter(|(m, _)| m.platform.has_device_metadata())
-            .map(|(m, t)| (m, *t))
-            .collect()
+        self.ookla_models.iter().find(|(p, _)| *p == platform).map(|(_, m)| m)
     }
 }
 
+/// Fit one whole-campaign model and scatter its assignments onto the
+/// store (all-`None` when the campaign is too thin or the fit fails, so
+/// downstream readers never observe an unassigned store).
 fn fit_campaign(
-    ms: &[Measurement],
+    store: &CampaignStore,
     catalog: &PlanCatalog,
     cfg: &BstConfig,
     rng: &mut StdRng,
-) -> (Option<BstModel>, Vec<Option<usize>>) {
-    if ms.len() < 30 {
-        return (None, vec![None; ms.len()]);
-    }
-    let down: Vec<f64> = ms.iter().map(|m| m.down_mbps).collect();
-    let up: Vec<f64> = ms.iter().map(|m| m.up_mbps).collect();
-    match BstModel::fit(&down, &up, catalog, cfg, rng) {
-        Ok(model) => {
-            let tiers = model.tiers();
-            (Some(model), tiers)
+) -> Option<BstModel> {
+    let n = store.len();
+    let none = || (vec![None; n], vec![-1i32; n]);
+    let caps = catalog.upload_caps();
+    let (model, (tiers, cap_idx)) = if n < 30 {
+        (None, none())
+    } else {
+        match BstModel::fit(store.down(), store.up(), catalog, cfg, rng) {
+            Ok(model) => {
+                let cap_idx = model
+                    .assignments
+                    .iter()
+                    .map(|a| {
+                        a.upload_cap
+                            .and_then(|c| caps.iter().position(|&k| k == c))
+                            .map(|k| k as i32)
+                            .unwrap_or(-1)
+                    })
+                    .collect();
+                let tiers = model.tiers();
+                (Some(model), (tiers, cap_idx))
+            }
+            Err(_) => (None, none()),
         }
-        Err(_) => (None, vec![None; ms.len()]),
-    }
+    };
+    store.set_assignments(tiers, cap_idx, catalog);
+    model
 }
 
 /// Build a CDF series (capped at 200 plot points) from raw values.
@@ -184,25 +184,27 @@ mod tests {
     #[test]
     fn assignments_cover_most_measurements() {
         let a = analysis();
-        let assigned = a.ookla_tiers.iter().filter(|t| t.is_some()).count();
+        let tiers = &a.ookla.assigned().tier;
+        let assigned = tiers.iter().filter(|t| t.is_some()).count();
         assert!(
-            assigned as f64 / a.ookla_tiers.len() as f64 > 0.7,
+            assigned as f64 / tiers.len() as f64 > 0.7,
             "only {assigned}/{} Ookla tests assigned",
-            a.ookla_tiers.len()
+            tiers.len()
         );
-        let mba_assigned = a.mba_tiers.iter().filter(|t| t.is_some()).count();
-        assert!(mba_assigned as f64 / a.mba_tiers.len() as f64 > 0.9);
+        let mba_tiers = &a.mba.assigned().tier;
+        let mba_assigned = mba_tiers.iter().filter(|t| t.is_some()).count();
+        assert!(mba_assigned as f64 / mba_tiers.len() as f64 > 0.9);
     }
 
     #[test]
     fn assigned_tiers_mostly_match_truth_on_mba() {
         let a = analysis();
         let (mut ok, mut n) = (0usize, 0usize);
-        for (m, t) in a.dataset.mba.iter().zip(&a.mba_tiers) {
-            if let (Some(truth), Some(got)) = (m.truth_tier, t) {
+        for (truth, t) in a.mba.truth_tier().iter().zip(&a.mba.assigned().tier) {
+            if let (Some(truth), Some(got)) = (truth, t) {
                 n += 1;
                 // Score the upload *group*, the Table 2 criterion.
-                let truth_group = a.group_index(truth);
+                let truth_group = a.group_index(*truth);
                 let got_group = a.group_index(*got);
                 if truth_group == got_group {
                     ok += 1;
@@ -216,9 +218,12 @@ mod tests {
     #[test]
     fn normalized_download_is_in_unit_interval() {
         let a = analysis();
-        for (m, t) in a.dataset.ookla.iter().zip(&a.ookla_tiers) {
-            if let Some(nd) = a.normalized_down(m, *t) {
-                assert!((0.0..=1.0).contains(&nd));
+        let asg = a.ookla.assigned();
+        for (t, nd) in asg.tier.iter().zip(&asg.normalized_down) {
+            if t.is_some() {
+                assert!((0.0..=1.0).contains(nd), "assigned rows normalize into [0, 1]");
+            } else {
+                assert!(nd.is_nan(), "unassigned rows carry NaN");
             }
         }
     }
@@ -229,6 +234,12 @@ mod tests {
         assert_eq!(a.group_index(1), Some(0));
         assert_eq!(a.group_index(6), Some(3));
         assert_eq!(a.group_index(99), None);
+        // The scattered group column agrees with the catalog mapping.
+        let asg = a.ookla.assigned();
+        for (t, g) in asg.tier.iter().zip(&asg.group_idx) {
+            let expect = t.and_then(|t| a.group_index(t)).map(|g| g as i32).unwrap_or(-1);
+            assert_eq!(*g, expect);
+        }
     }
 
     #[test]
@@ -241,10 +252,11 @@ mod tests {
     }
 
     #[test]
-    fn platform_filters() {
+    fn platform_selections_partition_the_campaign() {
         let a = analysis();
-        let native = a.ookla_native();
-        let web = a.ookla_platform(Platform::Web);
-        assert_eq!(native.len() + web.len(), a.dataset.ookla.len());
+        let native = a.ookla.native_sel();
+        let web = a.ookla.platform_sel(Platform::Web);
+        assert_eq!(native.len() + web.len(), a.ookla.len());
+        assert!(native.and(web).is_empty());
     }
 }

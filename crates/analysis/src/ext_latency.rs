@@ -33,12 +33,12 @@ fn median(mut v: Vec<f64>) -> f64 {
 
 /// Compute loaded-latency CDFs (idle vs loaded) and per-group bufferbloat.
 pub fn run(a: &CityAnalysis) -> (CdfResult, LatencySummary) {
-    let idle: Vec<f64> = a.dataset.ookla.iter().map(|m| m.rtt_ms).collect();
-    let loaded: Vec<f64> = a.dataset.ookla.iter().map(|m| m.loaded_rtt_ms).collect();
+    let store = &a.ookla;
+    let (idle, loaded) = (store.rtt(), store.loaded_rtt());
 
     let mut series = Vec::new();
     let mut medians = Vec::new();
-    for (label, vals) in [("Idle RTT", &idle), ("Loaded RTT", &loaded)] {
+    for (label, vals) in [("Idle RTT", idle), ("Loaded RTT", loaded)] {
         if let Some((s, m)) = ecdf_series(label, vals) {
             series.push(s);
             medians.push(m);
@@ -46,18 +46,13 @@ pub fn run(a: &CityAnalysis) -> (CdfResult, LatencySummary) {
     }
 
     let groups = a.catalog().tier_groups();
+    let group_sels = &store.assigned().group_sels;
     let bloat_by_group = groups
         .iter()
         .enumerate()
         .map(|(gi, g)| {
-            let bloat: Vec<f64> = a
-                .dataset
-                .ookla
-                .iter()
-                .zip(&a.ookla_tiers)
-                .filter(|(_, t)| t.map(|t| a.group_index(t)) == Some(Some(gi)))
-                .map(|(m, _)| (m.loaded_rtt_ms - m.rtt_ms).max(0.0))
-                .collect();
+            let bloat: Vec<f64> =
+                group_sels[gi].iter().map(|i| (loaded[i] - idle[i]).max(0.0)).collect();
             (g.label(), median(bloat))
         })
         .collect();
@@ -65,7 +60,7 @@ pub fn run(a: &CityAnalysis) -> (CdfResult, LatencySummary) {
     (
         CdfResult {
             id: "ext_latency".into(),
-            title: format!("{}: idle vs loaded RTT (extension)", a.dataset.config.city.label()),
+            title: format!("{}: idle vs loaded RTT (extension)", a.config.city.label()),
             x_label: "RTT (ms)".into(),
             series,
             medians: medians.clone(),
@@ -119,13 +114,8 @@ mod tests {
     #[test]
     fn bloat_is_nonnegative_per_measurement() {
         let a = analysis();
-        for m in &a.dataset.ookla {
-            assert!(
-                m.loaded_rtt_ms >= m.rtt_ms - 1e-9,
-                "loaded {} < idle {}",
-                m.loaded_rtt_ms,
-                m.rtt_ms
-            );
+        for (loaded, idle) in a.ookla.loaded_rtt().iter().zip(a.ookla.rtt()) {
+            assert!(*loaded >= idle - 1e-9, "loaded {loaded} < idle {idle}");
         }
     }
 }

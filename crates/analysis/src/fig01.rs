@@ -8,84 +8,66 @@
 
 use crate::context::{ecdf_series, CityAnalysis};
 use crate::results::CdfResult;
-use st_netsim::{Band, MemoryClass};
-use st_speedtest::{Access, Platform};
+use st_speedtest::store::{BAND_5, MEMORY_NONE};
+use st_speedtest::{Platform, Selection};
 
 /// Compute the Figure 1 series for a city.
 pub fn run(a: &CityAnalysis) -> CdfResult {
     let top = a.catalog().len();
+    let store = &a.ookla;
+    let tier = &store.assigned().tier;
     let mut series = Vec::new();
     let mut medians = Vec::new();
 
-    let mut push = |label: &str, values: Vec<f64>| {
-        if let Some((s, m)) = ecdf_series(label, &values) {
+    let mut push = |label: &str, values: &[f64]| {
+        if let Some((s, m)) = ecdf_series(label, values) {
             series.push(s);
             medians.push(m);
         }
     };
 
     // Uncontextualized: every Ookla test.
-    push("Uncontextualized", a.dataset.ookla.iter().map(|m| m.down_mbps).collect());
+    push("Uncontextualized", store.down());
 
     // Lowest tier (Tier 1).
     push(
         &format!("Tier 1: {:.0} Mbps", a.plan_down(1).map(|p| p.0).unwrap_or(0.0)),
-        a.dataset
-            .ookla
-            .iter()
-            .zip(&a.ookla_tiers)
-            .filter(|(_, t)| **t == Some(1))
-            .map(|(m, _)| m.down_mbps)
-            .collect(),
+        &Selection::from_pred(store.len(), |i| tier[i] == Some(1)).gather(store.down()),
     );
 
     // Top tier.
     push(
         &format!("Tier {top}: {:.0} Mbps", a.plan_down(top).map(|p| p.0).unwrap_or(0.0)),
-        a.dataset
-            .ookla
-            .iter()
-            .zip(&a.ookla_tiers)
-            .filter(|(_, t)| **t == Some(top))
-            .map(|(m, _)| m.down_mbps)
-            .collect(),
+        &Selection::from_pred(store.len(), |i| tier[i] == Some(top)).gather(store.down()),
     );
 
     // Top tier, Android, no local bottleneck (5 GHz, ≥ -50 dBm, > 2 GB).
+    let (band, rssi, memory) = (store.wifi_band(), store.rssi_dbm(), store.memory_class());
     push(
         &format!("Tier {top}-Android"),
-        a.dataset
-            .ookla
-            .iter()
-            .zip(&a.ookla_tiers)
-            .filter(|(m, t)| {
-                **t == Some(top)
-                    && m.platform == Platform::AndroidApp
-                    && matches!(
-                        m.access,
-                        Access::Wifi { band: Band::G5, rssi_dbm } if rssi_dbm >= -50.0
-                    )
-                    && m.memory_class().is_some_and(|c| c != MemoryClass::Under2G)
+        &store
+            .platform_sel(Platform::AndroidApp)
+            .refine(|i| {
+                tier[i] == Some(top)
+                    && band[i] == BAND_5
+                    && rssi[i] >= -50.0
+                    && memory[i] > MEMORY_NONE + 1 // reported and above "< 2 GB"
             })
-            .map(|(m, _)| m.down_mbps)
-            .collect(),
+            .gather(store.down()),
     );
 
     // Top tier on Ethernet.
     push(
         &format!("Tier {top}-Ethernet"),
-        a.dataset
-            .ookla
-            .iter()
-            .zip(&a.ookla_tiers)
-            .filter(|(m, t)| **t == Some(top) && m.platform == Platform::DesktopEthernetApp)
-            .map(|(m, _)| m.down_mbps)
-            .collect(),
+        &store
+            .platform_sel(Platform::DesktopEthernetApp)
+            .refine(|i| tier[i] == Some(top))
+            .gather(store.down()),
     );
 
     CdfResult {
         id: "fig01".into(),
-        title: format!("{}: download CDFs by context", a.dataset.config.city.label()),
+        title: format!("{}: download CDFs by context", a.config.city.label()),
         x_label: "Download Speed (Mbps)".into(),
         series,
         medians,

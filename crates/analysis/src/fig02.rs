@@ -17,13 +17,13 @@ pub const MIN_TESTS: usize = 5;
 
 /// Compute the Figure 2 series for a city.
 pub fn run(a: &CityAnalysis) -> CdfResult {
+    let store = &a.ookla;
+    let (user, down, up) = (store.user_id(), store.down(), store.up());
     let mut per_user: HashMap<u64, (Vec<f64>, Vec<f64>)> = HashMap::new();
-    for m in &a.dataset.ookla {
-        if m.platform == Platform::IosApp {
-            let entry = per_user.entry(m.user_id).or_default();
-            entry.0.push(m.down_mbps);
-            entry.1.push(m.up_mbps);
-        }
+    for i in store.platform_sel(Platform::IosApp).iter() {
+        let entry = per_user.entry(user[i]).or_default();
+        entry.0.push(down[i]);
+        entry.1.push(up[i]);
     }
 
     let mut down_factors = Vec::new();
@@ -53,7 +53,7 @@ pub fn run(a: &CityAnalysis) -> CdfResult {
         id: "fig02".into(),
         title: format!(
             "{}: consistency factor, iOS users with >= {MIN_TESTS} tests",
-            a.dataset.config.city.label()
+            a.config.city.label()
         ),
         x_label: "Consistency Factor".into(),
         series,

@@ -5,22 +5,23 @@
 
 use crate::context::CityAnalysis;
 use crate::results::{DensityResult, SeriesData};
-use st_stats::{Bandwidth, KernelDensity};
+use st_stats::KernelDensity;
 
 /// Compute the MBA upload-density figure for a state.
 pub fn run(a: &CityAnalysis) -> DensityResult {
-    let uploads: Vec<f64> = a.dataset.mba.iter().map(|m| m.up_mbps).collect();
+    let uploads = a.mba.up();
     let caps: Vec<f64> = a.catalog().upload_caps().iter().map(|c| c.0).collect();
 
     let mut series = Vec::new();
+    let mut notes = Vec::new();
     // Halved Silverman bandwidth, as in BST's peak counting: the upload
     // distribution is multi-scale and the global rule over-smooths.
-    let bw = st_stats::kde::silverman_bandwidth(&uploads) * 0.5;
-    let rule = if bw > 0.0 { Bandwidth::Fixed(bw) } else { Bandwidth::Silverman };
-    if let Ok(kde) = KernelDensity::fit(&uploads, rule) {
-        if let Ok(grid) = kde.auto_grid(400) {
-            series.push(SeriesData::new("MBA uploads", grid));
-        }
+    match KernelDensity::fit(uploads, st_stats::kde::scaled_silverman(uploads, 0.5)) {
+        Ok(kde) => match kde.auto_grid(400) {
+            Ok(grid) => series.push(SeriesData::new("MBA uploads", grid)),
+            Err(e) => notes.push(format!("KDE grid failed for MBA uploads: {e}")),
+        },
+        Err(e) => notes.push(format!("KDE fit failed for MBA uploads: {e}")),
     }
     let cluster_means = a
         .mba_model
@@ -39,11 +40,12 @@ pub fn run(a: &CityAnalysis) -> DensityResult {
 
     DensityResult {
         id: "fig04".into(),
-        title: format!("{}: MBA upload speed density", a.dataset.config.city.state_label()),
+        title: format!("{}: MBA upload speed density", a.config.city.state_label()),
         x_label: "Upload Speed (Mbps)".into(),
         series,
         plan_lines: caps,
         cluster_means,
+        notes,
     }
 }
 
@@ -61,6 +63,7 @@ mod tests {
     fn density_peaks_near_offered_caps() {
         let r = run(&analysis());
         assert_eq!(r.series.len(), 1);
+        assert!(r.notes.is_empty(), "healthy fit carries no notes: {:?}", r.notes);
         let peaks = find_peaks_on_grid(&r.series[0].points, 0.03);
         // Every prominent peak is near some cap.
         for p in &peaks {

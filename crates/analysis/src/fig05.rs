@@ -13,15 +13,17 @@ use st_stats::{Bandwidth, KernelDensity};
 /// One density figure per tier group of the state's catalog.
 pub fn run(a: &CityAnalysis) -> Vec<DensityResult> {
     let Some(model) = &a.mba_model else { return Vec::new() };
-    let downs: Vec<f64> = a.dataset.mba.iter().map(|m| m.down_mbps).collect();
+    let cap_sels = &a.mba.assigned().cap_sels;
 
     let mut out = Vec::new();
-    for group in a.catalog().tier_groups() {
-        let members = model.uploads.members_of(group.up);
+    for (gi, group) in a.catalog().tier_groups().iter().enumerate() {
+        // Tier groups and upload caps share one ascending order, so the
+        // group's memoized cap selection is the stage-1 cluster members.
+        let members = &cap_sels[gi];
         if members.len() < 10 {
             continue;
         }
-        let values: Vec<f64> = members.iter().map(|&i| downs[i]).collect();
+        let values = members.gather(a.mba.down());
         let mut series = Vec::new();
         if let Ok(kde) = KernelDensity::fit(&values, Bandwidth::Silverman) {
             if let Ok(grid) = kde.auto_grid(400) {
@@ -42,13 +44,14 @@ pub fn run(a: &CityAnalysis) -> Vec<DensityResult> {
             id: format!("fig05_{}", group.label().replace(' ', "").to_lowercase()),
             title: format!(
                 "{}: MBA download density, {}",
-                a.dataset.config.city.state_label(),
+                a.config.city.state_label(),
                 group.label()
             ),
             x_label: "Download Speed (Mbps)".into(),
             series,
             plan_lines,
             cluster_means,
+            notes: Vec::new(),
         });
     }
     out

@@ -29,28 +29,18 @@ pub fn run(a: &CityAnalysis) -> DensityResult {
         }
     };
 
-    add(
-        "Ookla-Android",
-        a.dataset
-            .ookla
-            .iter()
-            .filter(|m| m.platform == Platform::AndroidApp)
-            .map(|m| m.up_mbps)
-            .collect(),
-    );
-    add(
-        "Ookla-Web",
-        a.dataset.ookla.iter().filter(|m| m.platform == Platform::Web).map(|m| m.up_mbps).collect(),
-    );
-    add("MLab-Web", a.dataset.mlab.iter().map(|m| m.up_mbps).collect());
+    add("Ookla-Android", a.ookla.platform_sel(Platform::AndroidApp).gather(a.ookla.up()));
+    add("Ookla-Web", a.ookla.platform_sel(Platform::Web).gather(a.ookla.up()));
+    add("MLab-Web", a.mlab.up().to_vec());
 
     DensityResult {
         id: "fig06".into(),
-        title: format!("{}: crowdsourced upload speed density", a.dataset.config.city.label()),
+        title: format!("{}: crowdsourced upload speed density", a.config.city.label()),
         x_label: "Upload Speed (Mbps)".into(),
         series,
         plan_lines: caps,
         cluster_means: Vec::new(),
+        notes: Vec::new(),
     }
 }
 

@@ -11,20 +11,21 @@ use st_stats::{Bandwidth, KernelDensity};
 
 /// One density figure per tier group, over Android tests.
 pub fn run(a: &CityAnalysis) -> Vec<DensityResult> {
-    let Some((_, model, indices)) =
-        a.ookla_models.iter().find(|(p, ..)| *p == Platform::AndroidApp)
-    else {
+    let Some(model) = a.ookla_model(Platform::AndroidApp) else {
         return Vec::new();
     };
-    let downs: Vec<f64> = indices.iter().map(|&i| a.dataset.ookla[i].down_mbps).collect();
+    let android = a.ookla.platform_sel(Platform::AndroidApp);
+    let cap_sels = &a.ookla.assigned().cap_sels;
 
     let mut out = Vec::new();
-    for group in a.catalog().tier_groups() {
-        let members = model.uploads.members_of(group.up);
+    for (gi, group) in a.catalog().tier_groups().iter().enumerate() {
+        // Android rows whose stage-1 upload cluster matched this group's
+        // cap: the memoized per-cap selection narrowed to the platform.
+        let members = cap_sels[gi].and(android);
         if members.len() < 10 {
             continue;
         }
-        let values: Vec<f64> = members.iter().map(|&i| downs[i]).collect();
+        let values = members.gather(a.ookla.down());
         let mut series = Vec::new();
         if let Ok(kde) = KernelDensity::fit(&values, Bandwidth::Silverman) {
             if let Ok(grid) = kde.auto_grid(400) {
@@ -35,7 +36,7 @@ pub fn run(a: &CityAnalysis) -> Vec<DensityResult> {
             id: format!("fig07_{}", group.label().replace(' ', "").to_lowercase()),
             title: format!(
                 "{}: Android download density, {}",
-                a.dataset.config.city.label(),
+                a.config.city.label(),
                 group.label()
             ),
             x_label: "Download Speed (Mbps)".into(),
@@ -45,6 +46,7 @@ pub fn run(a: &CityAnalysis) -> Vec<DensityResult> {
                 .downloads_for(group.up)
                 .map(|d| d.component_means())
                 .unwrap_or_default(),
+            notes: Vec::new(),
         });
     }
     out

@@ -10,9 +10,9 @@ use st_bst::{alpha_values, AlphaConfig};
 
 /// Compute the α CDF for a city's Ookla campaign.
 pub fn run(a: &CityAnalysis) -> CdfResult {
-    let user_ids: Vec<u64> = a.dataset.ookla.iter().map(|m| m.user_id).collect();
-    let months: Vec<usize> = a.dataset.ookla.iter().map(|m| m.month()).collect();
-    let alphas = alpha_values(&user_ids, &months, &a.ookla_tiers, &AlphaConfig::default());
+    let months: Vec<usize> = a.ookla.month().iter().map(|&m| m as usize).collect();
+    let alphas =
+        alpha_values(a.ookla.user_id(), &months, &a.ookla.assigned().tier, &AlphaConfig::default());
 
     let mut series = Vec::new();
     let mut medians = Vec::new();
@@ -23,10 +23,7 @@ pub fn run(a: &CityAnalysis) -> CdfResult {
 
     CdfResult {
         id: "fig08".into(),
-        title: format!(
-            "{}: per-user-month BST assignment consistency",
-            a.dataset.config.city.label()
-        ),
+        title: format!("{}: per-user-month BST assignment consistency", a.config.city.label()),
         x_label: "alpha".into(),
         series,
         medians,

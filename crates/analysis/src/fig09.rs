@@ -9,8 +9,9 @@
 
 use crate::context::{ecdf_series, CityAnalysis};
 use crate::results::CdfResult;
-use st_netsim::{Band, MemoryClass};
-use st_speedtest::{Access, Measurement, Platform};
+use st_netsim::MemoryClass;
+use st_speedtest::store::{memory_code, ACCESS_ETHERNET, ACCESS_WIFI, BAND_2_4, BAND_5};
+use st_speedtest::Platform;
 
 /// The four panels in order (a, b, c, d).
 pub fn run(a: &CityAnalysis) -> Vec<CdfResult> {
@@ -28,28 +29,25 @@ fn build(a: &CityAnalysis, id: &str, title: &str, groups: Vec<(String, Vec<f64>)
     }
     CdfResult {
         id: id.into(),
-        title: format!("{}: {title}", a.dataset.config.city.label()),
+        title: format!("{}: {title}", a.config.city.label()),
         x_label: "Normalized Download Speed".into(),
         series,
         medians,
     }
 }
 
-/// Normalized downloads for native tests matching `pred`.
-fn normalized<'a>(
-    a: &'a CityAnalysis,
-    pred: impl Fn(&Measurement) -> bool + 'a,
-) -> impl Iterator<Item = f64> + 'a {
-    a.ookla_native()
-        .into_iter()
-        .filter(move |(m, _)| pred(m))
-        .filter_map(|(m, t)| a.normalized_down(m, t))
+/// Normalized downloads of tier-assigned native tests matching `pred`
+/// (one predicate pass over the native selection).
+fn normalized(a: &CityAnalysis, pred: impl Fn(usize) -> bool) -> Vec<f64> {
+    let asg = a.ookla.assigned();
+    a.ookla.native_sel().refine(|i| pred(i) && asg.tier[i].is_some()).gather(&asg.normalized_down)
 }
 
 /// Panel (a): access type.
 pub fn panel_a(a: &CityAnalysis) -> CdfResult {
-    let wifi: Vec<f64> = normalized(a, |m| m.access.is_wifi()).collect();
-    let eth: Vec<f64> = normalized(a, |m| m.access == Access::Ethernet).collect();
+    let access = a.ookla.access_class();
+    let wifi = normalized(a, |i| access[i] == ACCESS_WIFI);
+    let eth = normalized(a, |i| access[i] == ACCESS_ETHERNET);
     build(
         a,
         "fig09a",
@@ -60,17 +58,10 @@ pub fn panel_a(a: &CityAnalysis) -> CdfResult {
 
 /// Panel (b): WiFi band (Android only — the platform that reports it).
 pub fn panel_b(a: &CityAnalysis) -> CdfResult {
-    let band_of = |m: &Measurement| match m.access {
-        Access::Wifi { band, .. } => Some(band),
-        _ => None,
-    };
-    let g24: Vec<f64> = normalized(a, move |m| {
-        m.platform == Platform::AndroidApp && band_of(m) == Some(Band::G2_4)
-    })
-    .collect();
-    let g5: Vec<f64> =
-        normalized(a, move |m| m.platform == Platform::AndroidApp && band_of(m) == Some(Band::G5))
-            .collect();
+    let (platform, band) = (a.ookla.platform(), a.ookla.wifi_band());
+    let android = |i: usize| platform[i] == Platform::AndroidApp;
+    let g24 = normalized(a, |i| android(i) && band[i] == BAND_2_4);
+    let g5 = normalized(a, |i| android(i) && band[i] == BAND_5);
     build(
         a,
         "fig09b",
@@ -89,18 +80,16 @@ pub const RSSI_BINS: [(&str, f64, f64); 4] = [
 
 /// Panel (c): RSSI bins over 5 GHz Android tests.
 pub fn panel_c(a: &CityAnalysis) -> CdfResult {
+    let (platform, band, rssi) = (a.ookla.platform(), a.ookla.wifi_band(), a.ookla.rssi_dbm());
     let groups = RSSI_BINS
         .iter()
         .map(|&(label, lo, hi)| {
-            let vals: Vec<f64> = normalized(a, move |m| {
-                m.platform == Platform::AndroidApp
-                    && matches!(
-                        m.access,
-                        Access::Wifi { band: Band::G5, rssi_dbm }
-                            if rssi_dbm >= lo && rssi_dbm < hi
-                    )
-            })
-            .collect();
+            let vals = normalized(a, |i| {
+                platform[i] == Platform::AndroidApp
+                    && band[i] == BAND_5
+                    && rssi[i] >= lo
+                    && rssi[i] < hi
+            });
             (label.to_string(), vals)
         })
         .collect();
@@ -109,18 +98,17 @@ pub fn panel_c(a: &CityAnalysis) -> CdfResult {
 
 /// Panel (d): memory bins over 5 GHz, ≥ −50 dBm Android tests.
 pub fn panel_d(a: &CityAnalysis) -> CdfResult {
+    let (platform, band, rssi, memory) =
+        (a.ookla.platform(), a.ookla.wifi_band(), a.ookla.rssi_dbm(), a.ookla.memory_class());
     let groups = MemoryClass::all()
         .iter()
         .map(|&class| {
-            let vals: Vec<f64> = normalized(a, move |m| {
-                m.platform == Platform::AndroidApp
-                    && matches!(
-                        m.access,
-                        Access::Wifi { band: Band::G5, rssi_dbm } if rssi_dbm >= -50.0
-                    )
-                    && m.memory_class() == Some(class)
-            })
-            .collect();
+            let vals = normalized(a, |i| {
+                platform[i] == Platform::AndroidApp
+                    && band[i] == BAND_5
+                    && rssi[i] >= -50.0
+                    && memory[i] == memory_code(class)
+            });
             (class.label().to_string(), vals)
         })
         .collect();

@@ -10,6 +10,7 @@ use crate::context::{ecdf_series, CityAnalysis};
 use crate::results::CdfResult;
 use serde::Serialize;
 use st_netsim::{Band, MemoryClass};
+use st_speedtest::store::{BAND_5, MEMORY_NONE};
 use st_speedtest::{Access, Measurement, Platform};
 
 /// Group shares alongside the CDFs.
@@ -31,17 +32,26 @@ pub fn is_best(m: &Measurement) -> bool {
 
 /// Compute the Best vs Local-bottleneck comparison.
 pub fn run(a: &CityAnalysis) -> (CdfResult, BottleneckShares) {
-    let android: Vec<(&Measurement, Option<usize>)> = a.ookla_platform(Platform::AndroidApp);
+    let store = &a.ookla;
+    let android = store.platform_sel(Platform::AndroidApp);
+    let (band, rssi, memory) = (store.wifi_band(), store.rssi_dbm(), store.memory_class());
+    let asg = store.assigned();
     let mut best = Vec::new();
     let mut bottleneck = Vec::new();
     let mut n_bottleneck = 0usize;
-    for (m, t) in &android {
-        let nd = a.normalized_down(m, *t);
-        if is_best(m) {
-            best.extend(nd);
+    for i in android.iter() {
+        // Column form of [`is_best`]: 5 GHz, strong signal, > 2 GB memory.
+        let row_is_best = band[i] == BAND_5 && rssi[i] >= -50.0 && memory[i] > MEMORY_NONE + 1;
+        let assigned = asg.tier[i].is_some();
+        if row_is_best {
+            if assigned {
+                best.push(asg.normalized_down[i]);
+            }
         } else {
             n_bottleneck += 1;
-            bottleneck.extend(nd);
+            if assigned {
+                bottleneck.push(asg.normalized_down[i]);
+            }
         }
     }
 
@@ -57,7 +67,7 @@ pub fn run(a: &CityAnalysis) -> (CdfResult, BottleneckShares) {
     (
         CdfResult {
             id: "fig10".into(),
-            title: format!("{}: Best vs Local-bottleneck (Android)", a.dataset.config.city.label()),
+            title: format!("{}: Best vs Local-bottleneck (Android)", a.config.city.label()),
             x_label: "Normalized Download Speed".into(),
             series,
             medians,

@@ -22,11 +22,12 @@ pub struct TimeOfDayVolume {
 /// Compute the Figure 11 volumes for a city.
 pub fn run(a: &CityAnalysis) -> (TimeOfDayVolume, TableResult) {
     let tier_groups = a.catalog().tier_groups();
+    let group_idx = &a.ookla.assigned().group_idx;
+    let time_bin = a.ookla.time_bin();
     let mut counts = vec![[0usize; 4]; tier_groups.len()];
-    for (m, t) in a.dataset.ookla.iter().zip(&a.ookla_tiers) {
-        let Some(t) = t else { continue };
-        if let Some(g) = a.group_index(*t) {
-            counts[g][m.time_bin()] += 1;
+    for (g, tb) in group_idx.iter().zip(time_bin) {
+        if *g >= 0 {
+            counts[*g as usize][*tb as usize] += 1;
         }
     }
 
@@ -62,7 +63,7 @@ pub fn run(a: &CityAnalysis) -> (TimeOfDayVolume, TableResult) {
         TimeOfDayVolume { bins, groups },
         TableResult {
             id: "fig11".into(),
-            title: format!("{}: share of tests per six-hour bin", a.dataset.config.city.label()),
+            title: format!("{}: share of tests per six-hour bin", a.config.city.label()),
             headers,
             rows,
         },

@@ -10,6 +10,18 @@ use serde::Serialize;
 use st_speedtest::Measurement;
 use st_stats::ks_test;
 
+/// Normalized downloads of one tier group, split by six-hour bin (one
+/// pass over the group's memoized selection).
+fn group_by_bin(a: &CityAnalysis, gi: usize) -> [Vec<f64>; 4] {
+    let asg = a.ookla.assigned();
+    let time_bin = a.ookla.time_bin();
+    let mut by_bin: [Vec<f64>; 4] = Default::default();
+    for i in asg.group_sels[gi].iter() {
+        by_bin[time_bin[i] as usize].push(asg.normalized_down[i]);
+    }
+    by_bin
+}
+
 /// One CDF panel per requested tier group index.
 pub fn run(a: &CityAnalysis, group_indices: &[usize]) -> Vec<CdfResult> {
     let tier_groups = a.catalog().tier_groups();
@@ -17,15 +29,7 @@ pub fn run(a: &CityAnalysis, group_indices: &[usize]) -> Vec<CdfResult> {
         .iter()
         .filter_map(|&gi| {
             let group = tier_groups.get(gi)?;
-            let mut by_bin: [Vec<f64>; 4] = Default::default();
-            for (m, t) in a.dataset.ookla.iter().zip(&a.ookla_tiers) {
-                let Some(t) = t else { continue };
-                if a.group_index(*t) == Some(gi) {
-                    if let Some(nd) = a.normalized_down(m, Some(*t)) {
-                        by_bin[m.time_bin()].push(nd);
-                    }
-                }
-            }
+            let by_bin = group_by_bin(a, gi);
             let mut series = Vec::new();
             let mut medians = Vec::new();
             for (b, vals) in by_bin.iter().enumerate() {
@@ -38,7 +42,7 @@ pub fn run(a: &CityAnalysis, group_indices: &[usize]) -> Vec<CdfResult> {
                 id: format!("fig12_{}", group.label().replace(' ', "").to_lowercase()),
                 title: format!(
                     "{}: normalized download by time of day, {}",
-                    a.dataset.config.city.label(),
+                    a.config.city.label(),
                     group.label()
                 ),
                 x_label: "Normalized Download Speed".into(),
@@ -75,15 +79,7 @@ pub fn ks_summary(a: &CityAnalysis, group_indices: &[usize]) -> Vec<TimeOfDayKs>
         .iter()
         .filter_map(|&gi| {
             let group = tier_groups.get(gi)?;
-            let mut by_bin: [Vec<f64>; 4] = Default::default();
-            for (m, t) in a.dataset.ookla.iter().zip(&a.ookla_tiers) {
-                let Some(t) = t else { continue };
-                if a.group_index(*t) == Some(gi) {
-                    if let Some(nd) = a.normalized_down(m, Some(*t)) {
-                        by_bin[m.time_bin()].push(nd);
-                    }
-                }
-            }
+            let by_bin = group_by_bin(a, gi);
             let mut best: Option<TimeOfDayKs> = None;
             for i in 0..4 {
                 for j in (i + 1)..4 {

@@ -29,26 +29,14 @@ pub struct VendorGap {
 /// One CDF panel per tier group, plus the per-group median gaps.
 pub fn run(a: &CityAnalysis) -> (Vec<CdfResult>, Vec<VendorGap>) {
     let tier_groups = a.catalog().tier_groups();
+    let ookla_asg = a.ookla.assigned();
+    let mlab_asg = a.mlab.assigned();
     let mut panels = Vec::new();
     let mut gaps = Vec::new();
 
     for (gi, group) in tier_groups.iter().enumerate() {
-        let ookla: Vec<f64> = a
-            .dataset
-            .ookla
-            .iter()
-            .zip(&a.ookla_tiers)
-            .filter(|(_, t)| t.map(|t| a.group_index(t)) == Some(Some(gi)))
-            .filter_map(|(m, t)| a.normalized_down(m, *t))
-            .collect();
-        let mlab: Vec<f64> = a
-            .dataset
-            .mlab
-            .iter()
-            .zip(&a.mlab_tiers)
-            .filter(|(_, t)| t.map(|t| a.group_index(t)) == Some(Some(gi)))
-            .filter_map(|(m, t)| a.normalized_down(m, *t))
-            .collect();
+        let ookla = ookla_asg.group_sels[gi].gather(&ookla_asg.normalized_down);
+        let mlab = mlab_asg.group_sels[gi].gather(&mlab_asg.normalized_down);
 
         let mut series = Vec::new();
         let mut medians = Vec::new();
@@ -77,7 +65,7 @@ pub fn run(a: &CityAnalysis) -> (Vec<CdfResult>, Vec<VendorGap>) {
         }
         panels.push(CdfResult {
             id: format!("fig13_{}", group.label().replace(' ', "").to_lowercase()),
-            title: format!("{}: Ookla vs M-Lab, {}", a.dataset.config.city.label(), group.label()),
+            title: format!("{}: Ookla vs M-Lab, {}", a.config.city.label(), group.label()),
             x_label: "Normalized Download Speed".into(),
             series,
             medians,

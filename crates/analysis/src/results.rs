@@ -62,7 +62,7 @@ impl CdfResult {
 
 /// A density-style figure: KDE curves plus reference verticals (plan
 /// speeds) and recovered cluster means.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DensityResult {
     /// Figure identifier ("fig04" etc.).
     pub id: String,
@@ -76,6 +76,36 @@ pub struct DensityResult {
     pub plan_lines: Vec<f64>,
     /// Cluster means recovered by BST.
     pub cluster_means: Vec<f64>,
+    /// Diagnostics explaining omitted series (e.g. a KDE fit that failed
+    /// for lack of data). Empty on a healthy figure — and skipped during
+    /// serialization so healthy artifacts are unchanged.
+    pub notes: Vec<String>,
+}
+
+// Hand-written so the `notes` key appears only when there is something to
+// report (the vendored serde derive has no `skip_serializing_if`): healthy
+// figures keep their exact pre-`notes` JSON bytes.
+impl Serialize for DensityResult {
+    fn write_json(&self, w: &mut serde::json::Writer) {
+        w.begin_object();
+        w.key("id");
+        self.id.write_json(w);
+        w.key("title");
+        self.title.write_json(w);
+        w.key("x_label");
+        self.x_label.write_json(w);
+        w.key("series");
+        self.series.write_json(w);
+        w.key("plan_lines");
+        self.plan_lines.write_json(w);
+        w.key("cluster_means");
+        self.cluster_means.write_json(w);
+        if !self.notes.is_empty() {
+            w.key("notes");
+            self.notes.write_json(w);
+        }
+        w.end_object();
+    }
 }
 
 impl DensityResult {
@@ -103,6 +133,9 @@ impl DensityResult {
             "  recovered cluster means: {:?}\n",
             self.cluster_means.iter().map(|m| (m * 100.0).round() / 100.0).collect::<Vec<_>>()
         ));
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
         out
     }
 }
@@ -165,6 +198,32 @@ mod tests {
         };
         let text = t.render();
         assert!(text.contains("tableX") && text.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn density_notes_render_and_serialize_only_when_present() {
+        let healthy = DensityResult {
+            id: "figY".into(),
+            title: "demo".into(),
+            x_label: "Mbps".into(),
+            series: vec![SeriesData::new("d", vec![(0.0, 0.1), (1.0, 0.2)])],
+            plan_lines: vec![5.0],
+            cluster_means: vec![4.9],
+            notes: Vec::new(),
+        };
+        let text = healthy.render();
+        assert!(!text.contains("note:"));
+        // Empty notes are skipped entirely: healthy JSON is byte-stable
+        // across the introduction of the field.
+        let json = serde_json::to_string(&healthy).unwrap();
+        assert!(!json.contains("notes"));
+
+        let mut degraded = healthy.clone();
+        degraded.notes.push("KDE fit failed for MBA uploads: too few samples".into());
+        let text = degraded.render();
+        assert!(text.contains("note: KDE fit failed for MBA uploads"));
+        let json = serde_json::to_string(&degraded).unwrap();
+        assert!(json.contains("\"notes\""));
     }
 
     #[test]

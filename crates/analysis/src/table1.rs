@@ -1,19 +1,19 @@
 //! Table 1 — dataset sizes per city.
 
+use crate::context::CityAnalysis;
 use crate::results::TableResult;
-use st_datagen::CityDataset;
 
-/// Render the Table 1 rows for a set of generated city datasets.
-pub fn run(datasets: &[&CityDataset]) -> TableResult {
-    let rows = datasets
+/// Render the Table 1 rows for a set of analyzed cities.
+pub fn run(analyses: &[&CityAnalysis]) -> TableResult {
+    let rows = analyses
         .iter()
-        .map(|ds| {
+        .map(|a| {
             vec![
-                ds.config.city.label().to_string(),
-                ds.config.catalog.isp.clone(),
-                format!("{}", ds.ookla.len()),
-                format!("{}", ds.mlab.len()),
-                format!("{}", ds.mba.len()),
+                a.config.city.label().to_string(),
+                a.config.catalog.isp.clone(),
+                format!("{}", a.ookla.len()),
+                format!("{}", a.mlab.len()),
+                format!("{}", a.mba.len()),
             ]
         })
         .collect();
@@ -21,7 +21,7 @@ pub fn run(datasets: &[&CityDataset]) -> TableResult {
         id: "table1".into(),
         title: format!(
             "Dataset sizes (scale {} of the paper's campaigns)",
-            datasets.first().map(|d| d.config.scale).unwrap_or(0.0)
+            analyses.first().map(|a| a.config.scale).unwrap_or(0.0)
         ),
         headers: vec![
             "City/State".into(),
@@ -37,12 +37,12 @@ pub fn run(datasets: &[&CityDataset]) -> TableResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use st_datagen::City;
+    use st_datagen::{City, CityDataset};
 
     #[test]
     fn one_row_per_city_with_counts() {
-        let a = CityDataset::generate(City::A, 0.002, 1);
-        let b = CityDataset::generate(City::B, 0.002, 1);
+        let a = CityAnalysis::new(CityDataset::generate(City::A, 0.002, 1), 1);
+        let b = CityAnalysis::new(CityDataset::generate(City::B, 0.002, 1), 1);
         let t = run(&[&a, &b]);
         assert_eq!(t.rows.len(), 2);
         assert_eq!(t.rows[0][0], "City-A");

@@ -29,11 +29,10 @@ pub fn run(analyses: &[&CityAnalysis]) -> (TableResult, Vec<StateAccuracy>) {
     let mut stats = Vec::new();
     for a in analyses {
         let Some(model) = &a.mba_model else { continue };
-        let truth: Vec<Option<usize>> = a.dataset.mba.iter().map(|m| m.truth_tier).collect();
-        let ev = evaluate(model, &truth, a.catalog());
+        let ev = evaluate(model, a.mba.truth_tier(), a.catalog());
         stats.push(StateAccuracy {
-            state: a.dataset.config.city.state_label().to_string(),
-            units: a.dataset.config.mba_units,
+            state: a.config.city.state_label().to_string(),
+            units: a.config.mba_units,
             n: ev.n,
             upload_accuracy: ev.upload_accuracy,
             plan_accuracy: ev.plan_accuracy,

@@ -2,7 +2,9 @@
 //!
 //! For each platform's fitted BST model: the number of measurements whose
 //! stage-1 component matched each upload cap, and the (weight-averaged)
-//! component mean — the per-cell values of the paper's Table 3.
+//! component mean — the per-cell values of the paper's Table 3. Counts
+//! come straight from the store's memoized cap assignments (one pass per
+//! platform) instead of re-scanning the model's member lists per group.
 
 use crate::context::CityAnalysis;
 use crate::results::TableResult;
@@ -23,22 +25,25 @@ pub fn run(a: &CityAnalysis) -> (TableResult, Vec<PlatformClusters>) {
     let groups = a.catalog().tier_groups();
     let mut stats: Vec<PlatformClusters> = Vec::new();
 
-    // Ookla per-platform models, in the paper's platform order.
+    // Per-platform models in the paper's platform order. Counts use the
+    // store's cap-index column restricted to the platform's memoized
+    // selection; tier groups and upload caps share ascending order, so
+    // group index == cap index.
     for platform in Platform::all() {
-        let model = if platform == Platform::NdtWeb {
-            a.mlab_model.as_ref()
+        let (model, counts) = if platform == Platform::NdtWeb {
+            (a.mlab_model.as_ref(), a.mlab.cap_counts(a.mlab.platform_sel(platform)))
         } else {
-            a.ookla_model(platform)
+            (a.ookla_model(platform), a.ookla.cap_counts(a.ookla.platform_sel(platform)))
         };
         let Some(model) = model else { continue };
         let row = PlatformClusters {
             platform: platform.label().to_string(),
             groups: groups
                 .iter()
-                .map(|g| {
-                    let count = model.uploads.members_of(g.up).len();
+                .enumerate()
+                .map(|(gi, g)| {
                     let mean = model.uploads.matched_mean(g.up).unwrap_or(f64::NAN);
-                    (g.label(), count, mean)
+                    (g.label(), counts[gi], mean)
                 })
                 .collect(),
         };
@@ -67,7 +72,7 @@ pub fn run(a: &CityAnalysis) -> (TableResult, Vec<PlatformClusters>) {
             id: "table3".into(),
             title: format!(
                 "{}: upload clusters per platform (counts and means, Mbps)",
-                a.dataset.config.city.label()
+                a.config.city.label()
             ),
             headers,
             rows,
@@ -100,6 +105,32 @@ mod tests {
         assert!(labels.contains(&"iOS-App"));
         assert!(labels.contains(&"Net-Web"));
         assert!(labels.contains(&"NDT-Web"));
+    }
+
+    #[test]
+    fn counts_match_the_models_member_lists() {
+        // The memoized cap counts must agree with what the fitted model
+        // reports per matched cap — the two views of the same assignment.
+        let a = analysis(City::A);
+        let (_, stats) = run(&a);
+        for platform in Platform::all() {
+            let model = if platform == Platform::NdtWeb {
+                a.mlab_model.as_ref()
+            } else {
+                a.ookla_model(platform)
+            };
+            let Some(model) = model else { continue };
+            let row = stats.iter().find(|s| s.platform == platform.label()).unwrap();
+            for ((_, count, _), g) in row.groups.iter().zip(a.catalog().tier_groups()) {
+                assert_eq!(
+                    *count,
+                    model.uploads.members_of(g.up).len(),
+                    "{}: group {}",
+                    platform.label(),
+                    g.label()
+                );
+            }
+        }
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub fn run(a: &CityAnalysis) -> (TableResult, Vec<PlatformDownloadClusters>) {
             id: "table4".into(),
             title: format!(
                 "{}: download cluster means (Mbps) per platform and tier group",
-                a.dataset.config.city.label()
+                a.config.city.label()
             ),
             headers,
             rows,

@@ -32,9 +32,8 @@ fn city_a() -> &'static CityAnalysis {
 
 fn bench_tables(c: &mut Criterion) {
     let all = analyses();
-    let datasets: Vec<&CityDataset> = all.iter().map(|a| &a.dataset).collect();
-    c.bench_function("table1_dataset_sizes", |b| b.iter(|| black_box(table1::run(&datasets))));
     let refs: Vec<&CityAnalysis> = all.iter().collect();
+    c.bench_function("table1_dataset_sizes", |b| b.iter(|| black_box(table1::run(&refs))));
     c.bench_function("table2_mba_accuracy", |b| b.iter(|| black_box(table2::run(&refs))));
     c.bench_function("table3_upload_clusters", |b| b.iter(|| black_box(table3::run(city_a()))));
     c.bench_function("table4_download_means", |b| b.iter(|| black_box(table4::run(city_a()))));

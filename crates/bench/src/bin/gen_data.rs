@@ -9,7 +9,8 @@
 //! one row per measurement and the full context schema (platform, vendor,
 //! access, band, RSSI, memory, loaded RTT, ground-truth tier).
 
-use st_datagen::{measurements_to_frame, City, CityDataset};
+use st_datagen::{City, CityDataset};
+use st_speedtest::CampaignStore;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -96,7 +97,8 @@ fn main() -> ExitCode {
         for (suffix, ms) in [("ookla", &ds.ookla), ("mlab", &ds.mlab), ("mba", &ds.mba)] {
             let (path, body) = match args.format {
                 Format::Csv => {
-                    let body = match st_dataframe::csv::to_csv(&measurements_to_frame(ms)) {
+                    let frame = CampaignStore::from_measurements(ms).to_frame();
+                    let body = match st_dataframe::csv::to_csv(&frame) {
                         Ok(b) => b,
                         Err(e) => {
                             eprintln!("cannot export {tag}_{suffix} as CSV: {e}");

@@ -188,8 +188,11 @@ fn main() -> ExitCode {
 
     println!("{md}");
     eprintln!(
-        "generate {:.1}s | fit {:.1}s | render {:.1}s",
-        report.timings.generate_s, report.timings.fit_s, report.timings.render_s
+        "generate {:.1}s | fit {:.1}s | derive {:.1}s | render {:.1}s",
+        report.timings.generate_s,
+        report.timings.fit_s,
+        report.timings.derive_s,
+        report.timings.render_s
     );
     eprintln!("wrote {} files to {} in {:.1?}", written + 1, args.out.display(), t0.elapsed());
     if report.health.is_degraded() {

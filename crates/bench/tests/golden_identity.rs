@@ -1,0 +1,80 @@
+//! Golden-identity check for the columnar-store refactor.
+//!
+//! The repro pipeline's artifacts (every `<id>.svg` / `<id>.json` the
+//! `repro` binary would write) must be byte-identical to the row-based
+//! implementation's output, at every parallelism level. The expected
+//! value is a combined FNV-1a hash captured from a pre-refactor release
+//! run at scale 0.004, seed 2024 — the same configuration the CI
+//! determinism smoke uses.
+
+use st_bench::{build_analyses_par, run_all_par, StageTimings};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+/// Combined hash of the pre-refactor golden run (89 artifact files,
+/// sorted by filename; each file hashed as name bytes then content
+/// bytes, chained).
+const GOLDEN_HASH: u64 = 0x7e38_a3ca_c670_4460;
+const GOLDEN_FILES: usize = 89;
+
+fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Reconstruct the artifact file set the repro binary writes (minus
+/// `report.md` and `BENCH_timings.json`, which carry wall-clock values)
+/// and hash it the way the capture script did.
+fn artifact_hash(parallelism: usize) -> (u64, usize) {
+    let (analyses, timings) = build_analyses_par(0.004, 2024, parallelism);
+    let report = run_all_par(&analyses, 0.004, 2024, parallelism, timings);
+    let mut files: Vec<(String, &str)> = Vec::new();
+    for a in &report.artifacts {
+        if let Some(svg) = &a.svg {
+            files.push((format!("{}.svg", a.id), svg));
+        }
+        files.push((format!("{}.json", a.id), &a.json));
+    }
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut h = FNV_OFFSET;
+    for (name, body) in &files {
+        h = fnv1a(name.as_bytes(), h);
+        h = fnv1a(body.as_bytes(), h);
+    }
+    (h, files.len())
+}
+
+#[test]
+fn artifacts_match_the_pre_refactor_golden_run() {
+    let (h1, n1) = artifact_hash(1);
+    assert_eq!(n1, GOLDEN_FILES, "artifact file count changed");
+    assert_eq!(
+        h1, GOLDEN_HASH,
+        "sequential artifacts diverged from the row-based golden run (hash {h1:#x})"
+    );
+}
+
+#[test]
+fn parallel_artifacts_match_the_golden_run_too() {
+    let (h4, n4) = artifact_hash(4);
+    assert_eq!(n4, GOLDEN_FILES, "artifact file count changed");
+    assert_eq!(
+        h4, GOLDEN_HASH,
+        "parallel artifacts diverged from the row-based golden run (hash {h4:#x})"
+    );
+}
+
+#[test]
+fn derive_stage_timing_is_recorded() {
+    let (_, timings) = build_analyses_par(0.004, 2024, 2);
+    assert!(timings.derive_s >= 0.0);
+    // The field must survive serialization so BENCH_timings.json carries
+    // the new stage.
+    let t = StageTimings { derive_s: 0.25, ..timings };
+    let json = serde_json::to_string(&t).unwrap();
+    assert!(json.contains("\"derive_s\":0.25"), "{json}");
+}

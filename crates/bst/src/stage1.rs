@@ -13,7 +13,7 @@ use crate::BstConfig;
 use rand::Rng;
 use st_netsim::Mbps;
 use st_speedtest::PlanCatalog;
-use st_stats::{Bandwidth, GaussianMixture, GmmConfig, KernelDensity, StatsError};
+use st_stats::{GaussianMixture, GmmConfig, KernelDensity, StatsError};
 
 /// A fitted stage-1 clustering.
 #[derive(Debug, Clone)]
@@ -75,12 +75,10 @@ pub fn cluster_uploads<R: Rng + ?Sized>(
 ) -> Result<UploadClustering, StatsError> {
     let caps = catalog.upload_caps();
 
-    let bw = st_stats::kde::silverman_bandwidth(uploads) * cfg.kde_bandwidth_scale;
-    let kde = if bw > 0.0 {
-        KernelDensity::fit(uploads, Bandwidth::Fixed(bw))?
-    } else {
-        KernelDensity::fit(uploads, Bandwidth::Silverman)?
-    };
+    let kde = KernelDensity::fit(
+        uploads,
+        st_stats::kde::scaled_silverman(uploads, cfg.kde_bandwidth_scale),
+    )?;
     let peaks = kde.find_peaks(cfg.kde_grid_points, cfg.kde_min_prominence)?;
     let kde_peaks = peaks.len();
 

@@ -25,12 +25,14 @@ pub mod error;
 pub mod frame;
 pub mod groupby;
 pub mod join;
+pub mod selection;
 
 pub use column::{Column, DType, Value};
 pub use error::FrameError;
 pub use frame::DataFrame;
 pub use groupby::{Agg, GroupBy};
 pub use join::{join, JoinKind};
+pub use selection::Selection;
 
 /// Result alias for data-frame operations.
 pub type Result<T> = std::result::Result<T, FrameError>;

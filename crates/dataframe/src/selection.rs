@@ -1,0 +1,202 @@
+//! Row selections: cheap, composable subsets of a columnar table.
+//!
+//! A [`Selection`] is a sorted list of row indices produced by predicate
+//! passes over columns. Figures express "Android + WiFi-2.4GHz + tier k"
+//! as one predicate pass (or an intersection of memoized selections)
+//! instead of cloning rows into an owned `Vec`. Because indices are kept
+//! in ascending order, gathering through a selection visits rows in the
+//! same order as the classic `iter().enumerate().filter()` chain — which
+//! is what keeps downstream artifacts byte-identical.
+
+/// A sorted set of row indices into a columnar store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selection {
+    indices: Vec<u32>,
+}
+
+impl Selection {
+    /// The empty selection.
+    pub fn empty() -> Self {
+        Selection { indices: Vec::new() }
+    }
+
+    /// Select every row of a table with `len` rows.
+    pub fn all(len: usize) -> Self {
+        Selection { indices: (0..len as u32).collect() }
+    }
+
+    /// Build from a boolean mask (row `i` selected when `mask[i]`).
+    pub fn from_mask(mask: &[bool]) -> Self {
+        Selection {
+            indices: mask
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &keep)| keep.then_some(i as u32))
+                .collect(),
+        }
+    }
+
+    /// Build by evaluating `pred` over rows `0..len`.
+    pub fn from_pred(len: usize, mut pred: impl FnMut(usize) -> bool) -> Self {
+        Selection { indices: (0..len as u32).filter(|&i| pred(i as usize)).collect() }
+    }
+
+    /// Build from raw indices; they must be ascending and unique.
+    pub fn from_sorted(indices: Vec<u32>) -> Self {
+        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]), "indices must be ascending");
+        Selection { indices }
+    }
+
+    /// Number of selected rows.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when no rows are selected.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// The selected row indices, ascending.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Iterate the selected row indices as `usize`, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.indices.iter().map(|&i| i as usize)
+    }
+
+    /// Set intersection (both selections must index the same table).
+    pub fn and(&self, other: &Selection) -> Selection {
+        let (mut a, mut b) = (self.indices.iter().peekable(), other.indices.iter().peekable());
+        let mut out = Vec::with_capacity(self.len().min(other.len()));
+        while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
+            match x.cmp(&y) {
+                std::cmp::Ordering::Less => {
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(x);
+                    a.next();
+                    b.next();
+                }
+            }
+        }
+        Selection { indices: out }
+    }
+
+    /// Set union (both selections must index the same table).
+    pub fn or(&self, other: &Selection) -> Selection {
+        let (mut a, mut b) = (self.indices.iter().peekable(), other.indices.iter().peekable());
+        let mut out = Vec::with_capacity(self.len().max(other.len()));
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&x), Some(&&y)) => match x.cmp(&y) {
+                    std::cmp::Ordering::Less => {
+                        out.push(x);
+                        a.next();
+                    }
+                    std::cmp::Ordering::Greater => {
+                        out.push(y);
+                        b.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        out.push(x);
+                        a.next();
+                        b.next();
+                    }
+                },
+                (Some(&&x), None) => {
+                    out.push(x);
+                    a.next();
+                }
+                (None, Some(&&y)) => {
+                    out.push(y);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        Selection { indices: out }
+    }
+
+    /// Keep only selected rows for which `pred(row)` holds.
+    pub fn refine(&self, mut pred: impl FnMut(usize) -> bool) -> Selection {
+        Selection { indices: self.indices.iter().copied().filter(|&i| pred(i as usize)).collect() }
+    }
+
+    /// Gather a column through this selection (ascending row order).
+    pub fn gather(&self, column: &[f64]) -> Vec<f64> {
+        self.indices.iter().map(|&i| column[i as usize]).collect()
+    }
+
+    /// Gather a column through this selection, dropping non-finite values.
+    ///
+    /// Matches the classic `filter_map(|row| finite_value(row))` chain, so
+    /// statistics over the result are bit-identical to the row-oriented
+    /// code this replaces.
+    pub fn gather_finite(&self, column: &[f64]) -> Vec<f64> {
+        self.indices.iter().map(|&i| column[i as usize]).filter(|v| v.is_finite()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_and_empty() {
+        let all = Selection::all(5);
+        let none = Selection::empty();
+        assert_eq!(all.len(), 5);
+        assert!(none.is_empty());
+        assert_eq!(all.and(&none), none);
+        assert_eq!(all.or(&none), all);
+        assert_eq!(all.and(&all), all);
+        assert_eq!(none.or(&none), none);
+    }
+
+    #[test]
+    fn and_is_intersection() {
+        let a = Selection::from_sorted(vec![0, 2, 4, 6]);
+        let b = Selection::from_sorted(vec![1, 2, 3, 6, 7]);
+        assert_eq!(a.and(&b).indices(), &[2, 6]);
+        assert_eq!(b.and(&a).indices(), &[2, 6]);
+    }
+
+    #[test]
+    fn or_is_union_without_duplicates() {
+        let a = Selection::from_sorted(vec![0, 2, 4]);
+        let b = Selection::from_sorted(vec![1, 2, 5]);
+        assert_eq!(a.or(&b).indices(), &[0, 1, 2, 4, 5]);
+        assert_eq!(b.or(&a).indices(), &[0, 1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn from_mask_and_pred_agree() {
+        let mask = [true, false, true, true, false];
+        let a = Selection::from_mask(&mask);
+        let b = Selection::from_pred(mask.len(), |i| mask[i]);
+        assert_eq!(a, b);
+        assert_eq!(a.indices(), &[0, 2, 3]);
+    }
+
+    #[test]
+    fn refine_filters_in_place() {
+        let a = Selection::all(6).refine(|i| i % 2 == 0);
+        assert_eq!(a.indices(), &[0, 2, 4]);
+        assert_eq!(a.refine(|i| i > 0).indices(), &[2, 4]);
+    }
+
+    #[test]
+    fn gather_preserves_order_and_finite_filter() {
+        let col = [1.0, f64::NAN, 3.0, 4.0];
+        let sel = Selection::from_sorted(vec![0, 1, 3]);
+        assert_eq!(sel.gather(&col).len(), 3);
+        assert_eq!(sel.gather_finite(&col), vec![1.0, 4.0]);
+    }
+}

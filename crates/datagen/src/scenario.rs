@@ -7,8 +7,8 @@ use crate::par;
 use crate::population::{mlab_tier_weights, tier_weights, Population};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use st_dataframe::{Column, DataFrame};
-use st_speedtest::{Access, Measurement};
+use st_dataframe::DataFrame;
+use st_speedtest::Measurement;
 
 /// A complete generated dataset for one city: the two crowdsourced
 /// campaigns plus the matching state's MBA panel.
@@ -129,68 +129,10 @@ impl CityDataset {
 /// Convert measurements to a data frame with one column per record field.
 ///
 /// Missing numeric metadata becomes NaN; missing tier truth becomes -1.
+/// Thin wrapper over the columnar [`st_speedtest::CampaignStore`]'s frame
+/// conversion, so the CSV-export schema has exactly one definition.
 pub fn measurements_to_frame(ms: &[Measurement]) -> DataFrame {
-    let n = ms.len();
-    let mut id = Vec::with_capacity(n);
-    let mut user = Vec::with_capacity(n);
-    let mut platform = Vec::with_capacity(n);
-    let mut vendor = Vec::with_capacity(n);
-    let mut city = Vec::with_capacity(n);
-    let mut day = Vec::with_capacity(n);
-    let mut hour = Vec::with_capacity(n);
-    let mut down = Vec::with_capacity(n);
-    let mut up = Vec::with_capacity(n);
-    let mut rtt = Vec::with_capacity(n);
-    let mut loaded_rtt = Vec::with_capacity(n);
-    let mut access = Vec::with_capacity(n);
-    let mut band = Vec::with_capacity(n);
-    let mut rssi = Vec::with_capacity(n);
-    let mut memory = Vec::with_capacity(n);
-    let mut truth = Vec::with_capacity(n);
-
-    for m in ms {
-        id.push(m.id as i64);
-        user.push(m.user_id as i64);
-        platform.push(m.platform.label().to_string());
-        vendor.push(m.vendor().label().to_string());
-        city.push(m.city as i64);
-        day.push(m.day as i64);
-        hour.push(m.hour as i64);
-        down.push(m.down_mbps);
-        up.push(m.up_mbps);
-        rtt.push(m.rtt_ms);
-        loaded_rtt.push(m.loaded_rtt_ms);
-        let (a, b, r) = match m.access {
-            Access::Wifi { band, rssi_dbm } => ("wifi", band.label(), rssi_dbm),
-            Access::Ethernet => ("ethernet", "", f64::NAN),
-            Access::Unknown => ("unknown", "", f64::NAN),
-        };
-        access.push(a.to_string());
-        band.push(b.to_string());
-        rssi.push(r);
-        memory.push(m.kernel_memory_gb.unwrap_or(f64::NAN));
-        truth.push(m.truth_tier.map(|t| t as i64).unwrap_or(-1));
-    }
-
-    DataFrame::from_columns([
-        ("id", Column::I64(id)),
-        ("user_id", Column::I64(user)),
-        ("platform", Column::Str(platform)),
-        ("vendor", Column::Str(vendor)),
-        ("city", Column::I64(city)),
-        ("day", Column::I64(day)),
-        ("hour", Column::I64(hour)),
-        ("down_mbps", Column::F64(down)),
-        ("up_mbps", Column::F64(up)),
-        ("rtt_ms", Column::F64(rtt)),
-        ("loaded_rtt_ms", Column::F64(loaded_rtt)),
-        ("access", Column::Str(access)),
-        ("band", Column::Str(band)),
-        ("rssi_dbm", Column::F64(rssi)),
-        ("memory_gb", Column::F64(memory)),
-        ("truth_tier", Column::I64(truth)),
-    ])
-    .expect("columns constructed with equal lengths")
+    st_speedtest::CampaignStore::from_measurements(ms).to_frame()
 }
 
 #[cfg(test)]

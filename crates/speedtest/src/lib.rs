@@ -17,6 +17,11 @@
 //! * [`pairing`] — M-Lab's download/upload association: NDT reports the two
 //!   directions as separate tests, so the paper pairs them with a 120 s
 //!   window per client/server pair (§3.2); implemented here.
+//! * [`store`] — the columnar [`CampaignStore`]: one campaign as typed
+//!   columns with lazily memoized derived context (time bin, access
+//!   class, WiFi band, memory class) and cheap composable row
+//!   [`Selection`]s, so analyses scan contiguous columns instead of
+//!   cloning `Vec<Measurement>` rows.
 //! * [`sanitize`] — the record quarantine stage: every measurement
 //!   entering an analysis is classified clean / repaired / quarantined
 //!   against a structured error taxonomy, with per-reason counters, so
@@ -31,6 +36,7 @@ pub mod pairing;
 pub mod plans;
 pub mod record;
 pub mod sanitize;
+pub mod store;
 pub mod wire;
 
 pub use methodology::{FastMethodology, Methodology, NdtMethodology, OoklaMethodology, TestResult};
@@ -40,3 +46,5 @@ pub use record::{Access, Measurement, Platform, Vendor};
 pub use sanitize::{
     classify, sanitize, Classification, QuarantineReason, RepairReason, SanitizeReport,
 };
+pub use st_dataframe::Selection;
+pub use store::{AssignedColumns, CampaignStore};

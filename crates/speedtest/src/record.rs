@@ -184,11 +184,17 @@ impl Measurement {
     /// Month index 0..12 derived from the day of year (for the per-month
     /// consistency analysis of §5.2).
     pub fn month(&self) -> usize {
-        // Cumulative days at the start of each month (non-leap year).
-        const STARTS: [u16; 13] = [0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334, 365];
-        let d = self.day.min(364);
-        STARTS.iter().rposition(|&s| s <= d).expect("day 0 matches month 0")
+        month_of_day(self.day)
     }
+}
+
+/// Month index 0..12 for a 0-based day of year (non-leap year). Shared
+/// between [`Measurement::month`] and the store's derived month column.
+pub fn month_of_day(day: u16) -> usize {
+    // Cumulative days at the start of each month.
+    const STARTS: [u16; 13] = [0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334, 365];
+    let d = day.min(364);
+    STARTS.iter().rposition(|&s| s <= d).expect("day 0 matches month 0")
 }
 
 #[cfg(test)]

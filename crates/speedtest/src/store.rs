@@ -1,0 +1,652 @@
+//! Columnar campaign store: one typed-column representation of a
+//! measurement campaign, shared from data generation to report rendering.
+//!
+//! The paper's contextualization analyses are all slices of the same
+//! corpus — by platform, tier, access type, WiFi band, hour, and memory
+//! (PAPER §4–§6). Row-oriented `Vec<Measurement>` scans forced every
+//! figure module to re-walk the campaign with its own
+//! `iter().filter().collect()` chain and clone rows along the way. A
+//! [`CampaignStore`] instead holds each campaign as contiguous columns
+//! (`f64` / `u8` / small enums) so a figure expresses
+//! "Android + WiFi-2.4GHz + tier k" as one predicate pass producing a
+//! [`Selection`], then gathers just the column it needs.
+//!
+//! Three kinds of columns live here:
+//!
+//! * **Base columns** — copied straight out of the [`Measurement`]s at
+//!   construction (`down`, `up`, `hour`, `access`, …).
+//! * **Derived columns** — pure functions of base columns (time bin,
+//!   month, access class, WiFi band, memory class, per-platform
+//!   selections). They are computed lazily on first use and memoized in
+//!   `OnceLock`s; because each is a deterministic function of immutable
+//!   base columns, materializing them from any thread (or in parallel
+//!   across campaigns) yields bit-identical results.
+//! * **Assigned columns** — the BST fit outputs (tier, plan cap, tier
+//!   group, plan-normalized download) scattered onto the store exactly
+//!   once via [`CampaignStore::set_assignments`] after the models fit.
+//!
+//! Determinism contract: selections keep row indices ascending, so a
+//! gather through a selection visits rows in the same order as the
+//! classic `iter().enumerate().filter()` chain — downstream statistics
+//! and rendered artifacts stay byte-identical to the row-oriented code
+//! this replaces.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use st_dataframe::{Column, DataFrame, Selection};
+use st_netsim::MemoryClass;
+
+use crate::plans::PlanCatalog;
+use crate::record::{Access, Measurement, Platform};
+
+/// Access-class code: the platform reported no access medium.
+pub const ACCESS_UNKNOWN: u8 = 0;
+/// Access-class code: WiFi (band/RSSI metadata lives in separate columns).
+pub const ACCESS_WIFI: u8 = 1;
+/// Access-class code: wired Ethernet.
+pub const ACCESS_ETHERNET: u8 = 2;
+
+/// WiFi-band code: not a WiFi measurement.
+pub const BAND_NONE: u8 = 0;
+/// WiFi-band code: 2.4 GHz.
+pub const BAND_2_4: u8 = 1;
+/// WiFi-band code: 5 GHz.
+pub const BAND_5: u8 = 2;
+
+/// Memory-class code for "platform reported no memory".
+pub const MEMORY_NONE: u8 = 0;
+
+/// Number of distinct [`Platform`] variants (including MBA units).
+pub const N_PLATFORMS: usize = 7;
+
+/// Dense code for a platform, used to index per-platform selections.
+pub fn platform_code(p: Platform) -> usize {
+    match p {
+        Platform::AndroidApp => 0,
+        Platform::IosApp => 1,
+        Platform::DesktopWifiApp => 2,
+        Platform::DesktopEthernetApp => 3,
+        Platform::Web => 4,
+        Platform::NdtWeb => 5,
+        Platform::MbaUnit => 6,
+    }
+}
+
+/// Dense code for a memory class: `1 + index` in [`MemoryClass::all`]
+/// order (so [`MEMORY_NONE`] stays 0 for unreported memory).
+pub fn memory_code(class: MemoryClass) -> u8 {
+    1 + MemoryClass::all().iter().position(|c| *c == class).expect("class listed in all()") as u8
+}
+
+/// BST fit outputs scattered onto the store (one entry per row).
+///
+/// All vectors are parallel to the base columns. Rows the fit never
+/// assigned carry `None` / `-1` / NaN, so every consumer can branch on
+/// one column instead of re-deriving "was this row assigned".
+pub struct AssignedColumns {
+    /// Assigned subscription tier (1-based into the plan catalog).
+    pub tier: Vec<Option<usize>>,
+    /// Index of the matched upload cap in `catalog.upload_caps()`, or -1.
+    pub upload_cap_idx: Vec<i32>,
+    /// Index of the tier group containing the assigned tier, or -1.
+    pub group_idx: Vec<i32>,
+    /// Advertised download speed of the assigned tier's plan (NaN if
+    /// unassigned).
+    pub plan_down: Vec<f64>,
+    /// Download normalized by the plan speed, clamped to `[0, 1]`
+    /// (NaN if unassigned), as in the paper's figures.
+    pub normalized_down: Vec<f64>,
+    /// Memoized selection of rows per tier group (ascending group index).
+    pub group_sels: Vec<Selection>,
+    /// Memoized selection of rows per upload cap (ascending cap index).
+    pub cap_sels: Vec<Selection>,
+}
+
+/// Lazily built, memoized derived columns (pure functions of the base
+/// columns). The `builds` counter counts column-family initializations
+/// so tests can assert each family is computed exactly once.
+#[derive(Default)]
+struct DerivedColumns {
+    builds: AtomicUsize,
+    time_bin: OnceLock<Vec<u8>>,
+    month: OnceLock<Vec<u8>>,
+    access_class: OnceLock<Vec<u8>>,
+    wifi_band: OnceLock<Vec<u8>>,
+    rssi_dbm: OnceLock<Vec<f64>>,
+    memory_class: OnceLock<Vec<u8>>,
+    platform_sels: OnceLock<Vec<Selection>>,
+    native_sel: OnceLock<Selection>,
+}
+
+/// One measurement campaign as typed columns.
+pub struct CampaignStore {
+    id: Vec<u64>,
+    user_id: Vec<u64>,
+    platform: Vec<Platform>,
+    city: Vec<u8>,
+    day: Vec<u16>,
+    hour: Vec<u8>,
+    down: Vec<f64>,
+    up: Vec<f64>,
+    rtt: Vec<f64>,
+    loaded_rtt: Vec<f64>,
+    access: Vec<Access>,
+    kernel_memory_gb: Vec<f64>,
+    truth_tier: Vec<Option<usize>>,
+    derived: DerivedColumns,
+    assigned: OnceLock<AssignedColumns>,
+}
+
+impl CampaignStore {
+    /// Build the base columns from a slice of measurements.
+    pub fn from_measurements(ms: &[Measurement]) -> Self {
+        let n = ms.len();
+        let mut store = CampaignStore {
+            id: Vec::with_capacity(n),
+            user_id: Vec::with_capacity(n),
+            platform: Vec::with_capacity(n),
+            city: Vec::with_capacity(n),
+            day: Vec::with_capacity(n),
+            hour: Vec::with_capacity(n),
+            down: Vec::with_capacity(n),
+            up: Vec::with_capacity(n),
+            rtt: Vec::with_capacity(n),
+            loaded_rtt: Vec::with_capacity(n),
+            access: Vec::with_capacity(n),
+            kernel_memory_gb: Vec::with_capacity(n),
+            truth_tier: Vec::with_capacity(n),
+            derived: DerivedColumns::default(),
+            assigned: OnceLock::new(),
+        };
+        for m in ms {
+            store.id.push(m.id);
+            store.user_id.push(m.user_id);
+            store.platform.push(m.platform);
+            store.city.push(m.city);
+            store.day.push(m.day);
+            store.hour.push(m.hour);
+            store.down.push(m.down_mbps);
+            store.up.push(m.up_mbps);
+            store.rtt.push(m.rtt_ms);
+            store.loaded_rtt.push(m.loaded_rtt_ms);
+            store.access.push(m.access);
+            store.kernel_memory_gb.push(m.kernel_memory_gb.unwrap_or(f64::NAN));
+            store.truth_tier.push(m.truth_tier);
+        }
+        store
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.down.len()
+    }
+
+    /// True when the campaign has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.down.is_empty()
+    }
+
+    /// Test ids.
+    pub fn id(&self) -> &[u64] {
+        &self.id
+    }
+
+    /// Per-user ids.
+    pub fn user_id(&self) -> &[u64] {
+        &self.user_id
+    }
+
+    /// Platform per row.
+    pub fn platform(&self) -> &[Platform] {
+        &self.platform
+    }
+
+    /// City index per row.
+    pub fn city(&self) -> &[u8] {
+        &self.city
+    }
+
+    /// Day of year per row.
+    pub fn day(&self) -> &[u16] {
+        &self.day
+    }
+
+    /// Local hour per row.
+    pub fn hour(&self) -> &[u8] {
+        &self.hour
+    }
+
+    /// Download speeds, Mbps.
+    pub fn down(&self) -> &[f64] {
+        &self.down
+    }
+
+    /// Upload speeds, Mbps.
+    pub fn up(&self) -> &[f64] {
+        &self.up
+    }
+
+    /// Idle round-trip times, ms.
+    pub fn rtt(&self) -> &[f64] {
+        &self.rtt
+    }
+
+    /// Loaded round-trip times, ms.
+    pub fn loaded_rtt(&self) -> &[f64] {
+        &self.loaded_rtt
+    }
+
+    /// Access medium per row.
+    pub fn access(&self) -> &[Access] {
+        &self.access
+    }
+
+    /// Kernel memory, GB (NaN when the platform reported none).
+    pub fn kernel_memory_gb(&self) -> &[f64] {
+        &self.kernel_memory_gb
+    }
+
+    /// Ground-truth tier per row (generator-known; evaluation only).
+    pub fn truth_tier(&self) -> &[Option<usize>] {
+        &self.truth_tier
+    }
+
+    // ---- derived columns (lazy, memoized) -------------------------------
+
+    /// Six-hour time-of-day bin per row (0..4), as in Figs. 11–12.
+    pub fn time_bin(&self) -> &[u8] {
+        self.derived.time_bin.get_or_init(|| {
+            self.derived.builds.fetch_add(1, Ordering::Relaxed);
+            self.hour.iter().map(|&h| (h % 24) / 6).collect()
+        })
+    }
+
+    /// Month index per row (0..12), as in the §5.2 consistency analysis.
+    pub fn month(&self) -> &[u8] {
+        self.derived.month.get_or_init(|| {
+            self.derived.builds.fetch_add(1, Ordering::Relaxed);
+            self.day.iter().map(|&d| crate::record::month_of_day(d) as u8).collect()
+        })
+    }
+
+    /// Access class per row ([`ACCESS_UNKNOWN`] / [`ACCESS_WIFI`] /
+    /// [`ACCESS_ETHERNET`]).
+    pub fn access_class(&self) -> &[u8] {
+        self.derived.access_class.get_or_init(|| {
+            self.derived.builds.fetch_add(1, Ordering::Relaxed);
+            self.access
+                .iter()
+                .map(|a| match a {
+                    Access::Wifi { .. } => ACCESS_WIFI,
+                    Access::Ethernet => ACCESS_ETHERNET,
+                    Access::Unknown => ACCESS_UNKNOWN,
+                })
+                .collect()
+        })
+    }
+
+    /// WiFi band per row ([`BAND_NONE`] / [`BAND_2_4`] / [`BAND_5`]).
+    pub fn wifi_band(&self) -> &[u8] {
+        self.derived.wifi_band.get_or_init(|| {
+            self.derived.builds.fetch_add(1, Ordering::Relaxed);
+            self.access
+                .iter()
+                .map(|a| match a {
+                    Access::Wifi { band: st_netsim::Band::G2_4, .. } => BAND_2_4,
+                    Access::Wifi { band: st_netsim::Band::G5, .. } => BAND_5,
+                    _ => BAND_NONE,
+                })
+                .collect()
+        })
+    }
+
+    /// WiFi RSSI per row, dBm (NaN for non-WiFi rows).
+    pub fn rssi_dbm(&self) -> &[f64] {
+        self.derived.rssi_dbm.get_or_init(|| {
+            self.derived.builds.fetch_add(1, Ordering::Relaxed);
+            self.access
+                .iter()
+                .map(|a| match a {
+                    Access::Wifi { rssi_dbm, .. } => *rssi_dbm,
+                    _ => f64::NAN,
+                })
+                .collect()
+        })
+    }
+
+    /// Memory-class code per row ([`MEMORY_NONE`] when unreported,
+    /// otherwise `1 + index` in [`MemoryClass::all`] order; see
+    /// [`memory_code`]).
+    pub fn memory_class(&self) -> &[u8] {
+        self.derived.memory_class.get_or_init(|| {
+            self.derived.builds.fetch_add(1, Ordering::Relaxed);
+            self.kernel_memory_gb
+                .iter()
+                .map(
+                    |&gb| {
+                        if gb.is_nan() {
+                            MEMORY_NONE
+                        } else {
+                            memory_code(MemoryClass::from_gb(gb))
+                        }
+                    },
+                )
+                .collect()
+        })
+    }
+
+    /// Memoized selection of this platform's rows (ascending row order).
+    /// All per-platform selections are built in one pass over the store.
+    pub fn platform_sel(&self, platform: Platform) -> &Selection {
+        let sels = self.derived.platform_sels.get_or_init(|| {
+            self.derived.builds.fetch_add(1, Ordering::Relaxed);
+            let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); N_PLATFORMS];
+            for (i, p) in self.platform.iter().enumerate() {
+                buckets[platform_code(*p)].push(i as u32);
+            }
+            buckets.into_iter().map(Selection::from_sorted).collect()
+        });
+        &sels[platform_code(platform)]
+    }
+
+    /// Memoized selection of native-app rows (platforms with device
+    /// metadata, i.e. everything but the web portals and MBA units).
+    pub fn native_sel(&self) -> &Selection {
+        self.derived.native_sel.get_or_init(|| {
+            self.derived.builds.fetch_add(1, Ordering::Relaxed);
+            Selection::from_pred(self.len(), |i| self.platform[i].has_device_metadata())
+        })
+    }
+
+    /// Force every lazy derived column, so later figure passes only read.
+    /// Safe to call from any thread: each family is a pure function of
+    /// the immutable base columns.
+    pub fn materialize_derived(&self) {
+        self.time_bin();
+        self.month();
+        self.access_class();
+        self.wifi_band();
+        self.rssi_dbm();
+        self.memory_class();
+        self.platform_sel(Platform::Web);
+        self.native_sel();
+    }
+
+    /// How many derived column families have been built so far (for
+    /// memoization tests: each family must be computed exactly once).
+    pub fn derived_builds(&self) -> usize {
+        self.derived.builds.load(Ordering::Relaxed)
+    }
+
+    // ---- assigned columns (written once after the BST fit) --------------
+
+    /// Scatter BST fit outputs onto the store. `tier[i]` is the assigned
+    /// tier of row `i`; `upload_cap_idx[i]` indexes
+    /// `catalog.upload_caps()` (-1 when unmatched). Derives the group
+    /// index, plan speed, and normalized download per row plus memoized
+    /// per-group and per-cap selections.
+    ///
+    /// Panics if called twice: assignments are write-once by design.
+    pub fn set_assignments(
+        &self,
+        tier: Vec<Option<usize>>,
+        upload_cap_idx: Vec<i32>,
+        catalog: &PlanCatalog,
+    ) {
+        assert_eq!(tier.len(), self.len(), "tier column must cover every row");
+        assert_eq!(upload_cap_idx.len(), self.len(), "cap column must cover every row");
+        let groups = catalog.tier_groups();
+        let n_caps = catalog.upload_caps().len();
+        // Tier -> containing group, precomputed once (tiers are 1-based).
+        let tier_group: Vec<i32> = (0..=catalog.len())
+            .map(|t| {
+                groups.iter().position(|g| g.tiers.contains(&t)).map(|g| g as i32).unwrap_or(-1)
+            })
+            .collect();
+
+        let mut group_idx = vec![-1i32; self.len()];
+        let mut plan_down = vec![f64::NAN; self.len()];
+        let mut normalized_down = vec![f64::NAN; self.len()];
+        let mut group_rows: Vec<Vec<u32>> = vec![Vec::new(); groups.len()];
+        let mut cap_rows: Vec<Vec<u32>> = vec![Vec::new(); n_caps];
+        for i in 0..self.len() {
+            if let Some(t) = tier[i] {
+                group_idx[i] = tier_group.get(t).copied().unwrap_or(-1);
+                if group_idx[i] >= 0 {
+                    group_rows[group_idx[i] as usize].push(i as u32);
+                }
+                if let Some(plan) = catalog.plan(t) {
+                    plan_down[i] = plan.down.0;
+                    normalized_down[i] = (self.down[i] / plan.down.0).clamp(0.0, 1.0);
+                }
+            }
+            let c = upload_cap_idx[i];
+            if c >= 0 {
+                cap_rows[c as usize].push(i as u32);
+            }
+        }
+        let assigned = AssignedColumns {
+            tier,
+            upload_cap_idx,
+            group_idx,
+            plan_down,
+            normalized_down,
+            group_sels: group_rows.into_iter().map(Selection::from_sorted).collect(),
+            cap_sels: cap_rows.into_iter().map(Selection::from_sorted).collect(),
+        };
+        if self.assigned.set(assigned).is_err() {
+            panic!("set_assignments called twice on one CampaignStore");
+        }
+    }
+
+    /// The assigned columns. Panics if [`CampaignStore::set_assignments`]
+    /// has not run yet — analyses always scatter assignments (possibly
+    /// all-`None`) right after fitting.
+    pub fn assigned(&self) -> &AssignedColumns {
+        self.assigned.get().expect("set_assignments must run before reading assigned columns")
+    }
+
+    /// Whether assignments have been scattered yet.
+    pub fn has_assignments(&self) -> bool {
+        self.assigned.get().is_some()
+    }
+
+    /// Count rows per upload cap within `sel`, in one pass (replaces the
+    /// per-figure O(n·caps) `members_of` scans of Tables 3–4).
+    pub fn cap_counts(&self, sel: &Selection) -> Vec<usize> {
+        let caps = &self.assigned().upload_cap_idx;
+        let mut counts = vec![0usize; self.assigned().cap_sels.len()];
+        for i in sel.iter() {
+            if caps[i] >= 0 {
+                counts[caps[i] as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    // ---- interop --------------------------------------------------------
+
+    /// Convert the campaign to a data frame with one column per record
+    /// field (the canonical CSV-export schema). Missing numeric metadata
+    /// becomes NaN; missing tier truth becomes -1.
+    pub fn to_frame(&self) -> DataFrame {
+        let n = self.len();
+        let mut access = Vec::with_capacity(n);
+        let mut band = Vec::with_capacity(n);
+        let mut rssi = Vec::with_capacity(n);
+        for a in &self.access {
+            let (cls, b, r) = match a {
+                Access::Wifi { band, rssi_dbm } => ("wifi", band.label(), *rssi_dbm),
+                Access::Ethernet => ("ethernet", "", f64::NAN),
+                Access::Unknown => ("unknown", "", f64::NAN),
+            };
+            access.push(cls.to_string());
+            band.push(b.to_string());
+            rssi.push(r);
+        }
+        DataFrame::from_columns([
+            ("id", Column::I64(self.id.iter().map(|&v| v as i64).collect())),
+            ("user_id", Column::I64(self.user_id.iter().map(|&v| v as i64).collect())),
+            (
+                "platform",
+                Column::Str(self.platform.iter().map(|p| p.label().to_string()).collect()),
+            ),
+            (
+                "vendor",
+                Column::Str(self.platform.iter().map(|p| p.vendor().label().to_string()).collect()),
+            ),
+            ("city", Column::I64(self.city.iter().map(|&v| v as i64).collect())),
+            ("day", Column::I64(self.day.iter().map(|&v| v as i64).collect())),
+            ("hour", Column::I64(self.hour.iter().map(|&v| v as i64).collect())),
+            ("down_mbps", Column::F64(self.down.clone())),
+            ("up_mbps", Column::F64(self.up.clone())),
+            ("rtt_ms", Column::F64(self.rtt.clone())),
+            ("loaded_rtt_ms", Column::F64(self.loaded_rtt.clone())),
+            ("access", Column::Str(access)),
+            ("band", Column::Str(band)),
+            ("rssi_dbm", Column::F64(rssi)),
+            ("memory_gb", Column::F64(self.kernel_memory_gb.clone())),
+            (
+                "truth_tier",
+                Column::I64(
+                    self.truth_tier.iter().map(|t| t.map(|v| v as i64).unwrap_or(-1)).collect(),
+                ),
+            ),
+        ])
+        .expect("columns constructed with equal lengths")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_netsim::Band;
+
+    fn m(id: u64, platform: Platform, down: f64, up: f64, access: Access) -> Measurement {
+        Measurement {
+            id,
+            user_id: id % 3,
+            platform,
+            city: 0,
+            day: (id % 365) as u16,
+            hour: (id % 24) as u8,
+            down_mbps: down,
+            up_mbps: up,
+            rtt_ms: 10.0,
+            loaded_rtt_ms: 12.0,
+            access,
+            kernel_memory_gb: if platform == Platform::AndroidApp { Some(3.0) } else { None },
+            truth_tier: None,
+        }
+    }
+
+    fn sample() -> Vec<Measurement> {
+        vec![
+            m(0, Platform::AndroidApp, 80.0, 9.0, Access::Wifi { band: Band::G5, rssi_dbm: -40.0 }),
+            m(1, Platform::Web, 90.0, 9.5, Access::Unknown),
+            m(
+                2,
+                Platform::AndroidApp,
+                20.0,
+                2.0,
+                Access::Wifi { band: Band::G2_4, rssi_dbm: -70.0 },
+            ),
+            m(3, Platform::DesktopEthernetApp, 400.0, 20.0, Access::Ethernet),
+            m(4, Platform::IosApp, 50.0, 5.0, Access::Wifi { band: Band::G5, rssi_dbm: -55.0 }),
+        ]
+    }
+
+    #[test]
+    fn base_columns_mirror_measurements() {
+        let ms = sample();
+        let s = CampaignStore::from_measurements(&ms);
+        assert_eq!(s.len(), ms.len());
+        assert_eq!(s.down(), &[80.0, 90.0, 20.0, 400.0, 50.0]);
+        assert_eq!(s.platform()[3], Platform::DesktopEthernetApp);
+        assert!(s.kernel_memory_gb()[1].is_nan(), "web reports no memory");
+        assert_eq!(s.kernel_memory_gb()[0], 3.0);
+    }
+
+    #[test]
+    fn derived_columns_computed_exactly_once() {
+        let s = CampaignStore::from_measurements(&sample());
+        assert_eq!(s.derived_builds(), 0, "nothing derived up front");
+        let first = s.time_bin().to_vec();
+        assert_eq!(s.derived_builds(), 1);
+        let second = s.time_bin().to_vec();
+        assert_eq!(s.derived_builds(), 1, "memoized: no recomputation");
+        assert_eq!(first, second);
+        // Every family builds once, no matter how often it is read.
+        s.materialize_derived();
+        s.materialize_derived();
+        let after = s.derived_builds();
+        assert_eq!(after, 8, "eight derived families, each built once");
+        s.platform_sel(Platform::AndroidApp);
+        s.month();
+        s.wifi_band();
+        assert_eq!(s.derived_builds(), after);
+    }
+
+    #[test]
+    fn derived_codes_match_row_logic() {
+        let ms = sample();
+        let s = CampaignStore::from_measurements(&ms);
+        assert_eq!(
+            s.access_class(),
+            &[ACCESS_WIFI, ACCESS_UNKNOWN, ACCESS_WIFI, ACCESS_ETHERNET, ACCESS_WIFI]
+        );
+        assert_eq!(s.wifi_band(), &[BAND_5, BAND_NONE, BAND_2_4, BAND_NONE, BAND_5]);
+        assert_eq!(s.rssi_dbm()[0], -40.0);
+        assert!(s.rssi_dbm()[3].is_nan());
+        for (i, m) in ms.iter().enumerate() {
+            let expect = m.memory_class().map(memory_code).unwrap_or(MEMORY_NONE);
+            assert_eq!(s.memory_class()[i], expect);
+            assert_eq!(s.time_bin()[i] as usize, m.time_bin());
+            assert_eq!(s.month()[i] as usize, m.month());
+        }
+    }
+
+    #[test]
+    fn platform_selections_partition_the_store() {
+        let s = CampaignStore::from_measurements(&sample());
+        assert_eq!(s.platform_sel(Platform::AndroidApp).indices(), &[0, 2]);
+        assert_eq!(s.platform_sel(Platform::Web).indices(), &[1]);
+        assert_eq!(s.platform_sel(Platform::NdtWeb).len(), 0);
+        let native = s.native_sel();
+        assert_eq!(native.indices(), &[0, 2, 3, 4], "web portal is not native");
+    }
+
+    #[test]
+    fn to_frame_matches_canonical_schema() {
+        let ms = sample();
+        let s = CampaignStore::from_measurements(&ms);
+        let df = s.to_frame();
+        assert_eq!(df.n_rows(), ms.len());
+        assert_eq!(df.n_cols(), 16);
+        assert_eq!(df.f64("down_mbps").unwrap()[0], 80.0);
+        assert_eq!(df.str("access").unwrap()[3], "ethernet");
+        assert_eq!(df.str("band").unwrap()[0], "5 GHz");
+        assert_eq!(df.i64("truth_tier").unwrap()[0], -1);
+    }
+
+    #[test]
+    fn assignments_are_write_once_and_derive_groups() {
+        let s = CampaignStore::from_measurements(&sample());
+        let catalog = PlanCatalog::new("Test-ISP", &[(50.0, 5.0), (100.0, 5.0), (500.0, 20.0)]);
+        assert!(!s.has_assignments());
+        let top = catalog.len();
+        let tiers = vec![Some(1), None, Some(1), Some(top), None];
+        let caps = vec![0, -1, 0, (catalog.upload_caps().len() - 1) as i32, -1];
+        s.set_assignments(tiers, caps, &catalog);
+        let asg = s.assigned();
+        assert_eq!(asg.group_idx[0], 0);
+        assert_eq!(asg.group_idx[1], -1);
+        assert!(asg.plan_down[1].is_nan());
+        assert!(asg.normalized_down[0] <= 1.0);
+        assert_eq!(asg.group_sels[0].indices(), &[0, 2]);
+        assert_eq!(s.cap_counts(&Selection::all(s.len()))[0], 2);
+        let android = s.platform_sel(Platform::AndroidApp);
+        assert_eq!(s.cap_counts(android)[0], 2);
+    }
+}

@@ -153,6 +153,23 @@ pub fn silverman_bandwidth(data: &[f64]) -> f64 {
     0.9 * spread * n.powf(-0.2)
 }
 
+/// Silverman's bandwidth scaled by `scale`, as a [`Bandwidth`] rule.
+///
+/// The paper's §5 cluster recovery halves Silverman's rule-of-thumb
+/// (`scale = 0.5`) to resolve adjacent plan-speed modes; both the BST
+/// stage-1 upload clustering and the Fig. 4 density plot use this one
+/// definition. Falls back to plain [`Bandwidth::Silverman`] when the
+/// scaled bandwidth is not positive (empty or constant sample), matching
+/// the callers' historical behaviour.
+pub fn scaled_silverman(data: &[f64], scale: f64) -> Bandwidth {
+    let bw = silverman_bandwidth(data) * scale;
+    if bw > 0.0 {
+        Bandwidth::Fixed(bw)
+    } else {
+        Bandwidth::Silverman
+    }
+}
+
 /// Scott's rule bandwidth.
 pub fn scott_bandwidth(data: &[f64]) -> f64 {
     1.06 * std_dev(data) * (data.len() as f64).powf(-0.2)
