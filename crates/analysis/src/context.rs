@@ -47,8 +47,17 @@ impl CityAnalysis {
     /// so fits are bit-identical to the row-oriented pipeline this
     /// store-backed version replaced.
     pub fn new(dataset: CityDataset, seed: u64) -> Self {
+        Self::new_observed(dataset, seed, &st_obs::Registry::disabled())
+    }
+
+    /// [`CityAnalysis::new`] recording fit diagnostics into `reg`
+    /// (DESIGN.md §13). Observation happens strictly *after* each fit —
+    /// the registry never feeds back into the RNG stream or the models,
+    /// so the fitted analysis is bit-identical to [`CityAnalysis::new`].
+    pub fn new_observed(dataset: CityDataset, seed: u64, reg: &st_obs::Registry) -> Self {
         let cfg = BstConfig::default();
         let catalog = dataset.config.catalog.clone();
+        let city = dataset.config.city.label();
         let mut rng = StdRng::seed_from_u64(seed);
 
         let ookla = CampaignStore::from_measurements(&dataset.ookla);
@@ -76,6 +85,12 @@ impl CityAnalysis {
                     ookla_caps[i] =
                         model.assignments[j].upload_cap.and_then(cap_index).unwrap_or(-1);
                 }
+                st_bst::observe_model(
+                    reg,
+                    &[("campaign", "ookla"), ("city", city), ("platform", platform.label())],
+                    &model,
+                    &cfg,
+                );
                 ookla_models.push((platform, model));
             }
         }
@@ -83,6 +98,11 @@ impl CityAnalysis {
 
         let mlab_model = fit_campaign(&mlab, &catalog, &cfg, &mut rng);
         let mba_model = fit_campaign(&mba, &catalog, &cfg, &mut rng);
+        for (campaign, model) in [("mlab", &mlab_model), ("mba", &mba_model)] {
+            if let Some(model) = model {
+                st_bst::observe_model(reg, &[("campaign", campaign), ("city", city)], model, &cfg);
+            }
+        }
 
         CityAnalysis {
             config: dataset.config,
@@ -249,6 +269,90 @@ mod tests {
         assert_eq!(median, 2.0);
         assert!(ecdf_series("e", &[]).is_none());
         assert!(ecdf_series("nan", &[f64::NAN]).is_none());
+    }
+
+    fn observed_analysis() -> (CityAnalysis, st_obs::MetricsSnapshot) {
+        let ds = CityDataset::generate(City::A, 0.004, 99);
+        let reg = st_obs::Registry::new();
+        let a = CityAnalysis::new_observed(ds, 7, &reg);
+        (a, reg.snapshot())
+    }
+
+    #[test]
+    fn fit_metrics_are_seed_stable_across_repeated_fits() {
+        // Same city, same seed, fitted twice: the EM-iteration counters
+        // and log-likelihood trajectories must be byte-identical — they
+        // are pure functions of (dataset, seed).
+        let (_, snap1) = observed_analysis();
+        let (_, snap2) = observed_analysis();
+        assert_eq!(snap1.deterministic_json(), snap2.deterministic_json());
+        // And they actually recorded the fits, per stage.
+        let has_stage2 =
+            snap1.deterministic.counters.keys().any(|k| k.starts_with("bst.stage2.em_iterations"));
+        assert!(has_stage2, "no stage-2 EM iteration counters recorded");
+        let has_ll = snap1.deterministic.series.keys().any(|k| k.starts_with("bst.stage2.ll"));
+        assert!(has_ll, "no stage-2 log-likelihood trajectories recorded");
+    }
+
+    #[test]
+    fn fit_metrics_match_fitted_model_state() {
+        // The table3-style cross-check: metrics must agree with what the
+        // fitted models themselves report.
+        let (a, snap) = observed_analysis();
+        let det = &snap.deterministic;
+
+        // Stage-1 cap-member counters equal the MBA model's member counts
+        // per upload cap.
+        let mba = a.mba_model.as_ref().expect("MBA model fits at this scale");
+        let mut caps: Vec<_> = mba.uploads.component_caps.iter().flatten().copied().collect();
+        caps.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+        caps.dedup();
+        for cap in caps {
+            let key = format!("bst.stage1.cap_members{{campaign=mba,cap={},city=City-A}}", cap.0);
+            assert_eq!(
+                det.counters.get(&key).copied().unwrap_or(0),
+                mba.uploads.members_of(cap).len() as u64,
+                "member-count mismatch for {key}"
+            );
+        }
+
+        // Assigned/unassigned counters partition the MBA sample.
+        let assigned = det.counters["bst.assigned{campaign=mba,city=City-A}"];
+        let unassigned = det.counters["bst.unassigned{campaign=mba,city=City-A}"];
+        assert_eq!((assigned + unassigned) as usize, mba.assignments.len());
+        assert_eq!(assigned as usize, mba.assignments.iter().filter(|x| x.tier.is_some()).count());
+
+        // Stage-1 EM iterations and trajectory match the fit diagnostics.
+        let fit = mba.uploads.gmm.fit_info();
+        assert_eq!(
+            det.counters["bst.stage1.em_iterations{campaign=mba,city=City-A}"],
+            fit.iterations as u64
+        );
+        assert_eq!(det.series["bst.stage1.ll{campaign=mba,city=City-A}"], fit.trajectory);
+
+        // Per-group stage-2 iterations sum (plus stage 1) into the total.
+        let em_total: u64 = fit.iterations as u64
+            + mba.downloads.iter().map(|(_, dc)| dc.gmm.fit_info().iterations as u64).sum::<u64>();
+        assert_eq!(det.counters["bst.em_iterations_total{campaign=mba,city=City-A}"], em_total);
+    }
+
+    #[test]
+    fn observed_fit_is_identical_to_unobserved() {
+        // Metrics are read-only observers: the fitted models must be
+        // bit-identical with and without a live registry.
+        let ds = CityDataset::generate(City::A, 0.004, 99);
+        let plain = CityAnalysis::new(ds, 7);
+        let (observed, _) = observed_analysis();
+        assert_eq!(plain.ookla_models.len(), observed.ookla_models.len());
+        for ((p1, m1), (p2, m2)) in plain.ookla_models.iter().zip(&observed.ookla_models) {
+            assert_eq!(p1, p2);
+            assert_eq!(m1.uploads.gmm, m2.uploads.gmm);
+            assert_eq!(m1.assignments, m2.assignments);
+        }
+        assert_eq!(
+            plain.mba_model.as_ref().map(|m| &m.assignments),
+            observed.mba_model.as_ref().map(|m| &m.assignments)
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--scale S] [--seed N] [--out DIR] [--parallelism P]
 //!       [--dirty-rate R] [--inject-fail LABEL]... [--deadline-secs D]
-//!       [--allow-degraded]
+//!       [--allow-degraded] [--metrics]
 //! ```
 //!
 //! Generates the four city datasets at `S` of the paper's campaign sizes
@@ -13,7 +13,11 @@
 //! * `DIR/report.md` — all tables and figure summaries,
 //! * `DIR/<id>.svg` — one chart per figure,
 //! * `DIR/<id>.json` — machine-readable series/rows,
-//! * `DIR/BENCH_timings.json` — per-stage wall-clock timings.
+//! * `DIR/BENCH_timings.json` — per-stage wall-clock timings,
+//! * `DIR/BENCH_metrics.json` — the full pipeline metrics snapshot
+//!   (with `--metrics`): a `deterministic` section that is
+//!   byte-identical at every parallelism level, and a `wall_clock`
+//!   span section that is not (see DESIGN.md §"Observability").
 //!
 //! `--parallelism` fans dataset generation, BST fitting, and artifact
 //! rendering out over worker threads (default: all cores). Output is
@@ -30,7 +34,7 @@
 
 use serde::Serialize;
 use st_bench::{
-    build_analyses_sanitized, render_report, run_all_supervised, StageTimings, SuperviseOptions,
+    build_analyses_observed, render_report, run_all_observed, StageTimings, SuperviseOptions,
 };
 use st_datagen::DirtyScenario;
 use std::path::PathBuf;
@@ -46,6 +50,7 @@ struct Args {
     inject_fail: Vec<String>,
     deadline_secs: u64,
     allow_degraded: bool,
+    metrics: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         inject_fail: Vec::new(),
         deadline_secs: 300,
         allow_degraded: false,
+        metrics: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -98,10 +104,11 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--allow-degraded" => args.allow_degraded = true,
+            "--metrics" => args.metrics = true,
             "--help" | "-h" => {
                 return Err("usage: repro [--scale S] [--seed N] [--out DIR] [--parallelism P] \
                      [--dirty-rate R] [--inject-fail LABEL]... [--deadline-secs D] \
-                     [--allow-degraded]"
+                     [--allow-degraded] [--metrics]"
                     .into())
             }
             other => return Err(format!("unknown flag {other}")),
@@ -134,8 +141,9 @@ fn main() -> ExitCode {
     );
     let t0 = std::time::Instant::now();
     let dirty = (args.dirty_rate > 0.0).then(|| DirtyScenario::with_total_rate(args.dirty_rate));
+    let obs = st_obs::Registry::new();
     let (analyses, timings, sanitize) =
-        build_analyses_sanitized(args.scale, args.seed, args.parallelism, dirty.as_ref());
+        build_analyses_observed(args.scale, args.seed, args.parallelism, dirty.as_ref(), &obs);
     eprintln!(
         "datasets in {:.1}s, BST fits in {:.1}s ({} records quarantined); running experiments ...",
         timings.generate_s, timings.fit_s, sanitize.quarantined
@@ -147,7 +155,7 @@ fn main() -> ExitCode {
         fail_jobs: args.inject_fail.clone(),
         ..SuperviseOptions::default()
     };
-    let report = run_all_supervised(&analyses, args.scale, args.seed, &opts, timings, sanitize);
+    let report = run_all_observed(&analyses, args.scale, args.seed, &opts, timings, sanitize, &obs);
     let claims = st_bench::claims::check_all(&analyses);
 
     if let Err(e) = std::fs::create_dir_all(&args.out) {
@@ -174,6 +182,34 @@ fn main() -> ExitCode {
     if let Ok(json) = serde_json::to_string_pretty(&bench) {
         if std::fs::write(args.out.join("BENCH_timings.json"), json).is_ok() {
             written += 1;
+        }
+    }
+    if args.metrics {
+        // The deterministic section is byte-identical at every
+        // parallelism level; `wall_clock` (and this run's scale/seed/
+        // parallelism header) is excluded from that contract.
+        #[derive(Serialize)]
+        struct MetricsRecord {
+            schema: &'static str,
+            scale: f64,
+            seed: u64,
+            parallelism: usize,
+            deterministic: st_obs::DeterministicMetrics,
+            wall_clock: st_obs::WallClockMetrics,
+        }
+        let snapshot = report.metrics.as_ref().expect("observed run carries metrics");
+        let record = MetricsRecord {
+            schema: snapshot.schema,
+            scale: args.scale,
+            seed: args.seed,
+            parallelism: args.parallelism,
+            deterministic: snapshot.deterministic.clone(),
+            wall_clock: snapshot.wall_clock.clone(),
+        };
+        if let Ok(json) = serde_json::to_string_pretty(&record) {
+            if std::fs::write(args.out.join("BENCH_metrics.json"), json).is_ok() {
+                written += 1;
+            }
         }
     }
     let mut md = render_report(&report);

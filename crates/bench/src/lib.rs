@@ -22,6 +22,18 @@
 //! * [`render_report`] carries a `## Health` section (failed/retried
 //!   jobs, quarantine counts by reason) so degradation is visible, and
 //!   [`RunHealth::is_degraded`] lets the binary exit nonzero on it.
+//!
+//! The pipeline is also **observable** (DESIGN.md §"Observability"):
+//! [`build_analyses_observed`] and [`run_all_observed`] thread an
+//! [`st_obs::Registry`] through every stage. Each parallel unit (city,
+//! campaign store, render job) records into its own sub-registry; the
+//! coordinator merges them in fixed city/job order — the same fold as
+//! the sanitize counters — so the deterministic metric class is
+//! byte-identical at every parallelism level. Stage wall-clocks come
+//! from the `generate`/`fit`/`derive`/`render` span tree, which keeps
+//! feeding the same four numbers into [`StageTimings`] for
+//! `BENCH_timings.json`. Observation is read-only: artifacts are
+//! byte-identical with the registry enabled or disabled.
 
 pub mod claims;
 
@@ -31,11 +43,12 @@ use st_analysis::{
     fig12, fig13, table1, table2, table3, table4, CityAnalysis,
 };
 use st_datagen::{City, CityDataset, DirtyScenario};
+use st_obs::{MetricsSnapshot, Registry};
 use st_speedtest::{sanitize, SanitizeReport};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One rendered artifact: an id, markdown/text body, and optional SVG.
 pub struct Artifact {
@@ -112,6 +125,10 @@ pub struct ReproReport {
     pub timings: StageTimings,
     /// Supervision and sanitization outcome.
     pub health: RunHealth,
+    /// Metrics snapshot of the run, when it was driven through
+    /// [`run_all_observed`] with an enabled registry. `None` on the
+    /// plain entry points.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// Supervision knobs for [`run_all_supervised`].
@@ -251,6 +268,30 @@ pub fn build_analyses_sanitized(
     parallelism: usize,
     dirty: Option<&DirtyScenario>,
 ) -> (Arc<Vec<CityAnalysis>>, StageTimings, SanitizeReport) {
+    build_analyses_observed(scale, seed, parallelism, dirty, &Registry::disabled())
+}
+
+/// Like [`build_analyses_sanitized`], recording pipeline metrics and
+/// stage spans into `obs` (see DESIGN.md §"Observability").
+///
+/// Each city runs against its own sub-registry inside the worker
+/// closure; the coordinator merges the four sub-registries **in city
+/// order** — exactly how the [`SanitizeReport`]s are folded — so every
+/// deterministic metric (record counts, quarantine tallies, EM
+/// iterations, KDE grid evaluations, ...) is byte-identical at every
+/// parallelism level. Wall-clock spans (`generate`, `fit`, `derive`,
+/// plus one child per city) are recorded too but excluded from that
+/// contract.
+///
+/// Observation is read-only: the returned analyses are byte-identical
+/// whether `obs` is enabled or [`Registry::disabled`].
+pub fn build_analyses_observed(
+    scale: f64,
+    seed: u64,
+    parallelism: usize,
+    dirty: Option<&DirtyScenario>,
+    obs: &Registry,
+) -> (Arc<Vec<CityAnalysis>>, StageTimings, SanitizeReport) {
     let parallelism = parallelism.max(1);
     let cities = City::all();
     let city_workers = parallelism.min(cities.len());
@@ -258,45 +299,77 @@ pub fn build_analyses_sanitized(
     let inner = parallelism.div_ceil(city_workers);
     let dirty = dirty.copied();
 
-    let t0 = Instant::now();
+    let gen_span = obs.span("generate");
     let prepared = par_map(cities.to_vec(), city_workers, |_, city| {
+        let sub = obs.sub();
+        let city_span = sub.span(&format!("generate/{}", city.label()));
         let mut ds = CityDataset::generate_with_parallelism(city, scale, seed, inner);
-        if let Some(scenario) = &dirty {
-            ds.inject_dirty(scenario, seed);
+        let dirty_labels = dirty.as_ref().map(|scenario| ds.inject_dirty(scenario, seed));
+        ds.observe(&sub);
+        if let Some(labels) = &dirty_labels {
+            ds.observe_dirty(&sub, labels);
         }
+        let city_label = ds.config.city.label();
         let mut report = SanitizeReport::default();
-        for campaign in [&mut ds.ookla, &mut ds.mlab, &mut ds.mba] {
-            let (kept, r) = sanitize(std::mem::take(campaign));
-            *campaign = kept;
+        for (campaign, records) in
+            [("ookla", &mut ds.ookla), ("mlab", &mut ds.mlab), ("mba", &mut ds.mba)]
+        {
+            let (kept, r) = sanitize(std::mem::take(records));
+            *records = kept;
+            r.record(&sub, &[("campaign", campaign), ("city", city_label)]);
             report.merge(&r);
         }
-        (ds, report)
+        city_span.stop();
+        (ds, report, sub)
     });
-    let generate_s = t0.elapsed().as_secs_f64();
+    let generate_s = gen_span.stop();
 
     let mut sanitize_total = SanitizeReport::default();
-    let datasets: Vec<CityDataset> = prepared
-        .into_iter()
-        .map(|(ds, report)| {
-            sanitize_total.merge(&report);
-            ds
-        })
-        .collect();
+    let mut datasets: Vec<CityDataset> = Vec::with_capacity(prepared.len());
+    for (ds, report, sub) in prepared {
+        sanitize_total.merge(&report);
+        obs.merge(&sub);
+        datasets.push(ds);
+    }
 
-    let t1 = Instant::now();
-    let analyses = par_map(datasets, city_workers, |_, ds| CityAnalysis::new(ds, seed ^ 0x5eed));
-    let fit_s = t1.elapsed().as_secs_f64();
+    let fit_span = obs.span("fit");
+    let fitted = par_map(datasets, city_workers, |_, ds| {
+        let sub = obs.sub();
+        let city_span = sub.span(&format!("fit/{}", ds.config.city.label()));
+        let analysis = CityAnalysis::new_observed(ds, seed ^ 0x5eed, &sub);
+        city_span.stop();
+        (analysis, sub)
+    });
+    let fit_s = fit_span.stop();
+    let mut analyses: Vec<CityAnalysis> = Vec::with_capacity(fitted.len());
+    for (analysis, sub) in fitted {
+        obs.merge(&sub);
+        analyses.push(analysis);
+    }
 
     // Materialize every store's lazy derived columns up front so the
     // render jobs only ever read memoized slices. Each column is a pure
     // function of the base columns, so building them in parallel (one
     // job per campaign, city order preserved by `par_map`) cannot change
     // their contents.
-    let t2 = Instant::now();
-    let stores: Vec<&st_speedtest::CampaignStore> =
-        analyses.iter().flat_map(|a| [&a.ookla, &a.mlab, &a.mba]).collect();
-    par_map(stores, parallelism, |_, store| store.materialize_derived());
-    let derive_s = t2.elapsed().as_secs_f64();
+    let derive_span = obs.span("derive");
+    let stores: Vec<(&str, &str, &st_speedtest::CampaignStore)> = analyses
+        .iter()
+        .flat_map(|a| {
+            let city = a.config.city.label();
+            [("ookla", city, &a.ookla), ("mlab", city, &a.mlab), ("mba", city, &a.mba)]
+        })
+        .collect();
+    let subs = par_map(stores, parallelism, |_, (campaign, city, store)| {
+        let sub = obs.sub();
+        store.materialize_derived();
+        store.observe(&sub, &[("campaign", campaign), ("city", city)]);
+        sub
+    });
+    let derive_s = derive_span.stop();
+    for sub in &subs {
+        obs.merge(sub);
+    }
 
     (
         Arc::new(analyses),
@@ -632,8 +705,29 @@ pub fn run_all_supervised(
     timings: StageTimings,
     sanitize: SanitizeReport,
 ) -> ReproReport {
+    run_all_observed(analyses, scale, seed, opts, timings, sanitize, &Registry::disabled())
+}
+
+/// Like [`run_all_supervised`], recording render metrics and spans into
+/// `obs`. Each job runs against its own sub-registry (one
+/// `render/<label>` span per job); the coordinator merges them in paper
+/// order and adds the deterministic job counters (`render.jobs`,
+/// `render.jobs_retried`, `render.jobs_failed`,
+/// `render.artifacts{job}`, `render.headlines{job}`) while stitching
+/// the outputs. With an enabled registry the returned
+/// [`ReproReport::metrics`] carries the full snapshot of the run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_all_observed(
+    analyses: &Arc<Vec<CityAnalysis>>,
+    scale: f64,
+    seed: u64,
+    opts: &SuperviseOptions,
+    timings: StageTimings,
+    sanitize: SanitizeReport,
+    obs: &Registry,
+) -> ReproReport {
     assert_eq!(analyses.len(), 4, "need all four cities");
-    let t0 = Instant::now();
+    let render_span = obs.span("render");
     let jobs: Vec<(String, RenderJob)> = render_jobs(analyses)
         .into_iter()
         .map(|(label, inner)| {
@@ -644,8 +738,9 @@ pub fn run_all_supervised(
 
     let deadline = opts.deadline;
     let outs = par_map(jobs, opts.parallelism.max(1), |_, (label, job)| {
-        let first = attempt_job(&job, deadline);
-        match first {
+        let sub = obs.sub();
+        let job_span = sub.span(&format!("render/{label}"));
+        let outcome = match attempt_job(&job, deadline) {
             Attempt::Completed(out) => (label, Ok(out), false),
             failed => {
                 let first_reason = describe(&failed);
@@ -657,31 +752,40 @@ pub fn run_all_supervised(
                     }
                 }
             }
-        }
+        };
+        job_span.stop();
+        (outcome, sub)
     });
 
     let mut artifacts = Vec::new();
     let mut headlines = Vec::new();
     let mut health = RunHealth { jobs_total: outs.len(), sanitize, ..RunHealth::default() };
-    for (label, result, retried) in outs {
+    for ((label, result, retried), sub) in outs {
+        obs.merge(&sub);
+        obs.inc("render.jobs", &[]);
         match result {
             Ok(out) => {
                 if retried {
                     health.jobs_retried += 1;
+                    obs.inc("render.jobs_retried", &[]);
                 }
                 let (art, heads) = *out;
+                obs.add("render.artifacts", &[("job", label.as_str())], art.len() as u64);
+                obs.add("render.headlines", &[("job", label.as_str())], heads.len() as u64);
                 artifacts.extend(art);
                 headlines.extend(heads);
             }
             Err(reason) => {
                 health.jobs_failed += 1;
+                obs.inc("render.jobs_failed", &[]);
                 artifacts.push(placeholder_artifact(&label, &reason));
                 health.failures.push(JobFailure { label, reason });
             }
         }
     }
-    let timings = StageTimings { render_s: t0.elapsed().as_secs_f64(), ..timings };
-    ReproReport { scale, seed, artifacts, headlines, timings, health }
+    let timings = StageTimings { render_s: render_span.stop(), ..timings };
+    let metrics = obs.is_enabled().then(|| obs.snapshot());
+    ReproReport { scale, seed, artifacts, headlines, timings, health, metrics }
 }
 
 /// Render the `## Health` section body (shared by the report and tests;
@@ -718,6 +822,41 @@ pub fn render_health(health: &RunHealth) -> String {
     out
 }
 
+/// Render the `## Metrics` section body from the **deterministic**
+/// metric class only. Wall-clock spans are deliberately excluded, so —
+/// like the artifacts and the `## Health` section — the rendered text
+/// is byte-identical at every parallelism level.
+pub fn render_metrics(det: &st_obs::DeterministicMetrics) -> String {
+    fn base(key: &str) -> &str {
+        key.split('{').next().unwrap_or(key)
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "- deterministic keys: {} counters, {} gauges, {} histograms, {} series\n",
+        det.counters.len(),
+        det.gauges.len(),
+        det.histograms.len(),
+        det.series.len()
+    ));
+    let mut totals: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for (key, v) in &det.counters {
+        *totals.entry(base(key)).or_default() += v;
+    }
+    if !totals.is_empty() {
+        out.push_str("- counter totals (summed over labels):\n");
+        for (name, total) in &totals {
+            out.push_str(&format!("  - {name}: {total}\n"));
+        }
+    }
+    if !det.histograms.is_empty() {
+        out.push_str("- histograms:\n");
+        for (key, h) in &det.histograms {
+            out.push_str(&format!("  - {key}: n={} min={} max={}\n", h.count, h.min, h.max));
+        }
+    }
+    out
+}
+
 /// Render the full markdown report.
 pub fn render_report(report: &ReproReport) -> String {
     let mut out = String::new();
@@ -735,6 +874,10 @@ pub fn render_report(report: &ReproReport) -> String {
     ));
     out.push_str("\n## Health\n\n");
     out.push_str(&render_health(&report.health));
+    if let Some(metrics) = &report.metrics {
+        out.push_str("\n## Metrics\n\n");
+        out.push_str(&render_metrics(&metrics.deterministic));
+    }
     out.push_str("\n## Artifacts\n\n");
     for a in &report.artifacts {
         out.push_str("```text\n");
@@ -747,6 +890,7 @@ pub fn render_report(report: &ReproReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
 
     #[test]
     fn tiny_run_produces_all_artifacts() {
@@ -771,6 +915,38 @@ mod tests {
         assert!(md.contains("## Timings"));
         assert!(md.contains("## Health"));
         assert!(md.contains("0 failed, 0 retried"));
+    }
+
+    #[test]
+    fn observed_run_records_metrics_and_plain_run_does_not() {
+        let obs = Registry::new();
+        let (analyses, timings, sanitize) = build_analyses_observed(0.004, 2024, 2, None, &obs);
+        let opts = SuperviseOptions { parallelism: 2, ..SuperviseOptions::default() };
+        let report = run_all_observed(&analyses, 0.004, 2024, &opts, timings, sanitize, &obs);
+        let metrics = report.metrics.as_ref().expect("enabled registry yields a snapshot");
+        let det = &metrics.deterministic;
+        for prefix in ["datagen.records", "sanitize.clean", "bst.em_iterations_total", "store.rows"]
+        {
+            assert!(
+                det.counters.keys().any(|k| k.starts_with(prefix)),
+                "no {prefix} counter in {:?}",
+                det.counters.keys().collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(det.counters.get("render.jobs").copied(), Some(report.health.jobs_total as u64));
+        let spans = &metrics.wall_clock.spans;
+        for root in ["generate", "fit", "derive", "render"] {
+            assert!(spans.contains_key(root), "missing span {root}");
+        }
+        assert!(spans.keys().any(|k| k.starts_with("generate/City-")), "no per-city span");
+        assert!(spans.contains_key("render/fig01"), "no per-job span");
+        let md = render_report(&report);
+        assert!(md.contains("## Metrics"));
+        assert!(md.contains("counter totals"));
+        // The plain entry points stay metrics-free.
+        let plain = run_all(&analyses, 0.004, 2024);
+        assert!(plain.metrics.is_none());
+        assert!(!render_report(&plain).contains("## Metrics"));
     }
 
     #[test]

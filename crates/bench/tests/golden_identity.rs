@@ -7,7 +7,11 @@
 //! run at scale 0.004, seed 2024 — the same configuration the CI
 //! determinism smoke uses.
 
-use st_bench::{build_analyses_par, run_all_par, StageTimings};
+use st_bench::{
+    build_analyses_observed, build_analyses_par, run_all_observed, run_all_par, ReproReport,
+    StageTimings, SuperviseOptions,
+};
+use st_obs::Registry;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0100_0000_01b3;
@@ -26,12 +30,11 @@ fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
     h
 }
 
-/// Reconstruct the artifact file set the repro binary writes (minus
-/// `report.md` and `BENCH_timings.json`, which carry wall-clock values)
-/// and hash it the way the capture script did.
-fn artifact_hash(parallelism: usize) -> (u64, usize) {
-    let (analyses, timings) = build_analyses_par(0.004, 2024, parallelism);
-    let report = run_all_par(&analyses, 0.004, 2024, parallelism, timings);
+/// Hash a report's artifact file set (every `<id>.svg` / `<id>.json`
+/// the repro binary would write, minus `report.md` and the BENCH_*
+/// records, which carry wall-clock values) the way the capture script
+/// did.
+fn report_hash(report: &ReproReport) -> (u64, usize) {
     let mut files: Vec<(String, &str)> = Vec::new();
     for a in &report.artifacts {
         if let Some(svg) = &a.svg {
@@ -46,6 +49,26 @@ fn artifact_hash(parallelism: usize) -> (u64, usize) {
         h = fnv1a(body.as_bytes(), h);
     }
     (h, files.len())
+}
+
+/// Reconstruct and hash the artifact file set of a plain
+/// (observability-disabled) run.
+fn artifact_hash(parallelism: usize) -> (u64, usize) {
+    let (analyses, timings) = build_analyses_par(0.004, 2024, parallelism);
+    let report = run_all_par(&analyses, 0.004, 2024, parallelism, timings);
+    report_hash(&report)
+}
+
+/// Same file set, with an **enabled** metrics registry threaded through
+/// every stage.
+fn observed_artifact_hash(parallelism: usize) -> (u64, usize) {
+    let obs = Registry::new();
+    let (analyses, timings, sanitize) =
+        build_analyses_observed(0.004, 2024, parallelism, None, &obs);
+    let opts = SuperviseOptions { parallelism, ..SuperviseOptions::default() };
+    let report = run_all_observed(&analyses, 0.004, 2024, &opts, timings, sanitize, &obs);
+    assert!(report.metrics.is_some(), "enabled registry must yield a snapshot");
+    report_hash(&report)
 }
 
 #[test]
@@ -65,6 +88,19 @@ fn parallel_artifacts_match_the_golden_run_too() {
     assert_eq!(
         h4, GOLDEN_HASH,
         "parallel artifacts diverged from the row-based golden run (hash {h4:#x})"
+    );
+}
+
+#[test]
+fn observability_does_not_change_a_single_artifact_byte() {
+    // Observation is read-only: the metrics registry never feeds back
+    // into the computation, so an instrumented run must reproduce the
+    // pre-observability golden hash exactly.
+    let (h, n) = observed_artifact_hash(2);
+    assert_eq!(n, GOLDEN_FILES, "artifact file count changed with metrics enabled");
+    assert_eq!(
+        h, GOLDEN_HASH,
+        "artifacts diverged from the golden run with metrics enabled (hash {h:#x})"
     );
 }
 

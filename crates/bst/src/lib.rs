@@ -29,6 +29,7 @@ pub mod assign;
 pub mod consistency;
 pub mod diagnose;
 pub mod eval;
+pub mod obs;
 pub mod stability;
 pub mod stage1;
 pub mod stage2;
@@ -37,6 +38,7 @@ pub use assign::{BstModel, PlanAssignment};
 pub use consistency::{alpha_values, consistency_cdf, AlphaConfig};
 pub use diagnose::{diagnose, triage_campaign, DiagnoseConfig, LocalFactor, Verdict};
 pub use eval::{evaluate, Evaluation};
+pub use obs::observe_model;
 pub use stability::{assignment_stability, StabilityReport};
 pub use stage1::{cluster_uploads, UploadClustering};
 pub use stage2::{cluster_downloads, DownloadClustering};

@@ -1,0 +1,145 @@
+//! Observability for fitted BST models (DESIGN.md §13).
+//!
+//! A fitted [`BstModel`] already carries everything the metrics layer
+//! wants to know — KDE peak counts, per-stage EM diagnostics, member
+//! counts per upload cap — so instrumentation is a pure *post-fit read*:
+//! [`observe_model`] walks the model and records into an
+//! [`st_obs::Registry`] without touching the fitting path. Every metric
+//! here is a function of the fitted model alone, which puts the whole
+//! set in the deterministic class.
+
+use crate::{BstConfig, BstModel};
+use st_obs::Registry;
+
+/// Record a fitted model's diagnostics under `labels` (typically
+/// `city` + `campaign`). Metric names:
+///
+/// * `bst.stage1.kde_peaks` / `bst.stage1.components` — gauges
+/// * `bst.stage1.em_iterations` — counter; `bst.stage1.ll` — series
+///   (the stage-1 log-likelihood trajectory)
+/// * `bst.stage1.cap_members` — counter per `cap` label (cross-checks
+///   against table 3's member counts)
+/// * `bst.stage2.groups`, `bst.stage2.em_iterations`,
+///   `bst.stage2.components` — per-group fit shape; `bst.stage2.ll`
+///   series per `cap`
+/// * `bst.kde_grid_evals` — counter: `kde_grid_points × (1 + groups)`,
+///   one grid pass for stage 1 plus one per stage-2 group
+/// * `bst.assigned` / `bst.unassigned` — tier coverage counters
+pub fn observe_model(reg: &Registry, labels: &[(&str, &str)], model: &BstModel, cfg: &BstConfig) {
+    if !reg.is_enabled() {
+        return;
+    }
+
+    let s1 = model.uploads.gmm.fit_info();
+    reg.set_gauge("bst.stage1.kde_peaks", labels, model.uploads.kde_peaks as f64);
+    reg.set_gauge("bst.stage1.components", labels, model.uploads.gmm.k() as f64);
+    reg.add("bst.stage1.em_iterations", labels, s1.iterations as u64);
+    reg.extend_series("bst.stage1.ll", labels, &s1.trajectory);
+
+    // Per-cap member counts, keyed the way stage 1 matched them.
+    for cap in model.uploads.component_caps.iter().flatten() {
+        let members = model.uploads.members_of(*cap);
+        let cap_label = format!("{}", cap.0);
+        let mut with_cap: Vec<(&str, &str)> = labels.to_vec();
+        with_cap.push(("cap", &cap_label));
+        reg.add("bst.stage1.cap_members", &with_cap, members.len() as u64);
+    }
+
+    reg.add("bst.stage2.groups", labels, model.downloads.len() as u64);
+    let mut em_total = s1.iterations as u64;
+    for (cap, dc) in &model.downloads {
+        let s2 = dc.gmm.fit_info();
+        em_total += s2.iterations as u64;
+        let cap_label = format!("{}", cap.0);
+        let mut with_cap: Vec<(&str, &str)> = labels.to_vec();
+        with_cap.push(("cap", &cap_label));
+        reg.add("bst.stage2.em_iterations", &with_cap, s2.iterations as u64);
+        reg.set_gauge("bst.stage2.components", &with_cap, dc.gmm.k() as f64);
+        reg.set_gauge("bst.stage2.kde_peaks", &with_cap, dc.kde_peaks as f64);
+        reg.extend_series("bst.stage2.ll", &with_cap, &s2.trajectory);
+    }
+    reg.add("bst.em_iterations_total", labels, em_total);
+
+    // One KDE grid pass for stage 1 plus one per fitted stage-2 group.
+    let grid_evals = cfg.kde_grid_points as u64 * (1 + model.downloads.len() as u64);
+    reg.add("bst.kde_grid_evals", labels, grid_evals);
+
+    let assigned = model.assignments.iter().filter(|a| a.tier.is_some()).count() as u64;
+    reg.add("bst.assigned", labels, assigned);
+    reg.add("bst.unassigned", labels, model.assignments.len() as u64 - assigned);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use st_speedtest::PlanCatalog;
+
+    fn sample(seed: u64) -> (Vec<f64>, Vec<f64>, PlanCatalog) {
+        let cat = PlanCatalog::new("ISP-T", &[(100.0, 5.0), (400.0, 10.0), (800.0, 15.0)]);
+        let mut r = StdRng::seed_from_u64(seed);
+        let mut gaussian = move |mu: f64, sd: f64| {
+            let u1: f64 = r.gen::<f64>().max(1e-12);
+            let u2: f64 = r.gen();
+            mu + sd * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        };
+        let (mut down, mut up) = (Vec::new(), Vec::new());
+        for &(dmu, umu, n) in &[(110.0, 5.3, 250), (430.0, 10.5, 250), (780.0, 16.0, 250)] {
+            for _ in 0..n {
+                down.push(gaussian(dmu, dmu * 0.05).max(1.0));
+                up.push(gaussian(umu, 0.5).max(0.3));
+            }
+        }
+        (down, up, cat)
+    }
+
+    #[test]
+    fn observed_counts_match_the_model() {
+        let (down, up, cat) = sample(17);
+        let cfg = BstConfig::default();
+        let mut r = StdRng::seed_from_u64(99);
+        let model = BstModel::fit(&down, &up, &cat, &cfg, &mut r).unwrap();
+
+        let reg = Registry::new();
+        observe_model(&reg, &[("city", "t")], &model, &cfg);
+        let det = reg.snapshot().deterministic;
+
+        let assigned = det.counters["bst.assigned{city=t}"];
+        let unassigned = det.counters["bst.unassigned{city=t}"];
+        assert_eq!(assigned + unassigned, model.assignments.len() as u64);
+        assert_eq!(det.counters["bst.stage2.groups{city=t}"], model.downloads.len() as u64);
+        assert_eq!(
+            det.counters["bst.kde_grid_evals{city=t}"],
+            cfg.kde_grid_points as u64 * (1 + model.downloads.len() as u64)
+        );
+        // Cap-member counters sum to the total stage-1 matched population.
+        let matched: u64 = det
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("bst.stage1.cap_members{"))
+            .map(|(_, &v)| v)
+            .sum();
+        let expect: usize = model
+            .uploads
+            .component_caps
+            .iter()
+            .flatten()
+            .map(|&c| model.uploads.members_of(c).len())
+            .sum();
+        assert_eq!(matched as usize, expect);
+        // The trajectory series carries the stage-1 fit verbatim.
+        assert_eq!(det.series["bst.stage1.ll{city=t}"], model.uploads.gmm.fit_info().trajectory);
+    }
+
+    #[test]
+    fn disabled_registry_short_circuits() {
+        let (down, up, cat) = sample(18);
+        let cfg = BstConfig::default();
+        let mut r = StdRng::seed_from_u64(100);
+        let model = BstModel::fit(&down, &up, &cat, &cfg, &mut r).unwrap();
+        let reg = Registry::disabled();
+        observe_model(&reg, &[], &model, &cfg);
+        assert!(reg.snapshot().deterministic.counters.is_empty());
+    }
+}

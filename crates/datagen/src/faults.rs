@@ -125,6 +125,17 @@ pub enum DirtyKind {
 }
 
 impl DirtyKind {
+    /// Stable kebab-case label used in metrics and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DirtyKind::Truncated => "truncated",
+            DirtyKind::ZeroThroughput => "zero-throughput",
+            DirtyKind::NanThroughput => "nan-throughput",
+            DirtyKind::Duplicate => "duplicate",
+            DirtyKind::ClockSkew => "clock-skew",
+        }
+    }
+
     /// All kinds, in the order [`inject_dirty`] draws them.
     pub fn all() -> [DirtyKind; 5] {
         [

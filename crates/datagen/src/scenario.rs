@@ -95,6 +95,50 @@ impl CityDataset {
         self.ookla.iter().chain(self.mlab.iter()).collect()
     }
 
+    /// Record how many measurements each scenario stream generated, as
+    /// `datagen.records{campaign,city}` counters plus a
+    /// `datagen.users{city}` population gauge (deterministic class,
+    /// DESIGN.md §13). Pure post-generation read — calling it never
+    /// changes the dataset.
+    pub fn observe(&self, reg: &st_obs::Registry) {
+        if !reg.is_enabled() {
+            return;
+        }
+        let city = self.config.city.label();
+        for (campaign, records) in
+            [("ookla", &self.ookla), ("mlab", &self.mlab), ("mba", &self.mba)]
+        {
+            reg.add(
+                "datagen.records",
+                &[("campaign", campaign), ("city", city)],
+                records.len() as u64,
+            );
+        }
+        reg.set_gauge("datagen.users", &[("city", city)], self.population.users().len() as f64);
+    }
+
+    /// Record ground-truth corruption counts returned by
+    /// [`CityDataset::inject_dirty`] as
+    /// `datagen.corrupted{campaign,city,kind}` counters.
+    pub fn observe_dirty(&self, reg: &st_obs::Registry, labels: &[Vec<crate::faults::DirtyLabel>]) {
+        if !reg.is_enabled() {
+            return;
+        }
+        let city = self.config.city.label();
+        for (campaign, campaign_labels) in ["ookla", "mlab", "mba"].iter().zip(labels) {
+            for kind in crate::faults::DirtyKind::all() {
+                let n = campaign_labels.iter().filter(|l| l.kind == kind).count() as u64;
+                if n > 0 {
+                    reg.add(
+                        "datagen.corrupted",
+                        &[("campaign", campaign), ("city", city), ("kind", kind.label())],
+                        n,
+                    );
+                }
+            }
+        }
+    }
+
     /// Corrupt all three campaigns in place with `scenario`, seeded by
     /// `seed` through the same per-stream derivation as generation, so
     /// the corruption is byte-identical at every parallelism level.

@@ -1,0 +1,594 @@
+#![warn(missing_docs)]
+//! Pipeline observability: a deterministic metrics registry plus
+//! lightweight tracing spans, with no dependencies beyond the vendored
+//! offline stand-ins (see DESIGN.md §"Dependencies").
+//!
+//! The paper's whole argument is that a throughput number is meaningless
+//! without its context; this crate applies the same argument to the
+//! pipeline itself. Every layer (datagen, BST, sanitize, store, wire,
+//! render) records *what it did* — record counts, EM iterations, KDE
+//! grid evaluations, quarantine tallies, wire bytes — into a
+//! [`Registry`], and the bench driver exports the result as
+//! `BENCH_metrics.json` plus a `## Metrics` report section.
+//!
+//! Metrics are split into two classes (DESIGN.md §"Metric taxonomy"):
+//!
+//! * **Deterministic** ([`DeterministicMetrics`]): counters, gauges,
+//!   fixed-bucket histograms, and value series. These are pure functions
+//!   of the generated data, so — like the artifacts themselves — their
+//!   serialized form is required to be **byte-identical at every
+//!   `--parallelism` level**. The bench driver guarantees this the same
+//!   way `SanitizeReport` does: each parallel unit of work records into
+//!   its own sub-registry ([`Registry::sub`]) and the coordinator merges
+//!   them back in city/job order ([`Registry::merge`]). The merge
+//!   operations themselves are order-invariant for counters and
+//!   histograms (integer sums, f64 min/max), so even direct concurrent
+//!   recording cannot diverge.
+//! * **Wall-clock** ([`WallClockMetrics`]): span durations and queue
+//!   waits. Reported for profiling, excluded from every determinism
+//!   contract — like `BENCH_timings.json`.
+//!
+//! Recording is **read-only observation**: a registry never feeds back
+//! into any computation, so artifacts are byte-identical whether a run
+//! records into an enabled registry or a [`Registry::disabled`] one
+//! (pinned by `crates/bench/tests/golden_identity.rs`).
+//!
+//! Spans are scoped guards ([`Span`]): [`Registry::span`] opens one,
+//! dropping it (or calling [`Span::stop`]) records its wall-clock
+//! duration under a `/`-separated path. Nesting is explicit via
+//! [`Span::child`], so a span tree never depends on thread-local state
+//! and parallel children can be recorded into sub-registries.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Render a metric key as `name{k1=v1,k2=v2}` with labels sorted by
+/// label key, so the same (name, labels) set always produces the same
+/// registry key regardless of call-site label order.
+pub fn metric_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted: Vec<&(&str, &str)> = labels.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(b.0));
+    let mut out = String::with_capacity(name.len() + 16 * sorted.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+    }
+    out.push('}');
+    out
+}
+
+/// A fixed-bucket histogram over `f64` observations.
+///
+/// `bounds` are inclusive upper bucket edges, ascending; an observation
+/// lands in the first bucket whose bound is `>= value`, values above
+/// every bound (including `+inf`) land in `overflow`, `-inf` and any
+/// other below-range value land in bucket 0, and `NaN` is tallied
+/// separately — no observation ever panics. `min`/`max` cover the
+/// finite observations only (`0.0` while `finite == 0`), so the struct
+/// serializes cleanly and merging stays exactly order-invariant:
+/// bucket counts add (commutative integers) and min/max combine with
+/// `f64::min`/`f64::max` (associative and commutative bit-for-bit).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Histogram {
+    /// Inclusive upper bucket edges, ascending.
+    pub bounds: Vec<f64>,
+    /// Observations per bucket (`counts.len() == bounds.len()`).
+    pub counts: Vec<u64>,
+    /// Observations above the last bound (including `+inf`).
+    pub overflow: u64,
+    /// NaN observations (counted, never bucketed).
+    pub nan: u64,
+    /// Total observations (bucketed + overflow + NaN).
+    pub count: u64,
+    /// Finite observations (what `min`/`max` cover).
+    pub finite: u64,
+    /// Smallest finite observation (0.0 while `finite == 0`).
+    pub min: f64,
+    /// Largest finite observation (0.0 while `finite == 0`).
+    pub max: f64,
+}
+
+impl Histogram {
+    /// An empty histogram with the given bucket bounds. Non-finite or
+    /// unsorted bounds are sanitized (finite, sorted, deduplicated)
+    /// rather than rejected.
+    pub fn new(bounds: &[f64]) -> Self {
+        let mut clean: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        clean.sort_by(|a, b| a.partial_cmp(b).expect("finite bounds"));
+        clean.dedup();
+        let n = clean.len();
+        Histogram {
+            bounds: clean,
+            counts: vec![0; n],
+            overflow: 0,
+            nan: 0,
+            count: 0,
+            finite: 0,
+            min: 0.0,
+            max: 0.0,
+        }
+    }
+
+    /// Record one observation. Total, never panics: NaN → `nan`,
+    /// above-range (and `+inf`) → `overflow`, below-range (and `-inf`)
+    /// → bucket 0.
+    pub fn observe(&mut self, value: f64) {
+        self.count += 1;
+        if value.is_nan() {
+            self.nan += 1;
+            return;
+        }
+        if value.is_finite() {
+            if self.finite == 0 {
+                self.min = value;
+                self.max = value;
+            } else {
+                self.min = self.min.min(value);
+                self.max = self.max.max(value);
+            }
+            self.finite += 1;
+        }
+        match self.bounds.iter().position(|&b| value <= b) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Fold `other` into `self`. With equal bounds (the only case the
+    /// registry produces, since bounds are fixed per metric name) the
+    /// merge is exactly order-invariant and associative. Mismatched
+    /// bounds never panic: positionally shared buckets add and the
+    /// remainder folds into `overflow`.
+    pub fn merge(&mut self, other: &Histogram) {
+        let shared = self.counts.len().min(other.counts.len());
+        for i in 0..shared {
+            self.counts[i] += other.counts[i];
+        }
+        for &c in &other.counts[shared..] {
+            self.overflow += c;
+        }
+        self.overflow += other.overflow;
+        self.nan += other.nan;
+        self.count += other.count;
+        if other.finite > 0 {
+            if self.finite == 0 {
+                self.min = other.min;
+                self.max = other.max;
+            } else {
+                self.min = self.min.min(other.min);
+                self.max = self.max.max(other.max);
+            }
+            self.finite += other.finite;
+        }
+    }
+}
+
+/// Wall-clock statistics of one span path.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct SpanStat {
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total seconds across entries.
+    pub total_s: f64,
+}
+
+/// The deterministic metric class: required byte-identical at every
+/// parallelism level when serialized (all maps are ordered).
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct DeterministicMetrics {
+    /// Monotonic event counts.
+    pub counters: BTreeMap<String, u64>,
+    /// Point-in-time values. One writer per key by convention; on merge
+    /// conflicts the maximum wins (order-invariant), NaN is ignored.
+    pub gauges: BTreeMap<String, f64>,
+    /// Fixed-bucket histograms.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Ordered value sequences (e.g. an EM log-likelihood trajectory).
+    /// One writer per key; merge appends in merge order.
+    pub series: BTreeMap<String, Vec<f64>>,
+}
+
+/// The wall-clock metric class: reported, never determinism-checked.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct WallClockMetrics {
+    /// Span statistics keyed by `/`-separated span path.
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+/// Everything a registry holds, in serializable form. Field order (and
+/// the `BTreeMap` key order inside) is the stable `BENCH_metrics.json`
+/// schema: `schema`, then `deterministic`, then `wall_clock`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    /// Schema tag for consumers ("st-obs/v1").
+    pub schema: &'static str,
+    /// The parallelism-invariant section.
+    pub deterministic: DeterministicMetrics,
+    /// The profiling section (excluded from determinism contracts).
+    pub wall_clock: WallClockMetrics,
+}
+
+impl MetricsSnapshot {
+    /// Pretty JSON of the whole snapshot.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+
+    /// Pretty JSON of the deterministic section only — the byte string
+    /// the parallelism-invariance tests compare.
+    pub fn deterministic_json(&self) -> String {
+        serde_json::to_string_pretty(&self.deterministic).expect("metrics serialize")
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    det: Mutex<DeterministicMetrics>,
+    wall: Mutex<WallClockMetrics>,
+}
+
+/// A cheap-to-clone handle onto one run's metrics. `Registry::disabled`
+/// is a no-op sink: every recording call returns immediately, so
+/// instrumented code needs no `if` at the call sites.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+impl Registry {
+    /// An enabled, empty registry.
+    pub fn new() -> Self {
+        Registry { inner: Some(Arc::new(Inner::default())) }
+    }
+
+    /// A no-op registry: records nothing, costs (almost) nothing.
+    pub fn disabled() -> Self {
+        Registry { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A fresh, empty registry matching this one's enabled state. The
+    /// unit-of-work pattern for deterministic parallelism: each parallel
+    /// job records into its own `sub()` and the coordinator folds them
+    /// back with [`Registry::merge`] in a fixed (city/chunk/paper) order.
+    pub fn sub(&self) -> Self {
+        if self.is_enabled() {
+            Registry::new()
+        } else {
+            Registry::disabled()
+        }
+    }
+
+    /// Add `n` to the counter `name{labels}`.
+    pub fn add(&self, name: &str, labels: &[(&str, &str)], n: u64) {
+        let Some(inner) = &self.inner else { return };
+        *inner.det.lock().counters.entry(metric_key(name, labels)).or_insert(0) += n;
+    }
+
+    /// Add 1 to the counter `name{labels}`.
+    pub fn inc(&self, name: &str, labels: &[(&str, &str)]) {
+        self.add(name, labels, 1);
+    }
+
+    /// Set the gauge `name{labels}`. Keys are write-once by convention;
+    /// if a key is written twice the maximum wins (so the outcome never
+    /// depends on write order). NaN values are ignored.
+    pub fn set_gauge(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let Some(inner) = &self.inner else { return };
+        if value.is_nan() {
+            return;
+        }
+        inner
+            .det
+            .lock()
+            .gauges
+            .entry(metric_key(name, labels))
+            .and_modify(|g| *g = g.max(value))
+            .or_insert(value);
+    }
+
+    /// Observe `value` in the histogram `name{labels}` with the given
+    /// bucket `bounds`. The first observation of a key fixes its bounds;
+    /// later calls reuse them (pass the same constant).
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], value: f64, bounds: &[f64]) {
+        let Some(inner) = &self.inner else { return };
+        inner
+            .det
+            .lock()
+            .histograms
+            .entry(metric_key(name, labels))
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// Append `values` to the series `name{labels}`.
+    pub fn extend_series(&self, name: &str, labels: &[(&str, &str)], values: &[f64]) {
+        let Some(inner) = &self.inner else { return };
+        inner
+            .det
+            .lock()
+            .series
+            .entry(metric_key(name, labels))
+            .or_default()
+            .extend_from_slice(values);
+    }
+
+    /// Record one completed wall-clock interval under span `path`.
+    pub fn record_span(&self, path: &str, secs: f64) {
+        let Some(inner) = &self.inner else { return };
+        let mut wall = inner.wall.lock();
+        let stat = wall.spans.entry(path.to_string()).or_default();
+        stat.count += 1;
+        stat.total_s += secs;
+    }
+
+    /// Open a root span. The guard records its duration on drop (or
+    /// [`Span::stop`]); nest with [`Span::child`].
+    pub fn span(&self, name: &str) -> Span {
+        Span { reg: self.clone(), path: name.to_string(), start: Instant::now(), done: false }
+    }
+
+    /// Fold every metric of `other` into `self`: counters add, gauges
+    /// take the max, histograms merge bucket-wise, series append, span
+    /// stats accumulate. Deterministic parallel pipelines call this in a
+    /// fixed order, mirroring `SanitizeReport::merge`.
+    pub fn merge(&self, other: &Registry) {
+        let (Some(inner), Some(other_inner)) = (&self.inner, &other.inner) else { return };
+        if Arc::ptr_eq(inner, other_inner) {
+            return; // merging a registry into itself would deadlock
+        }
+        {
+            let theirs = other_inner.det.lock();
+            let mut ours = inner.det.lock();
+            for (k, v) in &theirs.counters {
+                *ours.counters.entry(k.clone()).or_insert(0) += v;
+            }
+            for (k, &v) in &theirs.gauges {
+                ours.gauges.entry(k.clone()).and_modify(|g| *g = g.max(v)).or_insert(v);
+            }
+            for (k, h) in &theirs.histograms {
+                match ours.histograms.get_mut(k) {
+                    Some(mine) => mine.merge(h),
+                    None => {
+                        ours.histograms.insert(k.clone(), h.clone());
+                    }
+                }
+            }
+            for (k, s) in &theirs.series {
+                ours.series.entry(k.clone()).or_default().extend_from_slice(s);
+            }
+        }
+        let theirs = other_inner.wall.lock();
+        let mut ours = inner.wall.lock();
+        for (k, s) in &theirs.spans {
+            let stat = ours.spans.entry(k.clone()).or_default();
+            stat.count += s.count;
+            stat.total_s += s.total_s;
+        }
+    }
+
+    /// A copy of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let (det, wall) = match &self.inner {
+            Some(inner) => (inner.det.lock().clone(), inner.wall.lock().clone()),
+            None => (DeterministicMetrics::default(), WallClockMetrics::default()),
+        };
+        MetricsSnapshot { schema: "st-obs/v1", deterministic: det, wall_clock: wall }
+    }
+}
+
+/// A scoped wall-clock span. Dropping the guard records the elapsed
+/// seconds under the span's `/`-joined path; [`Span::stop`] does the
+/// same but also returns the duration (it is measured even on a
+/// disabled registry, so stage timings don't depend on metrics being
+/// enabled).
+pub struct Span {
+    reg: Registry,
+    path: String,
+    start: Instant,
+    done: bool,
+}
+
+impl Span {
+    /// Open a child span `self.path + "/" + name` on the same registry.
+    pub fn child(&self, name: &str) -> Span {
+        Span {
+            reg: self.reg.clone(),
+            path: format!("{}/{name}", self.path),
+            start: Instant::now(),
+            done: false,
+        }
+    }
+
+    /// This span's full path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Close the span, record it, and return the elapsed seconds.
+    pub fn stop(mut self) -> f64 {
+        let secs = self.start.elapsed().as_secs_f64();
+        self.reg.record_span(&self.path, secs);
+        self.done = true;
+        secs
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.done {
+            self.reg.record_span(&self.path, self.start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_serialize_sorted() {
+        let reg = Registry::new();
+        reg.add("b.count", &[], 2);
+        reg.inc("a.count", &[("city", "City-A")]);
+        reg.inc("a.count", &[("city", "City-A")]);
+        let snap = reg.snapshot();
+        assert_eq!(snap.deterministic.counters["a.count{city=City-A}"], 2);
+        assert_eq!(snap.deterministic.counters["b.count"], 2);
+        let json = snap.deterministic_json();
+        let a = json.find("a.count").unwrap();
+        let b = json.find("b.count").unwrap();
+        assert!(a < b, "keys must serialize in sorted order");
+    }
+
+    #[test]
+    fn metric_key_sorts_labels() {
+        assert_eq!(
+            metric_key("m", &[("z", "1"), ("a", "2")]),
+            metric_key("m", &[("a", "2"), ("z", "1")])
+        );
+        assert_eq!(metric_key("m", &[]), "m");
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = Registry::disabled();
+        reg.inc("x", &[]);
+        reg.set_gauge("g", &[], 1.0);
+        reg.observe("h", &[], 1.0, &[1.0, 2.0]);
+        reg.extend_series("s", &[], &[1.0]);
+        let s = reg.span("root");
+        let secs = s.stop();
+        assert!(secs >= 0.0, "stop still measures on a disabled registry");
+        let snap = reg.snapshot();
+        assert_eq!(snap.deterministic, DeterministicMetrics::default());
+        assert!(snap.wall_clock.spans.is_empty());
+        // A sub of a disabled registry is disabled too.
+        assert!(!reg.sub().is_enabled());
+        assert!(Registry::new().sub().is_enabled());
+    }
+
+    #[test]
+    fn gauge_merge_is_max_and_ignores_nan() {
+        let reg = Registry::new();
+        reg.set_gauge("g", &[], 2.0);
+        reg.set_gauge("g", &[], 1.0);
+        reg.set_gauge("g", &[], f64::NAN);
+        assert_eq!(reg.snapshot().deterministic.gauges["g"], 2.0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_inclusive_upper_edges() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        for v in [0.5, 1.0, 3.0, 10.0, 11.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts, vec![2, 2]);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.count, 5);
+        assert_eq!((h.min, h.max), (0.5, 11.0));
+    }
+
+    #[test]
+    fn histogram_handles_pathological_values() {
+        let mut h = Histogram::new(&[0.0, 5.0]);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY);
+        h.observe(-3.0);
+        assert_eq!(h.nan, 1);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.counts[0], 2, "-inf and -3.0 land in the lowest bucket");
+        assert_eq!(h.count, 4);
+        assert_eq!(h.finite, 1);
+        assert_eq!((h.min, h.max), (-3.0, -3.0));
+    }
+
+    #[test]
+    fn histogram_sanitizes_bounds() {
+        let h = Histogram::new(&[5.0, f64::NAN, 1.0, 5.0, f64::INFINITY]);
+        assert_eq!(h.bounds, vec![1.0, 5.0]);
+    }
+
+    #[test]
+    fn spans_nest_by_path_and_accumulate() {
+        let reg = Registry::new();
+        {
+            let root = reg.span("fit");
+            let child = root.child("city_a");
+            drop(child);
+            let again = root.child("city_a");
+            drop(again);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.wall_clock.spans["fit"].count, 1);
+        assert_eq!(snap.wall_clock.spans["fit/city_a"].count, 2);
+        assert!(snap.wall_clock.spans["fit"].total_s >= 0.0);
+    }
+
+    #[test]
+    fn merge_folds_every_class() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.inc("c", &[]);
+        b.add("c", &[], 3);
+        a.set_gauge("g", &[], 1.0);
+        b.set_gauge("g", &[], 5.0);
+        a.observe("h", &[], 1.0, &[2.0]);
+        b.observe("h", &[], 3.0, &[2.0]);
+        a.extend_series("s", &[], &[1.0]);
+        b.extend_series("s", &[], &[2.0]);
+        b.record_span("sp", 0.5);
+        a.record_span("sp", 0.25);
+        a.merge(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap.deterministic.counters["c"], 4);
+        assert_eq!(snap.deterministic.gauges["g"], 5.0);
+        assert_eq!(snap.deterministic.histograms["h"].count, 2);
+        assert_eq!(snap.deterministic.histograms["h"].overflow, 1);
+        assert_eq!(snap.deterministic.series["s"], vec![1.0, 2.0]);
+        assert_eq!(snap.wall_clock.spans["sp"].count, 2);
+        assert!((snap.wall_clock.spans["sp"].total_s - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_merge_is_a_no_op() {
+        let a = Registry::new();
+        a.inc("c", &[]);
+        let same = a.clone();
+        a.merge(&same); // must not deadlock or double-count
+        assert_eq!(a.snapshot().deterministic.counters["c"], 1);
+    }
+
+    #[test]
+    fn snapshot_json_has_the_stable_schema() {
+        let reg = Registry::new();
+        reg.inc("c", &[]);
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\"schema\": \"st-obs/v1\""));
+        assert!(json.contains("\"deterministic\""));
+        assert!(json.contains("\"wall_clock\""));
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests pinning the registry's merge algebra: the determinism
+//! contract (DESIGN.md §13) rests on histogram merge being
+//! order-invariant and associative, counter merge being commutative,
+//! and observation never panicking on pathological values.
+
+use proptest::prelude::*;
+use st_obs::{Histogram, Registry};
+
+/// Strategy: an observation drawn from a pool of pathological and sane
+/// numbers — NaN, infinities, negatives, zero, huge, tiny, normal.
+fn value_strategy() -> impl Strategy<Value = f64> {
+    prop::sample::select(vec![
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        -1e12,
+        -7.5,
+        0.0,
+        1e-9,
+        0.5,
+        1.0,
+        9.99,
+        10.0,
+        1e6,
+        1e300,
+    ])
+}
+
+/// Strategy: bucket bounds, possibly unsorted / duplicated / non-finite
+/// (Histogram::new must sanitize them).
+fn bounds_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop::sample::select(vec![f64::NAN, f64::NEG_INFINITY, -5.0, 0.0, 1.0, 10.0, 10.0, 1e9]),
+        0..6,
+    )
+}
+
+fn histogram_of(bounds: &[f64], values: &[f64]) -> Histogram {
+    let mut h = Histogram::new(bounds);
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn observation_never_panics_and_accounts_for_everything(
+        bounds in bounds_strategy(),
+        values in prop::collection::vec(value_strategy(), 0..60),
+    ) {
+        let h = histogram_of(&bounds, &values);
+        prop_assert_eq!(h.count as usize, values.len());
+        let bucketed: u64 = h.counts.iter().sum();
+        prop_assert_eq!(bucketed + h.overflow + h.nan, h.count);
+        prop_assert!(h.finite <= h.count);
+        if h.finite > 0 {
+            prop_assert!(h.min <= h.max);
+            prop_assert!(h.min.is_finite() && h.max.is_finite());
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_order_invariant(
+        bounds in bounds_strategy(),
+        chunks in prop::collection::vec(
+            prop::collection::vec(value_strategy(), 0..20), 1..6),
+    ) {
+        // Merging per-chunk histograms in any order must equal both the
+        // reverse order and the sequential single-histogram run: this is
+        // exactly the coordinator's per-city/per-chunk merge.
+        let parts: Vec<Histogram> =
+            chunks.iter().map(|c| histogram_of(&bounds, c)).collect();
+        let mut fwd = Histogram::new(&bounds);
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = Histogram::new(&bounds);
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        prop_assert_eq!(&fwd, &rev);
+        let all: Vec<f64> = chunks.concat();
+        let sequential = histogram_of(&bounds, &all);
+        prop_assert_eq!(&fwd, &sequential);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative(
+        bounds in bounds_strategy(),
+        a in prop::collection::vec(value_strategy(), 0..20),
+        b in prop::collection::vec(value_strategy(), 0..20),
+        c in prop::collection::vec(value_strategy(), 0..20),
+    ) {
+        let (ha, hb, hc) = (
+            histogram_of(&bounds, &a),
+            histogram_of(&bounds, &b),
+            histogram_of(&bounds, &c),
+        );
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn counter_merge_is_commutative(
+        xs in prop::collection::vec((0u8..4, 1u64..1000), 0..30),
+        ys in prop::collection::vec((0u8..4, 1u64..1000), 0..30),
+    ) {
+        let fill = |pairs: &[(u8, u64)]| {
+            let reg = Registry::new();
+            for &(k, n) in pairs {
+                reg.add("c", &[("k", &k.to_string())], n);
+            }
+            reg
+        };
+        // a ⊕ b
+        let ab = fill(&xs);
+        ab.merge(&fill(&ys));
+        // b ⊕ a
+        let ba = fill(&ys);
+        ba.merge(&fill(&xs));
+        prop_assert_eq!(
+            ab.snapshot().deterministic.counters,
+            ba.snapshot().deterministic.counters
+        );
+    }
+
+    #[test]
+    fn registry_merge_matches_direct_recording(
+        chunks in prop::collection::vec(
+            prop::collection::vec(value_strategy(), 0..15), 1..5),
+    ) {
+        // The sub()-then-merge pattern the coordinators use must produce
+        // the same deterministic snapshot as recording everything into
+        // one registry sequentially.
+        const BOUNDS: &[f64] = &[0.0, 1.0, 100.0];
+        let direct = Registry::new();
+        let merged = Registry::new();
+        for chunk in &chunks {
+            let sub = merged.sub();
+            for &v in chunk {
+                direct.observe("h", &[], v, BOUNDS);
+                direct.inc("n", &[]);
+                sub.observe("h", &[], v, BOUNDS);
+                sub.inc("n", &[]);
+            }
+            merged.merge(&sub);
+        }
+        prop_assert_eq!(
+            direct.snapshot().deterministic_json(),
+            merged.snapshot().deterministic_json()
+        );
+    }
+}

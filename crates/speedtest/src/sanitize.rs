@@ -168,6 +168,30 @@ impl SanitizeReport {
         self.clean + self.repaired + self.quarantined
     }
 
+    /// Record this report's counters into a metrics registry under
+    /// `labels` (deterministic class, DESIGN.md §13): `sanitize.clean` /
+    /// `sanitize.repaired` / `sanitize.quarantined`, plus per-reason
+    /// `sanitize.quarantine` and `sanitize.repair` counters keyed by a
+    /// `reason` label.
+    pub fn record(&self, reg: &st_obs::Registry, labels: &[(&str, &str)]) {
+        if !reg.is_enabled() {
+            return;
+        }
+        reg.add("sanitize.clean", labels, self.clean);
+        reg.add("sanitize.repaired", labels, self.repaired);
+        reg.add("sanitize.quarantined", labels, self.quarantined);
+        for (reason, &n) in &self.quarantine_reasons {
+            let mut with_reason: Vec<(&str, &str)> = labels.to_vec();
+            with_reason.push(("reason", reason));
+            reg.add("sanitize.quarantine", &with_reason, n);
+        }
+        for (reason, &n) in &self.repair_reasons {
+            let mut with_reason: Vec<(&str, &str)> = labels.to_vec();
+            with_reason.push(("reason", reason));
+            reg.add("sanitize.repair", &with_reason, n);
+        }
+    }
+
     /// Fold another report's counters into this one.
     pub fn merge(&mut self, other: &SanitizeReport) {
         self.clean += other.clean;

@@ -379,6 +379,19 @@ impl CampaignStore {
         self.derived.builds.load(Ordering::Relaxed)
     }
 
+    /// Record the store's shape into a metrics registry under `labels`
+    /// (deterministic class, DESIGN.md §13): `store.rows` counts this
+    /// store's rows and `store.derived_builds` the derived column
+    /// families built so far — the memoization contract says that is at
+    /// most one build per family no matter how many readers raced.
+    pub fn observe(&self, reg: &st_obs::Registry, labels: &[(&str, &str)]) {
+        if !reg.is_enabled() {
+            return;
+        }
+        reg.add("store.rows", labels, self.len() as u64);
+        reg.add("store.derived_builds", labels, self.derived_builds() as u64);
+    }
+
     // ---- assigned columns (written once after the BST fit) --------------
 
     /// Scatter BST fit outputs onto the store. `tier[i]` is the assigned

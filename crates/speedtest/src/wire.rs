@@ -26,6 +26,7 @@
 //! scaled to the test duration.
 
 use parking_lot::Mutex;
+use st_obs::Registry;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -43,6 +44,21 @@ const CMD_PING: u8 = b'P';
 const PING_PAYLOAD: usize = 8;
 /// Transfer chunk size, bytes.
 const CHUNK: usize = 16 * 1024;
+
+/// Bucket bounds for per-connection byte histograms (1 KiB … 1 GiB).
+const BYTES_BOUNDS: &[f64] =
+    &[1024.0, 16384.0, 131072.0, 1048576.0, 16777216.0, 134217728.0, 1073741824.0];
+/// Bucket bounds for backoff sleep histograms, seconds.
+const BACKOFF_BOUNDS: &[f64] = &[0.05, 0.1, 0.2, 0.4, 0.8, 1.6];
+
+/// The `dir` metric label for a protocol command byte.
+fn dir_label(cmd: u8) -> &'static str {
+    if cmd == CMD_UPLOAD {
+        "up"
+    } else {
+        "down"
+    }
+}
 
 /// A token bucket limiting aggregate bytes per second.
 ///
@@ -314,12 +330,22 @@ impl WireOptions {
     }
 }
 
-/// Connect with bounded retries and capped exponential backoff.
-fn connect_with_retry(addr: SocketAddr, opts: &WireOptions) -> std::io::Result<TcpStream> {
+/// Connect with bounded retries and capped exponential backoff. Every
+/// retry bumps `wire.connect_retries` and its backoff sleep lands in the
+/// `wire.backoff_sleep_s` histogram.
+fn connect_with_retry(
+    addr: SocketAddr,
+    opts: &WireOptions,
+    reg: &Registry,
+    dir: &str,
+) -> std::io::Result<TcpStream> {
+    let labels = &[("dir", dir)];
     let mut backoff = opts.connect_backoff;
     let mut last_err = None;
     for attempt in 0..opts.connect_attempts.max(1) {
         if attempt > 0 {
+            reg.inc("wire.connect_retries", labels);
+            reg.observe("wire.backoff_sleep_s", labels, backoff.as_secs_f64(), BACKOFF_BOUNDS);
             thread::sleep(backoff);
             backoff = (backoff * 2).min(opts.connect_backoff_cap);
         }
@@ -360,7 +386,22 @@ pub fn measure_download_with(
     ramp_discard: Duration,
     opts: &WireOptions,
 ) -> std::io::Result<WireResult> {
-    run_wire_test(addr, n_conns, duration, ramp_discard, CMD_DOWNLOAD, opts)
+    run_wire_test(addr, n_conns, duration, ramp_discard, CMD_DOWNLOAD, opts, &Registry::disabled())
+}
+
+/// [`measure_download_with`] recording wire metrics into `reg`
+/// (DESIGN.md §13): per-connection bytes, connect retries, backoff
+/// sleeps, zero-data detections, and connection outcomes, all under a
+/// `dir=down` label.
+pub fn measure_download_observed(
+    addr: SocketAddr,
+    n_conns: usize,
+    duration: Duration,
+    ramp_discard: Duration,
+    opts: &WireOptions,
+    reg: &Registry,
+) -> std::io::Result<WireResult> {
+    run_wire_test(addr, n_conns, duration, ramp_discard, CMD_DOWNLOAD, opts, reg)
 }
 
 /// Measure upload throughput against a [`ShapedServer`].
@@ -381,7 +422,20 @@ pub fn measure_upload_with(
     ramp_discard: Duration,
     opts: &WireOptions,
 ) -> std::io::Result<WireResult> {
-    run_wire_test(addr, n_conns, duration, ramp_discard, CMD_UPLOAD, opts)
+    run_wire_test(addr, n_conns, duration, ramp_discard, CMD_UPLOAD, opts, &Registry::disabled())
+}
+
+/// [`measure_upload_with`] recording wire metrics into `reg` under a
+/// `dir=up` label.
+pub fn measure_upload_observed(
+    addr: SocketAddr,
+    n_conns: usize,
+    duration: Duration,
+    ramp_discard: Duration,
+    opts: &WireOptions,
+    reg: &Registry,
+) -> std::io::Result<WireResult> {
+    run_wire_test(addr, n_conns, duration, ramp_discard, CMD_UPLOAD, opts, reg)
 }
 
 /// Latency measured over the wire protocol's echo service.
@@ -449,46 +503,63 @@ fn run_one_connection(
     total: &AtomicU64,
     steady: &AtomicU64,
     abort: &AtomicBool,
+    reg: &Registry,
 ) -> std::io::Result<()> {
-    let mut stream = connect_with_retry(addr, opts)?;
-    stream.set_nodelay(true)?;
-    stream.write_all(&[cmd])?;
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    stream.set_write_timeout(Some(Duration::from_millis(100)))?;
-    let mut buf = [0u8; CHUNK];
-    let payload = [0xa5u8; CHUNK];
+    let dir = dir_label(cmd);
+    let labels = &[("dir", dir)];
+    let mut stream = connect_with_retry(addr, opts, reg, dir)?;
+
+    // Everything after a successful connect accounts its bytes, even on
+    // an error exit — a reset connection is still one observation in the
+    // per-connection histogram (with however many bytes it moved).
     let mut moved_total = 0u64;
-    while start.elapsed() < duration && !abort.load(Ordering::Relaxed) {
-        let moved = if cmd == CMD_DOWNLOAD {
-            match stream.read(&mut buf) {
-                Ok(0) => break,
-                Ok(n) => n,
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    continue
+    let outcome = (|| -> std::io::Result<()> {
+        stream.set_nodelay(true)?;
+        stream.write_all(&[cmd])?;
+        stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+        stream.set_write_timeout(Some(Duration::from_millis(100)))?;
+        let mut buf = [0u8; CHUNK];
+        let payload = [0xa5u8; CHUNK];
+        while start.elapsed() < duration && !abort.load(Ordering::Relaxed) {
+            let moved = if cmd == CMD_DOWNLOAD {
+                match stream.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => n,
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue
+                    }
+                    Err(e) => return Err(e),
                 }
-                Err(e) => return Err(e),
-            }
-        } else {
-            match stream.write(&payload) {
-                Ok(n) => n,
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    continue
+            } else {
+                match stream.write(&payload) {
+                    Ok(n) => n,
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue
+                    }
+                    Err(e) => return Err(e),
                 }
-                Err(e) => return Err(e),
+            };
+            moved_total += moved as u64;
+            total.fetch_add(moved as u64, Ordering::Relaxed);
+            if start.elapsed() >= ramp_discard {
+                steady.fetch_add(moved as u64, Ordering::Relaxed);
             }
-        };
-        moved_total += moved as u64;
-        total.fetch_add(moved as u64, Ordering::Relaxed);
-        if start.elapsed() >= ramp_discard {
-            steady.fetch_add(moved as u64, Ordering::Relaxed);
         }
+        Ok(())
+    })();
+
+    reg.add("wire.bytes", labels, moved_total);
+    reg.observe("wire.connection_bytes", labels, moved_total as f64, BYTES_BOUNDS);
+    if cmd == CMD_DOWNLOAD && moved_total == 0 {
+        reg.inc("wire.zero_data_connections", labels);
     }
+    outcome?;
     if cmd == CMD_DOWNLOAD && moved_total == 0 {
         return Err(std::io::Error::new(
             std::io::ErrorKind::UnexpectedEof,
@@ -498,6 +569,7 @@ fn run_one_connection(
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_wire_test(
     addr: SocketAddr,
     n_conns: usize,
@@ -505,6 +577,7 @@ fn run_wire_test(
     ramp_discard: Duration,
     cmd: u8,
     opts: &WireOptions,
+    reg: &Registry,
 ) -> std::io::Result<WireResult> {
     assert!(n_conns >= 1, "need at least one connection");
     assert!(ramp_discard < duration, "discard must be shorter than the test");
@@ -521,6 +594,7 @@ fn run_wire_test(
         let abort = Arc::clone(&abort);
         let tx = tx.clone();
         let opts = *opts;
+        let reg = reg.clone();
         thread::spawn(move || {
             let result = run_one_connection(
                 addr,
@@ -532,6 +606,7 @@ fn run_wire_test(
                 &total,
                 &steady,
                 &abort,
+                &reg,
             );
             let _ = tx.send(result);
         });
@@ -565,6 +640,7 @@ fn run_wire_test(
             }
             Err(_) if !deadline_hit => {
                 deadline_hit = true;
+                reg.inc("wire.deadline_hits", &[("dir", dir_label(cmd))]);
                 abort.store(true, Ordering::Relaxed);
             }
             Err(_) => {
@@ -577,6 +653,10 @@ fn run_wire_test(
             }
         }
     }
+
+    let outcome_labels = &[("dir", dir_label(cmd))];
+    reg.add("wire.connections_ok", outcome_labels, connections as u64);
+    reg.add("wire.connections_failed", outcome_labels, failed as u64);
 
     if connections == 0 {
         return Err(last_err.unwrap_or_else(|| std::io::Error::other("all connections failed")));

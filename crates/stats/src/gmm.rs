@@ -82,6 +82,11 @@ pub struct GmmFit {
     pub iterations: usize,
     /// Whether the tolerance was reached before `max_iter`.
     pub converged: bool,
+    /// Mean per-sample log-likelihood after each E-step, one entry per
+    /// iteration (`trajectory.len() == iterations`). A pure function of
+    /// the data and initialization, so it belongs to the deterministic
+    /// metric class (DESIGN.md §13).
+    pub trajectory: Vec<f64>,
 }
 
 /// A fitted 1-D Gaussian mixture, optionally with a uniform background
@@ -177,6 +182,7 @@ impl GaussianMixture {
         let mut iterations = 0;
         let mut converged = false;
         let mut last_ll = prev_ll;
+        let mut trajectory = Vec::with_capacity(cfg.max_iter.min(64));
 
         for it in 0..cfg.max_iter {
             iterations = it + 1;
@@ -210,6 +216,7 @@ impl GaussianMixture {
                 return Err(StatsError::Diverged { iteration: it });
             }
             last_ll = ll;
+            trajectory.push(ll);
 
             // M-step.
             for c in 0..k {
@@ -257,7 +264,7 @@ impl GaussianMixture {
         Ok(GaussianMixture {
             components: comps,
             background,
-            fit: GmmFit { log_likelihood: last_ll, iterations, converged },
+            fit: GmmFit { log_likelihood: last_ll, iterations, converged, trajectory },
             n_samples: n,
         })
     }
@@ -548,6 +555,19 @@ mod tests {
             let ll = gm.fit_info().log_likelihood;
             assert!(ll >= prev - 1e-9, "ll {ll} < prev {prev} at iters {iters}");
             prev = ll;
+        }
+    }
+
+    #[test]
+    fn trajectory_records_one_ll_per_iteration() {
+        let data = gaussians(&[(3.0, 1.0, 300), (9.0, 1.5, 300)], 8);
+        let gm = GaussianMixture::fit(&data, GmmConfig::with_k(2), &mut rng()).unwrap();
+        let fit = gm.fit_info();
+        assert_eq!(fit.trajectory.len(), fit.iterations);
+        assert_eq!(*fit.trajectory.last().unwrap(), fit.log_likelihood);
+        // The trajectory is monotone non-decreasing (EM guarantee).
+        for w in fit.trajectory.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "trajectory decreased: {w:?}");
         }
     }
 
