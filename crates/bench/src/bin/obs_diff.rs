@@ -1,0 +1,100 @@
+//! Compare two `BENCH_metrics.json` snapshots under the two-class
+//! metric contract (DESIGN.md §14).
+//!
+//! ```text
+//! obs-diff <old> <new> [--wall-ratio R] [--wall-floor S]
+//! ```
+//!
+//! The deterministic metric class (counters, gauges, histograms, series)
+//! must match exactly; every mismatch is printed as a per-key drill-down.
+//! Wall-clock span durations are compared by `new/old` ratio against a
+//! tolerance band (`--wall-ratio`, default 2.0) with a noise floor
+//! (`--wall-floor`, default 0.05 s); exceedances are warnings only.
+//!
+//! Exit code: `0` when the deterministic class is identical, `1` on
+//! deterministic drift, `2` on usage, I/O, or parse errors. Wall-clock
+//! exceedances never change the exit code — timings move with load and
+//! hardware, and gating on them would make the regression gate flaky.
+
+use st_bench::diff::{diff_metrics, DiffOptions, MetricsDoc};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: obs-diff <old-metrics.json> <new-metrics.json> \
+    [--wall-ratio R] [--wall-floor S]";
+
+struct Args {
+    old: String,
+    new: String,
+    options: DiffOptions,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut options = DiffOptions::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--wall-ratio" => {
+                options.wall_ratio =
+                    value("--wall-ratio")?.parse().map_err(|e| format!("bad --wall-ratio: {e}"))?;
+                if options.wall_ratio < 1.0 || options.wall_ratio.is_nan() {
+                    return Err("--wall-ratio must be >= 1.0".into());
+                }
+            }
+            "--wall-floor" => {
+                options.wall_floor_s =
+                    value("--wall-floor")?.parse().map_err(|e| format!("bad --wall-floor: {e}"))?;
+                if options.wall_floor_s < 0.0 || options.wall_floor_s.is_nan() {
+                    return Err("--wall-floor must be >= 0".into());
+                }
+            }
+            "--help" | "-h" => return Err(USAGE.into()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}\n{USAGE}"))
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.len() != 2 {
+        return Err(format!("expected exactly two snapshot paths, got {}\n{USAGE}", paths.len()));
+    }
+    let new = paths.pop().expect("two paths");
+    let old = paths.pop().expect("two paths");
+    Ok(Args { old, new, options })
+}
+
+fn load(path: &str) -> Result<MetricsDoc, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    MetricsDoc::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let (old, new) = match (load(&args.old), load(&args.new)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diff = diff_metrics(&old, &new, args.options);
+    print!("{}", diff.render(&old, &new));
+    if diff.deterministic_match() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "obs-diff: deterministic drift between {} and {} ({} keys)",
+            args.old,
+            args.new,
+            diff.drift.len()
+        );
+        ExitCode::from(1)
+    }
+}

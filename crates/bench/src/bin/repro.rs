@@ -3,7 +3,8 @@
 //! ```text
 //! repro [--scale S] [--seed N] [--out DIR] [--parallelism P]
 //!       [--dirty-rate R] [--inject-fail LABEL]... [--deadline-secs D]
-//!       [--allow-degraded] [--metrics]
+//!       [--allow-degraded] [--metrics] [--baseline METRICS.json]
+//!       [--wall-ratio R] [--wall-floor S]
 //! ```
 //!
 //! Generates the four city datasets at `S` of the paper's campaign sizes
@@ -14,6 +15,12 @@
 //! * `DIR/<id>.svg` — one chart per figure,
 //! * `DIR/<id>.json` — machine-readable series/rows,
 //! * `DIR/BENCH_timings.json` — per-stage wall-clock timings,
+//! * `DIR/BENCH_trace.json` — the run's span tree and lifecycle events
+//!   in Chrome Trace Event Format (open in Perfetto or
+//!   `chrome://tracing`),
+//! * `DIR/BENCH_ledger.jsonl` — one summary row **appended** per run
+//!   (schema, knobs, artifact hash, headline counters, stage
+//!   durations); the run history of a working directory,
 //! * `DIR/BENCH_metrics.json` — the full pipeline metrics snapshot
 //!   (with `--metrics`): a `deterministic` section that is
 //!   byte-identical at every parallelism level, and a `wall_clock`
@@ -23,6 +30,13 @@
 //! rendering out over worker threads (default: all cores). Output is
 //! byte-identical at every parallelism level.
 //!
+//! `--baseline METRICS.json` diffs this run's metrics against a
+//! previously written `BENCH_metrics.json` (see `obs-diff` and
+//! DESIGN.md §14): the deterministic class must match exactly or the
+//! run exits nonzero; wall-clock spans are compared against the
+//! `--wall-ratio` tolerance (default 2.0, with a `--wall-floor` noise
+//! floor, default 0.05 s) and only warn.
+//!
 //! The pipeline is supervised: `--dirty-rate R` corrupts a fraction `R`
 //! of generated records with the dirty-measurement fault model (they are
 //! repaired or quarantined by the sanitizer and accounted for in the
@@ -31,13 +45,18 @@
 //! render job gets `--deadline-secs` per attempt plus one retry. A run
 //! with degraded artifacts exits nonzero unless `--allow-degraded` is
 //! passed — the report and surviving artifacts are written either way.
+//! A run that cannot write one of its output files warns and exits
+//! nonzero too: silently missing artifacts would poison any later
+//! baseline comparison.
 
 use serde::Serialize;
+use st_bench::diff::{diff_metrics, DiffOptions, MetricsDoc};
+use st_bench::ledger::{append_ledger, LedgerRow};
 use st_bench::{
     build_analyses_observed, render_report, run_all_observed, StageTimings, SuperviseOptions,
 };
 use st_datagen::DirtyScenario;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -51,6 +70,8 @@ struct Args {
     deadline_secs: u64,
     allow_degraded: bool,
     metrics: bool,
+    baseline: Option<PathBuf>,
+    diff_options: DiffOptions,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -64,6 +85,8 @@ fn parse_args() -> Result<Args, String> {
         deadline_secs: 300,
         allow_degraded: false,
         metrics: false,
+        baseline: None,
+        diff_options: DiffOptions::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -105,10 +128,26 @@ fn parse_args() -> Result<Args, String> {
             }
             "--allow-degraded" => args.allow_degraded = true,
             "--metrics" => args.metrics = true,
+            "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--wall-ratio" => {
+                args.diff_options.wall_ratio =
+                    value("--wall-ratio")?.parse().map_err(|e| format!("bad --wall-ratio: {e}"))?;
+                if args.diff_options.wall_ratio < 1.0 || args.diff_options.wall_ratio.is_nan() {
+                    return Err("--wall-ratio must be >= 1.0".into());
+                }
+            }
+            "--wall-floor" => {
+                args.diff_options.wall_floor_s =
+                    value("--wall-floor")?.parse().map_err(|e| format!("bad --wall-floor: {e}"))?;
+                if args.diff_options.wall_floor_s < 0.0 || args.diff_options.wall_floor_s.is_nan() {
+                    return Err("--wall-floor must be >= 0".into());
+                }
+            }
             "--help" | "-h" => {
                 return Err("usage: repro [--scale S] [--seed N] [--out DIR] [--parallelism P] \
                      [--dirty-rate R] [--inject-fail LABEL]... [--deadline-secs D] \
-                     [--allow-degraded] [--metrics]"
+                     [--allow-degraded] [--metrics] [--baseline METRICS.json] \
+                     [--wall-ratio R] [--wall-floor S]"
                     .into())
             }
             other => return Err(format!("unknown flag {other}")),
@@ -124,6 +163,33 @@ struct BenchRecord {
     seed: u64,
     parallelism: usize,
     timings: StageTimings,
+}
+
+/// The `BENCH_metrics.json` schema: the run header, then the two metric
+/// classes. The deterministic section is byte-identical at every
+/// parallelism level; `wall_clock` (and the header's `parallelism`) is
+/// excluded from that contract.
+#[derive(Serialize)]
+struct MetricsRecord {
+    schema: &'static str,
+    scale: f64,
+    seed: u64,
+    parallelism: usize,
+    deterministic: st_obs::DeterministicMetrics,
+    wall_clock: st_obs::WallClockMetrics,
+}
+
+/// Write one output file. Failures warn (with the path) and are counted
+/// so the run can exit nonzero instead of silently dropping artifacts.
+fn write_file(path: &Path, contents: &str, failures: &mut usize) -> bool {
+    match std::fs::write(path, contents) {
+        Ok(()) => true,
+        Err(e) => {
+            *failures += 1;
+            eprintln!("WARN: cannot write {}: {e}", path.display());
+            false
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -163,55 +229,72 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let mut written = 0usize;
+    let mut write_failures = 0usize;
     for a in &report.artifacts {
         if let Some(svg) = &a.svg {
-            if std::fs::write(args.out.join(format!("{}.svg", a.id)), svg).is_ok() {
+            if write_file(&args.out.join(format!("{}.svg", a.id)), svg, &mut write_failures) {
                 written += 1;
             }
         }
-        if std::fs::write(args.out.join(format!("{}.json", a.id)), &a.json).is_ok() {
+        if write_file(&args.out.join(format!("{}.json", a.id)), &a.json, &mut write_failures) {
             written += 1;
         }
     }
+
     let bench = BenchRecord {
         scale: args.scale,
         seed: args.seed,
         parallelism: args.parallelism,
         timings: report.timings,
     };
-    if let Ok(json) = serde_json::to_string_pretty(&bench) {
-        if std::fs::write(args.out.join("BENCH_timings.json"), json).is_ok() {
-            written += 1;
-        }
+    let timings_path = args.out.join("BENCH_timings.json");
+    let timings_json = serde_json::to_string_pretty(&bench).expect("timings serialize");
+    if write_file(&timings_path, &timings_json, &mut write_failures) {
+        written += 1;
+        eprintln!("wrote {}", timings_path.display());
     }
+
+    // The metrics record is always assembled (the registry runs either
+    // way, and `--baseline` diffs against it); the snapshot file itself
+    // is only written under `--metrics`.
+    let snapshot = report.metrics.as_ref().expect("observed run carries metrics");
+    let record = MetricsRecord {
+        schema: snapshot.schema,
+        scale: args.scale,
+        seed: args.seed,
+        parallelism: args.parallelism,
+        deterministic: snapshot.deterministic.clone(),
+        wall_clock: snapshot.wall_clock.clone(),
+    };
+    let metrics_json = serde_json::to_string_pretty(&record).expect("metrics serialize");
     if args.metrics {
-        // The deterministic section is byte-identical at every
-        // parallelism level; `wall_clock` (and this run's scale/seed/
-        // parallelism header) is excluded from that contract.
-        #[derive(Serialize)]
-        struct MetricsRecord {
-            schema: &'static str,
-            scale: f64,
-            seed: u64,
-            parallelism: usize,
-            deterministic: st_obs::DeterministicMetrics,
-            wall_clock: st_obs::WallClockMetrics,
-        }
-        let snapshot = report.metrics.as_ref().expect("observed run carries metrics");
-        let record = MetricsRecord {
-            schema: snapshot.schema,
-            scale: args.scale,
-            seed: args.seed,
-            parallelism: args.parallelism,
-            deterministic: snapshot.deterministic.clone(),
-            wall_clock: snapshot.wall_clock.clone(),
-        };
-        if let Ok(json) = serde_json::to_string_pretty(&record) {
-            if std::fs::write(args.out.join("BENCH_metrics.json"), json).is_ok() {
-                written += 1;
-            }
+        let metrics_path = args.out.join("BENCH_metrics.json");
+        if write_file(&metrics_path, &metrics_json, &mut write_failures) {
+            written += 1;
+            eprintln!("wrote {}", metrics_path.display());
         }
     }
+
+    // The trace timeline. The process name deliberately excludes
+    // parallelism: with `ts`/`dur` stripped, the file is byte-identical
+    // at every parallelism level (DESIGN.md §14).
+    let trace_path = args.out.join("BENCH_trace.json");
+    let trace_json =
+        obs.trace().to_chrome_json(&format!("repro scale={} seed={}", args.scale, args.seed));
+    if write_file(&trace_path, &trace_json, &mut write_failures) {
+        written += 1;
+        eprintln!("wrote {}", trace_path.display());
+    }
+
+    let ledger_path = args.out.join("BENCH_ledger.jsonl");
+    match append_ledger(&ledger_path, &LedgerRow::from_report(&report, args.parallelism)) {
+        Ok(()) => eprintln!("appended run ledger row to {}", ledger_path.display()),
+        Err(e) => {
+            write_failures += 1;
+            eprintln!("WARN: cannot append to {}: {e}", ledger_path.display());
+        }
+    }
+
     let mut md = render_report(&report);
     md.push_str("\n## Shape claims (paper vs this run)\n\n");
     md.push_str(&st_bench::claims::render_claims(&claims));
@@ -223,6 +306,45 @@ fn main() -> ExitCode {
     }
 
     println!("{md}");
+
+    // Regression gate: diff this run's metrics against the baseline
+    // snapshot. Deterministic drift fails the run; wall-clock deltas
+    // beyond tolerance only warn (DESIGN.md §14).
+    let mut baseline_drift = false;
+    if let Some(baseline_path) = &args.baseline {
+        let baseline_text = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline_doc = match MetricsDoc::parse(&baseline_text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("baseline {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let current_doc = MetricsDoc::parse(&metrics_json).expect("own snapshot parses");
+        let diff = diff_metrics(&baseline_doc, &current_doc, args.diff_options);
+        println!("{}", diff.render(&baseline_doc, &current_doc));
+        if diff.deterministic_match() {
+            eprintln!(
+                "baseline {}: deterministic metrics match ({} keys)",
+                baseline_path.display(),
+                diff.matched_keys
+            );
+        } else {
+            baseline_drift = true;
+            eprintln!(
+                "BASELINE DRIFT: {} deterministic keys differ from {}",
+                diff.drift.len(),
+                baseline_path.display()
+            );
+        }
+    }
+
     eprintln!(
         "generate {:.1}s | fit {:.1}s | derive {:.1}s | render {:.1}s",
         report.timings.generate_s,
@@ -231,6 +353,9 @@ fn main() -> ExitCode {
         report.timings.render_s
     );
     eprintln!("wrote {} files to {} in {:.1?}", written + 1, args.out.display(), t0.elapsed());
+    if write_failures > 0 {
+        eprintln!("WRITE FAILURES: {write_failures} output files could not be written");
+    }
     if report.health.is_degraded() {
         let h = &report.health;
         eprintln!(
@@ -240,6 +365,9 @@ fn main() -> ExitCode {
         if !args.allow_degraded {
             return ExitCode::FAILURE;
         }
+    }
+    if baseline_drift || write_failures > 0 {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,224 @@
+//! Append-only run ledger: one JSON line per completed `repro` run.
+//!
+//! The `repro` binary appends a [`LedgerRow`] to `BENCH_ledger.jsonl`
+//! after every run (DESIGN.md §14), so a working directory accumulates a
+//! queryable history: schema version, run knobs (scale, seed,
+//! parallelism), an FNV-1a hash of the artifact set, headline counters,
+//! and the per-stage wall-clock durations. The file is JSON Lines —
+//! append-only, one self-contained object per line — so concurrent
+//! tooling can `tail` it and a truncated final line (crash mid-append)
+//! never corrupts the rows before it.
+//!
+//! The artifact hash uses the same FNV-1a scheme as the golden-identity
+//! test ([`fnv1a`] over the sorted `<id>.svg`/`<id>.json` file set, name
+//! bytes then content bytes), so a ledger row's hash can be compared
+//! directly against the pinned golden value: two rows with equal
+//! `artifact_hash` produced byte-identical artifact sets.
+
+use crate::{Artifact, ReproReport};
+use serde::Serialize;
+use serde_json::Value;
+use std::io::Write;
+use std::path::Path;
+
+/// Schema tag stamped on every row.
+pub const LEDGER_SCHEMA: &str = "st-ledger/v1";
+
+/// FNV-1a offset basis (matches the golden-identity test).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (matches the golden-identity test).
+pub const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+/// Fold `bytes` into an FNV-1a hash state.
+pub fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Hash an artifact set the way the golden-identity capture did: the
+/// `<id>.svg` / `<id>.json` files the repro binary writes (`report.md`
+/// and the BENCH_* records carry wall-clock values and are excluded),
+/// sorted by file name, each folded as name bytes then content bytes.
+/// Returns `(hash, file_count)`.
+pub fn artifact_hash(artifacts: &[Artifact]) -> (u64, usize) {
+    let mut files: Vec<(String, &str)> = Vec::new();
+    for a in artifacts {
+        if let Some(svg) = &a.svg {
+            files.push((format!("{}.svg", a.id), svg));
+        }
+        files.push((format!("{}.json", a.id), &a.json));
+    }
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut h = FNV_OFFSET;
+    for (name, body) in &files {
+        h = fnv1a(name.as_bytes(), h);
+        h = fnv1a(body.as_bytes(), h);
+    }
+    (h, files.len())
+}
+
+/// One run's summary row. Everything except the four stage durations is
+/// deterministic for a given (code, scale, seed, fault-injection)
+/// tuple — `artifact_hash` in particular is parallelism-invariant.
+#[derive(Debug, Clone, Serialize)]
+pub struct LedgerRow {
+    /// Row schema tag ([`LEDGER_SCHEMA`]).
+    pub schema: String,
+    /// The run's `--scale`.
+    pub scale: f64,
+    /// The run's `--seed`.
+    pub seed: u64,
+    /// The run's `--parallelism`.
+    pub parallelism: usize,
+    /// FNV-1a hash of the artifact file set, as 16 hex digits.
+    pub artifact_hash: String,
+    /// Files in the hashed artifact set.
+    pub artifact_files: usize,
+    /// Artifacts produced (placeholders included).
+    pub artifacts: usize,
+    /// Headline numbers produced.
+    pub headlines: usize,
+    /// Render jobs that failed both attempts (degraded placeholders).
+    pub jobs_failed: usize,
+    /// Render jobs that survived on their retry.
+    pub jobs_retried: usize,
+    /// Records the sanitizer passed through untouched.
+    pub records_clean: u64,
+    /// Records the sanitizer repaired.
+    pub records_repaired: u64,
+    /// Records the sanitizer quarantined.
+    pub records_quarantined: u64,
+    /// Wall-clock seconds of the generate stage.
+    pub generate_s: f64,
+    /// Wall-clock seconds of the fit stage.
+    pub fit_s: f64,
+    /// Wall-clock seconds of the derive stage.
+    pub derive_s: f64,
+    /// Wall-clock seconds of the render stage.
+    pub render_s: f64,
+}
+
+impl LedgerRow {
+    /// Summarize one completed run.
+    pub fn from_report(report: &ReproReport, parallelism: usize) -> LedgerRow {
+        let (hash, files) = artifact_hash(&report.artifacts);
+        let s = &report.health.sanitize;
+        LedgerRow {
+            schema: LEDGER_SCHEMA.to_string(),
+            scale: report.scale,
+            seed: report.seed,
+            parallelism,
+            artifact_hash: format!("{hash:016x}"),
+            artifact_files: files,
+            artifacts: report.artifacts.len(),
+            headlines: report.headlines.len(),
+            jobs_failed: report.health.jobs_failed,
+            jobs_retried: report.health.jobs_retried,
+            records_clean: s.clean,
+            records_repaired: s.repaired,
+            records_quarantined: s.quarantined,
+            generate_s: report.timings.generate_s,
+            fit_s: report.timings.fit_s,
+            derive_s: report.timings.derive_s,
+            render_s: report.timings.render_s,
+        }
+    }
+}
+
+/// Append one row to the JSON Lines ledger at `path`, creating the file
+/// on first use. Strictly append-only: existing rows are never touched.
+pub fn append_ledger(path: &Path, row: &LedgerRow) -> std::io::Result<()> {
+    let json = serde_json::to_string(row)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(file, "{json}")
+}
+
+/// Read every row of a ledger back as parsed JSON values, newest last.
+/// Blank lines are skipped; a malformed line is an error naming its
+/// 1-based line number.
+pub fn read_ledger(path: &Path) -> Result<Vec<Value>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row = serde_json::from_str(line)
+            .map_err(|e| format!("{} line {}: {e}", path.display(), i + 1))?;
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn art(id: &str, svg: Option<&str>, json: &str) -> Artifact {
+        Artifact {
+            id: id.to_string(),
+            text: String::new(),
+            svg: svg.map(|s| s.to_string()),
+            json: json.to_string(),
+        }
+    }
+
+    #[test]
+    fn artifact_hash_is_order_invariant_and_content_sensitive() {
+        let a = art("fig01", Some("<svg/>"), "{}");
+        let b = art("table1", None, "{\"rows\":1}");
+        let fwd = artifact_hash(&[a.clone(), b.clone()]);
+        let rev = artifact_hash(&[b.clone(), a.clone()]);
+        assert_eq!(fwd, rev, "hash must sort by file name, not input order");
+        assert_eq!(fwd.1, 3, "fig01.svg + fig01.json + table1.json");
+        let mut changed = a.clone();
+        changed.json = "{\"rows\":2}".to_string();
+        assert_ne!(artifact_hash(&[changed, b]).0, fwd.0);
+    }
+
+    #[test]
+    fn ledger_appends_one_parseable_line_per_row() {
+        let dir = std::env::temp_dir().join(format!("st-ledger-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_ledger.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let mut row = LedgerRow {
+            schema: LEDGER_SCHEMA.to_string(),
+            scale: 0.004,
+            seed: 2024,
+            parallelism: 1,
+            artifact_hash: format!("{:016x}", 0xabcdu64),
+            artifact_files: 89,
+            artifacts: 40,
+            headlines: 12,
+            jobs_failed: 0,
+            jobs_retried: 0,
+            records_clean: 1000,
+            records_repaired: 0,
+            records_quarantined: 0,
+            generate_s: 1.0,
+            fit_s: 2.0,
+            derive_s: 0.1,
+            render_s: 3.0,
+        };
+        append_ledger(&path, &row).expect("first append");
+        row.parallelism = 4;
+        append_ledger(&path, &row).expect("second append");
+
+        let rows = read_ledger(&path).expect("ledger parses");
+        assert_eq!(rows.len(), 2, "append-only: both rows survive");
+        for r in &rows {
+            assert_eq!(r.get("schema").and_then(Value::as_str), Some(LEDGER_SCHEMA));
+            assert_eq!(r.get("artifact_files").and_then(Value::as_u64), Some(89));
+        }
+        assert_eq!(rows[0].get("parallelism").and_then(Value::as_u64), Some(1));
+        assert_eq!(rows[1].get("parallelism").and_then(Value::as_u64), Some(4));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -36,6 +36,8 @@
 //! byte-identical with the registry enabled or disabled.
 
 pub mod claims;
+pub mod diff;
+pub mod ledger;
 
 use serde::Serialize;
 use st_analysis::{
@@ -51,6 +53,7 @@ use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 /// One rendered artifact: an id, markdown/text body, and optional SVG.
+#[derive(Clone)]
 pub struct Artifact {
     /// Stable id ("fig09a", "table2", ...).
     pub id: String,
@@ -299,6 +302,7 @@ pub fn build_analyses_observed(
     let inner = parallelism.div_ceil(city_workers);
     let dirty = dirty.copied();
 
+    obs.event("stage.start", "lifecycle", &[("stage", "generate")]);
     let gen_span = obs.span("generate");
     let prepared = par_map(cities.to_vec(), city_workers, |_, city| {
         let sub = obs.sub();
@@ -323,6 +327,7 @@ pub fn build_analyses_observed(
         (ds, report, sub)
     });
     let generate_s = gen_span.stop();
+    obs.event("stage.end", "lifecycle", &[("stage", "generate")]);
 
     let mut sanitize_total = SanitizeReport::default();
     let mut datasets: Vec<CityDataset> = Vec::with_capacity(prepared.len());
@@ -332,6 +337,7 @@ pub fn build_analyses_observed(
         datasets.push(ds);
     }
 
+    obs.event("stage.start", "lifecycle", &[("stage", "fit")]);
     let fit_span = obs.span("fit");
     let fitted = par_map(datasets, city_workers, |_, ds| {
         let sub = obs.sub();
@@ -341,6 +347,7 @@ pub fn build_analyses_observed(
         (analysis, sub)
     });
     let fit_s = fit_span.stop();
+    obs.event("stage.end", "lifecycle", &[("stage", "fit")]);
     let mut analyses: Vec<CityAnalysis> = Vec::with_capacity(fitted.len());
     for (analysis, sub) in fitted {
         obs.merge(&sub);
@@ -352,6 +359,7 @@ pub fn build_analyses_observed(
     // function of the base columns, so building them in parallel (one
     // job per campaign, city order preserved by `par_map`) cannot change
     // their contents.
+    obs.event("stage.start", "lifecycle", &[("stage", "derive")]);
     let derive_span = obs.span("derive");
     let stores: Vec<(&str, &str, &st_speedtest::CampaignStore)> = analyses
         .iter()
@@ -367,6 +375,7 @@ pub fn build_analyses_observed(
         sub
     });
     let derive_s = derive_span.stop();
+    obs.event("stage.end", "lifecycle", &[("stage", "derive")]);
     for sub in &subs {
         obs.merge(sub);
     }
@@ -727,6 +736,7 @@ pub fn run_all_observed(
     obs: &Registry,
 ) -> ReproReport {
     assert_eq!(analyses.len(), 4, "need all four cities");
+    obs.event("stage.start", "lifecycle", &[("stage", "render")]);
     let render_span = obs.span("render");
     let jobs: Vec<(String, RenderJob)> = render_jobs(analyses)
         .into_iter()
@@ -768,6 +778,7 @@ pub fn run_all_observed(
                 if retried {
                     health.jobs_retried += 1;
                     obs.inc("render.jobs_retried", &[]);
+                    obs.event("render.retried", "lifecycle", &[("job", label.as_str())]);
                 }
                 let (art, heads) = *out;
                 obs.add("render.artifacts", &[("job", label.as_str())], art.len() as u64);
@@ -778,12 +789,18 @@ pub fn run_all_observed(
             Err(reason) => {
                 health.jobs_failed += 1;
                 obs.inc("render.jobs_failed", &[]);
+                obs.event(
+                    "render.degraded",
+                    "lifecycle",
+                    &[("job", label.as_str()), ("reason", reason.as_str())],
+                );
                 artifacts.push(placeholder_artifact(&label, &reason));
                 health.failures.push(JobFailure { label, reason });
             }
         }
     }
     let timings = StageTimings { render_s: render_span.stop(), ..timings };
+    obs.event("stage.end", "lifecycle", &[("stage", "render")]);
     let metrics = obs.is_enabled().then(|| obs.snapshot());
     ReproReport { scale, seed, artifacts, headlines, timings, health, metrics }
 }
@@ -849,9 +866,20 @@ pub fn render_metrics(det: &st_obs::DeterministicMetrics) -> String {
         }
     }
     if !det.histograms.is_empty() {
+        let q = |h: &st_obs::Histogram, p: f64| {
+            h.quantile(p).map(|v| format!("{v:.4}")).unwrap_or_else(|| "-".to_string())
+        };
         out.push_str("- histograms:\n");
         for (key, h) in &det.histograms {
-            out.push_str(&format!("  - {key}: n={} min={} max={}\n", h.count, h.min, h.max));
+            out.push_str(&format!(
+                "  - {key}: n={} min={} max={} p50={} p90={} p99={}\n",
+                h.count,
+                h.min,
+                h.max,
+                q(h, 0.5),
+                q(h, 0.9),
+                q(h, 0.99)
+            ));
         }
     }
     out

@@ -96,23 +96,28 @@ impl CityDataset {
     }
 
     /// Record how many measurements each scenario stream generated, as
-    /// `datagen.records{campaign,city}` counters plus a
-    /// `datagen.users{city}` population gauge (deterministic class,
-    /// DESIGN.md §13). Pure post-generation read — calling it never
-    /// changes the dataset.
+    /// `datagen.records{campaign,city}` counters, a
+    /// `datagen.users{city}` population gauge, and a
+    /// `datagen.down_mbps{campaign,city}` download-throughput histogram
+    /// whose bucket-interpolated p50/p90/p99 surface in the report's
+    /// `## Metrics` section (deterministic class, DESIGN.md §13). Pure
+    /// post-generation read — calling it never changes the dataset.
     pub fn observe(&self, reg: &st_obs::Registry) {
         if !reg.is_enabled() {
             return;
         }
+        // Decades-ish edges spanning dial-up to multi-gigabit fiber.
+        const DOWN_MBPS_BOUNDS: &[f64] =
+            &[1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0];
         let city = self.config.city.label();
         for (campaign, records) in
             [("ookla", &self.ookla), ("mlab", &self.mlab), ("mba", &self.mba)]
         {
-            reg.add(
-                "datagen.records",
-                &[("campaign", campaign), ("city", city)],
-                records.len() as u64,
-            );
+            let labels = [("campaign", campaign), ("city", city)];
+            reg.add("datagen.records", &labels, records.len() as u64);
+            for m in records.iter() {
+                reg.observe("datagen.down_mbps", &labels, m.down_mbps, DOWN_MBPS_BOUNDS);
+            }
         }
         reg.set_gauge("datagen.users", &[("city", city)], self.population.users().len() as f64);
     }

@@ -38,6 +38,17 @@
 //! duration under a `/`-separated path. Nesting is explicit via
 //! [`Span::child`], so a span tree never depends on thread-local state
 //! and parallel children can be recorded into sub-registries.
+//!
+//! Every registry also accumulates a **trace timeline** (see [`trace`]):
+//! each closed span becomes a complete Chrome-Trace-Event-Format event,
+//! and [`Registry::event`] records instant lifecycle marks (stage
+//! start/end, quarantine outcomes, degraded jobs, wire retries).
+//! [`Registry::trace`] exports the buffer; event names/categories/args/
+//! lanes/order are deterministic class, `ts`/`dur` are wall-clock class.
+
+pub mod trace;
+
+pub use trace::{Phase, Trace, TraceEvent};
 
 use parking_lot::Mutex;
 use serde::Serialize;
@@ -45,10 +56,30 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Append `s` with the key syntax characters (`\`, `,`, `=`, `{`, `}`)
+/// backslash-escaped, so the rendered key is an injective encoding of
+/// the (name, labels) set.
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        if matches!(c, '\\' | ',' | '=' | '{' | '}') {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+}
+
 /// Render a metric key as `name{k1=v1,k2=v2}` with labels sorted by
 /// label key, so the same (name, labels) set always produces the same
 /// registry key regardless of call-site label order.
+///
+/// Label keys and values are backslash-escaped (`\`, `,`, `=`, `{`,
+/// `}`), so two *distinct* label sets can never render the same
+/// registry key — `{"a": "1,b=2"}` and `{"a": "1", "b": "2"}` stay
+/// distinguishable. Metric *names* are compile-time constants by
+/// convention and must not contain `{` (debug-asserted), which keeps
+/// the name/label boundary unambiguous.
 pub fn metric_key(name: &str, labels: &[(&str, &str)]) -> String {
+    debug_assert!(!name.contains('{'), "metric name {name:?} must not contain '{{'");
     if labels.is_empty() {
         return name.to_string();
     }
@@ -61,9 +92,9 @@ pub fn metric_key(name: &str, labels: &[(&str, &str)]) -> String {
         if i > 0 {
             out.push(',');
         }
-        out.push_str(k);
+        push_escaped(&mut out, k);
         out.push('=');
-        out.push_str(v);
+        push_escaped(&mut out, v);
     }
     out.push('}');
     out
@@ -144,6 +175,46 @@ impl Histogram {
             Some(i) => self.counts[i] += 1,
             None => self.overflow += 1,
         }
+    }
+
+    /// Bucket-interpolated quantile estimate over the non-NaN
+    /// observations (the Prometheus `histogram_quantile` scheme): walk
+    /// the cumulative bucket counts to the bucket containing rank
+    /// `p * n`, then interpolate linearly inside it. The first bucket's
+    /// lower edge is `min`, the overflow bucket's upper edge is `max`,
+    /// and the estimate is clamped into `[min, max]` — so it is exact
+    /// whenever `min == max` (e.g. a constant input) and always inside
+    /// the observed finite range. Returns `None` when no finite
+    /// observation exists or `p` is NaN.
+    ///
+    /// The estimate is a pure function of the merged histogram state, so
+    /// it inherits the merge algebra's order-invariance: any merge order
+    /// of the same sub-histograms yields bit-identical quantiles.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        if self.finite == 0 || p.is_nan() {
+            return None;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let n = (self.count - self.nan) as f64;
+        let target = p * n;
+        let mut cum = 0.0;
+        let mut estimate = self.max;
+        let overflow_idx = self.counts.len();
+        for i in 0..=overflow_idx {
+            let cnt = if i == overflow_idx { self.overflow } else { self.counts[i] } as f64;
+            if cnt == 0.0 {
+                continue;
+            }
+            if target <= cum + cnt {
+                let lower = if i == 0 { self.min } else { self.bounds[i - 1] };
+                let upper = if i == overflow_idx { self.max } else { self.bounds[i] };
+                let frac = ((target - cum) / cnt).clamp(0.0, 1.0);
+                estimate = if upper > lower { lower + frac * (upper - lower) } else { upper };
+                break;
+            }
+            cum += cnt;
+        }
+        Some(estimate.clamp(self.min, self.max))
     }
 
     /// Fold `other` into `self`. With equal bounds (the only case the
@@ -233,10 +304,34 @@ impl MetricsSnapshot {
     }
 }
 
-#[derive(Default)]
+/// Trace event buffer plus the lane watermark used to give every merged
+/// sub-registry its own deterministic CTEF track block.
+struct TraceBuf {
+    events: Vec<TraceEvent>,
+    /// Lanes used so far: own events occupy lane 0, every merged sub
+    /// shifts onto a fresh block. Grows only on merge, in merge order,
+    /// so lane numbering is deterministic.
+    lanes: u32,
+}
+
 struct Inner {
+    /// Zero point for every `ts_us` in the trace. Sub-registries share
+    /// their parent's epoch so merged timelines stay comparable.
+    epoch: Instant,
     det: Mutex<DeterministicMetrics>,
     wall: Mutex<WallClockMetrics>,
+    trace: Mutex<TraceBuf>,
+}
+
+impl Inner {
+    fn with_epoch(epoch: Instant) -> Self {
+        Inner {
+            epoch,
+            det: Mutex::default(),
+            wall: Mutex::default(),
+            trace: Mutex::new(TraceBuf { events: Vec::new(), lanes: 1 }),
+        }
+    }
 }
 
 /// A cheap-to-clone handle onto one run's metrics. `Registry::disabled`
@@ -254,9 +349,10 @@ impl std::fmt::Debug for Registry {
 }
 
 impl Registry {
-    /// An enabled, empty registry.
+    /// An enabled, empty registry. Its creation instant becomes the
+    /// trace epoch every `ts_us` is measured from.
     pub fn new() -> Self {
-        Registry { inner: Some(Arc::new(Inner::default())) }
+        Registry { inner: Some(Arc::new(Inner::with_epoch(Instant::now()))) }
     }
 
     /// A no-op registry: records nothing, costs (almost) nothing.
@@ -273,11 +369,13 @@ impl Registry {
     /// unit-of-work pattern for deterministic parallelism: each parallel
     /// job records into its own `sub()` and the coordinator folds them
     /// back with [`Registry::merge`] in a fixed (city/chunk/paper) order.
+    ///
+    /// The sub shares this registry's trace epoch, so its events land on
+    /// the same timeline when merged back.
     pub fn sub(&self) -> Self {
-        if self.is_enabled() {
-            Registry::new()
-        } else {
-            Registry::disabled()
+        match &self.inner {
+            Some(inner) => Registry { inner: Some(Arc::new(Inner::with_epoch(inner.epoch))) },
+            None => Registry::disabled(),
         }
     }
 
@@ -336,12 +434,59 @@ impl Registry {
     }
 
     /// Record one completed wall-clock interval under span `path`.
+    /// Affects the span statistics only; the scoped [`Span`] guard is
+    /// what additionally emits a trace timeline event.
     pub fn record_span(&self, path: &str, secs: f64) {
         let Some(inner) = &self.inner else { return };
         let mut wall = inner.wall.lock();
         let stat = wall.spans.entry(path.to_string()).or_default();
         stat.count += 1;
         stat.total_s += secs;
+    }
+
+    /// Record an instant lifecycle trace event (`ph: "i"`) under `name`
+    /// with CTEF category `cat` and deterministic `args`, stamped with
+    /// the wall-clock offset from the trace epoch. Event *content and
+    /// order* are deterministic class; the timestamp is wall-clock class
+    /// (DESIGN.md §14).
+    pub fn event(&self, name: &str, cat: &str, args: &[(&str, &str)]) {
+        let Some(inner) = &self.inner else { return };
+        let ts_us = inner.epoch.elapsed().as_micros() as u64;
+        inner.trace.lock().events.push(TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            phase: Phase::Instant,
+            lane: 0,
+            args: args.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            ts_us,
+            dur_us: 0,
+        });
+    }
+
+    /// Close a span guard: record its wall-clock statistic and append
+    /// the matching complete (`ph: "X"`) trace event.
+    fn finish_span(&self, path: &str, start: Instant) -> f64 {
+        let elapsed = start.elapsed();
+        let secs = elapsed.as_secs_f64();
+        let Some(inner) = &self.inner else { return secs };
+        {
+            let mut wall = inner.wall.lock();
+            let stat = wall.spans.entry(path.to_string()).or_default();
+            stat.count += 1;
+            stat.total_s += secs;
+        }
+        let ts_us = start.saturating_duration_since(inner.epoch).as_micros() as u64;
+        let cat = path.split('/').next().unwrap_or(path).to_string();
+        inner.trace.lock().events.push(TraceEvent {
+            name: path.to_string(),
+            cat,
+            phase: Phase::Complete,
+            lane: 0,
+            args: Vec::new(),
+            ts_us,
+            dur_us: elapsed.as_micros() as u64,
+        });
+        secs
     }
 
     /// Open a root span. The guard records its duration on drop (or
@@ -380,12 +525,33 @@ impl Registry {
                 ours.series.entry(k.clone()).or_default().extend_from_slice(s);
             }
         }
-        let theirs = other_inner.wall.lock();
-        let mut ours = inner.wall.lock();
-        for (k, s) in &theirs.spans {
-            let stat = ours.spans.entry(k.clone()).or_default();
-            stat.count += s.count;
-            stat.total_s += s.total_s;
+        {
+            let theirs = other_inner.wall.lock();
+            let mut ours = inner.wall.lock();
+            for (k, s) in &theirs.spans {
+                let stat = ours.spans.entry(k.clone()).or_default();
+                stat.count += s.count;
+                stat.total_s += s.total_s;
+            }
+        }
+        // Trace events append in merge order, shifted onto a fresh lane
+        // block so every merged unit of work keeps its own CTEF track.
+        let theirs = other_inner.trace.lock();
+        let mut ours = inner.trace.lock();
+        let base = ours.lanes;
+        ours.events.extend(theirs.events.iter().map(|e| {
+            let mut e = e.clone();
+            e.lane += base;
+            e
+        }));
+        ours.lanes = base + theirs.lanes;
+    }
+
+    /// A copy of the trace buffer recorded so far (empty when disabled).
+    pub fn trace(&self) -> Trace {
+        match &self.inner {
+            Some(inner) => Trace { events: inner.trace.lock().events.clone() },
+            None => Trace::default(),
         }
     }
 
@@ -427,19 +593,18 @@ impl Span {
         &self.path
     }
 
-    /// Close the span, record it, and return the elapsed seconds.
+    /// Close the span, record it (span statistic plus a complete trace
+    /// event), and return the elapsed seconds.
     pub fn stop(mut self) -> f64 {
-        let secs = self.start.elapsed().as_secs_f64();
-        self.reg.record_span(&self.path, secs);
         self.done = true;
-        secs
+        self.reg.finish_span(&self.path, self.start)
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         if !self.done {
-            self.reg.record_span(&self.path, self.start.elapsed().as_secs_f64());
+            self.reg.finish_span(&self.path, self.start);
         }
     }
 }
@@ -470,6 +635,107 @@ mod tests {
             metric_key("m", &[("a", "2"), ("z", "1")])
         );
         assert_eq!(metric_key("m", &[]), "m");
+    }
+
+    #[test]
+    fn metric_key_escapes_label_syntax_characters() {
+        // Regression: unescaped interpolation let two distinct label sets
+        // render the same key. The smuggled separators must stay inert.
+        let smuggled = metric_key("m", &[("a", "1,b=2")]);
+        let distinct = metric_key("m", &[("a", "1"), ("b", "2")]);
+        assert_ne!(smuggled, distinct, "label sets collided: {smuggled}");
+        assert_eq!(smuggled, r"m{a=1\,b\=2}");
+        assert_eq!(metric_key("m", &[("k", "a{b}c\\d")]), r"m{k=a\{b\}c\\d}");
+        // Escaping is injective: a value that *looks* pre-escaped stays
+        // distinct from the raw one.
+        assert_ne!(metric_key("m", &[("k", r"x\,y")]), metric_key("m", &[("k", "x,y")]));
+        // And two keys recorded through a registry stay separate.
+        let reg = Registry::new();
+        reg.inc("c", &[("a", "1,b=2")]);
+        reg.inc("c", &[("a", "1"), ("b", "2")]);
+        assert_eq!(reg.snapshot().deterministic.counters.len(), 2);
+    }
+
+    #[test]
+    fn quantiles_interpolate_and_clamp() {
+        let mut h = Histogram::new(&[10.0, 20.0, 40.0]);
+        for v in [2.0, 12.0, 14.0, 16.0, 18.0, 25.0, 30.0, 35.0, 38.0, 39.0] {
+            h.observe(v);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((10.0..=20.0).contains(&p50), "p50 {p50} outside its bucket");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 <= h.max && p99 >= h.quantile(0.9).unwrap());
+        assert_eq!(h.quantile(0.0).unwrap(), h.min);
+        assert_eq!(h.quantile(1.0).unwrap(), h.max);
+        // Out-of-range p clamps, NaN p and empty histograms decline.
+        assert_eq!(h.quantile(7.0).unwrap(), h.max);
+        assert!(h.quantile(f64::NAN).is_none());
+        assert!(Histogram::new(&[1.0]).quantile(0.5).is_none());
+        // A constant input is recovered exactly at every p.
+        let mut constant = Histogram::new(&[10.0, 20.0]);
+        for _ in 0..5 {
+            constant.observe(15.0);
+        }
+        for p in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(constant.quantile(p), Some(15.0));
+        }
+    }
+
+    #[test]
+    fn quantiles_ignore_nan_and_survive_infinities() {
+        let mut h = Histogram::new(&[1.0]);
+        h.observe(f64::NAN);
+        assert!(h.quantile(0.5).is_none(), "NaN-only histogram has no quantiles");
+        h.observe(0.5);
+        h.observe(f64::INFINITY);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50.is_finite() && (h.min..=h.max).contains(&p50));
+    }
+
+    #[test]
+    fn spans_emit_complete_trace_events_and_lifecycle_events_are_instants() {
+        let reg = Registry::new();
+        {
+            let root = reg.span("fit");
+            let child = root.child("city_a");
+            drop(child);
+        }
+        reg.event("quarantine", "lifecycle", &[("reason", "duplicate-id")]);
+        let trace = reg.trace();
+        assert_eq!(trace.events.len(), 3);
+        // Children close before parents; instants follow in record order.
+        assert_eq!(trace.events[0].name, "fit/city_a");
+        assert_eq!(trace.events[0].cat, "fit");
+        assert_eq!(trace.events[0].phase, Phase::Complete);
+        assert_eq!(trace.events[1].name, "fit");
+        assert_eq!(trace.events[2].phase, Phase::Instant);
+        assert_eq!(trace.events[2].args, vec![("reason".to_string(), "duplicate-id".to_string())]);
+        assert!(trace.events.iter().all(|e| e.lane == 0), "own events sit on lane 0");
+        // Disabled registries record no trace.
+        let off = Registry::disabled();
+        off.event("x", "lifecycle", &[]);
+        drop(off.span("s"));
+        assert!(off.trace().events.is_empty());
+    }
+
+    #[test]
+    fn merge_shifts_sub_traces_onto_fresh_lanes_in_merge_order() {
+        let root = Registry::new();
+        drop(root.span("stage"));
+        let sub_a = root.sub();
+        sub_a.event("a", "lifecycle", &[]);
+        let sub_b = root.sub();
+        sub_b.event("b", "lifecycle", &[]);
+        root.merge(&sub_a);
+        root.merge(&sub_b);
+        let lanes: Vec<(String, u32)> =
+            root.trace().events.iter().map(|e| (e.name.clone(), e.lane)).collect();
+        assert_eq!(
+            lanes,
+            vec![("stage".to_string(), 0), ("a".to_string(), 1), ("b".to_string(), 2)],
+            "merge order must assign deterministic lane blocks"
+        );
     }
 
     #[test]

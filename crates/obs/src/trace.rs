@@ -1,0 +1,261 @@
+//! Trace timeline export in Chrome Trace Event Format (CTEF).
+//!
+//! Every [`crate::Registry`] accumulates a buffer of [`TraceEvent`]s
+//! alongside its metrics: one complete (`ph: "X"`) event per closed
+//! span, plus instant (`ph: "i"`) lifecycle events recorded with
+//! [`crate::Registry::event`] — stage start/end marks, per-campaign
+//! quarantine outcomes, degraded render jobs, wire connect retries.
+//! [`Trace::to_chrome_json`] serializes the buffer as a CTEF JSON object
+//! loadable in Perfetto or `chrome://tracing`.
+//!
+//! The two-class contract of DESIGN.md §13/§14 applies field by field:
+//!
+//! * **Deterministic**: `name`, `cat`, `ph`, `lane` (exported as `tid`),
+//!   `args`, and the *order* of events in the buffer. Sub-registries are
+//!   merged in fixed city/job order and each unit of parallel work
+//!   records single-threaded into its own sub, so the serialized
+//!   deterministic view ([`Trace::deterministic_json`]) is byte-identical
+//!   at every parallelism level.
+//! * **Wall-clock**: `ts` and `dur` (microseconds since the root
+//!   registry's epoch). Reported for the timeline, excluded from every
+//!   determinism contract.
+//!
+//! Lanes are the CTEF thread ids: a registry's own events sit on lane 0,
+//! and every merged sub-registry is shifted onto a fresh lane block in
+//! merge order. In Perfetto each unit of parallel work therefore renders
+//! as its own track, while the lane numbering itself stays a pure
+//! function of the (fixed) merge order.
+
+use serde::json::Writer;
+
+/// CTEF phase of one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A closed span: `ph: "X"` with a duration.
+    Complete,
+    /// A point-in-time lifecycle mark: `ph: "i"`, thread-scoped.
+    Instant,
+}
+
+impl Phase {
+    /// The CTEF `ph` string.
+    pub fn ph(&self) -> &'static str {
+        match self {
+            Phase::Complete => "X",
+            Phase::Instant => "i",
+        }
+    }
+}
+
+/// One recorded trace event. `name`/`cat`/`phase`/`lane`/`args` are the
+/// deterministic class; `ts_us`/`dur_us` are wall-clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (a span's `/`-joined path, or a lifecycle event name).
+    pub name: String,
+    /// CTEF category: a span's root path segment, or `"lifecycle"`.
+    pub cat: String,
+    /// Complete (span) or instant (lifecycle mark).
+    pub phase: Phase,
+    /// Deterministic track id (CTEF `tid`): 0 for events recorded on the
+    /// registry itself, a fresh block per merged sub-registry.
+    pub lane: u32,
+    /// Deterministic key/value annotations, in recording order.
+    pub args: Vec<(String, String)>,
+    /// Microseconds since the root registry's epoch (wall-clock class).
+    pub ts_us: u64,
+    /// Event duration in microseconds; 0 for instants (wall-clock class).
+    pub dur_us: u64,
+}
+
+/// An exported copy of a registry's trace buffer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Events in deterministic buffer order (recording order on each
+    /// registry, sub-registries appended in merge order).
+    pub events: Vec<TraceEvent>,
+}
+
+fn write_args(w: &mut Writer, args: &[(String, String)]) {
+    w.begin_object();
+    for (k, v) in args {
+        w.key(k);
+        w.string(v);
+    }
+    w.end_object();
+}
+
+impl Trace {
+    /// Serialize as a Chrome Trace Event Format JSON object
+    /// (`{"displayTimeUnit": "ms", "traceEvents": [...]}`), loadable in
+    /// Perfetto / `chrome://tracing`. `process_name` becomes the CTEF
+    /// process metadata; every lane gets a thread-name metadata event so
+    /// the tracks are labeled. All events share `pid` 1.
+    pub fn to_chrome_json(&self, process_name: &str) -> String {
+        let mut w = Writer::pretty();
+        w.begin_object();
+        w.key("displayTimeUnit");
+        w.string("ms");
+        w.key("traceEvents");
+        w.begin_array();
+
+        w.element();
+        w.begin_object();
+        w.key("name");
+        w.string("process_name");
+        w.key("ph");
+        w.string("M");
+        w.key("pid");
+        w.raw("1");
+        w.key("tid");
+        w.raw("0");
+        w.key("args");
+        w.begin_object();
+        w.key("name");
+        w.string(process_name);
+        w.end_object();
+        w.end_object();
+
+        let mut lanes: Vec<u32> = self.events.iter().map(|e| e.lane).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        for lane in &lanes {
+            w.element();
+            w.begin_object();
+            w.key("name");
+            w.string("thread_name");
+            w.key("ph");
+            w.string("M");
+            w.key("pid");
+            w.raw("1");
+            w.key("tid");
+            w.raw(&lane.to_string());
+            w.key("args");
+            w.begin_object();
+            w.key("name");
+            w.string(&format!("lane {lane}"));
+            w.end_object();
+            w.end_object();
+        }
+
+        for e in &self.events {
+            w.element();
+            w.begin_object();
+            w.key("name");
+            w.string(&e.name);
+            w.key("cat");
+            w.string(&e.cat);
+            w.key("ph");
+            w.string(e.phase.ph());
+            if e.phase == Phase::Instant {
+                // Thread-scoped instant; renders as a mark on its track.
+                w.key("s");
+                w.string("t");
+            }
+            w.key("ts");
+            w.raw(&e.ts_us.to_string());
+            if e.phase == Phase::Complete {
+                w.key("dur");
+                w.raw(&e.dur_us.to_string());
+            }
+            w.key("pid");
+            w.raw("1");
+            w.key("tid");
+            w.raw(&e.lane.to_string());
+            w.key("args");
+            write_args(&mut w, &e.args);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Serialize the deterministic event fields only (`name`, `cat`,
+    /// `ph`, `lane`, `args`, in buffer order) — the byte string the
+    /// parallelism-invariance tests compare. Stripping `ts`/`dur` here,
+    /// rather than in the consumer, keeps the two-class split explicit.
+    pub fn deterministic_json(&self) -> String {
+        let mut w = Writer::pretty();
+        w.begin_array();
+        for e in &self.events {
+            w.element();
+            w.begin_object();
+            w.key("name");
+            w.string(&e.name);
+            w.key("cat");
+            w.string(&e.cat);
+            w.key("ph");
+            w.string(e.phase.ph());
+            w.key("lane");
+            w.raw(&e.lane.to_string());
+            w.key("args");
+            write_args(&mut w, &e.args);
+            w.end_object();
+        }
+        w.end_array();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            events: vec![
+                TraceEvent {
+                    name: "generate".into(),
+                    cat: "generate".into(),
+                    phase: Phase::Complete,
+                    lane: 0,
+                    args: vec![],
+                    ts_us: 10,
+                    dur_us: 500,
+                },
+                TraceEvent {
+                    name: "sanitize.outcome".into(),
+                    cat: "lifecycle".into(),
+                    phase: Phase::Instant,
+                    lane: 2,
+                    args: vec![("campaign".into(), "ookla".into())],
+                    ts_us: 120,
+                    dur_us: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn chrome_json_has_the_ctef_shape() {
+        let json = sample().to_chrome_json("test-proc");
+        let doc = serde_json::from_str(&json).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(|v| v.as_array()).expect("traceEvents array");
+        // process_name + two thread_name metadata + two events.
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("M"));
+        let span = &events[3];
+        assert_eq!(span.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(span.get("dur").unwrap().as_u64(), Some(500));
+        assert_eq!(span.get("tid").unwrap().as_u64(), Some(0));
+        let instant = &events[4];
+        assert_eq!(instant.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(instant.get("s").unwrap().as_str(), Some("t"));
+        assert!(instant.get("dur").is_none(), "instants carry no dur");
+        assert_eq!(instant.get("args").unwrap().get("campaign").unwrap().as_str(), Some("ookla"));
+    }
+
+    #[test]
+    fn deterministic_view_strips_wall_clock_fields() {
+        let mut a = sample();
+        let det_a = a.deterministic_json();
+        for e in &mut a.events {
+            e.ts_us = e.ts_us.wrapping_mul(17) + 3;
+            e.dur_us += 999;
+        }
+        assert_eq!(det_a, a.deterministic_json(), "ts/dur leaked into the deterministic view");
+        assert!(!det_a.contains("\"ts\""));
+        assert!(!det_a.contains("\"dur\""));
+    }
+}

@@ -134,6 +134,72 @@ proptest! {
     }
 
     #[test]
+    fn quantiles_are_monotone_in_p_and_bounded_by_the_finite_range(
+        bounds in bounds_strategy(),
+        values in prop::collection::vec(value_strategy(), 1..80),
+        ps in prop::collection::vec(0.0f64..=1.0, 2..8),
+    ) {
+        let h = histogram_of(&bounds, &values);
+        match h.quantile(0.5) {
+            None => prop_assert_eq!(h.finite, 0, "only finite-free histograms may decline"),
+            Some(_) => {
+                // Bounded: every estimate stays inside [min, max].
+                for &p in &ps {
+                    let q = h.quantile(p).unwrap();
+                    prop_assert!(q >= h.min && q <= h.max, "q({p}) = {q} outside [{}, {}]", h.min, h.max);
+                }
+                // Monotone: sorting the probabilities sorts the estimates.
+                let mut sorted = ps.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let qs: Vec<f64> = sorted.iter().map(|&p| h.quantile(p).unwrap()).collect();
+                for w in qs.windows(2) {
+                    prop_assert!(w[0] <= w[1], "quantiles not monotone: {qs:?} for {sorted:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_are_exact_on_single_bucket_inputs(
+        value in -50.0f64..50.0,
+        n in 1usize..40,
+        p in 0.0f64..=1.0,
+    ) {
+        // Every observation is the same value, so whatever single bucket
+        // it lands in, min == max pins the estimate exactly.
+        let mut h = Histogram::new(&[-10.0, 0.0, 10.0]);
+        for _ in 0..n {
+            h.observe(value);
+        }
+        prop_assert_eq!(h.quantile(p), Some(value));
+    }
+
+    #[test]
+    fn quantiles_are_stable_under_merge_order(
+        bounds in bounds_strategy(),
+        chunks in prop::collection::vec(
+            prop::collection::vec(value_strategy(), 0..20), 1..6),
+        p in 0.0f64..=1.0,
+    ) {
+        let parts: Vec<Histogram> =
+            chunks.iter().map(|c| histogram_of(&bounds, c)).collect();
+        let mut fwd = Histogram::new(&bounds);
+        for part in &parts {
+            fwd.merge(part);
+        }
+        let mut rev = Histogram::new(&bounds);
+        for part in parts.iter().rev() {
+            rev.merge(part);
+        }
+        // Bit-identical, not approximately equal: the regression gate
+        // compares quantiles across runs at different parallelism.
+        prop_assert_eq!(
+            fwd.quantile(p).map(f64::to_bits),
+            rev.quantile(p).map(f64::to_bits)
+        );
+    }
+
+    #[test]
     fn registry_merge_matches_direct_recording(
         chunks in prop::collection::vec(
             prop::collection::vec(value_strategy(), 0..15), 1..5),

@@ -172,11 +172,22 @@ impl SanitizeReport {
     /// `labels` (deterministic class, DESIGN.md §13): `sanitize.clean` /
     /// `sanitize.repaired` / `sanitize.quarantined`, plus per-reason
     /// `sanitize.quarantine` and `sanitize.repair` counters keyed by a
-    /// `reason` label.
+    /// `reason` label. Also drops one `sanitize.outcome` lifecycle mark
+    /// on the trace timeline carrying the same tallies, so each
+    /// campaign's quarantine decision is visible in `BENCH_trace.json`
+    /// (DESIGN.md §14; counts are pure functions of the data, so the
+    /// event args are deterministic class).
     pub fn record(&self, reg: &st_obs::Registry, labels: &[(&str, &str)]) {
         if !reg.is_enabled() {
             return;
         }
+        let (clean, repaired, quarantined) =
+            (self.clean.to_string(), self.repaired.to_string(), self.quarantined.to_string());
+        let mut event_args: Vec<(&str, &str)> = labels.to_vec();
+        event_args.push(("clean", &clean));
+        event_args.push(("repaired", &repaired));
+        event_args.push(("quarantined", &quarantined));
+        reg.event("sanitize.outcome", "lifecycle", &event_args);
         reg.add("sanitize.clean", labels, self.clean);
         reg.add("sanitize.repaired", labels, self.repaired);
         reg.add("sanitize.quarantined", labels, self.quarantined);

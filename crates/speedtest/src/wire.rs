@@ -331,8 +331,9 @@ impl WireOptions {
 }
 
 /// Connect with bounded retries and capped exponential backoff. Every
-/// retry bumps `wire.connect_retries` and its backoff sleep lands in the
-/// `wire.backoff_sleep_s` histogram.
+/// retry bumps `wire.connect_retries`, drops a `wire.connect_retry`
+/// lifecycle mark on the trace timeline, and its backoff sleep lands in
+/// the `wire.backoff_sleep_s` histogram.
 fn connect_with_retry(
     addr: SocketAddr,
     opts: &WireOptions,
@@ -344,6 +345,12 @@ fn connect_with_retry(
     let mut last_err = None;
     for attempt in 0..opts.connect_attempts.max(1) {
         if attempt > 0 {
+            let attempt_str = attempt.to_string();
+            reg.event(
+                "wire.connect_retry",
+                "lifecycle",
+                &[("dir", dir), ("attempt", &attempt_str)],
+            );
             reg.inc("wire.connect_retries", labels);
             reg.observe("wire.backoff_sleep_s", labels, backoff.as_secs_f64(), BACKOFF_BOUNDS);
             thread::sleep(backoff);

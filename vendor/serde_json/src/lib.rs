@@ -1,6 +1,11 @@
 //! Offline stand-in for `serde_json`, backed by the vendored `serde`
-//! crate's JSON writer. Serialization-only: `to_string` and
-//! `to_string_pretty` over any `serde::Serialize`.
+//! crate's JSON writer: `to_string` and `to_string_pretty` over any
+//! `serde::Serialize`, plus a [`Value`] tree with a parser
+//! ([`from_str`]) so consumers like `obs-diff` can read documents back.
+
+pub mod value;
+
+pub use value::{from_str, ParseError, Value};
 
 use serde::json::Writer;
 use serde::Serialize;
