@@ -77,8 +77,10 @@ impl CityAnalysis {
             if sel.len() < 30 {
                 continue; // too thin to cluster meaningfully
             }
-            let down = sel.gather(ookla.down());
-            let up = sel.gather(ookla.up());
+            // Borrows the store's columns outright when the selection
+            // covers the whole campaign; materializes only true subsets.
+            let down = sel.gather_view(ookla.down());
+            let up = sel.gather_view(ookla.up());
             if let Ok(model) = BstModel::fit(&down, &up, &catalog, &cfg, &mut rng) {
                 for (j, i) in sel.iter().enumerate() {
                     ookla_tiers[i] = model.assignments[j].tier;

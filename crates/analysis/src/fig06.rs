@@ -16,9 +16,9 @@ pub fn run(a: &CityAnalysis) -> DensityResult {
     let max_cap = caps.iter().cloned().fold(0.0f64, f64::max);
 
     let mut series = Vec::new();
-    let mut add = |label: &str, values: Vec<f64>| {
+    let mut add = |label: &str, values: &[f64]| {
         // Clip to the plot range of the paper's figure (0..~1.4x top cap).
-        let clipped: Vec<f64> = values.into_iter().filter(|v| *v <= max_cap * 1.4).collect();
+        let clipped: Vec<f64> = values.iter().copied().filter(|v| *v <= max_cap * 1.4).collect();
         if clipped.len() < 20 {
             return;
         }
@@ -29,9 +29,9 @@ pub fn run(a: &CityAnalysis) -> DensityResult {
         }
     };
 
-    add("Ookla-Android", a.ookla.platform_sel(Platform::AndroidApp).gather(a.ookla.up()));
-    add("Ookla-Web", a.ookla.platform_sel(Platform::Web).gather(a.ookla.up()));
-    add("MLab-Web", a.mlab.up().to_vec());
+    add("Ookla-Android", &a.ookla.platform_sel(Platform::AndroidApp).gather_view(a.ookla.up()));
+    add("Ookla-Web", &a.ookla.platform_sel(Platform::Web).gather_view(a.ookla.up()));
+    add("MLab-Web", a.mlab.up());
 
     DensityResult {
         id: "fig06".into(),

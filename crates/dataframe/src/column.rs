@@ -1,5 +1,6 @@
 //! Typed columns and scalar values.
 
+use crate::shared::Shared;
 use std::fmt;
 
 /// The data type of a [`Column`].
@@ -58,10 +59,14 @@ impl fmt::Display for Value {
 }
 
 /// A dense, typed column of values.
+///
+/// Float columns hold [`Shared`] storage: cloning an F64 column (or
+/// building one from a store's `Shared` base column) is an `Arc` bump,
+/// not a data copy, and mutation detaches via copy-on-write.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Column {
-    /// A float column.
-    F64(Vec<f64>),
+    /// A float column (shared, copy-on-write storage).
+    F64(Shared<f64>),
     /// An integer column.
     I64(Vec<i64>),
     /// A string column.
@@ -173,6 +178,12 @@ impl Column {
 
 impl From<Vec<f64>> for Column {
     fn from(v: Vec<f64>) -> Self {
+        Column::F64(v.into())
+    }
+}
+
+impl From<Shared<f64>> for Column {
+    fn from(v: Shared<f64>) -> Self {
         Column::F64(v)
     }
 }
@@ -212,7 +223,7 @@ mod tests {
         assert_eq!(Column::from(vec!["a"]).dtype(), DType::Str);
         assert_eq!(Column::from(vec![true]).dtype(), DType::Bool);
         assert_eq!(Column::from(vec![1.0, 2.0, 3.0]).len(), 3);
-        assert!(Column::F64(vec![]).is_empty());
+        assert!(Column::F64(vec![].into()).is_empty());
     }
 
     #[test]

@@ -73,7 +73,7 @@ fn infer_column(cells: &[&str]) -> Column {
             return Column::I64(v);
         }
         if let Some(v) = try_all(cells, parse_f64) {
-            return Column::F64(v);
+            return Column::F64(v.into());
         }
         if let Some(v) = try_all(cells, |s| match s {
             "true" => Some(true),

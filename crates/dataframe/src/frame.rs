@@ -249,12 +249,12 @@ impl DataFrame {
         }
         DataFrame::from_columns([
             ("column", Column::Str(names)),
-            ("count", Column::F64(count)),
-            ("mean", Column::F64(mean)),
-            ("std", Column::F64(std)),
-            ("min", Column::F64(min)),
-            ("median", Column::F64(median)),
-            ("max", Column::F64(max)),
+            ("count", Column::F64(count.into())),
+            ("mean", Column::F64(mean.into())),
+            ("std", Column::F64(std.into())),
+            ("min", Column::F64(min.into())),
+            ("median", Column::F64(median.into())),
+            ("max", Column::F64(max.into())),
         ])
         .expect("parallel construction")
     }

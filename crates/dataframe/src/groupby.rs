@@ -146,7 +146,7 @@ impl<'a> GroupBy<'a> {
                     agg.apply(&group_vals)
                 })
                 .collect();
-            out.add_column(format!("{col_name}_{}", agg.suffix()), Column::F64(agg_vals))?;
+            out.add_column(format!("{col_name}_{}", agg.suffix()), Column::F64(agg_vals.into()))?;
         }
         Ok(out)
     }

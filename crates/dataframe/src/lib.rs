@@ -26,13 +26,16 @@ pub mod frame;
 pub mod groupby;
 pub mod join;
 pub mod selection;
+pub mod shared;
 
 pub use column::{Column, DType, Value};
 pub use error::FrameError;
 pub use frame::DataFrame;
 pub use groupby::{Agg, GroupBy};
 pub use join::{join, JoinKind};
+pub use selection::ColumnView;
 pub use selection::Selection;
+pub use shared::Shared;
 
 /// Result alias for data-frame operations.
 pub type Result<T> = std::result::Result<T, FrameError>;

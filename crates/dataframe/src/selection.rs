@@ -142,6 +142,57 @@ impl Selection {
     pub fn gather_finite(&self, column: &[f64]) -> Vec<f64> {
         self.indices.iter().map(|&i| column[i as usize]).filter(|v| v.is_finite()).collect()
     }
+
+    /// True when this selection picks every row of a table with `len` rows.
+    ///
+    /// Because indices are ascending, unique, and in bounds, a selection of
+    /// `len` indices into a `len`-row table is necessarily `0..len`.
+    pub fn is_identity(&self, len: usize) -> bool {
+        self.indices.len() == len
+    }
+
+    /// Gather a column through this selection without copying when the
+    /// selection is the identity: the full-table case borrows the source
+    /// slice; true subsets materialize exactly as [`Selection::gather`].
+    pub fn gather_view<'a>(&self, column: &'a [f64]) -> ColumnView<'a> {
+        if self.is_identity(column.len()) {
+            ColumnView::Borrowed(column)
+        } else {
+            ColumnView::Owned(self.gather(column))
+        }
+    }
+}
+
+/// A gathered column that is borrowed when the selection was the identity
+/// and owned when rows were actually filtered. Dereferences to `&[f64]`
+/// either way, so callers treat both cases uniformly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnView<'a> {
+    /// The selection covered every row; this aliases the source column.
+    Borrowed(&'a [f64]),
+    /// The selection was a strict subset; rows were materialized.
+    Owned(Vec<f64>),
+}
+
+impl ColumnView<'_> {
+    /// Convert into an owned `Vec`, copying only in the borrowed case.
+    pub fn into_vec(self) -> Vec<f64> {
+        match self {
+            ColumnView::Borrowed(s) => s.to_vec(),
+            ColumnView::Owned(v) => v,
+        }
+    }
+}
+
+impl std::ops::Deref for ColumnView<'_> {
+    type Target = [f64];
+
+    fn deref(&self) -> &[f64] {
+        match self {
+            ColumnView::Borrowed(s) => s,
+            ColumnView::Owned(v) => v,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -198,5 +249,26 @@ mod tests {
         let sel = Selection::from_sorted(vec![0, 1, 3]);
         assert_eq!(sel.gather(&col).len(), 3);
         assert_eq!(sel.gather_finite(&col), vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn identity_gather_view_borrows() {
+        let col = [1.0, 2.0, 3.0];
+        let sel = Selection::all(3);
+        assert!(sel.is_identity(3));
+        let view = sel.gather_view(&col);
+        assert!(matches!(view, ColumnView::Borrowed(s) if std::ptr::eq(s.as_ptr(), col.as_ptr())));
+        assert_eq!(&*view, &col);
+    }
+
+    #[test]
+    fn subset_gather_view_owns_and_matches_gather() {
+        let col = [1.0, 2.0, 3.0, 4.0];
+        let sel = Selection::from_sorted(vec![1, 3]);
+        assert!(!sel.is_identity(4));
+        let view = sel.gather_view(&col);
+        assert!(matches!(view, ColumnView::Owned(_)));
+        assert_eq!(&*view, sel.gather(&col).as_slice());
+        assert_eq!(view.into_vec(), vec![2.0, 4.0]);
     }
 }

@@ -1,0 +1,101 @@
+//! Shared, copy-on-write column storage.
+//!
+//! A [`Shared`] vector is the zero-copy building block of the columnar
+//! interop path (DESIGN.md §15): handing a `Shared<f64>` to a
+//! [`crate::Column`] or a frame is an `Arc` bump, not a data clone, so
+//! `CampaignStore::to_frame` and similar exports alias the store's base
+//! columns instead of duplicating them per caller. Readers see a plain
+//! `Vec` through `Deref`; the first writer through `DerefMut` gets a
+//! private copy (`Arc::make_mut`), so aliased columns can never observe
+//! each other's mutations.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// An `Arc`-backed vector with copy-on-write mutation.
+#[derive(Debug, Clone)]
+pub struct Shared<T>(Arc<Vec<T>>);
+
+impl<T> Shared<T> {
+    /// Wrap an owned vector (no copy).
+    pub fn new(v: Vec<T>) -> Self {
+        Shared(Arc::new(v))
+    }
+
+    /// True when both handles alias the same allocation — the zero-copy
+    /// assertion used by the store/frame tests.
+    pub fn ptr_eq(a: &Self, b: &Self) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl<T> Deref for Shared<T> {
+    type Target = Vec<T>;
+
+    fn deref(&self) -> &Vec<T> {
+        &self.0
+    }
+}
+
+impl<T: Clone> DerefMut for Shared<T> {
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        Arc::make_mut(&mut self.0)
+    }
+}
+
+impl<T> From<Vec<T>> for Shared<T> {
+    fn from(v: Vec<T>) -> Self {
+        Shared::new(v)
+    }
+}
+
+impl<T> FromIterator<T> for Shared<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Shared::new(iter.into_iter().collect())
+    }
+}
+
+impl<T: PartialEq> PartialEq for Shared<T> {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl<T> Default for Shared<T> {
+    fn default() -> Self {
+        Shared::new(Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_aliases_until_written() {
+        let a = Shared::new(vec![1.0, 2.0, 3.0]);
+        let mut b = a.clone();
+        assert!(Shared::ptr_eq(&a, &b), "clone is an Arc bump");
+        b.push(4.0); // copy-on-write detaches the writer
+        assert!(!Shared::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 3, "reader unaffected by the write");
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn reads_go_through_deref() {
+        let s: Shared<f64> = vec![5.0, 7.0].into();
+        assert_eq!(s[1], 7.0);
+        assert_eq!(s.iter().sum::<f64>(), 12.0);
+        let slice: &[f64] = &s;
+        assert_eq!(slice, &[5.0, 7.0]);
+    }
+
+    #[test]
+    fn equality_compares_contents() {
+        let a: Shared<f64> = vec![1.0, 2.0].into();
+        let b: Shared<f64> = vec![1.0, 2.0].into();
+        assert_eq!(a, b);
+        assert!(!Shared::ptr_eq(&a, &b));
+    }
+}

@@ -13,7 +13,7 @@ fn frame_strategy() -> impl Strategy<Value = DataFrame> {
         )
             .prop_map(|(down, tier, city, wifi)| {
                 DataFrame::from_columns([
-                    ("down", Column::F64(down)),
+                    ("down", Column::F64(down.into())),
                     ("tier", Column::I64(tier)),
                     ("city", Column::from(city)),
                     ("wifi", Column::Bool(wifi)),

@@ -34,7 +34,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
-use st_dataframe::{Column, DataFrame, Selection};
+use st_dataframe::{Column, DataFrame, Selection, Shared};
 use st_netsim::MemoryClass;
 
 use crate::plans::PlanCatalog;
@@ -120,6 +120,10 @@ struct DerivedColumns {
 }
 
 /// One measurement campaign as typed columns.
+///
+/// The `f64` base columns are [`Shared`] (copy-on-write): exporting them
+/// through [`CampaignStore::to_frame`] aliases the store's storage with an
+/// `Arc` bump instead of cloning ~n·5 floats per caller.
 pub struct CampaignStore {
     id: Vec<u64>,
     user_id: Vec<u64>,
@@ -127,12 +131,12 @@ pub struct CampaignStore {
     city: Vec<u8>,
     day: Vec<u16>,
     hour: Vec<u8>,
-    down: Vec<f64>,
-    up: Vec<f64>,
-    rtt: Vec<f64>,
-    loaded_rtt: Vec<f64>,
+    down: Shared<f64>,
+    up: Shared<f64>,
+    rtt: Shared<f64>,
+    loaded_rtt: Shared<f64>,
     access: Vec<Access>,
-    kernel_memory_gb: Vec<f64>,
+    kernel_memory_gb: Shared<f64>,
     truth_tier: Vec<Option<usize>>,
     derived: DerivedColumns,
     assigned: OnceLock<AssignedColumns>,
@@ -142,39 +146,51 @@ impl CampaignStore {
     /// Build the base columns from a slice of measurements.
     pub fn from_measurements(ms: &[Measurement]) -> Self {
         let n = ms.len();
-        let mut store = CampaignStore {
-            id: Vec::with_capacity(n),
-            user_id: Vec::with_capacity(n),
-            platform: Vec::with_capacity(n),
-            city: Vec::with_capacity(n),
-            day: Vec::with_capacity(n),
-            hour: Vec::with_capacity(n),
-            down: Vec::with_capacity(n),
-            up: Vec::with_capacity(n),
-            rtt: Vec::with_capacity(n),
-            loaded_rtt: Vec::with_capacity(n),
-            access: Vec::with_capacity(n),
-            kernel_memory_gb: Vec::with_capacity(n),
-            truth_tier: Vec::with_capacity(n),
+        let mut id = Vec::with_capacity(n);
+        let mut user_id = Vec::with_capacity(n);
+        let mut platform = Vec::with_capacity(n);
+        let mut city = Vec::with_capacity(n);
+        let mut day = Vec::with_capacity(n);
+        let mut hour = Vec::with_capacity(n);
+        let mut down = Vec::with_capacity(n);
+        let mut up = Vec::with_capacity(n);
+        let mut rtt = Vec::with_capacity(n);
+        let mut loaded_rtt = Vec::with_capacity(n);
+        let mut access = Vec::with_capacity(n);
+        let mut kernel_memory_gb = Vec::with_capacity(n);
+        let mut truth_tier = Vec::with_capacity(n);
+        for m in ms {
+            id.push(m.id);
+            user_id.push(m.user_id);
+            platform.push(m.platform);
+            city.push(m.city);
+            day.push(m.day);
+            hour.push(m.hour);
+            down.push(m.down_mbps);
+            up.push(m.up_mbps);
+            rtt.push(m.rtt_ms);
+            loaded_rtt.push(m.loaded_rtt_ms);
+            access.push(m.access);
+            kernel_memory_gb.push(m.kernel_memory_gb.unwrap_or(f64::NAN));
+            truth_tier.push(m.truth_tier);
+        }
+        CampaignStore {
+            id,
+            user_id,
+            platform,
+            city,
+            day,
+            hour,
+            down: down.into(),
+            up: up.into(),
+            rtt: rtt.into(),
+            loaded_rtt: loaded_rtt.into(),
+            access,
+            kernel_memory_gb: kernel_memory_gb.into(),
+            truth_tier,
             derived: DerivedColumns::default(),
             assigned: OnceLock::new(),
-        };
-        for m in ms {
-            store.id.push(m.id);
-            store.user_id.push(m.user_id);
-            store.platform.push(m.platform);
-            store.city.push(m.city);
-            store.day.push(m.day);
-            store.hour.push(m.hour);
-            store.down.push(m.down_mbps);
-            store.up.push(m.up_mbps);
-            store.rtt.push(m.rtt_ms);
-            store.loaded_rtt.push(m.loaded_rtt_ms);
-            store.access.push(m.access);
-            store.kernel_memory_gb.push(m.kernel_memory_gb.unwrap_or(f64::NAN));
-            store.truth_tier.push(m.truth_tier);
         }
-        store
     }
 
     /// Number of rows.
@@ -483,6 +499,11 @@ impl CampaignStore {
     /// Convert the campaign to a data frame with one column per record
     /// field (the canonical CSV-export schema). Missing numeric metadata
     /// becomes NaN; missing tier truth becomes -1.
+    ///
+    /// The five `f64` columns (`down_mbps`, `up_mbps`, `rtt_ms`,
+    /// `loaded_rtt_ms`, `memory_gb`) alias the store's [`Shared`] storage
+    /// — an `Arc` bump per column, zero float copies. Mutating the frame
+    /// copy detaches it (copy-on-write), so the store stays immutable.
     pub fn to_frame(&self) -> DataFrame {
         let n = self.len();
         let mut access = Vec::with_capacity(n);
@@ -518,7 +539,7 @@ impl CampaignStore {
             ("loaded_rtt_ms", Column::F64(self.loaded_rtt.clone())),
             ("access", Column::Str(access)),
             ("band", Column::Str(band)),
-            ("rssi_dbm", Column::F64(rssi)),
+            ("rssi_dbm", Column::F64(rssi.into())),
             ("memory_gb", Column::F64(self.kernel_memory_gb.clone())),
             (
                 "truth_tier",
@@ -641,6 +662,25 @@ mod tests {
         assert_eq!(df.str("access").unwrap()[3], "ethernet");
         assert_eq!(df.str("band").unwrap()[0], "5 GHz");
         assert_eq!(df.i64("truth_tier").unwrap()[0], -1);
+    }
+
+    #[test]
+    fn to_frame_aliases_f64_columns_without_copying() {
+        let s = CampaignStore::from_measurements(&sample());
+        let df = s.to_frame();
+        for (frame_col, store_col) in [
+            ("down_mbps", s.down()),
+            ("up_mbps", s.up()),
+            ("rtt_ms", s.rtt()),
+            ("loaded_rtt_ms", s.loaded_rtt()),
+            ("memory_gb", s.kernel_memory_gb()),
+        ] {
+            let exported = df.f64(frame_col).unwrap();
+            assert!(
+                std::ptr::eq(exported.as_ptr(), store_col.as_ptr()),
+                "{frame_col} must alias the store's storage, not copy it"
+            );
+        }
     }
 
     #[test]
