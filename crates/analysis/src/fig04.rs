@@ -16,7 +16,7 @@ pub fn run(a: &CityAnalysis) -> DensityResult {
     let mut notes = Vec::new();
     // Halved Silverman bandwidth, as in BST's peak counting: the upload
     // distribution is multi-scale and the global rule over-smooths.
-    match KernelDensity::fit(uploads, st_stats::kde::scaled_silverman(uploads, 0.5)) {
+    match KernelDensity::fit(uploads, st_stats::kde::scaled_silverman(0.5)) {
         Ok(kde) => match kde.auto_grid(400) {
             Ok(grid) => series.push(SeriesData::new("MBA uploads", grid)),
             Err(e) => notes.push(format!("KDE grid failed for MBA uploads: {e}")),

@@ -75,10 +75,8 @@ pub fn cluster_uploads<R: Rng + ?Sized>(
 ) -> Result<UploadClustering, StatsError> {
     let caps = catalog.upload_caps();
 
-    let kde = KernelDensity::fit(
-        uploads,
-        st_stats::kde::scaled_silverman(uploads, cfg.kde_bandwidth_scale),
-    )?;
+    let kde =
+        KernelDensity::fit(uploads, st_stats::kde::scaled_silverman(cfg.kde_bandwidth_scale))?;
     let peaks = kde.find_peaks(cfg.kde_grid_points, cfg.kde_min_prominence)?;
     let kde_peaks = peaks.len();
 
@@ -135,10 +133,12 @@ pub fn cluster_uploads<R: Rng + ?Sized>(
     let k = gmm.k();
     let component_of_cap =
         |cap: Mbps| -> Option<usize> { component_caps.iter().position(|c| *c == Some(cap)) };
-    let assignments: Vec<usize> = uploads
-        .iter()
-        .map(|&u| {
-            if let Some(c) = gmm.predict_with_background(u) {
+    let assignments: Vec<usize> = gmm
+        .predict_with_background_batch(uploads)
+        .into_iter()
+        .zip(uploads)
+        .map(|(pred, &u)| {
+            if let Some(c) = pred {
                 return c;
             }
             let cap = catalog.nearest_upload_cap(Mbps(u));

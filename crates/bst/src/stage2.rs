@@ -68,12 +68,7 @@ pub fn cluster_downloads<R: Rng + ?Sized>(
 ) -> Result<DownloadClustering, StatsError> {
     assert!(!plans.is_empty(), "a tier group has at least one plan");
 
-    let bw = st_stats::kde::silverman_bandwidth(downloads) * cfg.kde_bandwidth_scale;
-    let kde = if bw > 0.0 {
-        KernelDensity::fit(downloads, Bandwidth::Fixed(bw))?
-    } else {
-        KernelDensity::fit(downloads, Bandwidth::Silverman)?
-    };
+    let kde = KernelDensity::fit(downloads, Bandwidth::ScaledSilverman(cfg.kde_bandwidth_scale))?;
     let peaks = kde.find_peaks(cfg.kde_grid_points, cfg.kde_min_prominence)?;
     let kde_peaks = peaks.len();
 

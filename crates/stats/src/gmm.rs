@@ -21,6 +21,12 @@ use rand::Rng;
 
 const LN_2PI: f64 = 1.837_877_066_409_345_5;
 
+/// Point-block size for the EM normalize pass: large enough that the
+/// contiguous column segments amortize the loop overhead and vectorize,
+/// small enough that one block of every column stays cache-resident
+/// (`EM_BLOCK × cols × 8 B` ≈ 32 KiB at 8 columns).
+const EM_BLOCK: usize = 512;
+
 /// Configuration for [`GaussianMixture::fit`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GmmConfig {
@@ -186,67 +192,19 @@ impl GaussianMixture {
 
         for it in 0..cfg.max_iter {
             iterations = it + 1;
-            // E-step: responsibilities via log-sum-exp.
-            let mut ll_sum = 0.0;
-            for (i, &x) in data.iter().enumerate() {
-                let row = &mut resp[i * cols..(i + 1) * cols];
-                let mut max_lp = f64::NEG_INFINITY;
-                for (c, comp) in comps.iter().enumerate() {
-                    let lp = comp.weight.ln() + comp.log_pdf(x);
-                    row[c] = lp;
-                    max_lp = max_lp.max(lp);
-                }
-                if let Some((bw, bld)) = background {
-                    let lp = bw.ln() + bld;
-                    row[k] = lp;
-                    max_lp = max_lp.max(lp);
-                }
-                let mut sum = 0.0;
-                for v in row.iter_mut() {
-                    *v = (*v - max_lp).exp();
-                    sum += *v;
-                }
-                for v in row.iter_mut() {
-                    *v /= sum;
-                }
-                ll_sum += max_lp + sum.ln();
-            }
-            let ll = ll_sum / n as f64;
+            let ll = em_step(
+                data,
+                &mut comps,
+                &mut background,
+                &mut resp,
+                var_floor,
+                it >= freeze_means_iters,
+            );
             if !ll.is_finite() {
                 return Err(StatsError::Diverged { iteration: it });
             }
             last_ll = ll;
             trajectory.push(ll);
-
-            // M-step.
-            for c in 0..k {
-                let mut nk = 0.0;
-                let mut mean_acc = 0.0;
-                for (i, &x) in data.iter().enumerate() {
-                    let r = resp[i * cols + c];
-                    nk += r;
-                    mean_acc += r * x;
-                }
-                let nk_safe = nk.max(1e-12);
-                let mean = if it < freeze_means_iters { comps[c].mean } else { mean_acc / nk_safe };
-                let mut var_acc = 0.0;
-                for (i, &x) in data.iter().enumerate() {
-                    let d = x - mean;
-                    var_acc += resp[i * cols + c] * d * d;
-                }
-                comps[c] = Component {
-                    weight: nk / n as f64,
-                    mean,
-                    var: (var_acc / nk_safe).max(var_floor),
-                };
-            }
-            if let Some((bw, bld)) = background.as_mut() {
-                let nk: f64 = (0..n).map(|i| resp[i * cols + k]).sum();
-                *bw = (nk / n as f64).clamp(1e-9, 0.9);
-                let _ = bld;
-            } else {
-                normalize_weights(&mut comps);
-            }
 
             // Never declare convergence while means are still frozen — the
             // likelihood can plateau in the warmup and leave seeds unmoved.
@@ -408,9 +366,86 @@ impl GaussianMixture {
             .expect("at least one component")
     }
 
+    /// Per-component constants hoisted for batch scoring:
+    /// `(ln weight, ln var, mean, var)`.
+    fn score_consts(&self) -> Vec<(f64, f64, f64, f64)> {
+        self.components.iter().map(|c| (c.weight.ln(), c.var.ln(), c.mean, c.var)).collect()
+    }
+
     /// Hard assignments for a batch.
+    ///
+    /// One reusable scratch row instead of three `Vec` allocations per
+    /// point, with the `ln` terms hoisted out of the point loop. The
+    /// arithmetic replicates [`GaussianMixture::predict`] operation for
+    /// operation (exp-normalize, then last-max-wins argmax over the
+    /// normalized responsibilities), so assignments are bit-identical to
+    /// the pointwise path.
     pub fn predict_batch(&self, data: &[f64]) -> Vec<usize> {
-        data.iter().map(|&x| self.predict(x)).collect()
+        let consts = self.score_consts();
+        let mut lps = vec![0.0f64; consts.len()];
+        data.iter()
+            .map(|&x| {
+                let mut max_lp = f64::NEG_INFINITY;
+                for (dst, &(lw, lv, mean, var)) in lps.iter_mut().zip(&consts) {
+                    let d = x - mean;
+                    let lp = lw + -0.5 * (LN_2PI + lv + d * d / var);
+                    *dst = lp;
+                    max_lp = max_lp.max(lp);
+                }
+                let mut sum = 0.0;
+                for v in lps.iter_mut() {
+                    let d = *v - max_lp;
+                    // Same exact-case shortcuts as `em_step`'s normalize
+                    // pass: exp(±0) == 1.0, exp(d) == +0.0 for d ≤ -746.
+                    *v = if d == 0.0 {
+                        1.0
+                    } else if d < -746.0 {
+                        0.0
+                    } else {
+                        d.exp()
+                    };
+                    sum += *v;
+                }
+                let (mut best, mut best_r) = (0usize, f64::NEG_INFINITY);
+                for (c, &e) in lps.iter().enumerate() {
+                    let r = e / sum;
+                    // `>=`: ties resolve to the last maximum, matching
+                    // `Iterator::max_by` in `predict`.
+                    if r >= best_r {
+                        best_r = r;
+                        best = c;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Batched [`GaussianMixture::predict_with_background`]: hard
+    /// assignment per point, `None` where the uniform background
+    /// out-scores every Gaussian component. Hoists the per-component `ln`
+    /// terms; the comparison order (last-max-wins over components, then
+    /// the background test) replicates the pointwise path bit-for-bit.
+    pub fn predict_with_background_batch(&self, data: &[f64]) -> Vec<Option<usize>> {
+        let consts = self.score_consts();
+        let bg_lp = self.background.map(|(bw, bld)| bw.ln() + bld);
+        data.iter()
+            .map(|&x| {
+                let (mut best, mut best_lp) = (0usize, f64::NEG_INFINITY);
+                for (c, &(lw, lv, mean, var)) in consts.iter().enumerate() {
+                    let d = x - mean;
+                    let lp = lw + -0.5 * (LN_2PI + lv + d * d / var);
+                    if lp >= best_lp {
+                        best_lp = lp;
+                        best = c;
+                    }
+                }
+                match bg_lp {
+                    Some(b) if b > best_lp => None,
+                    _ => Some(best),
+                }
+            })
+            .collect()
     }
 
     /// Hard assignment that may reject a point as background noise:
@@ -454,6 +489,223 @@ fn normalize_weights(comps: &mut [Component]) {
     for c in comps {
         c.weight /= total;
     }
+}
+
+/// One EM iteration over column-major responsibilities (DESIGN.md §15).
+///
+/// The E-step fills one contiguous column per component
+/// (`resp[c*n..(c+1)*n]`) with log-posteriors — the `ln(weight)` and
+/// `ln(var)` terms are hoisted out of the point loop — then a per-point
+/// pass normalizes across columns with log-sum-exp in ascending component
+/// order (background last), exactly the order the row-major scalar
+/// reference uses. The M-step reduces each column sequentially in
+/// ascending point order. Every accumulation order matches
+/// [`reference_em_step`] bit-for-bit; the proptests enforce it.
+///
+/// `resp` must hold `data.len() * (comps.len() + background slots)`
+/// elements. Returns the mean per-sample log-likelihood of the E-step.
+/// With `update_means` false the M-step leaves component means in place
+/// (the seeded-init warmup).
+#[doc(hidden)]
+pub fn em_step(
+    data: &[f64],
+    comps: &mut [Component],
+    background: &mut Option<(f64, f64)>,
+    resp: &mut [f64],
+    var_floor: f64,
+    update_means: bool,
+) -> f64 {
+    let n = data.len();
+    let k = comps.len();
+    let cols = k + usize::from(background.is_some());
+    assert_eq!(resp.len(), n * cols, "responsibility buffer shape");
+
+    // E-step, columnar fill: one contiguous pass per component.
+    for (c, comp) in comps.iter().enumerate() {
+        let lw = comp.weight.ln();
+        let lv = comp.var.ln();
+        let (mean, var) = (comp.mean, comp.var);
+        for (dst, &x) in resp[c * n..(c + 1) * n].iter_mut().zip(data) {
+            let d = x - mean;
+            *dst = lw + -0.5 * (LN_2PI + lv + d * d / var);
+        }
+    }
+    if let Some((bw, bld)) = *background {
+        resp[k * n..(k + 1) * n].fill(bw.ln() + bld);
+    }
+
+    // E-step, per-point log-sum-exp across columns (component order, then
+    // background — the same summation order as the scalar reference).
+    //
+    // Points are processed in fixed blocks with the component loop inside:
+    // each pass then streams contiguous column segments instead of striding
+    // the full buffer per point, and the max/divide passes vectorize. The
+    // interchange only reorders work across *independent* points — each
+    // point's max, sum, and divisions still run in ascending component
+    // order, and `ll_sum` still accumulates in ascending point order, so
+    // the result is bit-identical to the per-point loop.
+    let mut blk_max = [f64::NEG_INFINITY; EM_BLOCK];
+    let mut blk_sum = [0.0f64; EM_BLOCK];
+    let mut ll_sum = 0.0;
+    let mut start = 0;
+    while start < n {
+        let len = EM_BLOCK.min(n - start);
+        let bm = &mut blk_max[..len];
+        bm.fill(f64::NEG_INFINITY);
+        for c in 0..cols {
+            let col = &resp[c * n + start..c * n + start + len];
+            for (m, &v) in bm.iter_mut().zip(col) {
+                *m = m.max(v);
+            }
+        }
+        let bs = &mut blk_sum[..len];
+        bs.fill(0.0);
+        for c in 0..cols {
+            let col = &mut resp[c * n + start..c * n + start + len];
+            for ((v, s), &m) in col.iter_mut().zip(bs.iter_mut()).zip(bm.iter()) {
+                let d = *v - m;
+                // Branch-free of the libm call on the two exact cases:
+                // exp(±0) == 1.0 (the argmax column) and exp(d) == +0.0
+                // for d ≤ -746 (well below ln(2^-1075) ≈ -745.14, where
+                // exp rounds to zero) — well-separated components land
+                // here for most points, and neither shortcut changes a
+                // single bit.
+                let e = if d == 0.0 {
+                    1.0
+                } else if d < -746.0 {
+                    0.0
+                } else {
+                    d.exp()
+                };
+                *v = e;
+                *s += e;
+            }
+        }
+        for c in 0..cols {
+            let col = &mut resp[c * n + start..c * n + start + len];
+            for (v, &s) in col.iter_mut().zip(bs.iter()) {
+                *v /= s;
+            }
+        }
+        for (&m, &s) in bm.iter().zip(bs.iter()) {
+            ll_sum += m + s.ln();
+        }
+        start += len;
+    }
+    let ll = ll_sum / n as f64;
+
+    // M-step: contiguous per-component column reductions. With frozen
+    // means the first-moment accumulator would be discarded, so the two
+    // passes fuse into one; each accumulator still sums in ascending
+    // point order, so the fusion is bit-neutral.
+    for (c, comp) in comps.iter_mut().enumerate() {
+        let col = &resp[c * n..(c + 1) * n];
+        let (nk, mean, var_acc) = if update_means {
+            let mut nk = 0.0;
+            let mut mean_acc = 0.0;
+            for (&r, &x) in col.iter().zip(data) {
+                nk += r;
+                mean_acc += r * x;
+            }
+            let mean = mean_acc / nk.max(1e-12);
+            let mut var_acc = 0.0;
+            for (&r, &x) in col.iter().zip(data) {
+                let d = x - mean;
+                var_acc += r * d * d;
+            }
+            (nk, mean, var_acc)
+        } else {
+            let mean = comp.mean;
+            let mut nk = 0.0;
+            let mut var_acc = 0.0;
+            for (&r, &x) in col.iter().zip(data) {
+                nk += r;
+                let d = x - mean;
+                var_acc += r * d * d;
+            }
+            (nk, mean, var_acc)
+        };
+        let nk_safe = nk.max(1e-12);
+        *comp = Component { weight: nk / n as f64, mean, var: (var_acc / nk_safe).max(var_floor) };
+    }
+    if let Some((bw, _)) = background.as_mut() {
+        let nk: f64 = resp[k * n..(k + 1) * n].iter().sum();
+        *bw = (nk / n as f64).clamp(1e-9, 0.9);
+    } else {
+        normalize_weights(comps);
+    }
+    ll
+}
+
+/// Scalar row-major reference for one EM iteration — the pre-columnar
+/// implementation, retained verbatim as the executable contract for
+/// [`em_step`]. Allocates a responsibility row per point and recomputes
+/// `ln` terms inline; slow, but the proptests assert the production
+/// kernel matches it bit-for-bit.
+#[doc(hidden)]
+pub fn reference_em_step(
+    data: &[f64],
+    comps: &mut [Component],
+    background: &mut Option<(f64, f64)>,
+    var_floor: f64,
+    update_means: bool,
+) -> f64 {
+    let n = data.len();
+    let k = comps.len();
+    let cols = k + usize::from(background.is_some());
+    let mut resp = vec![0.0f64; n * cols];
+
+    let mut ll_sum = 0.0;
+    for (i, &x) in data.iter().enumerate() {
+        let row = &mut resp[i * cols..(i + 1) * cols];
+        let mut max_lp = f64::NEG_INFINITY;
+        for (c, comp) in comps.iter().enumerate() {
+            let lp = comp.weight.ln() + comp.log_pdf(x);
+            row[c] = lp;
+            max_lp = max_lp.max(lp);
+        }
+        if let Some((bw, bld)) = *background {
+            let lp = bw.ln() + bld;
+            row[k] = lp;
+            max_lp = max_lp.max(lp);
+        }
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max_lp).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+        ll_sum += max_lp + sum.ln();
+    }
+    let ll = ll_sum / n as f64;
+
+    for c in 0..k {
+        let mut nk = 0.0;
+        let mut mean_acc = 0.0;
+        for (i, &x) in data.iter().enumerate() {
+            let r = resp[i * cols + c];
+            nk += r;
+            mean_acc += r * x;
+        }
+        let nk_safe = nk.max(1e-12);
+        let mean = if update_means { mean_acc / nk_safe } else { comps[c].mean };
+        let mut var_acc = 0.0;
+        for (i, &x) in data.iter().enumerate() {
+            let d = x - mean;
+            var_acc += resp[i * cols + c] * d * d;
+        }
+        comps[c] =
+            Component { weight: nk / n as f64, mean, var: (var_acc / nk_safe).max(var_floor) };
+    }
+    if let Some((bw, _)) = background.as_mut() {
+        let nk: f64 = (0..n).map(|i| resp[i * cols + k]).sum();
+        *bw = (nk / n as f64).clamp(1e-9, 0.9);
+    } else {
+        normalize_weights(comps);
+    }
+    ll
 }
 
 #[cfg(test)]

@@ -10,6 +10,21 @@
 //! * grid evaluation, and
 //! * a peak finder with prominence filtering, so shoulder wiggles in a
 //!   heavy-tailed speed distribution are not mistaken for plan tiers.
+//!
+//! # Kernel contract (DESIGN.md §15)
+//!
+//! `fit` keeps the sample **sorted ascending**. Every density evaluation
+//! restricts itself to the contiguous window of points within 8 bandwidths
+//! of the query (`xi > x - 8h && xi < x + 8h`, strict on both sides) and
+//! accumulates Gaussian kernels over that window in fixed blocks of
+//! [`KERNEL_BLOCK`] points: each block is summed sequentially in ascending
+//! data order, and the per-block partial sums are folded in block order.
+//! The accumulation order is therefore a pure function of the sorted
+//! sample, the bandwidth, and the query point — never of thread count or
+//! caller — which is what keeps grid artifacts byte-identical at any
+//! `--parallelism`. [`reference_pdf`] is the executable statement of this
+//! contract; the proptests assert the production kernels match it
+//! bit-for-bit.
 
 use crate::describe::{quantile_sorted, std_dev};
 use crate::error::{validate_sample, StatsError};
@@ -17,12 +32,25 @@ use crate::Result;
 
 const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
 
+/// Fixed accumulation block size of the density kernels (see the module
+/// docs). Exposed so tests can probe block-boundary window sizes.
+pub const KERNEL_BLOCK: usize = 64;
+
+/// Kernels beyond this many bandwidths contribute < 1e-14 and are skipped.
+const CUTOFF_SIGMAS: f64 = 8.0;
+
 /// Bandwidth selection rule for [`KernelDensity`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Bandwidth {
     /// Silverman's rule of thumb:
     /// `0.9 * min(sigma, IQR/1.34) * n^(-1/5)`.
     Silverman,
+    /// Silverman's rule scaled by the given factor, computed from the one
+    /// sorted copy `fit` already makes (no second clone+sort). Falls back
+    /// to the unscaled Silverman bandwidth when the scaled value is not
+    /// positive, matching the historical behaviour of the free-standing
+    /// `scaled_silverman` helper.
+    ScaledSilverman(f64),
     /// Scott's rule: `1.06 * sigma * n^(-1/5)`.
     Scott,
     /// A fixed bandwidth supplied by the caller (must be positive).
@@ -41,16 +69,30 @@ pub struct Peak {
 }
 
 /// A fitted Gaussian kernel density estimator.
+///
+/// The backing sample is stored sorted ascending and the data bounds are
+/// cached at fit time, so repeated `auto_grid`/`pdf` calls never re-scan
+/// the sample for extremes or re-sort it for bandwidth selection.
 #[derive(Debug, Clone)]
 pub struct KernelDensity {
+    /// The sample, sorted ascending.
     data: Vec<f64>,
     bandwidth: f64,
+    /// Cached sample minimum (`data[0]`).
+    min: f64,
+    /// Cached sample maximum (`data[n-1]`).
+    max: f64,
 }
 
 impl KernelDensity {
     /// Fit a KDE to `data` using the given bandwidth rule.
+    ///
+    /// Sorts the sample once; Silverman-family rules reuse that sorted
+    /// copy for their IQR term instead of cloning and sorting again.
     pub fn fit(data: &[f64], rule: Bandwidth) -> Result<Self> {
         validate_sample(data)?;
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
         let bandwidth = match rule {
             Bandwidth::Fixed(h) => {
                 if h <= 0.0 || !h.is_finite() {
@@ -58,21 +100,38 @@ impl KernelDensity {
                 }
                 h
             }
-            Bandwidth::Silverman => silverman_bandwidth(data),
+            Bandwidth::Silverman => silverman_with_sorted(data, &sorted),
+            Bandwidth::ScaledSilverman(scale) => {
+                let plain = silverman_with_sorted(data, &sorted);
+                let scaled = plain * scale;
+                if scaled > 0.0 {
+                    scaled
+                } else {
+                    plain
+                }
+            }
             Bandwidth::Scott => scott_bandwidth(data),
         };
+        let (min, max) = (sorted[0], *sorted.last().expect("validated non-empty"));
         if bandwidth <= 0.0 || !bandwidth.is_finite() {
             // Degenerate sample (zero spread): fall back to a tiny width so
-            // the density is a spike at the common value instead of an error.
-            let fallback = data[0].abs().max(1.0) * 1e-3;
-            return Ok(KernelDensity { data: data.to_vec(), bandwidth: fallback });
+            // the density is a spike at the common value instead of an
+            // error. The width derives from the largest magnitude in the
+            // sample, so it is invariant under sample permutation.
+            let fallback = min.abs().max(max.abs()).max(1.0) * 1e-3;
+            return Ok(KernelDensity { data: sorted, bandwidth: fallback, min, max });
         }
-        Ok(KernelDensity { data: data.to_vec(), bandwidth })
+        Ok(KernelDensity { data: sorted, bandwidth, min, max })
     }
 
     /// The bandwidth in use.
     pub fn bandwidth(&self) -> f64 {
         self.bandwidth
+    }
+
+    /// The backing sample, sorted ascending.
+    pub fn data(&self) -> &[f64] {
+        &self.data
     }
 
     /// Number of samples backing the estimate.
@@ -86,22 +145,26 @@ impl KernelDensity {
     }
 
     /// Density estimate at a single point.
+    ///
+    /// Finds the 8-bandwidth window by binary search on the sorted sample
+    /// and sums kernels over it with the blocked accumulation contract, so
+    /// the result is bit-identical to the same point evaluated via
+    /// [`KernelDensity::grid`].
     pub fn pdf(&self, x: f64) -> f64 {
         let h = self.bandwidth;
-        let n = self.data.len() as f64;
-        let mut acc = 0.0;
-        for &xi in &self.data {
-            let u = (x - xi) / h;
-            // Kernels beyond 8 sigma contribute < 1e-14; skip them.
-            if u.abs() < 8.0 {
-                acc += (-0.5 * u * u).exp();
-            }
-        }
-        acc * INV_SQRT_2PI / (n * h)
+        let cut = CUTOFF_SIGMAS * h;
+        let i0 = self.data.partition_point(|&v| v <= x - cut);
+        let i1 = self.data.partition_point(|&v| v < x + cut);
+        let norm = INV_SQRT_2PI / (self.data.len() as f64 * h);
+        blocked_kernel_sum(&self.data[i0..i1.max(i0)], x, 1.0 / h) * norm
     }
 
     /// Evaluate the density on `points` evenly spaced x-values across
     /// `[lo, hi]`, returning `(x, density)` pairs.
+    ///
+    /// One blocked pass: the active kernel window slides monotonically
+    /// over the sorted sample (two-pointer), so the whole grid costs
+    /// `O(points + n + total window points)` instead of `O(points · n)`.
     pub fn grid(&self, lo: f64, hi: f64, points: usize) -> Result<Vec<(f64, f64)>> {
         if points < 2 {
             return Err(StatsError::InvalidParameter { what: "grid points", value: points as f64 });
@@ -110,18 +173,36 @@ impl KernelDensity {
             return Err(StatsError::InvalidParameter { what: "grid range", value: hi - lo });
         }
         let step = (hi - lo) / (points - 1) as f64;
-        Ok((0..points)
-            .map(|i| {
-                let x = lo + i as f64 * step;
-                (x, self.pdf(x))
-            })
-            .collect())
+        let h = self.bandwidth;
+        let inv_h = 1.0 / h;
+        let cut = CUTOFF_SIGMAS * h;
+        let norm = INV_SQRT_2PI / (self.data.len() as f64 * h);
+        let n = self.data.len();
+        let (mut i0, mut i1) = (0usize, 0usize);
+        let mut out = Vec::with_capacity(points);
+        for j in 0..points {
+            let x = lo + j as f64 * step;
+            // Same window bounds binary search would find: first index
+            // with data[i0] > x - cut, first index with data[i1] >= x + cut.
+            while i0 < n && self.data[i0] <= x - cut {
+                i0 += 1;
+            }
+            if i1 < i0 {
+                i1 = i0;
+            }
+            while i1 < n && self.data[i1] < x + cut {
+                i1 += 1;
+            }
+            out.push((x, blocked_kernel_sum(&self.data[i0..i1], x, inv_h) * norm));
+        }
+        Ok(out)
     }
 
     /// Evaluate on a grid that spans the data, padded by 3 bandwidths.
+    /// Uses the bounds cached at fit time; the sample is never re-scanned.
     pub fn auto_grid(&self, points: usize) -> Result<Vec<(f64, f64)>> {
-        let lo = self.data.iter().cloned().fold(f64::INFINITY, f64::min) - 3.0 * self.bandwidth;
-        let hi = self.data.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 3.0 * self.bandwidth;
+        let lo = self.min - 3.0 * self.bandwidth;
+        let hi = self.max + 3.0 * self.bandwidth;
         self.grid(lo, hi, points)
     }
 
@@ -138,17 +219,78 @@ impl KernelDensity {
     }
 }
 
+/// Blocked kernel accumulation over a contiguous window of sorted points:
+/// sequential sums within [`KERNEL_BLOCK`]-point blocks, block partials
+/// folded in block order. This is the one accumulation order every density
+/// evaluation uses (see the module docs).
+#[inline]
+fn blocked_kernel_sum(window: &[f64], x: f64, inv_h: f64) -> f64 {
+    let mut total = 0.0;
+    for block in window.chunks(KERNEL_BLOCK) {
+        let mut partial = 0.0;
+        for &xi in block {
+            let u = (x - xi) * inv_h;
+            partial += (-0.5 * u * u).exp();
+        }
+        total += partial;
+    }
+    total
+}
+
+/// Scalar reference implementation of the density kernel contract.
+///
+/// Selects the window by a full linear scan (`xi > x - 8h && xi < x + 8h`)
+/// and accumulates with explicit block bookkeeping instead of slice
+/// chunking — an independently-written twin of the production kernel. The
+/// proptests assert `KernelDensity::pdf` and `grid` match this
+/// bit-for-bit; any reassociation in the optimized path is a test failure,
+/// not a tolerance.
+///
+/// `sorted` must be the fitted (ascending) sample, `h` the bandwidth.
+pub fn reference_pdf(sorted: &[f64], h: f64, x: f64) -> f64 {
+    let cut = CUTOFF_SIGMAS * h;
+    let inv_h = 1.0 / h;
+    let mut total = 0.0;
+    let mut partial = 0.0;
+    let mut in_window = 0usize;
+    for &xi in sorted {
+        if !(xi > x - cut && xi < x + cut) {
+            continue;
+        }
+        if in_window > 0 && in_window.is_multiple_of(KERNEL_BLOCK) {
+            total += partial;
+            partial = 0.0;
+        }
+        let u = (x - xi) * inv_h;
+        partial += (-0.5 * u * u).exp();
+        in_window += 1;
+    }
+    total += partial;
+    total * (INV_SQRT_2PI / (sorted.len() as f64 * h))
+}
+
 /// Silverman's rule-of-thumb bandwidth. Returns 0.0 for an empty sample
 /// (callers treat a non-positive bandwidth as "fall back / error").
 pub fn silverman_bandwidth(data: &[f64]) -> f64 {
     if data.is_empty() {
         return 0.0;
     }
-    let n = data.len() as f64;
-    let sigma = std_dev(data);
     let mut sorted = data.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let iqr = quantile_sorted(&sorted, 0.75) - quantile_sorted(&sorted, 0.25);
+    silverman_with_sorted(data, &sorted)
+}
+
+/// Silverman's rule from a sample and its pre-sorted copy, so `fit` can
+/// reuse the one sorted allocation it already makes. `data` supplies the
+/// standard deviation (original order — bit-identical to the historical
+/// computation), `sorted` the quartiles.
+fn silverman_with_sorted(data: &[f64], sorted: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let n = data.len() as f64;
+    let sigma = std_dev(data);
+    let iqr = quantile_sorted(sorted, 0.75) - quantile_sorted(sorted, 0.25);
     let spread = if iqr > 0.0 { sigma.min(iqr / 1.34) } else { sigma };
     0.9 * spread * n.powf(-0.2)
 }
@@ -157,17 +299,14 @@ pub fn silverman_bandwidth(data: &[f64]) -> f64 {
 ///
 /// The paper's §5 cluster recovery halves Silverman's rule-of-thumb
 /// (`scale = 0.5`) to resolve adjacent plan-speed modes; both the BST
-/// stage-1 upload clustering and the Fig. 4 density plot use this one
-/// definition. Falls back to plain [`Bandwidth::Silverman`] when the
-/// scaled bandwidth is not positive (empty or constant sample), matching
-/// the callers' historical behaviour.
-pub fn scaled_silverman(data: &[f64], scale: f64) -> Bandwidth {
-    let bw = silverman_bandwidth(data) * scale;
-    if bw > 0.0 {
-        Bandwidth::Fixed(bw)
-    } else {
-        Bandwidth::Silverman
-    }
+/// stage-1/stage-2 clustering and the Fig. 4 density plot use this one
+/// definition. The bandwidth itself is computed inside
+/// [`KernelDensity::fit`] from the single sorted copy made there; when the
+/// scaled bandwidth is not positive (empty or constant sample) the plain
+/// Silverman value is used instead, matching the callers' historical
+/// behaviour.
+pub fn scaled_silverman(scale: f64) -> Bandwidth {
+    Bandwidth::ScaledSilverman(scale)
 }
 
 /// Scott's rule bandwidth.
@@ -260,6 +399,27 @@ mod tests {
     }
 
     #[test]
+    fn grid_matches_pointwise_pdf_bitwise() {
+        // The two-pointer grid walk and the binary-search pdf must find the
+        // same windows and hence the same bits.
+        let kde = KernelDensity::fit(&normals(700, 30.0, 9.0, 19), Bandwidth::Silverman).unwrap();
+        for (x, y) in kde.grid(-5.0, 70.0, 257).unwrap() {
+            assert_eq!(y.to_bits(), kde.pdf(x).to_bits(), "grid/pdf diverge at x={x}");
+        }
+    }
+
+    #[test]
+    fn pdf_matches_reference_kernel_bitwise() {
+        let data = normals(500, 12.0, 4.0, 23);
+        let kde = KernelDensity::fit(&data, Bandwidth::Silverman).unwrap();
+        for i in 0..200 {
+            let x = -5.0 + i as f64 * 0.2;
+            let want = reference_pdf(kde.data(), kde.bandwidth(), x);
+            assert_eq!(kde.pdf(x).to_bits(), want.to_bits(), "mismatch at x={x}");
+        }
+    }
+
+    #[test]
     fn unimodal_sample_yields_one_peak() {
         let kde = KernelDensity::fit(&normals(400, 5.0, 1.0, 11), Bandwidth::Silverman).unwrap();
         let peaks = kde.find_peaks(512, 0.05).unwrap();
@@ -317,10 +477,50 @@ mod tests {
     }
 
     #[test]
+    fn scaled_silverman_matches_manual_scaling() {
+        let data = normals(300, 8.0, 2.0, 13);
+        let manual = silverman_bandwidth(&data) * 0.5;
+        let kde = KernelDensity::fit(&data, scaled_silverman(0.5)).unwrap();
+        assert_eq!(kde.bandwidth().to_bits(), manual.to_bits());
+    }
+
+    #[test]
+    fn scaled_silverman_falls_back_to_plain_silverman() {
+        // A zero scale is not positive; the historical fallback is the
+        // unscaled Silverman bandwidth.
+        let data = normals(100, 8.0, 2.0, 14);
+        let kde = KernelDensity::fit(&data, scaled_silverman(0.0)).unwrap();
+        assert_eq!(kde.bandwidth().to_bits(), silverman_bandwidth(&data).to_bits());
+    }
+
+    #[test]
     fn degenerate_constant_sample_does_not_panic() {
         let kde = KernelDensity::fit(&[5.0; 50], Bandwidth::Silverman).unwrap();
         assert!(kde.bandwidth() > 0.0);
         assert!(kde.pdf(5.0) > 0.0);
+    }
+
+    #[test]
+    fn degenerate_fallback_is_permutation_invariant_and_scales() {
+        // The spike width must not depend on which element happens to sit
+        // first, and must track the sample's magnitude.
+        let a = KernelDensity::fit(&[5000.0; 40], Bandwidth::Silverman).unwrap();
+        assert_eq!(a.bandwidth(), 5.0, "width follows max |value| * 1e-3");
+        // Mixed-sign degenerate-style sample via a scale of zero variance:
+        // a single point exercises the same fallback path.
+        let b = KernelDensity::fit(&[-2000.0], Bandwidth::Silverman).unwrap();
+        assert_eq!(b.bandwidth(), 2.0, "magnitude, not sign or position");
+        let c = KernelDensity::fit(&[0.25; 8], Bandwidth::Silverman).unwrap();
+        assert_eq!(c.bandwidth(), 1e-3, "small samples floor at 1.0 * 1e-3");
+    }
+
+    #[test]
+    fn data_is_stored_sorted_with_cached_bounds() {
+        let kde = KernelDensity::fit(&[3.0, 1.0, 2.0], Bandwidth::Fixed(0.5)).unwrap();
+        assert_eq!(kde.data(), &[1.0, 2.0, 3.0]);
+        let grid = kde.auto_grid(16).unwrap();
+        assert_eq!(grid.first().unwrap().0, 1.0 - 1.5);
+        assert!((grid.last().unwrap().0 - (3.0 + 1.5)).abs() < 1e-12);
     }
 
     #[test]

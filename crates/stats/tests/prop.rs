@@ -201,6 +201,25 @@ proptest! {
         prop_assert!(t.statistic < 1e-12);
     }
 
+    /// A flat-topped maximum must yield exactly one peak, anchored at the
+    /// plateau's left edge (the left-strict / right-inclusive rule).
+    #[test]
+    fn equal_max_plateau_yields_one_left_anchored_peak(
+        plateau_len in 2usize..6,
+        base in 0.05f64..0.3,
+    ) {
+        use st_stats::kde::find_peaks_on_grid;
+        let mut grid: Vec<(f64, f64)> = vec![(0.0, base), (1.0, base * 1.5)];
+        for i in 0..plateau_len {
+            grid.push((2.0 + i as f64, 1.0));
+        }
+        grid.push((2.0 + plateau_len as f64, base * 1.5));
+        grid.push((3.0 + plateau_len as f64, base));
+        let peaks = find_peaks_on_grid(&grid, 0.1);
+        prop_assert_eq!(peaks.len(), 1, "one peak for one plateau: {:?}", &peaks);
+        prop_assert_eq!(peaks[0].x, 2.0, "anchored at the plateau's left edge");
+    }
+
     #[test]
     fn bootstrap_median_ci_contains_its_estimate(
         data in prop::collection::vec(0.0f64..500.0, 5..80),
@@ -213,6 +232,133 @@ proptest! {
         let ci = median_ci(&data, 100, 0.95, &mut rng).unwrap();
         prop_assert!(ci.lo <= ci.hi);
         prop_assert!(ci.contains(ci.estimate), "{ci:?}");
+    }
+
+    /// The blocked KDE kernel is an optimization, not a numeric change:
+    /// every probe point must match the scalar reference bit-for-bit,
+    /// including probes far outside the sample (empty window) and sample
+    /// sizes straddling the block size.
+    #[test]
+    fn blocked_pdf_matches_scalar_reference_bitwise(
+        data in prop::collection::vec(0.01f64..2000.0, 1..200),
+        probes in prop::collection::vec(-500.0f64..2500.0, 1..20),
+    ) {
+        let kde = KernelDensity::fit(&data, Bandwidth::Silverman).unwrap();
+        let (sorted, h) = (kde.data(), kde.bandwidth());
+        for &x in &probes {
+            let fast = kde.pdf(x);
+            let slow = st_stats::kde::reference_pdf(sorted, h, x);
+            prop_assert_eq!(fast.to_bits(), slow.to_bits(),
+                "pdf({}) = {} vs reference {}", x, fast, slow);
+        }
+    }
+
+    /// The two-pointer window advance in `grid` must agree with the
+    /// binary-search window in `pdf` — and both with the reference — at
+    /// every grid point, for any grid resolution.
+    #[test]
+    fn grid_matches_scalar_reference_bitwise(
+        data in prop::collection::vec(0.01f64..2000.0, 2..160),
+        points in 2usize..300,
+    ) {
+        let kde = KernelDensity::fit(&data, Bandwidth::Silverman).unwrap();
+        let grid = kde.auto_grid(points).unwrap();
+        prop_assert_eq!(grid.len(), points);
+        for &(x, y) in &grid {
+            let slow = st_stats::kde::reference_pdf(kde.data(), kde.bandwidth(), x);
+            prop_assert_eq!(y.to_bits(), slow.to_bits(), "grid({x})");
+        }
+    }
+
+    /// Exercise sample sizes right at the block boundary (the chunked
+    /// accumulator's seam): KERNEL_BLOCK-1, KERNEL_BLOCK, KERNEL_BLOCK+1,
+    /// and 2×KERNEL_BLOCK must all fold partials in the same order as the
+    /// reference's explicit bookkeeping.
+    #[test]
+    fn block_boundary_sizes_match_reference(
+        seed in 0.01f64..100.0,
+        delta in 0usize..4,
+        x in 0.0f64..120.0,
+    ) {
+        use st_stats::kde::KERNEL_BLOCK;
+        let n = [KERNEL_BLOCK - 1, KERNEL_BLOCK, KERNEL_BLOCK + 1, 2 * KERNEL_BLOCK][delta];
+        let data: Vec<f64> = (0..n).map(|i| seed + i as f64 * 0.37).collect();
+        let kde = KernelDensity::fit(&data, Bandwidth::Silverman).unwrap();
+        let fast = kde.pdf(x);
+        let slow = st_stats::kde::reference_pdf(kde.data(), kde.bandwidth(), x);
+        prop_assert_eq!(fast.to_bits(), slow.to_bits());
+    }
+
+    /// One columnar EM step must be bit-identical to the retained scalar
+    /// row-major step: same log-likelihood, same component parameters,
+    /// same background weight, with and without a background column and
+    /// with frozen or free means.
+    #[test]
+    fn columnar_em_step_matches_scalar_reference_bitwise(
+        data in prop::collection::vec(0.01f64..100.0, 4..150),
+        means in prop::collection::vec(1.0f64..90.0, 1..4),
+        vars in prop::collection::vec(0.5f64..25.0, 1..4),
+        with_background in any::<bool>(),
+        update_means in any::<bool>(),
+    ) {
+        use st_stats::gmm::{em_step, reference_em_step, Component};
+        let k = means.len().min(vars.len());
+        let comps: Vec<Component> = (0..k)
+            .map(|c| Component { weight: 1.0 / k as f64, mean: means[c], var: vars[c] })
+            .collect();
+        let background = with_background.then(|| (0.03, (1.0 / 100.0f64).ln()));
+        let var_floor = 1e-6;
+
+        let mut fast_comps = comps.clone();
+        let mut fast_bg = background;
+        let cols = k + usize::from(with_background);
+        let mut resp = vec![0.0f64; data.len() * cols];
+        let fast_ll =
+            em_step(&data, &mut fast_comps, &mut fast_bg, &mut resp, var_floor, update_means);
+
+        let mut slow_comps = comps;
+        let mut slow_bg = background;
+        let slow_ll =
+            reference_em_step(&data, &mut slow_comps, &mut slow_bg, var_floor, update_means);
+
+        prop_assert_eq!(fast_ll.to_bits(), slow_ll.to_bits(), "log-likelihood");
+        for (f, s) in fast_comps.iter().zip(&slow_comps) {
+            prop_assert_eq!(f.weight.to_bits(), s.weight.to_bits(), "weight");
+            prop_assert_eq!(f.mean.to_bits(), s.mean.to_bits(), "mean");
+            prop_assert_eq!(f.var.to_bits(), s.var.to_bits(), "var");
+        }
+        match (fast_bg, slow_bg) {
+            (None, None) => {}
+            (Some((fw, fl)), Some((sw, sl))) => {
+                prop_assert_eq!(fw.to_bits(), sw.to_bits(), "background weight");
+                prop_assert_eq!(fl.to_bits(), sl.to_bits(), "background log-density");
+            }
+            other => prop_assert!(false, "background presence diverged: {:?}", other),
+        }
+    }
+
+    /// Iterating the columnar step keeps matching the reference: bit drift
+    /// cannot accumulate across EM iterations.
+    #[test]
+    fn repeated_em_steps_stay_bit_identical(
+        data in prop::collection::vec(0.01f64..100.0, 8..80),
+        iters in 1usize..6,
+    ) {
+        use st_stats::gmm::{em_step, reference_em_step, Component};
+        let comps = vec![
+            Component { weight: 0.5, mean: 25.0, var: 9.0 },
+            Component { weight: 0.5, mean: 75.0, var: 9.0 },
+        ];
+        let mut fast_comps = comps.clone();
+        let mut slow_comps = comps;
+        let (mut fast_bg, mut slow_bg) = (None, None);
+        let mut resp = vec![0.0f64; data.len() * 2];
+        for it in 0..iters {
+            let f = em_step(&data, &mut fast_comps, &mut fast_bg, &mut resp, 1e-6, true);
+            let s = reference_em_step(&data, &mut slow_comps, &mut slow_bg, 1e-6, true);
+            prop_assert_eq!(f.to_bits(), s.to_bits(), "iteration {}", it);
+        }
+        prop_assert_eq!(fast_comps, slow_comps);
     }
 
     #[test]
@@ -235,4 +381,30 @@ proptest! {
             prop_assert!(gm.predict(probe.0, probe.1) < gm.k());
         }
     }
+}
+
+#[test]
+fn plateau_touching_grid_edge_is_not_a_peak() {
+    use st_stats::kde::find_peaks_on_grid;
+    // Maximum plateau begins at index 0: interior points on the plateau
+    // fail the left-strict test, so no peak is reported. The guard keeps
+    // a clipped density ramp from minting a phantom cluster.
+    let leading = vec![(0.0, 1.0), (1.0, 1.0), (2.0, 1.0), (3.0, 0.4), (4.0, 0.2)];
+    assert!(find_peaks_on_grid(&leading, 0.05).is_empty());
+    // Same at the right edge: the plateau's left entry point is a peak
+    // (left-strict holds, right-inclusive holds), but only one.
+    let trailing = vec![(0.0, 0.2), (1.0, 0.4), (2.0, 1.0), (3.0, 1.0), (4.0, 1.0)];
+    let peaks = find_peaks_on_grid(&trailing, 0.05);
+    assert_eq!(peaks.len(), 1);
+    assert_eq!(peaks[0].x, 2.0);
+}
+
+#[test]
+fn two_point_plateau_mid_grid_reports_single_peak() {
+    use st_stats::kde::find_peaks_on_grid;
+    let grid = vec![(0.0, 0.1), (1.0, 0.5), (2.0, 1.0), (3.0, 1.0), (4.0, 0.5), (5.0, 0.1)];
+    let peaks = find_peaks_on_grid(&grid, 0.05);
+    assert_eq!(peaks.len(), 1, "{peaks:?}");
+    assert_eq!(peaks[0].x, 2.0);
+    assert_eq!(peaks[0].density, 1.0);
 }
