@@ -1,11 +1,11 @@
-//! Golden-identity check for the columnar-store refactor.
+//! Golden-identity check for the artifact pipeline.
 //!
 //! The repro pipeline's artifacts (every `<id>.svg` / `<id>.json` the
-//! `repro` binary would write) must be byte-identical to the row-based
-//! implementation's output, at every parallelism level. The expected
-//! value is a combined FNV-1a hash captured from a pre-refactor release
-//! run at scale 0.004, seed 2024 — the same configuration the CI
-//! determinism smoke uses.
+//! `repro` binary would write) must be byte-identical to the pinned
+//! golden run, at every parallelism level and with or without the
+//! metrics registry. The expected value is a combined FNV-1a hash
+//! captured from a release run at scale 0.004, seed 2024 — the same
+//! configuration the CI determinism smoke uses.
 
 use st_bench::{
     build_analyses_observed, build_analyses_par, run_all_observed, run_all_par, ReproReport,
@@ -16,10 +16,19 @@ use st_obs::Registry;
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0100_0000_01b3;
 
-/// Combined hash of the pre-refactor golden run (89 artifact files,
-/// sorted by filename; each file hashed as name bytes then content
-/// bytes, chained).
-const GOLDEN_HASH: u64 = 0x7e38_a3ca_c670_4460;
+/// Combined hash of the golden run (89 artifact files, sorted by
+/// filename; each file hashed as name bytes then content bytes,
+/// chained).
+///
+/// Re-pinned for the blocked KDE kernels: the blocked accumulation
+/// reassociates the kernel sums, shifting KDE-derived series by a few
+/// ULPs (a file-level diff against the previous golden showed 9 790
+/// float deltas across the fig04–fig18 JSONs, worst relative delta
+/// 7.3e-15, no structural or SVG changes). Sequential, parallel, and
+/// metrics-enabled runs all produce this hash — the parallelism-
+/// invariance contract (DESIGN.md §10) is what this test enforces;
+/// byte-stability across refactors is not promised.
+const GOLDEN_HASH: u64 = 0x0e77_4be6_9287_5897;
 const GOLDEN_FILES: usize = 89;
 
 fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
@@ -72,12 +81,12 @@ fn observed_artifact_hash(parallelism: usize) -> (u64, usize) {
 }
 
 #[test]
-fn artifacts_match_the_pre_refactor_golden_run() {
+fn artifacts_match_the_pinned_golden_run() {
     let (h1, n1) = artifact_hash(1);
     assert_eq!(n1, GOLDEN_FILES, "artifact file count changed");
     assert_eq!(
         h1, GOLDEN_HASH,
-        "sequential artifacts diverged from the row-based golden run (hash {h1:#x})"
+        "sequential artifacts diverged from the pinned golden run (hash {h1:#x})"
     );
 }
 
@@ -87,7 +96,7 @@ fn parallel_artifacts_match_the_golden_run_too() {
     assert_eq!(n4, GOLDEN_FILES, "artifact file count changed");
     assert_eq!(
         h4, GOLDEN_HASH,
-        "parallel artifacts diverged from the row-based golden run (hash {h4:#x})"
+        "parallel artifacts diverged from the pinned golden run (hash {h4:#x})"
     );
 }
 
