@@ -24,6 +24,9 @@ use std::path::Path;
 /// Schema tag stamped on every row.
 pub const LEDGER_SCHEMA: &str = "st-ledger/v1";
 
+/// Schema tag stamped on every `wire-load` campaign row.
+pub const LOAD_LEDGER_SCHEMA: &str = "st-load/v1";
+
 /// FNV-1a offset basis (matches the golden-identity test).
 pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 /// FNV-1a prime (matches the golden-identity test).
@@ -128,9 +131,104 @@ impl LedgerRow {
     }
 }
 
+/// One `wire-load` campaign's summary row (schema [`LOAD_LEDGER_SCHEMA`]).
+/// Every field up to `breaker_trips` is deterministic for a given
+/// (code, sessions, seed, fault-rate, pool) tuple — `metrics_hash` in
+/// particular is parallelism-invariant, which is what the `chaos-smoke`
+/// CI job regression-gates on. The trailing means and `elapsed_s` are
+/// wall-clock class.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadLedgerRow {
+    /// Row schema tag ([`LOAD_LEDGER_SCHEMA`]).
+    pub schema: String,
+    /// The campaign's `--seed` (fault schedule + backoff jitter).
+    pub seed: u64,
+    /// The campaign's `--fault-rate`.
+    pub fault_rate: f64,
+    /// Sessions driven.
+    pub sessions: u64,
+    /// Servers in the shaped pool.
+    pub pool: usize,
+    /// The campaign's `--parallelism` (documentation only: nothing
+    /// deterministic may depend on it).
+    pub parallelism: usize,
+    /// FNV-1a of the deterministic metrics JSON, as 16 hex digits: two
+    /// rows with equal hashes saw byte-identical deterministic sections.
+    pub metrics_hash: String,
+    /// Planned healthy completions.
+    pub sessions_ok: u64,
+    /// Planned retried completions.
+    pub sessions_retried: u64,
+    /// Planned degraded completions.
+    pub sessions_degraded: u64,
+    /// Planned abandonments.
+    pub sessions_abandoned: u64,
+    /// Breaker-skipped sessions.
+    pub sessions_skipped: u64,
+    /// Breaker trips summed over endpoints.
+    pub breaker_trips: u64,
+    /// Sessions whose actual fate diverged from the plan (wall-clock
+    /// class; 0 on a healthy host).
+    pub unexpected_outcomes: u64,
+    /// True when no session completed (the NaN-free empty marker).
+    pub degraded: bool,
+    /// Mean download over completed sessions, Mbps.
+    pub mean_down_mbps: f64,
+    /// Mean RTT over completed sessions, milliseconds.
+    pub mean_latency_ms: f64,
+    /// Mean streaming score over completed sessions.
+    pub mean_streaming: f64,
+    /// Mean gaming score over completed sessions.
+    pub mean_gaming: f64,
+    /// Mean conferencing score over completed sessions.
+    pub mean_conferencing: f64,
+    /// Campaign wall time, seconds.
+    pub elapsed_s: f64,
+}
+
+impl LoadLedgerRow {
+    /// Summarize one completed campaign. `deterministic_json` is the
+    /// registry snapshot's exact-compare section, hashed with the same
+    /// FNV-1a scheme as artifact sets.
+    pub fn from_summary(
+        summary: &st_speedtest::LoadSummary,
+        deterministic_json: &str,
+        seed: u64,
+        fault_rate: f64,
+        pool: usize,
+        parallelism: usize,
+    ) -> LoadLedgerRow {
+        LoadLedgerRow {
+            schema: LOAD_LEDGER_SCHEMA.to_string(),
+            seed,
+            fault_rate,
+            sessions: summary.sessions_total,
+            pool,
+            parallelism,
+            metrics_hash: format!("{:016x}", fnv1a(deterministic_json.as_bytes(), FNV_OFFSET)),
+            sessions_ok: summary.sessions_ok,
+            sessions_retried: summary.sessions_retried,
+            sessions_degraded: summary.sessions_degraded,
+            sessions_abandoned: summary.sessions_abandoned,
+            sessions_skipped: summary.sessions_skipped,
+            breaker_trips: summary.breaker_trips,
+            unexpected_outcomes: summary.unexpected_outcomes,
+            degraded: summary.degraded,
+            mean_down_mbps: summary.mean_down_mbps,
+            mean_latency_ms: summary.mean_latency_ms,
+            mean_streaming: summary.mean_streaming,
+            mean_gaming: summary.mean_gaming,
+            mean_conferencing: summary.mean_conferencing,
+            elapsed_s: summary.elapsed_s,
+        }
+    }
+}
+
 /// Append one row to the JSON Lines ledger at `path`, creating the file
 /// on first use. Strictly append-only: existing rows are never touched.
-pub fn append_ledger(path: &Path, row: &LedgerRow) -> std::io::Result<()> {
+/// Accepts any serializable row type ([`LedgerRow`], [`LoadLedgerRow`]);
+/// the `schema` field tells readers apart.
+pub fn append_ledger<T: Serialize>(path: &Path, row: &T) -> std::io::Result<()> {
     let json = serde_json::to_string(row)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;

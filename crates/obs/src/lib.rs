@@ -276,6 +276,12 @@ pub struct DeterministicMetrics {
 pub struct WallClockMetrics {
     /// Span statistics keyed by `/`-separated span path.
     pub spans: BTreeMap<String, SpanStat>,
+    /// Measured-value histograms ([`Registry::observe_wall`]): values
+    /// that derive from wall-clock observation (throughputs, latencies,
+    /// quality scores) and therefore cannot join the deterministic
+    /// class. Keys and bucket bounds are deterministic; bucket counts
+    /// and min/max move with the environment, like span durations.
+    pub values: BTreeMap<String, Histogram>,
 }
 
 /// Everything a registry holds, in serializable form. Field order (and
@@ -421,6 +427,22 @@ impl Registry {
             .observe(value);
     }
 
+    /// Observe `value` in the **wall-clock** histogram `name{labels}`.
+    /// Use this for measured quantities (throughput, latency, quality
+    /// scores): they land in the `wall_clock.values` section, which is
+    /// reported but — like span durations — excluded from every exact
+    /// determinism comparison. The first observation fixes the bounds.
+    pub fn observe_wall(&self, name: &str, labels: &[(&str, &str)], value: f64, bounds: &[f64]) {
+        let Some(inner) = &self.inner else { return };
+        inner
+            .wall
+            .lock()
+            .values
+            .entry(metric_key(name, labels))
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
     /// Append `values` to the series `name{labels}`.
     pub fn extend_series(&self, name: &str, labels: &[(&str, &str)], values: &[f64]) {
         let Some(inner) = &self.inner else { return };
@@ -532,6 +554,14 @@ impl Registry {
                 let stat = ours.spans.entry(k.clone()).or_default();
                 stat.count += s.count;
                 stat.total_s += s.total_s;
+            }
+            for (k, h) in &theirs.values {
+                match ours.values.get_mut(k) {
+                    Some(mine) => mine.merge(h),
+                    None => {
+                        ours.values.insert(k.clone(), h.clone());
+                    }
+                }
             }
         }
         // Trace events append in merge order, shifted onto a fresh lane
@@ -837,6 +867,26 @@ mod tests {
         assert_eq!(snap.deterministic.series["s"], vec![1.0, 2.0]);
         assert_eq!(snap.wall_clock.spans["sp"].count, 2);
         assert!((snap.wall_clock.spans["sp"].total_s - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wall_values_stay_out_of_the_deterministic_class_and_merge() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.observe_wall("load.score_streaming", &[], 80.0, &[25.0, 50.0, 75.0, 100.0]);
+        b.observe_wall("load.score_streaming", &[], 30.0, &[25.0, 50.0, 75.0, 100.0]);
+        a.merge(&b);
+        let snap = a.snapshot();
+        assert!(snap.deterministic.histograms.is_empty(), "wall values leaked");
+        let h = &snap.wall_clock.values["load.score_streaming"];
+        assert_eq!(h.count, 2);
+        assert_eq!((h.min, h.max), (30.0, 80.0));
+        // The deterministic comparison surface is untouched by wall
+        // observations, and disabled registries record nothing.
+        assert_eq!(snap.deterministic, DeterministicMetrics::default());
+        let off = Registry::disabled();
+        off.observe_wall("v", &[], 1.0, &[2.0]);
+        assert!(off.snapshot().wall_clock.values.is_empty());
     }
 
     #[test]

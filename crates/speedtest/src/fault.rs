@@ -1,0 +1,228 @@
+//! Deterministic, seed-scheduled wire fault injection (DESIGN.md §16).
+//!
+//! A [`FaultProfile`] turns a [`crate::wire::ShapedServer`] into a chaos
+//! server: sessions it serves are deterministically assigned one of the
+//! failure modes of [`FaultKind`]. The schedule is a **pure function of
+//! `(profile seed, session id)`** — a SplitMix64 draw, never the accept
+//! order — so the same profile installed on every server of a pool gives
+//! every session the same fate no matter which server it lands on, at
+//! what time, or under what `--parallelism`. The load harness
+//! ([`crate::load`]) holds the same profile and derives the identical
+//! plan client-side, which is what makes its summary counters
+//! byte-identical across runs.
+//!
+//! Sessions identify themselves over the wire with a fault preamble
+//! (command byte `'F'` + session id + attempt index); connections
+//! without the preamble — every pre-existing client — are never
+//! faulted, so a fault-enabled server still serves plain
+//! [`crate::wire::measure_download`] traffic healthily.
+
+/// SplitMix64 finalizer: a bijective avalanche over `u64`. Same
+/// constants as the datagen parallel engine; duplicated here because
+/// `st-speedtest` sits below `st-datagen` in the crate graph.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A uniform `f64` in `[0, 1)` from the top 53 bits of a SplitMix64 draw.
+pub(crate) fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Stream tag mixed into every fault draw so fault schedules never
+/// correlate with other SplitMix64 consumers sharing a master seed.
+const FAULT_TAG: u64 = 0xfa17_5eed_0000_0001;
+
+/// The wire-level failure modes a chaos server can inject.
+///
+/// Two classes matter to the client (DESIGN.md §16): **hard** faults
+/// make the whole session attempt fail (nothing usable moved), so the
+/// retry/backoff machinery engages; **soft** faults degrade the attempt
+/// (partial or slowed data) but let it complete, so the session survives
+/// with a degraded marker instead of retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Connection dropped before a single payload byte (emulated
+    /// refusal: the listener must accept to see the preamble, then
+    /// closes immediately). Hard.
+    RefuseConnect,
+    /// A few chunks served, then an abrupt close mid-transfer. Soft.
+    AcceptThenReset,
+    /// A few chunks served, then the server goes silent until the
+    /// client's transfer window closes. Soft.
+    MidTransferStall,
+    /// A short but clean transfer: early FIN after a few chunks. Soft.
+    EarlyFin,
+    /// The whole transfer served at a fraction of the shaped rate. Soft.
+    ThrottledSlowStart,
+    /// Echo service returns corrupted ping payloads, which the client
+    /// detects as an integrity failure. Hard.
+    CorruptEcho,
+}
+
+/// Every kind, in schedule-draw order. The order is part of the
+/// determinism contract: reordering re-deals every seeded schedule.
+pub const ALL_FAULT_KINDS: [FaultKind; 6] = [
+    FaultKind::RefuseConnect,
+    FaultKind::AcceptThenReset,
+    FaultKind::MidTransferStall,
+    FaultKind::EarlyFin,
+    FaultKind::ThrottledSlowStart,
+    FaultKind::CorruptEcho,
+];
+
+impl FaultKind {
+    /// Whether the faulted attempt fails outright (vs degrades).
+    pub fn is_hard(self) -> bool {
+        matches!(self, FaultKind::RefuseConnect | FaultKind::CorruptEcho)
+    }
+
+    /// Stable label used in metric keys and ledger rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::RefuseConnect => "refuse_connect",
+            FaultKind::AcceptThenReset => "accept_then_reset",
+            FaultKind::MidTransferStall => "mid_transfer_stall",
+            FaultKind::EarlyFin => "early_fin",
+            FaultKind::ThrottledSlowStart => "throttled_slow_start",
+            FaultKind::CorruptEcho => "corrupt_echo",
+        }
+    }
+}
+
+/// The seeded fault policy installed on a chaos server (and mirrored by
+/// the load harness). Which sessions fault, with which kind, and for how
+/// many attempts, is decided by [`FaultProfile::plan_for`] alone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Master seed of the schedule.
+    pub seed: u64,
+    /// Fraction of sessions assigned a fault, in `[0, 1]`.
+    pub fault_rate: f64,
+    /// Most attempts a hard fault stays active for. Drawn uniformly in
+    /// `1..=max_faulted_attempts`; a session whose draw reaches its
+    /// retry budget is abandoned, smaller draws recover on a retry.
+    pub max_faulted_attempts: u32,
+}
+
+impl FaultProfile {
+    /// A profile faulting `fault_rate` of sessions under `seed`, with
+    /// hard faults active for 1–2 attempts.
+    pub fn new(seed: u64, fault_rate: f64) -> FaultProfile {
+        assert!((0.0..=1.0).contains(&fault_rate), "fault_rate must be in [0,1]");
+        FaultProfile { seed, fault_rate, max_faulted_attempts: 2 }
+    }
+
+    /// The deterministic fault plan of session `session_id`: a pure
+    /// function of `(seed, session_id)`, independent of servers, accept
+    /// order, wall clocks, and parallelism.
+    pub fn plan_for(&self, session_id: u64) -> SessionFault {
+        let base = splitmix64(self.seed ^ splitmix64(session_id ^ FAULT_TAG));
+        if unit_f64(base) >= self.fault_rate {
+            return SessionFault::healthy();
+        }
+        let kind_draw = splitmix64(base ^ 0x01);
+        let kind = ALL_FAULT_KINDS[(kind_draw % ALL_FAULT_KINDS.len() as u64) as usize];
+        let attempts_draw = splitmix64(base ^ 0x02);
+        let faulted_attempts = 1 + (attempts_draw % self.max_faulted_attempts.max(1) as u64) as u32;
+        // Soft faults always move at least one chunk, so a soft-faulted
+        // attempt deterministically survives (bytes > 0).
+        let chunks_before = 1 + (splitmix64(base ^ 0x03) % 4) as u32;
+        SessionFault { kind: Some(kind), faulted_attempts, chunks_before }
+    }
+}
+
+/// One session's deterministic fate under a [`FaultProfile`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionFault {
+    /// The injected failure mode; `None` for a healthy session.
+    pub kind: Option<FaultKind>,
+    /// Attempts (0-based indices `0..faulted_attempts`) the fault stays
+    /// active for; later attempts are served healthily.
+    pub faulted_attempts: u32,
+    /// Chunks served before a soft fault triggers (≥ 1).
+    pub chunks_before: u32,
+}
+
+impl SessionFault {
+    /// The no-fault plan.
+    pub fn healthy() -> SessionFault {
+        SessionFault { kind: None, faulted_attempts: 0, chunks_before: 0 }
+    }
+
+    /// The fault active on `attempt` (0-based), if any.
+    pub fn active(&self, attempt: u32) -> Option<FaultKind> {
+        match self.kind {
+            Some(k) if attempt < self.faulted_attempts => Some(k),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_a_pure_function_of_seed_and_session() {
+        let p = FaultProfile::new(42, 0.5);
+        for s in 0..200u64 {
+            assert_eq!(p.plan_for(s), p.plan_for(s), "plan must be deterministic");
+        }
+        let other_seed = FaultProfile::new(43, 0.5);
+        assert!(
+            (0..200).any(|s| p.plan_for(s) != other_seed.plan_for(s)),
+            "different seeds must deal different schedules"
+        );
+    }
+
+    #[test]
+    fn fault_rate_bounds_are_respected() {
+        let never = FaultProfile::new(7, 0.0);
+        assert!((0..500).all(|s| never.plan_for(s).kind.is_none()));
+        let always = FaultProfile::new(7, 1.0);
+        assert!((0..500).all(|s| always.plan_for(s).kind.is_some()));
+        let half = FaultProfile::new(7, 0.5);
+        let faulted = (0..2000).filter(|&s| half.plan_for(s).kind.is_some()).count();
+        assert!(
+            (700..1300).contains(&faulted),
+            "rate 0.5 dealt {faulted}/2000 faults — schedule draw is biased"
+        );
+    }
+
+    #[test]
+    fn every_kind_appears_and_soft_faults_move_data() {
+        let p = FaultProfile::new(1, 1.0);
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..500u64 {
+            let f = p.plan_for(s);
+            let kind = f.kind.expect("rate 1.0 faults every session");
+            seen.insert(kind);
+            assert!((1..=p.max_faulted_attempts).contains(&f.faulted_attempts));
+            assert!(f.chunks_before >= 1, "soft faults must serve at least one chunk");
+        }
+        assert_eq!(seen.len(), ALL_FAULT_KINDS.len(), "missing kinds: {seen:?}");
+    }
+
+    #[test]
+    fn active_window_covers_exactly_the_faulted_attempts() {
+        let f = SessionFault {
+            kind: Some(FaultKind::RefuseConnect),
+            faulted_attempts: 2,
+            chunks_before: 1,
+        };
+        assert_eq!(f.active(0), Some(FaultKind::RefuseConnect));
+        assert_eq!(f.active(1), Some(FaultKind::RefuseConnect));
+        assert_eq!(f.active(2), None);
+        assert_eq!(SessionFault::healthy().active(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault_rate")]
+    fn out_of_range_rate_is_rejected() {
+        let _ = FaultProfile::new(0, 1.5);
+    }
+}

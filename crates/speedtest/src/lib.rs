@@ -30,21 +30,40 @@
 //! * [`wire`] — a real TCP speed test over loopback sockets with a
 //!   token-bucket-shaped server, demonstrating that the methodology gap is
 //!   not an artifact of the flow-level simulator.
+//! * [`fault`] — deterministic, seed-scheduled wire fault injection: a
+//!   [`FaultProfile`] deals each session one of six failure modes as a
+//!   pure function of `(seed, session id)`.
+//! * [`retry`] — session-level capped-exponential [`BackoffSchedule`]
+//!   with seeded jitter and a clock-free per-endpoint [`CircuitBreaker`].
+//! * [`load`] — the chaos-hardened concurrent load harness: hundreds of
+//!   sessions against a fault-injecting server pool, with retry, circuit
+//!   breaking, and a [`LoadSummary`] whose counters are byte-identical
+//!   across runs and parallelism levels.
+//! * [`scoring`] — AIM-style application quality scores (streaming /
+//!   gaming / conferencing) from a session's measured quality vector.
 
+pub mod fault;
+pub mod load;
 pub mod methodology;
 pub mod pairing;
 pub mod plans;
 pub mod record;
+pub mod retry;
 pub mod sanitize;
+pub mod scoring;
 pub mod store;
 pub mod wire;
 
+pub use fault::{FaultKind, FaultProfile, SessionFault, ALL_FAULT_KINDS};
+pub use load::{run_load, LoadOptions, LoadSummary, PlannedOutcome, SessionReport};
 pub use methodology::{FastMethodology, Methodology, NdtMethodology, OoklaMethodology, TestResult};
 pub use pairing::{pair_ndt_tests, NdtEvent, NdtPair};
 pub use plans::{Plan, PlanCatalog, TierGroup};
 pub use record::{Access, Measurement, Platform, Vendor};
+pub use retry::{Admission, BackoffSchedule, BreakerState, CircuitBreaker};
 pub use sanitize::{
     classify, sanitize, Classification, QuarantineReason, RepairReason, SanitizeReport,
 };
+pub use scoring::{score, QualityScores, SessionQuality};
 pub use st_dataframe::Selection;
 pub use store::{AssignedColumns, CampaignStore};

@@ -1,0 +1,309 @@
+//! Session-level retry scheduling and per-endpoint circuit breaking for
+//! the concurrent load harness (DESIGN.md §16).
+//!
+//! Both pieces are **pure state machines with no clock inside**:
+//!
+//! * [`BackoffSchedule`] maps `(session id, retry index)` to a delay —
+//!   capped exponential doubling with seeded multiplicative jitter, a
+//!   pure SplitMix64 function, so a planned schedule can be recorded
+//!   into deterministic metrics before a single socket opens.
+//! * [`CircuitBreaker`] counts consecutive failures per endpoint and
+//!   measures its open cooldown in **skipped admissions**, not seconds.
+//!   Driven over a deterministic outcome sequence (the load harness
+//!   feeds it planned session outcomes in session-id order) its every
+//!   transition is reproducible across runs and parallelism levels.
+
+use crate::fault::{splitmix64, unit_f64};
+use std::time::Duration;
+
+/// Stream tag for jitter draws (see `fault::FAULT_TAG` for the idiom).
+const JITTER_TAG: u64 = 0x0ff5_e7b4_c0ff_ee01;
+
+/// Capped exponential backoff with seeded multiplicative jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffSchedule {
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Ceiling applied to the doubled (pre-jitter) delay.
+    pub cap: Duration,
+    /// Jitter fraction: the delay is multiplied by a seeded factor in
+    /// `[1, 1 + jitter_frac)`. Zero disables jitter.
+    pub jitter_frac: f64,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl BackoffSchedule {
+    /// A schedule doubling from `base` to `cap` with 50% jitter.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> BackoffSchedule {
+        BackoffSchedule { base, cap, jitter_frac: 0.5, seed }
+    }
+
+    /// The pre-jitter delay before retry `retry` (0-based): `base`
+    /// doubled `retry` times, capped at `cap`. Monotone non-decreasing
+    /// in `retry`.
+    pub fn raw_delay(&self, retry: u32) -> Duration {
+        let base_s = self.base.as_secs_f64();
+        let cap_s = self.cap.as_secs_f64().max(base_s);
+        // Saturating doubling in f64: 2^retry overflows no earlier than
+        // the cap kicks in for any sane configuration.
+        let doubled = base_s * 2f64.powi(retry.min(62) as i32);
+        Duration::from_secs_f64(doubled.min(cap_s))
+    }
+
+    /// The jittered delay before retry `retry` of session `session_id`:
+    /// [`BackoffSchedule::raw_delay`] times a seeded factor in
+    /// `[1, 1 + jitter_frac)`. A pure function of
+    /// `(seed, session_id, retry)`.
+    pub fn delay(&self, session_id: u64, retry: u32) -> Duration {
+        let raw = self.raw_delay(retry);
+        if self.jitter_frac <= 0.0 {
+            return raw;
+        }
+        let draw = splitmix64(
+            self.seed ^ splitmix64(session_id ^ JITTER_TAG) ^ splitmix64(retry as u64 ^ 0x9e),
+        );
+        let factor = 1.0 + self.jitter_frac * unit_f64(draw);
+        Duration::from_secs_f64(raw.as_secs_f64() * factor)
+    }
+}
+
+/// What the breaker says about one admission request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Closed: serve normally.
+    Admit,
+    /// Half-open: serve as the single probe deciding recovery.
+    AdmitProbe,
+    /// Open (or half-open with the probe already out): fast-fail.
+    Skip,
+}
+
+/// Breaker position, in the classic three-state scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Serving; counting consecutive failures.
+    Closed,
+    /// Tripped; skipping admissions until the cooldown elapses.
+    Open,
+    /// Cooled down; exactly one probe admission decides what's next.
+    HalfOpen,
+}
+
+/// A per-endpoint circuit breaker: trips [`BreakerState::Open`] after
+/// `k` *consecutive* failures, skips admissions while open, and after
+/// `cooldown` skipped admissions goes [`BreakerState::HalfOpen`] to
+/// admit exactly one probe — probe success closes the breaker, probe
+/// failure re-opens it (counted as a fresh trip).
+///
+/// The cooldown is counted in skipped admissions rather than wall time
+/// so a breaker driven over a fixed outcome sequence transitions
+/// identically on every run (DESIGN.md §16).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitBreaker {
+    k: u32,
+    cooldown: u32,
+    state: BreakerState,
+    consecutive_failures: u32,
+    skipped_while_open: u32,
+    probe_in_flight: bool,
+    trips: u64,
+    probes: u64,
+    skips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tripping after `k` consecutive failures, with a
+    /// cooldown of `cooldown` skipped admissions.
+    pub fn new(k: u32, cooldown: u32) -> CircuitBreaker {
+        assert!(k >= 1, "breaker threshold must be at least 1");
+        CircuitBreaker {
+            k,
+            cooldown,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            skipped_while_open: 0,
+            probe_in_flight: false,
+            trips: 0,
+            probes: 0,
+            skips: 0,
+        }
+    }
+
+    /// Current position.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Closed→open transitions so far (probe failures included).
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Probes admitted so far.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Admissions skipped so far.
+    pub fn skips(&self) -> u64 {
+        self.skips
+    }
+
+    /// Ask to serve one unit of work. [`Admission::Admit`] and
+    /// [`Admission::AdmitProbe`] must be followed by exactly one
+    /// [`CircuitBreaker::record`] with the outcome;
+    /// [`Admission::Skip`] must not.
+    pub fn admit(&mut self) -> Admission {
+        match self.state {
+            BreakerState::Closed => Admission::Admit,
+            BreakerState::Open => {
+                self.skipped_while_open += 1;
+                if self.skipped_while_open > self.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_in_flight = true;
+                    self.probes += 1;
+                    Admission::AdmitProbe
+                } else {
+                    self.skips += 1;
+                    Admission::Skip
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probe_in_flight {
+                    // One probe at a time: everyone else fast-fails.
+                    self.skips += 1;
+                    Admission::Skip
+                } else {
+                    self.probe_in_flight = true;
+                    self.probes += 1;
+                    Admission::AdmitProbe
+                }
+            }
+        }
+    }
+
+    /// Report the outcome of an admitted unit of work.
+    pub fn record(&mut self, success: bool) {
+        match self.state {
+            BreakerState::Closed => {
+                if success {
+                    self.consecutive_failures = 0;
+                } else {
+                    self.consecutive_failures += 1;
+                    if self.consecutive_failures >= self.k {
+                        self.trip();
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.probe_in_flight = false;
+                if success {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                    self.skipped_while_open = 0;
+                } else {
+                    self.trip();
+                }
+            }
+            // A late report for work admitted before the trip: the
+            // breaker already decided, so it changes nothing.
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.trips += 1;
+        self.consecutive_failures = 0;
+        self.skipped_while_open = 0;
+        self.probe_in_flight = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_to_the_cap() {
+        let b = BackoffSchedule {
+            base: Duration::from_millis(50),
+            cap: Duration::from_millis(400),
+            jitter_frac: 0.0,
+            seed: 0,
+        };
+        let raw: Vec<u64> = (0..6).map(|r| b.raw_delay(r).as_millis() as u64).collect();
+        assert_eq!(raw, vec![50, 100, 200, 400, 400, 400]);
+        // Without jitter, delay == raw_delay.
+        assert_eq!(b.delay(9, 2), b.raw_delay(2));
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let b = BackoffSchedule::new(Duration::from_millis(20), Duration::from_millis(160), 7);
+        for session in 0..50u64 {
+            for retry in 0..6 {
+                let raw = b.raw_delay(retry).as_secs_f64();
+                let d = b.delay(session, retry).as_secs_f64();
+                assert!(d >= raw && d < raw * (1.0 + b.jitter_frac) + 1e-12, "{session}/{retry}");
+                assert_eq!(b.delay(session, retry), b.delay(session, retry));
+            }
+        }
+        // Different sessions jitter differently (with overwhelming odds).
+        assert!((0..50).any(|s| b.delay(s, 0) != b.delay(s + 50, 0)));
+    }
+
+    #[test]
+    fn breaker_trips_after_k_consecutive_failures_only() {
+        let mut br = CircuitBreaker::new(3, 2);
+        for _ in 0..2 {
+            assert_eq!(br.admit(), Admission::Admit);
+            br.record(false);
+        }
+        // A success resets the streak.
+        assert_eq!(br.admit(), Admission::Admit);
+        br.record(true);
+        for _ in 0..2 {
+            assert_eq!(br.admit(), Admission::Admit);
+            br.record(false);
+        }
+        assert_eq!(br.state(), BreakerState::Closed, "streak was reset");
+        assert_eq!(br.admit(), Admission::Admit);
+        br.record(false);
+        assert_eq!(br.state(), BreakerState::Open);
+        assert_eq!(br.trips(), 1);
+    }
+
+    #[test]
+    fn open_breaker_skips_then_half_open_admits_exactly_one_probe() {
+        let mut br = CircuitBreaker::new(1, 2);
+        assert_eq!(br.admit(), Admission::Admit);
+        br.record(false); // trips immediately (k = 1)
+        assert_eq!(br.state(), BreakerState::Open);
+        assert_eq!(br.admit(), Admission::Skip);
+        assert_eq!(br.admit(), Admission::Skip);
+        // Cooldown of 2 skips served: next admission is the probe.
+        assert_eq!(br.admit(), Admission::AdmitProbe);
+        // While the probe is out, everyone else still skips.
+        assert_eq!(br.admit(), Admission::Skip);
+        assert_eq!(br.admit(), Admission::Skip);
+        br.record(true);
+        assert_eq!(br.state(), BreakerState::Closed);
+        assert_eq!(br.admit(), Admission::Admit);
+        assert_eq!((br.trips(), br.probes()), (1, 1));
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_counts_a_fresh_trip() {
+        let mut br = CircuitBreaker::new(1, 0);
+        br.admit();
+        br.record(false);
+        assert_eq!(br.state(), BreakerState::Open);
+        // Cooldown 0: the very next admission probes.
+        assert_eq!(br.admit(), Admission::AdmitProbe);
+        br.record(false);
+        assert_eq!(br.state(), BreakerState::Open);
+        assert_eq!(br.trips(), 2);
+    }
+}

@@ -1,0 +1,155 @@
+//! AIM-style application quality scoring (DESIGN.md §16).
+//!
+//! A speed test's headline Mbps answers almost no user question; what a
+//! user wants to know is whether the connection will *carry their
+//! application*. This module maps one session's measured quality vector
+//! — throughput, latency, jitter, optional loss — into 0–100 scores for
+//! three canonical application classes (video streaming, online gaming,
+//! video conferencing), following the weakest-link scheme of the FCC/
+//! cloud-speed "application impact metric": each dimension is scored
+//! piecewise-linearly between an *unusable* and an *ideal* threshold,
+//! and the application score is the minimum across its dimensions,
+//! because one saturated dimension ruins the experience no matter how
+//! good the rest are.
+//!
+//! Scoring is a **pure function** of its inputs: given measured values
+//! it is trivially reproducible, and the nondeterminism of measurement
+//! stays where it belongs (the wall-clock metric class).
+
+use serde::Serialize;
+
+/// One session's measured quality vector, the scoring input.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SessionQuality {
+    /// Download throughput, Mbps.
+    pub down_mbps: f64,
+    /// Upload throughput, Mbps (0.0 when not measured; only
+    /// conferencing scores it).
+    pub up_mbps: f64,
+    /// Round-trip latency, milliseconds.
+    pub latency_ms: f64,
+    /// Inter-ping jitter, milliseconds.
+    pub jitter_ms: f64,
+    /// Packet/connection loss fraction in `[0, 1]`, when measured.
+    pub loss: Option<f64>,
+}
+
+/// Per-application 0–100 scores for one session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct QualityScores {
+    /// Video streaming: throughput-bound, latency-tolerant.
+    pub streaming: f64,
+    /// Online gaming: latency/jitter-bound, throughput-light.
+    pub gaming: f64,
+    /// Video conferencing: needs both directions plus low jitter.
+    pub conferencing: f64,
+}
+
+impl QualityScores {
+    /// The lowest of the three scores: the session's weakest app class.
+    pub fn floor(&self) -> f64 {
+        self.streaming.min(self.gaming).min(self.conferencing)
+    }
+}
+
+/// Piecewise-linear score of a higher-is-better dimension: 0 at or
+/// below `unusable`, 100 at or above `ideal`, linear between. NaN
+/// scores 0 — a missing measurement is never evidence of quality.
+fn score_up(value: f64, unusable: f64, ideal: f64) -> f64 {
+    if value.is_nan() {
+        return 0.0;
+    }
+    (100.0 * (value - unusable) / (ideal - unusable)).clamp(0.0, 100.0)
+}
+
+/// Piecewise-linear score of a lower-is-better dimension: 100 at or
+/// below `ideal`, 0 at or above `unusable`. NaN scores 0.
+fn score_down(value: f64, ideal: f64, unusable: f64) -> f64 {
+    if value.is_nan() {
+        return 0.0;
+    }
+    (100.0 * (unusable - value) / (unusable - ideal)).clamp(0.0, 100.0)
+}
+
+/// Score one session. Thresholds (Mbps / ms) follow the published
+/// application requirements the AIM scheme uses: 4K streaming wants
+/// ~25 Mbps down; competitive gaming wants sub-50 ms RTT and sub-20 ms
+/// jitter on a modest stream; conferencing wants a few Mbps in *both*
+/// directions with stable delay. Loss, when measured, gates every
+/// class (1% ideal → 10% unusable).
+pub fn score(q: &SessionQuality) -> QualityScores {
+    let loss_score = match q.loss {
+        Some(l) => score_down(l, 0.01, 0.10),
+        None => 100.0,
+    };
+    let streaming = score_up(q.down_mbps, 1.0, 25.0)
+        .min(score_down(q.latency_ms, 100.0, 1000.0))
+        .min(loss_score);
+    let gaming = score_up(q.down_mbps, 0.5, 5.0)
+        .min(score_down(q.latency_ms, 50.0, 200.0))
+        .min(score_down(q.jitter_ms, 20.0, 100.0))
+        .min(loss_score);
+    let conferencing = score_up(q.down_mbps, 0.5, 4.0)
+        .min(score_up(q.up_mbps, 0.5, 3.0))
+        .min(score_down(q.latency_ms, 150.0, 500.0))
+        .min(score_down(q.jitter_ms, 30.0, 150.0))
+        .min(loss_score);
+    QualityScores { streaming, gaming, conferencing }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(down: f64, up: f64, lat: f64, jit: f64) -> SessionQuality {
+        SessionQuality { down_mbps: down, up_mbps: up, latency_ms: lat, jitter_ms: jit, loss: None }
+    }
+
+    #[test]
+    fn a_great_connection_scores_100_everywhere() {
+        let s = score(&q(500.0, 50.0, 5.0, 1.0));
+        assert_eq!((s.streaming, s.gaming, s.conferencing), (100.0, 100.0, 100.0));
+        assert_eq!(s.floor(), 100.0);
+    }
+
+    #[test]
+    fn a_dead_connection_scores_zero() {
+        let s = score(&q(0.0, 0.0, 2000.0, 500.0));
+        assert_eq!((s.streaming, s.gaming, s.conferencing), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn latency_ruins_gaming_before_streaming() {
+        // Fat but laggy: streaming barely notices 180 ms, gaming dies.
+        let s = score(&q(300.0, 20.0, 180.0, 5.0));
+        assert!(s.gaming < 20.0, "gaming {s:?}");
+        assert!(s.streaming > 85.0, "streaming {s:?}");
+    }
+
+    #[test]
+    fn upload_only_gates_conferencing() {
+        let with_up = score(&q(100.0, 10.0, 20.0, 2.0));
+        let no_up = score(&q(100.0, 0.0, 20.0, 2.0));
+        assert_eq!(no_up.streaming, with_up.streaming);
+        assert_eq!(no_up.gaming, with_up.gaming);
+        assert_eq!(no_up.conferencing, 0.0);
+        assert_eq!(with_up.conferencing, 100.0);
+    }
+
+    #[test]
+    fn loss_gates_every_class() {
+        let clean = SessionQuality { loss: Some(0.005), ..q(100.0, 10.0, 10.0, 2.0) };
+        let lossy = SessionQuality { loss: Some(0.10), ..q(100.0, 10.0, 10.0, 2.0) };
+        let s_clean = score(&clean);
+        let s_lossy = score(&lossy);
+        assert_eq!(s_clean.floor(), 100.0);
+        assert_eq!((s_lossy.streaming, s_lossy.gaming, s_lossy.conferencing), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn nan_inputs_score_zero_not_nan() {
+        let s = score(&q(f64::NAN, f64::NAN, f64::NAN, f64::NAN));
+        assert_eq!((s.streaming, s.gaming, s.conferencing), (0.0, 0.0, 0.0));
+        assert!(!s.floor().is_nan());
+    }
+}

@@ -25,6 +25,7 @@
 //! [`measure_download`] / [`measure_upload`] entry points use defaults
 //! scaled to the test duration.
 
+use crate::fault::{FaultKind, FaultProfile};
 use parking_lot::Mutex;
 use st_obs::Registry;
 use std::io::{Read, Write};
@@ -40,10 +41,20 @@ const CMD_DOWNLOAD: u8 = b'D';
 const CMD_UPLOAD: u8 = b'U';
 /// Protocol byte: client requests a ping echo service.
 const CMD_PING: u8 = b'P';
+/// Protocol byte: a fault preamble follows — 8-byte session id (BE),
+/// 1-byte attempt index, then the real command byte. Fault-enabled
+/// servers look the session up in their [`FaultProfile`]; servers
+/// without a profile serve the inner command healthily, so the load
+/// harness works unchanged against a clean pool.
+const CMD_FAULTED: u8 = b'F';
+/// Bytes in the fault preamble after [`CMD_FAULTED`]: session + attempt.
+const FAULT_HEADER: usize = 9;
 /// Ping payload size, bytes (a sequence number).
 const PING_PAYLOAD: usize = 8;
 /// Transfer chunk size, bytes.
 const CHUNK: usize = 16 * 1024;
+/// Rate divisor applied by [`FaultKind::ThrottledSlowStart`].
+const THROTTLE_FACTOR: f64 = 8.0;
 
 /// Bucket bounds for per-connection byte histograms (1 KiB … 1 GiB).
 const BYTES_BOUNDS: &[f64] =
@@ -138,6 +149,26 @@ impl ShapedServer {
     /// Start a server on an ephemeral loopback port, shaping downloads to
     /// `down_mbps` and uploads to `up_mbps` (aggregate across connections).
     pub fn start(down_mbps: f64, up_mbps: f64) -> std::io::Result<ShapedServer> {
+        ShapedServer::start_configured(down_mbps, up_mbps, None)
+    }
+
+    /// [`ShapedServer::start`] with a [`FaultProfile`] installed: sessions
+    /// announcing themselves via the fault preamble are served the fate the
+    /// profile deals them (DESIGN.md §16). Connections without a preamble
+    /// are always served healthily.
+    pub fn start_with_faults(
+        down_mbps: f64,
+        up_mbps: f64,
+        profile: FaultProfile,
+    ) -> std::io::Result<ShapedServer> {
+        ShapedServer::start_configured(down_mbps, up_mbps, Some(profile))
+    }
+
+    fn start_configured(
+        down_mbps: f64,
+        up_mbps: f64,
+        profile: Option<FaultProfile>,
+    ) -> std::io::Result<ShapedServer> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -156,7 +187,7 @@ impl ShapedServer {
                         let up = Arc::clone(&up_bucket);
                         let stop = Arc::clone(&shutdown2);
                         let handle = thread::spawn(move || {
-                            let _ = serve_connection(stream, &down, &up, &stop);
+                            let _ = serve_connection(stream, &down, &up, &stop, profile.as_ref());
                         });
                         let mut ws = workers2.lock();
                         // Reap finished workers so the registry doesn't
@@ -201,11 +232,40 @@ fn serve_connection(
     down: &TokenBucket,
     up: &TokenBucket,
     stop: &AtomicBool,
+    profile: Option<&FaultProfile>,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(200)))?;
     stream.set_write_timeout(Some(Duration::from_millis(200)))?;
     let mut cmd = [0u8; 1];
     stream.read_exact(&mut cmd)?;
+
+    // Fault preamble: self-identified sessions get the fate the profile
+    // deals them. `fault` is `(kind, chunks_before)` when this connection
+    // belongs to a session whose fault is active on this attempt.
+    let mut fault: Option<(FaultKind, u64)> = None;
+    if cmd[0] == CMD_FAULTED {
+        let mut header = [0u8; FAULT_HEADER];
+        stream.read_exact(&mut header)?;
+        let session = u64::from_be_bytes(header[..8].try_into().expect("8-byte slice"));
+        let attempt = u32::from(header[8]);
+        stream.read_exact(&mut cmd)?;
+        if let Some(p) = profile {
+            let plan = p.plan_for(session);
+            fault = plan.active(attempt).map(|k| (k, u64::from(plan.chunks_before)));
+        }
+    }
+    if matches!(fault, Some((FaultKind::RefuseConnect, _))) {
+        // Emulated refusal: the connection dies before a single payload
+        // byte, whatever service was asked for.
+        return Ok(());
+    }
+    // ThrottledSlowStart serves the whole transfer from a private bucket
+    // at a fraction of the shaped rate.
+    let throttled = |shaped: &TokenBucket| {
+        matches!(fault, Some((FaultKind::ThrottledSlowStart, _)))
+            .then(|| TokenBucket::new((shaped.rate_mbps() / THROTTLE_FACTOR).max(0.1), 40.0))
+    };
+
     let payload = [0x5au8; CHUNK];
     let mut sink = [0u8; CHUNK];
     match cmd[0] {
@@ -213,10 +273,39 @@ fn serve_connection(
             // Stream shaped data until the client hangs up or we stop. A
             // stalled client only blocks until the write timeout, so the
             // worker always re-checks the stop flag and can be joined.
+            let throttle = throttled(down);
+            let mut served_chunks = 0u64;
             while !stop.load(Ordering::Relaxed) {
-                down.take(CHUNK);
+                match fault {
+                    Some((FaultKind::AcceptThenReset | FaultKind::EarlyFin, n))
+                        if served_chunks >= n =>
+                    {
+                        // Close after the planned chunks: a reset/early
+                        // FIN mid-transfer, as seen by the client.
+                        return Ok(());
+                    }
+                    Some((FaultKind::MidTransferStall, n)) if served_chunks >= n => {
+                        // Go silent but hold the socket open; watch for
+                        // the client hanging up so the worker still joins.
+                        let mut probe = [0u8; 1];
+                        match stream.read(&mut probe) {
+                            Ok(0) => return Ok(()),
+                            Ok(_) => {}
+                            Err(e)
+                                if e.kind() == std::io::ErrorKind::WouldBlock
+                                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+                            Err(_) => return Ok(()),
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
+                match &throttle {
+                    Some(t) => t.take(CHUNK),
+                    None => down.take(CHUNK),
+                }
                 match stream.write_all(&payload) {
-                    Ok(()) => {}
+                    Ok(()) => served_chunks += 1,
                     Err(e)
                         if e.kind() == std::io::ErrorKind::WouldBlock
                             || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -231,10 +320,16 @@ fn serve_connection(
             // Echo fixed-size payloads until the client hangs up. Pings
             // are not shaped: latency measurement must not compete with
             // the token bucket.
+            let corrupt = matches!(fault, Some((FaultKind::CorruptEcho, _)));
             let mut ping_buf = [0u8; PING_PAYLOAD];
             while !stop.load(Ordering::Relaxed) {
                 match stream.read_exact(&mut ping_buf) {
                     Ok(()) => {
+                        if corrupt {
+                            // Flip a byte: the client's integrity check
+                            // must catch this and fail the attempt.
+                            ping_buf[0] ^= 0xff;
+                        }
                         if stream.write_all(&ping_buf).is_err() {
                             break;
                         }
@@ -252,11 +347,40 @@ fn serve_connection(
         CMD_UPLOAD => {
             // Read at the shaped rate; backpressure through the socket
             // buffer throttles the sender, like a shaped uplink.
+            let throttle = throttled(up);
+            let mut read_chunks = 0u64;
             while !stop.load(Ordering::Relaxed) {
-                up.take(CHUNK);
+                match fault {
+                    Some((FaultKind::AcceptThenReset | FaultKind::EarlyFin, n))
+                        if read_chunks >= n =>
+                    {
+                        return Ok(());
+                    }
+                    Some((FaultKind::MidTransferStall, n)) if read_chunks >= n => {
+                        // Stop draining at the shaped rate: probe one
+                        // byte per timeout tick, so the client's writes
+                        // back up in the socket buffer but its eventual
+                        // hangup is still noticed and the worker joins.
+                        let mut probe = [0u8; 1];
+                        match stream.read(&mut probe) {
+                            Ok(0) => return Ok(()),
+                            Ok(_) => {}
+                            Err(e)
+                                if e.kind() == std::io::ErrorKind::WouldBlock
+                                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+                            Err(_) => return Ok(()),
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
+                match &throttle {
+                    Some(t) => t.take(CHUNK),
+                    None => up.take(CHUNK),
+                }
                 match stream.read(&mut sink) {
                     Ok(0) => break,
-                    Ok(_) => {}
+                    Ok(_) => read_chunks += 1,
                     Err(e)
                         if e.kind() == std::io::ErrorKind::WouldBlock
                             || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -292,6 +416,19 @@ pub struct WireResult {
     pub connections_failed: usize,
 }
 
+/// Identifies one load-harness session (and retry attempt) to a
+/// fault-enabled server. When set on [`WireOptions::session`], every
+/// connection announces itself with the fault preamble so the server can
+/// look the session up in its [`FaultProfile`]. Servers without a
+/// profile ignore the tag and serve healthily.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionTag {
+    /// The load-harness session id (the fault-schedule key).
+    pub id: u64,
+    /// The 0-based retry attempt this connection belongs to.
+    pub attempt: u8,
+}
+
 /// Client-side robustness knobs for a wire test.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WireOptions {
@@ -308,6 +445,10 @@ pub struct WireOptions {
     /// have not reported by then are abandoned and counted as failed, so
     /// a stalled or unreachable server cannot hang the caller.
     pub deadline: Duration,
+    /// When set, connections identify themselves to fault-enabled
+    /// servers with this tag (the chaos-harness path). `None` — the
+    /// default — sends the plain protocol.
+    pub session: Option<SessionTag>,
 }
 
 impl Default for WireOptions {
@@ -318,6 +459,7 @@ impl Default for WireOptions {
             connect_backoff_cap: Duration::from_millis(400),
             connect_timeout: Duration::from_secs(2),
             deadline: Duration::from_secs(30),
+            session: None,
         }
     }
 }
@@ -362,6 +504,23 @@ fn connect_with_retry(
         }
     }
     Err(last_err.unwrap_or_else(|| std::io::Error::other("no connect attempts configured")))
+}
+
+/// Send the protocol handshake: the bare command byte, or — when a
+/// [`SessionTag`] is set — the fault preamble (`'F'`, session id,
+/// attempt) followed by the command, as one write.
+fn handshake(stream: &mut TcpStream, cmd: u8, session: Option<SessionTag>) -> std::io::Result<()> {
+    match session {
+        None => stream.write_all(&[cmd]),
+        Some(tag) => {
+            let mut buf = [0u8; 2 + FAULT_HEADER];
+            buf[0] = CMD_FAULTED;
+            buf[1..9].copy_from_slice(&tag.id.to_be_bytes());
+            buf[9] = tag.attempt;
+            buf[10] = cmd;
+            stream.write_all(&buf)
+        }
+    }
 }
 
 /// Measure download throughput against a [`ShapedServer`].
@@ -461,16 +620,51 @@ pub struct LatencyResult {
 }
 
 /// Measure round-trip latency with `n_pings` echo exchanges.
+///
+/// Hardened like the transfer paths: the connect goes through the same
+/// bounded retry/backoff machinery, the socket carries read *and* write
+/// timeouts, and the whole exchange runs under [`WireOptions::deadline`]
+/// — a server that accepts and then goes silent costs one timeout, not a
+/// hung caller. Use [`measure_latency_with`] /
+/// [`measure_latency_observed`] for explicit options or metrics.
 pub fn measure_latency(addr: SocketAddr, n_pings: usize) -> std::io::Result<LatencyResult> {
+    measure_latency_with(addr, n_pings, &WireOptions::default())
+}
+
+/// [`measure_latency`] with explicit [`WireOptions`].
+pub fn measure_latency_with(
+    addr: SocketAddr,
+    n_pings: usize,
+    opts: &WireOptions,
+) -> std::io::Result<LatencyResult> {
+    measure_latency_observed(addr, n_pings, opts, &Registry::disabled())
+}
+
+/// [`measure_latency_with`] recording connect retries and backoff sleeps
+/// into `reg` under a `dir=ping` label.
+pub fn measure_latency_observed(
+    addr: SocketAddr,
+    n_pings: usize,
+    opts: &WireOptions,
+    reg: &Registry,
+) -> std::io::Result<LatencyResult> {
     assert!(n_pings >= 1, "need at least one ping");
-    let mut stream = TcpStream::connect(addr)?;
+    let start = Instant::now();
+    let mut stream = connect_with_retry(addr, opts, reg, "ping")?;
     stream.set_nodelay(true)?;
-    stream.write_all(&[CMD_PING])?;
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    handshake(&mut stream, CMD_PING, opts.session)?;
 
     let mut rtts = Vec::with_capacity(n_pings);
     let mut buf = [0u8; PING_PAYLOAD];
     for seq in 0..n_pings as u64 {
+        if start.elapsed() > opts.deadline {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "latency measurement deadline exceeded",
+            ));
+        }
         let payload = seq.to_be_bytes();
         let t0 = Instant::now();
         stream.write_all(&payload)?;
@@ -522,7 +716,7 @@ fn run_one_connection(
     let mut moved_total = 0u64;
     let outcome = (|| -> std::io::Result<()> {
         stream.set_nodelay(true)?;
-        stream.write_all(&[cmd])?;
+        handshake(&mut stream, cmd, opts.session)?;
         stream.set_read_timeout(Some(Duration::from_millis(100)))?;
         stream.set_write_timeout(Some(Duration::from_millis(100)))?;
         let mut buf = [0u8; CHUNK];
@@ -708,12 +902,14 @@ pub fn run_session(
     // Loaded latency: ping while the download saturates the shaped link.
     let ping_handle = {
         let ping_duration = duration;
+        let opts = WireOptions::for_duration(duration);
         thread::spawn(move || -> std::io::Result<LatencyResult> {
             // Spread pings across the transfer window.
             let n = 10usize;
             let gap = ping_duration / (n as u32 + 1);
-            let mut stream = TcpStream::connect(addr)?;
+            let mut stream = connect_with_retry(addr, &opts, &Registry::disabled(), "ping")?;
             stream.set_nodelay(true)?;
+            stream.set_write_timeout(Some(Duration::from_secs(2)))?;
             stream.write_all(&[CMD_PING])?;
             stream.set_read_timeout(Some(Duration::from_secs(2)))?;
             let mut rtts = Vec::with_capacity(n);
@@ -1016,6 +1212,99 @@ mod tests {
         .unwrap();
         assert_eq!(res.connections, 3);
         assert_eq!(res.connections_failed, 0);
+    }
+
+    #[test]
+    fn fault_preamble_without_a_profile_serves_healthily() {
+        // Back-compat: a tagged client against a plain server must be
+        // indistinguishable from an untagged one.
+        let server = ShapedServer::start(60.0, 10.0).unwrap();
+        let opts = WireOptions {
+            session: Some(SessionTag { id: 7, attempt: 0 }),
+            ..WireOptions::for_duration(Duration::from_millis(600))
+        };
+        let res = measure_download_with(
+            server.addr(),
+            2,
+            Duration::from_millis(600),
+            Duration::from_millis(150),
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(res.connections_failed, 0, "{res:?}");
+        assert!(res.mean_all_mbps > 0.0, "{res:?}");
+        let lat = measure_latency_with(server.addr(), 5, &opts).unwrap();
+        assert_eq!(lat.count, 5);
+    }
+
+    #[test]
+    fn corrupt_echo_fault_is_detected_then_clears_after_its_window() {
+        let profile = FaultProfile::new(11, 1.0);
+        let sid = (0..500u64)
+            .find(|&s| profile.plan_for(s).kind == Some(FaultKind::CorruptEcho))
+            .expect("rate-1.0 profile deals every kind in 500 sessions");
+        let server = ShapedServer::start_with_faults(50.0, 10.0, profile).unwrap();
+        let faulted = WireOptions {
+            session: Some(SessionTag { id: sid, attempt: 0 }),
+            ..WireOptions::default()
+        };
+        let err = measure_latency_with(server.addr(), 3, &faulted).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+        // An attempt past the fault window is served clean — this is what
+        // makes retried sessions recover deterministically.
+        let recovered = WireOptions {
+            session: Some(SessionTag {
+                id: sid,
+                attempt: profile.plan_for(sid).faulted_attempts as u8,
+            }),
+            ..WireOptions::default()
+        };
+        assert_eq!(measure_latency_with(server.addr(), 3, &recovered).unwrap().count, 3);
+    }
+
+    #[test]
+    fn refuse_connect_fault_fails_the_download_attempt() {
+        let profile = FaultProfile::new(3, 1.0);
+        let sid = (0..500u64)
+            .find(|&s| profile.plan_for(s).kind == Some(FaultKind::RefuseConnect))
+            .unwrap();
+        let server = ShapedServer::start_with_faults(50.0, 10.0, profile).unwrap();
+        let opts = WireOptions {
+            session: Some(SessionTag { id: sid, attempt: 0 }),
+            ..WireOptions::for_duration(Duration::from_millis(400))
+        };
+        let res = measure_download_with(
+            server.addr(),
+            1,
+            Duration::from_millis(400),
+            Duration::from_millis(100),
+            &opts,
+        );
+        assert!(res.is_err(), "refused session produced {res:?}");
+    }
+
+    #[test]
+    fn early_fin_fault_degrades_but_survives() {
+        let profile = FaultProfile::new(5, 1.0);
+        let sid =
+            (0..500u64).find(|&s| profile.plan_for(s).kind == Some(FaultKind::EarlyFin)).unwrap();
+        let server = ShapedServer::start_with_faults(500.0, 10.0, profile).unwrap();
+        let opts = WireOptions {
+            session: Some(SessionTag { id: sid, attempt: 0 }),
+            ..WireOptions::for_duration(Duration::from_millis(500))
+        };
+        let res = measure_download_with(
+            server.addr(),
+            1,
+            Duration::from_millis(500),
+            Duration::from_millis(100),
+            &opts,
+        )
+        .unwrap();
+        // The planned chunks moved, then a clean close: partial data, no
+        // failure — the soft-fault contract (chunks_before ≥ 1 ⇒ bytes > 0).
+        assert_eq!(res.connections, 1, "{res:?}");
+        assert!(res.mean_all_mbps > 0.0, "{res:?}");
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Chaos acceptance test (DESIGN.md §16): ~200 concurrent sessions
+//! against a 4-server fault-injecting pool, ≥30% of sessions faulted.
+//! The campaign must not panic, every session must be classified, the
+//! deterministic metric class must be byte-identical across repeat runs
+//! *and* across parallelism levels, and surviving sessions must still
+//! measure the shaped link.
+
+use st_obs::Registry;
+use st_speedtest::wire::ShapedServer;
+use st_speedtest::{run_load, FaultProfile, LoadOptions, LoadSummary};
+use std::time::Duration;
+
+const SESSIONS: usize = 200;
+const POOL: usize = 4;
+const FAULT_RATE: f64 = 0.35;
+const DOWN_MBPS: f64 = 400.0;
+
+fn campaign(parallelism: usize) -> (String, LoadSummary) {
+    let profile = FaultProfile::new(0xc0ffee, FAULT_RATE);
+    let servers: Vec<ShapedServer> = (0..POOL)
+        .map(|_| ShapedServer::start_with_faults(DOWN_MBPS, 50.0, profile).unwrap())
+        .collect();
+    let pool: Vec<_> = servers.iter().map(|s| s.addr()).collect();
+    let mut opts = LoadOptions::new(SESSIONS);
+    opts.duration = Duration::from_millis(100);
+    opts.ramp_discard = Duration::from_millis(30);
+    opts.n_pings = 2;
+    opts.parallelism = parallelism;
+    opts.faults = Some(profile);
+    let reg = Registry::new();
+    let summary = run_load(&pool, &opts, &reg);
+    (reg.snapshot().deterministic_json(), summary)
+}
+
+#[test]
+fn chaos_campaign_survives_classifies_and_is_deterministic() {
+    let (json_a, summary_a) = campaign(16);
+    let (json_b, summary_b) = campaign(16);
+    let (json_c, summary_c) = campaign(8);
+
+    // Determinism: the exact-compare surface is byte-identical across
+    // repeat runs and across parallelism levels.
+    assert_eq!(json_a, json_b, "deterministic metrics drifted between identical runs");
+    assert_eq!(json_a, json_c, "deterministic metrics depend on parallelism");
+
+    // Every session is classified — no silent drops.
+    let s = &summary_a;
+    assert_eq!(s.sessions_total, SESSIONS as u64);
+    assert_eq!(
+        s.sessions_ok
+            + s.sessions_retried
+            + s.sessions_degraded
+            + s.sessions_abandoned
+            + s.sessions_skipped,
+        s.sessions_total,
+        "classification classes must partition the campaign: {s:?}"
+    );
+    assert_eq!(s.reports.len(), SESSIONS, "one report per session");
+    assert!(
+        s.reports.iter().all(|r| r.completed || r.error.is_some()),
+        "a failed session must carry its error"
+    );
+
+    // The profile dealt ≥ 30% faults (0.35 nominal; the schedule is
+    // seeded, so the realized count is a fixed number we bound loosely).
+    let faulted: u64 = s.faults_planned.values().sum();
+    assert!(faulted as f64 >= 0.30 * SESSIONS as f64, "only {faulted}/{SESSIONS} sessions faulted");
+
+    // Execution matched the plan: the injected chaos is exactly the
+    // chaos that happened, on every run.
+    for (name, sum) in [("runA", &summary_a), ("runB", &summary_b), ("runC", &summary_c)] {
+        assert_eq!(sum.unexpected_outcomes, 0, "{name}: actual fates diverged from the plan");
+        assert_eq!(
+            sum.sessions_completed,
+            sum.sessions_ok + sum.sessions_retried + sum.sessions_degraded,
+            "{name}: completions must equal the planned surviving classes"
+        );
+    }
+
+    // Survivors measured a real link: positive throughput, and healthy
+    // sessions can't beat the shaper by more than bucket-burst slack.
+    assert!(!s.degraded, "a 35%-fault campaign must keep survivors");
+    assert!(s.mean_down_mbps > 0.0, "surviving throughput vanished: {s:?}");
+    let healthy_max = s
+        .reports
+        .iter()
+        .filter(|r| r.completed && r.fault.is_none())
+        .map(|r| r.down_mbps)
+        .fold(0.0f64, f64::max);
+    assert!(
+        healthy_max > 0.0 && healthy_max < DOWN_MBPS * 2.0,
+        "healthy sessions measured {healthy_max} Mbps against a {DOWN_MBPS} Mbps shaper"
+    );
+}

@@ -1,0 +1,172 @@
+//! Property-based tests for the chaos-harness building blocks: the
+//! retry/backoff schedule, the circuit-breaker state machine, the fault
+//! scheduler, and the quality scorer (DESIGN.md §16).
+
+use proptest::prelude::*;
+use st_speedtest::{
+    score, Admission, BackoffSchedule, BreakerState, CircuitBreaker, FaultProfile, SessionQuality,
+};
+use std::time::Duration;
+
+proptest! {
+    /// The pre-jitter schedule is a capped monotone doubling, and the
+    /// jittered delay is deterministic and bounded by
+    /// `raw * (1 + jitter_frac)`.
+    #[test]
+    fn backoff_is_capped_monotone_doubling_with_bounded_jitter(
+        base_ms in 1u64..500,
+        cap_mult in 1u64..16,
+        jitter_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+        session in any::<u64>(),
+    ) {
+        let cap_ms = base_ms * cap_mult;
+        let sched = BackoffSchedule {
+            base: Duration::from_millis(base_ms),
+            cap: Duration::from_millis(cap_ms),
+            jitter_frac,
+            seed,
+        };
+        let cap_s = Duration::from_millis(cap_ms).as_secs_f64();
+        let mut prev_raw = 0.0f64;
+        for retry in 0..12u32 {
+            let raw = sched.raw_delay(retry).as_secs_f64();
+            prop_assert!(raw >= prev_raw, "schedule must be monotone: {raw} < {prev_raw}");
+            prop_assert!(raw <= cap_s + 1e-12, "raw {raw} above cap {cap_s}");
+            if retry > 0 {
+                let expect = (prev_raw * 2.0).min(cap_s);
+                prop_assert!((raw - expect).abs() < 1e-9,
+                    "retry {retry}: raw {raw} is neither doubled nor capped ({expect})");
+            }
+            prev_raw = raw;
+
+            let jittered = sched.delay(session, retry).as_secs_f64();
+            prop_assert!(jittered >= raw - 1e-12, "jitter may only lengthen the delay");
+            prop_assert!(jittered < raw * (1.0 + jitter_frac) + 1e-9,
+                "jitter above bound: {jittered} vs raw {raw} frac {jitter_frac}");
+            prop_assert_eq!(sched.delay(session, retry), sched.delay(session, retry));
+        }
+    }
+
+    /// Driven over an arbitrary outcome sequence, the breaker never
+    /// serves from the open state, closed states always admit, and a
+    /// probe is only handed out by a non-closed state.
+    #[test]
+    fn breaker_never_serves_while_open(
+        outcomes in prop::collection::vec(any::<bool>(), 1..300),
+        k in 1u32..6,
+        cooldown in 0u32..8,
+    ) {
+        let mut br = CircuitBreaker::new(k, cooldown);
+        let mut skips_since_trip = 0u32;
+        for &ok in &outcomes {
+            let before = br.state();
+            match br.admit() {
+                Admission::Admit => {
+                    prop_assert_eq!(before, BreakerState::Closed,
+                        "a plain admission must come from a closed breaker");
+                    br.record(ok);
+                }
+                Admission::AdmitProbe => {
+                    prop_assert!(before != BreakerState::Closed,
+                        "a probe can only follow a trip");
+                    prop_assert!(skips_since_trip >= cooldown,
+                        "probed after {skips_since_trip} skips, cooldown {cooldown}");
+                    br.record(ok);
+                    skips_since_trip = 0;
+                }
+                Admission::Skip => {
+                    prop_assert!(before != BreakerState::Closed,
+                        "a closed breaker must serve");
+                    skips_since_trip += 1;
+                }
+            }
+            if br.state() == BreakerState::Open && before != BreakerState::Open {
+                skips_since_trip = 0;
+            }
+        }
+        // Conservation: everything the breaker counted happened.
+        prop_assert!(br.probes() <= br.trips(),
+            "each probe follows a trip: {} probes, {} trips", br.probes(), br.trips());
+    }
+
+    /// While a probe is in flight, every other admission is skipped —
+    /// the half-open state serves exactly one unit of work.
+    #[test]
+    fn half_open_admits_exactly_one_probe_until_it_resolves(
+        k in 1u32..4,
+        cooldown in 0u32..6,
+        rivals in 1usize..10,
+        probe_ok in any::<bool>(),
+    ) {
+        let mut br = CircuitBreaker::new(k, cooldown);
+        for _ in 0..k {
+            prop_assert_eq!(br.admit(), Admission::Admit);
+            br.record(false);
+        }
+        prop_assert_eq!(br.state(), BreakerState::Open);
+        for _ in 0..cooldown {
+            prop_assert_eq!(br.admit(), Admission::Skip);
+        }
+        prop_assert_eq!(br.admit(), Admission::AdmitProbe);
+        for _ in 0..rivals {
+            prop_assert_eq!(br.admit(), Admission::Skip, "rival admitted beside the probe");
+        }
+        br.record(probe_ok);
+        if probe_ok {
+            prop_assert_eq!(br.state(), BreakerState::Closed);
+            prop_assert_eq!(br.admit(), Admission::Admit);
+        } else {
+            prop_assert_eq!(br.state(), BreakerState::Open);
+            prop_assert_eq!(br.trips(), 2);
+        }
+    }
+
+    /// The fault scheduler is a pure function of `(seed, session)` that
+    /// respects its rate bounds and always plans survivable soft faults.
+    #[test]
+    fn fault_plans_are_pure_and_well_formed(
+        seed in any::<u64>(),
+        rate in 0.0f64..=1.0,
+        session in any::<u64>(),
+    ) {
+        let p = FaultProfile::new(seed, rate);
+        let plan = p.plan_for(session);
+        prop_assert_eq!(plan, p.plan_for(session), "plan must be pure");
+        if rate == 0.0 {
+            prop_assert!(plan.kind.is_none());
+        }
+        if let Some(_kind) = plan.kind {
+            prop_assert!((1..=p.max_faulted_attempts).contains(&plan.faulted_attempts));
+            prop_assert!(plan.chunks_before >= 1, "soft faults must move at least one chunk");
+        }
+    }
+
+    /// Quality scores are always finite and inside [0, 100], whatever
+    /// the measured vector looks like — including NaN components.
+    #[test]
+    fn scores_are_always_finite_and_bounded(
+        down in -10.0f64..2000.0,
+        up in -10.0f64..2000.0,
+        lat in -10.0f64..5000.0,
+        jit in -10.0f64..5000.0,
+        loss in -0.5f64..1.5,
+        nan_mask in 0u8..64,
+    ) {
+        // Bits of `nan_mask` turn components into NaN / drop the loss:
+        // a missing measurement must score 0, never poison the result.
+        let nan_if = |bit: u8, v: f64| if nan_mask & (1 << bit) != 0 { f64::NAN } else { v };
+        let q = SessionQuality {
+            down_mbps: nan_if(0, down),
+            up_mbps: nan_if(1, up),
+            latency_ms: nan_if(2, lat),
+            jitter_ms: nan_if(3, jit),
+            loss: if nan_mask & (1 << 4) != 0 { None } else { Some(nan_if(5, loss)) },
+        };
+        let s = score(&q);
+        for v in [s.streaming, s.gaming, s.conferencing, s.floor()] {
+            prop_assert!(v.is_finite(), "score must be finite: {s:?} from {q:?}");
+            prop_assert!((0.0..=100.0).contains(&v), "score out of range: {s:?}");
+        }
+    }
+}
