@@ -30,8 +30,8 @@ pub fn run(analyses: &[&CityAnalysis]) -> (TableResult, Vec<CitySummary>) {
     let mut summaries = Vec::new();
     for a in analyses {
         let downs = a.ookla.down();
-        let raw_median = Ecdf::new(downs).map(|e| e.median()).unwrap_or(f64::NAN);
-        let group_sels = &a.ookla.assigned().group_sels;
+        let downs_flat = downs.contiguous();
+        let raw_median = Ecdf::new(&downs_flat).map(|e| e.median()).unwrap_or(f64::NAN);
         let group_medians = a
             .catalog()
             .tier_groups()
@@ -39,7 +39,7 @@ pub fn run(analyses: &[&CityAnalysis]) -> (TableResult, Vec<CitySummary>) {
             .enumerate()
             .map(|(gi, g)| {
                 // Raw (not normalized) download speeds of the group's rows.
-                let vals = group_sels[gi].gather(downs);
+                let vals = a.ookla.group_sel(gi).gather(&downs);
                 let med = Ecdf::new(&vals).map(|e| e.median()).unwrap_or(f64::NAN);
                 (g.label(), med)
             })
@@ -48,7 +48,7 @@ pub fn run(analyses: &[&CityAnalysis]) -> (TableResult, Vec<CitySummary>) {
             city: a.config.city.label().to_string(),
             raw_median,
             group_medians,
-            gini: gini(downs).unwrap_or(f64::NAN),
+            gini: gini(&downs_flat).unwrap_or(f64::NAN),
         });
     }
 

@@ -1,34 +1,44 @@
-//! Shared analysis context: columnar campaign stores plus fitted BST
+//! Shared analysis context: segmented campaign stores plus fitted BST
 //! models for one city.
 //!
 //! The paper fits BST separately per platform dataset (Table 3 reports
 //! per-platform cluster means), so [`CityAnalysis`] fits one model per
 //! Ookla platform, one for the M-Lab campaign, and one for the MBA panel,
 //! then scatters tier and plan-cap assignments onto the stores as
-//! derived columns ([`st_speedtest::AssignedColumns`]). Figure and table
-//! modules read the stores through [`st_speedtest::Selection`]s and
-//! column getters; nothing downstream clones `Vec<Measurement>` rows.
+//! derived columns ([`st_speedtest::AssignedColumns`] per segment).
+//! Figure and table modules read the stores through
+//! [`st_speedtest::FragSelection`]s and segmented column getters;
+//! nothing downstream clones `Vec<Measurement>` rows or assumes one
+//! contiguous slice.
+//!
+//! The stores arrive either from the batch pipeline (one sealed segment
+//! wrapping a sanitized campaign — [`CityAnalysis::new`]) or from the
+//! incremental ingest front-end (chunk-built multi-segment stores —
+//! [`CityAnalysis::from_stores`]). The fit path is shared: BST consumes
+//! each selection's gathered values, which are chunking-invariant, so
+//! both roads produce bit-identical models and assignments.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use st_bst::{BstConfig, BstModel};
 use st_datagen::{CityConfig, CityDataset};
 use st_netsim::Mbps;
-use st_speedtest::{CampaignStore, PlanCatalog, Platform};
+use st_speedtest::{PlanCatalog, Platform, SegmentedStore};
 use st_stats::Ecdf;
 
 use crate::results::SeriesData;
 
-/// A city's campaigns, stored columnar, with BST fitted to each.
+/// A city's campaigns, stored columnar and segmented, with BST fitted
+/// to each.
 pub struct CityAnalysis {
     /// The city's generation config (catalog, city id, scale).
     pub config: CityConfig,
-    /// Ookla campaign as columns (tier/cap assignments scattered on).
-    pub ookla: CampaignStore,
-    /// M-Lab campaign as columns.
-    pub mlab: CampaignStore,
-    /// MBA panel as columns.
-    pub mba: CampaignStore,
+    /// Ookla campaign as segments (tier/cap assignments scattered on).
+    pub ookla: SegmentedStore,
+    /// M-Lab campaign as segments.
+    pub mlab: SegmentedStore,
+    /// MBA panel as segments.
+    pub mba: SegmentedStore,
     /// Fitted per-platform Ookla models.
     pub ookla_models: Vec<(Platform, BstModel)>,
     /// The M-Lab model.
@@ -55,14 +65,35 @@ impl CityAnalysis {
     /// the registry never feeds back into the RNG stream or the models,
     /// so the fitted analysis is bit-identical to [`CityAnalysis::new`].
     pub fn new_observed(dataset: CityDataset, seed: u64, reg: &st_obs::Registry) -> Self {
+        let CityDataset { config, ookla, mlab, mba, .. } = dataset;
+        Self::from_stores(
+            config,
+            SegmentedStore::from_measurements(&ookla),
+            SegmentedStore::from_measurements(&mlab),
+            SegmentedStore::from_measurements(&mba),
+            seed,
+            reg,
+        )
+    }
+
+    /// Fit BST to three already-built (frozen) campaign stores — the
+    /// shared back half of the batch and incremental-ingest pipelines.
+    /// The RNG threading is exactly [`CityAnalysis::new`]'s, and BST
+    /// consumes gathered (contiguous) values, so any segmentation of the
+    /// same accepted rows produces bit-identical models.
+    pub fn from_stores(
+        config: CityConfig,
+        ookla: SegmentedStore,
+        mlab: SegmentedStore,
+        mba: SegmentedStore,
+        seed: u64,
+        reg: &st_obs::Registry,
+    ) -> Self {
         let cfg = BstConfig::default();
-        let catalog = dataset.config.catalog.clone();
-        let city = dataset.config.city.label();
+        let catalog = config.catalog.clone();
+        let city = config.city.label();
         let mut rng = StdRng::seed_from_u64(seed);
 
-        let ookla = CampaignStore::from_measurements(&dataset.ookla);
-        let mlab = CampaignStore::from_measurements(&dataset.mlab);
-        let mba = CampaignStore::from_measurements(&dataset.mba);
         let caps = catalog.upload_caps();
         let cap_index = |cap: Mbps| caps.iter().position(|&c| c == cap).map(|k| k as i32);
 
@@ -77,10 +108,13 @@ impl CityAnalysis {
             if sel.len() < 30 {
                 continue; // too thin to cluster meaningfully
             }
-            // Borrows the store's columns outright when the selection
-            // covers the whole campaign; materializes only true subsets.
-            let down = sel.gather_view(ookla.down());
-            let up = sel.gather_view(ookla.up());
+            // Borrows the store's column outright when the selection
+            // covers a whole single-segment campaign; materializes only
+            // true subsets and multi-segment stores.
+            let down_col = ookla.down();
+            let up_col = ookla.up();
+            let down = sel.gather_view(&down_col);
+            let up = sel.gather_view(&up_col);
             if let Ok(model) = BstModel::fit(&down, &up, &catalog, &cfg, &mut rng) {
                 for (j, i) in sel.iter().enumerate() {
                     ookla_tiers[i] = model.assignments[j].tier;
@@ -96,7 +130,9 @@ impl CityAnalysis {
                 ookla_models.push((platform, model));
             }
         }
-        ookla.set_assignments(ookla_tiers, ookla_caps, &catalog);
+        ookla
+            .set_assignments(ookla_tiers, ookla_caps, &catalog)
+            .expect("assignments are scattered exactly once per fit");
 
         let mlab_model = fit_campaign(&mlab, &catalog, &cfg, &mut rng);
         let mba_model = fit_campaign(&mba, &catalog, &cfg, &mut rng);
@@ -106,15 +142,7 @@ impl CityAnalysis {
             }
         }
 
-        CityAnalysis {
-            config: dataset.config,
-            ookla,
-            mlab,
-            mba,
-            ookla_models,
-            mlab_model,
-            mba_model,
-        }
+        CityAnalysis { config, ookla, mlab, mba, ookla_models, mlab_model, mba_model }
     }
 
     /// The city's plan catalog.
@@ -142,7 +170,7 @@ impl CityAnalysis {
 /// store (all-`None` when the campaign is too thin or the fit fails, so
 /// downstream readers never observe an unassigned store).
 fn fit_campaign(
-    store: &CampaignStore,
+    store: &SegmentedStore,
     catalog: &PlanCatalog,
     cfg: &BstConfig,
     rng: &mut StdRng,
@@ -153,7 +181,9 @@ fn fit_campaign(
     let (model, (tiers, cap_idx)) = if n < 30 {
         (None, none())
     } else {
-        match BstModel::fit(store.down(), store.up(), catalog, cfg, rng) {
+        let down = store.down().view();
+        let up = store.up().view();
+        match BstModel::fit(&down, &up, catalog, cfg, rng) {
             Ok(model) => {
                 let cap_idx = model
                     .assignments
@@ -171,7 +201,7 @@ fn fit_campaign(
             Err(_) => (None, none()),
         }
     };
-    store.set_assignments(tiers, cap_idx, catalog);
+    store.set_assignments(tiers, cap_idx, catalog).expect("each campaign fits exactly once");
     model
 }
 
@@ -206,14 +236,14 @@ mod tests {
     #[test]
     fn assignments_cover_most_measurements() {
         let a = analysis();
-        let tiers = &a.ookla.assigned().tier;
+        let tiers = a.ookla.assigned_tier();
         let assigned = tiers.iter().filter(|t| t.is_some()).count();
         assert!(
             assigned as f64 / tiers.len() as f64 > 0.7,
             "only {assigned}/{} Ookla tests assigned",
             tiers.len()
         );
-        let mba_tiers = &a.mba.assigned().tier;
+        let mba_tiers = a.mba.assigned_tier();
         let mba_assigned = mba_tiers.iter().filter(|t| t.is_some()).count();
         assert!(mba_assigned as f64 / mba_tiers.len() as f64 > 0.9);
     }
@@ -222,7 +252,7 @@ mod tests {
     fn assigned_tiers_mostly_match_truth_on_mba() {
         let a = analysis();
         let (mut ok, mut n) = (0usize, 0usize);
-        for (truth, t) in a.mba.truth_tier().iter().zip(&a.mba.assigned().tier) {
+        for (truth, t) in a.mba.truth_tier().iter().zip(a.mba.assigned_tier().iter()) {
             if let (Some(truth), Some(got)) = (truth, t) {
                 n += 1;
                 // Score the upload *group*, the Table 2 criterion.
@@ -240,8 +270,7 @@ mod tests {
     #[test]
     fn normalized_download_is_in_unit_interval() {
         let a = analysis();
-        let asg = a.ookla.assigned();
-        for (t, nd) in asg.tier.iter().zip(&asg.normalized_down) {
+        for (t, nd) in a.ookla.assigned_tier().iter().zip(a.ookla.normalized_down().iter()) {
             if t.is_some() {
                 assert!((0.0..=1.0).contains(nd), "assigned rows normalize into [0, 1]");
             } else {
@@ -257,8 +286,7 @@ mod tests {
         assert_eq!(a.group_index(6), Some(3));
         assert_eq!(a.group_index(99), None);
         // The scattered group column agrees with the catalog mapping.
-        let asg = a.ookla.assigned();
-        for (t, g) in asg.tier.iter().zip(&asg.group_idx) {
+        for (t, g) in a.ookla.assigned_tier().iter().zip(a.ookla.group_idx().iter()) {
             let expect = t.and_then(|t| a.group_index(t)).map(|g| g as i32).unwrap_or(-1);
             assert_eq!(*g, expect);
         }
@@ -363,6 +391,42 @@ mod tests {
         let native = a.ookla.native_sel();
         let web = a.ookla.platform_sel(Platform::Web);
         assert_eq!(native.len() + web.len(), a.ookla.len());
-        assert!(native.and(web).is_empty());
+        assert!(native.and(&web).is_empty());
+    }
+
+    #[test]
+    fn chunked_ingest_fits_identical_models() {
+        // The tentpole equivalence at the analysis layer: chunk-ingested
+        // multi-segment stores must fit bit-identical models to the
+        // batch single-segment path (generated campaigns are clean, so
+        // incremental sanitize accepts every row unchanged).
+        let ds = CityDataset::generate(City::A, 0.004, 99);
+        let reg = st_obs::Registry::disabled();
+        let mut stores = Vec::new();
+        for records in [&ds.ookla, &ds.mlab, &ds.mba] {
+            let mut store = SegmentedStore::builder(200);
+            for chunk in records.chunks(77) {
+                store.append_chunk(chunk.to_vec()).unwrap();
+            }
+            store.freeze();
+            stores.push(store);
+        }
+        assert!(stores[0].num_segments() > 1, "scale must produce a multi-segment Ookla store");
+        let mba = stores.pop().unwrap();
+        let mlab = stores.pop().unwrap();
+        let ookla = stores.pop().unwrap();
+        let chunked = CityAnalysis::from_stores(ds.config.clone(), ookla, mlab, mba, 7, &reg);
+        let batch = CityAnalysis::new(ds, 7);
+        assert_eq!(batch.ookla_models.len(), chunked.ookla_models.len());
+        for ((p1, m1), (p2, m2)) in batch.ookla_models.iter().zip(&chunked.ookla_models) {
+            assert_eq!(p1, p2);
+            assert_eq!(m1.assignments, m2.assignments);
+        }
+        assert_eq!(
+            batch.mba_model.as_ref().map(|m| &m.assignments),
+            chunked.mba_model.as_ref().map(|m| &m.assignments)
+        );
+        assert_eq!(batch.ookla.assigned_tier().to_vec(), chunked.ookla.assigned_tier().to_vec());
+        assert_eq!(batch.ookla.group_idx().to_vec(), chunked.ookla.group_idx().to_vec());
     }
 }

@@ -38,21 +38,23 @@ pub fn run(a: &CityAnalysis) -> (CdfResult, LatencySummary) {
 
     let mut series = Vec::new();
     let mut medians = Vec::new();
-    for (label, vals) in [("Idle RTT", idle), ("Loaded RTT", loaded)] {
-        if let Some((s, m)) = ecdf_series(label, vals) {
+    for (label, vals) in [("Idle RTT", &idle), ("Loaded RTT", &loaded)] {
+        if let Some((s, m)) = ecdf_series(label, &vals.contiguous()) {
             series.push(s);
             medians.push(m);
         }
     }
 
     let groups = a.catalog().tier_groups();
-    let group_sels = &store.assigned().group_sels;
     let bloat_by_group = groups
         .iter()
         .enumerate()
         .map(|(gi, g)| {
-            let bloat: Vec<f64> =
-                group_sels[gi].iter().map(|i| (loaded[i] - idle[i]).max(0.0)).collect();
+            let bloat: Vec<f64> = store
+                .group_sel(gi)
+                .iter()
+                .map(|i| (loaded.get(i) - idle.get(i)).max(0.0))
+                .collect();
             (g.label(), median(bloat))
         })
         .collect();
@@ -114,7 +116,7 @@ mod tests {
     #[test]
     fn bloat_is_nonnegative_per_measurement() {
         let a = analysis();
-        for (loaded, idle) in a.ookla.loaded_rtt().iter().zip(a.ookla.rtt()) {
+        for (loaded, idle) in a.ookla.loaded_rtt().iter().zip(a.ookla.rtt().iter()) {
             assert!(*loaded >= idle - 1e-9, "loaded {loaded} < idle {idle}");
         }
     }

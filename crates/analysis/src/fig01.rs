@@ -9,13 +9,14 @@
 use crate::context::{ecdf_series, CityAnalysis};
 use crate::results::CdfResult;
 use st_speedtest::store::{BAND_5, MEMORY_NONE};
-use st_speedtest::{Platform, Selection};
+use st_speedtest::Platform;
 
 /// Compute the Figure 1 series for a city.
 pub fn run(a: &CityAnalysis) -> CdfResult {
     let top = a.catalog().len();
     let store = &a.ookla;
-    let tier = &store.assigned().tier;
+    let tier = store.assigned_tier();
+    let down = store.down();
     let mut series = Vec::new();
     let mut medians = Vec::new();
 
@@ -27,18 +28,18 @@ pub fn run(a: &CityAnalysis) -> CdfResult {
     };
 
     // Uncontextualized: every Ookla test.
-    push("Uncontextualized", store.down());
+    push("Uncontextualized", &down.contiguous());
 
     // Lowest tier (Tier 1).
     push(
         &format!("Tier 1: {:.0} Mbps", a.plan_down(1).map(|p| p.0).unwrap_or(0.0)),
-        &Selection::from_pred(store.len(), |i| tier[i] == Some(1)).gather(store.down()),
+        &store.from_pred(|i| tier.get(i) == Some(1)).gather(&down),
     );
 
     // Top tier.
     push(
         &format!("Tier {top}: {:.0} Mbps", a.plan_down(top).map(|p| p.0).unwrap_or(0.0)),
-        &Selection::from_pred(store.len(), |i| tier[i] == Some(top)).gather(store.down()),
+        &store.from_pred(|i| tier.get(i) == Some(top)).gather(&down),
     );
 
     // Top tier, Android, no local bottleneck (5 GHz, ≥ -50 dBm, > 2 GB).
@@ -48,12 +49,12 @@ pub fn run(a: &CityAnalysis) -> CdfResult {
         &store
             .platform_sel(Platform::AndroidApp)
             .refine(|i| {
-                tier[i] == Some(top)
-                    && band[i] == BAND_5
-                    && rssi[i] >= -50.0
-                    && memory[i] > MEMORY_NONE + 1 // reported and above "< 2 GB"
+                tier.get(i) == Some(top)
+                    && band.get(i) == BAND_5
+                    && rssi.get(i) >= -50.0
+                    && memory.get(i) > MEMORY_NONE + 1 // reported and above "< 2 GB"
             })
-            .gather(store.down()),
+            .gather(&down),
     );
 
     // Top tier on Ethernet.
@@ -61,8 +62,8 @@ pub fn run(a: &CityAnalysis) -> CdfResult {
         &format!("Tier {top}-Ethernet"),
         &store
             .platform_sel(Platform::DesktopEthernetApp)
-            .refine(|i| tier[i] == Some(top))
-            .gather(store.down()),
+            .refine(|i| tier.get(i) == Some(top))
+            .gather(&down),
     );
 
     CdfResult {

@@ -21,9 +21,9 @@ pub fn run(a: &CityAnalysis) -> CdfResult {
     let (user, down, up) = (store.user_id(), store.down(), store.up());
     let mut per_user: HashMap<u64, (Vec<f64>, Vec<f64>)> = HashMap::new();
     for i in store.platform_sel(Platform::IosApp).iter() {
-        let entry = per_user.entry(user[i]).or_default();
-        entry.0.push(down[i]);
-        entry.1.push(up[i]);
+        let entry = per_user.entry(user.get(i)).or_default();
+        entry.0.push(down.get(i));
+        entry.1.push(up.get(i));
     }
 
     let mut down_factors = Vec::new();

@@ -9,14 +9,14 @@ use st_stats::KernelDensity;
 
 /// Compute the MBA upload-density figure for a state.
 pub fn run(a: &CityAnalysis) -> DensityResult {
-    let uploads = a.mba.up();
+    let uploads = a.mba.up().view();
     let caps: Vec<f64> = a.catalog().upload_caps().iter().map(|c| c.0).collect();
 
     let mut series = Vec::new();
     let mut notes = Vec::new();
     // Halved Silverman bandwidth, as in BST's peak counting: the upload
     // distribution is multi-scale and the global rule over-smooths.
-    match KernelDensity::fit(uploads, st_stats::kde::scaled_silverman(0.5)) {
+    match KernelDensity::fit(&uploads, st_stats::kde::scaled_silverman(0.5)) {
         Ok(kde) => match kde.auto_grid(400) {
             Ok(grid) => series.push(SeriesData::new("MBA uploads", grid)),
             Err(e) => notes.push(format!("KDE grid failed for MBA uploads: {e}")),

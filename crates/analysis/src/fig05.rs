@@ -13,17 +13,16 @@ use st_stats::{Bandwidth, KernelDensity};
 /// One density figure per tier group of the state's catalog.
 pub fn run(a: &CityAnalysis) -> Vec<DensityResult> {
     let Some(model) = &a.mba_model else { return Vec::new() };
-    let cap_sels = &a.mba.assigned().cap_sels;
 
     let mut out = Vec::new();
     for (gi, group) in a.catalog().tier_groups().iter().enumerate() {
         // Tier groups and upload caps share one ascending order, so the
         // group's memoized cap selection is the stage-1 cluster members.
-        let members = &cap_sels[gi];
+        let members = a.mba.cap_sel(gi);
         if members.len() < 10 {
             continue;
         }
-        let values = members.gather(a.mba.down());
+        let values = members.gather(&a.mba.down());
         let mut series = Vec::new();
         if let Ok(kde) = KernelDensity::fit(&values, Bandwidth::Silverman) {
             if let Ok(grid) = kde.auto_grid(400) {

@@ -29,9 +29,10 @@ pub fn run(a: &CityAnalysis) -> DensityResult {
         }
     };
 
-    add("Ookla-Android", &a.ookla.platform_sel(Platform::AndroidApp).gather_view(a.ookla.up()));
-    add("Ookla-Web", &a.ookla.platform_sel(Platform::Web).gather_view(a.ookla.up()));
-    add("MLab-Web", a.mlab.up());
+    let ookla_up = a.ookla.up();
+    add("Ookla-Android", &a.ookla.platform_sel(Platform::AndroidApp).gather_view(&ookla_up));
+    add("Ookla-Web", &a.ookla.platform_sel(Platform::Web).gather_view(&ookla_up));
+    add("MLab-Web", &a.mlab.up().view());
 
     DensityResult {
         id: "fig06".into(),

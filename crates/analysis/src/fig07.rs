@@ -15,17 +15,16 @@ pub fn run(a: &CityAnalysis) -> Vec<DensityResult> {
         return Vec::new();
     };
     let android = a.ookla.platform_sel(Platform::AndroidApp);
-    let cap_sels = &a.ookla.assigned().cap_sels;
 
     let mut out = Vec::new();
     for (gi, group) in a.catalog().tier_groups().iter().enumerate() {
         // Android rows whose stage-1 upload cluster matched this group's
         // cap: the memoized per-cap selection narrowed to the platform.
-        let members = cap_sels[gi].and(android);
+        let members = a.ookla.cap_sel(gi).and(&android);
         if members.len() < 10 {
             continue;
         }
-        let values = members.gather(a.ookla.down());
+        let values = members.gather(&a.ookla.down());
         let mut series = Vec::new();
         if let Ok(kde) = KernelDensity::fit(&values, Bandwidth::Silverman) {
             if let Ok(grid) = kde.auto_grid(400) {

@@ -11,8 +11,12 @@ use st_bst::{alpha_values, AlphaConfig};
 /// Compute the α CDF for a city's Ookla campaign.
 pub fn run(a: &CityAnalysis) -> CdfResult {
     let months: Vec<usize> = a.ookla.month().iter().map(|&m| m as usize).collect();
-    let alphas =
-        alpha_values(a.ookla.user_id(), &months, &a.ookla.assigned().tier, &AlphaConfig::default());
+    let alphas = alpha_values(
+        &a.ookla.user_id().contiguous(),
+        &months,
+        &a.ookla.assigned_tier().contiguous(),
+        &AlphaConfig::default(),
+    );
 
     let mut series = Vec::new();
     let mut medians = Vec::new();

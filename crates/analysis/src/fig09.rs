@@ -39,15 +39,16 @@ fn build(a: &CityAnalysis, id: &str, title: &str, groups: Vec<(String, Vec<f64>)
 /// Normalized downloads of tier-assigned native tests matching `pred`
 /// (one predicate pass over the native selection).
 fn normalized(a: &CityAnalysis, pred: impl Fn(usize) -> bool) -> Vec<f64> {
-    let asg = a.ookla.assigned();
-    a.ookla.native_sel().refine(|i| pred(i) && asg.tier[i].is_some()).gather(&asg.normalized_down)
+    let tier = a.ookla.assigned_tier();
+    let nd = a.ookla.normalized_down();
+    a.ookla.native_sel().refine(|i| pred(i) && tier.get(i).is_some()).gather(&nd)
 }
 
 /// Panel (a): access type.
 pub fn panel_a(a: &CityAnalysis) -> CdfResult {
     let access = a.ookla.access_class();
-    let wifi = normalized(a, |i| access[i] == ACCESS_WIFI);
-    let eth = normalized(a, |i| access[i] == ACCESS_ETHERNET);
+    let wifi = normalized(a, |i| access.get(i) == ACCESS_WIFI);
+    let eth = normalized(a, |i| access.get(i) == ACCESS_ETHERNET);
     build(
         a,
         "fig09a",
@@ -59,9 +60,9 @@ pub fn panel_a(a: &CityAnalysis) -> CdfResult {
 /// Panel (b): WiFi band (Android only — the platform that reports it).
 pub fn panel_b(a: &CityAnalysis) -> CdfResult {
     let (platform, band) = (a.ookla.platform(), a.ookla.wifi_band());
-    let android = |i: usize| platform[i] == Platform::AndroidApp;
-    let g24 = normalized(a, |i| android(i) && band[i] == BAND_2_4);
-    let g5 = normalized(a, |i| android(i) && band[i] == BAND_5);
+    let android = |i: usize| platform.get(i) == Platform::AndroidApp;
+    let g24 = normalized(a, |i| android(i) && band.get(i) == BAND_2_4);
+    let g5 = normalized(a, |i| android(i) && band.get(i) == BAND_5);
     build(
         a,
         "fig09b",
@@ -85,10 +86,10 @@ pub fn panel_c(a: &CityAnalysis) -> CdfResult {
         .iter()
         .map(|&(label, lo, hi)| {
             let vals = normalized(a, |i| {
-                platform[i] == Platform::AndroidApp
-                    && band[i] == BAND_5
-                    && rssi[i] >= lo
-                    && rssi[i] < hi
+                platform.get(i) == Platform::AndroidApp
+                    && band.get(i) == BAND_5
+                    && rssi.get(i) >= lo
+                    && rssi.get(i) < hi
             });
             (label.to_string(), vals)
         })
@@ -104,10 +105,10 @@ pub fn panel_d(a: &CityAnalysis) -> CdfResult {
         .iter()
         .map(|&class| {
             let vals = normalized(a, |i| {
-                platform[i] == Platform::AndroidApp
-                    && band[i] == BAND_5
-                    && rssi[i] >= -50.0
-                    && memory[i] == memory_code(class)
+                platform.get(i) == Platform::AndroidApp
+                    && band.get(i) == BAND_5
+                    && rssi.get(i) >= -50.0
+                    && memory.get(i) == memory_code(class)
             });
             (class.label().to_string(), vals)
         })

@@ -35,22 +35,23 @@ pub fn run(a: &CityAnalysis) -> (CdfResult, BottleneckShares) {
     let store = &a.ookla;
     let android = store.platform_sel(Platform::AndroidApp);
     let (band, rssi, memory) = (store.wifi_band(), store.rssi_dbm(), store.memory_class());
-    let asg = store.assigned();
+    let (tier, nd) = (store.assigned_tier(), store.normalized_down());
     let mut best = Vec::new();
     let mut bottleneck = Vec::new();
     let mut n_bottleneck = 0usize;
     for i in android.iter() {
         // Column form of [`is_best`]: 5 GHz, strong signal, > 2 GB memory.
-        let row_is_best = band[i] == BAND_5 && rssi[i] >= -50.0 && memory[i] > MEMORY_NONE + 1;
-        let assigned = asg.tier[i].is_some();
+        let row_is_best =
+            band.get(i) == BAND_5 && rssi.get(i) >= -50.0 && memory.get(i) > MEMORY_NONE + 1;
+        let assigned = tier.get(i).is_some();
         if row_is_best {
             if assigned {
-                best.push(asg.normalized_down[i]);
+                best.push(nd.get(i));
             }
         } else {
             n_bottleneck += 1;
             if assigned {
-                bottleneck.push(asg.normalized_down[i]);
+                bottleneck.push(nd.get(i));
             }
         }
     }

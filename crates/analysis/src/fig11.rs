@@ -22,10 +22,10 @@ pub struct TimeOfDayVolume {
 /// Compute the Figure 11 volumes for a city.
 pub fn run(a: &CityAnalysis) -> (TimeOfDayVolume, TableResult) {
     let tier_groups = a.catalog().tier_groups();
-    let group_idx = &a.ookla.assigned().group_idx;
+    let group_idx = a.ookla.group_idx();
     let time_bin = a.ookla.time_bin();
     let mut counts = vec![[0usize; 4]; tier_groups.len()];
-    for (g, tb) in group_idx.iter().zip(time_bin) {
+    for (g, tb) in group_idx.iter().zip(time_bin.iter()) {
         if *g >= 0 {
             counts[*g as usize][*tb as usize] += 1;
         }

@@ -13,11 +13,11 @@ use st_stats::ks_test;
 /// Normalized downloads of one tier group, split by six-hour bin (one
 /// pass over the group's memoized selection).
 fn group_by_bin(a: &CityAnalysis, gi: usize) -> [Vec<f64>; 4] {
-    let asg = a.ookla.assigned();
+    let nd = a.ookla.normalized_down();
     let time_bin = a.ookla.time_bin();
     let mut by_bin: [Vec<f64>; 4] = Default::default();
-    for i in asg.group_sels[gi].iter() {
-        by_bin[time_bin[i] as usize].push(asg.normalized_down[i]);
+    for i in a.ookla.group_sel(gi).iter() {
+        by_bin[time_bin.get(i) as usize].push(nd.get(i));
     }
     by_bin
 }

@@ -29,14 +29,14 @@ pub struct VendorGap {
 /// One CDF panel per tier group, plus the per-group median gaps.
 pub fn run(a: &CityAnalysis) -> (Vec<CdfResult>, Vec<VendorGap>) {
     let tier_groups = a.catalog().tier_groups();
-    let ookla_asg = a.ookla.assigned();
-    let mlab_asg = a.mlab.assigned();
+    let ookla_nd = a.ookla.normalized_down();
+    let mlab_nd = a.mlab.normalized_down();
     let mut panels = Vec::new();
     let mut gaps = Vec::new();
 
     for (gi, group) in tier_groups.iter().enumerate() {
-        let ookla = ookla_asg.group_sels[gi].gather(&ookla_asg.normalized_down);
-        let mlab = mlab_asg.group_sels[gi].gather(&mlab_asg.normalized_down);
+        let ookla = a.ookla.group_sel(gi).gather(&ookla_nd);
+        let mlab = a.mlab.group_sel(gi).gather(&mlab_nd);
 
         let mut series = Vec::new();
         let mut medians = Vec::new();

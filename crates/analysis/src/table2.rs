@@ -29,7 +29,7 @@ pub fn run(analyses: &[&CityAnalysis]) -> (TableResult, Vec<StateAccuracy>) {
     let mut stats = Vec::new();
     for a in analyses {
         let Some(model) = &a.mba_model else { continue };
-        let ev = evaluate(model, a.mba.truth_tier(), a.catalog());
+        let ev = evaluate(model, &a.mba.truth_tier().contiguous(), a.catalog());
         stats.push(StateAccuracy {
             state: a.config.city.state_label().to_string(),
             units: a.config.mba_units,

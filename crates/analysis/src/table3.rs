@@ -31,9 +31,9 @@ pub fn run(a: &CityAnalysis) -> (TableResult, Vec<PlatformClusters>) {
     // group index == cap index.
     for platform in Platform::all() {
         let (model, counts) = if platform == Platform::NdtWeb {
-            (a.mlab_model.as_ref(), a.mlab.cap_counts(a.mlab.platform_sel(platform)))
+            (a.mlab_model.as_ref(), a.mlab.cap_counts(&a.mlab.platform_sel(platform)))
         } else {
-            (a.ookla_model(platform), a.ookla.cap_counts(a.ookla.platform_sel(platform)))
+            (a.ookla_model(platform), a.ookla.cap_counts(&a.ookla.platform_sel(platform)))
         };
         let Some(model) = model else { continue };
         let row = PlatformClusters {

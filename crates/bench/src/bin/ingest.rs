@@ -1,0 +1,340 @@
+//! Replay a campaign as an incremental chunk stream and regenerate every
+//! table and figure from the segmented stores.
+//!
+//! ```text
+//! ingest [--scale S] [--seed N] [--out DIR] [--parallelism P]
+//!        [--chunk-rows C] [--seal-rows R] [--metrics]
+//!        [--baseline METRICS.json] [--wall-ratio R] [--wall-floor S]
+//! ```
+//!
+//! The batch `repro` binary wraps each sanitized campaign in one sealed
+//! segment; this binary instead splits each campaign into `C`-row chunks
+//! and appends them to `st_speedtest::SegmentedStore`s in a
+//! seed-scheduled interleave, sanitizing incrementally per chunk and
+//! sealing immutable segments every `R` accepted rows. The frozen stores
+//! then flow through the same fit, derive, and render stages.
+//!
+//! The point of the exercise is the identity it proves: the artifact set
+//! written here is byte-identical to a batch `repro` run at the same
+//! scale and seed — for any chunk size, any seal threshold, and any
+//! parallelism. The appended `BENCH_ledger.jsonl` row (schema
+//! `st-ingest/v1`) carries the artifact hash plus chunk/segment counts
+//! and ingest throughput, so the identity is checkable straight from the
+//! ledger: an ingest row and a batch row with equal `artifact_hash`
+//! produced the same bytes.
+//!
+//! Outputs mirror `repro`: `DIR/<id>.svg`, `DIR/<id>.json`, `report.md`,
+//! `BENCH_timings.json`, `BENCH_trace.json`, `BENCH_metrics.json` (with
+//! `--metrics`), and the appended ledger row. `--baseline` diffs the
+//! run's metrics against a previous `BENCH_metrics.json` exactly as
+//! `repro` does: deterministic drift fails the run, wall-clock deltas
+//! only warn.
+
+use serde::Serialize;
+use st_bench::diff::{diff_metrics, DiffOptions, MetricsDoc};
+use st_bench::ledger::{append_ledger, IngestLedgerRow};
+use st_bench::{
+    build_analyses_ingest, render_report, run_all_observed, IngestOptions, StageTimings,
+    SuperviseOptions,
+};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    scale: f64,
+    seed: u64,
+    out: PathBuf,
+    parallelism: usize,
+    ingest: IngestOptions,
+    metrics: bool,
+    baseline: Option<PathBuf>,
+    diff_options: DiffOptions,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: 0.05,
+        seed: 20220707,
+        out: PathBuf::from("ingest-out"),
+        parallelism: st_datagen::par::default_parallelism(),
+        ingest: IngestOptions::default(),
+        metrics: false,
+        baseline: None,
+        diff_options: DiffOptions::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--scale" => {
+                args.scale = value("--scale")?.parse().map_err(|e| format!("bad --scale: {e}"))?;
+                if !(args.scale > 0.0 && args.scale <= 1.0) {
+                    return Err("--scale must be in (0, 1]".into());
+                }
+            }
+            "--seed" => {
+                args.seed = value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--parallelism" => {
+                args.parallelism = value("--parallelism")?
+                    .parse()
+                    .map_err(|e| format!("bad --parallelism: {e}"))?;
+                if args.parallelism == 0 {
+                    return Err("--parallelism must be >= 1".into());
+                }
+            }
+            "--chunk-rows" => {
+                args.ingest.chunk_rows =
+                    value("--chunk-rows")?.parse().map_err(|e| format!("bad --chunk-rows: {e}"))?;
+                if args.ingest.chunk_rows == 0 {
+                    return Err("--chunk-rows must be >= 1".into());
+                }
+            }
+            "--seal-rows" => {
+                args.ingest.seal_rows =
+                    value("--seal-rows")?.parse().map_err(|e| format!("bad --seal-rows: {e}"))?;
+                if args.ingest.seal_rows == 0 {
+                    return Err("--seal-rows must be >= 1".into());
+                }
+            }
+            "--metrics" => args.metrics = true,
+            "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--wall-ratio" => {
+                args.diff_options.wall_ratio =
+                    value("--wall-ratio")?.parse().map_err(|e| format!("bad --wall-ratio: {e}"))?;
+                if args.diff_options.wall_ratio < 1.0 || args.diff_options.wall_ratio.is_nan() {
+                    return Err("--wall-ratio must be >= 1.0".into());
+                }
+            }
+            "--wall-floor" => {
+                args.diff_options.wall_floor_s =
+                    value("--wall-floor")?.parse().map_err(|e| format!("bad --wall-floor: {e}"))?;
+                if args.diff_options.wall_floor_s < 0.0 || args.diff_options.wall_floor_s.is_nan() {
+                    return Err("--wall-floor must be >= 0".into());
+                }
+            }
+            "--help" | "-h" => {
+                return Err("usage: ingest [--scale S] [--seed N] [--out DIR] [--parallelism P] \
+                     [--chunk-rows C] [--seal-rows R] [--metrics] \
+                     [--baseline METRICS.json] [--wall-ratio R] [--wall-floor S]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The machine-readable timing record written next to the artifacts.
+#[derive(Serialize)]
+struct BenchRecord {
+    scale: f64,
+    seed: u64,
+    parallelism: usize,
+    chunk_rows: usize,
+    seal_rows: usize,
+    timings: StageTimings,
+    ingest_s: f64,
+}
+
+/// The `BENCH_metrics.json` schema, as written by `repro`.
+#[derive(Serialize)]
+struct MetricsRecord {
+    schema: &'static str,
+    scale: f64,
+    seed: u64,
+    parallelism: usize,
+    deterministic: st_obs::DeterministicMetrics,
+    wall_clock: st_obs::WallClockMetrics,
+}
+
+/// Write one output file. Failures warn (with the path) and are counted
+/// so the run can exit nonzero instead of silently dropping artifacts.
+fn write_file(path: &Path, contents: &str, failures: &mut usize) -> bool {
+    match std::fs::write(path, contents) {
+        Ok(()) => true,
+        Err(e) => {
+            *failures += 1;
+            eprintln!("WARN: cannot write {}: {e}", path.display());
+            false
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "replaying 4 cities at scale {} (seed {}, parallelism {}, chunks of {}, seal at {}) ...",
+        args.scale, args.seed, args.parallelism, args.ingest.chunk_rows, args.ingest.seal_rows
+    );
+    let t0 = std::time::Instant::now();
+    let obs = st_obs::Registry::new();
+    let (analyses, timings, sanitize, ingest) =
+        build_analyses_ingest(args.scale, args.seed, args.parallelism, args.ingest, &obs);
+    eprintln!(
+        "ingested {} rows in {} chunks ({} segments sealed) in {:.1}s; running experiments ...",
+        ingest.rows, ingest.chunks, ingest.segments, ingest.ingest_s
+    );
+
+    let opts = SuperviseOptions { parallelism: args.parallelism, ..SuperviseOptions::default() };
+    let report = run_all_observed(&analyses, args.scale, args.seed, &opts, timings, sanitize, &obs);
+    let claims = st_bench::claims::check_all(&analyses);
+
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("cannot create {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    let mut written = 0usize;
+    let mut write_failures = 0usize;
+    for a in &report.artifacts {
+        if let Some(svg) = &a.svg {
+            if write_file(&args.out.join(format!("{}.svg", a.id)), svg, &mut write_failures) {
+                written += 1;
+            }
+        }
+        if write_file(&args.out.join(format!("{}.json", a.id)), &a.json, &mut write_failures) {
+            written += 1;
+        }
+    }
+
+    let bench = BenchRecord {
+        scale: args.scale,
+        seed: args.seed,
+        parallelism: args.parallelism,
+        chunk_rows: args.ingest.chunk_rows,
+        seal_rows: args.ingest.seal_rows,
+        timings: report.timings,
+        ingest_s: ingest.ingest_s,
+    };
+    let timings_path = args.out.join("BENCH_timings.json");
+    let timings_json = serde_json::to_string_pretty(&bench).expect("timings serialize");
+    if write_file(&timings_path, &timings_json, &mut write_failures) {
+        written += 1;
+        eprintln!("wrote {}", timings_path.display());
+    }
+
+    let snapshot = report.metrics.as_ref().expect("observed run carries metrics");
+    let record = MetricsRecord {
+        schema: snapshot.schema,
+        scale: args.scale,
+        seed: args.seed,
+        parallelism: args.parallelism,
+        deterministic: snapshot.deterministic.clone(),
+        wall_clock: snapshot.wall_clock.clone(),
+    };
+    let metrics_json = serde_json::to_string_pretty(&record).expect("metrics serialize");
+    if args.metrics {
+        let metrics_path = args.out.join("BENCH_metrics.json");
+        if write_file(&metrics_path, &metrics_json, &mut write_failures) {
+            written += 1;
+            eprintln!("wrote {}", metrics_path.display());
+        }
+    }
+
+    let trace_path = args.out.join("BENCH_trace.json");
+    let trace_json = obs.trace().to_chrome_json(&format!(
+        "ingest scale={} seed={} chunk_rows={}",
+        args.scale, args.seed, args.ingest.chunk_rows
+    ));
+    if write_file(&trace_path, &trace_json, &mut write_failures) {
+        written += 1;
+        eprintln!("wrote {}", trace_path.display());
+    }
+
+    let ledger_path = args.out.join("BENCH_ledger.jsonl");
+    let row = IngestLedgerRow::from_report(
+        &report,
+        args.parallelism,
+        args.ingest.chunk_rows,
+        args.ingest.seal_rows,
+        &ingest,
+    );
+    match append_ledger(&ledger_path, &row) {
+        Ok(()) => eprintln!("appended ingest ledger row to {}", ledger_path.display()),
+        Err(e) => {
+            write_failures += 1;
+            eprintln!("WARN: cannot append to {}: {e}", ledger_path.display());
+        }
+    }
+
+    let mut md = render_report(&report);
+    md.push_str("\n## Shape claims (paper vs this run)\n\n");
+    md.push_str(&st_bench::claims::render_claims(&claims));
+    let holds = claims.iter().filter(|c| c.holds).count();
+    md.push_str(&format!("\n{holds}/{} claims hold\n", claims.len()));
+    if let Err(e) = std::fs::write(args.out.join("report.md"), &md) {
+        eprintln!("cannot write report: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    println!("{md}");
+
+    let mut baseline_drift = false;
+    if let Some(baseline_path) = &args.baseline {
+        let baseline_text = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline_doc = match MetricsDoc::parse(&baseline_text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("baseline {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let current_doc = MetricsDoc::parse(&metrics_json).expect("own snapshot parses");
+        let diff = diff_metrics(&baseline_doc, &current_doc, args.diff_options);
+        println!("{}", diff.render(&baseline_doc, &current_doc));
+        if diff.deterministic_match() {
+            eprintln!(
+                "baseline {}: deterministic metrics match ({} keys)",
+                baseline_path.display(),
+                diff.matched_keys
+            );
+        } else {
+            baseline_drift = true;
+            eprintln!(
+                "BASELINE DRIFT: {} deterministic keys differ from {}",
+                diff.drift.len(),
+                baseline_path.display()
+            );
+        }
+    }
+
+    eprintln!(
+        "generate {:.1}s | ingest {:.1}s ({:.0} rows/s) | fit {:.1}s | derive {:.1}s | render {:.1}s",
+        report.timings.generate_s,
+        ingest.ingest_s,
+        row.rows_per_s,
+        report.timings.fit_s,
+        report.timings.derive_s,
+        report.timings.render_s
+    );
+    eprintln!("wrote {} files to {} in {:.1?}", written + 1, args.out.display(), t0.elapsed());
+    if write_failures > 0 {
+        eprintln!("WRITE FAILURES: {write_failures} output files could not be written");
+    }
+    if report.health.is_degraded() {
+        let h = &report.health;
+        eprintln!(
+            "DEGRADED: {} of {} render jobs failed ({} retried); see the report's Health section",
+            h.jobs_failed, h.jobs_total, h.jobs_retried
+        );
+        return ExitCode::FAILURE;
+    }
+    if baseline_drift || write_failures > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

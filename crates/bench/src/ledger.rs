@@ -27,6 +27,9 @@ pub const LEDGER_SCHEMA: &str = "st-ledger/v1";
 /// Schema tag stamped on every `wire-load` campaign row.
 pub const LOAD_LEDGER_SCHEMA: &str = "st-load/v1";
 
+/// Schema tag stamped on every `ingest` replay row.
+pub const INGEST_LEDGER_SCHEMA: &str = "st-ingest/v1";
+
 /// FNV-1a offset basis (matches the golden-identity test).
 pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 /// FNV-1a prime (matches the golden-identity test).
@@ -127,6 +130,110 @@ impl LedgerRow {
             fit_s: report.timings.fit_s,
             derive_s: report.timings.derive_s,
             render_s: report.timings.render_s,
+        }
+    }
+}
+
+/// One incremental-ingest replay's summary row (schema
+/// [`INGEST_LEDGER_SCHEMA`]). `artifact_hash` uses the same FNV-1a scheme
+/// as [`LedgerRow`], so an ingest row can be compared field-for-field
+/// against a batch row: equal hashes mean the chunked replay reproduced
+/// the batch artifact set byte for byte. Chunk counts and segment counts
+/// are deterministic for a given (code, scale, seed, chunk plan) tuple;
+/// the stage durations and `rows_per_s` are wall-clock class.
+#[derive(Debug, Clone, Serialize)]
+pub struct IngestLedgerRow {
+    /// Row schema tag ([`INGEST_LEDGER_SCHEMA`]).
+    pub schema: String,
+    /// The run's `--scale`.
+    pub scale: f64,
+    /// The run's `--seed`.
+    pub seed: u64,
+    /// The run's `--parallelism`.
+    pub parallelism: usize,
+    /// Rows per replayed chunk (`--chunk-rows`).
+    pub chunk_rows: usize,
+    /// Sealed-segment size threshold (`--seal-rows`).
+    pub seal_rows: usize,
+    /// Chunks appended across all campaign streams.
+    pub chunks: u64,
+    /// Rows offered to the incremental sanitizer.
+    pub rows: u64,
+    /// Sealed segments across all stores after freeze.
+    pub segments: usize,
+    /// FNV-1a hash of the artifact file set, as 16 hex digits —
+    /// comparable against batch rows and the pinned golden value.
+    pub artifact_hash: String,
+    /// Files in the hashed artifact set.
+    pub artifact_files: usize,
+    /// Artifacts produced (placeholders included).
+    pub artifacts: usize,
+    /// Headline numbers produced.
+    pub headlines: usize,
+    /// Render jobs that failed both attempts.
+    pub jobs_failed: usize,
+    /// Render jobs that survived on their retry.
+    pub jobs_retried: usize,
+    /// Records the sanitizer passed through untouched.
+    pub records_clean: u64,
+    /// Records the sanitizer repaired.
+    pub records_repaired: u64,
+    /// Records the sanitizer quarantined.
+    pub records_quarantined: u64,
+    /// Wall-clock seconds of the generate stage.
+    pub generate_s: f64,
+    /// Wall-clock seconds of the ingest stage (chunk replay + freeze).
+    pub ingest_s: f64,
+    /// Wall-clock seconds of the fit stage.
+    pub fit_s: f64,
+    /// Wall-clock seconds of the derive stage.
+    pub derive_s: f64,
+    /// Wall-clock seconds of the render stage.
+    pub render_s: f64,
+    /// Ingest throughput, rows per wall-clock second (wall-clock class).
+    pub rows_per_s: f64,
+}
+
+impl IngestLedgerRow {
+    /// Summarize one completed ingest replay.
+    pub fn from_report(
+        report: &ReproReport,
+        parallelism: usize,
+        chunk_rows: usize,
+        seal_rows: usize,
+        ingest: &crate::IngestStats,
+    ) -> IngestLedgerRow {
+        let (hash, files) = artifact_hash(&report.artifacts);
+        let s = &report.health.sanitize;
+        IngestLedgerRow {
+            schema: INGEST_LEDGER_SCHEMA.to_string(),
+            scale: report.scale,
+            seed: report.seed,
+            parallelism,
+            chunk_rows,
+            seal_rows,
+            chunks: ingest.chunks,
+            rows: ingest.rows,
+            segments: ingest.segments,
+            artifact_hash: format!("{hash:016x}"),
+            artifact_files: files,
+            artifacts: report.artifacts.len(),
+            headlines: report.headlines.len(),
+            jobs_failed: report.health.jobs_failed,
+            jobs_retried: report.health.jobs_retried,
+            records_clean: s.clean,
+            records_repaired: s.repaired,
+            records_quarantined: s.quarantined,
+            generate_s: report.timings.generate_s,
+            ingest_s: ingest.ingest_s,
+            fit_s: report.timings.fit_s,
+            derive_s: report.timings.derive_s,
+            render_s: report.timings.render_s,
+            rows_per_s: if ingest.ingest_s > 0.0 {
+                ingest.rows as f64 / ingest.ingest_s
+            } else {
+                0.0
+            },
         }
     }
 }

@@ -34,6 +34,16 @@
 //! feeding the same four numbers into [`StageTimings`] for
 //! `BENCH_timings.json`. Observation is read-only: artifacts are
 //! byte-identical with the registry enabled or disabled.
+//!
+//! Finally the pipeline has an **incremental front-end** (DESIGN.md
+//! §"Segmented store"): [`build_analyses_ingest`] replays each
+//! generated campaign into a [`st_speedtest::SegmentedStore`] as a
+//! seed-scheduled stream of [`IngestOptions::chunk_rows`]-row chunks,
+//! sanitizing per chunk and sealing immutable segments as the tail
+//! fills. Segment boundaries are a pure function of the accepted-row
+//! sequence and the seal threshold, so the rendered artifacts are
+//! byte-identical to the batch path for any chunk plan — the
+//! `ingest_identity` test pins the replay to the batch golden hash.
 
 pub mod claims;
 pub mod diff;
@@ -46,7 +56,8 @@ use st_analysis::{
 };
 use st_datagen::{City, CityDataset, DirtyScenario};
 use st_obs::{MetricsSnapshot, Registry};
-use st_speedtest::{sanitize, SanitizeReport};
+use st_speedtest::{sanitize, Measurement, SanitizeReport, SegmentedStore};
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
@@ -354,14 +365,24 @@ pub fn build_analyses_observed(
         analyses.push(analysis);
     }
 
-    // Materialize every store's lazy derived columns up front so the
-    // render jobs only ever read memoized slices. Each column is a pure
-    // function of the base columns, so building them in parallel (one
-    // job per campaign, city order preserved by `par_map`) cannot change
-    // their contents.
+    let derive_s = derive_stage(&analyses, parallelism, obs);
+
+    (
+        Arc::new(analyses),
+        StageTimings { generate_s, fit_s, derive_s, render_s: 0.0 },
+        sanitize_total,
+    )
+}
+
+/// The derive stage shared by the batch and ingest builders: materialize
+/// every store's lazy derived columns up front so the render jobs only
+/// ever read memoized slices. Each column is a pure function of the base
+/// columns, so building them in parallel (one job per campaign, city
+/// order preserved by `par_map`) cannot change their contents.
+fn derive_stage(analyses: &[CityAnalysis], parallelism: usize, obs: &Registry) -> f64 {
     obs.event("stage.start", "lifecycle", &[("stage", "derive")]);
     let derive_span = obs.span("derive");
-    let stores: Vec<(&str, &str, &st_speedtest::CampaignStore)> = analyses
+    let stores: Vec<(&str, &str, &st_speedtest::SegmentedStore)> = analyses
         .iter()
         .flat_map(|a| {
             let city = a.config.city.label();
@@ -379,11 +400,207 @@ pub fn build_analyses_observed(
     for sub in &subs {
         obs.merge(sub);
     }
+    derive_s
+}
+
+/// Knobs of the incremental ingest front-end ([`build_analyses_ingest`]).
+#[derive(Debug, Clone, Copy)]
+pub struct IngestOptions {
+    /// Rows per replayed chunk.
+    pub chunk_rows: usize,
+    /// Sealed-segment size threshold of each store's mutable tail.
+    pub seal_rows: usize,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions { chunk_rows: 2048, seal_rows: st_speedtest::DEFAULT_SEAL_ROWS }
+    }
+}
+
+/// What the ingest stage did, summed over all campaign streams.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct IngestStats {
+    /// Chunks appended across the twelve campaign streams.
+    pub chunks: u64,
+    /// Rows offered to the incremental sanitizer.
+    pub rows: u64,
+    /// Sealed segments across all stores after `freeze`.
+    pub segments: usize,
+    /// Wall-clock seconds of the ingest stage.
+    pub ingest_s: f64,
+}
+
+/// SplitMix64 step — the ingest scheduler's whole PRNG. Keeping it local
+/// (rather than an `StdRng`) pins the chunk interleave to a documented
+/// three-line recurrence that cannot drift under a rand upgrade.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-chunk ingest latency buckets, seconds (wall-clock class).
+const INGEST_CHUNK_BOUNDS: &[f64] =
+    &[0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5, 1.0];
+
+/// Like [`build_analyses_observed`] on a pristine generator, but the
+/// campaigns are *replayed* into [`st_speedtest::SegmentedStore`]s as
+/// chunk streams instead of being wrapped wholesale: each city's three
+/// campaigns are split into `chunk_rows`-row chunks and appended in a
+/// seed-scheduled interleave (SplitMix64 over the live streams), running
+/// the sanitizer incrementally per chunk and sealing immutable segments
+/// every `seal_rows` accepted rows.
+///
+/// Chunking never reorders a store's own stream and the interleave is a
+/// pure function of `(seed, city, chunk plan)`, so the frozen stores hold
+/// exactly the accepted rows of the batch path and the fits — which
+/// consume gathered, contiguous values — are bit-identical: the rendered
+/// artifacts match the batch pipeline byte for byte at any `chunk_rows`,
+/// any `seal_rows`, and any `parallelism`.
+pub fn build_analyses_ingest(
+    scale: f64,
+    seed: u64,
+    parallelism: usize,
+    opts: IngestOptions,
+    obs: &Registry,
+) -> (Arc<Vec<CityAnalysis>>, StageTimings, SanitizeReport, IngestStats) {
+    assert!(opts.chunk_rows > 0, "chunk_rows must be >= 1");
+    let parallelism = parallelism.max(1);
+    let cities = City::all();
+    let city_workers = parallelism.min(cities.len());
+    let inner = parallelism.div_ceil(city_workers);
+
+    obs.event("stage.start", "lifecycle", &[("stage", "generate")]);
+    let gen_span = obs.span("generate");
+    let generated = par_map(cities.to_vec(), city_workers, |_, city| {
+        let sub = obs.sub();
+        let city_span = sub.span(&format!("generate/{}", city.label()));
+        let ds = CityDataset::generate_with_parallelism(city, scale, seed, inner);
+        ds.observe(&sub);
+        city_span.stop();
+        (ds, sub)
+    });
+    let generate_s = gen_span.stop();
+    obs.event("stage.end", "lifecycle", &[("stage", "generate")]);
+    let mut datasets = Vec::with_capacity(generated.len());
+    for (ds, sub) in generated {
+        obs.merge(&sub);
+        datasets.push(ds);
+    }
+
+    obs.event("stage.start", "lifecycle", &[("stage", "ingest")]);
+    let ingest_span = obs.span("ingest");
+    let ingested = par_map(datasets, city_workers, |ci, ds| {
+        let sub = obs.sub();
+        let city = ds.config.city.label();
+        let city_span = sub.span(&format!("ingest/{city}"));
+        let CityDataset { config, ookla, mlab, mba, .. } = ds;
+
+        let split = |records: Vec<Measurement>| -> VecDeque<Vec<Measurement>> {
+            let mut chunks = VecDeque::new();
+            let mut it = records.into_iter();
+            loop {
+                let chunk: Vec<Measurement> = it.by_ref().take(opts.chunk_rows).collect();
+                if chunk.is_empty() {
+                    return chunks;
+                }
+                chunks.push_back(chunk);
+            }
+        };
+        let mut streams = [
+            ("ookla", split(ookla), SegmentedStore::builder(opts.seal_rows)),
+            ("mlab", split(mlab), SegmentedStore::builder(opts.seal_rows)),
+            ("mba", split(mba), SegmentedStore::builder(opts.seal_rows)),
+        ];
+
+        // The schedule is a pure function of (seed, city index, chunk
+        // plan); worker interleaving and wall-clock never feed into it.
+        let mut state = seed ^ (ci as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut stats = IngestStats::default();
+        loop {
+            let live: Vec<usize> =
+                (0..streams.len()).filter(|&k| !streams[k].1.is_empty()).collect();
+            if live.is_empty() {
+                break;
+            }
+            let k = live[(splitmix64(&mut state) % live.len() as u64) as usize];
+            let (campaign, queue, store) = &mut streams[k];
+            let chunk = queue.pop_front().expect("stream is live");
+            let t0 = std::time::Instant::now();
+            let cs = store.append_chunk(chunk).expect("tail stores accept chunks until frozen");
+            sub.observe_wall(
+                "ingest.chunk_seconds",
+                &[("city", city)],
+                t0.elapsed().as_secs_f64(),
+                INGEST_CHUNK_BOUNDS,
+            );
+            sub.inc("ingest.chunks", &[("campaign", campaign), ("city", city)]);
+            for (outcome, n) in
+                [("clean", cs.clean), ("repaired", cs.repaired), ("quarantined", cs.quarantined)]
+            {
+                sub.add("ingest.rows", &[("outcome", outcome)], n);
+            }
+            stats.chunks += 1;
+            stats.rows += cs.rows_in as u64;
+        }
+
+        let mut report = SanitizeReport::default();
+        let mut stores = Vec::with_capacity(streams.len());
+        for (campaign, _, mut store) in streams {
+            store.freeze();
+            store.report().record(&sub, &[("campaign", campaign), ("city", city)]);
+            report.merge(store.report());
+            stats.segments += store.num_segments();
+            stores.push(store);
+        }
+        city_span.stop();
+        (config, stores, report, stats, sub)
+    });
+    let ingest_s = ingest_span.stop();
+    obs.event("stage.end", "lifecycle", &[("stage", "ingest")]);
+
+    let mut sanitize_total = SanitizeReport::default();
+    let mut stats_total = IngestStats { ingest_s, ..IngestStats::default() };
+    let mut prepared = Vec::with_capacity(ingested.len());
+    for (config, stores, report, stats, sub) in ingested {
+        obs.merge(&sub);
+        sanitize_total.merge(&report);
+        stats_total.chunks += stats.chunks;
+        stats_total.rows += stats.rows;
+        stats_total.segments += stats.segments;
+        prepared.push((config, stores));
+    }
+
+    obs.event("stage.start", "lifecycle", &[("stage", "fit")]);
+    let fit_span = obs.span("fit");
+    let fitted = par_map(prepared, city_workers, |_, (config, mut stores)| {
+        let sub = obs.sub();
+        let city_span = sub.span(&format!("fit/{}", config.city.label()));
+        let mba = stores.pop().expect("three campaign stores");
+        let mlab = stores.pop().expect("three campaign stores");
+        let ookla = stores.pop().expect("three campaign stores");
+        let analysis = CityAnalysis::from_stores(config, ookla, mlab, mba, seed ^ 0x5eed, &sub);
+        city_span.stop();
+        (analysis, sub)
+    });
+    let fit_s = fit_span.stop();
+    obs.event("stage.end", "lifecycle", &[("stage", "fit")]);
+    let mut analyses: Vec<CityAnalysis> = Vec::with_capacity(fitted.len());
+    for (analysis, sub) in fitted {
+        obs.merge(&sub);
+        analyses.push(analysis);
+    }
+
+    let derive_s = derive_stage(&analyses, parallelism, obs);
 
     (
         Arc::new(analyses),
         StageTimings { generate_s, fit_s, derive_s, render_s: 0.0 },
         sanitize_total,
+        stats_total,
     )
 }
 

@@ -1,0 +1,397 @@
+//! Fragmented columns and selections: segment-aware views over a store
+//! whose rows live in several consecutive column fragments.
+//!
+//! A segmented store (sealed immutable segments plus a mutable tail)
+//! cannot hand out one contiguous `&[f64]` per column — each sealed
+//! segment owns its own slice. [`FragCol`] chains those per-segment
+//! slices into one logical column without copying, and
+//! [`FragSelection`] composes per-segment [`Selection`]s into one
+//! logical row set with *global* (whole-store) indices. Gathers walk
+//! the fragments in order, so iteration order — and therefore every
+//! downstream statistic — is identical to the single-slice code path.
+//!
+//! The single-fragment case (a batch-built store with exactly one
+//! sealed segment) stays zero-copy end to end: [`FragCol::view`]
+//! borrows the fragment outright and [`FragSelection::gather_view`]
+//! borrows it for identity selections, exactly like
+//! [`Selection::gather_view`] did on a monolithic store.
+
+use std::borrow::Cow;
+
+use crate::selection::{ColumnView, Selection};
+
+/// One logical column chained from per-segment fragments.
+///
+/// Fragments are borrowed slices in segment order; `offsets[k]` is the
+/// global row index of fragment `k`'s first row (with a trailing total
+/// length, so `offsets.len() == fragments.len() + 1`).
+#[derive(Debug, Clone)]
+pub struct FragCol<'a, T> {
+    frags: Vec<&'a [T]>,
+    offsets: Vec<usize>,
+}
+
+impl<'a, T> FragCol<'a, T> {
+    /// Chain `frags` (in segment order) into one logical column.
+    pub fn new(frags: Vec<&'a [T]>) -> Self {
+        let mut offsets = Vec::with_capacity(frags.len() + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for f in &frags {
+            total += f.len();
+            offsets.push(total);
+        }
+        FragCol { frags, offsets }
+    }
+
+    /// Total rows across all fragments.
+    pub fn len(&self) -> usize {
+        *self.offsets.last().unwrap_or(&0)
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The underlying fragments, in segment order.
+    pub fn fragments(&self) -> &[&'a [T]] {
+        &self.frags
+    }
+
+    /// Global row offset of each fragment (trailing entry = total rows).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The whole column as a single borrowed slice, when it is one —
+    /// zero or one fragments. `None` means rows genuinely span
+    /// fragment boundaries.
+    pub fn as_single(&self) -> Option<&'a [T]> {
+        match self.frags.len() {
+            0 => Some(&[]),
+            1 => Some(self.frags[0]),
+            _ => None,
+        }
+    }
+
+    /// The element at global row `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= self.len()`.
+    pub fn get(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        if self.frags.len() == 1 {
+            return self.frags[0][i];
+        }
+        let k = self.offsets.partition_point(|&o| o <= i) - 1;
+        self.frags[k][i - self.offsets[k]]
+    }
+
+    /// Iterate every element in global row order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a T> + '_ {
+        self.frags.iter().flat_map(|f| f.iter())
+    }
+
+    /// Copy the column into one contiguous `Vec`, fragment by fragment.
+    pub fn to_vec(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut out = Vec::with_capacity(self.len());
+        for f in &self.frags {
+            out.extend_from_slice(f);
+        }
+        out
+    }
+
+    /// The column as one contiguous slice: borrowed when there is a
+    /// single fragment, copied only when rows span fragments.
+    pub fn contiguous(&self) -> Cow<'a, [T]>
+    where
+        T: Clone,
+    {
+        match self.as_single() {
+            Some(s) => Cow::Borrowed(s),
+            None => Cow::Owned(self.to_vec()),
+        }
+    }
+}
+
+impl<'a> FragCol<'a, f64> {
+    /// The column as a [`ColumnView`]: borrowed for a single fragment,
+    /// materialized only when rows span fragments — the segmented
+    /// analogue of an identity [`Selection::gather_view`].
+    pub fn view(&self) -> ColumnView<'a> {
+        match self.as_single() {
+            Some(s) => ColumnView::Borrowed(s),
+            None => ColumnView::Owned(self.to_vec()),
+        }
+    }
+}
+
+/// One logical row set over a segmented store: one [`Selection`] per
+/// segment (local indices) plus the segment offsets that lift them to
+/// global row indices.
+///
+/// Parts may borrow a segment's memoized selection (`Cow::Borrowed`) or
+/// own a derived one (`Cow::Owned`); either way indices stay ascending
+/// per part, and parts are in segment order, so [`FragSelection::iter`]
+/// yields globally ascending row indices — the invariant every
+/// downstream gather relies on.
+#[derive(Debug, Clone)]
+pub struct FragSelection<'a> {
+    parts: Vec<Cow<'a, Selection>>,
+    offsets: Vec<usize>,
+}
+
+impl<'a> FragSelection<'a> {
+    /// Assemble from per-segment parts and the segment lengths (in
+    /// segment order; `parts.len()` must equal `seg_lens.len()`).
+    pub fn from_parts(parts: Vec<Cow<'a, Selection>>, seg_lens: &[usize]) -> Self {
+        assert_eq!(parts.len(), seg_lens.len(), "one selection part per segment");
+        let mut offsets = Vec::with_capacity(seg_lens.len() + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for &l in seg_lens {
+            total += l;
+            offsets.push(total);
+        }
+        FragSelection { parts, offsets }
+    }
+
+    /// Evaluate `pred` over global row indices `0..sum(seg_lens)`,
+    /// producing one owned part per segment.
+    pub fn from_pred(seg_lens: &[usize], mut pred: impl FnMut(usize) -> bool) -> FragSelection<'a> {
+        let mut parts = Vec::with_capacity(seg_lens.len());
+        let mut off = 0usize;
+        for &l in seg_lens {
+            parts.push(Cow::Owned(Selection::from_pred(l, |i| pred(i + off))));
+            off += l;
+        }
+        Self::from_parts(parts, seg_lens)
+    }
+
+    /// Number of selected rows across all segments.
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(|p| p.len()).sum()
+    }
+
+    /// True when no rows are selected.
+    pub fn is_empty(&self) -> bool {
+        self.parts.iter().all(|p| p.is_empty())
+    }
+
+    /// The per-segment parts, in segment order (local indices).
+    pub fn parts(&self) -> &[Cow<'a, Selection>] {
+        &self.parts
+    }
+
+    /// The part covering segment `k`.
+    pub fn part(&self, k: usize) -> &Selection {
+        &self.parts[k]
+    }
+
+    /// Global row offset of each segment (trailing entry = total rows).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Iterate selected rows as *global* indices, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.parts
+            .iter()
+            .zip(self.offsets.iter())
+            .flat_map(|(p, &off)| p.iter().map(move |i| i + off))
+    }
+
+    /// Keep only selected rows for which `pred(global_row)` holds.
+    pub fn refine(&self, mut pred: impl FnMut(usize) -> bool) -> FragSelection<'a> {
+        let parts = self
+            .parts
+            .iter()
+            .zip(self.offsets.iter())
+            .map(|(p, &off)| Cow::Owned(p.refine(|i| pred(i + off))))
+            .collect();
+        FragSelection { parts, offsets: self.offsets.clone() }
+    }
+
+    /// Part-wise set intersection. Both selections must cover the same
+    /// segmentation (equal offsets).
+    pub fn and(&self, other: &FragSelection<'_>) -> FragSelection<'a> {
+        debug_assert_eq!(self.offsets, other.offsets, "selections must share one segmentation");
+        let parts =
+            self.parts.iter().zip(&other.parts).map(|(a, b)| Cow::Owned(a.and(b))).collect();
+        FragSelection { parts, offsets: self.offsets.clone() }
+    }
+
+    /// Gather `col` through this selection in global row order. `col`
+    /// must share the segmentation (one fragment per part).
+    pub fn gather(&self, col: &FragCol<'_, f64>) -> Vec<f64> {
+        debug_assert_eq!(self.offsets, col.offsets, "column must share the segmentation");
+        let mut out = Vec::with_capacity(self.len());
+        for (p, frag) in self.parts.iter().zip(col.fragments()) {
+            out.extend(p.iter().map(|i| frag[i]));
+        }
+        out
+    }
+
+    /// Gather `col` through this selection, dropping non-finite values
+    /// (the segmented analogue of [`Selection::gather_finite`]).
+    pub fn gather_finite(&self, col: &FragCol<'_, f64>) -> Vec<f64> {
+        debug_assert_eq!(self.offsets, col.offsets, "column must share the segmentation");
+        let mut out = Vec::new();
+        for (p, frag) in self.parts.iter().zip(col.fragments()) {
+            out.extend(p.iter().map(|i| frag[i]).filter(|v| v.is_finite()));
+        }
+        out
+    }
+
+    /// Gather without copying when possible: a single-part identity
+    /// selection over a single-fragment column borrows the fragment;
+    /// everything else materializes exactly as [`FragSelection::gather`].
+    pub fn gather_view(&self, col: &FragCol<'a, f64>) -> ColumnView<'a> {
+        if self.parts.len() == 1 && col.fragments().len() == 1 {
+            let frag = col.fragments()[0];
+            if self.parts[0].is_identity(frag.len()) {
+                return ColumnView::Borrowed(frag);
+            }
+        }
+        ColumnView::Owned(self.gather(col))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col<'a>(frags: Vec<&'a [f64]>) -> FragCol<'a, f64> {
+        FragCol::new(frags)
+    }
+
+    #[test]
+    fn chained_column_matches_concatenation() {
+        let (a, b, c) = ([1.0, 2.0], [3.0], [4.0, 5.0, 6.0]);
+        let fc = col(vec![&a, &b, &c]);
+        assert_eq!(fc.len(), 6);
+        assert_eq!(fc.offsets(), &[0, 2, 3, 6]);
+        assert!(fc.as_single().is_none());
+        let flat: Vec<f64> = fc.iter().copied().collect();
+        assert_eq!(flat, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(fc.to_vec(), flat);
+        for (i, want) in flat.iter().enumerate() {
+            assert_eq!(fc.get(i), *want, "get({i})");
+        }
+        assert!(matches!(fc.view(), ColumnView::Owned(_)));
+        assert!(matches!(fc.contiguous(), Cow::Owned(_)));
+    }
+
+    #[test]
+    fn single_fragment_stays_borrowed() {
+        let a = [1.0, 2.0, 3.0];
+        let fc = col(vec![&a]);
+        assert_eq!(fc.as_single(), Some(&a[..]));
+        let view = fc.view();
+        assert!(matches!(view, ColumnView::Borrowed(s) if std::ptr::eq(s.as_ptr(), a.as_ptr())));
+        match fc.contiguous() {
+            Cow::Borrowed(s) => assert!(std::ptr::eq(s.as_ptr(), a.as_ptr())),
+            Cow::Owned(_) => panic!("single fragment must not copy"),
+        }
+    }
+
+    #[test]
+    fn empty_column_is_single_and_empty() {
+        let fc: FragCol<'_, f64> = FragCol::new(Vec::new());
+        assert_eq!(fc.len(), 0);
+        assert!(fc.is_empty());
+        assert_eq!(fc.as_single(), Some(&[][..]));
+    }
+
+    fn fsel<'a>(parts: Vec<Selection>, lens: &[usize]) -> FragSelection<'a> {
+        FragSelection::from_parts(parts.into_iter().map(Cow::Owned).collect(), lens)
+    }
+
+    #[test]
+    fn iter_yields_global_ascending_indices() {
+        let s = fsel(
+            vec![
+                Selection::from_sorted(vec![0, 2]),
+                Selection::empty(),
+                Selection::from_sorted(vec![1]),
+            ],
+            &[3, 2, 2],
+        );
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        let global: Vec<usize> = s.iter().collect();
+        assert_eq!(global, vec![0, 2, 6]);
+    }
+
+    #[test]
+    fn from_pred_sees_global_indices() {
+        let s = FragSelection::from_pred(&[2, 3], |i| i % 2 == 0);
+        let global: Vec<usize> = s.iter().collect();
+        assert_eq!(global, vec![0, 2, 4]);
+        assert_eq!(s.part(0).indices(), &[0]);
+        assert_eq!(s.part(1).indices(), &[0, 2]);
+    }
+
+    #[test]
+    fn gather_walks_fragments_in_order() {
+        let (a, b) = ([1.0, f64::NAN, 3.0], [4.0, 5.0]);
+        let fc = col(vec![&a, &b]);
+        let s = fsel(
+            vec![Selection::from_sorted(vec![0, 1]), Selection::from_sorted(vec![1])],
+            &[3, 2],
+        );
+        assert_eq!(s.gather(&fc).len(), 3);
+        assert_eq!(s.gather_finite(&fc), vec![1.0, 5.0]);
+        assert!(matches!(s.gather_view(&fc), ColumnView::Owned(_)));
+    }
+
+    #[test]
+    fn identity_gather_view_borrows_single_fragment() {
+        let a = [1.0, 2.0, 3.0];
+        let fc = col(vec![&a]);
+        let s = fsel(vec![Selection::all(3)], &[3]);
+        let view = s.gather_view(&fc);
+        assert!(matches!(view, ColumnView::Borrowed(s) if std::ptr::eq(s.as_ptr(), a.as_ptr())));
+    }
+
+    #[test]
+    fn refine_and_and_compose_per_segment() {
+        let evens = FragSelection::from_pred(&[3, 3], |i| i % 2 == 0); // 0 2 4
+        let refined = evens.refine(|i| i > 0); // 2 4
+        assert_eq!(refined.iter().collect::<Vec<_>>(), vec![2, 4]);
+        let low = FragSelection::from_pred(&[3, 3], |i| i < 4); // 0..4
+        let both = refined.and(&low);
+        assert_eq!(both.iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn fragmented_gather_equals_monolithic_gather() {
+        // The equivalence the segmented store relies on: any split of a
+        // column into consecutive fragments gathers identically to the
+        // monolithic slice.
+        let data: Vec<f64> = (0..17).map(|i| i as f64 * 1.5).collect();
+        let mono_sel = Selection::from_pred(data.len(), |i| i % 3 != 1);
+        let want = mono_sel.gather(&data);
+        for split in [1usize, 2, 5, 16, 17] {
+            let mut frags: Vec<&[f64]> = Vec::new();
+            let mut lens = Vec::new();
+            let mut at = 0;
+            while at < data.len() {
+                let end = (at + split).min(data.len());
+                frags.push(&data[at..end]);
+                lens.push(end - at);
+                at = end;
+            }
+            let fc = FragCol::new(frags);
+            let fs = FragSelection::from_pred(&lens, |i| i % 3 != 1);
+            assert_eq!(fs.gather(&fc), want, "split {split}");
+            assert_eq!(fs.iter().collect::<Vec<_>>(), mono_sel.iter().collect::<Vec<_>>());
+        }
+    }
+}

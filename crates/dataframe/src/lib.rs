@@ -22,6 +22,7 @@
 pub mod column;
 pub mod csv;
 pub mod error;
+pub mod frag;
 pub mod frame;
 pub mod groupby;
 pub mod join;
@@ -30,6 +31,7 @@ pub mod shared;
 
 pub use column::{Column, DType, Value};
 pub use error::FrameError;
+pub use frag::{FragCol, FragSelection};
 pub use frame::DataFrame;
 pub use groupby::{Agg, GroupBy};
 pub use join::{join, JoinKind};

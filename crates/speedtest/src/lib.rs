@@ -22,6 +22,11 @@
 //!   class, WiFi band, memory class) and cheap composable row
 //!   [`Selection`]s, so analyses scan contiguous columns instead of
 //!   cloning `Vec<Measurement>` rows.
+//! * [`segment`] — the [`SegmentedStore`]: sealed immutable segments
+//!   (each a write-once [`CampaignStore`]) plus a mutable tail that
+//!   absorbs appended measurement chunks, sanitizes them incrementally,
+//!   and seals deterministically — the shared storage engine behind the
+//!   batch repro and the incremental ingest front-end.
 //! * [`sanitize`] — the record quarantine stage: every measurement
 //!   entering an analysis is classified clean / repaired / quarantined
 //!   against a structured error taxonomy, with per-reason counters, so
@@ -51,6 +56,7 @@ pub mod record;
 pub mod retry;
 pub mod sanitize;
 pub mod scoring;
+pub mod segment;
 pub mod store;
 pub mod wire;
 
@@ -62,8 +68,10 @@ pub use plans::{Plan, PlanCatalog, TierGroup};
 pub use record::{Access, Measurement, Platform, Vendor};
 pub use retry::{Admission, BackoffSchedule, BreakerState, CircuitBreaker};
 pub use sanitize::{
-    classify, sanitize, Classification, QuarantineReason, RepairReason, SanitizeReport,
+    classify, sanitize, sanitize_with_seen, Classification, QuarantineReason, RepairReason,
+    SanitizeReport,
 };
 pub use scoring::{score, QualityScores, SessionQuality};
-pub use st_dataframe::Selection;
-pub use store::{AssignedColumns, CampaignStore};
+pub use segment::{ChunkStats, SegmentedStore, DEFAULT_SEAL_ROWS};
+pub use st_dataframe::{FragCol, FragSelection, Selection};
+pub use store::{AssignedColumns, CampaignStore, StoreError};

@@ -221,8 +221,21 @@ impl SanitizeReport {
 /// drop the quarantined, and count everything. Records keep their
 /// relative order; duplicates resolve to the *first* submission.
 pub fn sanitize(records: Vec<Measurement>) -> (Vec<Measurement>, SanitizeReport) {
-    let mut report = SanitizeReport::default();
     let mut seen = HashSet::with_capacity(records.len());
+    sanitize_with_seen(records, &mut seen)
+}
+
+/// Incremental form of [`sanitize`]: `seen` carries the accepted test
+/// ids across chunks, so sanitizing a campaign chunk-by-chunk (in
+/// arrival order, threading one seen-set through) classifies every
+/// record — including cross-chunk duplicates — exactly as one batch
+/// pass over the concatenated records would. Only *accepted* ids enter
+/// `seen`; quarantined records never shadow a later valid submission.
+pub fn sanitize_with_seen(
+    records: Vec<Measurement>,
+    seen: &mut HashSet<u64>,
+) -> (Vec<Measurement>, SanitizeReport) {
+    let mut report = SanitizeReport::default();
     let mut kept = Vec::with_capacity(records.len());
     for mut m in records {
         match classify(&m, seen.contains(&m.id)) {
@@ -377,6 +390,104 @@ mod tests {
         assert_eq!(a.quarantine_reasons["non-finite-throughput"], 2);
         assert_eq!(a.total(), 4);
         assert_eq!(a.accepted(), 2);
+    }
+
+    // Satellite: merging per-chunk reports must be associative and, in
+    // arrival order, equal to the one-shot batch report — the contract
+    // the segmented store's incremental ingest front-end leans on.
+
+    fn dirty_stream() -> Vec<Measurement> {
+        let mut records = Vec::new();
+        for id in 0..40u64 {
+            let mut m = base(id);
+            match id % 7 {
+                1 => m.down_mbps = f64::NAN,
+                2 => m.up_mbps = 0.0,
+                3 => m.day = 400 + id as u16,
+                4 => m.rtt_ms = 0.0,
+                5 => m.hour = 30,
+                _ => {}
+            }
+            records.push(m);
+        }
+        // Cross-chunk duplicates: resubmissions far from the originals,
+        // including a resubmission of an id whose first appearance was
+        // quarantined (id 8: 8 % 7 == 1, NaN) — that later copy must be
+        // *accepted*, not flagged duplicate.
+        records.push(base(0));
+        records.push(base(8));
+        records.push(base(14));
+        records
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let stream = dirty_stream();
+        let reports: Vec<SanitizeReport> = stream
+            .chunks(5)
+            .map(|c| {
+                // Independent chunks (fresh seen-sets) — merge only needs
+                // counter associativity here, not duplicate threading.
+                sanitize(c.to_vec()).1
+            })
+            .collect();
+        let [a, b, c] = [&reports[0], &reports[1], &reports[2]];
+        let mut left = a.clone();
+        left.merge(b);
+        left.merge(c);
+        let mut bc = b.clone();
+        bc.merge(c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "merge(merge(a,b),c) == merge(a,merge(b,c))");
+        // And against the fold over every chunk, any grouping agrees.
+        let mut folded = SanitizeReport::default();
+        for r in &reports {
+            folded.merge(r);
+        }
+        let mut paired = SanitizeReport::default();
+        for pair in reports.chunks(2) {
+            let mut p = pair[0].clone();
+            if let Some(second) = pair.get(1) {
+                p.merge(second);
+            }
+            paired.merge(&p);
+        }
+        assert_eq!(folded, paired);
+    }
+
+    #[test]
+    fn chunked_sanitize_matches_batch_for_any_chunk_size() {
+        let stream = dirty_stream();
+        let (batch_kept, batch_report) = sanitize(stream.clone());
+        for chunk in [1usize, 2, 5, 7, 16, stream.len()] {
+            let mut seen = HashSet::new();
+            let mut kept = Vec::new();
+            let mut report = SanitizeReport::default();
+            for c in stream.chunks(chunk) {
+                let (k, r) = sanitize_with_seen(c.to_vec(), &mut seen);
+                kept.extend(k);
+                report.merge(&r);
+            }
+            assert_eq!(kept, batch_kept, "chunk size {chunk}: accepted rows");
+            assert_eq!(report, batch_report, "chunk size {chunk}: merged report");
+        }
+    }
+
+    #[test]
+    fn quarantined_id_does_not_poison_later_submission() {
+        let mut broken = base(9);
+        broken.down_mbps = f64::NAN;
+        let mut seen = HashSet::new();
+        let (kept1, r1) = sanitize_with_seen(vec![broken], &mut seen);
+        assert!(kept1.is_empty());
+        assert_eq!(r1.quarantined, 1);
+        let (kept2, r2) = sanitize_with_seen(vec![base(9)], &mut seen);
+        assert_eq!(kept2.len(), 1, "a quarantined id must not mark later valid records duplicate");
+        assert_eq!(r2.clean, 1);
+        let (kept3, r3) = sanitize_with_seen(vec![base(9)], &mut seen);
+        assert!(kept3.is_empty());
+        assert_eq!(r3.quarantine_reasons["duplicate-id"], 1);
     }
 
     #[test]

@@ -40,6 +40,50 @@ use st_netsim::MemoryClass;
 use crate::plans::PlanCatalog;
 use crate::record::{Access, Measurement, Platform};
 
+/// Typed error for store mutations that violate a structural invariant.
+///
+/// The monolithic store used to panic on these; the segmented store's
+/// incremental reseal paths need them recoverable, so every mutation
+/// entry point surfaces one of these variants instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// `set_assignments` was called on a store that already has
+    /// assignments — they are write-once by design.
+    AssignmentsAlreadySet,
+    /// A scattered column does not cover every row of the store.
+    LengthMismatch {
+        /// Which column was the wrong length.
+        column: &'static str,
+        /// Rows in the store.
+        expected: usize,
+        /// Rows in the offered column.
+        got: usize,
+    },
+    /// An append was attempted on a store already frozen by
+    /// `SegmentedStore::freeze`.
+    Frozen,
+    /// A read that requires sealed data (assignments, full-column views)
+    /// was attempted before `SegmentedStore::freeze`.
+    NotFrozen,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::AssignmentsAlreadySet => {
+                write!(f, "set_assignments called twice on one store")
+            }
+            StoreError::LengthMismatch { column, expected, got } => {
+                write!(f, "{column} column must cover every row (expected {expected}, got {got})")
+            }
+            StoreError::Frozen => write!(f, "store is frozen: no further appends accepted"),
+            StoreError::NotFrozen => write!(f, "store must be frozen before this operation"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
 /// Access-class code: the platform reported no access medium.
 pub const ACCESS_UNKNOWN: u8 = 0;
 /// Access-class code: WiFi (band/RSSI metadata lives in separate columns).
@@ -416,15 +460,30 @@ impl CampaignStore {
     /// index, plan speed, and normalized download per row plus memoized
     /// per-group and per-cap selections.
     ///
-    /// Panics if called twice: assignments are write-once by design.
+    /// Errors with [`StoreError::AssignmentsAlreadySet`] if called twice
+    /// (assignments are write-once by design) and
+    /// [`StoreError::LengthMismatch`] when a column does not cover every
+    /// row; the store is unchanged on error.
     pub fn set_assignments(
         &self,
         tier: Vec<Option<usize>>,
         upload_cap_idx: Vec<i32>,
         catalog: &PlanCatalog,
-    ) {
-        assert_eq!(tier.len(), self.len(), "tier column must cover every row");
-        assert_eq!(upload_cap_idx.len(), self.len(), "cap column must cover every row");
+    ) -> Result<(), StoreError> {
+        if tier.len() != self.len() {
+            return Err(StoreError::LengthMismatch {
+                column: "tier",
+                expected: self.len(),
+                got: tier.len(),
+            });
+        }
+        if upload_cap_idx.len() != self.len() {
+            return Err(StoreError::LengthMismatch {
+                column: "upload_cap_idx",
+                expected: self.len(),
+                got: upload_cap_idx.len(),
+            });
+        }
         let groups = catalog.tier_groups();
         let n_caps = catalog.upload_caps().len();
         // Tier -> containing group, precomputed once (tiers are 1-based).
@@ -464,8 +523,9 @@ impl CampaignStore {
             group_sels: group_rows.into_iter().map(Selection::from_sorted).collect(),
             cap_sels: cap_rows.into_iter().map(Selection::from_sorted).collect(),
         };
-        if self.assigned.set(assigned).is_err() {
-            panic!("set_assignments called twice on one CampaignStore");
+        match self.assigned.set(assigned) {
+            Ok(()) => Ok(()),
+            Err(_) => Err(StoreError::AssignmentsAlreadySet),
         }
     }
 
@@ -691,7 +751,12 @@ mod tests {
         let top = catalog.len();
         let tiers = vec![Some(1), None, Some(1), Some(top), None];
         let caps = vec![0, -1, 0, (catalog.upload_caps().len() - 1) as i32, -1];
-        s.set_assignments(tiers, caps, &catalog);
+        s.set_assignments(tiers.clone(), caps.clone(), &catalog).unwrap();
+        assert_eq!(
+            s.set_assignments(tiers, caps, &catalog),
+            Err(StoreError::AssignmentsAlreadySet),
+            "second scatter must surface a typed error, not panic"
+        );
         let asg = s.assigned();
         assert_eq!(asg.group_idx[0], 0);
         assert_eq!(asg.group_idx[1], -1);
@@ -701,5 +766,22 @@ mod tests {
         assert_eq!(s.cap_counts(&Selection::all(s.len()))[0], 2);
         let android = s.platform_sel(Platform::AndroidApp);
         assert_eq!(s.cap_counts(android)[0], 2);
+    }
+
+    #[test]
+    fn short_assignment_columns_error_without_mutating() {
+        let s = CampaignStore::from_measurements(&sample());
+        let catalog = PlanCatalog::new("Test-ISP", &[(50.0, 5.0), (100.0, 5.0)]);
+        assert_eq!(
+            s.set_assignments(vec![None; 2], vec![-1; s.len()], &catalog),
+            Err(StoreError::LengthMismatch { column: "tier", expected: 5, got: 2 })
+        );
+        assert_eq!(
+            s.set_assignments(vec![None; s.len()], vec![-1; 3], &catalog),
+            Err(StoreError::LengthMismatch { column: "upload_cap_idx", expected: 5, got: 3 })
+        );
+        assert!(!s.has_assignments(), "failed scatters must leave the store unassigned");
+        s.set_assignments(vec![None; s.len()], vec![-1; s.len()], &catalog).unwrap();
+        assert!(s.has_assignments());
     }
 }
