@@ -408,7 +408,7 @@ mod tests {
             for chunk in records.chunks(77) {
                 store.append_chunk(chunk.to_vec()).unwrap();
             }
-            store.freeze();
+            store.freeze().unwrap();
             stores.push(store);
         }
         assert!(stores[0].num_segments() > 1, "scale must produce a multi-segment Ookla store");

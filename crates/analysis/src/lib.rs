@@ -50,6 +50,7 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod warm;
 
 pub use context::CityAnalysis;
 pub use results::{CdfResult, SeriesData, TableResult};

@@ -31,6 +31,7 @@
 //! only warn.
 
 use serde::Serialize;
+use st_bench::cli::{self, CliError};
 use st_bench::diff::{diff_metrics, DiffOptions, MetricsDoc};
 use st_bench::ledger::{append_ledger, IngestLedgerRow};
 use st_bench::{
@@ -39,6 +40,10 @@ use st_bench::{
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: ingest [--scale S] [--seed N] [--out DIR] [--parallelism P] \
+     [--chunk-rows C] [--seal-rows R] [--metrics] \
+     [--baseline METRICS.json] [--wall-ratio R] [--wall-floor S]";
 
 struct Args {
     scale: f64,
@@ -51,7 +56,7 @@ struct Args {
     diff_options: DiffOptions,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<Args, CliError> {
     let mut args = Args {
         scale: 0.05,
         seed: 20220707,
@@ -64,63 +69,35 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        let mut value = |name: &str| cli::next_value(&mut it, name);
         match flag.as_str() {
-            "--scale" => {
-                args.scale = value("--scale")?.parse().map_err(|e| format!("bad --scale: {e}"))?;
-                if !(args.scale > 0.0 && args.scale <= 1.0) {
-                    return Err("--scale must be in (0, 1]".into());
-                }
-            }
-            "--seed" => {
-                args.seed = value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?;
-            }
+            "--scale" => args.scale = cli::parse_scale("--scale", &value("--scale")?)?,
+            "--seed" => args.seed = cli::parse_u64("--seed", &value("--seed")?)?,
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--parallelism" => {
-                args.parallelism = value("--parallelism")?
-                    .parse()
-                    .map_err(|e| format!("bad --parallelism: {e}"))?;
-                if args.parallelism == 0 {
-                    return Err("--parallelism must be >= 1".into());
-                }
+                args.parallelism =
+                    cli::parse_at_least_one("--parallelism", &value("--parallelism")?)?;
             }
             "--chunk-rows" => {
                 args.ingest.chunk_rows =
-                    value("--chunk-rows")?.parse().map_err(|e| format!("bad --chunk-rows: {e}"))?;
-                if args.ingest.chunk_rows == 0 {
-                    return Err("--chunk-rows must be >= 1".into());
-                }
+                    cli::parse_at_least_one("--chunk-rows", &value("--chunk-rows")?)?;
             }
             "--seal-rows" => {
                 args.ingest.seal_rows =
-                    value("--seal-rows")?.parse().map_err(|e| format!("bad --seal-rows: {e}"))?;
-                if args.ingest.seal_rows == 0 {
-                    return Err("--seal-rows must be >= 1".into());
-                }
+                    cli::parse_at_least_one("--seal-rows", &value("--seal-rows")?)?;
             }
             "--metrics" => args.metrics = true,
             "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
             "--wall-ratio" => {
                 args.diff_options.wall_ratio =
-                    value("--wall-ratio")?.parse().map_err(|e| format!("bad --wall-ratio: {e}"))?;
-                if args.diff_options.wall_ratio < 1.0 || args.diff_options.wall_ratio.is_nan() {
-                    return Err("--wall-ratio must be >= 1.0".into());
-                }
+                    cli::parse_float_min("--wall-ratio", &value("--wall-ratio")?, 1.0)?;
             }
             "--wall-floor" => {
                 args.diff_options.wall_floor_s =
-                    value("--wall-floor")?.parse().map_err(|e| format!("bad --wall-floor: {e}"))?;
-                if args.diff_options.wall_floor_s < 0.0 || args.diff_options.wall_floor_s.is_nan() {
-                    return Err("--wall-floor must be >= 0".into());
-                }
+                    cli::parse_float_min("--wall-floor", &value("--wall-floor")?, 0.0)?;
             }
-            "--help" | "-h" => {
-                return Err("usage: ingest [--scale S] [--seed N] [--out DIR] [--parallelism P] \
-                     [--chunk-rows C] [--seal-rows R] [--metrics] \
-                     [--baseline METRICS.json] [--wall-ratio R] [--wall-floor S]"
-                    .into())
-            }
-            other => return Err(format!("unknown flag {other}")),
+            "--help" | "-h" => return Err(CliError::Help(USAGE.into())),
+            other => return Err(CliError::Usage(format!("unknown flag {other}\n{USAGE}"))),
         }
     }
     Ok(args)
@@ -165,10 +142,7 @@ fn write_file(path: &Path, contents: &str, failures: &mut usize) -> bool {
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return e.report(),
     };
 
     eprintln!(

@@ -1,0 +1,508 @@
+//! Run the long-running contextualization service against a replayed
+//! campaign stream, then republish the batch artifacts as the final
+//! epoch (DESIGN.md §18).
+//!
+//! ```text
+//! serve [--scale S] [--seed N] [--out DIR] [--parallelism P]
+//!       [--chunk-rows C] [--seal-rows R] [--epoch-rows E] [--warm]
+//!       [--port PORT] [--linger SECS] [--wire-sessions N] [--metrics]
+//!       [--baseline METRICS.json] [--wall-ratio R] [--wall-floor S]
+//! serve --connect ADDR [--query CMD] [--timeout SECS]
+//! ```
+//!
+//! Server mode binds the line-delimited JSON query API on loopback
+//! (`--port 0` picks an ephemeral port; the chosen address is printed
+//! as `listening on ADDR`), streams the generated campaigns through
+//! [`st_serve::ContextService`] with the same chunk plan and interleave
+//! as the `ingest` binary, drains, runs the batch fit/derive/render
+//! stages, and publishes the final epoch carrying the rendered
+//! headlines and the batch-comparable artifact hash. With `--warm`,
+//! every epoch crossing also republishes warm headline analyses fitted
+//! on the sealed rows so far. `--linger SECS` keeps the query API up
+//! after the final epoch so scripted clients can read it; a `shutdown`
+//! command (or the timeout) ends the run.
+//!
+//! The appended `BENCH_ledger.jsonl` row (schema `st-serve/v1`) carries
+//! the artifact hash plus chunk/segment/epoch counts and sustained
+//! ingest throughput: a serve row and a batch row with equal
+//! `artifact_hash` produced the same bytes.
+//!
+//! Client mode (`--connect`) sends one query to a running server and
+//! prints the response line; it exits nonzero if the response reports
+//! `ok: false`.
+
+use serde::Serialize;
+use st_bench::cli::{self, CliError};
+use st_bench::diff::{diff_metrics, DiffOptions, MetricsDoc};
+use st_bench::ledger::{append_ledger, artifact_hash, ServeLedgerRow};
+use st_bench::{
+    build_analyses_serve, make_warm_renderer, render_report, run_all_observed, StageTimings,
+    SuperviseOptions,
+};
+use st_serve::{
+    query_once, session_measurements, ContextService, PartitionSpec, QueryServer, ServeOptions,
+};
+use st_speedtest::wire::ShapedServer;
+use st_speedtest::{run_load, BackoffSchedule, LoadOptions};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "usage: serve [--scale S] [--seed N] [--out DIR] [--parallelism P] \
+     [--chunk-rows C] [--seal-rows R] [--epoch-rows E] [--warm] \
+     [--port PORT] [--linger SECS] [--wire-sessions N] [--metrics] \
+     [--baseline METRICS.json] [--wall-ratio R] [--wall-floor S]\n\
+       serve --connect ADDR [--query CMD] [--timeout SECS]";
+
+struct Args {
+    scale: f64,
+    seed: u64,
+    out: PathBuf,
+    parallelism: usize,
+    chunk_rows: usize,
+    seal_rows: usize,
+    epoch_rows: usize,
+    warm: bool,
+    port: u16,
+    linger: u64,
+    wire_sessions: usize,
+    metrics: bool,
+    baseline: Option<PathBuf>,
+    diff_options: DiffOptions,
+    connect: Option<String>,
+    query: String,
+    timeout_s: u64,
+}
+
+fn parse_args() -> Result<Args, CliError> {
+    let mut args = Args {
+        scale: 0.05,
+        seed: 20220707,
+        out: PathBuf::from("serve-out"),
+        parallelism: st_datagen::par::default_parallelism(),
+        chunk_rows: 2048,
+        seal_rows: st_speedtest::DEFAULT_SEAL_ROWS,
+        epoch_rows: st_serve::DEFAULT_EPOCH_ROWS,
+        warm: false,
+        port: 0,
+        linger: 0,
+        wire_sessions: 0,
+        metrics: false,
+        baseline: None,
+        diff_options: DiffOptions::default(),
+        connect: None,
+        query: "status".to_string(),
+        timeout_s: 10,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| cli::next_value(&mut it, name);
+        match flag.as_str() {
+            "--scale" => args.scale = cli::parse_scale("--scale", &value("--scale")?)?,
+            "--seed" => args.seed = cli::parse_u64("--seed", &value("--seed")?)?,
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--parallelism" => {
+                args.parallelism =
+                    cli::parse_at_least_one("--parallelism", &value("--parallelism")?)?;
+            }
+            "--chunk-rows" => {
+                args.chunk_rows = cli::parse_at_least_one("--chunk-rows", &value("--chunk-rows")?)?;
+            }
+            "--seal-rows" => {
+                args.seal_rows = cli::parse_at_least_one("--seal-rows", &value("--seal-rows")?)?;
+            }
+            "--epoch-rows" => {
+                args.epoch_rows = cli::parse_at_least_one("--epoch-rows", &value("--epoch-rows")?)?;
+            }
+            "--warm" => args.warm = true,
+            "--port" => {
+                args.port = cli::parse_u64("--port", &value("--port")?)?
+                    .try_into()
+                    .map_err(|_| CliError::Usage("--port must fit in 16 bits".into()))?;
+            }
+            "--linger" => args.linger = cli::parse_u64("--linger", &value("--linger")?)?,
+            "--wire-sessions" => {
+                args.wire_sessions =
+                    cli::parse_count("--wire-sessions", &value("--wire-sessions")?)?;
+            }
+            "--metrics" => args.metrics = true,
+            "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--wall-ratio" => {
+                args.diff_options.wall_ratio =
+                    cli::parse_float_min("--wall-ratio", &value("--wall-ratio")?, 1.0)?;
+            }
+            "--wall-floor" => {
+                args.diff_options.wall_floor_s =
+                    cli::parse_float_min("--wall-floor", &value("--wall-floor")?, 0.0)?;
+            }
+            "--connect" => args.connect = Some(value("--connect")?),
+            "--query" => args.query = value("--query")?,
+            "--timeout" => args.timeout_s = cli::parse_u64("--timeout", &value("--timeout")?)?,
+            "--help" | "-h" => return Err(CliError::Help(USAGE.into())),
+            other => return Err(CliError::Usage(format!("unknown flag {other}\n{USAGE}"))),
+        }
+    }
+    Ok(args)
+}
+
+/// Turn a shorthand query (`status`, `city City-A`, `headline`, ...)
+/// into a request line; raw JSON passes through untouched.
+fn to_request(query: &str) -> String {
+    let q = query.trim();
+    if q.starts_with('{') {
+        return q.to_string();
+    }
+    let mut parts = q.split_whitespace();
+    let cmd = parts.next().unwrap_or("status");
+    match (cmd, parts.next()) {
+        ("city", Some(city)) => format!("{{\"cmd\":\"city\",\"city\":\"{city}\"}}"),
+        _ => format!("{{\"cmd\":\"{cmd}\"}}"),
+    }
+}
+
+fn run_client(args: &Args, addr_raw: &str) -> ExitCode {
+    let addr: std::net::SocketAddr = match addr_raw.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bad --connect address {addr_raw:?}: {e}");
+            return ExitCode::from(cli::USAGE_EXIT_CODE);
+        }
+    };
+    let request = to_request(&args.query);
+    match query_once(addr, &request, Duration::from_secs(args.timeout_s)) {
+        Ok(line) => {
+            println!("{line}");
+            let ok = serde_json::from_str(&line)
+                .ok()
+                .and_then(|v: serde_json::Value| v.get("ok").and_then(|o| o.as_bool()));
+            if ok == Some(false) {
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("query {addr} failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The machine-readable timing record written next to the artifacts.
+#[derive(Serialize)]
+struct BenchRecord {
+    scale: f64,
+    seed: u64,
+    parallelism: usize,
+    chunk_rows: usize,
+    seal_rows: usize,
+    epoch_rows: usize,
+    timings: StageTimings,
+    ingest_s: f64,
+}
+
+/// The `BENCH_metrics.json` schema, as written by `repro` and `ingest`.
+#[derive(Serialize)]
+struct MetricsRecord {
+    schema: &'static str,
+    scale: f64,
+    seed: u64,
+    parallelism: usize,
+    deterministic: st_obs::DeterministicMetrics,
+    wall_clock: st_obs::WallClockMetrics,
+}
+
+fn write_file(path: &Path, contents: &str, failures: &mut usize) -> bool {
+    match std::fs::write(path, contents) {
+        Ok(()) => true,
+        Err(e) => {
+            *failures += 1;
+            eprintln!("WARN: cannot write {}: {e}", path.display());
+            false
+        }
+    }
+}
+
+/// Drive `--wire-sessions` live sessions against a loopback shaped pool
+/// and ingest the completed results into the service's wire partition
+/// (wall-clock class: which sessions complete depends on real sockets,
+/// so these rows never touch deterministic counters or epochs).
+fn ingest_wire_sessions(service: &ContextService, sessions: usize, seed: u64) {
+    let servers: Vec<ShapedServer> =
+        match (0..2).map(|_| ShapedServer::start(200.0, 50.0)).collect::<std::io::Result<Vec<_>>>()
+        {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("WARN: cannot start the wire pool, skipping wire sessions: {e}");
+                return;
+            }
+        };
+    let pool: Vec<_> = servers.iter().map(|s| s.addr()).collect();
+    let mut opts = LoadOptions::new(sessions);
+    opts.with_upload = true; // upload-free rows would quarantine
+    opts.backoff = BackoffSchedule::new(Duration::from_millis(5), Duration::from_millis(40), seed);
+    let summary = run_load(&pool, &opts, &st_obs::Registry::disabled());
+    let rows = session_measurements(&summary.reports, 100, 12);
+    let n = rows.len();
+    match service.ingest_chunk("wire", "sessions", rows) {
+        Ok(receipt) => eprintln!(
+            "wire: {} sessions completed, {} rows accepted into the wire partition",
+            summary.sessions_completed,
+            n as u64 - receipt.stats.quarantined
+        ),
+        Err(e) => eprintln!("WARN: wire ingest failed: {e}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => return e.report(),
+    };
+    if let Some(addr) = args.connect.clone() {
+        return run_client(&args, &addr);
+    }
+
+    eprintln!(
+        "serving 4 cities at scale {} (seed {}, parallelism {}, chunks of {}, seal at {}, \
+         epoch every {}) ...",
+        args.scale, args.seed, args.parallelism, args.chunk_rows, args.seal_rows, args.epoch_rows
+    );
+    let t0 = std::time::Instant::now();
+    let obs = st_obs::Registry::new();
+    let warm = args.warm.then(|| make_warm_renderer(args.scale, args.seed));
+    let mut specs: Vec<PartitionSpec> =
+        st_datagen::City::all().iter().map(|c| PartitionSpec::city(c.label())).collect();
+    specs.push(PartitionSpec::wire());
+    let service = Arc::new(ContextService::new(
+        specs,
+        ServeOptions { seal_rows: args.seal_rows, epoch_rows: args.epoch_rows, warm },
+        obs.clone(),
+    ));
+    let server = match QueryServer::start(Arc::clone(&service), &format!("127.0.0.1:{}", args.port))
+    {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind the query API: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.addr());
+
+    if args.wire_sessions > 0 {
+        ingest_wire_sessions(&service, args.wire_sessions, args.seed);
+    }
+
+    let (analyses, timings, sanitize, stats) = match build_analyses_serve(
+        args.scale,
+        args.seed,
+        args.parallelism,
+        args.chunk_rows,
+        &service,
+        &obs,
+    ) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("serve replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "streamed {} rows in {} chunks ({} segments, {} warm epochs) in {:.1}s; rendering ...",
+        stats.rows, stats.chunks, stats.segments, stats.epochs, stats.ingest_s
+    );
+
+    let opts = SuperviseOptions { parallelism: args.parallelism, ..SuperviseOptions::default() };
+    let report = run_all_observed(&analyses, args.scale, args.seed, &opts, timings, sanitize, &obs);
+    let claims = st_bench::claims::check_all(&analyses);
+
+    // Publish the final epoch before any disk IO: queries arriving from
+    // here on see the completed run.
+    let (hash, files) = artifact_hash(&report.artifacts);
+    let tables = report
+        .artifacts
+        .iter()
+        .filter(|a| a.id.starts_with("table"))
+        .map(|a| (a.id.clone(), a.text.clone()))
+        .collect();
+    let final_epoch = match service.publish_final(
+        &report.health.sanitize,
+        report.headlines.clone(),
+        tables,
+        Some(format!("{hash:016x}")),
+        files as u64,
+    ) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("cannot publish the final epoch: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("published final epoch {final_epoch} (artifact hash {hash:016x})");
+
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("cannot create {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    let mut written = 0usize;
+    let mut write_failures = 0usize;
+    for a in &report.artifacts {
+        if let Some(svg) = &a.svg {
+            if write_file(&args.out.join(format!("{}.svg", a.id)), svg, &mut write_failures) {
+                written += 1;
+            }
+        }
+        if write_file(&args.out.join(format!("{}.json", a.id)), &a.json, &mut write_failures) {
+            written += 1;
+        }
+    }
+
+    let bench = BenchRecord {
+        scale: args.scale,
+        seed: args.seed,
+        parallelism: args.parallelism,
+        chunk_rows: args.chunk_rows,
+        seal_rows: args.seal_rows,
+        epoch_rows: args.epoch_rows,
+        timings: report.timings,
+        ingest_s: stats.ingest_s,
+    };
+    let timings_path = args.out.join("BENCH_timings.json");
+    let timings_json = serde_json::to_string_pretty(&bench).expect("timings serialize");
+    if write_file(&timings_path, &timings_json, &mut write_failures) {
+        written += 1;
+        eprintln!("wrote {}", timings_path.display());
+    }
+
+    let snapshot = report.metrics.as_ref().expect("observed run carries metrics");
+    let record = MetricsRecord {
+        schema: snapshot.schema,
+        scale: args.scale,
+        seed: args.seed,
+        parallelism: args.parallelism,
+        deterministic: snapshot.deterministic.clone(),
+        wall_clock: snapshot.wall_clock.clone(),
+    };
+    let metrics_json = serde_json::to_string_pretty(&record).expect("metrics serialize");
+    if args.metrics {
+        let metrics_path = args.out.join("BENCH_metrics.json");
+        if write_file(&metrics_path, &metrics_json, &mut write_failures) {
+            written += 1;
+            eprintln!("wrote {}", metrics_path.display());
+        }
+    }
+
+    let trace_path = args.out.join("BENCH_trace.json");
+    let trace_json = obs.trace().to_chrome_json(&format!(
+        "serve scale={} seed={} chunk_rows={} epoch_rows={}",
+        args.scale, args.seed, args.chunk_rows, args.epoch_rows
+    ));
+    if write_file(&trace_path, &trace_json, &mut write_failures) {
+        written += 1;
+        eprintln!("wrote {}", trace_path.display());
+    }
+
+    let ledger_path = args.out.join("BENCH_ledger.jsonl");
+    let row = ServeLedgerRow::from_report(
+        &report,
+        args.parallelism,
+        args.chunk_rows,
+        args.seal_rows,
+        args.epoch_rows,
+        &stats,
+        final_epoch,
+    );
+    match append_ledger(&ledger_path, &row) {
+        Ok(()) => eprintln!("appended serve ledger row to {}", ledger_path.display()),
+        Err(e) => {
+            write_failures += 1;
+            eprintln!("WARN: cannot append to {}: {e}", ledger_path.display());
+        }
+    }
+
+    let mut md = render_report(&report);
+    md.push_str("\n## Shape claims (paper vs this run)\n\n");
+    md.push_str(&st_bench::claims::render_claims(&claims));
+    let holds = claims.iter().filter(|c| c.holds).count();
+    md.push_str(&format!("\n{holds}/{} claims hold\n", claims.len()));
+    if let Err(e) = std::fs::write(args.out.join("report.md"), &md) {
+        eprintln!("cannot write report: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{md}");
+
+    let mut baseline_drift = false;
+    if let Some(baseline_path) = &args.baseline {
+        let baseline_text = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline_doc = match MetricsDoc::parse(&baseline_text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("baseline {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let current_doc = MetricsDoc::parse(&metrics_json).expect("own snapshot parses");
+        let diff = diff_metrics(&baseline_doc, &current_doc, args.diff_options);
+        println!("{}", diff.render(&baseline_doc, &current_doc));
+        if diff.deterministic_match() {
+            eprintln!(
+                "baseline {}: deterministic metrics match ({} keys)",
+                baseline_path.display(),
+                diff.matched_keys
+            );
+        } else {
+            baseline_drift = true;
+            eprintln!(
+                "BASELINE DRIFT: {} deterministic keys differ from {}",
+                diff.drift.len(),
+                baseline_path.display()
+            );
+        }
+    }
+
+    eprintln!(
+        "generate {:.1}s | stream {:.1}s ({:.0} rows/s) | fit {:.1}s | derive {:.1}s | render {:.1}s",
+        report.timings.generate_s,
+        stats.ingest_s,
+        row.rows_per_s,
+        report.timings.fit_s,
+        report.timings.derive_s,
+        report.timings.render_s
+    );
+    eprintln!("wrote {} files to {} in {:.1?}", written + 1, args.out.display(), t0.elapsed());
+
+    if args.linger > 0 {
+        eprintln!(
+            "serving final epoch {} on {} for up to {}s (send {{\"cmd\":\"shutdown\"}} to exit)",
+            final_epoch,
+            server.addr(),
+            args.linger
+        );
+        if server.wait_shutdown(Duration::from_secs(args.linger)) {
+            eprintln!("shutdown requested by a client");
+        }
+    }
+    server.stop();
+
+    if write_failures > 0 {
+        eprintln!("WRITE FAILURES: {write_failures} output files could not be written");
+    }
+    if report.health.is_degraded() {
+        let h = &report.health;
+        eprintln!(
+            "DEGRADED: {} of {} render jobs failed ({} retried); see the report's Health section",
+            h.jobs_failed, h.jobs_total, h.jobs_retried
+        );
+        return ExitCode::FAILURE;
+    }
+    if baseline_drift || write_failures > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

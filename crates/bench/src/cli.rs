@@ -1,0 +1,133 @@
+//! Shared validated flag parsing for the st-bench binaries.
+//!
+//! Every binary used to hand-roll the same `--scale`/`--seed`/... loop
+//! with slightly different validation and a single catch-all exit code.
+//! This module centralizes the value parsing so `ingest` and `serve`
+//! reject the same nonsense the same way, and splits the exit contract
+//! in two:
+//!
+//! * **usage errors** (bad flag, missing value, out-of-range knob like
+//!   `--chunk-rows 0`) exit with [`USAGE_EXIT_CODE`] (2) — the caller
+//!   never started doing work;
+//! * **runtime failures** (degraded render, baseline drift, write
+//!   failures) keep exiting 1 as before.
+//!
+//! `--help` is not an error: it prints the usage string to stdout and
+//! exits 0.
+
+use std::process::ExitCode;
+
+/// Exit code for malformed invocations (POSIX-style "incorrect usage").
+pub const USAGE_EXIT_CODE: u8 = 2;
+
+/// How an argument parse ends early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// `--help`/`-h`: print the usage string to stdout, exit 0.
+    Help(String),
+    /// A malformed invocation: print to stderr, exit [`USAGE_EXIT_CODE`].
+    Usage(String),
+}
+
+impl CliError {
+    /// Report the outcome and produce the binary's exit code.
+    pub fn report(self) -> ExitCode {
+        match self {
+            CliError::Help(usage) => {
+                println!("{usage}");
+                ExitCode::SUCCESS
+            }
+            CliError::Usage(msg) => {
+                eprintln!("{msg}");
+                ExitCode::from(USAGE_EXIT_CODE)
+            }
+        }
+    }
+}
+
+/// Pull the value following `flag` off the argument iterator.
+pub fn next_value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, CliError> {
+    it.next().ok_or_else(|| CliError::Usage(format!("{flag} requires a value")))
+}
+
+/// Parse a `--scale`-style fraction: a float in `(0, 1]`.
+pub fn parse_scale(flag: &str, raw: &str) -> Result<f64, CliError> {
+    let v: f64 = raw.parse().map_err(|e| CliError::Usage(format!("bad {flag} {raw:?}: {e}")))?;
+    if !(v > 0.0 && v <= 1.0) {
+        return Err(CliError::Usage(format!("{flag} must be in (0, 1], got {raw}")));
+    }
+    Ok(v)
+}
+
+/// Parse a count knob that must be at least 1 (`--chunk-rows`,
+/// `--seal-rows`, `--epoch-rows`, `--parallelism`, ...). Zero is a
+/// usage error, not a panic deep in the pipeline.
+pub fn parse_at_least_one(flag: &str, raw: &str) -> Result<usize, CliError> {
+    let v: usize = raw.parse().map_err(|e| CliError::Usage(format!("bad {flag} {raw:?}: {e}")))?;
+    if v == 0 {
+        return Err(CliError::Usage(format!("{flag} must be >= 1")));
+    }
+    Ok(v)
+}
+
+/// Parse an unsigned 64-bit knob (`--seed`, session counts, ...).
+pub fn parse_u64(flag: &str, raw: &str) -> Result<u64, CliError> {
+    raw.parse().map_err(|e| CliError::Usage(format!("bad {flag} {raw:?}: {e}")))
+}
+
+/// Parse an unsigned count that may legitimately be zero
+/// (`--wire-sessions`, `--linger`, ...).
+pub fn parse_count(flag: &str, raw: &str) -> Result<usize, CliError> {
+    raw.parse().map_err(|e| CliError::Usage(format!("bad {flag} {raw:?}: {e}")))
+}
+
+/// Parse a float knob with a lower bound (`--wall-ratio`, ...). NaN is
+/// rejected.
+pub fn parse_float_min(flag: &str, raw: &str, min: f64) -> Result<f64, CliError> {
+    let v: f64 = raw.parse().map_err(|e| CliError::Usage(format!("bad {flag} {raw:?}: {e}")))?;
+    if v < min || v.is_nan() {
+        return Err(CliError::Usage(format!("{flag} must be >= {min}")));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_counts_are_usage_errors() {
+        for flag in ["--chunk-rows", "--seal-rows", "--epoch-rows", "--parallelism"] {
+            match parse_at_least_one(flag, "0") {
+                Err(CliError::Usage(msg)) => assert!(msg.contains(flag), "{msg}"),
+                other => panic!("{flag} 0 must be a usage error, got {other:?}"),
+            }
+        }
+        assert_eq!(parse_at_least_one("--chunk-rows", "500"), Ok(500));
+    }
+
+    #[test]
+    fn scale_bounds_and_garbage_are_usage_errors() {
+        assert!(parse_scale("--scale", "0.05").is_ok());
+        assert!(parse_scale("--scale", "1.0").is_ok());
+        for bad in ["0", "1.5", "-0.1", "NaN", "banana"] {
+            assert!(
+                matches!(parse_scale("--scale", bad), Err(CliError::Usage(_))),
+                "--scale {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_values_and_floats_are_validated() {
+        let mut empty = std::iter::empty::<String>();
+        assert!(matches!(next_value(&mut empty, "--seed"), Err(CliError::Usage(_))));
+        let mut one = ["7".to_string()].into_iter();
+        assert_eq!(next_value(&mut one, "--seed").unwrap(), "7");
+        assert_eq!(parse_u64("--seed", "7"), Ok(7));
+        assert!(matches!(parse_float_min("--wall-ratio", "0.5", 1.0), Err(CliError::Usage(_))));
+        assert!(matches!(parse_float_min("--wall-ratio", "NaN", 1.0), Err(CliError::Usage(_))));
+        assert_eq!(parse_float_min("--wall-ratio", "1.25", 1.0), Ok(1.25));
+        assert_eq!(parse_count("--linger", "0"), Ok(0));
+    }
+}

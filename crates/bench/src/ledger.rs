@@ -30,6 +30,9 @@ pub const LOAD_LEDGER_SCHEMA: &str = "st-load/v1";
 /// Schema tag stamped on every `ingest` replay row.
 pub const INGEST_LEDGER_SCHEMA: &str = "st-ingest/v1";
 
+/// Schema tag stamped on every `serve` run row.
+pub const SERVE_LEDGER_SCHEMA: &str = "st-serve/v1";
+
 /// FNV-1a offset basis (matches the golden-identity test).
 pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 /// FNV-1a prime (matches the golden-identity test).
@@ -234,6 +237,120 @@ impl IngestLedgerRow {
             } else {
                 0.0
             },
+        }
+    }
+}
+
+/// One `serve` run's summary row (schema [`SERVE_LEDGER_SCHEMA`]).
+/// `artifact_hash` uses the same FNV-1a scheme as every other row kind,
+/// so a serve row is batch-comparable: equal hashes mean the service's
+/// final epoch republished the batch artifact set byte for byte.
+/// `chunks`, `rows`, `segments`, and `epochs` are deterministic for a
+/// given (code, scale, seed, chunk plan, epoch size) tuple — epochs in
+/// particular because boundary crossings telescope to
+/// `floor(accepted / epoch_rows) + 1` regardless of interleave or
+/// parallelism. The stage durations and `rows_per_s` (sustained ingest
+/// throughput through the service path) are wall-clock class.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeLedgerRow {
+    /// Row schema tag ([`SERVE_LEDGER_SCHEMA`]).
+    pub schema: String,
+    /// The run's `--scale`.
+    pub scale: f64,
+    /// The run's `--seed`.
+    pub seed: u64,
+    /// The run's `--parallelism`.
+    pub parallelism: usize,
+    /// Rows per streamed chunk (`--chunk-rows`).
+    pub chunk_rows: usize,
+    /// Sealed-segment size threshold (`--seal-rows`).
+    pub seal_rows: usize,
+    /// Accepted rows per published epoch (`--epoch-rows`).
+    pub epoch_rows: usize,
+    /// Chunks streamed through the service.
+    pub chunks: u64,
+    /// Rows offered to the incremental sanitizer.
+    pub rows: u64,
+    /// Sealed segments across all frozen stores after drain.
+    pub segments: u64,
+    /// Epochs published (warm crossings plus the final epoch).
+    pub epochs: u64,
+    /// FNV-1a hash of the artifact file set, as 16 hex digits —
+    /// comparable against batch and ingest rows and the pinned golden
+    /// value.
+    pub artifact_hash: String,
+    /// Files in the hashed artifact set.
+    pub artifact_files: usize,
+    /// Artifacts produced (placeholders included).
+    pub artifacts: usize,
+    /// Headline numbers produced.
+    pub headlines: usize,
+    /// Render jobs that failed both attempts.
+    pub jobs_failed: usize,
+    /// Render jobs that survived on their retry.
+    pub jobs_retried: usize,
+    /// Records the sanitizer passed through untouched.
+    pub records_clean: u64,
+    /// Records the sanitizer repaired.
+    pub records_repaired: u64,
+    /// Records the sanitizer quarantined.
+    pub records_quarantined: u64,
+    /// Wall-clock seconds of the generate stage.
+    pub generate_s: f64,
+    /// Wall-clock seconds of the streaming stage (chunks + drain).
+    pub ingest_s: f64,
+    /// Wall-clock seconds of the fit stage.
+    pub fit_s: f64,
+    /// Wall-clock seconds of the derive stage.
+    pub derive_s: f64,
+    /// Wall-clock seconds of the render stage.
+    pub render_s: f64,
+    /// Sustained ingest throughput, rows per wall-clock second
+    /// (wall-clock class).
+    pub rows_per_s: f64,
+}
+
+impl ServeLedgerRow {
+    /// Summarize one completed serve run. `epochs` should count the
+    /// final epoch too (i.e. the value *after* `publish_final`).
+    pub fn from_report(
+        report: &ReproReport,
+        parallelism: usize,
+        chunk_rows: usize,
+        seal_rows: usize,
+        epoch_rows: usize,
+        stats: &crate::ServeStats,
+        epochs: u64,
+    ) -> ServeLedgerRow {
+        let (hash, files) = artifact_hash(&report.artifacts);
+        let s = &report.health.sanitize;
+        ServeLedgerRow {
+            schema: SERVE_LEDGER_SCHEMA.to_string(),
+            scale: report.scale,
+            seed: report.seed,
+            parallelism,
+            chunk_rows,
+            seal_rows,
+            epoch_rows,
+            chunks: stats.chunks,
+            rows: stats.rows,
+            segments: stats.segments,
+            epochs,
+            artifact_hash: format!("{hash:016x}"),
+            artifact_files: files,
+            artifacts: report.artifacts.len(),
+            headlines: report.headlines.len(),
+            jobs_failed: report.health.jobs_failed,
+            jobs_retried: report.health.jobs_retried,
+            records_clean: s.clean,
+            records_repaired: s.repaired,
+            records_quarantined: s.quarantined,
+            generate_s: report.timings.generate_s,
+            ingest_s: stats.ingest_s,
+            fit_s: report.timings.fit_s,
+            derive_s: report.timings.derive_s,
+            render_s: report.timings.render_s,
+            rows_per_s: if stats.ingest_s > 0.0 { stats.rows as f64 / stats.ingest_s } else { 0.0 },
         }
     }
 }

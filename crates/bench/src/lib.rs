@@ -46,6 +46,7 @@
 //! `ingest_identity` test pins the replay to the batch golden hash.
 
 pub mod claims;
+pub mod cli;
 pub mod diff;
 pub mod ledger;
 
@@ -54,8 +55,9 @@ use st_analysis::{
     cities, ext_latency, fig01, fig02, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11,
     fig12, fig13, table1, table2, table3, table4, CityAnalysis,
 };
-use st_datagen::{City, CityDataset, DirtyScenario};
+use st_datagen::{City, CityConfig, CityDataset, DirtyScenario};
 use st_obs::{MetricsSnapshot, Registry};
+use st_serve::{ContextService, ServeError, WarmInput, WarmOutput, WarmRenderer};
 use st_speedtest::{sanitize, Measurement, SanitizeReport, SegmentedStore};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -434,12 +436,52 @@ pub struct IngestStats {
 /// SplitMix64 step — the ingest scheduler's whole PRNG. Keeping it local
 /// (rather than an `StdRng`) pins the chunk interleave to a documented
 /// three-line recurrence that cannot drift under a rand upgrade.
-fn splitmix64(state: &mut u64) -> u64 {
+pub fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// Split one campaign's records into `chunk_rows`-row chunks, preserving
+/// stream order. Shared by the `ingest` replay and the serve replay so
+/// both front-ends see the exact same chunk plan.
+pub fn split_chunks(records: Vec<Measurement>, chunk_rows: usize) -> VecDeque<Vec<Measurement>> {
+    assert!(chunk_rows > 0, "chunk_rows must be >= 1");
+    let mut chunks = VecDeque::new();
+    let mut it = records.into_iter();
+    loop {
+        let chunk: Vec<Measurement> = it.by_ref().take(chunk_rows).collect();
+        if chunk.is_empty() {
+            return chunks;
+        }
+        chunks.push_back(chunk);
+    }
+}
+
+/// The seed-scheduled chunk interleave of one city's campaign streams —
+/// a pure function of `(seed, city index, pick sequence)`; worker
+/// interleaving and wall-clock never feed into it. Both the `ingest`
+/// replay and the serve replay draw from this schedule, which is what
+/// makes their accepted-row sequences (and therefore the fitted models)
+/// identical.
+#[derive(Debug, Clone)]
+pub struct ReplaySchedule {
+    state: u64,
+}
+
+impl ReplaySchedule {
+    /// Schedule for city number `city_index` under `seed`.
+    pub fn new(seed: u64, city_index: usize) -> Self {
+        ReplaySchedule { state: seed ^ (city_index as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15) }
+    }
+
+    /// Pick which of `live` still-nonempty streams sends next.
+    pub fn pick(&mut self, live: usize) -> usize {
+        assert!(live > 0, "pick needs a live stream");
+        (splitmix64(&mut self.state) % live as u64) as usize
+    }
 }
 
 /// Per-chunk ingest latency buckets, seconds (wall-clock class).
@@ -499,26 +541,19 @@ pub fn build_analyses_ingest(
         let city_span = sub.span(&format!("ingest/{city}"));
         let CityDataset { config, ookla, mlab, mba, .. } = ds;
 
-        let split = |records: Vec<Measurement>| -> VecDeque<Vec<Measurement>> {
-            let mut chunks = VecDeque::new();
-            let mut it = records.into_iter();
-            loop {
-                let chunk: Vec<Measurement> = it.by_ref().take(opts.chunk_rows).collect();
-                if chunk.is_empty() {
-                    return chunks;
-                }
-                chunks.push_back(chunk);
-            }
-        };
         let mut streams = [
-            ("ookla", split(ookla), SegmentedStore::builder(opts.seal_rows)),
-            ("mlab", split(mlab), SegmentedStore::builder(opts.seal_rows)),
-            ("mba", split(mba), SegmentedStore::builder(opts.seal_rows)),
+            (
+                "ookla",
+                split_chunks(ookla, opts.chunk_rows),
+                SegmentedStore::builder(opts.seal_rows),
+            ),
+            ("mlab", split_chunks(mlab, opts.chunk_rows), SegmentedStore::builder(opts.seal_rows)),
+            ("mba", split_chunks(mba, opts.chunk_rows), SegmentedStore::builder(opts.seal_rows)),
         ];
 
         // The schedule is a pure function of (seed, city index, chunk
         // plan); worker interleaving and wall-clock never feed into it.
-        let mut state = seed ^ (ci as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut sched = ReplaySchedule::new(seed, ci);
         let mut stats = IngestStats::default();
         loop {
             let live: Vec<usize> =
@@ -526,7 +561,7 @@ pub fn build_analyses_ingest(
             if live.is_empty() {
                 break;
             }
-            let k = live[(splitmix64(&mut state) % live.len() as u64) as usize];
+            let k = live[sched.pick(live.len())];
             let (campaign, queue, store) = &mut streams[k];
             let chunk = queue.pop_front().expect("stream is live");
             let t0 = std::time::Instant::now();
@@ -550,7 +585,7 @@ pub fn build_analyses_ingest(
         let mut report = SanitizeReport::default();
         let mut stores = Vec::with_capacity(streams.len());
         for (campaign, _, mut store) in streams {
-            store.freeze();
+            store.freeze().expect("ingest freezes each store exactly once");
             store.report().record(&sub, &[("campaign", campaign), ("city", city)]);
             report.merge(store.report());
             stats.segments += store.num_segments();
@@ -574,14 +609,44 @@ pub fn build_analyses_ingest(
         prepared.push((config, stores));
     }
 
+    let prepared = prepared
+        .into_iter()
+        .map(|(config, mut stores)| {
+            let mba = stores.pop().expect("three campaign stores");
+            let mlab = stores.pop().expect("three campaign stores");
+            let ookla = stores.pop().expect("three campaign stores");
+            (config, ookla, mlab, mba)
+        })
+        .collect();
+    let (analyses, fit_s) = fit_stage(prepared, seed, city_workers, obs);
+
+    let derive_s = derive_stage(&analyses, parallelism, obs);
+
+    (
+        Arc::new(analyses),
+        StageTimings { generate_s, fit_s, derive_s, render_s: 0.0 },
+        sanitize_total,
+        stats_total,
+    )
+}
+
+/// The fit stage shared by the `ingest` replay and the serve replay:
+/// one [`CityAnalysis::from_stores`] per city (each against its own
+/// sub-registry, merged back in city order) with the batch fit seed
+/// derivation (`seed ^ 0x5eed`). Keeping this a single function is what
+/// lets the serve-identity suite claim the service's final fit *is* the
+/// batch fit.
+fn fit_stage(
+    prepared: Vec<(CityConfig, SegmentedStore, SegmentedStore, SegmentedStore)>,
+    seed: u64,
+    city_workers: usize,
+    obs: &Registry,
+) -> (Vec<CityAnalysis>, f64) {
     obs.event("stage.start", "lifecycle", &[("stage", "fit")]);
     let fit_span = obs.span("fit");
-    let fitted = par_map(prepared, city_workers, |_, (config, mut stores)| {
+    let fitted = par_map(prepared, city_workers, |_, (config, ookla, mlab, mba)| {
         let sub = obs.sub();
         let city_span = sub.span(&format!("fit/{}", config.city.label()));
-        let mba = stores.pop().expect("three campaign stores");
-        let mlab = stores.pop().expect("three campaign stores");
-        let ookla = stores.pop().expect("three campaign stores");
         let analysis = CityAnalysis::from_stores(config, ookla, mlab, mba, seed ^ 0x5eed, &sub);
         city_span.stop();
         (analysis, sub)
@@ -593,15 +658,210 @@ pub fn build_analyses_ingest(
         obs.merge(&sub);
         analyses.push(analysis);
     }
+    (analyses, fit_s)
+}
+
+/// What the serve replay did, summed over all campaign streams.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct ServeStats {
+    /// Chunks streamed into the service.
+    pub chunks: u64,
+    /// Rows offered to the incremental sanitizer.
+    pub rows: u64,
+    /// Sealed segments across all frozen stores after drain.
+    pub segments: u64,
+    /// Warm epochs published while streaming — a pure function of the
+    /// accepted-row total and the epoch size (the final epoch adds one
+    /// more at `publish_final`).
+    pub epochs: u64,
+    /// Wall-clock seconds of the streaming stage (chunks + drain).
+    pub ingest_s: f64,
+}
+
+/// The warm-analysis renderer the `serve` binary injects into
+/// [`st_serve::ContextService`]: fit whatever rows have sealed with the
+/// batch fit path (`st_analysis::warm`) and render headline
+/// figures/tables. City configs are reconstructed from `(scale, city)`
+/// — [`CityConfig::at_scale`] is pure — so the closure captures no
+/// dataset state. The fit seed is the batch derivation (`seed ^
+/// 0x5eed`): a warm fit over the *complete* sealed stream is the batch
+/// fit, which is what the serve-identity suite pins.
+pub fn make_warm_renderer(scale: f64, seed: u64) -> WarmRenderer {
+    Arc::new(move |input: &WarmInput| {
+        let mut analyses = Vec::new();
+        for wc in &input.cities {
+            let Some(city) = City::all().iter().copied().find(|c| c.label() == wc.city) else {
+                continue; // non-city partitions (e.g. "wire") carry no warm fit
+            };
+            let stream = |name: &str| {
+                wc.campaigns
+                    .iter()
+                    .find(|(c, _)| c == name)
+                    .map(|(_, rows)| rows.as_slice())
+                    .unwrap_or(&[])
+            };
+            analyses.push(st_analysis::warm::warm_fit(
+                CityConfig::at_scale(city, scale),
+                stream("ookla"),
+                stream("mlab"),
+                stream("mba"),
+                seed ^ 0x5eed,
+            ));
+        }
+        WarmOutput {
+            headlines: st_analysis::warm::warm_headlines(&analyses),
+            tables: st_analysis::warm::warm_tables(&analyses),
+        }
+    })
+}
+
+/// What the serve replay hands back: the fitted analyses, stage
+/// timings, the deterministic-partition sanitize totals, and the
+/// stream statistics for the ledger row.
+pub type ServeBuildOutput = (Arc<Vec<CityAnalysis>>, StageTimings, SanitizeReport, ServeStats);
+
+/// Like [`build_analyses_ingest`], but the chunk stream flows through a
+/// running [`ContextService`] instead of thread-local stores: the same
+/// generated campaigns, the same [`split_chunks`] plan, the same
+/// [`ReplaySchedule`] interleave — only the appends go through the
+/// service's sharded ingest path (incremental sanitize, segment
+/// sealing, epoch publication). After the streams run dry the service
+/// is drained and the frozen stores flow through the shared
+/// [`fit_stage`] and derive stage, so the final analyses are the batch
+/// analyses byte for byte.
+///
+/// `service` must have one deterministic partition per generated city
+/// (label-matched) with the standard `ookla`/`mlab`/`mba` campaigns —
+/// [`st_serve::PartitionSpec::city`] per [`City::all`] entry. Extra
+/// partitions (e.g. the wire partition) are left untouched by the
+/// replay but are frozen by the drain like everything else.
+///
+/// The returned [`SanitizeReport`] covers the deterministic partitions
+/// only; their per-campaign `sanitize.*` counters are recorded into
+/// `obs` in partition order after the drain, mirroring the ingest
+/// path's freeze-time recording. Wire-partition rows stay out of the
+/// deterministic metric class entirely (DESIGN.md §18).
+pub fn build_analyses_serve(
+    scale: f64,
+    seed: u64,
+    parallelism: usize,
+    chunk_rows: usize,
+    service: &ContextService,
+    obs: &Registry,
+) -> Result<ServeBuildOutput, ServeError> {
+    assert!(chunk_rows > 0, "chunk_rows must be >= 1");
+    let parallelism = parallelism.max(1);
+    let cities = City::all();
+    let city_workers = parallelism.min(cities.len());
+    let inner = parallelism.div_ceil(city_workers);
+
+    obs.event("stage.start", "lifecycle", &[("stage", "generate")]);
+    let gen_span = obs.span("generate");
+    let generated = par_map(cities.to_vec(), city_workers, |_, city| {
+        let sub = obs.sub();
+        let city_span = sub.span(&format!("generate/{}", city.label()));
+        let ds = CityDataset::generate_with_parallelism(city, scale, seed, inner);
+        ds.observe(&sub);
+        city_span.stop();
+        (ds, sub)
+    });
+    let generate_s = gen_span.stop();
+    obs.event("stage.end", "lifecycle", &[("stage", "generate")]);
+    let mut datasets = Vec::with_capacity(generated.len());
+    for (ds, sub) in generated {
+        obs.merge(&sub);
+        datasets.push(ds);
+    }
+
+    obs.event("stage.start", "lifecycle", &[("stage", "ingest")]);
+    let ingest_span = obs.span("ingest");
+    let streamed = par_map(datasets, city_workers, |ci, ds| {
+        let city = ds.config.city.label();
+        let CityDataset { config, ookla, mlab, mba, .. } = ds;
+        let mut streams = [
+            ("ookla", split_chunks(ookla, chunk_rows)),
+            ("mlab", split_chunks(mlab, chunk_rows)),
+            ("mba", split_chunks(mba, chunk_rows)),
+        ];
+        let mut sched = ReplaySchedule::new(seed, ci);
+        let mut stats = ServeStats::default();
+        loop {
+            let live: Vec<usize> =
+                (0..streams.len()).filter(|&k| !streams[k].1.is_empty()).collect();
+            if live.is_empty() {
+                break;
+            }
+            let (campaign, queue) = &mut streams[live[sched.pick(live.len())]];
+            let chunk = queue.pop_front().expect("stream is live");
+            match service.ingest_chunk(city, campaign, chunk) {
+                Ok(receipt) => {
+                    stats.chunks += 1;
+                    stats.rows += receipt.stats.rows_in as u64;
+                }
+                Err(e) => return (config, stats, Some(e)),
+            }
+        }
+        (config, stats, None)
+    });
+    let mut stats_total = ServeStats::default();
+    let mut configs = Vec::with_capacity(streamed.len());
+    for (config, stats, err) in streamed {
+        if let Some(e) = err {
+            return Err(e);
+        }
+        stats_total.chunks += stats.chunks;
+        stats_total.rows += stats.rows;
+        configs.push(config);
+    }
+
+    let drained = service.drain()?;
+    stats_total.ingest_s = ingest_span.stop();
+    obs.event("stage.end", "lifecycle", &[("stage", "ingest")]);
+    stats_total.segments = drained.segments;
+    stats_total.epochs = service.current_epoch().epoch;
+
+    // Post-drain, partition order: record the deterministic partitions'
+    // sanitize taxonomy exactly like the ingest path does at freeze.
+    let mut sanitize_total = SanitizeReport::default();
+    let mut by_city: std::collections::BTreeMap<String, Vec<(String, SegmentedStore)>> =
+        std::collections::BTreeMap::new();
+    for part in drained.partitions {
+        if !part.deterministic {
+            continue;
+        }
+        for (campaign, store) in &part.stores {
+            store.report().record(obs, &[("campaign", campaign), ("city", &part.city)]);
+            sanitize_total.merge(store.report());
+        }
+        by_city.insert(part.city, part.stores);
+    }
+
+    let mut prepared = Vec::with_capacity(configs.len());
+    for config in configs {
+        let label = config.city.label();
+        let stores =
+            by_city.remove(label).ok_or_else(|| ServeError::UnknownCity(label.to_string()))?;
+        let mut map: std::collections::BTreeMap<String, SegmentedStore> =
+            stores.into_iter().collect();
+        let mut take = |name: &str| {
+            map.remove(name).ok_or_else(|| ServeError::UnknownCampaign {
+                city: label.to_string(),
+                campaign: name.to_string(),
+            })
+        };
+        let (ookla, mlab, mba) = (take("ookla")?, take("mlab")?, take("mba")?);
+        prepared.push((config, ookla, mlab, mba));
+    }
+    let (analyses, fit_s) = fit_stage(prepared, seed, city_workers, obs);
 
     let derive_s = derive_stage(&analyses, parallelism, obs);
 
-    (
+    Ok((
         Arc::new(analyses),
         StageTimings { generate_s, fit_s, derive_s, render_s: 0.0 },
         sanitize_total,
         stats_total,
-    )
+    ))
 }
 
 /// What one render job yields: its artifacts and headlines, in paper

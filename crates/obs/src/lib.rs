@@ -53,6 +53,7 @@ pub use trace::{Phase, Trace, TraceEvent};
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -327,6 +328,15 @@ struct Inner {
     det: Mutex<DeterministicMetrics>,
     wall: Mutex<WallClockMetrics>,
     trace: Mutex<TraceBuf>,
+    /// Bumped after every metric mutation (trace events excluded — they
+    /// never appear in a snapshot). [`Registry::snapshot_shared`] keys
+    /// its cache on this, so idle readers pay one atomic load plus an
+    /// `Arc` bump instead of a full clone of every map.
+    version: AtomicU64,
+    /// `(version, snapshot)` pair last built by `snapshot_shared`. The
+    /// version is read *before* the maps are cloned, so a write racing
+    /// the build can only make the cache stale — never wrong.
+    snap_cache: Mutex<(u64, Option<Arc<MetricsSnapshot>>)>,
 }
 
 impl Inner {
@@ -336,7 +346,14 @@ impl Inner {
             det: Mutex::default(),
             wall: Mutex::default(),
             trace: Mutex::new(TraceBuf { events: Vec::new(), lanes: 1 }),
+            version: AtomicU64::new(0),
+            snap_cache: Mutex::new((0, None)),
         }
+    }
+
+    /// Mark the metric state changed (invalidates the snapshot cache).
+    fn bump(&self) {
+        self.version.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -389,6 +406,7 @@ impl Registry {
     pub fn add(&self, name: &str, labels: &[(&str, &str)], n: u64) {
         let Some(inner) = &self.inner else { return };
         *inner.det.lock().counters.entry(metric_key(name, labels)).or_insert(0) += n;
+        inner.bump();
     }
 
     /// Add 1 to the counter `name{labels}`.
@@ -411,6 +429,7 @@ impl Registry {
             .entry(metric_key(name, labels))
             .and_modify(|g| *g = g.max(value))
             .or_insert(value);
+        inner.bump();
     }
 
     /// Observe `value` in the histogram `name{labels}` with the given
@@ -425,6 +444,7 @@ impl Registry {
             .entry(metric_key(name, labels))
             .or_insert_with(|| Histogram::new(bounds))
             .observe(value);
+        inner.bump();
     }
 
     /// Observe `value` in the **wall-clock** histogram `name{labels}`.
@@ -441,6 +461,7 @@ impl Registry {
             .entry(metric_key(name, labels))
             .or_insert_with(|| Histogram::new(bounds))
             .observe(value);
+        inner.bump();
     }
 
     /// Append `values` to the series `name{labels}`.
@@ -453,6 +474,7 @@ impl Registry {
             .entry(metric_key(name, labels))
             .or_default()
             .extend_from_slice(values);
+        inner.bump();
     }
 
     /// Record one completed wall-clock interval under span `path`.
@@ -460,10 +482,13 @@ impl Registry {
     /// what additionally emits a trace timeline event.
     pub fn record_span(&self, path: &str, secs: f64) {
         let Some(inner) = &self.inner else { return };
-        let mut wall = inner.wall.lock();
-        let stat = wall.spans.entry(path.to_string()).or_default();
-        stat.count += 1;
-        stat.total_s += secs;
+        {
+            let mut wall = inner.wall.lock();
+            let stat = wall.spans.entry(path.to_string()).or_default();
+            stat.count += 1;
+            stat.total_s += secs;
+        }
+        inner.bump();
     }
 
     /// Record an instant lifecycle trace event (`ph: "i"`) under `name`
@@ -497,6 +522,7 @@ impl Registry {
             stat.count += 1;
             stat.total_s += secs;
         }
+        inner.bump();
         let ts_us = start.saturating_duration_since(inner.epoch).as_micros() as u64;
         let cat = path.split('/').next().unwrap_or(path).to_string();
         inner.trace.lock().events.push(TraceEvent {
@@ -566,15 +592,18 @@ impl Registry {
         }
         // Trace events append in merge order, shifted onto a fresh lane
         // block so every merged unit of work keeps its own CTEF track.
-        let theirs = other_inner.trace.lock();
-        let mut ours = inner.trace.lock();
-        let base = ours.lanes;
-        ours.events.extend(theirs.events.iter().map(|e| {
-            let mut e = e.clone();
-            e.lane += base;
-            e
-        }));
-        ours.lanes = base + theirs.lanes;
+        {
+            let theirs = other_inner.trace.lock();
+            let mut ours = inner.trace.lock();
+            let base = ours.lanes;
+            ours.events.extend(theirs.events.iter().map(|e| {
+                let mut e = e.clone();
+                e.lane += base;
+                e
+            }));
+            ours.lanes = base + theirs.lanes;
+        }
+        inner.bump();
     }
 
     /// A copy of the trace buffer recorded so far (empty when disabled).
@@ -587,11 +616,44 @@ impl Registry {
 
     /// A copy of everything recorded so far.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let (det, wall) = match &self.inner {
-            Some(inner) => (inner.det.lock().clone(), inner.wall.lock().clone()),
-            None => (DeterministicMetrics::default(), WallClockMetrics::default()),
+        (*self.snapshot_shared()).clone()
+    }
+
+    /// A shared, cached snapshot of everything recorded so far — the
+    /// cheap read path a long-running service's query loop (and the
+    /// operator console ROADMAP item 5 wants) can hit per request.
+    ///
+    /// The snapshot is rebuilt only when a metric has changed since the
+    /// last call; an idle registry hands out the same `Arc` every time
+    /// (one atomic load + refcount bump, no map clones). A write racing
+    /// a rebuild at worst leaves the cache marked stale, so the next
+    /// call rebuilds again — callers never observe a snapshot older
+    /// than the last mutation that completed before they called.
+    pub fn snapshot_shared(&self) -> Arc<MetricsSnapshot> {
+        let Some(inner) = &self.inner else {
+            return Arc::new(MetricsSnapshot {
+                schema: "st-obs/v1",
+                deterministic: DeterministicMetrics::default(),
+                wall_clock: WallClockMetrics::default(),
+            });
         };
-        MetricsSnapshot { schema: "st-obs/v1", deterministic: det, wall_clock: wall }
+        let mut cache = inner.snap_cache.lock();
+        // Read the version *before* cloning the maps: a concurrent
+        // write can then only invalidate (version moves on), never be
+        // silently absorbed under a too-new version stamp.
+        let version = inner.version.load(Ordering::Acquire);
+        if let (cached_version, Some(snap)) = &*cache {
+            if *cached_version == version {
+                return Arc::clone(snap);
+            }
+        }
+        let snap = Arc::new(MetricsSnapshot {
+            schema: "st-obs/v1",
+            deterministic: inner.det.lock().clone(),
+            wall_clock: inner.wall.lock().clone(),
+        });
+        *cache = (version, Some(Arc::clone(&snap)));
+        snap
     }
 }
 
@@ -906,5 +968,62 @@ mod tests {
         assert!(json.contains("\"schema\": \"st-obs/v1\""));
         assert!(json.contains("\"deterministic\""));
         assert!(json.contains("\"wall_clock\""));
+    }
+
+    #[test]
+    fn snapshot_shared_reuses_the_arc_until_a_metric_changes() {
+        let reg = Registry::new();
+        reg.inc("c", &[]);
+        let a = reg.snapshot_shared();
+        let b = reg.snapshot_shared();
+        assert!(Arc::ptr_eq(&a, &b), "idle registry must hand out the cached snapshot");
+        assert_eq!(a.deterministic.counters["c"], 1);
+
+        // Every mutation class invalidates: counter, gauge, histogram,
+        // wall value, series, span stat, and merge.
+        reg.inc("c", &[]);
+        let c = reg.snapshot_shared();
+        assert!(!Arc::ptr_eq(&b, &c), "a counter write must invalidate the cache");
+        assert_eq!(c.deterministic.counters["c"], 2);
+
+        for (i, mutate) in [
+            (&|r: &Registry| r.set_gauge("g", &[], 4.0)) as &dyn Fn(&Registry),
+            &|r: &Registry| r.observe("h", &[], 1.0, &[2.0]),
+            &|r: &Registry| r.observe_wall("w", &[], 1.0, &[2.0]),
+            &|r: &Registry| r.extend_series("s", &[], &[1.0]),
+            &|r: &Registry| r.record_span("sp", 0.5),
+            &|r: &Registry| {
+                let sub = r.sub();
+                sub.inc("m", &[]);
+                r.merge(&sub);
+            },
+        ]
+        .iter()
+        .enumerate()
+        {
+            let before = reg.snapshot_shared();
+            mutate(&reg);
+            let after = reg.snapshot_shared();
+            assert!(!Arc::ptr_eq(&before, &after), "mutation #{i} must invalidate the cache");
+        }
+        assert_eq!(reg.snapshot_shared().deterministic.counters["m"], 1);
+
+        // Trace events never appear in a snapshot, so they must not
+        // force a rebuild.
+        let before = reg.snapshot_shared();
+        reg.event("e", "lifecycle", &[]);
+        assert!(Arc::ptr_eq(&before, &reg.snapshot_shared()));
+
+        // Disabled registries hand out empty snapshots.
+        let off = Registry::disabled();
+        assert!(off.snapshot_shared().deterministic.counters.is_empty());
+    }
+
+    #[test]
+    fn snapshot_delegates_to_the_shared_cache() {
+        let reg = Registry::new();
+        reg.inc("c", &[]);
+        reg.observe_wall("w", &[], 1.0, &[2.0]);
+        assert_eq!(reg.snapshot(), (*reg.snapshot_shared()).clone());
     }
 }

@@ -1,0 +1,215 @@
+//! Epoch boundaries and the published snapshot model (DESIGN.md §18).
+//!
+//! An *epoch* is the unit of publication: every `epoch_rows` accepted
+//! campaign rows, the service assembles one immutable [`EpochSnapshot`]
+//! and atomically swaps it in as the current epoch. Queries clone an
+//! `Arc` onto whatever snapshot is current — readers never block the
+//! ingest path and can never observe a half-built epoch.
+//!
+//! The boundary function itself is deliberately trivial: the epoch
+//! index is `accepted_rows / epoch_rows`, a pure function of the
+//! accepted-row *count*. Chunk sizes, stream interleave, and worker
+//! scheduling decide *when* a boundary is crossed but never *where* it
+//! falls, and the total number of crossings telescopes to
+//! `epoch_index(total)` under any partition of the stream — the
+//! property the `serve.epochs` deterministic counter and the proptests
+//! in `tests/serve_prop.rs` lean on.
+
+use parking_lot::RwLock;
+use serde::Serialize;
+use st_speedtest::SanitizeReport;
+use std::sync::Arc;
+
+/// Epoch index after `accepted_rows` rows with boundaries every
+/// `epoch_rows`. Pure in the accepted-row count; panics on a zero
+/// divisor (the CLI layer rejects `--epoch-rows 0` with a usage error
+/// long before this runs).
+pub fn epoch_index(accepted_rows: u64, epoch_rows: u64) -> u64 {
+    assert!(epoch_rows > 0, "epoch_rows must be >= 1");
+    accepted_rows / epoch_rows
+}
+
+/// Boundaries crossed by growing the accepted count from `before` to
+/// `after`. Summing this over any chunking of a stream telescopes to
+/// `epoch_index(total, epoch_rows)` — crossings are invariant to how
+/// the stream was cut or interleaved.
+pub fn epochs_crossed(before: u64, after: u64, epoch_rows: u64) -> u64 {
+    debug_assert!(after >= before, "accepted-row counts are monotone");
+    epoch_index(after, epoch_rows).saturating_sub(epoch_index(before, epoch_rows))
+}
+
+/// One campaign stream's state as captured in an epoch.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignSnapshot {
+    /// Campaign name within the city partition ("ookla", "mlab", ...).
+    pub campaign: String,
+    /// Rows the incremental sanitizer accepted (sealed + tail).
+    pub accepted_rows: u64,
+    /// Immutable segments sealed so far.
+    pub sealed_segments: u64,
+    /// Accepted rows still buffered in the mutable tail.
+    pub tail_rows: u64,
+    /// Whether the stream has been frozen (final epoch only).
+    pub frozen: bool,
+}
+
+/// One city partition's state as captured in an epoch.
+#[derive(Debug, Clone, Serialize)]
+pub struct CitySnapshot {
+    /// Partition name (city label, or "wire" for session results).
+    pub city: String,
+    /// Whether this partition joins the deterministic counter class
+    /// and advances epochs (wire partitions do not — DESIGN.md §18).
+    pub deterministic: bool,
+    /// Per-campaign stream detail.
+    pub campaigns: Vec<CampaignSnapshot>,
+}
+
+/// One published epoch: everything a query can be answered from.
+///
+/// Immutable once published; the service swaps a fresh `Arc` in at
+/// each boundary and readers hold whichever one they grabbed. The
+/// global counters (`accepted_rows`, `rows_in`, ...) are captured
+/// atomically at the boundary crossing; the per-city detail is read
+/// per-partition immediately after and is therefore *at least as new
+/// as* the trigger (never older, never torn).
+#[derive(Debug, Clone, Serialize)]
+pub struct EpochSnapshot {
+    /// Epoch index: `accepted_rows / epoch_rows` at the crossing, plus
+    /// one final increment when the stream drains.
+    pub epoch: u64,
+    /// True only for the post-drain epoch (frozen stores, rendered
+    /// artifacts).
+    pub final_epoch: bool,
+    /// Deterministic-class accepted rows at the crossing.
+    pub accepted_rows: u64,
+    /// Rows offered to the sanitizer (all partitions).
+    pub rows_in: u64,
+    /// Rows quarantined (all partitions).
+    pub quarantined: u64,
+    /// Chunks ingested (all partitions).
+    pub chunks: u64,
+    /// Segments sealed (all partitions).
+    pub segments_sealed: u64,
+    /// Per-partition stream detail.
+    pub cities: Vec<CitySnapshot>,
+    /// Merged sanitize taxonomy across every stream.
+    pub sanitize: SanitizeReport,
+    /// Warm headline `(label, value)` pairs (final figures after
+    /// drain).
+    pub headlines: Vec<(String, String)>,
+    /// Warm rendered tables as `(id, text)` pairs.
+    pub tables: Vec<(String, String)>,
+    /// Batch-comparable FNV-1a artifact hash — final epoch only.
+    pub artifact_hash: Option<String>,
+    /// Files under the artifact hash — final epoch only.
+    pub artifact_files: u64,
+}
+
+impl EpochSnapshot {
+    /// The epoch published before any row arrives: index 0, all zeros,
+    /// with the full city/campaign skeleton so `city` queries resolve
+    /// from the first connection on.
+    pub fn initial(cities: Vec<CitySnapshot>) -> Self {
+        EpochSnapshot {
+            epoch: 0,
+            final_epoch: false,
+            accepted_rows: 0,
+            rows_in: 0,
+            quarantined: 0,
+            chunks: 0,
+            segments_sealed: 0,
+            cities,
+            sanitize: SanitizeReport::default(),
+            headlines: Vec::new(),
+            tables: Vec::new(),
+            artifact_hash: None,
+            artifact_files: 0,
+        }
+    }
+}
+
+/// The single swap point between ingest and queries.
+///
+/// Writers race only here: `publish` refuses snapshots that are not
+/// strictly newer than the current one, so two ingest threads that
+/// both crossed a boundary can build their epochs concurrently and the
+/// later index always wins — observed epochs are monotone per reader.
+pub struct EpochPublisher {
+    current: RwLock<Arc<EpochSnapshot>>,
+}
+
+impl EpochPublisher {
+    /// Start at the given epoch-0 snapshot.
+    pub fn new(initial: EpochSnapshot) -> Self {
+        EpochPublisher { current: RwLock::new(Arc::new(initial)) }
+    }
+
+    /// The current epoch (an `Arc` bump; never blocks on ingest).
+    pub fn current(&self) -> Arc<EpochSnapshot> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Swap `snap` in if it is strictly newer than the current epoch
+    /// (final beats non-final at equal index). Returns whether the
+    /// swap happened.
+    pub fn publish(&self, snap: Arc<EpochSnapshot>) -> bool {
+        let mut cur = self.current.write();
+        let newer = snap.epoch > cur.epoch
+            || (snap.epoch == cur.epoch && snap.final_epoch && !cur.final_epoch);
+        if newer {
+            *cur = snap;
+        }
+        newer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_index_is_a_floor_and_crossings_telescope() {
+        assert_eq!(epoch_index(0, 10), 0);
+        assert_eq!(epoch_index(9, 10), 0);
+        assert_eq!(epoch_index(10, 10), 1);
+        assert_eq!(epoch_index(25, 10), 2);
+        // Any chunking of 0..25 crosses the same number of boundaries.
+        for chunks in [vec![25], vec![1; 25], vec![9, 9, 7], vec![10, 10, 5]] {
+            let mut at = 0u64;
+            let mut crossed = 0u64;
+            for c in chunks {
+                crossed += epochs_crossed(at, at + c, 10);
+                at += c;
+            }
+            assert_eq!(crossed, epoch_index(25, 10));
+        }
+    }
+
+    #[test]
+    fn publisher_is_monotone_and_final_beats_warm() {
+        let p = EpochPublisher::new(EpochSnapshot::initial(Vec::new()));
+        assert_eq!(p.current().epoch, 0);
+        let mut e2 = EpochSnapshot::initial(Vec::new());
+        e2.epoch = 2;
+        assert!(p.publish(Arc::new(e2)));
+        // A straggler that lost the race must not roll the epoch back.
+        let mut e1 = EpochSnapshot::initial(Vec::new());
+        e1.epoch = 1;
+        assert!(!p.publish(Arc::new(e1)));
+        assert_eq!(p.current().epoch, 2);
+        // Same index, final flag: the final snapshot wins once.
+        let mut f2 = EpochSnapshot::initial(Vec::new());
+        f2.epoch = 2;
+        f2.final_epoch = true;
+        assert!(p.publish(Arc::new(f2.clone())));
+        assert!(!p.publish(Arc::new(f2)));
+        assert!(p.current().final_epoch);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch_rows")]
+    fn zero_epoch_rows_is_a_caller_bug() {
+        epoch_index(1, 0);
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! `st-serve` — the long-running contextualization service (ROADMAP
+//! item 1, DESIGN.md §18).
+//!
+//! The batch pipeline answers "what did this campaign look like" once;
+//! an operator needs the same contextualized analyses to stay warm
+//! while measurements keep arriving. This crate turns the segmented
+//! storage layer (`st_speedtest::SegmentedStore`, DESIGN.md §17) into
+//! a service:
+//!
+//! * **Sharded ingest** ([`ContextService`]): streamed measurement
+//!   chunks — replayed campaign streams or wire-session results — are
+//!   routed into per-city partitions, each campaign stream its own
+//!   `SegmentedStore` running sanitize/quarantine incrementally and
+//!   sealing immutable segments every `seal_rows` accepted rows.
+//! * **Epoch snapshots** ([`EpochSnapshot`], [`EpochPublisher`]):
+//!   every `epoch_rows` accepted rows the service assembles one
+//!   immutable snapshot (counters, per-city detail, sanitize taxonomy,
+//!   warm headlines) and atomically swaps it in. Queries clone an
+//!   `Arc` of whatever epoch is current — readers never block writers
+//!   and never observe torn state.
+//! * **Query API** ([`QueryServer`]): a thread-per-connection,
+//!   line-delimited JSON protocol (`status`, `city`, `headline`,
+//!   `quarantine`, `epoch`, `shutdown`), every command answered from
+//!   one epoch snapshot.
+//!
+//! The crate deliberately depends only on `st-speedtest` and `st-obs`:
+//! warm analyses are injected as a [`WarmRenderer`] closure and the
+//! final fit/render after [`ContextService::drain`] belongs to the
+//! caller (the `serve` binary in `st-bench`), which is how the
+//! serve-identity suite proves the drained stores reproduce the batch
+//! golden artifacts byte for byte.
+
+pub mod epoch;
+pub mod query;
+pub mod service;
+pub mod wire;
+
+pub use epoch::{
+    epoch_index, epochs_crossed, CampaignSnapshot, CitySnapshot, EpochPublisher, EpochSnapshot,
+};
+pub use query::{dispatch, query_once, QueryServer};
+pub use service::{
+    ContextService, DrainOutput, DrainedPartition, IngestReceipt, PartitionSpec, ServeError,
+    ServeOptions, WarmCity, WarmInput, WarmOutput, WarmRenderer, DEFAULT_EPOCH_ROWS,
+};
+pub use wire::{session_measurements, WIRE_CITY_CODE};

@@ -1,0 +1,428 @@
+//! Thread-per-connection line-delimited JSON query API (DESIGN.md §18).
+//!
+//! Each request is one JSON object per line (`{"cmd": "status"}`);
+//! each response is one JSON object per line with an `ok` field.
+//! Every command answers from the *current epoch snapshot* — a single
+//! immutable `Arc` grabbed once per request — so a response is always
+//! internally consistent, reads never block ingest, and two fields of
+//! one response can never disagree about which epoch they describe.
+//!
+//! Commands:
+//!
+//! | cmd          | answer                                             |
+//! |--------------|----------------------------------------------------|
+//! | `status`     | global counters + per-partition accepted rows      |
+//! | `city`       | one partition's per-campaign detail (`"city": ...`)|
+//! | `headline`   | warm/final headline figures and tables             |
+//! | `quarantine` | sanitize taxonomy of the current epoch             |
+//! | `epoch`      | the full epoch snapshot                            |
+//! | `shutdown`   | ack, then signals the server to stop accepting     |
+
+use crate::epoch::{CitySnapshot, EpochSnapshot};
+use crate::service::ContextService;
+use serde::Serialize;
+use st_speedtest::SanitizeReport;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Per-request wall-clock histogram bounds, seconds.
+const QUERY_BOUNDS: &[f64] = &[0.00001, 0.0001, 0.0005, 0.001, 0.005, 0.025, 0.1];
+
+#[derive(Serialize)]
+struct ErrorResponse {
+    ok: bool,
+    error: String,
+}
+
+#[derive(Serialize)]
+struct CityRows {
+    city: String,
+    accepted_rows: u64,
+}
+
+#[derive(Serialize)]
+struct StatusResponse {
+    ok: bool,
+    kind: &'static str,
+    epoch: u64,
+    final_epoch: bool,
+    drained: bool,
+    accepted_rows: u64,
+    rows_in: u64,
+    quarantined: u64,
+    chunks: u64,
+    segments_sealed: u64,
+    epochs_published: u64,
+    uptime_s: f64,
+    cities: Vec<CityRows>,
+}
+
+#[derive(Serialize)]
+struct CityResponse {
+    ok: bool,
+    kind: &'static str,
+    epoch: u64,
+    city: CitySnapshot,
+}
+
+#[derive(Serialize)]
+struct HeadlineResponse {
+    ok: bool,
+    kind: &'static str,
+    epoch: u64,
+    final_epoch: bool,
+    headlines: Vec<(String, String)>,
+    tables: Vec<(String, String)>,
+}
+
+#[derive(Serialize)]
+struct QuarantineResponse {
+    ok: bool,
+    kind: &'static str,
+    epoch: u64,
+    rows_in: u64,
+    quarantined: u64,
+    sanitize: SanitizeReport,
+}
+
+#[derive(Serialize)]
+struct EpochResponse {
+    ok: bool,
+    kind: &'static str,
+    snapshot: EpochSnapshot,
+}
+
+#[derive(Serialize)]
+struct ShutdownResponse {
+    ok: bool,
+    kind: &'static str,
+}
+
+fn err(msg: impl Into<String>) -> String {
+    serde_json::to_string(&ErrorResponse { ok: false, error: msg.into() })
+        .expect("error response serializes")
+}
+
+fn json<T: Serialize>(resp: &T) -> String {
+    serde_json::to_string(resp).expect("query response serializes")
+}
+
+/// Answer one request line. Returns the response line and whether the
+/// request asked the server to shut down. Pure over (service state,
+/// line) — exposed for direct use in tests and the in-process path.
+pub fn dispatch(service: &ContextService, line: &str) -> (String, bool) {
+    let value: serde_json::Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(e) => return (err(format!("bad request JSON: {e}")), false),
+    };
+    let Some(cmd) = value.get("cmd").and_then(|c| c.as_str()) else {
+        return (err("request needs a string \"cmd\" field"), false);
+    };
+    let snap = service.current_epoch();
+    service.registry().observe_wall("serve.query_seconds", &[("cmd", cmd)], 0.0, QUERY_BOUNDS);
+    let resp = match cmd {
+        "status" => {
+            let epochs_published = service
+                .registry()
+                .snapshot_shared()
+                .deterministic
+                .counters
+                .get("serve.epochs")
+                .copied()
+                .unwrap_or(0);
+            json(&StatusResponse {
+                ok: true,
+                kind: "status",
+                epoch: snap.epoch,
+                final_epoch: snap.final_epoch,
+                drained: service.is_drained(),
+                accepted_rows: snap.accepted_rows,
+                rows_in: snap.rows_in,
+                quarantined: snap.quarantined,
+                chunks: snap.chunks,
+                segments_sealed: snap.segments_sealed,
+                epochs_published,
+                uptime_s: service.uptime_s(),
+                cities: snap
+                    .cities
+                    .iter()
+                    .map(|c| CityRows {
+                        city: c.city.clone(),
+                        accepted_rows: c.campaigns.iter().map(|s| s.accepted_rows).sum(),
+                    })
+                    .collect(),
+            })
+        }
+        "city" => {
+            let Some(name) = value.get("city").and_then(|c| c.as_str()) else {
+                return (err("city query needs a string \"city\" field"), false);
+            };
+            match snap.cities.iter().find(|c| c.city == name) {
+                Some(c) => json(&CityResponse {
+                    ok: true,
+                    kind: "city",
+                    epoch: snap.epoch,
+                    city: c.clone(),
+                }),
+                None => err(format!("unknown city {name:?}")),
+            }
+        }
+        "headline" => json(&HeadlineResponse {
+            ok: true,
+            kind: "headline",
+            epoch: snap.epoch,
+            final_epoch: snap.final_epoch,
+            headlines: snap.headlines.clone(),
+            tables: snap.tables.clone(),
+        }),
+        "quarantine" => json(&QuarantineResponse {
+            ok: true,
+            kind: "quarantine",
+            epoch: snap.epoch,
+            rows_in: snap.rows_in,
+            quarantined: snap.quarantined,
+            sanitize: snap.sanitize.clone(),
+        }),
+        "epoch" => json(&EpochResponse { ok: true, kind: "epoch", snapshot: (*snap).clone() }),
+        "shutdown" => return (json(&ShutdownResponse { ok: true, kind: "shutdown" }), true),
+        other => err(format!("unknown cmd {other:?}")),
+    };
+    (resp, false)
+}
+
+/// Wakeable latch the `shutdown` command trips.
+struct Signal {
+    fired: Mutex<bool>,
+    cv: Condvar,
+    stop_accepting: AtomicBool,
+}
+
+impl Signal {
+    fn new() -> Self {
+        Signal {
+            fired: Mutex::new(false),
+            cv: Condvar::new(),
+            stop_accepting: AtomicBool::new(false),
+        }
+    }
+
+    fn fire(&self) {
+        *self.fired.lock().expect("signal lock") = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self, timeout: Duration) -> bool {
+        let fired = self.fired.lock().expect("signal lock");
+        if *fired {
+            return true;
+        }
+        let (fired, _) = self.cv.wait_timeout(fired, timeout).expect("signal lock");
+        *fired
+    }
+}
+
+/// A running query listener: one accept thread, one thread per
+/// connection.
+pub struct QueryServer {
+    addr: SocketAddr,
+    signal: Arc<Signal>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl QueryServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start accepting.
+    pub fn start(service: Arc<ContextService>, addr: &str) -> io::Result<QueryServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let signal = Arc::new(Signal::new());
+        let accept_signal = Arc::clone(&signal);
+        let accept = thread::Builder::new().name("serve-accept".into()).spawn(move || {
+            for stream in listener.incoming() {
+                if accept_signal.stop_accepting.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let service = Arc::clone(&service);
+                let signal = Arc::clone(&accept_signal);
+                let _ = thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || handle_conn(stream, &service, &signal));
+            }
+        })?;
+        Ok(QueryServer { addr, signal, accept: Some(accept) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until a `shutdown` command arrives (or `stop` is called),
+    /// up to `timeout`. Returns whether the signal fired.
+    pub fn wait_shutdown(&self, timeout: Duration) -> bool {
+        self.signal.wait(timeout)
+    }
+
+    /// Stop accepting and join the accept thread. In-flight
+    /// connections finish their current line and exit on their own.
+    pub fn stop(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.signal.stop_accepting.store(true, Ordering::Release);
+        self.signal.fire();
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for QueryServer {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn handle_conn(stream: TcpStream, service: &ContextService, signal: &Signal) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let reader = BufReader::new(read_half);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (resp, shutdown) = dispatch(service, &line);
+        if writer
+            .write_all(resp.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if shutdown {
+            signal.fire();
+            break;
+        }
+    }
+}
+
+/// One-shot client: connect, send `line`, read one response line.
+/// What the `serve --connect` client mode and the test suites use.
+pub fn query_once(addr: SocketAddr, line: &str, timeout: Duration) -> io::Result<String> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut resp = String::new();
+    BufReader::new(stream).read_line(&mut resp)?;
+    if resp.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "no response line"));
+    }
+    Ok(resp.trim_end().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{PartitionSpec, ServeOptions};
+    use st_obs::Registry;
+    use st_speedtest::{Access, Measurement, Platform};
+
+    fn m(id: u64) -> Measurement {
+        Measurement {
+            id,
+            user_id: id,
+            platform: Platform::AndroidApp,
+            city: 0,
+            day: 10,
+            hour: 12,
+            down_mbps: 100.0,
+            up_mbps: 10.0,
+            rtt_ms: 20.0,
+            loaded_rtt_ms: 40.0,
+            access: Access::Ethernet,
+            kernel_memory_gb: None,
+            truth_tier: None,
+        }
+    }
+
+    fn service() -> Arc<ContextService> {
+        let s = ContextService::new(
+            vec![PartitionSpec::city("City-A")],
+            ServeOptions { seal_rows: 8, epoch_rows: 10, warm: None },
+            Registry::new(),
+        );
+        s.ingest_chunk("City-A", "ookla", (0..12).map(m).collect()).unwrap();
+        Arc::new(s)
+    }
+
+    fn get<'a>(v: &'a serde_json::Value, key: &str) -> &'a serde_json::Value {
+        v.get(key).unwrap_or_else(|| panic!("response missing {key:?}"))
+    }
+
+    #[test]
+    fn dispatch_answers_every_command_from_one_epoch() {
+        let s = service();
+        for cmd in ["status", "headline", "quarantine", "epoch"] {
+            let (resp, shutdown) = dispatch(&s, &format!("{{\"cmd\":\"{cmd}\"}}"));
+            assert!(!shutdown);
+            let v: serde_json::Value = serde_json::from_str(&resp).expect("response parses");
+            assert_eq!(get(&v, "ok").as_bool(), Some(true), "{cmd}: {resp}");
+        }
+        let (resp, _) = dispatch(&s, "{\"cmd\":\"status\"}");
+        let v: serde_json::Value = serde_json::from_str(&resp).unwrap();
+        // One 12-row chunk crossed the 10-row boundary once; the
+        // snapshot captures the accepted count at the crossing.
+        assert_eq!(get(&v, "epoch").as_u64(), Some(1));
+        assert_eq!(get(&v, "accepted_rows").as_u64(), Some(12));
+        assert_eq!(get(&v, "epochs_published").as_u64(), Some(1));
+
+        let (resp, _) = dispatch(&s, "{\"cmd\":\"city\",\"city\":\"City-A\"}");
+        let v: serde_json::Value = serde_json::from_str(&resp).unwrap();
+        let city = get(&v, "city");
+        assert_eq!(get(city, "city").as_str(), Some("City-A"));
+        assert!(get(city, "campaigns").as_array().is_some_and(|c| c.len() == 3));
+    }
+
+    #[test]
+    fn malformed_requests_get_structured_errors() {
+        let s = service();
+        for bad in ["not json", "{}", "{\"cmd\":\"nope\"}", "{\"cmd\":\"city\"}"] {
+            let (resp, shutdown) = dispatch(&s, bad);
+            assert!(!shutdown);
+            let v: serde_json::Value = serde_json::from_str(&resp).expect("error responses parse");
+            assert_eq!(get(&v, "ok").as_bool(), Some(false), "{bad}: {resp}");
+            assert!(get(&v, "error").as_str().is_some());
+        }
+    }
+
+    #[test]
+    fn tcp_round_trip_and_shutdown_signal() {
+        let s = service();
+        let server = QueryServer::start(Arc::clone(&s), "127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        let t = Duration::from_secs(5);
+        let resp = query_once(addr, "{\"cmd\":\"status\"}", t).expect("status round-trip");
+        let v: serde_json::Value = serde_json::from_str(&resp).unwrap();
+        assert_eq!(get(&v, "ok").as_bool(), Some(true));
+        assert!(!server.wait_shutdown(Duration::from_millis(10)), "no shutdown yet");
+        let resp = query_once(addr, "{\"cmd\":\"shutdown\"}", t).expect("shutdown round-trip");
+        assert!(resp.contains("\"shutdown\""));
+        assert!(server.wait_shutdown(t), "shutdown command fires the signal");
+        server.stop();
+    }
+}

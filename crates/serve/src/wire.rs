@@ -1,0 +1,81 @@
+//! Bridging wire-session results (`st_speedtest::load`) into the
+//! service's measurement stream.
+//!
+//! A completed [`SessionReport`] carries measured download/upload
+//! throughput and ping latency — enough to build a [`Measurement`]
+//! that flows through the same incremental sanitize/segment path as a
+//! replayed campaign row. Sessions that did not complete are dropped
+//! here (they carry zeroed readings, not measurements); sessions that
+//! completed with implausible readings are kept and left to the
+//! sanitizer's quarantine taxonomy, which is the whole point of
+//! funneling wire results through the store.
+//!
+//! Wire rows land in a `deterministic: false` partition
+//! ([`crate::PartitionSpec::wire`]): which sessions complete depends
+//! on real sockets, so their counts stay in the wall-clock metric
+//! class and never advance epoch boundaries (DESIGN.md §18).
+
+use st_speedtest::{Access, Measurement, Platform, SessionReport};
+
+/// City code for wire rows — outside the campaign city space, so a
+/// wire row can never be mistaken for a replayed one.
+pub const WIRE_CITY_CODE: u8 = u8::MAX;
+
+/// Convert the completed sessions of one load run into measurements.
+/// `day`/`hour` stamp the arrival bin (the wire protocol carries no
+/// timestamp of its own).
+pub fn session_measurements(reports: &[SessionReport], day: u16, hour: u8) -> Vec<Measurement> {
+    reports
+        .iter()
+        .filter(|r| r.completed)
+        .map(|r| Measurement {
+            id: r.session,
+            user_id: r.session,
+            platform: Platform::Web,
+            city: WIRE_CITY_CODE,
+            day,
+            hour,
+            down_mbps: r.down_mbps,
+            up_mbps: r.up_mbps,
+            rtt_ms: r.latency_ms,
+            loaded_rtt_ms: r.latency_ms + r.jitter_ms,
+            access: Access::Unknown,
+            kernel_memory_gb: None,
+            truth_tier: None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_speedtest::PlannedOutcome;
+
+    fn report(session: u64, completed: bool, down: f64) -> SessionReport {
+        SessionReport {
+            session,
+            endpoint: 0,
+            planned: PlannedOutcome::Ok,
+            fault: None,
+            completed,
+            attempts_used: 1,
+            down_mbps: down,
+            up_mbps: if completed { 5.0 } else { 0.0 },
+            latency_ms: if completed { 12.0 } else { 0.0 },
+            jitter_ms: 1.5,
+            scores: None,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn only_completed_sessions_become_measurements() {
+        let reports = vec![report(1, true, 80.0), report(2, false, 0.0), report(3, true, 120.0)];
+        let rows = session_measurements(&reports, 7, 13);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].id, 1);
+        assert_eq!(rows[1].down_mbps, 120.0);
+        assert!(rows.iter().all(|m| m.city == WIRE_CITY_CODE && m.day == 7 && m.hour == 13));
+        assert_eq!(rows[0].loaded_rtt_ms, 13.5);
+    }
+}

@@ -1,0 +1,188 @@
+//! Snapshot-consistency stress: concurrent query clients hammer the
+//! TCP API while multiple ingest threads stream chunks, and every
+//! response must be internally consistent — epochs monotone per
+//! client, every line parseable, and the epoch/segment recurrences
+//! holding inside each snapshot. A torn read (a snapshot mixing state
+//! from two epochs' global counters) would violate the
+//! `epoch == floor(accepted / epoch_rows)` invariant, which is checked
+//! on every single response.
+
+use st_obs::Registry;
+use st_serve::{epoch_index, query_once, ContextService, PartitionSpec, QueryServer, ServeOptions};
+use st_speedtest::{Access, Measurement, Platform};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEAL_ROWS: u64 = 16;
+const EPOCH_ROWS: u64 = 64;
+
+fn m(id: u64) -> Measurement {
+    Measurement {
+        id,
+        user_id: id,
+        platform: Platform::AndroidApp,
+        city: 0,
+        day: (id % 300) as u16,
+        hour: (id % 24) as u8,
+        down_mbps: 100.0,
+        up_mbps: 10.0,
+        rtt_ms: 20.0,
+        loaded_rtt_ms: 40.0,
+        access: Access::Ethernet,
+        kernel_memory_gb: Some(4.0),
+        truth_tier: None,
+    }
+}
+
+/// Fetch a required field or panic with its name.
+fn field<'a>(v: &'a serde_json::Value, key: &str) -> &'a serde_json::Value {
+    v.get(key).unwrap_or_else(|| panic!("response missing {key:?}: {v:?}"))
+}
+
+/// Every invariant a single epoch snapshot must satisfy.
+fn check_snapshot(v: &serde_json::Value) {
+    let snap = field(v, "snapshot");
+    let epoch = field(snap, "epoch").as_u64().expect("epoch is a count");
+    let accepted = field(snap, "accepted_rows").as_u64().expect("accepted_rows is a count");
+    let final_epoch = field(snap, "final_epoch").as_bool().expect("final_epoch is a bool");
+    if !final_epoch {
+        assert_eq!(
+            epoch,
+            epoch_index(accepted, EPOCH_ROWS),
+            "torn read: epoch {epoch} does not match accepted {accepted}"
+        );
+    }
+    for city in field(snap, "cities").as_array().expect("cities array") {
+        for c in field(city, "campaigns").as_array().expect("campaigns array") {
+            let rows = field(c, "accepted_rows").as_u64().expect("campaign accepted");
+            let sealed = field(c, "sealed_segments").as_u64().expect("sealed_segments");
+            let tail = field(c, "tail_rows").as_u64().expect("tail_rows");
+            let frozen = field(c, "frozen").as_bool().expect("frozen");
+            if frozen {
+                assert_eq!(tail, 0, "a frozen store has no tail");
+                assert!(sealed * SEAL_ROWS >= rows, "frozen store lost rows");
+            } else {
+                // Seal boundaries are a pure function of the accepted
+                // prefix: exactly floor(rows / R) segments, rows % R
+                // buffered in the tail. A snapshot that mixed the two
+                // reads would break the recurrence.
+                assert_eq!(sealed, rows / SEAL_ROWS, "sealed segments diverged at {rows} rows");
+                assert_eq!(tail, rows % SEAL_ROWS, "tail rows diverged at {rows} rows");
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_queries_never_observe_torn_state() {
+    let service = Arc::new(ContextService::new(
+        vec![PartitionSpec::city("City-A"), PartitionSpec::city("City-B")],
+        ServeOptions { seal_rows: SEAL_ROWS as usize, epoch_rows: EPOCH_ROWS as usize, warm: None },
+        Registry::new(),
+    ));
+    let server = QueryServer::start(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    let done = AtomicBool::new(false);
+    let queries_answered = AtomicU64::new(0);
+    let total_rows: u64 = 4 * 60 * 7; // 4 writers x 60 chunks x 7 rows
+
+    std::thread::scope(|scope| {
+        // Four ingest threads, each owning one (city, campaign) stream
+        // with a disjoint id range so nothing quarantines as duplicate.
+        let targets =
+            [("City-A", "ookla"), ("City-A", "mlab"), ("City-B", "ookla"), ("City-B", "mba")];
+        let mut writers = Vec::new();
+        for (w, (city, campaign)) in targets.into_iter().enumerate() {
+            let service = Arc::clone(&service);
+            writers.push(scope.spawn(move || {
+                let base = w as u64 * 1_000_000;
+                for chunk in 0..60u64 {
+                    let rows: Vec<Measurement> = (0..7).map(|r| m(base + chunk * 7 + r)).collect();
+                    let receipt =
+                        service.ingest_chunk(city, campaign, rows).expect("live ingest succeeds");
+                    assert_eq!(receipt.stats.quarantined, 0, "ids are disjoint");
+                }
+            }));
+        }
+
+        // Three query clients reading over real TCP the whole time.
+        let mut readers = Vec::new();
+        for client in 0..3 {
+            let done = &done;
+            let queries_answered = &queries_answered;
+            readers.push(scope.spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut i = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    let line = if i.is_multiple_of(2) {
+                        "{\"cmd\":\"epoch\"}"
+                    } else {
+                        "{\"cmd\":\"status\"}"
+                    };
+                    let resp =
+                        query_once(addr, line, Duration::from_secs(5)).expect("query round-trips");
+                    let v: serde_json::Value = serde_json::from_str(&resp)
+                        .unwrap_or_else(|e| panic!("client {client}: unparseable {resp:?}: {e}"));
+                    assert_eq!(field(&v, "ok").as_bool(), Some(true), "{resp}");
+                    let epoch = if i.is_multiple_of(2) {
+                        check_snapshot(&v);
+                        field(field(&v, "snapshot"), "epoch").as_u64().unwrap()
+                    } else {
+                        field(&v, "epoch").as_u64().unwrap()
+                    };
+                    assert!(
+                        epoch >= last_epoch,
+                        "client {client}: epoch went backwards ({last_epoch} -> {epoch})"
+                    );
+                    last_epoch = epoch;
+                    queries_answered.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            }));
+        }
+
+        for w in writers {
+            w.join().expect("writer");
+        }
+        done.store(true, Ordering::Release);
+        for r in readers {
+            r.join().expect("reader");
+        }
+    });
+    assert!(
+        queries_answered.load(Ordering::Relaxed) >= 3,
+        "every client answered at least one query"
+    );
+
+    // All rows accepted: the published epoch matches the telescoped
+    // crossing count for the coordinator's accepted total.
+    let snap = service.current_epoch();
+    assert_eq!(snap.epoch, epoch_index(snap.accepted_rows, EPOCH_ROWS));
+    assert!(snap.accepted_rows <= total_rows);
+
+    // Drain, publish the final epoch, and read it back over TCP.
+    let out = service.drain().expect("drain once");
+    assert_eq!(out.sanitize.quarantined, 0);
+    let final_epoch = service
+        .publish_final(
+            &out.sanitize,
+            vec![("rows".into(), total_rows.to_string())],
+            Vec::new(),
+            None,
+            0,
+        )
+        .expect("final publish");
+    let resp =
+        query_once(addr, "{\"cmd\":\"epoch\"}", Duration::from_secs(5)).expect("final query");
+    let v: serde_json::Value = serde_json::from_str(&resp).expect("final parses");
+    let snap = field(&v, "snapshot");
+    assert_eq!(field(snap, "final_epoch").as_bool(), Some(true));
+    assert_eq!(field(snap, "epoch").as_u64(), Some(final_epoch));
+    assert_eq!(field(snap, "accepted_rows").as_u64(), Some(total_rows));
+    assert_eq!(final_epoch, epoch_index(total_rows, EPOCH_ROWS) + 1);
+    check_snapshot(&v);
+
+    server.stop();
+}

@@ -1,0 +1,165 @@
+//! Property tests for the serve layer's determinism claims
+//! (DESIGN.md §18):
+//!
+//! * epoch boundaries are a pure function of the accepted-row count —
+//!   crossings telescope to `epoch_index(total)` under any chunking of
+//!   the stream;
+//! * a running [`ContextService`] fed the same rows under two different
+//!   chunk plans lands on the same epoch, the same accepted totals, the
+//!   same quarantine taxonomy, the same drained row sequence, and the
+//!   same `serve.epochs` deterministic counter;
+//! * [`st_obs::Registry::merge`] is associative, so the coordinator may
+//!   fold worker sub-registries in any grouping and snapshot equality
+//!   still holds.
+
+use proptest::prelude::*;
+use st_obs::Registry;
+use st_serve::{epoch_index, epochs_crossed, ContextService, PartitionSpec, ServeOptions};
+use st_speedtest::{Access, Measurement, Platform};
+
+/// A clean-ish synthetic measurement; ids drawn from a small pool so
+/// chunk plans routinely split duplicate submissions across chunks and
+/// the incremental quarantine path is exercised.
+fn m(id: u64) -> Measurement {
+    Measurement {
+        id,
+        user_id: id % 13,
+        platform: if id.is_multiple_of(2) { Platform::AndroidApp } else { Platform::Web },
+        city: 0,
+        day: (id % 300) as u16,
+        hour: (id % 24) as u8,
+        down_mbps: 20.0 + (id % 80) as f64,
+        up_mbps: 2.0 + (id % 11) as f64,
+        rtt_ms: 10.0 + (id % 40) as f64,
+        loaded_rtt_ms: 15.0 + (id % 40) as f64,
+        access: Access::Ethernet,
+        kernel_memory_gb: Some(2.0 + (id % 6) as f64),
+        truth_tier: None,
+    }
+}
+
+/// Replay `stream` into a fresh one-partition service, cycling through
+/// the chunk plan's sizes. Returns the service still live (not drained).
+fn replay(stream: &[Measurement], plan: &[usize], epoch_rows: usize) -> (ContextService, Registry) {
+    let obs = Registry::new();
+    let service = ContextService::new(
+        vec![PartitionSpec::city("City-A")],
+        ServeOptions { seal_rows: 16, epoch_rows, warm: None },
+        obs.clone(),
+    );
+    let mut rest = stream;
+    let mut i = 0;
+    while !rest.is_empty() {
+        let take = plan[i % plan.len()].min(rest.len());
+        let (chunk, tail) = rest.split_at(take);
+        service.ingest_chunk("City-A", "ookla", chunk.to_vec()).expect("live service ingests");
+        rest = tail;
+        i += 1;
+    }
+    (service, obs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Summing boundary crossings over any partition of the stream
+    /// telescopes to the epoch index of the total — the invariant that
+    /// makes `serve.epochs` a deterministic counter.
+    #[test]
+    fn epoch_crossings_telescope_under_any_chunking(
+        chunks in prop::collection::vec(0u64..500, 0..40),
+        epoch_rows in prop::sample::select(vec![1u64, 7, 64, 100, 1500]),
+    ) {
+        let total: u64 = chunks.iter().sum();
+        let mut at = 0u64;
+        let mut crossed = 0u64;
+        for c in &chunks {
+            crossed += epochs_crossed(at, at + c, epoch_rows);
+            at += c;
+            // The index is monotone in the accepted count.
+            prop_assert_eq!(epoch_index(at, epoch_rows), at / epoch_rows);
+        }
+        prop_assert_eq!(crossed, epoch_index(total, epoch_rows));
+    }
+
+    /// The running service under two different chunk plans: identical
+    /// epoch, accepted totals, sanitize taxonomy, drained rows, and
+    /// deterministic epoch counter.
+    #[test]
+    fn service_state_is_invariant_to_the_chunk_plan(
+        ids in prop::collection::vec(0u64..200, 0..400),
+        plan_a in prop::collection::vec(prop::sample::select(vec![1usize, 3, 17, 64, 129]), 1..4),
+        plan_b in prop::collection::vec(prop::sample::select(vec![1usize, 3, 17, 64, 129]), 1..4),
+        epoch_rows in prop::sample::select(vec![1usize, 32, 100]),
+    ) {
+        let stream: Vec<Measurement> = ids.into_iter().map(m).collect();
+        let (sa, oa) = replay(&stream, &plan_a, epoch_rows);
+        let (sb, ob) = replay(&stream, &plan_b, epoch_rows);
+
+        // Snapshots are published at boundary crossings, so the row
+        // counters inside them are captured at the *last crossing* —
+        // a chunk-plan-dependent moment. What must agree across plans
+        // is the epoch index itself; what must hold inside every
+        // snapshot is the floor recurrence.
+        let ea = sa.current_epoch();
+        let eb = sb.current_epoch();
+        prop_assert_eq!(ea.epoch, eb.epoch, "published epochs diverged across chunk plans");
+        prop_assert_eq!(ea.epoch, epoch_index(ea.accepted_rows, epoch_rows as u64));
+        prop_assert_eq!(eb.epoch, epoch_index(eb.accepted_rows, epoch_rows as u64));
+
+        // The deterministic epoch counter equals the telescoped index.
+        let ca = oa.snapshot().deterministic.counters.get("serve.epochs").copied();
+        let cb = ob.snapshot().deterministic.counters.get("serve.epochs").copied();
+        prop_assert_eq!(ca.unwrap_or(0), ea.epoch, "counter must equal the crossing count");
+        prop_assert_eq!(ca.unwrap_or(0), cb.unwrap_or(0));
+
+        // Drain both: same taxonomy, same frozen row sequence.
+        let da = sa.drain().expect("first drain");
+        let db = sb.drain().expect("first drain");
+        prop_assert_eq!(&da.sanitize, &db.sanitize);
+        prop_assert_eq!(da.segments, db.segments);
+        let rows = |d: &st_serve::DrainOutput| -> Vec<u64> {
+            d.partitions[0].stores[0].1.sealed_measurements().iter().map(|r| r.id).collect()
+        };
+        prop_assert_eq!(rows(&da), rows(&db), "drained row sequences diverged");
+    }
+
+    /// Merging worker sub-registries is associative: (a + b) + c and
+    /// a + (b + c) snapshot identically. Observed values are integral
+    /// so histogram min/max state is exact; counters are u64 adds and
+    /// gauges resolve by max, both order-free.
+    #[test]
+    fn registry_merge_is_associative(
+        ops_a in prop::collection::vec((0u8..4, 0u8..2, 0u64..20), 0..60),
+        ops_b in prop::collection::vec((0u8..4, 0u8..2, 0u64..20), 0..60),
+        ops_c in prop::collection::vec((0u8..4, 0u8..2, 0u64..20), 0..60),
+    ) {
+        const BOUNDS: &[f64] = &[1.0, 4.0, 16.0];
+        let fill = |ops: &[(u8, u8, u64)]| {
+            let r = Registry::new();
+            for &(kind, which, v) in ops {
+                let label = if which == 0 { "a" } else { "b" };
+                let labels = [("k", label)];
+                match kind {
+                    0 => r.add("prop.counter", &labels, v),
+                    1 => r.set_gauge("prop.gauge", &labels, v as f64),
+                    2 => r.observe("prop.hist", &labels, v as f64, BOUNDS),
+                    _ => r.observe_wall("prop.wall", &labels, v as f64, BOUNDS),
+                }
+            }
+            r
+        };
+
+        // (a + b) + c
+        let left = fill(&ops_a);
+        left.merge(&fill(&ops_b));
+        left.merge(&fill(&ops_c));
+        // a + (b + c)
+        let bc = fill(&ops_b);
+        bc.merge(&fill(&ops_c));
+        let right = fill(&ops_a);
+        right.merge(&bc);
+
+        prop_assert_eq!(left.snapshot(), right.snapshot());
+    }
+}

@@ -1,0 +1,101 @@
+//! End-to-end wire ingest: real TCP speedtest sessions against shaped
+//! in-process servers, folded into the service's non-deterministic
+//! `wire` partition. Wire rows must be accepted by the sanitizer
+//! (session reports carry finite throughputs and RTTs), must show up in
+//! the epoch snapshot's wire partition, and must never advance the
+//! epoch counter — wall-clock measurements stay out of the
+//! deterministic class (DESIGN.md §18).
+
+use st_obs::Registry;
+use st_serve::{session_measurements, ContextService, PartitionSpec, ServeOptions, WIRE_CITY_CODE};
+use st_speedtest::wire::ShapedServer;
+use st_speedtest::{run_load, Access, BackoffSchedule, LoadOptions, Measurement, Platform};
+use std::time::Duration;
+
+fn city_row(id: u64) -> Measurement {
+    Measurement {
+        id,
+        user_id: id,
+        platform: Platform::AndroidApp,
+        city: 0,
+        day: 10,
+        hour: 12,
+        down_mbps: 100.0,
+        up_mbps: 10.0,
+        rtt_ms: 20.0,
+        loaded_rtt_ms: 40.0,
+        access: Access::Ethernet,
+        kernel_memory_gb: Some(4.0),
+        truth_tier: None,
+    }
+}
+
+#[test]
+fn wire_sessions_land_in_the_wire_partition_without_advancing_epochs() {
+    let obs = Registry::new();
+    let service = ContextService::new(
+        vec![PartitionSpec::city("City-A"), PartitionSpec::wire()],
+        ServeOptions { seal_rows: 4, epoch_rows: 1, warm: None },
+        obs.clone(),
+    );
+
+    // A two-server shaped pool and a short seeded load run.
+    let servers: Vec<ShapedServer> = (0..2)
+        .map(|_| ShapedServer::start(200.0, 50.0))
+        .collect::<std::io::Result<Vec<_>>>()
+        .expect("shaped servers bind on loopback");
+    let pool: Vec<_> = servers.iter().map(|s| s.addr()).collect();
+    let mut opts = LoadOptions::new(6);
+    opts.with_upload = true; // upload-free rows would quarantine
+    opts.backoff = BackoffSchedule::new(Duration::from_millis(5), Duration::from_millis(40), 7);
+    let summary = run_load(&pool, &opts, &Registry::disabled());
+    assert!(summary.sessions_completed > 0, "the shaped pool must complete sessions");
+
+    let rows = session_measurements(&summary.reports, 10, 12);
+    assert_eq!(rows.len() as u64, summary.sessions_completed);
+    for r in &rows {
+        assert_eq!(r.city, WIRE_CITY_CODE);
+        assert_eq!(r.day, 10);
+        assert_eq!(r.hour, 12);
+        assert!(r.down_mbps.is_finite() && r.down_mbps > 0.0);
+        assert!(r.up_mbps.is_finite() && r.up_mbps > 0.0);
+        assert!(r.rtt_ms.is_finite() && r.rtt_ms >= 0.0);
+    }
+
+    let n = rows.len() as u64;
+    let receipt = service.ingest_chunk("wire", "sessions", rows).expect("wire ingest succeeds");
+    assert_eq!(receipt.stats.quarantined, 0, "session reports sanitize clean");
+    assert_eq!(receipt.epochs_crossed, 0, "wire rows never cross epoch boundaries");
+    assert_eq!(receipt.epoch, 0, "even at epoch_rows = 1");
+
+    // Wire ingest alone never republishes: the current epoch is still
+    // the all-zero skeleton, and no deterministic counter moved.
+    let snap = service.current_epoch();
+    assert_eq!(snap.epoch, 0);
+    assert_eq!(snap.accepted_rows, 0, "deterministic class saw nothing");
+    let metrics = obs.snapshot();
+    assert_eq!(metrics.deterministic.counters.get("serve.epochs"), None);
+    assert!(
+        !metrics.deterministic.counters.keys().any(|k| k.starts_with("serve.chunks")),
+        "wire chunks must stay out of the deterministic class"
+    );
+    assert!(
+        metrics.wall_clock.values.keys().any(|k| k.starts_with("serve.wire_rows")),
+        "wire rows are recorded as wall-clock observations"
+    );
+
+    // One deterministic row crosses a boundary (epoch_rows = 1) and the
+    // rebuilt snapshot picks up the wire partition's accepted rows.
+    let receipt =
+        service.ingest_chunk("City-A", "ookla", vec![city_row(1)]).expect("city ingest succeeds");
+    assert_eq!(receipt.epochs_crossed, 1);
+    let snap = service.current_epoch();
+    assert_eq!(snap.epoch, 1);
+    assert_eq!(snap.accepted_rows, 1, "only the city row is deterministic-class");
+    let wire =
+        snap.cities.iter().find(|c| c.city == "wire").expect("wire partition is in the snapshot");
+    assert!(!wire.deterministic);
+    assert_eq!(wire.campaigns.len(), 1);
+    assert_eq!(wire.campaigns[0].campaign, "sessions");
+    assert_eq!(wire.campaigns[0].accepted_rows, n);
+}

@@ -149,16 +149,60 @@ impl SegmentedStore {
 
     /// Seal the remaining tail (an empty segment if the store never saw
     /// an accepted row, so downstream code always has ≥ 1 segment) and
-    /// reject any further appends. Idempotent.
-    pub fn freeze(&mut self) {
+    /// reject any further appends.
+    ///
+    /// Freezing is a one-shot lifecycle transition: a second call
+    /// returns [`StoreError::Frozen`] instead of silently succeeding,
+    /// so a serve/ingest coordinator that freezes the same partition
+    /// twice learns about its bookkeeping bug instead of masking it.
+    pub fn freeze(&mut self) -> Result<(), StoreError> {
         if self.frozen {
-            return;
+            return Err(StoreError::Frozen);
         }
         if !self.tail.is_empty() || self.segments.is_empty() {
             let tail = std::mem::take(&mut self.tail);
             self.segments.push(CampaignStore::from_measurements(&tail));
         }
         self.frozen = true;
+        Ok(())
+    }
+
+    /// Rows accepted by the sanitizer so far: sealed plus still-buffered
+    /// tail rows. This is the quantity epoch boundaries are a pure
+    /// function of (DESIGN.md §18) — chunk sizes and interleave never
+    /// feed into it.
+    pub fn accepted_rows(&self) -> usize {
+        self.len() + self.tail.len()
+    }
+
+    /// Reconstruct the accepted rows of every **sealed** segment, in
+    /// seal order. Tail rows are excluded (they are not readable until
+    /// sealed), so the result is a pure function of the accepted-row
+    /// sequence and the seal threshold — the input a warm analysis
+    /// rebuild (st-serve epoch publishing) consumes.
+    pub fn sealed_measurements(&self) -> Vec<Measurement> {
+        let mut rows = Vec::with_capacity(self.len());
+        for seg in &self.segments {
+            for i in 0..seg.len() {
+                let mem = seg.kernel_memory_gb()[i];
+                rows.push(Measurement {
+                    id: seg.id()[i],
+                    user_id: seg.user_id()[i],
+                    platform: seg.platform()[i],
+                    city: seg.city()[i],
+                    day: seg.day()[i],
+                    hour: seg.hour()[i],
+                    down_mbps: seg.down()[i],
+                    up_mbps: seg.up()[i],
+                    rtt_ms: seg.rtt()[i],
+                    loaded_rtt_ms: seg.loaded_rtt()[i],
+                    access: seg.access()[i],
+                    kernel_memory_gb: (!mem.is_nan()).then_some(mem),
+                    truth_tier: seg.truth_tier()[i],
+                });
+            }
+        }
+        rows
     }
 
     /// Cumulative sanitize report over every appended chunk (empty for
@@ -533,7 +577,7 @@ mod tests {
         for c in stream.chunks(chunk) {
             store.append_chunk(c.to_vec()).unwrap();
         }
-        store.freeze();
+        store.freeze().unwrap();
         store
     }
 
@@ -576,19 +620,44 @@ mod tests {
     fn append_after_freeze_is_rejected() {
         let mut store = SegmentedStore::builder(8);
         store.append_chunk(vec![m(1)]).unwrap();
-        store.freeze();
+        store.freeze().unwrap();
         assert_eq!(store.append_chunk(vec![m(2)]), Err(StoreError::Frozen));
         assert_eq!(store.len(), 1);
     }
 
     #[test]
-    fn freeze_always_leaves_a_segment() {
+    fn freeze_always_leaves_a_segment_and_is_one_shot() {
         let mut empty = SegmentedStore::builder(8);
-        empty.freeze();
+        empty.freeze().unwrap();
         assert_eq!(empty.num_segments(), 1);
         assert!(empty.is_empty());
-        empty.freeze(); // idempotent
+        // A second freeze is a lifecycle bug, not a no-op.
+        assert_eq!(empty.freeze(), Err(StoreError::Frozen));
         assert_eq!(empty.num_segments(), 1);
+        // Batch-wrapped stores are born frozen, so freezing them again
+        // reports the same typed error.
+        let batch = SegmentedStore::from_measurements(&[]);
+        assert!(batch.is_frozen());
+    }
+
+    #[test]
+    fn accepted_rows_and_sealed_measurements_track_the_accepted_stream() {
+        let stream = dirty_stream(60);
+        let (kept, _) = sanitize(stream.clone());
+
+        let mut store = SegmentedStore::builder(16);
+        for c in stream.chunks(7) {
+            store.append_chunk(c.to_vec()).unwrap();
+        }
+        assert_eq!(store.accepted_rows(), kept.len());
+        assert_eq!(store.accepted_rows(), store.len() + store.tail_len());
+        // Sealed reconstruction is exactly the accepted prefix that has
+        // been sealed so far.
+        assert_eq!(store.sealed_measurements(), kept[..store.len()].to_vec());
+
+        store.freeze().unwrap();
+        assert_eq!(store.accepted_rows(), kept.len());
+        assert_eq!(store.sealed_measurements(), kept, "frozen store reconstructs every row");
     }
 
     #[test]
@@ -618,7 +687,7 @@ mod tests {
             store.set_assignments(tiers.clone(), caps.clone(), &catalog),
             Err(StoreError::NotFrozen)
         );
-        store.freeze();
+        store.freeze().unwrap();
         assert_eq!(store.num_segments(), 4);
         store.set_assignments(tiers.clone(), caps.clone(), &catalog).unwrap();
         assert!(store.has_assignments());

@@ -87,7 +87,7 @@ fn ingest(stream: &[Measurement], plan: &[usize], seal_rows: usize) -> Segmented
         rest = tail;
         i += 1;
     }
-    store.freeze();
+    store.freeze().unwrap();
     store
 }
 
