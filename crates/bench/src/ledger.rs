@@ -15,11 +15,12 @@
 //! directly against the pinned golden value: two rows with equal
 //! `artifact_hash` produced byte-identical artifact sets.
 
+use crate::diff::{diff_metrics, DiffOptions, MetricsDoc};
 use crate::{Artifact, ReproReport};
 use serde::Serialize;
 use serde_json::Value;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Schema tag stamped on every row.
 pub const LEDGER_SCHEMA: &str = "st-ledger/v1";
@@ -110,7 +111,132 @@ pub struct LedgerRow {
     pub render_s: f64,
 }
 
+/// Schemas the read side accepts: every batch-comparable row kind.
+/// (`st-load/v1` rows hash a metrics section instead of an artifact set
+/// and are deliberately absent — they have no drift surface here.)
+pub const BATCH_COMPARABLE_SCHEMAS: &[&str] =
+    &[LEDGER_SCHEMA, INGEST_LEDGER_SCHEMA, SERVE_LEDGER_SCHEMA];
+
 impl LedgerRow {
+    /// Parse one ledger line back into the batch-comparable field set —
+    /// the console's read side. Accepts every schema in
+    /// [`BATCH_COMPARABLE_SCHEMAS`] (ingest and serve rows are supersets
+    /// of the batch row; the extra fields are dropped, the actual
+    /// schema tag is kept) and rejects `st-load/v1` rows and unknown
+    /// schemas with a typed message.
+    pub fn parse(line: &str) -> Result<LedgerRow, String> {
+        let v = serde_json::from_str(line).map_err(|e| format!("bad ledger JSON: {e}"))?;
+        LedgerRow::from_value(&v)
+    }
+
+    /// [`LedgerRow::parse`] over an already-parsed JSON value.
+    pub fn from_value(v: &Value) -> Result<LedgerRow, String> {
+        let schema = v
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "ledger row has no string `schema` tag".to_string())?;
+        if schema == LOAD_LEDGER_SCHEMA {
+            return Err(format!(
+                "{schema} rows carry a metrics hash, not an artifact set — not batch-comparable"
+            ));
+        }
+        if !BATCH_COMPARABLE_SCHEMAS.contains(&schema) {
+            return Err(format!("unknown ledger schema {schema:?}"));
+        }
+        let u64f = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("{schema} row is missing u64 `{k}`"))
+        };
+        let f64f = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_f64_lossy)
+                .ok_or_else(|| format!("{schema} row is missing number `{k}`"))
+        };
+        let hash = v
+            .get("artifact_hash")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{schema} row is missing string `artifact_hash`"))?;
+        Ok(LedgerRow {
+            schema: schema.to_string(),
+            scale: f64f("scale")?,
+            seed: u64f("seed")?,
+            parallelism: u64f("parallelism")? as usize,
+            artifact_hash: hash.to_string(),
+            artifact_files: u64f("artifact_files")? as usize,
+            artifacts: u64f("artifacts")? as usize,
+            headlines: u64f("headlines")? as usize,
+            jobs_failed: u64f("jobs_failed")? as usize,
+            jobs_retried: u64f("jobs_retried")? as usize,
+            records_clean: u64f("records_clean")?,
+            records_repaired: u64f("records_repaired")?,
+            records_quarantined: u64f("records_quarantined")?,
+            generate_s: f64f("generate_s")?,
+            fit_s: f64f("fit_s")?,
+            derive_s: f64f("derive_s")?,
+            render_s: f64f("render_s")?,
+        })
+    }
+
+    /// The row's deterministic fields as a [`MetricsDoc`], so ledger
+    /// rows ride the exact-comparison machinery `obs-diff` uses: the
+    /// batch-comparable counters become counters, the scale becomes a
+    /// gauge, and the stage durations stay out (wall-clock class).
+    pub fn deterministic_doc(&self) -> MetricsDoc {
+        let mut doc = MetricsDoc {
+            schema: self.schema.clone(),
+            scale: Some(self.scale),
+            seed: Some(self.seed),
+            parallelism: Some(self.parallelism as u64),
+            ..MetricsDoc::default()
+        };
+        for (key, value) in [
+            ("ledger.artifacts", self.artifacts as u64),
+            ("ledger.headlines", self.headlines as u64),
+            ("ledger.jobs_failed", self.jobs_failed as u64),
+            ("ledger.jobs_retried", self.jobs_retried as u64),
+            ("ledger.records_clean", self.records_clean),
+            ("ledger.records_repaired", self.records_repaired),
+            ("ledger.records_quarantined", self.records_quarantined),
+            ("ledger.artifact_files", self.artifact_files as u64),
+        ] {
+            doc.counters.insert(key.to_string(), value);
+        }
+        doc.gauges.insert("ledger.scale".to_string(), self.scale);
+        doc
+    }
+
+    /// Drift flags for this row against a baseline row, one line per
+    /// divergent key. Empty means the runs are batch-identical where
+    /// the determinism contract requires it: seed, the counter surface,
+    /// and the artifact hash. The schema tag and `parallelism` are
+    /// exempt — comparing a serve run against a batch baseline across
+    /// parallelism levels is exactly the console's job.
+    pub fn drift_against(&self, baseline: &LedgerRow) -> Vec<String> {
+        let mut flags = Vec::new();
+        if self.seed != baseline.seed {
+            flags.push(format!("seed: {} -> {}", baseline.seed, self.seed));
+        }
+        let diff = diff_metrics(
+            &baseline.deterministic_doc(),
+            &self.deterministic_doc(),
+            DiffOptions::default(),
+        );
+        for d in &diff.drift {
+            if d.section == "schema" {
+                continue;
+            }
+            flags.push(format!("{} {}: {}", d.section, d.key, d.detail));
+        }
+        if self.artifact_hash != baseline.artifact_hash {
+            flags.push(format!(
+                "artifact_hash: {} -> {}",
+                baseline.artifact_hash, self.artifact_hash
+            ));
+        }
+        flags
+    }
+
     /// Summarize one completed run.
     pub fn from_report(report: &ReproReport, parallelism: usize) -> LedgerRow {
         let (hash, files) = artifact_hash(&report.artifacts);
@@ -477,6 +603,67 @@ pub fn read_ledger(path: &Path) -> Result<Vec<Value>, String> {
     Ok(rows)
 }
 
+/// Incremental reader over a live ledger file: remembers its byte
+/// offset between polls and consumes only newline-terminated lines,
+/// matching [`append_ledger`]'s crash contract — a torn final line is
+/// not yet a row and will be re-read once its writer finishes it. The
+/// file not existing yet is an empty poll, not an error, so a console
+/// can attach before the first run completes.
+pub struct LedgerTail {
+    path: PathBuf,
+    offset: u64,
+}
+
+impl LedgerTail {
+    /// Tail the ledger at `path` from its beginning.
+    pub fn new(path: impl Into<PathBuf>) -> LedgerTail {
+        LedgerTail { path: path.into(), offset: 0 }
+    }
+
+    /// The ledger file being tailed.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Batch-comparable rows completed since the last poll. `st-load/v1`
+    /// rows share the file but have no artifact surface, so they are
+    /// skipped rather than errors; any other unparseable row is an
+    /// error naming the file. A file that shrank (rotation) restarts
+    /// the tail from the top.
+    pub fn poll(&mut self) -> Result<Vec<LedgerRow>, String> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = match std::fs::File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(format!("cannot open {}: {e}", self.path.display())),
+        };
+        let err = |e: std::io::Error| format!("cannot read {}: {e}", self.path.display());
+        if file.metadata().map_err(err)?.len() < self.offset {
+            self.offset = 0;
+        }
+        file.seek(SeekFrom::Start(self.offset)).map_err(err)?;
+        let mut buf = String::new();
+        file.read_to_string(&mut buf).map_err(err)?;
+        let mut rows = Vec::new();
+        let mut consumed = 0usize;
+        while let Some(nl) = buf[consumed..].find('\n') {
+            let line = buf[consumed..consumed + nl].trim();
+            consumed += nl + 1;
+            if line.is_empty() {
+                continue;
+            }
+            let v: Value = serde_json::from_str(line)
+                .map_err(|e| format!("{}: bad ledger row: {e}", self.path.display()))?;
+            if v.get("schema").and_then(Value::as_str) == Some(LOAD_LEDGER_SCHEMA) {
+                continue;
+            }
+            rows.push(LedgerRow::from_value(&v)?);
+        }
+        self.offset += consumed as u64;
+        Ok(rows)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -541,6 +728,127 @@ mod tests {
         }
         assert_eq!(rows[0].get("parallelism").and_then(Value::as_u64), Some(1));
         assert_eq!(rows[1].get("parallelism").and_then(Value::as_u64), Some(4));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn sample_row() -> LedgerRow {
+        LedgerRow {
+            schema: LEDGER_SCHEMA.to_string(),
+            scale: 0.004,
+            seed: 2024,
+            parallelism: 1,
+            artifact_hash: format!("{:016x}", 0xabcdu64),
+            artifact_files: 89,
+            artifacts: 40,
+            headlines: 12,
+            jobs_failed: 0,
+            jobs_retried: 0,
+            records_clean: 1000,
+            records_repaired: 3,
+            records_quarantined: 2,
+            generate_s: 1.0,
+            fit_s: 2.0,
+            derive_s: 0.1,
+            render_s: 3.0,
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_every_batch_comparable_schema() {
+        let mut row = sample_row();
+        for schema in BATCH_COMPARABLE_SCHEMAS {
+            row.schema = schema.to_string();
+            let line = serde_json::to_string(&row).expect("row serializes");
+            let back = LedgerRow::parse(&line).expect("row parses back");
+            assert_eq!(back.schema, *schema, "the actual schema tag is kept");
+            assert_eq!(back.seed, row.seed);
+            assert_eq!(back.artifact_hash, row.artifact_hash);
+            assert_eq!(back.records_clean, 1000);
+        }
+        // Superset rows (ingest/serve) parse down to the common subset:
+        // extra fields are simply ignored.
+        let line = format!(
+            "{{\"schema\":\"{INGEST_LEDGER_SCHEMA}\",\"scale\":0.05,\"seed\":7,\
+             \"parallelism\":4,\"chunk_rows\":500,\"seal_rows\":4096,\"chunks\":9,\
+             \"rows\":100,\"segments\":2,\"artifact_hash\":\"00000000000000aa\",\
+             \"artifact_files\":89,\"artifacts\":40,\"headlines\":12,\
+             \"jobs_failed\":0,\"jobs_retried\":0,\"records_clean\":98,\
+             \"records_repaired\":1,\"records_quarantined\":1,\"generate_s\":1.0,\
+             \"ingest_s\":0.5,\"fit_s\":2.0,\"derive_s\":0.1,\"render_s\":3.0,\
+             \"rows_per_s\":200.0}}"
+        );
+        let back = LedgerRow::parse(&line).expect("ingest row parses");
+        assert_eq!(back.schema, INGEST_LEDGER_SCHEMA);
+        assert_eq!(back.records_clean, 98);
+    }
+
+    #[test]
+    fn parse_rejects_load_rows_unknown_schemas_and_torn_fields() {
+        let load = format!("{{\"schema\":\"{LOAD_LEDGER_SCHEMA}\",\"seed\":1}}");
+        assert!(LedgerRow::parse(&load).unwrap_err().contains("not batch-comparable"));
+        assert!(LedgerRow::parse("{\"schema\":\"st-mystery/v9\"}")
+            .unwrap_err()
+            .contains("unknown ledger schema"));
+        assert!(LedgerRow::parse("{\"seed\":1}").unwrap_err().contains("schema"));
+        assert!(LedgerRow::parse("not json").unwrap_err().contains("bad ledger JSON"));
+        // A known schema with missing fields names the first one it
+        // needed (the hash is extracted before the counters).
+        let torn = format!("{{\"schema\":\"{LEDGER_SCHEMA}\",\"scale\":0.004}}");
+        assert!(LedgerRow::parse(&torn).unwrap_err().contains("artifact_hash"));
+    }
+
+    #[test]
+    fn drift_flags_fire_on_divergence_and_stay_silent_across_run_kinds() {
+        let baseline = sample_row();
+        // Same deterministic surface, different run kind, different
+        // parallelism, different timings: no drift.
+        let mut serve = sample_row();
+        serve.schema = SERVE_LEDGER_SCHEMA.to_string();
+        serve.parallelism = 4;
+        serve.render_s = 99.0;
+        assert_eq!(serve.drift_against(&baseline), Vec::<String>::new());
+        // Divergent counters, hash, and seed each produce a flag.
+        let mut bad = sample_row();
+        bad.seed = 2025;
+        bad.records_quarantined = 7;
+        bad.artifact_hash = format!("{:016x}", 0xbeefu64);
+        let flags = bad.drift_against(&baseline);
+        assert!(flags.iter().any(|f| f.starts_with("seed:")), "{flags:?}");
+        assert!(flags.iter().any(|f| f.contains("ledger.records_quarantined")), "{flags:?}");
+        assert!(flags.iter().any(|f| f.starts_with("artifact_hash:")), "{flags:?}");
+    }
+
+    #[test]
+    fn tail_consumes_only_finished_lines_and_skips_load_rows() {
+        use std::io::Write as _;
+        let dir = std::env::temp_dir().join(format!("st-tail-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_ledger.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let mut tail = LedgerTail::new(&path);
+        assert_eq!(tail.poll().expect("missing file is empty").len(), 0);
+
+        append_ledger(&path, &sample_row()).expect("append");
+        let rows = tail.poll().expect("first poll");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].seed, 2024);
+        assert_eq!(tail.poll().expect("steady state").len(), 0, "no re-reads");
+
+        // A load row shares the file and is skipped; a torn final line
+        // (no newline yet) is not consumed until its writer finishes.
+        let mut file = std::fs::OpenOptions::new().append(true).open(&path).expect("reopen ledger");
+        writeln!(file, "{{\"schema\":\"{LOAD_LEDGER_SCHEMA}\",\"seed\":1}}").unwrap();
+        let full = serde_json::to_string(&sample_row()).unwrap();
+        let (head, rest) = full.split_at(10);
+        write!(file, "{head}").unwrap();
+        file.flush().unwrap();
+        assert_eq!(tail.poll().expect("torn line poll").len(), 0);
+        // Finish the torn line into a full row: now it arrives, once.
+        writeln!(file, "{rest}").unwrap();
+        drop(file);
+        let rows = tail.poll().expect("completed line poll");
+        assert_eq!(rows.len(), 1, "exactly the finished row, the load row skipped");
         let _ = std::fs::remove_file(&path);
     }
 }

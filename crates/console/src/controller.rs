@@ -1,0 +1,228 @@
+//! The controller: folds feed [`Event`]s into [`ConsoleState`].
+//!
+//! This is the only place state mutates. Feeds (the st-serve query
+//! socket, the ledger tail) translate their wire formats into events;
+//! the renderer reads the resulting state. Because events are plain
+//! data, the whole pipeline replays deterministically in tests: the
+//! same event sequence always yields the same state, and therefore the
+//! same deterministic pane bytes.
+
+use crate::state::{ConsoleState, EpochPoint, RunIdentity};
+
+/// One observation from a feed. Every event is plain data — no
+/// handles, no clocks — so sequences can be recorded and replayed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The live feed attached to a server (wall-clock pane: the
+    /// address is environmental).
+    Connected {
+        /// Address of the st-serve query listener.
+        addr: String,
+    },
+    /// The ledger tail attached to a file (wall-clock pane).
+    LedgerAttached {
+        /// Path of the ledger being tailed.
+        path: String,
+    },
+    /// A `status` poll answered.
+    Status {
+        /// Current epoch index.
+        epoch: u64,
+        /// Whether the final epoch has been published.
+        final_epoch: bool,
+        /// Accepted rows in the published epoch.
+        accepted_rows: u64,
+        /// Rows offered to the sanitizer.
+        rows_in: u64,
+        /// Rows quarantined.
+        quarantined: u64,
+        /// Chunks ingested.
+        chunks: u64,
+        /// Segments sealed.
+        segments_sealed: u64,
+        /// Epochs published so far.
+        epochs_published: u64,
+        /// Server uptime in seconds (wall-clock pane).
+        uptime_s: f64,
+        /// Per-city accepted rows, in server order.
+        cities: Vec<(String, u64)>,
+    },
+    /// A `metrics` poll answered; carries the sanitizer outcome totals
+    /// `(clean, repaired, quarantined)` from the deterministic
+    /// counters.
+    Metrics {
+        /// `serve.rows{outcome=clean}` total.
+        clean: u64,
+        /// `serve.rows{outcome=repaired}` total.
+        repaired: u64,
+        /// `serve.rows{outcome=quarantined}` total.
+        quarantined: u64,
+    },
+    /// One row of the `watch` feed: an epoch crossing.
+    Watch(EpochPoint),
+    /// A batch-comparable ledger row was tailed.
+    Ledger(RunIdentity),
+    /// Drift flags from comparing the newest ledger row against the
+    /// baseline. An empty list is a clean comparison (and clears any
+    /// earlier flags from a stale row).
+    Drift(Vec<String>),
+    /// An environmental note — feed error, reconnect — for the
+    /// wall-clock pane. Never treated as drift.
+    Note(String),
+    /// A frame boundary; advances the frame counter.
+    Tick,
+}
+
+/// Folds [`Event`]s into a [`ConsoleState`].
+#[derive(Debug, Default)]
+pub struct Controller {
+    /// The state the renderer reads.
+    pub state: ConsoleState,
+}
+
+impl Controller {
+    /// A controller over a blank console.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one event into the state.
+    pub fn apply(&mut self, event: Event) {
+        let s = &mut self.state;
+        match event {
+            Event::Connected { addr } => s.connected = Some(addr),
+            Event::LedgerAttached { path } => s.ledger_path = Some(path),
+            Event::Status {
+                epoch,
+                final_epoch,
+                accepted_rows,
+                rows_in,
+                quarantined,
+                chunks,
+                segments_sealed,
+                epochs_published,
+                uptime_s,
+                cities,
+            } => {
+                // Status answers describe published epochs, which are
+                // monotone; a reordered stale answer must not roll the
+                // panel backwards.
+                if epoch > s.epoch || (epoch == s.epoch && (final_epoch || !s.final_epoch)) {
+                    s.epoch = epoch;
+                    s.final_epoch = s.final_epoch || final_epoch;
+                    s.accepted_rows = accepted_rows;
+                    s.rows_in = rows_in;
+                    s.quarantined = quarantined;
+                    s.chunks = chunks;
+                    s.segments_sealed = segments_sealed;
+                    s.epochs_published = epochs_published;
+                    s.cities = cities;
+                }
+                s.uptime_s = uptime_s;
+            }
+            Event::Metrics { clean, repaired, quarantined } => {
+                // Totals, not deltas: later polls supersede earlier
+                // ones (counters are monotone).
+                s.outcomes = (
+                    s.outcomes.0.max(clean),
+                    s.outcomes.1.max(repaired),
+                    s.outcomes.2.max(quarantined),
+                );
+            }
+            Event::Watch(p) => s.push_point(p),
+            Event::Ledger(run) => {
+                s.ledger_rows += 1;
+                s.run = Some(run);
+            }
+            Event::Drift(flags) => s.drift = Some(flags),
+            Event::Note(note) => s.notes.push(note),
+            Event::Tick => s.ticks += 1,
+        }
+    }
+
+    /// Whether any drift flag is raised — the binary's exit-1 signal.
+    pub fn drifted(&self) -> bool {
+        self.state.drift.as_ref().is_some_and(|d| !d.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_status_answers_do_not_roll_back() {
+        let mut c = Controller::new();
+        let fresh = Event::Status {
+            epoch: 3,
+            final_epoch: false,
+            accepted_rows: 192,
+            rows_in: 200,
+            quarantined: 8,
+            chunks: 4,
+            segments_sealed: 12,
+            epochs_published: 3,
+            uptime_s: 1.5,
+            cities: vec![("City-A".into(), 192)],
+        };
+        let stale = Event::Status {
+            epoch: 2,
+            final_epoch: false,
+            accepted_rows: 128,
+            rows_in: 130,
+            quarantined: 2,
+            chunks: 2,
+            segments_sealed: 8,
+            epochs_published: 2,
+            uptime_s: 2.0,
+            cities: vec![],
+        };
+        c.apply(fresh);
+        c.apply(stale);
+        assert_eq!(c.state.epoch, 3);
+        assert_eq!(c.state.accepted_rows, 192);
+        assert_eq!(c.state.cities.len(), 1);
+        // Wall-clock uptime still tracks the newest answer: it is
+        // environmental and carries no ordering contract.
+        assert!((c.state.uptime_s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn watch_deltas_and_metrics_totals_never_double_count() {
+        use crate::state::EpochPoint;
+        let mut c = Controller::new();
+        // Base row carries the running totals as deltas from empty.
+        c.apply(Event::Watch(EpochPoint {
+            epoch: 1,
+            accepted_rows: 50,
+            clean_delta: 50,
+            ..Default::default()
+        }));
+        // A metrics poll reporting the same totals must not add.
+        c.apply(Event::Metrics { clean: 50, repaired: 0, quarantined: 0 });
+        assert_eq!(c.state.outcomes, (50, 0, 0));
+        c.apply(Event::Watch(EpochPoint {
+            epoch: 2,
+            accepted_rows: 64,
+            clean_delta: 14,
+            ..Default::default()
+        }));
+        assert_eq!(c.state.outcomes, (64, 0, 0));
+        c.apply(Event::Metrics { clean: 64, repaired: 0, quarantined: 0 });
+        assert_eq!(c.state.outcomes, (64, 0, 0), "agreeing sources stay fixed");
+    }
+
+    #[test]
+    fn metrics_totals_are_monotone_and_drift_clears() {
+        let mut c = Controller::new();
+        c.apply(Event::Metrics { clean: 10, repaired: 2, quarantined: 1 });
+        c.apply(Event::Metrics { clean: 8, repaired: 1, quarantined: 0 });
+        assert_eq!(c.state.outcomes, (10, 2, 1));
+        assert!(!c.drifted());
+        c.apply(Event::Drift(vec!["seed: 1 -> 2".into()]));
+        assert!(c.drifted());
+        c.apply(Event::Drift(vec![]));
+        assert!(!c.drifted());
+        assert_eq!(c.state.drift, Some(vec![]));
+    }
+}

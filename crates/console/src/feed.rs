@@ -1,0 +1,246 @@
+//! Feeds: adapters from the st-serve query socket to [`Event`]s.
+//!
+//! Two shapes, matching the two query modes (DESIGN.md §18):
+//!
+//! * [`QueryClient`] — one request/response line per call, used for
+//!   the `status` and `metrics` polls.
+//! * [`WatchFeed`] — holds a connection open on the `watch` verb and
+//!   forwards one event per epoch crossing through a channel; the
+//!   controller drains it at frame boundaries.
+//!
+//! Everything here parses line-delimited JSON through
+//! `serde_json::Value` — the console deliberately has no compile-time
+//! dependency on st-serve or st-obs, so the wire format is the only
+//! contract, same as for any external operator tooling.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde_json::Value;
+
+use crate::controller::Event;
+use crate::state::EpochPoint;
+
+/// One-shot request/response client for the query socket.
+#[derive(Debug, Clone)]
+pub struct QueryClient {
+    addr: String,
+    timeout: Duration,
+}
+
+impl QueryClient {
+    /// A client for `addr` (e.g. `127.0.0.1:4422`); every call opens a
+    /// fresh connection and applies `timeout` to reads.
+    pub fn new(addr: impl Into<String>, timeout: Duration) -> Self {
+        Self { addr: addr.into(), timeout }
+    }
+
+    /// The address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Send one JSON request line and parse the one response line.
+    pub fn query(&self, request: &str) -> Result<Value, String> {
+        let stream =
+            TcpStream::connect(&self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
+        stream.set_read_timeout(Some(self.timeout)).map_err(|e| e.to_string())?;
+        stream.set_write_timeout(Some(self.timeout)).map_err(|e| e.to_string())?;
+        let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+        writer
+            .write_all(format!("{request}\n").as_bytes())
+            .map_err(|e| format!("send to {}: {e}", self.addr))?;
+        let mut line = String::new();
+        BufReader::new(stream)
+            .read_line(&mut line)
+            .map_err(|e| format!("read from {}: {e}", self.addr))?;
+        serde_json::from_str(line.trim()).map_err(|e| format!("bad response JSON: {e:?}"))
+    }
+
+    /// Poll `status` and translate the answer into an event.
+    pub fn status(&self) -> Result<Event, String> {
+        status_event(&self.query("{\"cmd\":\"status\"}")?)
+    }
+
+    /// Poll `metrics` and translate the answer into an event.
+    pub fn metrics(&self) -> Result<Event, String> {
+        metrics_event(&self.query("{\"cmd\":\"metrics\"}")?)
+    }
+}
+
+fn get_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key).and_then(Value::as_u64).ok_or_else(|| format!("missing field {key}"))
+}
+
+fn check_ok(v: &Value) -> Result<(), String> {
+    if v.get("ok").and_then(Value::as_bool) == Some(true) {
+        Ok(())
+    } else {
+        let detail = v.get("detail").and_then(Value::as_str).unwrap_or("no detail").to_string();
+        Err(format!("server error: {detail}"))
+    }
+}
+
+/// Translate a `status` response into [`Event::Status`].
+pub fn status_event(v: &Value) -> Result<Event, String> {
+    check_ok(v)?;
+    let cities = match v.get("cities").and_then(Value::as_array) {
+        Some(rows) => rows
+            .iter()
+            .map(|c| {
+                let name = c
+                    .get("city")
+                    .and_then(Value::as_str)
+                    .ok_or("city row missing name")?
+                    .to_string();
+                Ok((name, get_u64(c, "accepted_rows")?))
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        None => Vec::new(),
+    };
+    Ok(Event::Status {
+        epoch: get_u64(v, "epoch")?,
+        final_epoch: v.get("final_epoch").and_then(Value::as_bool).unwrap_or(false),
+        accepted_rows: get_u64(v, "accepted_rows")?,
+        rows_in: get_u64(v, "rows_in").unwrap_or(0),
+        quarantined: get_u64(v, "quarantined").unwrap_or(0),
+        chunks: get_u64(v, "chunks").unwrap_or(0),
+        segments_sealed: get_u64(v, "segments_sealed").unwrap_or(0),
+        epochs_published: get_u64(v, "epochs_published").unwrap_or(0),
+        uptime_s: v.get("uptime_s").and_then(Value::as_f64).unwrap_or(0.0),
+        cities,
+    })
+}
+
+/// Translate a `metrics` response into [`Event::Metrics`], reading the
+/// sanitizer outcome counters out of the embedded snapshot.
+pub fn metrics_event(v: &Value) -> Result<Event, String> {
+    check_ok(v)?;
+    let counters = v
+        .get("snapshot")
+        .and_then(|s| s.get("deterministic"))
+        .and_then(|d| d.get("counters"))
+        .ok_or("metrics response missing deterministic counters")?;
+    let outcome = |name: &str| {
+        counters.get(&format!("serve.rows{{outcome={name}}}")).and_then(Value::as_u64).unwrap_or(0)
+    };
+    Ok(Event::Metrics {
+        clean: outcome("clean"),
+        repaired: outcome("repaired"),
+        quarantined: outcome("quarantined"),
+    })
+}
+
+/// Translate one `watch` row into [`Event::Watch`].
+pub fn watch_event(v: &Value) -> Result<Event, String> {
+    check_ok(v)?;
+    let counters = v.get("counters");
+    let delta = |name: &str| {
+        counters
+            .and_then(|c| c.get(&format!("serve.rows{{outcome={name}}}")))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
+    Ok(Event::Watch(EpochPoint {
+        epoch: get_u64(v, "epoch")?,
+        final_epoch: v.get("final_epoch").and_then(Value::as_bool).unwrap_or(false),
+        accepted_rows: get_u64(v, "accepted_rows")?,
+        segments_sealed: get_u64(v, "segments_sealed").unwrap_or(0),
+        clean_delta: delta("clean"),
+        repaired_delta: delta("repaired"),
+        quarantined_delta: delta("quarantined"),
+    }))
+}
+
+/// A live `watch` subscription: a background reader pushing one
+/// [`Event`] per received row into a channel. The reader stops after
+/// the final-epoch row, on EOF, or once the feed is dropped.
+#[derive(Debug)]
+pub struct WatchFeed {
+    rx: Receiver<Event>,
+    alive: Arc<AtomicBool>,
+}
+
+impl Drop for WatchFeed {
+    fn drop(&mut self) {
+        self.alive.store(false, Ordering::Release);
+    }
+}
+
+impl WatchFeed {
+    /// Connect to `addr`, send the `watch` command, read the base row
+    /// synchronously, and start the background reader for the rest.
+    ///
+    /// The server emits the base row (current epoch, counter totals)
+    /// immediately on subscription; reading it before returning makes
+    /// attachment deterministic — the first `drain` always carries the
+    /// base row, so the first rendered frame never races the wire.
+    pub fn connect(addr: &str, timeout: Duration) -> Result<WatchFeed, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        // Short read timeouts let the reader notice a dropped feed
+        // (send fails) instead of blocking forever on a quiet server.
+        stream.set_read_timeout(Some(timeout)).map_err(|e| e.to_string())?;
+        let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+        writer.write_all(b"{\"cmd\":\"watch\"}\n").map_err(|e| format!("send to {addr}: {e}"))?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| format!("watch base row from {addr}: {e}"))?;
+        let base = serde_json::from_str(line.trim())
+            .map_err(|e| format!("bad watch JSON: {e:?}"))
+            .and_then(|v: Value| watch_event(&v))?;
+        let base_final = matches!(&base, Event::Watch(p) if p.final_epoch);
+        let (tx, rx) = channel();
+        tx.send(base).expect("receiver alive");
+        let alive = Arc::new(AtomicBool::new(true));
+        let alive_reader = Arc::clone(&alive);
+        std::thread::spawn(move || {
+            if base_final {
+                return; // the base row already ended the feed
+            }
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) => break, // server closed the stream
+                    Ok(_) => {
+                        let event = serde_json::from_str(line.trim())
+                            .map_err(|e| format!("bad watch JSON: {e:?}"))
+                            .and_then(|v: Value| watch_event(&v));
+                        let done = matches!(
+                            &event,
+                            Ok(Event::Watch(p)) if p.final_epoch
+                        );
+                        let event = event.unwrap_or_else(|e| Event::Note(format!("watch: {e}")));
+                        if tx.send(event).is_err() || done {
+                            break;
+                        }
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        // Quiet server: keep waiting unless the feed
+                        // handle was dropped.
+                        if !alive_reader.load(Ordering::Acquire) {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Event::Note(format!("watch: read error: {e}")));
+                        break;
+                    }
+                }
+            }
+        });
+        Ok(WatchFeed { rx, alive })
+    }
+
+    /// Drain every event received since the last drain.
+    pub fn drain(&self) -> Vec<Event> {
+        self.rx.try_iter().collect()
+    }
+}

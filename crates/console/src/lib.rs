@@ -1,0 +1,61 @@
+//! st-console: a terminal operator console over the speedtest-context
+//! ledger / metrics / serve surface.
+//!
+//! The crate is a strict three-way split:
+//!
+//! * **feeds** ([`feed`]) do I/O: a one-shot [`QueryClient`] for the
+//!   `status` and `metrics` verbs and a streaming [`WatchFeed`] for
+//!   the `watch` verb, both speaking line-delimited JSON to the
+//!   st-serve query socket. Feeds emit plain-data [`Event`]s.
+//! * **the controller** ([`controller`]) folds events into
+//!   [`ConsoleState`] — the only place state mutates.
+//! * **the renderer** ([`render`]) is a pure function from state to a
+//!   fixed-width plain-text [`Frame`] whose lines are classed
+//!   [`PaneClass::Deterministic`] or [`PaneClass::WallClock`],
+//!   mirroring the repo's two-class metric taxonomy (DESIGN.md §13).
+//!
+//! Because the renderer reads no clock and the deterministic pane is a
+//! pure function of deterministic inputs, frames rendered against two
+//! runs of the same (scale, seed) at different parallelism levels are
+//! byte-identical line-for-line on the `D|` prefix — which is exactly
+//! what CI asserts. [`run_headless`] renders a fixed number of frames
+//! to any writer and exits, so the full console is exercised in tests
+//! and CI with no terminal attached.
+
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod feed;
+pub mod render;
+pub mod state;
+
+pub use controller::{Controller, Event};
+pub use feed::{metrics_event, status_event, watch_event, QueryClient, WatchFeed};
+pub use render::{sparkline, Frame, PaneClass, Renderer, DEFAULT_WIDTH};
+pub use state::{ConsoleState, EpochPoint, RunIdentity};
+
+use std::io::{self, Write};
+
+/// Drive the console headless: for each of `frames` frames, let
+/// `poll` push pending feed events into the controller, advance the
+/// tick counter, render, and write the frame text followed by a blank
+/// separator line to `out`.
+///
+/// The frame index passed to the renderer is ordinal (1-based), never
+/// a clock, so the output for a given event sequence is reproducible
+/// byte-for-byte.
+pub fn run_headless<W: Write>(
+    controller: &mut Controller,
+    renderer: &Renderer,
+    frames: u64,
+    mut poll: impl FnMut(&mut Controller),
+    out: &mut W,
+) -> io::Result<()> {
+    for idx in 1..=frames {
+        poll(controller);
+        controller.apply(Event::Tick);
+        out.write_all(renderer.render(&controller.state, idx).to_text().as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    out.flush()
+}

@@ -218,6 +218,34 @@ impl Histogram {
         Some(estimate.clamp(self.min, self.max))
     }
 
+    /// The inverse of [`Histogram::merge`] on the counting fields: with
+    /// `self == merge(older, x)` the returned histogram carries exactly
+    /// `x`'s bucket counts, overflow, NaN tally, total, and finite
+    /// count. Subtraction saturates at zero, so a delta is never
+    /// negative even on pairs that did not come from a merge.
+    ///
+    /// `min`/`max` are **not** invertible (a merge keeps the extremes of
+    /// both sides), so the delta carries `self`'s values — which makes
+    /// `older.merge(&delta)` reproduce `self` exactly, the round-trip
+    /// the subscription path (DESIGN.md §19) leans on.
+    pub fn delta(&self, older: &Histogram) -> Histogram {
+        let shared = self.counts.len().min(older.counts.len());
+        let mut counts = self.counts.clone();
+        for (mine, old) in counts.iter_mut().zip(older.counts[..shared].iter()) {
+            *mine = mine.saturating_sub(*old);
+        }
+        Histogram {
+            bounds: self.bounds.clone(),
+            counts,
+            overflow: self.overflow.saturating_sub(older.overflow),
+            nan: self.nan.saturating_sub(older.nan),
+            count: self.count.saturating_sub(older.count),
+            finite: self.finite.saturating_sub(older.finite),
+            min: self.min,
+            max: self.max,
+        }
+    }
+
     /// Fold `other` into `self`. With equal bounds (the only case the
     /// registry produces, since bounds are fixed per metric name) the
     /// merge is exactly order-invariant and associative. Mismatched
@@ -272,6 +300,89 @@ pub struct DeterministicMetrics {
     pub series: BTreeMap<String, Vec<f64>>,
 }
 
+impl DeterministicMetrics {
+    /// Fold `other` into `self` with the registry's merge algebra:
+    /// counters add, gauges take the max, histograms merge bucket-wise,
+    /// series append. [`Registry::merge`] delegates here, so snapshots
+    /// and live registries merge identically.
+    pub fn merge(&mut self, other: &DeterministicMetrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.gauges {
+            self.gauges.entry(k.clone()).and_modify(|g| *g = g.max(v)).or_insert(v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+        for (k, s) in &other.series {
+            self.series.entry(k.clone()).or_default().extend_from_slice(s);
+        }
+    }
+
+    /// The inverse of [`DeterministicMetrics::merge`]: with
+    /// `self == merge(older, x)` the delta recovers `x` exactly on
+    /// counters (zero deltas are omitted, subtraction saturates — a
+    /// delta is never negative), histogram counting fields, and series
+    /// (the appended suffix). Gauges merge as max and are therefore not
+    /// invertible; the delta carries `self`'s value for every key whose
+    /// value moved, which still makes `older.merge(&delta)` reproduce
+    /// `self` byte-for-byte — the watch-verb recurrence (DESIGN.md §19).
+    pub fn delta(&self, older: &DeterministicMetrics) -> DeterministicMetrics {
+        let mut out = DeterministicMetrics::default();
+        for (k, &v) in &self.counters {
+            let d = v.saturating_sub(older.counters.get(k).copied().unwrap_or(0));
+            if d > 0 {
+                out.counters.insert(k.clone(), d);
+            }
+        }
+        for (k, &v) in &self.gauges {
+            // Write-once-by-convention keys: only a genuinely raised
+            // value shows up in the delta.
+            if older.gauges.get(k).map(|&o| feq(o, v)) != Some(true) {
+                out.gauges.insert(k.clone(), v);
+            }
+        }
+        for (k, h) in &self.histograms {
+            let d = match older.histograms.get(k) {
+                Some(old) => h.delta(old),
+                None => h.clone(),
+            };
+            if d.count > 0 {
+                out.histograms.insert(k.clone(), d);
+            }
+        }
+        for (k, s) in &self.series {
+            let suffix = match older.series.get(k) {
+                Some(old) if s.len() >= old.len() && series_eq(&s[..old.len()], old) => {
+                    s[old.len()..].to_vec()
+                }
+                Some(_) => s.clone(),
+                None => s.clone(),
+            };
+            if !suffix.is_empty() {
+                out.series.insert(k.clone(), suffix);
+            }
+        }
+        out
+    }
+}
+
+/// NaN-tolerant float equality: snapshots round-trip NaN, so a NaN
+/// gauge must compare equal to itself when computing deltas.
+fn feq(a: f64, b: f64) -> bool {
+    a == b || (a.is_nan() && b.is_nan())
+}
+
+fn series_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| feq(*x, *y))
+}
+
 /// The wall-clock metric class: reported, never determinism-checked.
 #[derive(Debug, Clone, PartialEq, Default, Serialize)]
 pub struct WallClockMetrics {
@@ -283,6 +394,53 @@ pub struct WallClockMetrics {
     /// class. Keys and bucket bounds are deterministic; bucket counts
     /// and min/max move with the environment, like span durations.
     pub values: BTreeMap<String, Histogram>,
+}
+
+impl WallClockMetrics {
+    /// Fold `other` into `self`: span stats accumulate, value
+    /// histograms merge bucket-wise.
+    pub fn merge(&mut self, other: &WallClockMetrics) {
+        for (k, s) in &other.spans {
+            let stat = self.spans.entry(k.clone()).or_default();
+            stat.count += s.count;
+            stat.total_s += s.total_s;
+        }
+        for (k, h) in &other.values {
+            match self.values.get_mut(k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.values.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Best-effort inverse of [`WallClockMetrics::merge`]: span entry
+    /// counts subtract exactly (saturating), total seconds subtract and
+    /// clamp at zero (floating-point sums are not exactly invertible —
+    /// which is fine, this class is excluded from every determinism
+    /// contract). Keys that did not move are omitted.
+    pub fn delta(&self, older: &WallClockMetrics) -> WallClockMetrics {
+        let mut out = WallClockMetrics::default();
+        for (k, s) in &self.spans {
+            let old = older.spans.get(k).copied().unwrap_or_default();
+            let count = s.count.saturating_sub(old.count);
+            let total_s = (s.total_s - old.total_s).max(0.0);
+            if count > 0 || total_s > 0.0 {
+                out.spans.insert(k.clone(), SpanStat { count, total_s });
+            }
+        }
+        for (k, h) in &self.values {
+            let d = match older.values.get(k) {
+                Some(old) => h.delta(old),
+                None => h.clone(),
+            };
+            if d.count > 0 {
+                out.values.insert(k.clone(), d);
+            }
+        }
+        out
+    }
 }
 
 /// Everything a registry holds, in serializable form. Field order (and
@@ -308,6 +466,33 @@ impl MetricsSnapshot {
     /// the parallelism-invariance tests compare.
     pub fn deterministic_json(&self) -> String {
         serde_json::to_string_pretty(&self.deterministic).expect("metrics serialize")
+    }
+
+    /// What changed between two snapshots of the *same* registry: the
+    /// inverse of the merge algebra, section by section (see
+    /// [`DeterministicMetrics::delta`] / [`WallClockMetrics::delta`]).
+    /// The subscription read path: a watcher holds its previous
+    /// snapshot `Arc`, calls `new.delta(&old)`, and gets exactly the
+    /// counter increments since its last observation — never negative,
+    /// and telescoping (the deltas along any snapshot chain sum to the
+    /// final totals). Property-tested in `tests/delta_prop.rs`.
+    pub fn delta(&self, older: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            schema: self.schema,
+            deterministic: self.deterministic.delta(&older.deterministic),
+            wall_clock: self.wall_clock.delta(&older.wall_clock),
+        }
+    }
+
+    /// An empty snapshot — the zero element of the merge algebra and
+    /// the natural `older` seed for a subscription's first delta
+    /// (`snap.delta(&MetricsSnapshot::empty())` is the running totals).
+    pub fn empty() -> MetricsSnapshot {
+        MetricsSnapshot {
+            schema: "st-obs/v1",
+            deterministic: DeterministicMetrics::default(),
+            wall_clock: WallClockMetrics::default(),
+        }
     }
 }
 
@@ -554,41 +739,11 @@ impl Registry {
         }
         {
             let theirs = other_inner.det.lock();
-            let mut ours = inner.det.lock();
-            for (k, v) in &theirs.counters {
-                *ours.counters.entry(k.clone()).or_insert(0) += v;
-            }
-            for (k, &v) in &theirs.gauges {
-                ours.gauges.entry(k.clone()).and_modify(|g| *g = g.max(v)).or_insert(v);
-            }
-            for (k, h) in &theirs.histograms {
-                match ours.histograms.get_mut(k) {
-                    Some(mine) => mine.merge(h),
-                    None => {
-                        ours.histograms.insert(k.clone(), h.clone());
-                    }
-                }
-            }
-            for (k, s) in &theirs.series {
-                ours.series.entry(k.clone()).or_default().extend_from_slice(s);
-            }
+            inner.det.lock().merge(&theirs);
         }
         {
             let theirs = other_inner.wall.lock();
-            let mut ours = inner.wall.lock();
-            for (k, s) in &theirs.spans {
-                let stat = ours.spans.entry(k.clone()).or_default();
-                stat.count += s.count;
-                stat.total_s += s.total_s;
-            }
-            for (k, h) in &theirs.values {
-                match ours.values.get_mut(k) {
-                    Some(mine) => mine.merge(h),
-                    None => {
-                        ours.values.insert(k.clone(), h.clone());
-                    }
-                }
-            }
+            inner.wall.lock().merge(&theirs);
         }
         // Trace events append in merge order, shifted onto a fresh lane
         // block so every merged unit of work keeps its own CTEF track.
@@ -619,6 +774,19 @@ impl Registry {
         (*self.snapshot_shared()).clone()
     }
 
+    /// The mutation version: bumped after every metric write (trace
+    /// events excluded). A subscriber can poll this one atomic load to
+    /// decide whether [`Registry::snapshot_shared`] would hand back
+    /// anything new — the cheap change-detection hook the operator
+    /// console's live feed sits on (ROADMAP item 5). Always 0 on a
+    /// disabled registry.
+    pub fn version(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.version.load(Ordering::Acquire),
+            None => 0,
+        }
+    }
+
     /// A shared, cached snapshot of everything recorded so far — the
     /// cheap read path a long-running service's query loop (and the
     /// operator console ROADMAP item 5 wants) can hit per request.
@@ -631,11 +799,7 @@ impl Registry {
     /// than the last mutation that completed before they called.
     pub fn snapshot_shared(&self) -> Arc<MetricsSnapshot> {
         let Some(inner) = &self.inner else {
-            return Arc::new(MetricsSnapshot {
-                schema: "st-obs/v1",
-                deterministic: DeterministicMetrics::default(),
-                wall_clock: WallClockMetrics::default(),
-            });
+            return Arc::new(MetricsSnapshot::empty());
         };
         let mut cache = inner.snap_cache.lock();
         // Read the version *before* cloning the maps: a concurrent
@@ -1017,6 +1181,73 @@ mod tests {
         // Disabled registries hand out empty snapshots.
         let off = Registry::disabled();
         assert!(off.snapshot_shared().deterministic.counters.is_empty());
+    }
+
+    #[test]
+    fn delta_inverts_merge_on_counters_and_round_trips() {
+        let a = Registry::new();
+        a.add("c", &[], 5);
+        a.add("only_a", &[], 2);
+        a.observe("h", &[], 1.0, &[2.0, 4.0]);
+        a.extend_series("s", &[], &[1.0, 2.0]);
+        a.set_gauge("g", &[], 1.0);
+        let b = Registry::new();
+        b.add("c", &[], 3);
+        b.add("only_b", &[], 7);
+        b.observe("h", &[], 3.0, &[2.0, 4.0]);
+        b.extend_series("s", &[], &[9.0]);
+        b.set_gauge("g", &[], 4.0);
+        let merged = Registry::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        let d = merged.snapshot().delta(&a.snapshot());
+        // Counters recover exactly what b contributed.
+        assert_eq!(d.deterministic.counters, b.snapshot().deterministic.counters);
+        // Histogram counting fields recover b's observation.
+        let dh = &d.deterministic.histograms["h"];
+        assert_eq!((dh.count, dh.counts.clone()), (1, vec![0, 1]));
+        // The series delta is the appended suffix.
+        assert_eq!(d.deterministic.series["s"], vec![9.0]);
+        // Raised gauges carry the new value; merge back reproduces the
+        // merged deterministic section byte for byte.
+        assert_eq!(d.deterministic.gauges["g"], 4.0);
+        let mut rt = a.snapshot().deterministic.clone();
+        rt.merge(&d.deterministic);
+        assert_eq!(rt, merged.snapshot().deterministic);
+        assert_eq!(
+            serde_json::to_string(&rt).unwrap(),
+            serde_json::to_string(&merged.snapshot().deterministic).unwrap(),
+            "round-trip must survive serialization byte for byte"
+        );
+    }
+
+    #[test]
+    fn delta_never_goes_negative_and_idle_deltas_are_empty() {
+        let a = Registry::new();
+        a.add("c", &[], 5);
+        a.observe("h", &[], 1.0, &[2.0]);
+        let snap = a.snapshot();
+        // Self-delta: nothing moved.
+        let d = snap.delta(&snap);
+        assert_eq!(d.deterministic, DeterministicMetrics::default());
+        // Even against a *newer* "older" side (not a merge pair),
+        // saturation keeps every count at zero instead of wrapping.
+        let fresh = Registry::new();
+        fresh.add("c", &[], 2);
+        let d = fresh.snapshot().delta(&snap);
+        assert!(d.deterministic.counters.is_empty(), "5 -> 2 must saturate, not wrap");
+    }
+
+    #[test]
+    fn registry_version_moves_with_mutations_only() {
+        let reg = Registry::new();
+        let v0 = reg.version();
+        reg.inc("c", &[]);
+        let v1 = reg.version();
+        assert!(v1 > v0, "a counter write must advance the version");
+        reg.event("e", "lifecycle", &[]);
+        assert_eq!(reg.version(), v1, "trace events never invalidate snapshots");
+        assert_eq!(Registry::disabled().version(), 0);
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Property tests pinning the snapshot delta algebra — the inverse of
+//! merge that backs the st-serve `watch` verb (DESIGN.md §19). Three
+//! contracts: `delta(a, merge(a, b))` recovers `b` on counters,
+//! deltas never go negative (subtraction saturates even on snapshot
+//! pairs that are not a merge pair), and delta + merge round-trips the
+//! newer snapshot byte-for-byte through JSON.
+
+use proptest::prelude::*;
+use st_obs::{DeterministicMetrics, MetricsSnapshot, Registry};
+
+const BOUNDS: &[f64] = &[0.0, 1.0, 10.0];
+
+/// One recording action against a registry, over a small shared key
+/// pool so that independently generated op lists collide on keys (the
+/// interesting case for an inverse).
+#[derive(Clone, Debug)]
+enum Op {
+    Add(u8, u64),
+    Gauge(u8, f64),
+    Observe(u8, f64),
+    Series(u8, Vec<f64>),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (
+        0u8..4,
+        0u8..3,
+        1u64..100,
+        // Observation pool includes NaN and out-of-range values: NaN
+        // lands in the nan tally, and everything must subtract cleanly.
+        prop::sample::select(vec![f64::NAN, -3.0, 0.5, 2.0, 1e6]),
+        prop::collection::vec(-1.0f64..1.0, 1..4),
+    )
+        .prop_map(|(kind, k, n, v, s)| match kind {
+            0 => Op::Add(k, n),
+            1 => Op::Gauge(k, n as f64 - 50.0),
+            2 => Op::Observe(k, v),
+            _ => Op::Series(k, s),
+        })
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(op_strategy(), 0..40)
+}
+
+fn apply(ops: &[Op]) -> Registry {
+    let reg = Registry::new();
+    for op in ops {
+        match op {
+            Op::Add(k, n) => reg.add("c", &[("k", &k.to_string())], *n),
+            Op::Gauge(k, v) => reg.set_gauge("g", &[("k", &k.to_string())], *v),
+            Op::Observe(k, v) => reg.observe("h", &[("k", &k.to_string())], *v, BOUNDS),
+            Op::Series(k, s) => reg.extend_series("s", &[("k", &k.to_string())], s),
+        }
+    }
+    reg
+}
+
+/// `a`, `b`, and `merge(a, b)` as snapshots.
+fn merge_pair(a_ops: &[Op], b_ops: &[Op]) -> (MetricsSnapshot, MetricsSnapshot, MetricsSnapshot) {
+    let ra = apply(a_ops);
+    let rb = apply(b_ops);
+    let merged = Registry::new();
+    merged.merge(&ra);
+    merged.merge(&rb);
+    (ra.snapshot(), rb.snapshot(), merged.snapshot())
+}
+
+proptest! {
+    #[test]
+    fn delta_of_a_merge_recovers_the_other_side(
+        a_ops in ops_strategy(),
+        b_ops in ops_strategy(),
+    ) {
+        let (a, b, merged) = merge_pair(&a_ops, &b_ops);
+        let d = merged.delta(&a);
+        // Counters: exactly b's contribution (b's adds are all >= 1, so
+        // the omit-zero rule drops nothing b actually touched).
+        prop_assert_eq!(&d.deterministic.counters, &b.deterministic.counters);
+        // Histogram counting fields: exactly b's observations, key for
+        // key (min/max carry the merged extremes by contract, so only
+        // the counting fields are compared here).
+        prop_assert_eq!(
+            d.deterministic.histograms.keys().collect::<Vec<_>>(),
+            b.deterministic.histograms.keys().collect::<Vec<_>>()
+        );
+        for (k, bh) in &b.deterministic.histograms {
+            let dh = &d.deterministic.histograms[k];
+            prop_assert_eq!(&dh.counts, &bh.counts, "bucket counts for {}", k);
+            prop_assert_eq!(
+                (dh.overflow, dh.nan, dh.count, dh.finite),
+                (bh.overflow, bh.nan, bh.count, bh.finite),
+                "tallies for {}", k
+            );
+        }
+        // Series: exactly the suffix b appended.
+        prop_assert_eq!(&d.deterministic.series, &b.deterministic.series);
+    }
+
+    #[test]
+    fn deltas_never_go_negative(
+        a_ops in ops_strategy(),
+        b_ops in ops_strategy(),
+    ) {
+        let (a, _, merged) = merge_pair(&a_ops, &b_ops);
+        // Reverse the arguments: the "newer" side is dominated
+        // everywhere, so every subtraction saturates to zero and the
+        // omit-zero rule leaves the counting sections empty — no u64
+        // wrap-around ever reaches a consumer.
+        let rev = a.delta(&merged);
+        prop_assert!(rev.deterministic.counters.is_empty(), "{:?}", rev.deterministic.counters);
+        prop_assert!(rev.deterministic.histograms.is_empty());
+        // Forward deltas are bounded by the newer totals.
+        let fwd = merged.delta(&a);
+        for (k, &v) in &fwd.deterministic.counters {
+            prop_assert!(v <= merged.deterministic.counters[k], "{} overshot", k);
+        }
+        // A snapshot's delta against itself is empty in every section.
+        let idle = merged.delta(&merged);
+        prop_assert_eq!(idle.deterministic, DeterministicMetrics::default());
+        prop_assert!(idle.wall_clock.spans.is_empty());
+        prop_assert!(idle.wall_clock.values.is_empty());
+    }
+
+    #[test]
+    fn delta_then_merge_round_trips_through_json(
+        a_ops in ops_strategy(),
+        b_ops in ops_strategy(),
+    ) {
+        let (a, _, merged) = merge_pair(&a_ops, &b_ops);
+        let d = merged.delta(&a);
+        let mut rt = a.deterministic.clone();
+        rt.merge(&d.deterministic);
+        // Byte-for-byte: the watcher folding deltas onto its base must
+        // land on the exact serialized snapshot, not an approximation.
+        prop_assert_eq!(
+            serde_json::to_string(&rt).expect("metrics serialize"),
+            serde_json::to_string(&merged.deterministic).expect("metrics serialize")
+        );
+    }
+
+    #[test]
+    fn deltas_telescope_along_a_snapshot_chain(
+        chunks in prop::collection::vec(ops_strategy(), 1..5),
+    ) {
+        // The watch verb's exact situation: one registry, snapshotted
+        // after every epoch; folding the per-epoch deltas onto an empty
+        // base must reproduce the final totals.
+        let reg = Registry::new();
+        let mut prev = MetricsSnapshot::empty();
+        let mut folded = DeterministicMetrics::default();
+        for chunk in &chunks {
+            for op in chunk {
+                match op {
+                    Op::Add(k, n) => reg.add("c", &[("k", &k.to_string())], *n),
+                    Op::Gauge(k, v) => reg.set_gauge("g", &[("k", &k.to_string())], *v),
+                    Op::Observe(k, v) => {
+                        reg.observe("h", &[("k", &k.to_string())], *v, BOUNDS)
+                    }
+                    Op::Series(k, s) => {
+                        reg.extend_series("s", &[("k", &k.to_string())], s)
+                    }
+                }
+            }
+            let now = reg.snapshot();
+            folded.merge(&now.delta(&prev).deterministic);
+            prev = now;
+        }
+        prop_assert_eq!(
+            serde_json::to_string(&folded).expect("metrics serialize"),
+            serde_json::to_string(&reg.snapshot().deterministic).expect("metrics serialize")
+        );
+    }
+}

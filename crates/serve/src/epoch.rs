@@ -15,9 +15,10 @@
 //! property the `serve.epochs` deterministic counter and the proptests
 //! in `tests/serve_prop.rs` lean on.
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use serde::Serialize;
 use st_speedtest::SanitizeReport;
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
 /// Epoch index after `accepted_rows` rows with boundaries every
@@ -135,14 +136,27 @@ impl EpochSnapshot {
 /// strictly newer than the current one, so two ingest threads that
 /// both crossed a boundary can build their epochs concurrently and the
 /// later index always wins — observed epochs are monotone per reader.
+///
+/// Beyond the swap, the publisher carries a subscription side for the
+/// `watch` verb: every snapshot that *wins* the swap is delivered to
+/// every live subscriber exactly once, in publication order. A
+/// snapshot that loses the monotonicity race is dropped from both the
+/// swap and the feeds, so a subscriber's sequence is strictly
+/// increasing — the same monotone history a polling reader observes,
+/// with no crossings skipped and none repeated.
 pub struct EpochPublisher {
     current: RwLock<Arc<EpochSnapshot>>,
+    /// Live subscriber channels. Guarded separately from `current`, but
+    /// only touched while holding a `current` lock (read for
+    /// registration, write for notification) — that exclusion is what
+    /// makes the handoff in [`EpochPublisher::subscribe`] gap-free.
+    subs: Mutex<Vec<Sender<Arc<EpochSnapshot>>>>,
 }
 
 impl EpochPublisher {
     /// Start at the given epoch-0 snapshot.
     pub fn new(initial: EpochSnapshot) -> Self {
-        EpochPublisher { current: RwLock::new(Arc::new(initial)) }
+        EpochPublisher { current: RwLock::new(Arc::new(initial)), subs: Mutex::new(Vec::new()) }
     }
 
     /// The current epoch (an `Arc` bump; never blocks on ingest).
@@ -150,15 +164,37 @@ impl EpochPublisher {
         Arc::clone(&self.current.read())
     }
 
+    /// Register a live feed: returns the snapshot that is current at
+    /// registration time plus a receiver that will yield every snapshot
+    /// published *after* it, in order, exactly once.
+    ///
+    /// Registration happens under the `current` read lock, which
+    /// excludes the publish path (it holds the write lock across both
+    /// the swap and the notification sweep). So the returned base and
+    /// the stream cannot have a gap between them: any publish is either
+    /// fully before registration (visible in the base) or fully after
+    /// (delivered on the channel).
+    pub fn subscribe(&self) -> (Arc<EpochSnapshot>, Receiver<Arc<EpochSnapshot>>) {
+        let cur = self.current.read();
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.subs.lock().push(tx);
+        (Arc::clone(&cur), rx)
+    }
+
     /// Swap `snap` in if it is strictly newer than the current epoch
-    /// (final beats non-final at equal index). Returns whether the
-    /// swap happened.
+    /// (final beats non-final at equal index) and, on a successful
+    /// swap, hand it to every subscriber. Returns whether the swap
+    /// happened.
     pub fn publish(&self, snap: Arc<EpochSnapshot>) -> bool {
         let mut cur = self.current.write();
         let newer = snap.epoch > cur.epoch
             || (snap.epoch == cur.epoch && snap.final_epoch && !cur.final_epoch);
         if newer {
             *cur = snap;
+            // Notify while still holding the write lock so deliveries
+            // are totally ordered with swaps; sends are unbounded and
+            // never block. Disconnected receivers are pruned here.
+            self.subs.lock().retain(|tx| tx.send(Arc::clone(&cur)).is_ok());
         }
         newer
     }
@@ -205,6 +241,38 @@ mod tests {
         assert!(p.publish(Arc::new(f2.clone())));
         assert!(!p.publish(Arc::new(f2)));
         assert!(p.current().final_epoch);
+    }
+
+    #[test]
+    fn subscribers_see_every_winning_publish_exactly_once() {
+        let p = EpochPublisher::new(EpochSnapshot::initial(Vec::new()));
+        let (base, rx) = p.subscribe();
+        assert_eq!(base.epoch, 0);
+        let snap_at = |epoch: u64, final_epoch: bool| {
+            let mut s = EpochSnapshot::initial(Vec::new());
+            s.epoch = epoch;
+            s.final_epoch = final_epoch;
+            Arc::new(s)
+        };
+        assert!(p.publish(snap_at(1, false)));
+        assert!(!p.publish(snap_at(1, false)), "losing publishes are dropped from the feed too");
+        assert!(p.publish(snap_at(2, false)));
+        assert!(p.publish(snap_at(2, true)));
+        let seen: Vec<(u64, bool)> = rx.try_iter().map(|s| (s.epoch, s.final_epoch)).collect();
+        assert_eq!(seen, vec![(1, false), (2, false), (2, true)]);
+        // A subscriber that joins late sees the current state as its
+        // base and only subsequent publishes on the channel.
+        let (base, rx2) = p.subscribe();
+        assert_eq!((base.epoch, base.final_epoch), (2, true));
+        assert!(rx2.try_recv().is_err());
+        // Dropped receivers are pruned on the next publish rather than
+        // accumulating forever.
+        drop(rx2);
+        drop(rx);
+        let mut f3 = EpochSnapshot::initial(Vec::new());
+        f3.epoch = 3;
+        assert!(p.publish(Arc::new(f3)));
+        assert!(p.subs.lock().is_empty());
     }
 
     #[test]

@@ -16,15 +16,35 @@
 //! | `headline`   | warm/final headline figures and tables             |
 //! | `quarantine` | sanitize taxonomy of the current epoch             |
 //! | `epoch`      | the full epoch snapshot                            |
+//! | `metrics`    | the full two-class metrics snapshot                |
+//! | `watch`      | *streaming*: one row now + one per epoch crossing  |
 //! | `shutdown`   | ack, then signals the server to stop accepting     |
+//!
+//! Malformed or unknown requests get a uniform structured error row:
+//! `{"ok": false, "kind": "error", "detail": "..."}` — still one JSON
+//! object per line, so clients never need a second parser for the
+//! failure path.
+//!
+//! `watch` is the one departure from request/response: the connection
+//! switches to a push feed (the console's live feed). The server
+//! writes one row immediately (the current epoch, with `serve.*`
+//! counter *totals*), then one row per epoch crossing carrying the
+//! counter *deltas* since the previous row — backed by
+//! [`st_obs::MetricsSnapshot::delta`], so the rows telescope: base +
+//! sum of deltas = final totals. The feed ends after the final epoch,
+//! after an optional `"max": N` row budget, or when the server stops
+//! accepting; the connection then returns to request/response.
 
 use crate::epoch::{CitySnapshot, EpochSnapshot};
 use crate::service::ContextService;
 use serde::Serialize;
+use st_obs::MetricsSnapshot;
 use st_speedtest::SanitizeReport;
+use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::RecvTimeoutError;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::Duration;
@@ -32,10 +52,14 @@ use std::time::Duration;
 /// Per-request wall-clock histogram bounds, seconds.
 const QUERY_BOUNDS: &[f64] = &[0.00001, 0.0001, 0.0005, 0.001, 0.005, 0.025, 0.1];
 
+/// How often a streaming watch wakes up to notice server shutdown.
+const WATCH_POLL: Duration = Duration::from_millis(200);
+
 #[derive(Serialize)]
 struct ErrorResponse {
     ok: bool,
-    error: String,
+    kind: &'static str,
+    detail: String,
 }
 
 #[derive(Serialize)]
@@ -102,8 +126,31 @@ struct ShutdownResponse {
     kind: &'static str,
 }
 
+/// Per-city sealed-segment count inside a watch row.
+#[derive(Serialize)]
+struct SealCount {
+    city: String,
+    sealed_segments: u64,
+}
+
+/// One line of the `watch` feed: the epoch that crossed plus the
+/// `serve.*` deterministic counter deltas since the previous row.
+#[derive(Serialize)]
+struct WatchRow {
+    ok: bool,
+    kind: &'static str,
+    epoch: u64,
+    final_epoch: bool,
+    accepted_rows: u64,
+    quarantined: u64,
+    chunks: u64,
+    segments_sealed: u64,
+    seals: Vec<SealCount>,
+    counters: BTreeMap<String, u64>,
+}
+
 fn err(msg: impl Into<String>) -> String {
-    serde_json::to_string(&ErrorResponse { ok: false, error: msg.into() })
+    serde_json::to_string(&ErrorResponse { ok: false, kind: "error", detail: msg.into() })
         .expect("error response serializes")
 }
 
@@ -188,6 +235,23 @@ pub fn dispatch(service: &ContextService, line: &str) -> (String, bool) {
             sanitize: snap.sanitize.clone(),
         }),
         "epoch" => json(&EpochResponse { ok: true, kind: "epoch", snapshot: (*snap).clone() }),
+        "metrics" => {
+            // Assembled by hand so the shared snapshot `Arc` serializes
+            // in place — no clone of the histogram maps per request.
+            let metrics = service.registry().snapshot_shared();
+            format!(
+                "{{\"ok\":true,\"kind\":\"metrics\",\"epoch\":{},\"snapshot\":{}}}",
+                snap.epoch,
+                json(&*metrics)
+            )
+        }
+        // Streaming is a connection-level mode, not a one-shot answer:
+        // `handle_conn` intercepts it before dispatch ever runs.
+        // Reaching this arm means the caller invoked the pure in-process
+        // path, where a push feed cannot exist.
+        "watch" => err(
+            "watch is streaming-only: hold the connection open and read one row per epoch crossing",
+        ),
         "shutdown" => return (json(&ShutdownResponse { ok: true, kind: "shutdown" }), true),
         other => err(format!("unknown cmd {other:?}")),
     };
@@ -292,6 +356,86 @@ impl Drop for QueryServer {
     }
 }
 
+/// Serialize one watch row for `snap`, carrying the `serve.*`
+/// deterministic counter deltas since `prev` (which is advanced to the
+/// metrics state captured for this row). Seeding `prev` with
+/// [`MetricsSnapshot::empty`] makes the first row carry running totals;
+/// every later row carries increments, and the rows telescope.
+fn watch_row(
+    service: &ContextService,
+    snap: &EpochSnapshot,
+    prev: &mut Arc<MetricsSnapshot>,
+) -> String {
+    let now = service.registry().snapshot_shared();
+    let delta = now.delta(prev.as_ref());
+    *prev = now;
+    let counters: BTreeMap<String, u64> =
+        delta.deterministic.counters.into_iter().filter(|(k, _)| k.starts_with("serve.")).collect();
+    json(&WatchRow {
+        ok: true,
+        kind: "watch",
+        epoch: snap.epoch,
+        final_epoch: snap.final_epoch,
+        accepted_rows: snap.accepted_rows,
+        quarantined: snap.quarantined,
+        chunks: snap.chunks,
+        segments_sealed: snap.segments_sealed,
+        seals: snap
+            .cities
+            .iter()
+            .map(|c| SealCount {
+                city: c.city.clone(),
+                sealed_segments: c.campaigns.iter().map(|s| s.sealed_segments).sum(),
+            })
+            .collect(),
+        counters,
+    })
+}
+
+fn write_line(writer: &mut TcpStream, line: &str) -> io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Run one `watch` feed on an open connection: emit the current epoch
+/// immediately, then every snapshot the publisher hands us, exactly
+/// once each and in order (see [`crate::EpochPublisher::subscribe`]).
+/// Ends after the final epoch, after `max` rows, when the server stops
+/// accepting, or on a client write error.
+fn stream_watch(
+    writer: &mut TcpStream,
+    service: &ContextService,
+    signal: &Signal,
+    max: Option<u64>,
+) -> io::Result<()> {
+    let (base, rx) = service.subscribe_epochs();
+    let mut prev = Arc::new(MetricsSnapshot::empty());
+    let mut sent = 0u64;
+    write_line(writer, &watch_row(service, &base, &mut prev))?;
+    sent += 1;
+    if base.final_epoch || max.is_some_and(|m| sent >= m) {
+        return Ok(());
+    }
+    loop {
+        match rx.recv_timeout(WATCH_POLL) {
+            Ok(snap) => {
+                write_line(writer, &watch_row(service, &snap, &mut prev))?;
+                sent += 1;
+                if snap.final_epoch || max.is_some_and(|m| sent >= m) {
+                    return Ok(());
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if signal.stop_accepting.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return Ok(()),
+        }
+    }
+}
+
 fn handle_conn(stream: TcpStream, service: &ContextService, signal: &Signal) {
     let Ok(read_half) = stream.try_clone() else { return };
     let reader = BufReader::new(read_half);
@@ -301,13 +445,25 @@ fn handle_conn(stream: TcpStream, service: &ContextService, signal: &Signal) {
         if line.trim().is_empty() {
             continue;
         }
+        // `watch` flips the connection into push mode until the feed
+        // ends; everything else stays strict request/response.
+        if let Ok(v) = serde_json::from_str(&line) {
+            if v.get("cmd").and_then(|c| c.as_str()) == Some("watch") {
+                service.registry().observe_wall(
+                    "serve.query_seconds",
+                    &[("cmd", "watch")],
+                    0.0,
+                    QUERY_BOUNDS,
+                );
+                let max = v.get("max").and_then(|m| m.as_u64());
+                if stream_watch(&mut writer, service, signal, max).is_err() {
+                    break;
+                }
+                continue;
+            }
+        }
         let (resp, shutdown) = dispatch(service, &line);
-        if writer
-            .write_all(resp.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
+        if write_line(&mut writer, &resp).is_err() {
             break;
         }
         if shutdown {
@@ -377,7 +533,7 @@ mod tests {
     #[test]
     fn dispatch_answers_every_command_from_one_epoch() {
         let s = service();
-        for cmd in ["status", "headline", "quarantine", "epoch"] {
+        for cmd in ["status", "headline", "quarantine", "epoch", "metrics"] {
             let (resp, shutdown) = dispatch(&s, &format!("{{\"cmd\":\"{cmd}\"}}"));
             assert!(!shutdown);
             let v: serde_json::Value = serde_json::from_str(&resp).expect("response parses");
@@ -396,18 +552,67 @@ mod tests {
         let city = get(&v, "city");
         assert_eq!(get(city, "city").as_str(), Some("City-A"));
         assert!(get(city, "campaigns").as_array().is_some_and(|c| c.len() == 3));
+
+        // metrics returns the full two-class snapshot, both sections
+        // split exactly as BENCH_metrics.json lays them out.
+        let (resp, _) = dispatch(&s, "{\"cmd\":\"metrics\"}");
+        let v: serde_json::Value = serde_json::from_str(&resp).unwrap();
+        assert_eq!(get(&v, "kind").as_str(), Some("metrics"));
+        let snap = get(&v, "snapshot");
+        assert_eq!(get(snap, "schema").as_str(), Some("st-obs/v1"));
+        let det = get(snap, "deterministic");
+        assert!(get(snap, "wall_clock").as_object().is_some());
+        let rows = get(get(det, "counters"), "serve.rows{outcome=clean}");
+        assert_eq!(rows.as_u64(), Some(12), "metrics carries the serve.* counters: {resp}");
     }
 
     #[test]
     fn malformed_requests_get_structured_errors() {
         let s = service();
-        for bad in ["not json", "{}", "{\"cmd\":\"nope\"}", "{\"cmd\":\"city\"}"] {
+        // One failure shape for every failure mode, streaming included:
+        // ok:false, kind:"error", and a human-readable detail string.
+        for bad in
+            ["not json", "{}", "{\"cmd\":\"nope\"}", "{\"cmd\":\"city\"}", "{\"cmd\":\"watch\"}"]
+        {
             let (resp, shutdown) = dispatch(&s, bad);
             assert!(!shutdown);
             let v: serde_json::Value = serde_json::from_str(&resp).expect("error responses parse");
             assert_eq!(get(&v, "ok").as_bool(), Some(false), "{bad}: {resp}");
-            assert!(get(&v, "error").as_str().is_some());
+            assert_eq!(get(&v, "kind").as_str(), Some("error"), "{bad}: {resp}");
+            assert!(get(&v, "detail").as_str().is_some_and(|d| !d.is_empty()), "{bad}: {resp}");
         }
+    }
+
+    #[test]
+    fn watch_over_tcp_streams_rows_and_returns_to_request_response() {
+        let s = service();
+        let server = QueryServer::start(Arc::clone(&s), "127.0.0.1:0").expect("bind");
+        let t = Duration::from_secs(5);
+        let stream = TcpStream::connect_timeout(&server.addr(), t).expect("connect");
+        stream.set_read_timeout(Some(t)).unwrap();
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"{\"cmd\":\"watch\",\"max\":1}\n").unwrap();
+        writer.flush().unwrap();
+        let mut row = String::new();
+        reader.read_line(&mut row).expect("watch row");
+        let v: serde_json::Value = serde_json::from_str(&row).expect("watch row parses");
+        assert_eq!(get(&v, "kind").as_str(), Some("watch"));
+        assert_eq!(get(&v, "epoch").as_u64(), Some(1));
+        assert_eq!(get(&v, "accepted_rows").as_u64(), Some(12));
+        // The first row is seeded from the empty snapshot: its counter
+        // deltas are the running serve.* totals.
+        let counters = get(&v, "counters").as_object().expect("counters map");
+        assert!(counters.keys().all(|k| k.starts_with("serve.")), "{row}");
+        assert_eq!(counters.get("serve.rows{outcome=clean}").and_then(|c| c.as_u64()), Some(12));
+        // After the row budget the same connection answers one-shots.
+        writer.write_all(b"{\"cmd\":\"status\"}\n").unwrap();
+        writer.flush().unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("status after watch");
+        let v: serde_json::Value = serde_json::from_str(&resp).expect("status parses");
+        assert_eq!(get(&v, "kind").as_str(), Some("status"));
+        server.stop();
     }
 
     #[test]

@@ -23,6 +23,7 @@ use st_speedtest::{
     ChunkStats, Measurement, SanitizeReport, SegmentedStore, StoreError, DEFAULT_SEAL_ROWS,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -328,6 +329,14 @@ impl ContextService {
     /// The current epoch (an `Arc` bump; never blocks ingest).
     pub fn current_epoch(&self) -> Arc<EpochSnapshot> {
         self.publisher.current()
+    }
+
+    /// Subscribe to epoch publications: the current snapshot as a base
+    /// plus a receiver yielding every later successfully-published
+    /// snapshot exactly once, in order (the `watch` verb's feed — see
+    /// [`EpochPublisher::subscribe`] for the gap-freedom argument).
+    pub fn subscribe_epochs(&self) -> (Arc<EpochSnapshot>, Receiver<Arc<EpochSnapshot>>) {
+        self.publisher.subscribe()
     }
 
     fn lookup(&self, city: &str, campaign: &str) -> Result<(usize, usize), ServeError> {

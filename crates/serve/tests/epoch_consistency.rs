@@ -10,6 +10,8 @@
 use st_obs::Registry;
 use st_serve::{epoch_index, query_once, ContextService, PartitionSpec, QueryServer, ServeOptions};
 use st_speedtest::{Access, Measurement, Platform};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -183,6 +185,105 @@ fn concurrent_queries_never_observe_torn_state() {
     assert_eq!(field(snap, "accepted_rows").as_u64(), Some(total_rows));
     assert_eq!(final_epoch, epoch_index(total_rows, EPOCH_ROWS) + 1);
     check_snapshot(&v);
+
+    server.stop();
+}
+
+/// The watch feed's core contract: with a single writer (so every
+/// boundary crossing wins the publish race), a subscriber attached
+/// before the first row must see epoch 0 as its base and then every
+/// crossing exactly once, in order, ending with the final epoch — and
+/// each row must satisfy the same floor/seal recurrences the polling
+/// readers check, with counter deltas that telescope to the totals.
+#[test]
+fn watch_delivers_every_epoch_crossing_exactly_once() {
+    let service = Arc::new(ContextService::new(
+        vec![PartitionSpec::city("City-A")],
+        ServeOptions { seal_rows: SEAL_ROWS as usize, epoch_rows: EPOCH_ROWS as usize, warm: None },
+        Registry::new(),
+    ));
+    let server = QueryServer::start(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut writer = stream.try_clone().expect("clone");
+    writer.write_all(b"{\"cmd\":\"watch\"}\n").unwrap();
+    writer.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // Read the base row on this thread *before* ingesting anything:
+    // from here on, no crossing can predate the subscription.
+    let mut base = String::new();
+    reader.read_line(&mut base).expect("base row");
+    let v: serde_json::Value = serde_json::from_str(&base).expect("base parses");
+    assert_eq!(field(&v, "epoch").as_u64(), Some(0));
+    assert_eq!(field(&v, "final_epoch").as_bool(), Some(false));
+
+    let watcher = std::thread::spawn(move || {
+        let mut rows = vec![v];
+        for line in reader.lines() {
+            let line = line.expect("watch line");
+            let row: serde_json::Value = serde_json::from_str(&line)
+                .unwrap_or_else(|e| panic!("unparseable watch row {line:?}: {e}"));
+            let done = field(&row, "final_epoch").as_bool() == Some(true);
+            rows.push(row);
+            if done {
+                return rows;
+            }
+        }
+        panic!("feed ended before the final epoch");
+    });
+
+    // One writer, 7-row chunks (7 < EPOCH_ROWS, so a chunk crosses at
+    // most one boundary): the published epoch sequence is 1, 2, 3, ...
+    let total: u64 = 60 * 7;
+    for chunk in 0..60u64 {
+        let rows: Vec<Measurement> = (0..7).map(|r| m(chunk * 7 + r)).collect();
+        let receipt = service.ingest_chunk("City-A", "ookla", rows).expect("ingest");
+        assert_eq!(receipt.stats.quarantined, 0, "ids are unique");
+    }
+    let out = service.drain().expect("drain once");
+    let final_epoch = service
+        .publish_final(&out.sanitize, Vec::new(), Vec::new(), None, 0)
+        .expect("final publish");
+    assert_eq!(final_epoch, epoch_index(total, EPOCH_ROWS) + 1);
+
+    let rows = watcher.join().expect("watcher thread");
+    // Exactly once and in order: the base plus one row per crossing,
+    // no index skipped, none repeated, the final epoch last.
+    let epochs: Vec<u64> =
+        rows.iter().map(|r| field(r, "epoch").as_u64().expect("epoch")).collect();
+    let expected: Vec<u64> = (0..=final_epoch).collect();
+    assert_eq!(epochs, expected, "watch feed missed or repeated a crossing");
+
+    let mut clean = 0u64;
+    let mut epochs_counted = 0u64;
+    for row in &rows {
+        let accepted = field(row, "accepted_rows").as_u64().expect("accepted_rows");
+        let sealed = field(row, "segments_sealed").as_u64().expect("segments_sealed");
+        let final_row = field(row, "final_epoch").as_bool().expect("final_epoch");
+        if final_row {
+            assert_eq!(accepted, total);
+            assert!(sealed * SEAL_ROWS >= accepted, "frozen stores lost rows");
+        } else {
+            // The same recurrences check_snapshot asserts, visible
+            // through the feed: the epoch is the floor of the accepted
+            // count and seals track the accepted prefix exactly.
+            assert_eq!(field(row, "epoch").as_u64().unwrap(), epoch_index(accepted, EPOCH_ROWS));
+            assert_eq!(sealed, accepted / SEAL_ROWS, "seal recurrence diverged at {accepted}");
+        }
+        let seals = field(row, "seals").as_array().expect("seals");
+        let per_city: u64 =
+            seals.iter().map(|s| field(s, "sealed_segments").as_u64().unwrap()).sum();
+        assert_eq!(per_city, sealed, "per-city seal counts must sum to the total");
+        let counters = field(row, "counters").as_object().expect("counters");
+        assert!(counters.keys().all(|k| k.starts_with("serve.")), "{row:?}");
+        clean += counters.get("serve.rows{outcome=clean}").and_then(|c| c.as_u64()).unwrap_or(0);
+        epochs_counted += counters.get("serve.epochs").and_then(|c| c.as_u64()).unwrap_or(0);
+    }
+    // Deltas telescope: base totals + per-row increments = final totals.
+    assert_eq!(clean, total, "serve.rows deltas must telescope to the accepted total");
+    assert_eq!(epochs_counted, final_epoch, "serve.epochs deltas must telescope");
 
     server.stop();
 }
